@@ -1,0 +1,34 @@
+//! # omt-baselines — comparison synchronization backends
+//!
+//! The PLDI 2006 evaluation compares its optimized direct-access STM
+//! against the classic alternatives. This crate provides them, all over
+//! the same [`omt_heap::Heap`] so workloads and the `omt-vm` interpreter
+//! can swap backends without changing data layout:
+//!
+//! - [`CoarseLock`] — one global mutex around every atomic block;
+//! - [`TwoPhaseLocking`] — encounter-time per-object exclusive locks
+//!   with undo-based deadlock recovery (the generic "medium-grained"
+//!   locking analogue of an STM);
+//! - [`WStm`] — a buffered-update, global-version-clock word STM in the
+//!   TL2 style: the indirect design whose per-read and commit-time costs
+//!   the paper's direct-access scheme eliminates;
+//! - [`OrecStm`] — a direct-update STM whose metadata lives in a hashed
+//!   ownership-record table rather than object headers, quantifying the
+//!   false-conflict cost the paper's per-object metadata avoids.
+//!
+//! Hand-crafted *fine-grained* lock-based data structures (the strongest
+//! lock-based competitors) live with the workloads in `omt-workloads`,
+//! since their locking protocols are structure-specific.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod coarse;
+mod orec;
+mod twopl;
+mod wstm;
+
+pub use coarse::{CoarseGuard, CoarseLock};
+pub use orec::{OrecConflict, OrecStatsSnapshot, OrecStm, OrecTx};
+pub use twopl::{LockBusyError, TplStatsSnapshot, TplTx, TwoPhaseLocking};
+pub use wstm::{WConflict, WStm, WStmStatsSnapshot, WTx};

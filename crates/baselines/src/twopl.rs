@@ -1,0 +1,349 @@
+//! Per-object two-phase locking ("medium-grained" locking).
+//!
+//! Generic atomic blocks cannot use hand-crafted fine-grained locking
+//! (lock order depends on the block), so the locking analogue of an STM
+//! is encounter-time two-phase locking with deadlock recovery: acquire
+//! each object's lock at first touch, hold to the end, and on a lock
+//! timeout abort — rolling back in-place writes from an undo log — and
+//! retry with backoff.
+//!
+//! The object's header word serves as the lock: `0` = free, otherwise
+//! the owner's token.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use omt_heap::{Heap, ObjRef, Word};
+use rand::Rng;
+
+/// Error: a lock could not be acquired in time (possible deadlock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockBusyError;
+
+impl fmt::Display for LockBusyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object lock busy (possible deadlock), transaction must retry")
+    }
+}
+
+impl std::error::Error for LockBusyError {}
+
+/// Counters for the 2PL backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TplStatsSnapshot {
+    /// Sections begun.
+    pub begins: u64,
+    /// Sections committed.
+    pub commits: u64,
+    /// Aborts due to lock timeouts.
+    pub aborts: u64,
+}
+
+/// The two-phase-locking backend over a shared heap.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::{Heap, ClassDesc, Word};
+/// use omt_baselines::TwoPhaseLocking;
+///
+/// let heap = Arc::new(Heap::new());
+/// let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["v"]));
+/// let obj = heap.alloc(class)?;
+/// let tpl = TwoPhaseLocking::new(heap.clone());
+///
+/// tpl.atomically(|tx| {
+///     let v = tx.read(obj, 0)?.as_scalar().unwrap();
+///     tx.write(obj, 0, Word::from_scalar(v + 1))
+/// });
+/// assert_eq!(heap.load(obj, 0).as_scalar(), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TwoPhaseLocking {
+    heap: Arc<Heap>,
+    next_token: AtomicU32,
+    max_spins: u32,
+    begins: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl TwoPhaseLocking {
+    /// Creates a 2PL backend with the default lock-acquire spin budget.
+    pub fn new(heap: Arc<Heap>) -> TwoPhaseLocking {
+        TwoPhaseLocking::with_spin_budget(heap, 256)
+    }
+
+    /// Creates a 2PL backend that spins at most `max_spins` times per
+    /// lock acquisition before declaring a deadlock.
+    pub fn with_spin_budget(heap: Arc<Heap>, max_spins: u32) -> TwoPhaseLocking {
+        TwoPhaseLocking {
+            heap,
+            next_token: AtomicU32::new(1),
+            max_spins,
+            begins: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying heap.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// Begins a locking section.
+    pub fn begin(&self) -> TplTx<'_> {
+        self.begins.fetch_add(1, Ordering::Relaxed);
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed).max(1);
+        TplTx { tpl: self, token, held: Vec::new(), undo: Vec::new(), finished: false }
+    }
+
+    /// Runs `f` under two-phase locking, retrying on deadlock timeouts.
+    pub fn atomically<T>(
+        &self,
+        mut f: impl FnMut(&mut TplTx<'_>) -> Result<T, LockBusyError>,
+    ) -> T {
+        let mut attempt = 0u32;
+        loop {
+            let mut tx = self.begin();
+            match f(&mut tx) {
+                Ok(v) => {
+                    tx.commit();
+                    return v;
+                }
+                Err(LockBusyError) => {
+                    tx.abort();
+                    attempt = attempt.saturating_add(1);
+                    backoff(attempt);
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TplStatsSnapshot {
+        TplStatsSnapshot {
+            begins: self.begins.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An in-flight 2PL section. Dropping without commit aborts.
+#[derive(Debug)]
+pub struct TplTx<'a> {
+    tpl: &'a TwoPhaseLocking,
+    token: u32,
+    held: Vec<ObjRef>,
+    undo: Vec<(ObjRef, u32, u64)>,
+    finished: bool,
+}
+
+impl TplTx<'_> {
+    fn lock_word(token: u32) -> u64 {
+        u64::from(token)
+    }
+
+    /// Acquires `obj`'s lock (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`LockBusyError`] if the spin budget is exhausted.
+    pub fn acquire(&mut self, obj: ObjRef) -> Result<(), LockBusyError> {
+        let header = self.tpl.heap.header_atomic(obj);
+        let mine = Self::lock_word(self.token);
+        let mut spins = 0;
+        loop {
+            match header.compare_exchange(0, mine, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.held.push(obj);
+                    return Ok(());
+                }
+                Err(current) if current == mine => return Ok(()),
+                Err(_) => {
+                    if spins >= self.tpl.max_spins {
+                        return Err(LockBusyError);
+                    }
+                    spins += 1;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Reads a field (locks the object first — 2PL takes exclusive locks
+    /// for reads too, as a generic atomic block cannot know whether a
+    /// later write will follow).
+    ///
+    /// # Errors
+    ///
+    /// [`LockBusyError`] on lock timeout.
+    pub fn read(&mut self, obj: ObjRef, field: usize) -> Result<Word, LockBusyError> {
+        self.acquire(obj)?;
+        Ok(self.tpl.heap.load(obj, field))
+    }
+
+    /// Records the current value of `(obj, field)` for rollback.
+    ///
+    /// The caller must already hold `obj`'s lock (the decomposed-access
+    /// path used by the `omt-vm` interpreter acquires via
+    /// [`TplTx::acquire`] first).
+    pub fn log_undo(&mut self, obj: ObjRef, field: usize) {
+        let old = self.tpl.heap.field_atomic(obj, field).load(Ordering::Relaxed);
+        self.undo.push((obj, field as u32, old));
+    }
+
+    /// Writes a field in place, with undo logging for deadlock aborts.
+    ///
+    /// # Errors
+    ///
+    /// [`LockBusyError`] on lock timeout.
+    pub fn write(&mut self, obj: ObjRef, field: usize, value: Word) -> Result<(), LockBusyError> {
+        self.acquire(obj)?;
+        self.log_undo(obj, field);
+        self.tpl.heap.store(obj, field, value);
+        Ok(())
+    }
+
+    /// Commits: releases every lock, keeping the in-place writes.
+    pub fn commit(mut self) {
+        self.release_all();
+        self.tpl.commits.fetch_add(1, Ordering::Relaxed);
+        self.finished = true;
+    }
+
+    /// Aborts: rolls back writes, then releases every lock.
+    pub fn abort(mut self) {
+        self.rollback();
+        self.tpl.aborts.fetch_add(1, Ordering::Relaxed);
+        self.finished = true;
+    }
+
+    fn rollback(&mut self) {
+        for (obj, field, old) in self.undo.iter().rev() {
+            self.tpl.heap.field_atomic(*obj, *field as usize).store(*old, Ordering::Relaxed);
+        }
+        self.undo.clear();
+        self.release_all();
+    }
+
+    fn release_all(&mut self) {
+        for obj in self.held.drain(..) {
+            self.tpl.heap.header_atomic(obj).store(0, Ordering::Release);
+        }
+    }
+
+    /// Number of locks currently held.
+    pub fn locks_held(&self) -> usize {
+        self.held.len()
+    }
+}
+
+impl Drop for TplTx<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.rollback();
+            self.tpl.aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn backoff(attempt: u32) {
+    let cap = 1u32 << attempt.min(12);
+    let spins = rand::thread_rng().gen_range(0..=cap);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+    if attempt > 8 {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::ClassDesc;
+
+    fn setup() -> (Arc<Heap>, omt_heap::ClassId, TwoPhaseLocking) {
+        let heap = Arc::new(Heap::new());
+        let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["v"]));
+        let tpl = TwoPhaseLocking::with_spin_budget(heap.clone(), 16);
+        (heap, class, tpl)
+    }
+
+    #[test]
+    fn read_write_commit() {
+        let (heap, class, tpl) = setup();
+        let obj = heap.alloc(class).unwrap();
+        let mut tx = tpl.begin();
+        assert_eq!(tx.read(obj, 0).unwrap().as_scalar(), Some(0));
+        tx.write(obj, 0, Word::from_scalar(5)).unwrap();
+        assert_eq!(tx.locks_held(), 1);
+        tx.commit();
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(5));
+        // Lock released.
+        assert_eq!(heap.header_atomic(obj).load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let (heap, class, tpl) = setup();
+        let obj = heap.alloc(class).unwrap();
+        let mut tx = tpl.begin();
+        tx.write(obj, 0, Word::from_scalar(5)).unwrap();
+        tx.abort();
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(0));
+        assert_eq!(tpl.stats().aborts, 1);
+    }
+
+    #[test]
+    fn contended_lock_times_out() {
+        let (heap, class, tpl) = setup();
+        let obj = heap.alloc(class).unwrap();
+        let mut holder = tpl.begin();
+        holder.acquire(obj).unwrap();
+        let mut waiter = tpl.begin();
+        assert_eq!(waiter.read(obj, 0), Err(LockBusyError));
+        waiter.abort();
+        holder.commit();
+    }
+
+    #[test]
+    fn drop_releases_locks() {
+        let (heap, class, tpl) = setup();
+        let obj = heap.alloc(class).unwrap();
+        {
+            let mut tx = tpl.begin();
+            tx.write(obj, 0, Word::from_scalar(9)).unwrap();
+        }
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(0), "drop rolled back");
+        let mut tx = tpl.begin();
+        tx.acquire(obj).unwrap();
+        tx.commit();
+    }
+
+    #[test]
+    fn concurrent_increments_are_serialized() {
+        let (heap, class, tpl) = setup();
+        let obj = heap.alloc(class).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let tpl = &tpl;
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        tpl.atomically(|tx| {
+                            let v = tx.read(obj, 0)?.as_scalar().unwrap();
+                            tx.write(obj, 0, Word::from_scalar(v + 1))
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(2000));
+    }
+}

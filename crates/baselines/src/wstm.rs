@@ -1,0 +1,442 @@
+//! A buffered-update, global-clock word STM (TL2-style).
+//!
+//! This is the "classic" indirect STM design the paper positions its
+//! direct-access scheme against: writes go to a transaction-private
+//! buffer and reach the heap only at commit, after the write set is
+//! locked and the read set validated against a global version clock.
+//! Every transactional read pays buffer-lookup and double-check costs;
+//! every commit pays a write-back pass.
+//!
+//! Header encoding (distinct from `omt-stm`'s):
+//!
+//! ```text
+//! [ version : 63 ][ locked : 1 ]
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use omt_heap::{Heap, ObjRef, Word};
+use rand::Rng;
+
+/// Why a buffered transaction failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WConflict {
+    /// A needed lock was held by another transaction.
+    Busy,
+    /// A read location changed since the transaction began.
+    Invalid,
+}
+
+impl fmt::Display for WConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WConflict::Busy => write!(f, "write lock busy"),
+            WConflict::Invalid => write!(f, "read validation failed"),
+        }
+    }
+}
+
+impl std::error::Error for WConflict {}
+
+/// Counters for the buffered STM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WStmStatsSnapshot {
+    /// Transactions begun.
+    pub begins: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Aborts (busy + invalid).
+    pub aborts: u64,
+}
+
+/// The TL2-style buffered STM over a shared heap.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::{Heap, ClassDesc, Word};
+/// use omt_baselines::WStm;
+///
+/// let heap = Arc::new(Heap::new());
+/// let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["v"]));
+/// let obj = heap.alloc(class)?;
+/// let wstm = WStm::new(heap.clone());
+///
+/// wstm.atomically(|tx| {
+///     let v = tx.read(obj, 0)?.as_scalar().unwrap();
+///     tx.write(obj, 0, Word::from_scalar(v + 1));
+///     Ok(())
+/// });
+/// assert_eq!(heap.load(obj, 0).as_scalar(), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct WStm {
+    heap: Arc<Heap>,
+    clock: AtomicU64,
+    begins: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl WStm {
+    /// Creates a buffered STM over `heap`.
+    pub fn new(heap: Arc<Heap>) -> WStm {
+        WStm {
+            heap,
+            clock: AtomicU64::new(0),
+            begins: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying heap.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// Begins a transaction at the current clock.
+    pub fn begin(&self) -> WTx<'_> {
+        self.begins.fetch_add(1, Ordering::Relaxed);
+        WTx {
+            wstm: self,
+            rv: self.clock.load(Ordering::Acquire),
+            reads: Vec::new(),
+            write_index: HashMap::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// Runs `f` transactionally with retry and backoff.
+    pub fn atomically<T>(&self, mut f: impl FnMut(&mut WTx<'_>) -> Result<T, WConflict>) -> T {
+        let mut attempt = 0u32;
+        loop {
+            let mut tx = self.begin();
+            match f(&mut tx) {
+                Ok(v) => {
+                    if tx.commit().is_ok() {
+                        return v;
+                    }
+                }
+                Err(_) => {
+                    self.aborts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            attempt = attempt.saturating_add(1);
+            backoff(attempt);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WStmStatsSnapshot {
+        WStmStatsSnapshot {
+            begins: self.begins.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An in-flight buffered transaction.
+///
+/// No cleanup is needed on abandonment: writes never touched the heap.
+#[derive(Debug)]
+pub struct WTx<'a> {
+    wstm: &'a WStm,
+    rv: u64,
+    reads: Vec<ObjRef>,
+    write_index: HashMap<(u32, u32), usize>,
+    writes: Vec<(ObjRef, u32, u64)>,
+}
+
+impl WTx<'_> {
+    /// Transactional read: consult the write buffer, then the heap with
+    /// the TL2 pre/post version double-check.
+    ///
+    /// # Errors
+    ///
+    /// [`WConflict::Busy`] if the location is locked;
+    /// [`WConflict::Invalid`] if it changed since the transaction began.
+    pub fn read(&mut self, obj: ObjRef, field: usize) -> Result<Word, WConflict> {
+        if let Some(&i) = self.write_index.get(&(obj.to_raw(), field as u32)) {
+            return Ok(Word::from_bits(self.writes[i].2));
+        }
+        let header = self.wstm.heap.header_atomic(obj);
+        let h1 = header.load(Ordering::Acquire);
+        if h1 & 1 == 1 {
+            return Err(WConflict::Busy);
+        }
+        if (h1 >> 1) > self.rv {
+            return Err(WConflict::Invalid);
+        }
+        let bits = self.wstm.heap.field_atomic(obj, field).load(Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Acquire);
+        let h2 = header.load(Ordering::Relaxed);
+        if h1 != h2 {
+            return Err(WConflict::Invalid);
+        }
+        self.reads.push(obj);
+        Ok(Word::from_bits(bits))
+    }
+
+    /// Transactional write: buffered until commit.
+    pub fn write(&mut self, obj: ObjRef, field: usize, value: Word) {
+        let key = (obj.to_raw(), field as u32);
+        match self.write_index.get(&key) {
+            Some(&i) => self.writes[i].2 = value.to_bits(),
+            None => {
+                self.write_index.insert(key, self.writes.len());
+                self.writes.push((obj, field as u32, value.to_bits()));
+            }
+        }
+    }
+
+    /// Number of buffered writes.
+    pub fn write_set_size(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Number of logged reads.
+    pub fn read_set_size(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Attempts to commit: lock write set, bump the clock, validate the
+    /// read set, write back, release.
+    ///
+    /// # Errors
+    ///
+    /// [`WConflict::Busy`] or [`WConflict::Invalid`]; the heap is
+    /// untouched on failure.
+    pub fn commit(self) -> Result<(), WConflict> {
+        let heap = &self.wstm.heap;
+
+        // Read-only fast path: per-read double checks already ensured a
+        // consistent snapshot at `rv`.
+        if self.writes.is_empty() {
+            self.wstm.commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        // Phase 1: lock the write set (distinct objects), remembering
+        // each object's pre-lock header for validation and unwinding.
+        let mut locked: Vec<(ObjRef, u64)> = Vec::new();
+        let mut locked_versions: HashMap<u32, u64> = HashMap::new();
+        let result = (|| {
+            for (obj, _, _) in &self.writes {
+                if locked_versions.contains_key(&obj.to_raw()) {
+                    continue;
+                }
+                let header = heap.header_atomic(*obj);
+                let mut spins = 0u32;
+                loop {
+                    let h = header.load(Ordering::Acquire);
+                    if h & 1 == 0 {
+                        if header
+                            .compare_exchange(h, h | 1, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            locked.push((*obj, h));
+                            locked_versions.insert(obj.to_raw(), h >> 1);
+                            break;
+                        }
+                    } else {
+                        if spins > 64 {
+                            return Err(WConflict::Busy);
+                        }
+                        spins += 1;
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+
+            // Phase 2: take a write version.
+            let wv = self.wstm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+
+            // Phase 3: validate the read set (skippable if nobody else
+            // committed since we began). Locations we locked ourselves
+            // are validated against their pre-lock version.
+            if wv > self.rv + 1 {
+                for obj in &self.reads {
+                    let version = match locked_versions.get(&obj.to_raw()) {
+                        Some(&pre_lock) => pre_lock,
+                        None => {
+                            let h = heap.header_atomic(*obj).load(Ordering::Acquire);
+                            if h & 1 == 1 {
+                                return Err(WConflict::Busy);
+                            }
+                            h >> 1
+                        }
+                    };
+                    if version > self.rv {
+                        return Err(WConflict::Invalid);
+                    }
+                }
+            }
+
+            // Phase 4: write back and release at the new version.
+            for (obj, field, bits) in &self.writes {
+                heap.field_atomic(*obj, *field as usize).store(*bits, Ordering::Relaxed);
+            }
+            for (obj, _) in &locked {
+                heap.header_atomic(*obj).store(wv << 1, Ordering::Release);
+            }
+            locked.clear();
+            Ok(())
+        })();
+
+        // Unlock anything still held after a failure, restoring the
+        // original header words.
+        for (obj, original) in locked {
+            heap.header_atomic(obj).store(original, Ordering::Release);
+        }
+        match result {
+            Ok(()) => {
+                self.wstm.commits.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.wstm.aborts.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn backoff(attempt: u32) {
+    let cap = 1u32 << attempt.min(12);
+    let spins = rand::thread_rng().gen_range(0..=cap);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+    if attempt > 8 {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::ClassDesc;
+
+    fn setup() -> (Arc<Heap>, omt_heap::ClassId, WStm) {
+        let heap = Arc::new(Heap::new());
+        let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["a", "b"]));
+        let wstm = WStm::new(heap.clone());
+        (heap, class, wstm)
+    }
+
+    #[test]
+    fn buffered_writes_invisible_until_commit() {
+        let (heap, class, wstm) = setup();
+        let obj = heap.alloc(class).unwrap();
+        let mut tx = wstm.begin();
+        tx.write(obj, 0, Word::from_scalar(5));
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(0), "still buffered");
+        assert_eq!(tx.read(obj, 0).unwrap().as_scalar(), Some(5), "read own write");
+        tx.commit().unwrap();
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(5));
+    }
+
+    #[test]
+    fn abandoned_transaction_leaves_heap_untouched() {
+        let (heap, class, wstm) = setup();
+        let obj = heap.alloc(class).unwrap();
+        {
+            let mut tx = wstm.begin();
+            tx.write(obj, 0, Word::from_scalar(9));
+        }
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(0));
+    }
+
+    #[test]
+    fn conflicting_commit_invalidates_reader() {
+        let (heap, class, wstm) = setup();
+        let obj = heap.alloc(class).unwrap();
+
+        let mut reader = wstm.begin();
+        reader.read(obj, 0).unwrap();
+        reader.write(obj, 1, Word::from_scalar(1)); // make it a writer so validation runs
+
+        let mut writer = wstm.begin();
+        writer.write(obj, 0, Word::from_scalar(1));
+        writer.commit().unwrap();
+
+        assert_eq!(reader.commit(), Err(WConflict::Invalid));
+    }
+
+    #[test]
+    fn read_only_snapshot_is_consistent() {
+        let (heap, class, wstm) = setup();
+        let obj = heap.alloc(class).unwrap();
+
+        let mut reader = wstm.begin();
+        reader.read(obj, 0).unwrap();
+
+        let mut writer = wstm.begin();
+        writer.write(obj, 1, Word::from_scalar(7));
+        writer.commit().unwrap();
+
+        // A later read by the old snapshot must fail (version advanced).
+        assert_eq!(reader.read(obj, 1), Err(WConflict::Invalid));
+    }
+
+    #[test]
+    fn version_advances_on_commit() {
+        let (heap, class, wstm) = setup();
+        let obj = heap.alloc(class).unwrap();
+        let mut tx = wstm.begin();
+        tx.write(obj, 0, Word::from_scalar(1));
+        tx.commit().unwrap();
+        let h = heap.header_atomic(obj).load(Ordering::Relaxed);
+        assert_eq!(h & 1, 0, "unlocked");
+        assert_eq!(h >> 1, 1, "version 1");
+    }
+
+    #[test]
+    fn concurrent_increments_are_serializable() {
+        let (heap, class, wstm) = setup();
+        let obj = heap.alloc(class).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let wstm = &wstm;
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        wstm.atomically(|tx| {
+                            let v = tx.read(obj, 0)?.as_scalar().unwrap();
+                            tx.write(obj, 0, Word::from_scalar(v + 1));
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(2000));
+    }
+
+    #[test]
+    fn failed_commit_restores_lock_words() {
+        let (heap, class, wstm) = setup();
+        let a = heap.alloc(class).unwrap();
+        let b = heap.alloc(class).unwrap();
+
+        // tx reads a and writes b; a concurrent commit to a invalidates.
+        let mut tx = wstm.begin();
+        tx.read(a, 0).unwrap();
+        tx.write(b, 0, Word::from_scalar(1));
+
+        let mut other = wstm.begin();
+        other.write(a, 0, Word::from_scalar(2));
+        other.commit().unwrap();
+
+        assert!(tx.commit().is_err());
+        // b's header must be unlocked with its original version (0).
+        assert_eq!(heap.header_atomic(b).load(Ordering::Relaxed), 0);
+        assert_eq!(heap.load(b, 0).as_scalar(), Some(0));
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion bench for experiment E1: per-optimization-level execution
+//! time of the TxIL benchmarks on the direct-access STM, against the
+//! uninstrumented sequential baseline.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use omt_bench::programs::txil_benchmarks;
+use omt_heap::{Heap, Word};
+use omt_opt::{compile, OptLevel};
+use omt_vm::{BackendKind, SyncBackend, Vm};
+
+fn bench_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_overhead");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, src, entry, n) in txil_benchmarks() {
+        let n = n / 5; // criterion repeats; keep iterations small
+        // Sequential baseline.
+        {
+            let (ir, _) = compile(src, OptLevel::O0).expect("compiles");
+            let heap = Arc::new(Heap::new());
+            let backend = Arc::new(SyncBackend::new(BackendKind::Sequential, heap.clone()));
+            let vm = Vm::new(Arc::new(ir), heap, backend);
+            group.bench_with_input(BenchmarkId::new(name, "seq"), &n, |b, &n| {
+                b.iter(|| vm.run(entry, &[Word::from_scalar(n)]).expect("runs"));
+            });
+        }
+        for level in OptLevel::ALL {
+            let (ir, _) = compile(src, level).expect("compiles");
+            let heap = Arc::new(Heap::new());
+            let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
+            let vm = Vm::new(Arc::new(ir), heap, backend);
+            group.bench_with_input(
+                BenchmarkId::new(name, level.to_string()),
+                &n,
+                |b, &n| {
+                    b.iter(|| vm.run(entry, &[Word::from_scalar(n)]).expect("runs"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

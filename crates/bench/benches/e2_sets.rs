@@ -1,0 +1,94 @@
+//! Criterion bench for experiments E2/E3: throughput of the set
+//! workloads per implementation and thread count.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use omt_heap::Heap;
+use omt_stm::Stm;
+use omt_workloads::{
+    prefill, run_set_workload, ConcurrentSet, CoarseStdSet, HandOverHandList, SetWorkload,
+    StmHashSet, StmSortedList, StripedHashSet,
+};
+
+fn workload() -> SetWorkload {
+    SetWorkload { initial_size: 256, key_range: 1024, ops_per_thread: 2_000, ..Default::default() }
+}
+
+fn bench_impl(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    set: &dyn ConcurrentSet,
+    threads: usize,
+) {
+    let w = workload();
+    group.throughput(Throughput::Elements((w.ops_per_thread * threads) as u64));
+    group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_set_workload(set, &w, t).elapsed;
+            }
+            total
+        });
+    });
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_hashtable");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let w = workload();
+
+    let coarse = CoarseStdSet::new();
+    prefill(&coarse, &w);
+    let fine = StripedHashSet::new(64);
+    prefill(&fine, &w);
+    let stm = StmHashSet::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 64);
+    prefill(&stm, &w);
+
+    for threads in [1usize, 2, 4] {
+        bench_impl(&mut group, "coarse", &coarse, threads);
+        bench_impl(&mut group, "fine-striped", &fine, threads);
+        bench_impl(&mut group, "stm", &stm, threads);
+    }
+    group.finish();
+}
+
+fn bench_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_sorted_list");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let w = SetWorkload {
+        initial_size: 64,
+        key_range: 128,
+        ops_per_thread: 300,
+        ..SetWorkload::default()
+    };
+
+    let hoh = HandOverHandList::new();
+    prefill(&hoh, &w);
+    let stm = StmSortedList::new(Arc::new(Stm::new(Arc::new(Heap::new()))));
+    prefill(&stm, &w);
+
+    for threads in [1usize, 2, 4] {
+        for (name, set) in
+            [("fine-hoh", &hoh as &dyn ConcurrentSet), ("stm", &stm as &dyn ConcurrentSet)]
+        {
+            group.throughput(Throughput::Elements((w.ops_per_thread * threads) as u64));
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += run_set_workload(set, &w, t).elapsed;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashtable, bench_list);
+criterion_main!(benches);

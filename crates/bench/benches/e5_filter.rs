@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E5: the runtime log filter's cost and
+//! benefit on duplicate-heavy transactions.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use omt_bench::programs::COUNTER_CHURN;
+use omt_heap::{Heap, Word};
+use omt_opt::{compile, OptLevel};
+use omt_stm::{Stm, StmConfig};
+use omt_vm::{SyncBackend, Vm};
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_filter");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    // O1 leaves loop-carried duplicates for the runtime to handle — the
+    // filter's job.
+    for (label, filter) in [("on", true), ("off", false)] {
+        let (ir, _) = compile(COUNTER_CHURN, OptLevel::O1).expect("compiles");
+        let heap = Arc::new(Heap::new());
+        let stm = Stm::with_config(
+            heap.clone(),
+            StmConfig { runtime_filter: filter, ..StmConfig::default() },
+        );
+        let backend = Arc::new(SyncBackend::DirectStm(stm));
+        let vm = Vm::new(Arc::new(ir), heap, backend);
+        group.bench_with_input(BenchmarkId::new("counter_churn", label), &8i64, |b, &n| {
+            b.iter(|| vm.run("main", &[Word::from_scalar(n)]).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

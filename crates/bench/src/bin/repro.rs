@@ -1,0 +1,60 @@
+//! Regenerates the evaluation tables (experiments E1–E9).
+//!
+//! Usage:
+//!   repro [--experiment e1|e2|...|e9|all] [--full]
+//!
+//! `--full` uses the larger sizes recorded in EXPERIMENTS.md; the
+//! default quick sizes finish in well under a minute per experiment.
+
+use omt_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::QUICK;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --experiment"))
+                    .to_ascii_lowercase();
+            }
+            "--full" => scale = Scale::FULL,
+            "--quick" => scale = Scale::QUICK,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    println!("# omt reproduction — experiment {experiment} ({:?})", scale);
+    println!("# host: {} core(s)", std::thread::available_parallelism().map_or(1, |n| n.get()));
+    match experiment.as_str() {
+        "e1" => experiments::e1_overhead(scale),
+        "e2" => experiments::e2_hashtable(scale),
+        "e3" => {
+            experiments::e3_structures(scale);
+            experiments::e3d_travel(scale);
+        }
+        "e4" => experiments::e4_barrier_counts(scale),
+        "e5" => experiments::e5_filter(scale),
+        "e6" => experiments::e6_gc(scale),
+        "e7" => experiments::e7_contention(scale),
+        "e8" => {
+            experiments::e8_direct_vs_buffered(scale);
+            experiments::e8c_metadata_placement(scale);
+        }
+        "e9" => experiments::e9_sandbox_overflow(scale),
+        "all" => experiments::run_all(scale),
+        other => usage(&format!("unknown experiment `{other}`")),
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("usage: repro [--experiment e1|..|e9|all] [--full|--quick]");
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

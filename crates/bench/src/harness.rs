@@ -1,0 +1,221 @@
+//! Timing and table-rendering helpers shared by the `repro` binary and
+//! the criterion benches.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omt_heap::{Heap, Word};
+use omt_opt::{compile, OptLevel};
+use omt_vm::{BackendKind, SyncBackend, Vm, VmConfig, VmCountersSnapshot};
+
+/// A plain-text table, printed in the style of the paper's result
+/// tables.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n## {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("| ");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:>width$} | ", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<width$}|", "-", width = w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Result of one timed VM run.
+#[derive(Debug, Clone, Copy)]
+pub struct VmRun {
+    /// Wall-clock duration of the timed run.
+    pub elapsed: Duration,
+    /// Dynamic counters of the timed run.
+    pub counters: VmCountersSnapshot,
+    /// The program's scalar result (for cross-checking).
+    pub result: i64,
+}
+
+/// Compiles `src` at `level`, runs `entry(n)` once under `kind`, and
+/// measures it.
+///
+/// # Panics
+///
+/// Panics on compile errors or runtime traps (benchmark programs are
+/// trusted).
+pub fn time_txil(
+    src: &str,
+    level: OptLevel,
+    kind: BackendKind,
+    entry: &str,
+    n: i64,
+) -> VmRun {
+    time_txil_with(src, level, kind, entry, n, VmConfig::default())
+}
+
+/// Like [`time_txil`] with an explicit VM configuration.
+pub fn time_txil_with(
+    src: &str,
+    level: OptLevel,
+    kind: BackendKind,
+    entry: &str,
+    n: i64,
+    config: VmConfig,
+) -> VmRun {
+    let (ir, _) = compile(src, level).expect("benchmark compiles");
+    time_ir(Arc::new(ir), kind, entry, n, config)
+}
+
+/// Times a run of the program *without any barrier insertion* — the
+/// paper's uninstrumented sequential baseline.
+pub fn time_txil_uninstrumented(src: &str, entry: &str, n: i64) -> VmRun {
+    let program = omt_lang::parse(src).expect("parses");
+    let info = omt_lang::check(&program).expect("checks");
+    let ir = omt_ir::lower(&program, &info);
+    time_ir(Arc::new(ir), BackendKind::Sequential, entry, n, VmConfig::default())
+}
+
+fn time_ir(
+    ir: Arc<omt_ir::IrProgram>,
+    kind: BackendKind,
+    entry: &str,
+    n: i64,
+    config: VmConfig,
+) -> VmRun {
+    let heap = Arc::new(Heap::new());
+    let backend = Arc::new(SyncBackend::new(kind, heap.clone()));
+    let vm = Vm::with_config(ir, heap, backend, config);
+    // Warm-up run at a small size to touch code paths and the heap.
+    vm.run(entry, &[Word::from_scalar(1)]).expect("warmup");
+
+    // Median of three timed runs (the host may be a busy single core).
+    let mut best: Option<VmRun> = None;
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        vm.reset_counters();
+        let start = Instant::now();
+        let result = vm
+            .run(entry, &[Word::from_scalar(n)])
+            .expect("benchmark runs")
+            .map(|w| w.as_scalar().unwrap_or(0))
+            .unwrap_or(0);
+        let run = VmRun { elapsed: start.elapsed(), counters: vm.counters(), result };
+        samples.push(run.elapsed);
+        best = Some(run);
+    }
+    samples.sort();
+    let mut run = best.expect("three samples taken");
+    run.elapsed = samples[1];
+    run
+}
+
+/// Median wall-clock of `runs` invocations of `f`.
+pub fn median_duration(runs: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    assert!(runs >= 1);
+    let mut samples: Vec<Duration> = (0..runs).map(|_| f()).collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a ratio like `2.41x`.
+pub fn ratio(num: Duration, den: Duration) -> String {
+    if den.as_nanos() == 0 {
+        return "-".to_owned();
+    }
+    format!("{:.2}x", num.as_secs_f64() / den.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| long-name |"));
+        assert!(s.lines().filter(|l| l.starts_with('|')).count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn time_txil_returns_result_and_counters() {
+        let run = time_txil(
+            crate::programs::COUNTER_CHURN,
+            OptLevel::O2,
+            BackendKind::DirectStm,
+            "main",
+            3,
+        );
+        assert!(run.counters.tx_committed >= 3);
+        assert!(run.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_millis(1)), "1.000");
+        assert_eq!(
+            ratio(Duration::from_millis(4), Duration::from_millis(2)),
+            "2.00x"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! # omt-bench — benchmark harness regenerating the evaluation
+//!
+//! Each experiment Ei corresponds to a table or figure family of the
+//! PLDI 2006 evaluation (see DESIGN.md for the mapping and the
+//! paper-text caveat). Run them all with:
+//!
+//! ```bash
+//! cargo run --release -p omt-bench --bin repro -- --experiment all
+//! ```
+//!
+//! Criterion micro-benchmarks for the hottest comparisons live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod programs;

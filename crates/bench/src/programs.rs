@@ -1,0 +1,234 @@
+//! The TxIL benchmark programs used by the compiler-side experiments
+//! (E1, E4, E9).
+//!
+//! Each program stresses a different barrier pattern:
+//!
+//! - [`LIST_TRAVERSE`]: long read-only transactions over a linked list
+//!   (read barriers dominate; `val` keys reward immutability elision);
+//! - [`BST_INSERT`]: short read-write transactions with allocation
+//!   inside the transaction (rewards tx-local elision);
+//! - [`COUNTER_CHURN`]: repeated read-modify-write of a few objects in
+//!   a loop (rewards CSE, subsumption, and hoisting);
+//! - [`BANK_TRANSFER`]: two-object transactions selected by walking an
+//!   object chain (a mix of all barrier kinds).
+
+/// A named TxIL benchmark: `(name, source, entry, default_n)`.
+pub type TxilBenchmark = (&'static str, &'static str, &'static str, i64);
+
+/// Long read-only traversals.
+pub const LIST_TRAVERSE: &str = "
+    class Node { val key: int; var next: Node; }
+    fn build(n: int) -> Node {
+        let head: Node = null;
+        let i = 0;
+        while i < n { head = new Node(i, head); i = i + 1; }
+        return head;
+    }
+    fn main(n: int) -> int {
+        let list = build(200);
+        let total = 0;
+        let round = 0;
+        while round < n {
+            atomic {
+                let p = list;
+                while p != null { total = total + p.key; p = p.next; }
+            }
+            round = round + 1;
+        }
+        return total;
+    }
+";
+
+/// Insert-heavy tree construction with transaction-local allocation.
+pub const BST_INSERT: &str = "
+    class Tree { var root: TreeNode; }
+    class TreeNode { var key: int; var left: TreeNode; var right: TreeNode; }
+    fn insert(t: Tree, key: int) {
+        atomic {
+            let parent: TreeNode = null;
+            let goleft = false;
+            let p = t.root;
+            while p != null {
+                parent = p;
+                if key < p.key { goleft = true; p = p.left; }
+                else { goleft = false; p = p.right; }
+            }
+            let fresh = new TreeNode(key, null, null);
+            if parent == null { t.root = fresh; }
+            else if goleft { parent.left = fresh; }
+            else { parent.right = fresh; }
+        }
+    }
+    fn depth(p: TreeNode) -> int {
+        if p == null { return 0; }
+        let l = depth(p.left);
+        let r = depth(p.right);
+        if l > r { return l + 1; }
+        return r + 1;
+    }
+    fn main(n: int) -> int {
+        let t = new Tree();
+        let i = 0;
+        let key = 17;
+        while i < n {
+            key = (key * 31 + 7) % 4096;
+            insert(t, key);
+            i = i + 1;
+        }
+        return depth(t.root);
+    }
+";
+
+/// Tight read-modify-write loops over a handful of shared objects.
+pub const COUNTER_CHURN: &str = "
+    class Counter { var value: int; }
+    fn churn(a: Counter, b: Counter, c: Counter, rounds: int) -> int {
+        atomic {
+            let i = 0;
+            while i < rounds {
+                a.value = a.value + 1;
+                b.value = b.value + a.value;
+                c.value = c.value + b.value % 97;
+                i = i + 1;
+            }
+        }
+        return c.value;
+    }
+    fn main(n: int) -> int {
+        let a = new Counter();
+        let b = new Counter();
+        let c = new Counter();
+        let round = 0;
+        let out = 0;
+        while round < n {
+            out = churn(a, b, c, 50);
+            round = round + 1;
+        }
+        return out;
+    }
+";
+
+/// Transfers between accounts held in a linked chain.
+pub const BANK_TRANSFER: &str = "
+    class Account { var balance: int; var next: Account; }
+    fn build(n: int) -> Account {
+        let head: Account = null;
+        let i = 0;
+        while i < n {
+            head = new Account(1000, head);
+            i = i + 1;
+        }
+        return head;
+    }
+    fn nth(head: Account, i: int) -> Account {
+        let p = head;
+        while i > 0 { p = p.next; i = i - 1; }
+        return p;
+    }
+    fn main(n: int) -> int {
+        let accounts = build(16);
+        let i = 0;
+        let x = 5;
+        while i < n {
+            x = (x * 1103515245 + 12345) % 16384;
+            let from = x % 16;
+            let to = (x / 16) % 16;
+            if from != to {
+                atomic {
+                    let fa = nth(accounts, from);
+                    let ta = nth(accounts, to);
+                    fa.balance = fa.balance - 10;
+                    ta.balance = ta.balance + 10;
+                }
+            }
+            i = i + 1;
+        }
+        let total = 0;
+        atomic {
+            let p = accounts;
+            while p != null { total = total + p.balance; p = p.next; }
+        }
+        return total;
+    }
+";
+
+/// All compiler-side benchmarks with default sizes.
+pub fn txil_benchmarks() -> Vec<TxilBenchmark> {
+    vec![
+        ("list-traverse", LIST_TRAVERSE, "main", 50),
+        ("bst-insert", BST_INSERT, "main", 400),
+        ("counter-churn", COUNTER_CHURN, "main", 40),
+        ("bank-transfer", BANK_TRANSFER, "main", 500),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_opt::{compile, OptLevel};
+
+    #[test]
+    fn all_benchmarks_compile_at_every_level() {
+        for (name, src, _, _) in txil_benchmarks() {
+            for level in OptLevel::ALL {
+                let (ir, _) = compile(src, level)
+                    .unwrap_or_else(|e| panic!("{name} failed at {level}: {e}"));
+                omt_ir::verify(&ir).unwrap_or_else(|e| panic!("{name} invalid at {level}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn benchmarks_produce_stable_answers_across_levels() {
+        use std::sync::Arc;
+        for (name, src, entry, n) in txil_benchmarks() {
+            let mut answers = Vec::new();
+            for level in OptLevel::ALL {
+                let (ir, _) = compile(src, level).unwrap();
+                let heap = Arc::new(omt_heap::Heap::new());
+                let backend = Arc::new(omt_vm::SyncBackend::new(
+                    omt_vm::BackendKind::DirectStm,
+                    heap.clone(),
+                ));
+                let vm = omt_vm::Vm::new(Arc::new(ir), heap, backend);
+                let out = vm
+                    .run(entry, &[omt_heap::Word::from_scalar(n / 10)])
+                    .unwrap()
+                    .unwrap()
+                    .as_scalar()
+                    .unwrap();
+                answers.push(out);
+            }
+            assert!(
+                answers.windows(2).all(|w| w[0] == w[1]),
+                "{name}: answers diverged across levels: {answers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn benchmarks_print_parse_print_fixpoint() {
+        for (name, src, _, _) in txil_benchmarks() {
+            let first = omt_lang::pretty(&omt_lang::parse(src).expect("parse"));
+            let second = omt_lang::pretty(&omt_lang::parse(&first).expect("reparse"));
+            assert_eq!(first, second, "{name}: printer not a fixpoint");
+        }
+    }
+
+    #[test]
+    fn bank_transfer_conserves_money() {
+        use std::sync::Arc;
+        let (ir, _) = compile(BANK_TRANSFER, OptLevel::O4).unwrap();
+        let heap = Arc::new(omt_heap::Heap::new());
+        let backend =
+            Arc::new(omt_vm::SyncBackend::new(omt_vm::BackendKind::DirectStm, heap.clone()));
+        let vm = omt_vm::Vm::new(Arc::new(ir), heap, backend);
+        let total = vm
+            .run("main", &[omt_heap::Word::from_scalar(300)])
+            .unwrap()
+            .unwrap()
+            .as_scalar()
+            .unwrap();
+        assert_eq!(total, 16 * 1000);
+    }
+}

@@ -1,0 +1,532 @@
+//! The managed object heap.
+//!
+//! A [`Heap`] owns a chunked table of object slots. Each object carries a
+//! single *header word* — the STM word of the PLDI 2006 design — plus its
+//! class id and tagged field words. The table grows by whole chunks that
+//! are published with atomic pointers, so allocation in one thread never
+//! invalidates references held by another.
+//!
+//! # Memory reclamation model
+//!
+//! The collector (see [`Heap::collect`]) is stop-the-world mark-sweep, as
+//! in the Bartok runtime the paper's STM was built into. Swept objects
+//! are *recycled*, not deallocated: their slot generation is bumped and
+//! the storage is reused for the next allocation of the same size class.
+//! Object storage is only returned to the operating system when the heap
+//! itself is dropped. This keeps all non-GC operations safe for
+//! concurrent use (a stale [`ObjRef`] is detected by its generation and
+//! reported as a panic rather than undefined behaviour).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::class::{ClassDesc, ClassId, ClassRegistry};
+use crate::stats::HeapStats;
+use crate::word::{ObjRef, Word};
+
+pub(crate) const CHUNK_BITS: u32 = 16;
+pub(crate) const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+pub(crate) const MAX_CHUNKS: usize = 255;
+
+/// Largest number of simultaneously-allocated objects a heap supports.
+pub const MAX_OBJECTS: usize = MAX_CHUNKS * CHUNK_SIZE;
+
+/// Error returned when the heap's slot table is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapFullError;
+
+impl fmt::Display for HeapFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "heap slot table exhausted ({MAX_OBJECTS} objects)")
+    }
+}
+
+impl std::error::Error for HeapFullError {}
+
+/// One heap object. Stable address for the lifetime of the heap.
+pub(crate) struct Object {
+    /// The STM word: version number or ownership pointer (see `omt-stm`).
+    /// `0` encodes "version 0, quiescent".
+    header: AtomicU64,
+    class: AtomicU32,
+    generation: AtomicU8,
+    live: AtomicBool,
+    marked: AtomicBool,
+    fields: Box<[AtomicU64]>,
+}
+
+impl Object {
+    fn new(class: ClassId, field_count: usize) -> Object {
+        let fields = (0..field_count).map(|_| AtomicU64::new(0)).collect();
+        Object {
+            header: AtomicU64::new(0),
+            class: AtomicU32::new(class.0),
+            generation: AtomicU8::new(0),
+            live: AtomicBool::new(true),
+            marked: AtomicBool::new(false),
+            fields,
+        }
+    }
+
+    fn reset_for_reuse(&self, class: ClassId) {
+        self.header.store(0, Ordering::Relaxed);
+        self.class.store(class.0, Ordering::Relaxed);
+        for f in self.fields.iter() {
+            f.store(0, Ordering::Relaxed);
+        }
+        self.marked.store(false, Ordering::Relaxed);
+        self.live.store(true, Ordering::Release);
+    }
+}
+
+/// One chunk of the slot table; entries are published exactly once.
+type Chunk = [AtomicPtr<Object>; CHUNK_SIZE];
+
+fn new_chunk() -> *mut Chunk {
+    let chunk: Box<Chunk> = (0..CHUNK_SIZE)
+        .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice()
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("chunk has exactly CHUNK_SIZE entries"));
+    Box::into_raw(chunk)
+}
+
+struct AllocState {
+    /// Next never-used slot index.
+    next_fresh: u32,
+    /// Recycled slots, keyed by field count (objects are reused only for
+    /// instances of the same size).
+    free: HashMap<usize, Vec<u32>>,
+    /// Number of chunks created so far.
+    chunk_count: usize,
+}
+
+/// The managed heap. See the [crate documentation](crate) for the
+/// memory model.
+///
+/// # Examples
+///
+/// ```
+/// use omt_heap::{Heap, ClassDesc, Word};
+///
+/// let heap = Heap::new();
+/// let point = heap.define_class(ClassDesc::with_var_fields("Point", &["x", "y"]));
+/// let p = heap.alloc(point)?;
+/// heap.store(p, 0, Word::from_scalar(3));
+/// assert_eq!(heap.load(p, 0).as_scalar(), Some(3));
+/// # Ok::<(), omt_heap::HeapFullError>(())
+/// ```
+pub struct Heap {
+    /// Published chunk pointers; index `i` is non-null once chunk `i`
+    /// exists. Chunks are freed only on drop.
+    chunk_table: Box<[AtomicPtr<Chunk>]>,
+    alloc_state: Mutex<AllocState>,
+    classes: ClassRegistry,
+    stats: HeapStats,
+}
+
+// SAFETY: all shared mutation goes through atomics; the raw pointers in
+// the chunk table refer to storage that lives until the heap is dropped.
+unsafe impl Send for Heap {}
+unsafe impl Sync for Heap {}
+
+impl Default for Heap {
+    fn default() -> Heap {
+        Heap::new()
+    }
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        let chunk_table = (0..MAX_CHUNKS).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+        Heap {
+            chunk_table,
+            alloc_state: Mutex::new(AllocState {
+                next_fresh: 0,
+                free: HashMap::new(),
+                chunk_count: 0,
+            }),
+            classes: ClassRegistry::new(),
+            stats: HeapStats::new(),
+        }
+    }
+
+    /// The heap's class registry.
+    pub fn classes(&self) -> &ClassRegistry {
+        &self.classes
+    }
+
+    /// Registers a class (see [`ClassRegistry::define`]).
+    pub fn define_class(&self, desc: ClassDesc) -> ClassId {
+        self.classes.define(desc)
+    }
+
+    /// Allocation, GC, and reuse counters.
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// Allocates a zero-initialized instance of `class`.
+    ///
+    /// All fields start as scalar `0` and the header word starts at
+    /// version 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapFullError`] if the slot table is exhausted.
+    pub fn alloc(&self, class: ClassId) -> Result<ObjRef, HeapFullError> {
+        let field_count = self.classes.get(class).field_count();
+        let mut state = self.alloc_state.lock();
+
+        if let Some(slot) = state.free.get_mut(&field_count).and_then(Vec::pop) {
+            drop(state);
+            let obj = self.object(slot);
+            obj.reset_for_reuse(class);
+            let generation = obj.generation.load(Ordering::Relaxed);
+            self.stats.record_reuse();
+            return Ok(ObjRef::from_parts(slot, generation));
+        }
+
+        let slot = state.next_fresh;
+        if slot as usize >= MAX_OBJECTS {
+            return Err(HeapFullError);
+        }
+        state.next_fresh += 1;
+
+        let chunk_index = (slot >> CHUNK_BITS) as usize;
+        if chunk_index == state.chunk_count {
+            self.chunk_table[chunk_index].store(new_chunk(), Ordering::Release);
+            state.chunk_count += 1;
+        }
+
+        let obj = Box::into_raw(Box::new(Object::new(class, field_count)));
+        let chunk = self.chunk_table[chunk_index].load(Ordering::Relaxed);
+        // SAFETY: the chunk was just ensured non-null and chunks are never
+        // freed before the heap drops.
+        unsafe {
+            (*chunk)[(slot & (CHUNK_SIZE as u32 - 1)) as usize].store(obj, Ordering::Release);
+        }
+        drop(state);
+        self.stats.record_alloc();
+        Ok(ObjRef::from_parts(slot, 0))
+    }
+
+    /// Resolves a slot index to its object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never allocated.
+    pub(crate) fn object(&self, slot: u32) -> &Object {
+        let chunk_index = (slot >> CHUNK_BITS) as usize;
+        let chunk = self.chunk_table[chunk_index].load(Ordering::Acquire);
+        assert!(!chunk.is_null(), "object slot {slot} beyond allocated chunks");
+        // SAFETY: chunks are immortal until the heap drops.
+        let obj =
+            unsafe { (*chunk)[(slot & (CHUNK_SIZE as u32 - 1)) as usize].load(Ordering::Acquire) };
+        assert!(!obj.is_null(), "object slot {slot} never allocated");
+        // SAFETY: object boxes are immortal until the heap drops.
+        unsafe { &*obj }
+    }
+
+    fn try_object(&self, slot: u32) -> Option<&Object> {
+        let chunk_index = (slot >> CHUNK_BITS) as usize;
+        let chunk = self.chunk_table[chunk_index].load(Ordering::Acquire);
+        if chunk.is_null() {
+            return None;
+        }
+        // SAFETY: as in `object`.
+        let obj =
+            unsafe { (*chunk)[(slot & (CHUNK_SIZE as u32 - 1)) as usize].load(Ordering::Acquire) };
+        if obj.is_null() {
+            return None;
+        }
+        // SAFETY: object boxes are immortal until the heap drops.
+        Some(unsafe { &*obj })
+    }
+
+    /// Resolves a reference, panicking if it is stale.
+    fn resolve(&self, r: ObjRef) -> &Object {
+        let obj = self.object(r.slot());
+        let generation = obj.generation.load(Ordering::Relaxed);
+        assert!(
+            generation == r.generation() && obj.live.load(Ordering::Acquire),
+            "dangling {r:?}: object was collected (current generation {generation})"
+        );
+        obj
+    }
+
+    /// True if `r` still refers to a live (uncollected) object.
+    pub fn is_valid(&self, r: ObjRef) -> bool {
+        match self.try_object(r.slot()) {
+            Some(obj) => {
+                obj.generation.load(Ordering::Relaxed) == r.generation()
+                    && obj.live.load(Ordering::Acquire)
+            }
+            None => false,
+        }
+    }
+
+    /// The class of the object `r` refers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is stale.
+    pub fn class_of(&self, r: ObjRef) -> ClassId {
+        ClassId(self.resolve(r).class.load(Ordering::Relaxed))
+    }
+
+    /// Number of fields of the object `r` refers to.
+    pub fn field_count(&self, r: ObjRef) -> usize {
+        self.resolve(r).fields.len()
+    }
+
+    /// Loads field `field` of `r` (relaxed; transactional consistency is
+    /// the STM's job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is stale or `field` is out of bounds.
+    pub fn load(&self, r: ObjRef, field: usize) -> Word {
+        Word::from_bits(self.resolve(r).fields[field].load(Ordering::Relaxed))
+    }
+
+    /// Stores `value` into field `field` of `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is stale or `field` is out of bounds.
+    pub fn store(&self, r: ObjRef, field: usize, value: Word) {
+        self.resolve(r).fields[field].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Direct access to a field's atomic cell, for synchronization
+    /// backends that need compare-and-swap or custom orderings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is stale or `field` is out of bounds.
+    pub fn field_atomic(&self, r: ObjRef, field: usize) -> &AtomicU64 {
+        &self.resolve(r).fields[field]
+    }
+
+    /// Direct access to the object's header (STM) word.
+    ///
+    /// The header encodes either a version number or transactional
+    /// ownership; the encoding lives in `omt-stm`. A freshly allocated
+    /// object has header `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is stale.
+    pub fn header_atomic(&self, r: ObjRef) -> &AtomicU64 {
+        &self.resolve(r).header
+    }
+
+    /// Calls `f` for every live object.
+    ///
+    /// Intended for stop-the-world maintenance passes (version
+    /// renumbering, heap audits); concurrent allocation during iteration
+    /// may or may not be visited.
+    pub fn for_each_live(&self, mut f: impl FnMut(ObjRef)) {
+        let next_fresh = self.alloc_state.lock().next_fresh;
+        for slot in 0..next_fresh {
+            if let Some(obj) = self.try_object(slot) {
+                if obj.live.load(Ordering::Acquire) {
+                    let generation = obj.generation.load(Ordering::Relaxed);
+                    f(ObjRef::from_parts(slot, generation));
+                }
+            }
+        }
+    }
+
+    /// Number of live objects.
+    pub fn live_objects(&self) -> usize {
+        let state = self.alloc_state.lock();
+        let freed: usize = state.free.values().map(Vec::len).sum();
+        state.next_fresh as usize - freed
+    }
+
+    pub(crate) fn with_alloc_state<R>(&self, f: impl FnOnce(&mut AllocStateView<'_>) -> R) -> R {
+        let mut state = self.alloc_state.lock();
+        let mut view = AllocStateView { state: &mut state };
+        f(&mut view)
+    }
+
+    pub(crate) fn mark_bit(&self, slot: u32) -> &AtomicBool {
+        &self.object(slot).marked
+    }
+
+    pub(crate) fn slot_live(&self, slot: u32) -> bool {
+        self.try_object(slot).is_some_and(|o| o.live.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn object_fields(&self, slot: u32) -> &[AtomicU64] {
+        &self.object(slot).fields
+    }
+
+    pub(crate) fn retire(&self, slot: u32) {
+        let obj = self.object(slot);
+        obj.live.store(false, Ordering::Release);
+        obj.generation.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Restricted view of the allocator state used by the collector.
+pub(crate) struct AllocStateView<'a> {
+    state: &'a mut AllocState,
+}
+
+impl AllocStateView<'_> {
+    pub(crate) fn next_fresh(&self) -> u32 {
+        self.state.next_fresh
+    }
+
+    pub(crate) fn push_free(&mut self, field_count: usize, slot: u32) {
+        self.state.free.entry(field_count).or_default().push(slot);
+    }
+}
+
+impl Drop for Heap {
+    fn drop(&mut self) {
+        let state = self.alloc_state.get_mut();
+        for chunk_index in 0..state.chunk_count {
+            let chunk = *self.chunk_table[chunk_index].get_mut();
+            if chunk.is_null() {
+                continue;
+            }
+            // SAFETY: we have exclusive access; each chunk and each
+            // published object pointer came from `Box::into_raw` and is
+            // dropped exactly once, here.
+            unsafe {
+                for entry in (*chunk).iter() {
+                    let obj = entry.load(Ordering::Relaxed);
+                    if !obj.is_null() {
+                        drop(Box::from_raw(obj));
+                    }
+                }
+                drop(Box::from_raw(chunk));
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Heap")
+            .field("live_objects", &self.live_objects())
+            .field("classes", &self.classes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point_heap() -> (Heap, ClassId) {
+        let heap = Heap::new();
+        let class = heap.define_class(ClassDesc::with_var_fields("Point", &["x", "y"]));
+        (heap, class)
+    }
+
+    #[test]
+    fn alloc_zero_initializes() {
+        let (heap, class) = point_heap();
+        let r = heap.alloc(class).unwrap();
+        assert_eq!(heap.load(r, 0).as_scalar(), Some(0));
+        assert_eq!(heap.load(r, 1).as_scalar(), Some(0));
+        assert_eq!(heap.class_of(r), class);
+        assert_eq!(heap.field_count(r), 2);
+        assert_eq!(heap.header_atomic(r).load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let (heap, class) = point_heap();
+        let a = heap.alloc(class).unwrap();
+        let b = heap.alloc(class).unwrap();
+        heap.store(a, 0, Word::from_scalar(7));
+        heap.store(a, 1, Word::from_ref(b));
+        assert_eq!(heap.load(a, 0).as_scalar(), Some(7));
+        assert_eq!(heap.load(a, 1).as_ref(), Some(b));
+        assert_eq!(heap.load(b, 0).as_scalar(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn field_out_of_bounds_panics() {
+        let (heap, class) = point_heap();
+        let r = heap.alloc(class).unwrap();
+        let _ = heap.load(r, 2);
+    }
+
+    #[test]
+    fn many_allocations_cross_chunks() {
+        let heap = Heap::new();
+        let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["v"]));
+        let mut refs = Vec::new();
+        for i in 0..(CHUNK_SIZE + 10) {
+            let r = heap.alloc(class).unwrap();
+            heap.store(r, 0, Word::from_scalar(i as i64));
+            refs.push(r);
+        }
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(heap.load(*r, 0).as_scalar(), Some(i as i64));
+        }
+        assert_eq!(heap.live_objects(), CHUNK_SIZE + 10);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_race_free() {
+        let heap = std::sync::Arc::new(Heap::new());
+        let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["v"]));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let heap = heap.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut refs = Vec::new();
+                for i in 0..2000 {
+                    let r = heap.alloc(class).unwrap();
+                    heap.store(r, 0, Word::from_scalar(t * 1_000_000 + i));
+                    refs.push((r, t * 1_000_000 + i));
+                }
+                for (r, v) in refs {
+                    assert_eq!(heap.load(r, 0).as_scalar(), Some(v));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(heap.live_objects(), 8 * 2000);
+    }
+
+    #[test]
+    fn for_each_live_visits_exactly_live_objects() {
+        let (heap, class) = point_heap();
+        let a = heap.alloc(class).unwrap();
+        let b = heap.alloc(class).unwrap();
+        let mut seen = Vec::new();
+        heap.for_each_live(|r| seen.push(r));
+        assert_eq!(seen, vec![a, b]);
+        // After collecting `b`, only `a` is visited.
+        heap.collect(&crate::RootSet::from(vec![a]), &[]);
+        let mut seen = Vec::new();
+        heap.for_each_live(|r| seen.push(r));
+        assert_eq!(seen, vec![a]);
+    }
+
+    #[test]
+    fn is_valid_detects_fresh_and_bogus_refs() {
+        let (heap, class) = point_heap();
+        let r = heap.alloc(class).unwrap();
+        assert!(heap.is_valid(r));
+        let bogus = ObjRef::from_parts(999, 0);
+        assert!(!heap.is_valid(bogus));
+    }
+}

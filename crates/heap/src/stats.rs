@@ -1,0 +1,105 @@
+//! Heap counters: allocation, reuse, and collection activity.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters owned by a [`crate::Heap`].
+///
+/// All counters are monotonically increasing and updated with relaxed
+/// atomics; read them through [`HeapStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct HeapStats {
+    allocs: AtomicU64,
+    reuses: AtomicU64,
+    collections: AtomicU64,
+    swept_total: AtomicU64,
+}
+
+impl HeapStats {
+    pub(crate) fn new() -> HeapStats {
+        HeapStats::default()
+    }
+
+    pub(crate) fn record_alloc(&self) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reuse(&self) {
+        self.reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_collection(&self, swept: u64) {
+        self.collections.fetch_add(1, Ordering::Relaxed);
+        self.swept_total.fetch_add(swept, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> HeapStatsSnapshot {
+        HeapStatsSnapshot {
+            fresh_allocs: self.allocs.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            collections: self.collections.load(Ordering::Relaxed),
+            swept_total: self.swept_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`HeapStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStatsSnapshot {
+    /// Objects allocated in fresh slots.
+    pub fresh_allocs: u64,
+    /// Objects allocated by recycling a swept slot.
+    pub reuses: u64,
+    /// Number of collections run.
+    pub collections: u64,
+    /// Objects swept across all collections.
+    pub swept_total: u64,
+}
+
+impl HeapStatsSnapshot {
+    /// Total allocations (fresh plus recycled).
+    pub fn total_allocs(&self) -> u64 {
+        self.fresh_allocs + self.reuses
+    }
+}
+
+impl fmt::Display for HeapStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocs={} (fresh={}, reused={}), collections={}, swept={}",
+            self.total_allocs(),
+            self.fresh_allocs,
+            self.reuses,
+            self.collections,
+            self.swept_total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = HeapStats::new();
+        stats.record_alloc();
+        stats.record_alloc();
+        stats.record_reuse();
+        stats.record_collection(5);
+        let snap = stats.snapshot();
+        assert_eq!(snap.fresh_allocs, 2);
+        assert_eq!(snap.reuses, 1);
+        assert_eq!(snap.total_allocs(), 3);
+        assert_eq!(snap.collections, 1);
+        assert_eq!(snap.swept_total, 5);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let snap = HeapStatsSnapshot::default();
+        assert!(!snap.to_string().is_empty());
+    }
+}

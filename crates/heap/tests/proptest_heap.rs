@@ -1,0 +1,155 @@
+//! Property test: the heap's mark-sweep collector agrees with a model
+//! reachability computation over random object graphs.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use omt_heap::{ClassDesc, Heap, ObjRef, RootSet, Word};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a new object; it becomes root if fewer than 3 roots
+    /// exist.
+    Alloc,
+    /// Store a reference `objects[src].field = objects[dst]`.
+    Link { src: usize, field: usize, dst: usize },
+    /// Null a field.
+    Unlink { src: usize, field: usize },
+    /// Run a collection and cross-check liveness.
+    Collect,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Alloc),
+        3 => (0..64usize, 0..2usize, 0..64usize)
+            .prop_map(|(src, field, dst)| Op::Link { src, field, dst }),
+        1 => (0..64usize, 0..2usize).prop_map(|(src, field)| Op::Unlink { src, field }),
+        1 => Just(Op::Collect),
+    ]
+}
+
+/// Model reachability: roots ∪ transitively linked objects.
+fn model_reachable(
+    roots: &[usize],
+    links: &HashMap<(usize, usize), usize>,
+    allocated: usize,
+) -> HashSet<usize> {
+    let mut live = HashSet::new();
+    let mut stack: Vec<usize> = roots.iter().copied().filter(|r| *r < allocated).collect();
+    while let Some(o) = stack.pop() {
+        if live.insert(o) {
+            for field in 0..2 {
+                if let Some(&dst) = links.get(&(o, field)) {
+                    stack.push(dst);
+                }
+            }
+        }
+    }
+    live
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collector_matches_model_reachability(ops in proptest::collection::vec(op(), 1..80)) {
+        let heap = Heap::new();
+        let class = heap.define_class(ClassDesc::with_var_fields("N", &["a", "b"]));
+
+        // Model state. `objects` maps model id -> ObjRef; dead objects
+        // keep their entry so stale indices in ops are simply skipped.
+        let mut objects: Vec<ObjRef> = Vec::new();
+        let mut dead: HashSet<usize> = HashSet::new();
+        let mut links: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut roots: Vec<usize> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc => {
+                    let r = heap.alloc(class).unwrap();
+                    let id = objects.len();
+                    objects.push(r);
+                    if roots.len() < 3 {
+                        roots.push(id);
+                    }
+                }
+                Op::Link { src, field, dst } => {
+                    let (Some(&s), Some(&d)) = (objects.get(src), objects.get(dst)) else {
+                        continue;
+                    };
+                    if dead.contains(&src) || dead.contains(&dst) {
+                        continue;
+                    }
+                    heap.store(s, field, Word::from_ref(d));
+                    links.insert((src, field), dst);
+                }
+                Op::Unlink { src, field } => {
+                    let Some(&s) = objects.get(src) else { continue };
+                    if dead.contains(&src) {
+                        continue;
+                    }
+                    heap.store(s, field, Word::null());
+                    links.remove(&(src, field));
+                }
+                Op::Collect => {
+                    let root_refs: Vec<ObjRef> =
+                        roots.iter().map(|&i| objects[i]).collect();
+                    heap.collect(&RootSet::from(root_refs), &[]);
+                    let live = model_reachable(&roots, &links, objects.len());
+                    for (id, r) in objects.iter().enumerate() {
+                        if dead.contains(&id) {
+                            continue;
+                        }
+                        let model_live = live.contains(&id);
+                        prop_assert_eq!(
+                            heap.is_valid(*r),
+                            model_live,
+                            "object {} liveness mismatch",
+                            id
+                        );
+                        if !model_live {
+                            dead.insert(id);
+                            links.retain(|(s, _), _| *s != id);
+                        }
+                    }
+                    prop_assert_eq!(heap.live_objects(), live.len());
+                }
+            }
+        }
+
+        // Final collection must agree too.
+        let root_refs: Vec<ObjRef> = roots.iter().map(|&i| objects[i]).collect();
+        heap.collect(&RootSet::from(root_refs), &[]);
+        let live = model_reachable(&roots, &links, objects.len());
+        prop_assert_eq!(heap.live_objects(), live.len());
+    }
+
+    /// Slot recycling: after collecting garbage, new allocations reuse
+    /// slots and never alias a surviving object.
+    #[test]
+    fn recycled_slots_never_alias_survivors(keep in 1..20usize, churn in 1..50usize) {
+        let heap = Heap::new();
+        let class = heap.define_class(ClassDesc::with_var_fields("N", &["v"]));
+        let keepers: Vec<ObjRef> = (0..keep)
+            .map(|i| {
+                let r = heap.alloc(class).unwrap();
+                heap.store(r, 0, Word::from_scalar(i as i64));
+                r
+            })
+            .collect();
+        for _ in 0..churn {
+            heap.alloc(class).unwrap();
+        }
+        heap.collect(&RootSet::from(keepers.clone()), &[]);
+        let fresh: Vec<ObjRef> = (0..churn).map(|_| heap.alloc(class).unwrap()).collect();
+        for f in &fresh {
+            heap.store(*f, 0, Word::from_scalar(-1));
+            prop_assert!(!keepers.contains(f), "fresh ref aliases a survivor");
+        }
+        for (i, k) in keepers.iter().enumerate() {
+            prop_assert_eq!(heap.load(*k, 0).as_scalar(), Some(i as i64));
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! CFG analyses: predecessors, reverse postorder, dominators, natural
+//! loops, and preheader insertion — the machinery the optimization
+//! passes in `omt-opt` are built on.
+
+use std::collections::HashSet;
+
+use crate::ir::{Block, BlockId, IrFunction, Terminator};
+
+/// Precomputed CFG structure for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Reachable blocks in reverse postorder (entry first).
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `function`.
+    pub fn new(function: &IrFunction) -> Cfg {
+        let n = function.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (id, block) in function.iter_blocks() {
+            for s in block.term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+
+        // Iterative postorder DFS from the entry.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::new();
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        while let Some((block, child)) = stack.pop() {
+            if child < succs[block.index()].len() {
+                stack.push((block, child + 1));
+                let next = succs[block.index()][child];
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(block);
+            }
+        }
+        postorder.reverse();
+        let rpo = postorder;
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg { preds, succs, rpo, rpo_index }
+    }
+
+    /// True if the block is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo_index[block.index()] != usize::MAX
+    }
+}
+
+/// Immediate dominators, computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator of `b` (`None` for the entry and
+    /// unreachable blocks).
+    pub idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    pub fn new(cfg: &Cfg) -> Dominators {
+        let n = cfg.preds.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0)); // temporarily self, per the algorithm
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => self::intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom[0] = None; // the entry has no immediate dominator
+        Dominators { idom, rpo_index: cfg.rpo_index.clone() }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[a.index()] == usize::MAX || self.rpo_index[b.index()] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+/// A natural loop: all back edges to one header, merged.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// All blocks in the loop (including the header).
+    pub body: HashSet<BlockId>,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// True if `block` belongs to this loop.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.body.contains(&block)
+    }
+}
+
+/// Finds all natural loops (one per header; multiple back edges merge).
+pub fn natural_loops(cfg: &Cfg, doms: &Dominators) -> Vec<NaturalLoop> {
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for &b in &cfg.rpo {
+        for &succ in &cfg.succs[b.index()] {
+            if doms.dominates(succ, b) {
+                // b -> succ is a back edge; succ is a header.
+                let entry = loops.iter_mut().find(|l| l.header == succ);
+                let l = match entry {
+                    Some(l) => l,
+                    None => {
+                        loops.push(NaturalLoop {
+                            header: succ,
+                            body: HashSet::from([succ]),
+                            latches: Vec::new(),
+                        });
+                        loops.last_mut().expect("just pushed")
+                    }
+                };
+                l.latches.push(b);
+                // Walk predecessors from the latch up to the header.
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if l.body.insert(x) {
+                        for &p in &cfg.preds[x.index()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    loops
+}
+
+/// Inserts a preheader block for `lp`: every edge into the header from
+/// outside the loop is redirected through a fresh block that falls
+/// through to the header. Returns the new block's id.
+///
+/// Invalidates previously computed [`Cfg`]/[`Dominators`]; recompute
+/// after calling.
+pub fn insert_preheader(function: &mut IrFunction, lp: &NaturalLoop) -> BlockId {
+    let header = lp.header;
+    let preheader = BlockId(function.blocks.len() as u32);
+    let in_tx = function.block(header).in_tx;
+    function.blocks.push(Block { insts: Vec::new(), term: Terminator::Jump(header), in_tx });
+
+    let n = function.blocks.len() - 1; // every block except the new one
+    for index in 0..n {
+        let id = BlockId(index as u32);
+        if lp.contains(id) {
+            continue; // latches keep their back edge
+        }
+        let term = &mut function.blocks[index].term;
+        let redirect = |b: &mut BlockId| {
+            if *b == header {
+                *b = preheader;
+            }
+        };
+        match term {
+            Terminator::Jump(b) => redirect(b),
+            Terminator::Branch { then_b, else_b, .. } => {
+                redirect(then_b);
+                redirect(else_b);
+            }
+            Terminator::Return(_) => {}
+        }
+    }
+    preheader
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Inst, Reg};
+
+    /// Builds the diamond: 0 -> {1, 2} -> 3.
+    fn diamond() -> IrFunction {
+        let block = |term: Terminator| Block { insts: Vec::new(), term, in_tx: false };
+        IrFunction {
+            name: "d".into(),
+            param_count: 0,
+            reg_count: 1,
+            blocks: vec![
+                block(Terminator::Branch { cond: Reg(0), then_b: BlockId(1), else_b: BlockId(2) }),
+                block(Terminator::Jump(BlockId(3))),
+                block(Terminator::Jump(BlockId(3))),
+                block(Terminator::Return(None)),
+            ],
+            is_tx_clone: false,
+        }
+    }
+
+    /// Builds a while loop: 0(entry) -> 1(header) -> {2(body), 3(exit)};
+    /// 2 -> 1.
+    fn while_loop() -> IrFunction {
+        let block = |term: Terminator| Block { insts: Vec::new(), term, in_tx: false };
+        IrFunction {
+            name: "w".into(),
+            param_count: 0,
+            reg_count: 1,
+            blocks: vec![
+                block(Terminator::Jump(BlockId(1))),
+                block(Terminator::Branch { cond: Reg(0), then_b: BlockId(2), else_b: BlockId(3) }),
+                block(Terminator::Jump(BlockId(1))),
+                block(Terminator::Return(None)),
+            ],
+            is_tx_clone: false,
+        }
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let doms = Dominators::new(&cfg);
+        assert_eq!(doms.idom[1], Some(BlockId(0)));
+        assert_eq!(doms.idom[2], Some(BlockId(0)));
+        assert_eq!(doms.idom[3], Some(BlockId(0)), "join dominated by the fork, not a branch");
+        assert!(doms.dominates(BlockId(0), BlockId(3)));
+        assert!(!doms.dominates(BlockId(1), BlockId(3)));
+        assert!(doms.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.rpo.len(), 4);
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut f = diamond();
+        f.blocks.push(Block { insts: Vec::new(), term: Terminator::Return(None), in_tx: false });
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(BlockId(4)));
+    }
+
+    #[test]
+    fn while_loop_detected() {
+        let f = while_loop();
+        let cfg = Cfg::new(&f);
+        let doms = Dominators::new(&cfg);
+        let loops = natural_loops(&cfg, &doms);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert!(l.contains(BlockId(1)) && l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(0)) && !l.contains(BlockId(3)));
+    }
+
+    #[test]
+    fn preheader_redirects_entry_edges_only() {
+        let mut f = while_loop();
+        let cfg = Cfg::new(&f);
+        let doms = Dominators::new(&cfg);
+        let loops = natural_loops(&cfg, &doms);
+        let pre = insert_preheader(&mut f, &loops[0]);
+        assert_eq!(pre, BlockId(4));
+        // Entry now jumps to the preheader...
+        assert_eq!(f.blocks[0].term, Terminator::Jump(pre));
+        // ...the latch still jumps straight to the header...
+        assert_eq!(f.blocks[2].term, Terminator::Jump(BlockId(1)));
+        // ...and the preheader falls into the header.
+        assert_eq!(f.blocks[4].term, Terminator::Jump(BlockId(1)));
+        // The loop is still found after recomputation.
+        let cfg = Cfg::new(&f);
+        let doms = Dominators::new(&cfg);
+        let loops = natural_loops(&cfg, &doms);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+    }
+
+    #[test]
+    fn nested_loops_have_two_headers() {
+        let block = |term: Terminator| Block { insts: Vec::new(), term, in_tx: false };
+        // 0 -> 1(outer hdr) -> 2(inner hdr) -> 3(inner latch -> 2 | 4)
+        // 4(outer latch -> 1 | 5 exit)
+        let f = IrFunction {
+            name: "n".into(),
+            param_count: 0,
+            reg_count: 1,
+            blocks: vec![
+                block(Terminator::Jump(BlockId(1))),
+                block(Terminator::Jump(BlockId(2))),
+                block(Terminator::Jump(BlockId(3))),
+                block(Terminator::Branch { cond: Reg(0), then_b: BlockId(2), else_b: BlockId(4) }),
+                block(Terminator::Branch { cond: Reg(0), then_b: BlockId(1), else_b: BlockId(5) }),
+                block(Terminator::Return(None)),
+            ],
+            is_tx_clone: false,
+        };
+        let cfg = Cfg::new(&f);
+        let doms = Dominators::new(&cfg);
+        let mut loops = natural_loops(&cfg, &doms);
+        loops.sort_by_key(|l| l.header);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert!(loops[0].body.len() > loops[1].body.len(), "outer contains inner");
+        assert!(loops[0].contains(BlockId(2)));
+    }
+
+    #[test]
+    fn barrier_counting_helper() {
+        let mut f = diamond();
+        f.blocks[1].insts.push(Inst::OpenForRead { obj: Reg(0) });
+        f.blocks[2].insts.push(Inst::OpenForUpdate { obj: Reg(0) });
+        assert_eq!(f.barrier_counts(), (1, 1, 0));
+    }
+}

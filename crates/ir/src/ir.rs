@@ -1,0 +1,529 @@
+//! IR definitions: programs, functions, blocks, instructions.
+//!
+//! The IR is a conventional register-based CFG with one addition — the
+//! paper's *decomposed STM operations* are first-class instructions:
+//!
+//! - [`Inst::OpenForRead`] / [`Inst::OpenForUpdate`] / [`Inst::LogForUndo`]
+//!   are ordinary instructions that optimization passes may merge, move,
+//!   or delete;
+//! - [`Inst::GetField`] / [`Inst::SetField`] are *raw* data accesses —
+//!   inside a transactional region their soundness depends on the opens
+//!   the optimizer leaves in place;
+//! - [`Inst::TxBegin`] / [`Inst::TxCommit`] delimit atomic regions in
+//!   non-transactional functions (transactional *clones* are marked
+//!   whole-function instead, mirroring Bartok's transactional method
+//!   clones).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A basic-block id within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index into [`IrFunction::blocks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A function id within an [`IrProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// A class id within an [`IrProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IrClassId(pub u32);
+
+/// One field of an IR class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrField {
+    /// Field name (for printing and heap registration).
+    pub name: String,
+    /// True for `val` fields: reads need no barrier (O4 elision).
+    pub immutable: bool,
+    /// True for class-typed fields: zero-arg `new` initializes them to
+    /// null instead of scalar zero, and the GC traces them.
+    pub is_ref: bool,
+}
+
+/// An IR class: name plus field metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrClass {
+    /// Class name.
+    pub name: String,
+    /// Fields in layout order.
+    pub fields: Vec<IrField>,
+}
+
+/// Binary operators over heap words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOpKind {
+    /// Wrapping 63-bit addition.
+    Add,
+    /// Wrapping 63-bit subtraction.
+    Sub,
+    /// Wrapping 63-bit multiplication.
+    Mul,
+    /// Integer division (traps on zero divisor).
+    Div,
+    /// Remainder (traps on zero divisor).
+    Mod,
+    /// Equality (bitwise: scalars by value, references by identity).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOpKind {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = const value`
+    Const {
+        /// Destination.
+        dst: Reg,
+        /// 63-bit scalar value.
+        value: i64,
+    },
+    /// `dst = null`
+    Null {
+        /// Destination.
+        dst: Reg,
+    },
+    /// `dst = src`
+    Copy {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// `dst = op src`
+    UnOp {
+        /// Destination.
+        dst: Reg,
+        /// Operator.
+        op: UnOpKind,
+        /// Operand.
+        src: Reg,
+    },
+    /// `dst = lhs op rhs`
+    BinOp {
+        /// Destination.
+        dst: Reg,
+        /// Operator.
+        op: BinOpKind,
+        /// Left operand.
+        lhs: Reg,
+        /// Right operand.
+        rhs: Reg,
+    },
+    /// `dst = new Class(args...)` — empty `args` zero-initializes.
+    New {
+        /// Destination.
+        dst: Reg,
+        /// Class to instantiate.
+        class: IrClassId,
+        /// Field initializers (all fields, or none).
+        args: Vec<Reg>,
+    },
+    /// `dst = obj.field` — raw data load (no barrier).
+    GetField {
+        /// Destination.
+        dst: Reg,
+        /// Object register.
+        obj: Reg,
+        /// Static class (for field metadata).
+        class: IrClassId,
+        /// Field index.
+        field: u32,
+    },
+    /// `obj.field = src` — raw data store (no barrier).
+    SetField {
+        /// Object register.
+        obj: Reg,
+        /// Static class.
+        class: IrClassId,
+        /// Field index.
+        field: u32,
+        /// Value to store.
+        src: Reg,
+    },
+    /// `open_for_read obj` — no-op on null.
+    OpenForRead {
+        /// Object register.
+        obj: Reg,
+    },
+    /// `open_for_update obj` — no-op on null.
+    OpenForUpdate {
+        /// Object register.
+        obj: Reg,
+    },
+    /// `log_for_undo obj.field` — no-op on null.
+    LogForUndo {
+        /// Object register.
+        obj: Reg,
+        /// Static class.
+        class: IrClassId,
+        /// Field index.
+        field: u32,
+    },
+    /// `dst = call func(args...)`
+    Call {
+        /// Destination (`None` for unit functions).
+        dst: Option<Reg>,
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<Reg>,
+    },
+    /// Start of an atomic region (only in non-clone functions).
+    TxBegin,
+    /// End of an atomic region (only in non-clone functions).
+    TxCommit,
+}
+
+impl Inst {
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Null { dst }
+            | Inst::Copy { dst, .. }
+            | Inst::UnOp { dst, .. }
+            | Inst::BinOp { dst, .. }
+            | Inst::New { dst, .. }
+            | Inst::GetField { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Registers this instruction reads.
+    pub fn uses(&self, mut f: impl FnMut(Reg)) {
+        match self {
+            Inst::Const { .. } | Inst::Null { .. } | Inst::TxBegin | Inst::TxCommit => {}
+            Inst::Copy { src, .. } | Inst::UnOp { src, .. } => f(*src),
+            Inst::BinOp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Inst::New { args, .. } => args.iter().copied().for_each(f),
+            Inst::GetField { obj, .. }
+            | Inst::OpenForRead { obj }
+            | Inst::OpenForUpdate { obj }
+            | Inst::LogForUndo { obj, .. } => f(*obj),
+            Inst::SetField { obj, src, .. } => {
+                f(*obj);
+                f(*src);
+            }
+            Inst::Call { args, .. } => args.iter().copied().for_each(f),
+        }
+    }
+
+    /// True for the three decomposed STM operations.
+    pub fn is_barrier(&self) -> bool {
+        matches!(
+            self,
+            Inst::OpenForRead { .. } | Inst::OpenForUpdate { .. } | Inst::LogForUndo { .. }
+        )
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a boolean register.
+    Branch {
+        /// Condition register (scalar 0 = false).
+        cond: Reg,
+        /// Target when true.
+        then_b: BlockId,
+        /// Target when false.
+        else_b: BlockId,
+    },
+    /// Function return.
+    Return(Option<Reg>),
+}
+
+impl Terminator {
+    /// Successor block ids.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_b, else_b, .. } => vec![*then_b, *else_b],
+            Terminator::Return(_) => vec![],
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+    /// True if this block executes inside a transaction (atomic region
+    /// or transactional clone) — the domain of barrier insertion.
+    pub in_tx: bool,
+}
+
+/// An IR function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrFunction {
+    /// Function name (clones are suffixed `$tx`).
+    pub name: String,
+    /// Number of parameters; they occupy registers `0..param_count`.
+    pub param_count: u32,
+    /// Total virtual registers.
+    pub reg_count: u32,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// True for transactional clones: every block is `in_tx` and the
+    /// function contains no `TxBegin`/`TxCommit` markers.
+    pub is_tx_clone: bool,
+}
+
+impl IrFunction {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The block with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to the block with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates `(BlockId, &Block)`.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Counts instructions matching `pred` across all blocks.
+    pub fn count_insts(&self, pred: impl Fn(&Inst) -> bool) -> usize {
+        self.blocks.iter().map(|b| b.insts.iter().filter(|i| pred(i)).count()).sum()
+    }
+
+    /// Static barrier-count summary `(open_read, open_update, log_undo)`.
+    pub fn barrier_counts(&self) -> (usize, usize, usize) {
+        (
+            self.count_insts(|i| matches!(i, Inst::OpenForRead { .. })),
+            self.count_insts(|i| matches!(i, Inst::OpenForUpdate { .. })),
+            self.count_insts(|i| matches!(i, Inst::LogForUndo { .. })),
+        )
+    }
+}
+
+/// A whole IR program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IrProgram {
+    /// Classes (indexed by [`IrClassId`]).
+    pub classes: Vec<IrClass>,
+    /// Functions (indexed by [`FuncId`]).
+    pub functions: Vec<IrFunction>,
+    pub(crate) by_name: HashMap<String, FuncId>,
+}
+
+impl IrProgram {
+    /// Looks a function up by name (`foo` or `foo$tx`).
+    pub fn function_id(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The function with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &IrFunction {
+        &self.functions[id.0 as usize]
+    }
+
+    /// The class with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class(&self, id: IrClassId) -> &IrClass {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Registers a function, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn add_function(&mut self, function: IrFunction) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        let previous = self.by_name.insert(function.name.clone(), id);
+        assert!(previous.is_none(), "duplicate IR function `{}`", function.name);
+        self.functions.push(function);
+        id
+    }
+
+    /// Total static barrier counts `(open_read, open_update, log_undo)`
+    /// across all functions.
+    pub fn barrier_counts(&self) -> (usize, usize, usize) {
+        let mut totals = (0, 0, 0);
+        for f in &self.functions {
+            let (r, u, n) = f.barrier_counts();
+            totals.0 += r;
+            totals.1 += u;
+            totals.2 += n;
+        }
+        totals
+    }
+}
+
+// ---------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Null { dst } => write!(f, "{dst} = null"),
+            Inst::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::UnOp { dst, op, src } => write!(f, "{dst} = {op:?} {src}"),
+            Inst::BinOp { dst, op, lhs, rhs } => write!(f, "{dst} = {op:?} {lhs}, {rhs}"),
+            Inst::New { dst, class, args } => {
+                write!(f, "{dst} = new c{}(", class.0)?;
+                fmt_regs(f, args)?;
+                write!(f, ")")
+            }
+            Inst::GetField { dst, obj, class, field } => {
+                write!(f, "{dst} = getfield {obj}.c{}#{field}", class.0)
+            }
+            Inst::SetField { obj, class, field, src } => {
+                write!(f, "setfield {obj}.c{}#{field} = {src}", class.0)
+            }
+            Inst::OpenForRead { obj } => write!(f, "open_for_read {obj}"),
+            Inst::OpenForUpdate { obj } => write!(f, "open_for_update {obj}"),
+            Inst::LogForUndo { obj, class, field } => {
+                write!(f, "log_for_undo {obj}.c{}#{field}", class.0)
+            }
+            Inst::Call { dst, func, args } => {
+                if let Some(dst) = dst {
+                    write!(f, "{dst} = ")?;
+                }
+                write!(f, "call f{}(", func.0)?;
+                fmt_regs(f, args)?;
+                write!(f, ")")
+            }
+            Inst::TxBegin => write!(f, "tx_begin"),
+            Inst::TxCommit => write!(f, "tx_commit"),
+        }
+    }
+}
+
+fn fmt_regs(f: &mut fmt::Formatter<'_>, regs: &[Reg]) -> fmt::Result {
+    for (i, r) in regs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{r}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::Branch { cond, then_b, else_b } => {
+                write!(f, "branch {cond} ? {then_b} : {else_b}")
+            }
+            Terminator::Return(Some(r)) => write!(f, "return {r}"),
+            Terminator::Return(None) => write!(f, "return"),
+        }
+    }
+}
+
+impl fmt::Display for IrFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {}({} params, {} regs){}:",
+            self.name,
+            self.param_count,
+            self.reg_count,
+            if self.is_tx_clone { " [tx-clone]" } else { "" }
+        )?;
+        for (id, block) in self.iter_blocks() {
+            writeln!(f, "{id}{}:", if block.in_tx { " [tx]" } else { "" })?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IrProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, class) in self.classes.iter().enumerate() {
+            write!(f, "class c{i} {} {{ ", class.name)?;
+            for field in &class.fields {
+                write!(f, "{}{} ", if field.immutable { "val " } else { "" }, field.name)?;
+            }
+            writeln!(f, "}}")?;
+        }
+        for (i, function) in self.functions.iter().enumerate() {
+            writeln!(f, "; f{i}")?;
+            write!(f, "{function}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,47 @@
+//! # omt-ir — CFG IR with decomposed STM operations
+//!
+//! The central idea of *"Optimizing memory transactions"* (PLDI 2006)
+//! is to expose STM barriers to the compiler as ordinary intermediate
+//! operations. This crate defines that IR and its supporting analyses:
+//!
+//! - [`IrProgram`] / [`IrFunction`] / [`Inst`]: a register-based CFG IR
+//!   whose instruction set includes `OpenForRead`, `OpenForUpdate`,
+//!   `LogForUndo`, raw field accesses, and atomic-region markers;
+//! - [`lower`]: AST → IR, generating a transactional clone (`f$tx`) of
+//!   every function, as Bartok does for methods callable inside
+//!   transactions;
+//! - [`Cfg`] / [`Dominators`] / [`natural_loops`] /
+//!   [`insert_preheader`]: the CFG machinery the optimization passes in
+//!   `omt-opt` are built on;
+//! - [`verify`]: structural invariants, run between passes in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use omt_lang::{parse, check};
+//! use omt_ir::{lower, verify};
+//!
+//! let program = parse("
+//!     class C { var x: int; }
+//!     fn bump(c: C) { atomic { c.x = c.x + 1; } }
+//! ")?;
+//! let info = check(&program)?;
+//! let ir = lower(&program, &info);
+//! verify(&ir)?;
+//! println!("{ir}"); // textual IR
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cfg;
+mod ir;
+mod lower;
+mod verify;
+
+pub use cfg::{insert_preheader, natural_loops, Cfg, Dominators, NaturalLoop};
+pub use ir::{BinOpKind, Block, BlockId, FuncId, Inst, IrClass, IrClassId, IrField, IrFunction,
+    IrProgram, Reg, Terminator, UnOpKind};
+pub use lower::lower;
+pub use verify::{verify, VerifyError};

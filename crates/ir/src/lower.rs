@@ -1,0 +1,538 @@
+//! Lowering: typed TxIL AST → IR.
+//!
+//! Every source function is lowered **twice**, mirroring Bartok's
+//! transactional method clones:
+//!
+//! - the *normal* version, where `atomic { ... }` produces
+//!   `TxBegin`/`TxCommit` markers around blocks flagged `in_tx`, and
+//!   calls inside the region target transactional clones;
+//! - the *transactional clone* (`name$tx`), whose every block is
+//!   `in_tx`, used for calls made from inside transactions (nested
+//!   `atomic` flattens).
+//!
+//! No STM barriers are emitted here: barrier insertion is itself a
+//! compiler pass (`omt_opt::insert_barriers`), so that the whole
+//! pipeline — insertion, then optimization — is visible in the IR.
+
+use std::collections::HashMap;
+
+use omt_lang::ast::{self, BinOp, ExprKind, StmtKind, UnOp};
+use omt_lang::{Type, TypeInfo};
+
+use crate::ir::*;
+
+/// Lowers a type-checked program to IR.
+///
+/// # Panics
+///
+/// Panics if `info` does not belong to `program` (lowering relies on
+/// the type checker's guarantees).
+///
+/// # Examples
+///
+/// ```
+/// use omt_lang::{parse, check};
+/// use omt_ir::lower;
+///
+/// let program = parse("fn f(x: int) -> int { return x + 1; }")?;
+/// let info = check(&program)?;
+/// let ir = lower(&program, &info);
+/// assert!(ir.function_id("f").is_some());
+/// assert!(ir.function_id("f$tx").is_some());
+/// # Ok::<(), omt_lang::Diagnostics>(())
+/// ```
+pub fn lower(program: &ast::Program, info: &TypeInfo) -> IrProgram {
+    let mut ir = IrProgram::default();
+    for class in &info.classes.classes {
+        ir.classes.push(IrClass {
+            name: class.name.clone(),
+            fields: class
+                .fields
+                .iter()
+                .map(|f| IrField {
+                    name: f.name.clone(),
+                    immutable: f.immutable,
+                    is_ref: matches!(f.ty, Type::Class(_)),
+                })
+                .collect(),
+        });
+    }
+
+    // Precompute ids: source function i → normal 2i, clone 2i+1.
+    let mut fn_ids: HashMap<String, (FuncId, FuncId)> = HashMap::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        fn_ids.insert(f.name.clone(), (FuncId(2 * i as u32), FuncId(2 * i as u32 + 1)));
+    }
+
+    for decl in &program.functions {
+        let normal = FnLowerer::new(program, info, &fn_ids, decl, false).run();
+        let clone = FnLowerer::new(program, info, &fn_ids, decl, true).run();
+        ir.add_function(normal);
+        ir.add_function(clone);
+    }
+    ir
+}
+
+struct PendingBlock {
+    insts: Vec<Inst>,
+    term: Option<Terminator>,
+    in_tx: bool,
+}
+
+struct FnLowerer<'a> {
+    info: &'a TypeInfo,
+    fn_ids: &'a HashMap<String, (FuncId, FuncId)>,
+    decl: &'a ast::FnDecl,
+    is_clone: bool,
+    blocks: Vec<PendingBlock>,
+    current: usize,
+    reg_count: u32,
+    scopes: Vec<HashMap<String, Reg>>,
+    in_tx: bool,
+}
+
+impl<'a> FnLowerer<'a> {
+    fn new(
+        _program: &'a ast::Program,
+        info: &'a TypeInfo,
+        fn_ids: &'a HashMap<String, (FuncId, FuncId)>,
+        decl: &'a ast::FnDecl,
+        is_clone: bool,
+    ) -> FnLowerer<'a> {
+        FnLowerer {
+            info,
+            fn_ids,
+            decl,
+            is_clone,
+            blocks: vec![PendingBlock { insts: Vec::new(), term: None, in_tx: is_clone }],
+            current: 0,
+            reg_count: 0,
+            scopes: vec![HashMap::new()],
+            in_tx: is_clone,
+        }
+    }
+
+    fn run(mut self) -> IrFunction {
+        for param in &self.decl.params {
+            let reg = self.fresh();
+            self.scopes[0].insert(param.name.clone(), reg);
+        }
+        let body = &self.decl.body;
+        self.lower_block(body);
+        if self.blocks[self.current].term.is_none() {
+            self.terminate(Terminator::Return(None));
+        }
+        // Terminate any dangling blocks (e.g. after a `return` in both
+        // branches, the join block is unreachable but must be valid).
+        for b in &mut self.blocks {
+            if b.term.is_none() {
+                b.term = Some(Terminator::Return(None));
+            }
+        }
+        IrFunction {
+            name: if self.is_clone {
+                format!("{}$tx", self.decl.name)
+            } else {
+                self.decl.name.clone()
+            },
+            param_count: self.decl.params.len() as u32,
+            reg_count: self.reg_count,
+            blocks: self
+                .blocks
+                .into_iter()
+                .map(|b| Block {
+                    insts: b.insts,
+                    term: b.term.expect("all blocks terminated"),
+                    in_tx: b.in_tx,
+                })
+                .collect(),
+            is_tx_clone: self.is_clone,
+        }
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let reg = Reg(self.reg_count);
+        self.reg_count += 1;
+        reg
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        assert!(self.blocks[self.current].term.is_none(), "emitting into terminated block");
+        self.blocks[self.current].insts.push(inst);
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock { insts: Vec::new(), term: None, in_tx: self.in_tx });
+        id
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let block = &mut self.blocks[self.current];
+        if block.term.is_none() {
+            block.term = Some(term);
+        }
+    }
+
+    fn switch_to(&mut self, block: BlockId) {
+        self.current = block.index();
+    }
+
+    fn lookup(&self, name: &str) -> Reg {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).copied())
+            .expect("type checker verified variable exists")
+    }
+
+    fn lower_block(&mut self, block: &ast::Block) {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.lower_stmt(stmt);
+            if self.blocks[self.current].term.is_some() {
+                break; // unreachable code after return
+            }
+        }
+        self.scopes.pop();
+    }
+
+    fn lower_stmt(&mut self, stmt: &ast::Stmt) {
+        match &stmt.kind {
+            StmtKind::Let { name, init, .. } => {
+                let value = self.lower_expr(init).expect("let initializer has a value");
+                let reg = self.fresh();
+                self.emit(Inst::Copy { dst: reg, src: value });
+                self.scopes.last_mut().expect("scope").insert(name.clone(), reg);
+            }
+            StmtKind::Assign { target, value } => match &target.kind {
+                ExprKind::Var(name) => {
+                    let src = self.lower_expr(value).expect("assignment rhs has a value");
+                    let dst = self.lookup(name);
+                    self.emit(Inst::Copy { dst, src });
+                }
+                ExprKind::Field { obj, field } => {
+                    let obj_reg = self.lower_expr(obj).expect("object expression");
+                    let src = self.lower_expr(value).expect("assignment rhs has a value");
+                    let (class, field) = self.field_ref(obj, field);
+                    self.emit(Inst::SetField { obj: obj_reg, class, field, src });
+                }
+                _ => unreachable!("parser restricts assignment targets"),
+            },
+            StmtKind::If { cond, then_blk, else_blk } => {
+                let cond_reg = self.lower_expr(cond).expect("condition");
+                let then_b = self.new_block();
+                let else_b = self.new_block();
+                let join = self.new_block();
+                self.terminate(Terminator::Branch { cond: cond_reg, then_b, else_b });
+                self.switch_to(then_b);
+                self.lower_block(then_blk);
+                self.terminate(Terminator::Jump(join));
+                self.switch_to(else_b);
+                if let Some(e) = else_blk {
+                    self.lower_block(e);
+                }
+                self.terminate(Terminator::Jump(join));
+                self.switch_to(join);
+            }
+            StmtKind::While { cond, body } => {
+                let header = self.new_block();
+                self.terminate(Terminator::Jump(header));
+                self.switch_to(header);
+                let cond_reg = self.lower_expr(cond).expect("condition");
+                let body_b = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Terminator::Branch { cond: cond_reg, then_b: body_b, else_b: exit });
+                self.switch_to(body_b);
+                self.lower_block(body);
+                self.terminate(Terminator::Jump(header));
+                self.switch_to(exit);
+            }
+            StmtKind::Atomic { body } => {
+                if self.in_tx {
+                    // Nested or clone context: flatten.
+                    self.lower_block(body);
+                } else {
+                    self.emit(Inst::TxBegin);
+                    self.in_tx = true;
+                    let region = self.new_block();
+                    self.terminate(Terminator::Jump(region));
+                    self.switch_to(region);
+                    self.lower_block(body);
+                    self.in_tx = false;
+                    let after = self.new_block();
+                    self.terminate(Terminator::Jump(after));
+                    self.switch_to(after);
+                    self.emit(Inst::TxCommit);
+                }
+            }
+            StmtKind::Return { value } => {
+                let reg = value.as_ref().map(|v| self.lower_expr(v).expect("return value"));
+                self.terminate(Terminator::Return(reg));
+            }
+            StmtKind::Expr { expr } => {
+                self.lower_expr(expr);
+            }
+        }
+    }
+
+    fn field_ref(&self, obj: &ast::Expr, field: &str) -> (IrClassId, u32) {
+        let Type::Class(class_index) = self.info.type_of(obj.id) else {
+            unreachable!("type checker verified field access object");
+        };
+        let field_index = self
+            .info
+            .classes
+            .class(class_index)
+            .field_index(field)
+            .expect("type checker verified field");
+        (IrClassId(class_index as u32), field_index as u32)
+    }
+
+    /// Lowers an expression; `None` for unit-typed calls.
+    fn lower_expr(&mut self, expr: &ast::Expr) -> Option<Reg> {
+        match &expr.kind {
+            ExprKind::Int(v) => {
+                let dst = self.fresh();
+                self.emit(Inst::Const { dst, value: *v });
+                Some(dst)
+            }
+            ExprKind::Bool(b) => {
+                let dst = self.fresh();
+                self.emit(Inst::Const { dst, value: i64::from(*b) });
+                Some(dst)
+            }
+            ExprKind::Null => {
+                let dst = self.fresh();
+                self.emit(Inst::Null { dst });
+                Some(dst)
+            }
+            ExprKind::Var(name) => Some(self.lookup(name)),
+            ExprKind::Field { obj, field } => {
+                let obj_reg = self.lower_expr(obj).expect("object expression");
+                let (class, field) = self.field_ref(obj, field);
+                let dst = self.fresh();
+                self.emit(Inst::GetField { dst, obj: obj_reg, class, field });
+                Some(dst)
+            }
+            ExprKind::Unary { op, expr: inner } => {
+                let src = self.lower_expr(inner).expect("unary operand");
+                let dst = self.fresh();
+                let op = match op {
+                    UnOp::Neg => UnOpKind::Neg,
+                    UnOp::Not => UnOpKind::Not,
+                };
+                self.emit(Inst::UnOp { dst, op, src });
+                Some(dst)
+            }
+            ExprKind::Binary { op: BinOp::And, lhs, rhs } => {
+                Some(self.lower_short_circuit(lhs, rhs, true))
+            }
+            ExprKind::Binary { op: BinOp::Or, lhs, rhs } => {
+                Some(self.lower_short_circuit(lhs, rhs, false))
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.lower_expr(lhs).expect("binary lhs");
+                let r = self.lower_expr(rhs).expect("binary rhs");
+                let dst = self.fresh();
+                let op = match op {
+                    BinOp::Add => BinOpKind::Add,
+                    BinOp::Sub => BinOpKind::Sub,
+                    BinOp::Mul => BinOpKind::Mul,
+                    BinOp::Div => BinOpKind::Div,
+                    BinOp::Mod => BinOpKind::Mod,
+                    BinOp::Eq => BinOpKind::Eq,
+                    BinOp::Ne => BinOpKind::Ne,
+                    BinOp::Lt => BinOpKind::Lt,
+                    BinOp::Le => BinOpKind::Le,
+                    BinOp::Gt => BinOpKind::Gt,
+                    BinOp::Ge => BinOpKind::Ge,
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                self.emit(Inst::BinOp { dst, op, lhs: l, rhs: r });
+                Some(dst)
+            }
+            ExprKind::Call { callee, args } => {
+                let arg_regs: Vec<Reg> =
+                    args.iter().map(|a| self.lower_expr(a).expect("call argument")).collect();
+                let (normal, tx) = self.fn_ids[callee.as_str()];
+                let func = if self.in_tx { tx } else { normal };
+                let has_value = self.info.try_type_of(expr.id).is_some()
+                    && self.sig_has_ret(callee);
+                let dst = if has_value { Some(self.fresh()) } else { None };
+                self.emit(Inst::Call { dst, func, args: arg_regs });
+                dst
+            }
+            ExprKind::New { class, args } => {
+                let arg_regs: Vec<Reg> =
+                    args.iter().map(|a| self.lower_expr(a).expect("initializer")).collect();
+                let class_index =
+                    self.info.classes.lookup(class).expect("type checker verified class");
+                let dst = self.fresh();
+                self.emit(Inst::New { dst, class: IrClassId(class_index as u32), args: arg_regs });
+                Some(dst)
+            }
+        }
+    }
+
+    fn sig_has_ret(&self, callee: &str) -> bool {
+        self.info
+            .functions
+            .lookup(callee)
+            .map(|i| self.info.functions.sigs[i].ret.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Lowers `lhs && rhs` (and=true) or `lhs || rhs` (and=false) with
+    /// short-circuit control flow.
+    fn lower_short_circuit(&mut self, lhs: &ast::Expr, rhs: &ast::Expr, and: bool) -> Reg {
+        let result = self.fresh();
+        let l = self.lower_expr(lhs).expect("lhs");
+        let rhs_b = self.new_block();
+        let short_b = self.new_block();
+        let join = self.new_block();
+        if and {
+            self.terminate(Terminator::Branch { cond: l, then_b: rhs_b, else_b: short_b });
+        } else {
+            self.terminate(Terminator::Branch { cond: l, then_b: short_b, else_b: rhs_b });
+        }
+        self.switch_to(rhs_b);
+        let r = self.lower_expr(rhs).expect("rhs");
+        self.emit(Inst::Copy { dst: result, src: r });
+        self.terminate(Terminator::Jump(join));
+        self.switch_to(short_b);
+        self.emit(Inst::Const { dst: result, value: i64::from(!and) });
+        self.terminate(Terminator::Jump(join));
+        self.switch_to(join);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_lang::{check, parse};
+
+    fn lower_src(src: &str) -> IrProgram {
+        let program = parse(src).expect("parse");
+        let info = check(&program).expect("check");
+        lower(&program, &info)
+    }
+
+    #[test]
+    fn every_function_gets_a_tx_clone() {
+        let ir = lower_src("fn a() {} fn b() {}");
+        assert_eq!(ir.functions.len(), 4);
+        assert!(ir.function_id("a").is_some());
+        assert!(ir.function_id("a$tx").is_some());
+        assert!(ir.function(ir.function_id("a$tx").unwrap()).is_tx_clone);
+    }
+
+    #[test]
+    fn atomic_produces_markers_and_tx_blocks() {
+        let ir = lower_src(
+            "class C { var x: int; }
+             fn f(c: C) { atomic { c.x = 1; } }",
+        );
+        let f = ir.function(ir.function_id("f").unwrap());
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::TxBegin)), 1);
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::TxCommit)), 1);
+        assert!(f.blocks.iter().any(|b| b.in_tx), "atomic body blocks are flagged");
+        // No barriers at lowering time: insertion is a pass.
+        assert_eq!(f.barrier_counts(), (0, 0, 0));
+    }
+
+    #[test]
+    fn clones_have_no_markers_and_all_tx_blocks() {
+        let ir = lower_src(
+            "class C { var x: int; }
+             fn f(c: C) { atomic { c.x = 1; } }",
+        );
+        let f = ir.function(ir.function_id("f$tx").unwrap());
+        assert_eq!(f.count_insts(|i| matches!(i, Inst::TxBegin | Inst::TxCommit)), 0);
+        assert!(f.blocks.iter().all(|b| b.in_tx));
+    }
+
+    #[test]
+    fn calls_inside_atomic_target_clones() {
+        let ir = lower_src(
+            "fn helper() {}
+             fn f() { helper(); atomic { helper(); } }",
+        );
+        let f = ir.function(ir.function_id("f").unwrap());
+        let helper = ir.function_id("helper").unwrap();
+        let helper_tx = ir.function_id("helper$tx").unwrap();
+        let mut called = Vec::new();
+        for b in &f.blocks {
+            for inst in &b.insts {
+                if let Inst::Call { func, .. } = inst {
+                    called.push(*func);
+                }
+            }
+        }
+        assert!(called.contains(&helper));
+        assert!(called.contains(&helper_tx));
+    }
+
+    #[test]
+    fn while_produces_a_loop() {
+        let ir = lower_src("fn f(n: int) { let i = 0; while i < n { i = i + 1; } }");
+        let f = ir.function(ir.function_id("f").unwrap());
+        let cfg = crate::cfg::Cfg::new(f);
+        let doms = crate::cfg::Dominators::new(&cfg);
+        let loops = crate::cfg::natural_loops(&cfg, &doms);
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn short_circuit_and_skips_rhs() {
+        let ir = lower_src("fn f(a: bool, b: bool) -> bool { return a && b; }");
+        let f = ir.function(ir.function_id("f").unwrap());
+        // The entry must branch before evaluating b.
+        assert!(matches!(f.blocks[0].term, Terminator::Branch { .. }));
+    }
+
+    #[test]
+    fn field_access_carries_class_metadata() {
+        let ir = lower_src(
+            "class P { val x: int; var y: int; }
+             fn f(p: P) -> int { return p.x + p.y; }",
+        );
+        let f = ir.function(ir.function_id("f").unwrap());
+        let gets: Vec<_> = f.blocks[0]
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::GetField { class, field, .. } => Some((*class, *field)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gets, vec![(IrClassId(0), 0), (IrClassId(0), 1)]);
+        assert!(ir.class(IrClassId(0)).fields[0].immutable);
+        assert!(!ir.class(IrClassId(0)).fields[1].immutable);
+    }
+
+    #[test]
+    fn returns_in_both_branches_leave_valid_ir() {
+        let ir = lower_src("fn f(c: bool) -> int { if c { return 1; } else { return 2; } }");
+        let f = ir.function(ir.function_id("f").unwrap());
+        for b in &f.blocks {
+            let _ = &b.term; // all blocks terminated (would have panicked in lowering)
+        }
+    }
+
+    #[test]
+    fn printer_round_trips_key_syntax() {
+        let ir = lower_src(
+            "class C { var x: int; }
+             fn f(c: C) { atomic { c.x = c.x + 1; } }",
+        );
+        let text = ir.to_string();
+        assert!(text.contains("tx_begin"));
+        assert!(text.contains("tx_commit"));
+        assert!(text.contains("getfield"));
+        assert!(text.contains("setfield"));
+        assert!(text.contains("[tx]"));
+        assert!(text.contains("f$tx"));
+    }
+}

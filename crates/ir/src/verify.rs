@@ -1,0 +1,217 @@
+//! IR validity checks, run after lowering and after every optimization
+//! pass in tests.
+
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::ir::*;
+
+/// An IR invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function where the violation occurred.
+    pub function: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in `{}`: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies structural invariants of a whole program.
+///
+/// # Errors
+///
+/// Returns the first violation found: out-of-range registers, blocks,
+/// classes, fields or functions; barriers outside transactional blocks;
+/// transaction markers inside clones.
+pub fn verify(program: &IrProgram) -> Result<(), VerifyError> {
+    for function in &program.functions {
+        verify_function(program, function)?;
+    }
+    Ok(())
+}
+
+fn err(function: &IrFunction, message: impl Into<String>) -> VerifyError {
+    VerifyError { function: function.name.clone(), message: message.into() }
+}
+
+fn verify_function(program: &IrProgram, function: &IrFunction) -> Result<(), VerifyError> {
+    if function.blocks.is_empty() {
+        return Err(err(function, "function has no blocks"));
+    }
+    if function.param_count > function.reg_count {
+        return Err(err(function, "more parameters than registers"));
+    }
+
+    let check_reg = |r: Reg| -> Result<(), VerifyError> {
+        if r.0 >= function.reg_count {
+            Err(err(function, format!("register {r} out of range")))
+        } else {
+            Ok(())
+        }
+    };
+    let check_block = |b: BlockId| -> Result<(), VerifyError> {
+        if b.index() >= function.blocks.len() {
+            Err(err(function, format!("block {b} out of range")))
+        } else {
+            Ok(())
+        }
+    };
+    let check_field = |class: IrClassId, field: u32| -> Result<(), VerifyError> {
+        let Some(c) = program.classes.get(class.0 as usize) else {
+            return Err(err(function, format!("class c{} out of range", class.0)));
+        };
+        if field as usize >= c.fields.len() {
+            return Err(err(function, format!("field #{field} out of range for `{}`", c.name)));
+        }
+        Ok(())
+    };
+
+    for (id, block) in function.iter_blocks() {
+        for inst in &block.insts {
+            if let Some(d) = inst.def() {
+                check_reg(d)?;
+            }
+            let mut use_err = Ok(());
+            inst.uses(|r| {
+                if use_err.is_ok() {
+                    use_err = check_reg(r);
+                }
+            });
+            use_err?;
+
+            match inst {
+                Inst::New { class, args, .. } => {
+                    let Some(c) = program.classes.get(class.0 as usize) else {
+                        return Err(err(function, format!("class c{} out of range", class.0)));
+                    };
+                    if !args.is_empty() && args.len() != c.fields.len() {
+                        return Err(err(
+                            function,
+                            format!("new `{}` with {} of {} initializers", c.name, args.len(), c.fields.len()),
+                        ));
+                    }
+                }
+                Inst::GetField { class, field, .. }
+                | Inst::SetField { class, field, .. }
+                | Inst::LogForUndo { class, field, .. } => check_field(*class, *field)?,
+                Inst::Call { func, .. }
+                    if program.functions.get(func.0 as usize).is_none() =>
+                {
+                    return Err(err(function, format!("call to unknown f{}", func.0)));
+                }
+                Inst::TxBegin | Inst::TxCommit if function.is_tx_clone => {
+                    return Err(err(function, "transaction marker inside a tx clone"));
+                }
+                _ => {}
+            }
+
+            if inst.is_barrier() && !block.in_tx {
+                return Err(err(
+                    function,
+                    format!("barrier `{inst}` outside a transactional block ({id})"),
+                ));
+            }
+        }
+        match &block.term {
+            Terminator::Jump(b) => check_block(*b)?,
+            Terminator::Branch { cond, then_b, else_b } => {
+                check_reg(*cond)?;
+                check_block(*then_b)?;
+                check_block(*else_b)?;
+            }
+            Terminator::Return(Some(r)) => check_reg(*r)?,
+            Terminator::Return(None) => {}
+        }
+    }
+
+    // Every reachable block must be well-formed under the CFG (this
+    // computes successor structures and would catch inconsistencies).
+    let _ = Cfg::new(function);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_program() -> IrProgram {
+        let mut program = IrProgram::default();
+        program.classes.push(IrClass {
+            name: "C".into(),
+            fields: vec![IrField { name: "x".into(), immutable: false, is_ref: false }],
+        });
+        program.add_function(IrFunction {
+            name: "f".into(),
+            param_count: 1,
+            reg_count: 2,
+            blocks: vec![Block {
+                insts: vec![Inst::GetField {
+                    dst: Reg(1),
+                    obj: Reg(0),
+                    class: IrClassId(0),
+                    field: 0,
+                }],
+                term: Terminator::Return(Some(Reg(1))),
+                in_tx: false,
+            }],
+            is_tx_clone: false,
+        });
+        program
+    }
+
+    #[test]
+    fn valid_program_verifies() {
+        verify(&trivial_program()).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        let mut p = trivial_program();
+        p.functions[0].blocks[0].insts.push(Inst::Copy { dst: Reg(9), src: Reg(0) });
+        assert!(verify(&p).unwrap_err().message.contains("out of range"));
+    }
+
+    #[test]
+    fn barrier_outside_tx_rejected() {
+        let mut p = trivial_program();
+        p.functions[0].blocks[0].insts.push(Inst::OpenForRead { obj: Reg(0) });
+        assert!(verify(&p).unwrap_err().message.contains("outside a transactional block"));
+    }
+
+    #[test]
+    fn marker_in_clone_rejected() {
+        let mut p = trivial_program();
+        p.functions[0].is_tx_clone = true;
+        for b in &mut p.functions[0].blocks {
+            b.in_tx = true;
+        }
+        p.functions[0].blocks[0].insts.push(Inst::TxBegin);
+        assert!(verify(&p).unwrap_err().message.contains("marker inside a tx clone"));
+    }
+
+    #[test]
+    fn bad_field_index_rejected() {
+        let mut p = trivial_program();
+        p.functions[0].blocks[0].insts.push(Inst::SetField {
+            obj: Reg(0),
+            class: IrClassId(0),
+            field: 7,
+            src: Reg(1),
+        });
+        assert!(verify(&p).unwrap_err().message.contains("field #7 out of range"));
+    }
+
+    #[test]
+    fn bad_jump_target_rejected() {
+        let mut p = trivial_program();
+        p.functions[0].blocks[0].term = Terminator::Jump(BlockId(9));
+        assert!(verify(&p).unwrap_err().message.contains("block bb9 out of range"));
+    }
+}

@@ -1,0 +1,291 @@
+//! The TxIL abstract syntax tree.
+//!
+//! TxIL is a deliberately small imperative language with classes and
+//! `atomic` blocks — just enough surface to express the benchmark
+//! programs of the PLDI 2006 evaluation and to give the optimizer real
+//! control flow to work on:
+//!
+//! ```text
+//! class Node { val key: int; var next: Node; }
+//!
+//! fn sum(head: Node) -> int {
+//!     let total = 0;
+//!     atomic {
+//!         let n = head;
+//!         while n != null {
+//!             total = total + n.key;
+//!             n = n.next;
+//!         }
+//!     }
+//!     return total;
+//! }
+//! ```
+
+use crate::token::Span;
+
+/// Uniquely identifies an expression node; the type checker's results
+/// are indexed by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// A complete source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+    /// Function declarations, in source order.
+    pub functions: Vec<FnDecl>,
+}
+
+/// `class Name { fields }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// The class name.
+    pub name: String,
+    /// Field declarations, in layout order.
+    pub fields: Vec<FieldDecl>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// `var name: ty;` or `val name: ty;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// The field name.
+    pub name: String,
+    /// `var` (true) or `val` (false).
+    pub mutable: bool,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A syntactic type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeExpr {
+    /// What kind of type.
+    pub kind: TypeExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The kinds of syntactic types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExprKind {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// A class by name.
+    Class(String),
+}
+
+/// `fn name(params) -> ret { body }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// The function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type (`None` = unit).
+    pub ret: Option<TypeExpr>,
+    /// The body.
+    pub body: Block,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// `{ stmts }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What kind of statement.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The kinds of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let name (: ty)? = init;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Optional type annotation.
+        ty: Option<TypeExpr>,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `target = value;` where target is a variable or field access.
+    Assign {
+        /// Assignment target (a `Var` or `Field` expression).
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if cond { then } else { else }?`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while cond { body }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `atomic { body }`
+    Atomic {
+        /// The transactional region.
+        body: Block,
+    },
+    /// `return expr?;`
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+    },
+    /// An expression evaluated for effect (typically a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+    },
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique id for type-table lookups.
+    pub id: ExprId,
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The kinds of expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`
+    Null,
+    /// Variable reference.
+    Var(String),
+    /// `obj.field`
+    Field {
+        /// The object expression.
+        obj: Box<Expr>,
+        /// The field name.
+        field: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `callee(args)`
+    Call {
+        /// The function name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `new Class(args)` — zero args means all fields zero/null.
+    New {
+        /// The class name.
+        class: String,
+        /// Field initializers, in layout order (or empty).
+        args: Vec<Expr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+impl Program {
+    /// Looks up a function declaration by name.
+    pub fn function(&self, name: &str) -> Option<&FnDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a class declaration by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}

@@ -1,0 +1,120 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A single error produced by the lexer, parser, or type checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic { message: message.into(), span }
+    }
+
+    /// Renders the diagnostic with line/column resolved against `source`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("error at {line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at byte {}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A batch of diagnostics; the error type of compilation phases.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    /// The individual errors, in source order of discovery.
+    pub errors: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty batch.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Adds an error.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.errors.push(Diagnostic::new(message, span));
+    }
+
+    /// True if no errors were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Number of errors.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Converts into a `Result`: `Ok(value)` if empty, `Err(self)` otherwise.
+    pub fn into_result<T>(self, value: T) -> Result<T, Diagnostics> {
+        if self.is_empty() {
+            Ok(value)
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Renders all diagnostics against `source`, one per line.
+    pub fn render(&self, source: &str) -> String {
+        self.errors.iter().map(|d| d.render(source)).collect::<Vec<_>>().join("\n")
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.errors.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        if self.errors.is_empty() {
+            write!(f, "no errors")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_resolves_position() {
+        let d = Diagnostic::new("unexpected `;`", Span::new(4, 5));
+        assert_eq!(d.render("ab\nc;"), "error at 2:2: unexpected `;`");
+    }
+
+    #[test]
+    fn into_result() {
+        let ok = Diagnostics::new().into_result(42);
+        assert_eq!(ok, Ok(42));
+        let mut diags = Diagnostics::new();
+        diags.error("boom", Span::default());
+        assert!(diags.into_result(42).is_err());
+    }
+
+    #[test]
+    fn display_never_empty() {
+        assert_eq!(Diagnostics::new().to_string(), "no errors");
+    }
+}

@@ -1,0 +1,313 @@
+//! The TxIL lexer.
+
+use crate::diag::Diagnostics;
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenizes `source` into a token stream ending in
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns the collected diagnostics if any character cannot be lexed
+/// (invalid characters, unterminated comments, oversized integers).
+///
+/// # Examples
+///
+/// ```
+/// use omt_lang::lex;
+///
+/// let tokens = lex("atomic { x = x + 1; }")?;
+/// assert_eq!(tokens.len(), 10); // 9 tokens + Eof
+/// # Ok::<(), omt_lang::Diagnostics>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
+    let mut lexer = Lexer { source, bytes: source.as_bytes(), pos: 0, diags: Diagnostics::new() };
+    let mut tokens = Vec::new();
+    loop {
+        let token = lexer.next_token();
+        let done = token.kind == TokenKind::Eof;
+        tokens.push(token);
+        if done {
+            break;
+        }
+    }
+    lexer.diags.into_result(tokens)
+}
+
+struct Lexer<'s> {
+    source: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    diags: Diagnostics,
+}
+
+impl Lexer<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    let mut closed = false;
+                    while let Some(b) = self.bump() {
+                        if b == b'*' && self.peek() == Some(b'/') {
+                            self.pos += 1;
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        self.diags.error(
+                            "unterminated block comment",
+                            Span::new(start, self.pos as u32),
+                        );
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Token {
+        self.skip_trivia();
+        let start = self.pos as u32;
+        let Some(b) = self.bump() else {
+            return Token { kind: TokenKind::Eof, span: Span::new(start, start) };
+        };
+
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'.' => TokenKind::Dot,
+            b'+' => TokenKind::Plus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'-' => {
+                if self.peek() == Some(b'>') {
+                    self.pos += 1;
+                    TokenKind::Arrow
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Not
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.pos += 1;
+                    TokenKind::AndAnd
+                } else {
+                    self.diags.error("expected `&&`", Span::new(start, self.pos as u32));
+                    TokenKind::AndAnd
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                    TokenKind::OrOr
+                } else {
+                    self.diags.error("expected `||`", Span::new(start, self.pos as u32));
+                    TokenKind::OrOr
+                }
+            }
+            b'0'..=b'9' => {
+                while matches!(self.peek(), Some(b'0'..=b'9') | Some(b'_')) {
+                    self.pos += 1;
+                }
+                let text: String = self.source[start as usize..self.pos]
+                    .chars()
+                    .filter(|c| *c != '_')
+                    .collect();
+                match text.parse::<i64>() {
+                    Ok(v) if v <= (i64::MAX >> 1) => TokenKind::Int(v),
+                    _ => {
+                        self.diags.error(
+                            format!("integer literal `{text}` exceeds 63 bits"),
+                            Span::new(start, self.pos as u32),
+                        );
+                        TokenKind::Int(0)
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while matches!(
+                    self.peek(),
+                    Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+                ) {
+                    self.pos += 1;
+                }
+                keyword_or_ident(&self.source[start as usize..self.pos])
+            }
+            other => {
+                self.diags.error(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(start, self.pos as u32),
+                );
+                return self.next_token();
+            }
+        };
+        Token { kind, span: Span::new(start, self.pos as u32) }
+    }
+}
+
+fn keyword_or_ident(text: &str) -> TokenKind {
+    match text {
+        "class" => TokenKind::Class,
+        "fn" => TokenKind::Fn,
+        "var" => TokenKind::Var,
+        "val" => TokenKind::Val,
+        "let" => TokenKind::Let,
+        "if" => TokenKind::If,
+        "else" => TokenKind::Else,
+        "while" => TokenKind::While,
+        "atomic" => TokenKind::Atomic,
+        "return" => TokenKind::Return,
+        "new" => TokenKind::New,
+        "true" => TokenKind::True,
+        "false" => TokenKind::False,
+        "null" => TokenKind::Null,
+        "int" => TokenKind::IntTy,
+        "bool" => TokenKind::BoolTy,
+        _ => TokenKind::Ident(text.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_all_punctuation() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("( ) { } , ; : . -> = == != < <= > >= + - * / % ! && ||"),
+            vec![
+                LParen, RParen, LBrace, RBrace, Comma, Semi, Colon, Dot, Arrow, Assign, EqEq,
+                NotEq, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash, Percent, Not, AndAnd, OrOr, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("atomic atomics class classy"),
+            vec![
+                Atomic,
+                Ident("atomics".into()),
+                Class,
+                Ident("classy".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integers_with_underscores() {
+        assert_eq!(kinds("1_000_000"), vec![TokenKind::Int(1_000_000), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n still */ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let err = lex("a /* never closed").unwrap_err();
+        assert!(err.errors[0].message.contains("unterminated"));
+    }
+
+    #[test]
+    fn oversized_integer_is_an_error() {
+        let err = lex("9223372036854775807").unwrap_err();
+        assert!(err.errors[0].message.contains("exceeds 63 bits"));
+    }
+
+    #[test]
+    fn invalid_character_is_an_error() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.errors[0].message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let tokens = lex("let xy = 10;").unwrap();
+        assert_eq!(tokens[1].span, Span::new(4, 6)); // xy
+        assert_eq!(tokens[3].span, Span::new(9, 11)); // 10
+    }
+}

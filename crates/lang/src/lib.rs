@@ -1,0 +1,55 @@
+//! # omt-lang — TxIL: a small transactional imperative language
+//!
+//! The PLDI 2006 paper implements its STM inside the Bartok C#
+//! compiler; the programs it optimizes are ordinary object-oriented
+//! code with `atomic` blocks. TxIL is the equivalent surface for this
+//! reproduction: classes with `var`/`val` fields, functions, loops, and
+//! `atomic { ... }` regions.
+//!
+//! The pipeline is the classical one:
+//!
+//! 1. [`lex`] — tokens with spans;
+//! 2. [`parse`] — AST ([`Program`]);
+//! 3. [`check`] — class/function tables and per-expression types
+//!    ([`TypeInfo`]), which downstream barrier insertion consumes
+//!    (immutable `val` fields license barrier elision).
+//!
+//! Lowering to IR and the optimization passes live in `omt-ir` and
+//! `omt-opt`.
+//!
+//! # Examples
+//!
+//! ```
+//! use omt_lang::{parse, check};
+//!
+//! let source = "
+//!     class Account { var balance: int; }
+//!     fn deposit(a: Account, amount: int) {
+//!         atomic { a.balance = a.balance + amount; }
+//!     }
+//! ";
+//! let program = parse(source)?;
+//! let info = check(&program)?;
+//! assert_eq!(info.classes.classes[0].name, "Account");
+//! # Ok::<(), omt_lang::Diagnostics>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+mod diag;
+mod lexer;
+mod parser;
+mod printer;
+mod token;
+mod types;
+
+pub use ast::{BinOp, Block, ClassDecl, Expr, ExprId, ExprKind, FieldDecl, FnDecl, Param,
+    Program, Stmt, StmtKind, TypeExpr, TypeExprKind, UnOp};
+pub use diag::{Diagnostic, Diagnostics};
+pub use lexer::lex;
+pub use parser::parse;
+pub use printer::pretty;
+pub use token::{Span, Token, TokenKind};
+pub use types::{check, ClassInfo, ClassTable, FieldInfo, FnSig, FnTable, Type, TypeInfo};

@@ -1,0 +1,563 @@
+//! Recursive-descent parser for TxIL.
+
+use crate::ast::*;
+use crate::diag::Diagnostics;
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parses a TxIL source file into a [`Program`].
+///
+/// # Errors
+///
+/// Returns all lexical and syntax errors found; the parser recovers at
+/// statement and item boundaries so multiple errors can be reported.
+///
+/// # Examples
+///
+/// ```
+/// use omt_lang::parse;
+///
+/// let program = parse("fn main() -> int { return 42; }")?;
+/// assert_eq!(program.functions[0].name, "main");
+/// # Ok::<(), omt_lang::Diagnostics>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, Diagnostics> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0, diags: Diagnostics::new(), next_expr_id: 0 };
+    let program = parser.program();
+    parser.diags.into_result(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Diagnostics,
+    next_expr_id: u32,
+}
+
+/// Internal sentinel: an error was reported; recover at a sync point.
+struct Recover;
+
+type PResult<T> = Result<T, Recover>;
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> PResult<Span> {
+        if self.peek() == &kind {
+            let span = self.peek_span();
+            self.bump();
+            Ok(span)
+        } else {
+            self.diags.error(
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                self.peek_span(),
+            );
+            Err(Recover)
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek_span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => {
+                self.diags.error(
+                    format!("expected identifier, found {}", other.describe()),
+                    self.peek_span(),
+                );
+                Err(Recover)
+            }
+        }
+    }
+
+    fn fresh_id(&mut self) -> ExprId {
+        let id = ExprId(self.next_expr_id);
+        self.next_expr_id += 1;
+        id
+    }
+
+    /// Skips tokens until a likely item/statement boundary.
+    fn sync_to(&mut self, stoppers: &[TokenKind]) {
+        loop {
+            let kind = self.peek();
+            if kind == &TokenKind::Eof || stoppers.contains(kind) {
+                break;
+            }
+            if kind == &TokenKind::Semi {
+                self.bump();
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn program(&mut self) -> Program {
+        let mut classes = Vec::new();
+        let mut functions = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            match self.peek() {
+                TokenKind::Class => match self.class_decl() {
+                    Ok(c) => classes.push(c),
+                    Err(Recover) => self.sync_to(&[TokenKind::Class, TokenKind::Fn]),
+                },
+                TokenKind::Fn => match self.fn_decl() {
+                    Ok(f) => functions.push(f),
+                    Err(Recover) => self.sync_to(&[TokenKind::Class, TokenKind::Fn]),
+                },
+                other => {
+                    self.diags.error(
+                        format!("expected `class` or `fn`, found {}", other.describe()),
+                        self.peek_span(),
+                    );
+                    self.bump();
+                    self.sync_to(&[TokenKind::Class, TokenKind::Fn]);
+                }
+            }
+        }
+        Program { classes, functions }
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let start = self.expect(TokenKind::Class)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                self.diags.error("unclosed class body", start);
+                return Err(Recover);
+            }
+            let field_start = self.peek_span();
+            let mutable = match self.bump() {
+                TokenKind::Var => true,
+                TokenKind::Val => false,
+                other => {
+                    self.diags.error(
+                        format!("expected `var` or `val`, found {}", other.describe()),
+                        field_start,
+                    );
+                    return Err(Recover);
+                }
+            };
+            let (field_name, _) = self.expect_ident()?;
+            self.expect(TokenKind::Colon)?;
+            let ty = self.type_expr()?;
+            let end = self.expect(TokenKind::Semi)?;
+            fields.push(FieldDecl { name: field_name, mutable, ty, span: field_start.to(end) });
+        }
+        let span = start.to(self.prev_span());
+        Ok(ClassDecl { name, fields, span })
+    }
+
+    fn fn_decl(&mut self) -> PResult<FnDecl> {
+        let start = self.expect(TokenKind::Fn)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let (pname, pspan) = self.expect_ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                params.push(Param { name: pname, span: pspan.to(ty.span), ty });
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        let ret = if self.eat(&TokenKind::Arrow) { Some(self.type_expr()?) } else { None };
+        let body = self.block()?;
+        let span = start.to(body.span);
+        Ok(FnDecl { name, params, ret, body, span })
+    }
+
+    fn type_expr(&mut self) -> PResult<TypeExpr> {
+        let span = self.peek_span();
+        let kind = match self.bump() {
+            TokenKind::IntTy => TypeExprKind::Int,
+            TokenKind::BoolTy => TypeExprKind::Bool,
+            TokenKind::Ident(name) => TypeExprKind::Class(name),
+            other => {
+                self.diags
+                    .error(format!("expected a type, found {}", other.describe()), span);
+                return Err(Recover);
+            }
+        };
+        Ok(TypeExpr { kind, span })
+    }
+
+    fn block(&mut self) -> PResult<Block> {
+        let start = self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                self.diags.error("unclosed block", start);
+                return Err(Recover);
+            }
+            match self.stmt() {
+                Ok(s) => stmts.push(s),
+                Err(Recover) => self.sync_to(&[TokenKind::RBrace]),
+            }
+        }
+        Ok(Block { stmts, span: start.to(self.prev_span()) })
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let start = self.peek_span();
+        match self.peek() {
+            TokenKind::Let => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                let ty =
+                    if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+                self.expect(TokenKind::Assign)?;
+                let init = self.expr()?;
+                let end = self.expect(TokenKind::Semi)?;
+                Ok(Stmt { kind: StmtKind::Let { name, ty, init }, span: start.to(end) })
+            }
+            TokenKind::If => {
+                self.bump();
+                let cond = self.expr()?;
+                let then_blk = self.block()?;
+                let else_blk = if self.eat(&TokenKind::Else) {
+                    if self.peek() == &TokenKind::If {
+                        // else-if: wrap the nested if in a synthetic block.
+                        let nested = self.stmt()?;
+                        let span = nested.span;
+                        Some(Block { stmts: vec![nested], span })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                let span = start.to(self.prev_span());
+                Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, span })
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                let span = start.to(body.span);
+                Ok(Stmt { kind: StmtKind::While { cond, body }, span })
+            }
+            TokenKind::Atomic => {
+                self.bump();
+                let body = self.block()?;
+                let span = start.to(body.span);
+                Ok(Stmt { kind: StmtKind::Atomic { body }, span })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value =
+                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let end = self.expect(TokenKind::Semi)?;
+                Ok(Stmt { kind: StmtKind::Return { value }, span: start.to(end) })
+            }
+            _ => {
+                let expr = self.expr()?;
+                if self.eat(&TokenKind::Assign) {
+                    if !matches!(expr.kind, ExprKind::Var(_) | ExprKind::Field { .. }) {
+                        self.diags.error(
+                            "assignment target must be a variable or field",
+                            expr.span,
+                        );
+                        return Err(Recover);
+                    }
+                    let value = self.expr()?;
+                    let end = self.expect(TokenKind::Semi)?;
+                    Ok(Stmt { kind: StmtKind::Assign { target: expr, value }, span: start.to(end) })
+                } else {
+                    let end = self.expect(TokenKind::Semi)?;
+                    Ok(Stmt { kind: StmtKind::Expr { expr }, span: start.to(end) })
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_bp: u8) -> PResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        while let Some((op, bp)) = binop_of(self.peek()) {
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(bp + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                id: self.fresh_id(),
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        let start = self.peek_span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Not => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.unary_expr()?;
+            let span = start.to(expr.span);
+            return Ok(Expr {
+                id: self.fresh_id(),
+                kind: ExprKind::Unary { op, expr: Box::new(expr) },
+                span,
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut expr = self.primary_expr()?;
+        while self.eat(&TokenKind::Dot) {
+            let (field, fspan) = self.expect_ident()?;
+            let span = expr.span.to(fspan);
+            expr = Expr {
+                id: self.fresh_id(),
+                kind: ExprKind::Field { obj: Box::new(expr), field },
+                span,
+            };
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        let start = self.peek_span();
+        let kind = match self.bump() {
+            TokenKind::Int(v) => ExprKind::Int(v),
+            TokenKind::True => ExprKind::Bool(true),
+            TokenKind::False => ExprKind::Bool(false),
+            TokenKind::Null => ExprKind::Null,
+            TokenKind::New => {
+                let (class, _) = self.expect_ident()?;
+                self.expect(TokenKind::LParen)?;
+                let args = self.call_args()?;
+                ExprKind::New { class, args }
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let args = self.call_args()?;
+                    ExprKind::Call { callee: name, args }
+                } else {
+                    ExprKind::Var(name)
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                return Ok(inner);
+            }
+            other => {
+                self.diags.error(
+                    format!("expected an expression, found {}", other.describe()),
+                    start,
+                );
+                return Err(Recover);
+            }
+        };
+        Ok(Expr { id: self.fresh_id(), kind, span: start.to(self.prev_span()) })
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat(&TokenKind::RParen) {
+                return Ok(args);
+            }
+            self.expect(TokenKind::Comma)?;
+        }
+    }
+}
+
+/// Operator → (op, binding power). Higher binds tighter.
+fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+    Some(match kind {
+        TokenKind::OrOr => (BinOp::Or, 1),
+        TokenKind::AndAnd => (BinOp::And, 2),
+        TokenKind::EqEq => (BinOp::Eq, 3),
+        TokenKind::NotEq => (BinOp::Ne, 3),
+        TokenKind::Lt => (BinOp::Lt, 4),
+        TokenKind::Le => (BinOp::Le, 4),
+        TokenKind::Gt => (BinOp::Gt, 4),
+        TokenKind::Ge => (BinOp::Ge, 4),
+        TokenKind::Plus => (BinOp::Add, 5),
+        TokenKind::Minus => (BinOp::Sub, 5),
+        TokenKind::Star => (BinOp::Mul, 6),
+        TokenKind::Slash => (BinOp::Div, 6),
+        TokenKind::Percent => (BinOp::Mod, 6),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_and_fn() {
+        let src = "
+            class Node { val key: int; var next: Node; }
+            fn id(x: int) -> int { return x; }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0].fields.len(), 2);
+        assert!(!p.classes[0].fields[0].mutable);
+        assert!(p.classes[0].fields[1].mutable);
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn f() -> int { return 1 + 2 * 3; }").unwrap();
+        let StmtKind::Return { value: Some(e) } = &p.functions[0].body.stmts[0].kind else {
+            panic!("expected return");
+        };
+        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &e.kind else {
+            panic!("expected + at top, got {:?}", e.kind);
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_atomic_while_field_chain() {
+        let src = "
+            class N { var next: N; var v: int; }
+            fn sum(h: N) -> int {
+                let t = 0;
+                atomic {
+                    let n = h;
+                    while n != null {
+                        t = t + n.v;
+                        n = n.next;
+                    }
+                }
+                return t;
+            }
+        ";
+        let p = parse(src).unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body.stmts[1].kind, StmtKind::Atomic { .. }));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "fn f(x: int) -> int {
+            if x < 0 { return 0 - 1; } else if x == 0 { return 0; } else { return 1; }
+        }";
+        let p = parse(src).unwrap();
+        let StmtKind::If { else_blk: Some(b), .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!("expected if");
+        };
+        assert!(matches!(b.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn field_assignment_target() {
+        let p = parse("fn f(n: N) { n.next.v = 3; } class N { var next: N; var v: int; }")
+            .unwrap();
+        let StmtKind::Assign { target, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!("expected assign");
+        };
+        assert!(matches!(target.kind, ExprKind::Field { .. }));
+    }
+
+    #[test]
+    fn invalid_assignment_target_rejected() {
+        let err = parse("fn f() { 1 + 2 = 3; }").unwrap_err();
+        assert!(err.errors[0].message.contains("assignment target"));
+    }
+
+    #[test]
+    fn reports_multiple_errors_with_recovery() {
+        let err = parse("fn f() { let = 3; let y = ; } fn g(,) { }").unwrap_err();
+        assert!(err.len() >= 2, "expected multiple diagnostics, got {err}");
+    }
+
+    #[test]
+    fn new_with_and_without_args() {
+        let p = parse(
+            "class P { var x: int; var y: int; }
+             fn f() { let a = new P(); let b = new P(1, 2); }",
+        )
+        .unwrap();
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::New { args, .. } = &init.kind else { panic!() };
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn expr_ids_are_unique() {
+        let p = parse("fn f() -> int { return 1 + 2 + 3 + 4; }").unwrap();
+        let mut ids = Vec::new();
+        fn walk(e: &Expr, ids: &mut Vec<u32>) {
+            ids.push(e.id.0);
+            if let ExprKind::Binary { lhs, rhs, .. } = &e.kind {
+                walk(lhs, ids);
+                walk(rhs, ids);
+            }
+        }
+        let StmtKind::Return { value: Some(e) } = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        walk(e, &mut ids);
+        let len = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), len, "duplicate expression ids");
+    }
+
+    #[test]
+    fn unclosed_block_is_an_error() {
+        assert!(parse("fn f() { let x = 1;").is_err());
+    }
+}

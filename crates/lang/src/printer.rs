@@ -1,0 +1,251 @@
+//! AST pretty-printer: renders a [`Program`] back to parseable TxIL.
+//!
+//! Used for diagnostics, golden tests, and the print→parse→print
+//! fixpoint property (a cheap syntactic round-trip check).
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders `program` as TxIL source that parses back to an equivalent
+/// AST.
+///
+/// # Examples
+///
+/// ```
+/// use omt_lang::{parse, pretty};
+///
+/// let program = parse("fn f(x:int)->int{return x+1;}")?;
+/// let text = pretty(&program);
+/// assert_eq!(text.trim(), "fn f(x: int) -> int {\n    return x + 1;\n}");
+/// // Fixpoint: printing the reparse gives the same text.
+/// assert_eq!(pretty(&parse(&text)?), text);
+/// # Ok::<(), omt_lang::Diagnostics>(())
+/// ```
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    for class in &program.classes {
+        let _ = writeln!(out, "class {} {{", class.name);
+        for field in &class.fields {
+            let _ = writeln!(
+                out,
+                "    {} {}: {};",
+                if field.mutable { "var" } else { "val" },
+                field.name,
+                type_text(&field.ty)
+            );
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for (i, function) in program.functions.iter().enumerate() {
+        if i > 0 || !program.classes.is_empty() {
+            let _ = writeln!(out);
+        }
+        let params: Vec<String> =
+            function.params.iter().map(|p| format!("{}: {}", p.name, type_text(&p.ty))).collect();
+        let ret = match &function.ret {
+            Some(ty) => format!(" -> {}", type_text(ty)),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "fn {}({}){ret} {{", function.name, params.join(", "));
+        print_block_body(&mut out, &function.body, 1);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn type_text(ty: &TypeExpr) -> String {
+    match &ty.kind {
+        TypeExprKind::Int => "int".to_owned(),
+        TypeExprKind::Bool => "bool".to_owned(),
+        TypeExprKind::Class(name) => name.clone(),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_block_body(out: &mut String, block: &Block, depth: usize) {
+    for stmt in &block.stmts {
+        print_stmt(out, stmt, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match &stmt.kind {
+        StmtKind::Let { name, ty, init } => {
+            match ty {
+                Some(ty) => {
+                    let _ = writeln!(out, "let {name}: {} = {};", type_text(ty), expr_text(init));
+                }
+                None => {
+                    let _ = writeln!(out, "let {name} = {};", expr_text(init));
+                }
+            };
+        }
+        StmtKind::Assign { target, value } => {
+            let _ = writeln!(out, "{} = {};", expr_text(target), expr_text(value));
+        }
+        StmtKind::If { cond, then_blk, else_blk } => {
+            let _ = writeln!(out, "if {} {{", expr_text(cond));
+            print_block_body(out, then_blk, depth + 1);
+            indent(out, depth);
+            match else_blk {
+                Some(e) => {
+                    let _ = writeln!(out, "}} else {{");
+                    print_block_body(out, e, depth + 1);
+                    indent(out, depth);
+                    let _ = writeln!(out, "}}");
+                }
+                None => {
+                    let _ = writeln!(out, "}}");
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while {} {{", expr_text(cond));
+            print_block_body(out, body, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        StmtKind::Atomic { body } => {
+            let _ = writeln!(out, "atomic {{");
+            print_block_body(out, body, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        StmtKind::Return { value } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "return {};", expr_text(v));
+            }
+            None => {
+                let _ = writeln!(out, "return;");
+            }
+        },
+        StmtKind::Expr { expr } => {
+            let _ = writeln!(out, "{};", expr_text(expr));
+        }
+    }
+}
+
+/// Renders an expression. Parenthesizes every compound subexpression,
+/// which keeps the printer trivially correct (and the fixpoint property
+/// exact) at the cost of some extra parentheses.
+fn expr_text(expr: &Expr) -> String {
+    match &expr.kind {
+        ExprKind::Int(v) => v.to_string(),
+        ExprKind::Bool(b) => b.to_string(),
+        ExprKind::Null => "null".to_owned(),
+        ExprKind::Var(name) => name.clone(),
+        ExprKind::Field { obj, field } => format!("{}.{}", subexpr_text(obj), field),
+        ExprKind::Unary { op, expr } => {
+            let symbol = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{symbol}{}", subexpr_text(expr))
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let symbol = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("{} {symbol} {}", subexpr_text(lhs), subexpr_text(rhs))
+        }
+        ExprKind::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(expr_text).collect();
+            format!("{callee}({})", args.join(", "))
+        }
+        ExprKind::New { class, args } => {
+            let args: Vec<String> = args.iter().map(expr_text).collect();
+            format!("new {class}({})", args.join(", "))
+        }
+    }
+}
+
+/// Like [`expr_text`] but wraps binaries/unaries in parentheses so the
+/// reparse reproduces the original tree shape regardless of precedence.
+fn subexpr_text(expr: &Expr) -> String {
+    match &expr.kind {
+        ExprKind::Binary { .. } | ExprKind::Unary { .. } => format!("({})", expr_text(expr)),
+        _ => expr_text(expr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn fixpoint(src: &str) {
+        let first = pretty(&parse(src).expect("parse original"));
+        let second = pretty(&parse(&first).unwrap_or_else(|e| {
+            panic!("printed program failed to parse: {e}\n---\n{first}")
+        }));
+        assert_eq!(first, second, "print→parse→print not a fixpoint");
+    }
+
+    #[test]
+    fn simple_function_round_trips() {
+        fixpoint("fn f(x: int) -> int { return x * 2 + 1; }");
+    }
+
+    #[test]
+    fn classes_and_controls_round_trip() {
+        fixpoint(
+            "class Node { val key: int; var next: Node; }
+             fn sum(h: Node, limit: int) -> int {
+                 let t = 0;
+                 atomic {
+                     let p = h;
+                     while p != null && t < limit {
+                         if p.key > 0 { t = t + p.key; } else { t = t - 1; }
+                         p = p.next;
+                     }
+                 }
+                 return t;
+             }",
+        );
+    }
+
+    #[test]
+    fn precedence_preserved_through_parentheses() {
+        let program = parse("fn f(a: int, b: int, c: int) -> int { return a + b * c; }").unwrap();
+        let text = pretty(&program);
+        assert!(text.contains("a + (b * c)"), "got: {text}");
+        fixpoint("fn f(a: int, b: int, c: int) -> int { return (a + b) * c; }");
+    }
+
+    #[test]
+    fn else_if_round_trips() {
+        fixpoint(
+            "fn f(x: int) -> int {
+                 if x < 0 { return -1; } else if x == 0 { return 0; } else { return 1; }
+             }",
+        );
+    }
+
+    #[test]
+    fn calls_and_new_round_trip() {
+        fixpoint(
+            "class P { var x: int; var y: int; }
+             fn g(p: P) -> int { return p.x; }
+             fn f() -> int { let p = new P(1, 2 + 3); return g(p); }",
+        );
+    }
+}

@@ -1,0 +1,826 @@
+//! The TxIL type checker.
+//!
+//! Produces a [`TypeInfo`]: class and function tables plus a type for
+//! every expression node, which the lowering in `omt-ir` uses to place
+//! barriers (and, for `val` fields, to license eliding them).
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::diag::Diagnostics;
+use crate::token::Span;
+
+/// A semantic type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 63-bit integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Reference to the class with this index in the [`ClassTable`].
+    Class(usize),
+    /// The type of the `null` literal (assignable to any class type).
+    Null,
+}
+
+impl Type {
+    /// True if a value of `self` can be stored where `target` is
+    /// expected.
+    pub fn is_assignable_to(self, target: Type) -> bool {
+        match (self, target) {
+            (Type::Null, Type::Class(_)) => true,
+            (a, b) => a == b,
+        }
+    }
+
+    /// True if `self` and `other` may be compared with `==`/`!=`.
+    pub fn is_comparable_with(self, other: Type) -> bool {
+        self.is_assignable_to(other) || other.is_assignable_to(self)
+    }
+}
+
+/// One field of a checked class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// True for `val` fields (no barriers needed on reads).
+    pub immutable: bool,
+    /// Field type.
+    pub ty: Type,
+}
+
+/// One checked class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Class name.
+    pub name: String,
+    /// Fields in layout order.
+    pub fields: Vec<FieldInfo>,
+}
+
+impl ClassInfo {
+    /// Index of the named field.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// All checked classes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassTable {
+    /// Classes in declaration order; [`Type::Class`] indexes this.
+    pub classes: Vec<ClassInfo>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ClassTable {
+    /// Looks a class up by name.
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The class at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn class(&self, index: usize) -> &ClassInfo {
+        &self.classes[index]
+    }
+}
+
+/// The signature of a checked function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type (`None` = unit).
+    pub ret: Option<Type>,
+}
+
+/// All checked functions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnTable {
+    /// Signatures in declaration order.
+    pub sigs: Vec<FnSig>,
+    by_name: HashMap<String, usize>,
+}
+
+impl FnTable {
+    /// Looks a function up by name.
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+}
+
+/// The type checker's output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeInfo {
+    /// Checked classes.
+    pub classes: ClassTable,
+    /// Checked function signatures.
+    pub functions: FnTable,
+    expr_types: HashMap<ExprId, Type>,
+}
+
+impl TypeInfo {
+    /// The type of expression `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the checked program (or the
+    /// expression had the unit type, which is never recorded).
+    pub fn type_of(&self, id: ExprId) -> Type {
+        *self.expr_types.get(&id).expect("expression was not typed")
+    }
+
+    /// The type of expression `id`, if it has one.
+    pub fn try_type_of(&self, id: ExprId) -> Option<Type> {
+        self.expr_types.get(&id).copied()
+    }
+}
+
+/// Type-checks a parsed program.
+///
+/// # Errors
+///
+/// Returns every type error found (checking continues past errors where
+/// possible).
+///
+/// # Examples
+///
+/// ```
+/// use omt_lang::{parse, check};
+///
+/// let program = parse("fn inc(x: int) -> int { return x + 1; }")?;
+/// let info = check(&program)?;
+/// assert!(info.functions.lookup("inc").is_some());
+/// # Ok::<(), omt_lang::Diagnostics>(())
+/// ```
+pub fn check(program: &Program) -> Result<TypeInfo, Diagnostics> {
+    let mut diags = Diagnostics::new();
+
+    // Pass 1a: collect class names.
+    let mut classes = ClassTable::default();
+    for decl in &program.classes {
+        if classes.by_name.contains_key(&decl.name) {
+            diags.error(format!("duplicate class `{}`", decl.name), decl.span);
+            continue;
+        }
+        classes.by_name.insert(decl.name.clone(), classes.classes.len());
+        classes.classes.push(ClassInfo { name: decl.name.clone(), fields: Vec::new() });
+    }
+
+    // Pass 1b: resolve field types (classes may reference each other).
+    for decl in &program.classes {
+        let Some(index) = classes.by_name.get(&decl.name).copied() else { continue };
+        if !classes.classes[index].fields.is_empty() {
+            continue; // duplicate decl, already reported
+        }
+        let mut fields = Vec::new();
+        for field in &decl.fields {
+            if fields.iter().any(|f: &FieldInfo| f.name == field.name) {
+                diags.error(
+                    format!("duplicate field `{}` in class `{}`", field.name, decl.name),
+                    field.span,
+                );
+                continue;
+            }
+            let ty = resolve_type(&field.ty, &classes, &mut diags);
+            fields.push(FieldInfo { name: field.name.clone(), immutable: !field.mutable, ty });
+        }
+        classes.classes[index].fields = fields;
+    }
+
+    // Pass 1c: collect function signatures.
+    let mut functions = FnTable::default();
+    for decl in &program.functions {
+        if functions.by_name.contains_key(&decl.name) {
+            diags.error(format!("duplicate function `{}`", decl.name), decl.span);
+            continue;
+        }
+        let params =
+            decl.params.iter().map(|p| resolve_type(&p.ty, &classes, &mut diags)).collect();
+        let ret = decl.ret.as_ref().map(|t| resolve_type(t, &classes, &mut diags));
+        functions.by_name.insert(decl.name.clone(), functions.sigs.len());
+        functions.sigs.push(FnSig { name: decl.name.clone(), params, ret });
+    }
+
+    // Pass 2: check bodies.
+    let mut info = TypeInfo { classes, functions, expr_types: HashMap::new() };
+    for decl in &program.functions {
+        let Some(fn_index) = info.functions.lookup(&decl.name) else { continue };
+        let sig = info.functions.sigs[fn_index].clone();
+        let mut checker = BodyChecker {
+            info: &mut info,
+            diags: &mut diags,
+            scopes: vec![HashMap::new()],
+            ret: sig.ret,
+            atomic_depth: 0,
+        };
+        for (param, ty) in decl.params.iter().zip(sig.params.iter()) {
+            if checker.scopes[0].insert(param.name.clone(), *ty).is_some() {
+                checker
+                    .diags
+                    .error(format!("duplicate parameter `{}`", param.name), param.span);
+            }
+        }
+        checker.check_block(&decl.body);
+        if sig.ret.is_some() && !always_returns(&decl.body) {
+            diags.error(
+                format!("function `{}` may finish without returning a value", decl.name),
+                decl.span,
+            );
+        }
+    }
+
+    diags.into_result(info)
+}
+
+/// Conservative "all paths return" analysis (no reachability through
+/// loops: a `while` may run zero times, and `atomic` bodies cannot
+/// return at all).
+fn always_returns(block: &Block) -> bool {
+    block.stmts.iter().any(stmt_always_returns)
+}
+
+fn stmt_always_returns(stmt: &Stmt) -> bool {
+    match &stmt.kind {
+        StmtKind::Return { .. } => true,
+        StmtKind::If { then_blk, else_blk: Some(else_blk), .. } => {
+            always_returns(then_blk) && always_returns(else_blk)
+        }
+        _ => false,
+    }
+}
+
+fn resolve_type(ty: &TypeExpr, classes: &ClassTable, diags: &mut Diagnostics) -> Type {
+    match &ty.kind {
+        TypeExprKind::Int => Type::Int,
+        TypeExprKind::Bool => Type::Bool,
+        TypeExprKind::Class(name) => match classes.lookup(name) {
+            Some(index) => Type::Class(index),
+            None => {
+                diags.error(format!("unknown class `{name}`"), ty.span);
+                Type::Int // recovery type
+            }
+        },
+    }
+}
+
+struct BodyChecker<'a> {
+    info: &'a mut TypeInfo,
+    diags: &'a mut Diagnostics,
+    scopes: Vec<HashMap<String, Type>>,
+    ret: Option<Type>,
+    atomic_depth: u32,
+}
+
+impl BodyChecker<'_> {
+    fn lookup_var(&self, name: &str) -> Option<Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, span: Span) {
+        let scope = self.scopes.last_mut().expect("at least one scope");
+        if scope.insert(name.to_owned(), ty).is_some() {
+            self.diags.error(format!("`{name}` is already defined in this scope"), span);
+        }
+    }
+
+    fn check_block(&mut self, block: &Block) {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt);
+        }
+        self.scopes.pop();
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } => {
+                let init_ty = self.check_expr(init);
+                let declared = ty.as_ref().map(|t| resolve_type(t, &self.info.classes, self.diags));
+                let var_ty = match (declared, init_ty) {
+                    (Some(d), Some(i)) => {
+                        if !i.is_assignable_to(d) {
+                            self.diags.error(
+                                format!("initializer type {} does not match annotation {}",
+                                    self.describe(i), self.describe(d)),
+                                init.span,
+                            );
+                        }
+                        d
+                    }
+                    (Some(d), None) => {
+                        self.diags.error("initializer has no value", init.span);
+                        d
+                    }
+                    (None, Some(Type::Null)) => {
+                        self.diags.error(
+                            "cannot infer a class type from `null`; add an annotation",
+                            stmt.span,
+                        );
+                        Type::Null
+                    }
+                    (None, Some(i)) => i,
+                    (None, None) => {
+                        self.diags.error("initializer has no value", init.span);
+                        Type::Int
+                    }
+                };
+                self.declare(name, var_ty, stmt.span);
+            }
+            StmtKind::Assign { target, value } => {
+                let value_ty = self.check_expr(value);
+                match &target.kind {
+                    ExprKind::Var(name) => match self.lookup_var(name) {
+                        Some(var_ty) => {
+                            if let Some(v) = value_ty {
+                                if !v.is_assignable_to(var_ty) {
+                                    self.diags.error(
+                                        format!(
+                                            "cannot assign {} to variable of type {}",
+                                            self.describe(v),
+                                            self.describe(var_ty)
+                                        ),
+                                        value.span,
+                                    );
+                                }
+                            }
+                        }
+                        None => {
+                            self.diags
+                                .error(format!("unknown variable `{name}`"), target.span);
+                        }
+                    },
+                    ExprKind::Field { obj, field } => {
+                        let obj_ty = self.check_expr(obj);
+                        if let Some(Type::Class(index)) = obj_ty {
+                            let class = self.info.classes.class(index).clone();
+                            match class.field_index(field) {
+                                Some(fi) => {
+                                    let finfo = &class.fields[fi];
+                                    if finfo.immutable {
+                                        self.diags.error(
+                                            format!(
+                                                "cannot assign to immutable field `{}.{}`",
+                                                class.name, field
+                                            ),
+                                            target.span,
+                                        );
+                                    }
+                                    if let Some(v) = value_ty {
+                                        if !v.is_assignable_to(finfo.ty) {
+                                            self.diags.error(
+                                                format!(
+                                                    "cannot assign {} to field of type {}",
+                                                    self.describe(v),
+                                                    self.describe(finfo.ty)
+                                                ),
+                                                value.span,
+                                            );
+                                        }
+                                    }
+                                }
+                                None => self.diags.error(
+                                    format!("class `{}` has no field `{field}`", class.name),
+                                    target.span,
+                                ),
+                            }
+                        } else if obj_ty.is_some() {
+                            self.diags.error("field access on a non-object", obj.span);
+                        }
+                    }
+                    _ => unreachable!("parser restricts assignment targets"),
+                }
+            }
+            StmtKind::If { cond, then_blk, else_blk } => {
+                self.expect_bool(cond);
+                self.check_block(then_blk);
+                if let Some(e) = else_blk {
+                    self.check_block(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.expect_bool(cond);
+                self.check_block(body);
+            }
+            StmtKind::Atomic { body } => {
+                self.atomic_depth += 1;
+                self.check_block(body);
+                self.atomic_depth -= 1;
+            }
+            StmtKind::Return { value } => {
+                if self.atomic_depth > 0 {
+                    self.diags.error("`return` is not allowed inside `atomic`", stmt.span);
+                }
+                match (&self.ret.clone(), value) {
+                    (None, None) => {}
+                    (None, Some(v)) => {
+                        self.check_expr(v);
+                        self.diags.error("function has no return type", v.span);
+                    }
+                    (Some(_), None) => {
+                        self.diags.error("missing return value", stmt.span);
+                    }
+                    (Some(expected), Some(v)) => {
+                        if let Some(actual) = self.check_expr(v) {
+                            if !actual.is_assignable_to(*expected) {
+                                self.diags.error(
+                                    format!(
+                                        "return type mismatch: expected {}, found {}",
+                                        self.describe(*expected),
+                                        self.describe(actual)
+                                    ),
+                                    v.span,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            StmtKind::Expr { expr } => {
+                self.check_expr(expr);
+            }
+        }
+    }
+
+    fn expect_bool(&mut self, expr: &Expr) {
+        if let Some(ty) = self.check_expr(expr) {
+            if ty != Type::Bool {
+                self.diags.error(
+                    format!("condition must be bool, found {}", self.describe(ty)),
+                    expr.span,
+                );
+            }
+        }
+    }
+
+    /// Checks an expression; `None` means unit (a call to a function
+    /// with no return type).
+    fn check_expr(&mut self, expr: &Expr) -> Option<Type> {
+        let ty = self.infer(expr)?;
+        self.info.expr_types.insert(expr.id, ty);
+        Some(ty)
+    }
+
+    fn infer(&mut self, expr: &Expr) -> Option<Type> {
+        match &expr.kind {
+            ExprKind::Int(_) => Some(Type::Int),
+            ExprKind::Bool(_) => Some(Type::Bool),
+            ExprKind::Null => Some(Type::Null),
+            ExprKind::Var(name) => match self.lookup_var(name) {
+                Some(ty) => Some(ty),
+                None => {
+                    self.diags.error(format!("unknown variable `{name}`"), expr.span);
+                    Some(Type::Int)
+                }
+            },
+            ExprKind::Field { obj, field } => {
+                let obj_ty = self.check_expr(obj)?;
+                match obj_ty {
+                    Type::Class(index) => {
+                        let class = self.info.classes.class(index);
+                        match class.field_index(field) {
+                            Some(fi) => Some(class.fields[fi].ty),
+                            None => {
+                                let class_name = class.name.clone();
+                                self.diags.error(
+                                    format!("class `{class_name}` has no field `{field}`"),
+                                    expr.span,
+                                );
+                                Some(Type::Int)
+                            }
+                        }
+                    }
+                    Type::Null => {
+                        self.diags.error("field access on `null`", obj.span);
+                        Some(Type::Int)
+                    }
+                    _ => {
+                        self.diags.error("field access on a non-object", obj.span);
+                        Some(Type::Int)
+                    }
+                }
+            }
+            ExprKind::Unary { op, expr: inner } => {
+                let inner_ty = self.check_expr(inner)?;
+                match op {
+                    UnOp::Neg => {
+                        if inner_ty != Type::Int {
+                            self.diags.error("`-` requires an int operand", inner.span);
+                        }
+                        Some(Type::Int)
+                    }
+                    UnOp::Not => {
+                        if inner_ty != Type::Bool {
+                            self.diags.error("`!` requires a bool operand", inner.span);
+                        }
+                        Some(Type::Bool)
+                    }
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs);
+                let rt = self.check_expr(rhs);
+                let (lt, rt) = (lt?, rt?);
+                use BinOp::*;
+                match op {
+                    Add | Sub | Mul | Div | Mod => {
+                        if lt != Type::Int || rt != Type::Int {
+                            self.diags.error("arithmetic requires int operands", expr.span);
+                        }
+                        Some(Type::Int)
+                    }
+                    Lt | Le | Gt | Ge => {
+                        if lt != Type::Int || rt != Type::Int {
+                            self.diags.error("comparison requires int operands", expr.span);
+                        }
+                        Some(Type::Bool)
+                    }
+                    Eq | Ne => {
+                        if !lt.is_comparable_with(rt) {
+                            self.diags.error(
+                                format!(
+                                    "cannot compare {} with {}",
+                                    self.describe(lt),
+                                    self.describe(rt)
+                                ),
+                                expr.span,
+                            );
+                        }
+                        Some(Type::Bool)
+                    }
+                    And | Or => {
+                        if lt != Type::Bool || rt != Type::Bool {
+                            self.diags.error("logical operators require bool operands", expr.span);
+                        }
+                        Some(Type::Bool)
+                    }
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                let arg_types: Vec<Option<Type>> =
+                    args.iter().map(|a| self.check_expr(a)).collect();
+                match self.info.functions.lookup(callee) {
+                    Some(index) => {
+                        let sig = self.info.functions.sigs[index].clone();
+                        if sig.params.len() != args.len() {
+                            self.diags.error(
+                                format!(
+                                    "`{callee}` expects {} argument(s), found {}",
+                                    sig.params.len(),
+                                    args.len()
+                                ),
+                                expr.span,
+                            );
+                        } else {
+                            for ((arg, at), pt) in
+                                args.iter().zip(arg_types.iter()).zip(sig.params.iter())
+                            {
+                                if let Some(at) = at {
+                                    if !at.is_assignable_to(*pt) {
+                                        self.diags.error(
+                                            format!(
+                                                "argument type {} does not match parameter type {}",
+                                                self.describe(*at),
+                                                self.describe(*pt)
+                                            ),
+                                            arg.span,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        sig.ret
+                    }
+                    None => {
+                        self.diags.error(format!("unknown function `{callee}`"), expr.span);
+                        Some(Type::Int)
+                    }
+                }
+            }
+            ExprKind::New { class, args } => {
+                let arg_types: Vec<Option<Type>> =
+                    args.iter().map(|a| self.check_expr(a)).collect();
+                match self.info.classes.lookup(class) {
+                    Some(index) => {
+                        let cinfo = self.info.classes.class(index).clone();
+                        if !args.is_empty() {
+                            if cinfo.fields.len() != args.len() {
+                                self.diags.error(
+                                    format!(
+                                        "`new {class}` expects 0 or {} argument(s), found {}",
+                                        cinfo.fields.len(),
+                                        args.len()
+                                    ),
+                                    expr.span,
+                                );
+                            } else {
+                                for ((arg, at), field) in
+                                    args.iter().zip(arg_types.iter()).zip(cinfo.fields.iter())
+                                {
+                                    if let Some(at) = at {
+                                        if !at.is_assignable_to(field.ty) {
+                                            self.diags.error(
+                                                format!(
+                                                    "initializer type {} does not match field `{}` of type {}",
+                                                    self.describe(*at),
+                                                    field.name,
+                                                    self.describe(field.ty)
+                                                ),
+                                                arg.span,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Some(Type::Class(index))
+                    }
+                    None => {
+                        self.diags.error(format!("unknown class `{class}`"), expr.span);
+                        Some(Type::Int)
+                    }
+                }
+            }
+        }
+    }
+
+    fn describe(&self, ty: Type) -> String {
+        match ty {
+            Type::Int => "int".to_owned(),
+            Type::Bool => "bool".to_owned(),
+            Type::Null => "null".to_owned(),
+            Type::Class(index) => format!("`{}`", self.info.classes.class(index).name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<TypeInfo, Diagnostics> {
+        check(&parse(src).expect("parse"))
+    }
+
+    fn errs(src: &str) -> String {
+        check_src(src).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn well_typed_program_checks() {
+        let info = check_src(
+            "class Node { val key: int; var next: Node; }
+             fn find(h: Node, k: int) -> bool {
+                 let n = h;
+                 let found = false;
+                 atomic {
+                     while n != null && !found {
+                         if n.key == k { found = true; } else { n = n.next; }
+                     }
+                 }
+                 return found;
+             }",
+        )
+        .unwrap();
+        assert_eq!(info.classes.classes.len(), 1);
+        assert!(info.classes.class(0).fields[0].immutable);
+    }
+
+    #[test]
+    fn immutable_field_assignment_rejected() {
+        assert!(errs(
+            "class P { val x: int; }
+             fn f(p: P) { p.x = 1; }"
+        )
+        .contains("immutable field"));
+    }
+
+    #[test]
+    fn return_inside_atomic_rejected() {
+        assert!(errs("fn f() -> int { atomic { return 1; } }").contains("not allowed inside"));
+    }
+
+    #[test]
+    fn arithmetic_on_refs_rejected() {
+        assert!(errs(
+            "class P { var x: int; }
+             fn f(p: P) -> int { return p + 1; }"
+        )
+        .contains("arithmetic requires int"));
+    }
+
+    #[test]
+    fn null_comparison_with_class_allowed() {
+        check_src(
+            "class P { var x: int; }
+             fn f(p: P) -> bool { return p == null; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn null_comparison_with_int_rejected() {
+        assert!(errs("fn f(x: int) -> bool { return x == null; }").contains("cannot compare"));
+    }
+
+    #[test]
+    fn unknown_names_reported() {
+        let msg = errs("fn f() { g(); let a = new Q(); let b = c; }");
+        assert!(msg.contains("unknown function `g`"));
+        assert!(msg.contains("unknown class `Q`"));
+        assert!(msg.contains("unknown variable `c`"));
+    }
+
+    #[test]
+    fn call_arity_and_types_checked() {
+        let msg = errs(
+            "fn g(x: int, y: bool) {}
+             fn f() { g(1); g(true, 1); }",
+        );
+        assert!(msg.contains("expects 2 argument(s)"));
+        assert!(msg.contains("does not match parameter"));
+    }
+
+    #[test]
+    fn new_initializer_arity_checked() {
+        let msg = errs(
+            "class P { var x: int; var y: int; }
+             fn f() { let p = new P(1); }",
+        );
+        assert!(msg.contains("expects 0 or 2"));
+    }
+
+    #[test]
+    fn let_null_requires_annotation() {
+        assert!(errs("fn f() { let x = null; }").contains("annotation"));
+        check_src(
+            "class P { var x: int; }
+             fn f() { let p: P = null; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        let msg = errs(
+            "class A { var x: int; var x: int; }
+             class A { var y: int; }
+             fn f() {}
+             fn f() {}",
+        );
+        assert!(msg.contains("duplicate field"));
+        assert!(msg.contains("duplicate class"));
+        assert!(msg.contains("duplicate function"));
+    }
+
+    #[test]
+    fn expr_types_recorded() {
+        let program = parse("fn f(x: int) -> bool { return x < 3; }").unwrap();
+        let info = check(&program).unwrap();
+        let StmtKind::Return { value: Some(e) } = &program.functions[0].body.stmts[0].kind
+        else {
+            panic!()
+        };
+        assert_eq!(info.type_of(e.id), Type::Bool);
+        let ExprKind::Binary { lhs, .. } = &e.kind else { panic!() };
+        assert_eq!(info.type_of(lhs.id), Type::Int);
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope_allowed_but_not_same_scope() {
+        check_src("fn f() { let x = 1; if true { let x = 2; x = 3; } }").unwrap();
+        assert!(errs("fn f() { let x = 1; let x = 2; }").contains("already defined"));
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        assert!(errs("fn f() { while 1 {} }").contains("must be bool"));
+    }
+
+    #[test]
+    fn missing_return_detected() {
+        assert!(errs("fn f(x: int) -> int { if x > 0 { return 1; } }")
+            .contains("may finish without returning"));
+        assert!(errs("fn f(n: int) -> int { while n > 0 { return n; } }")
+            .contains("may finish without returning"));
+    }
+
+    #[test]
+    fn exhaustive_branches_satisfy_return_analysis() {
+        check_src(
+            "fn f(x: int) -> int {
+                 if x > 0 { return 1; } else if x < 0 { return 0 - 1; } else { return 0; }
+             }",
+        )
+        .unwrap();
+        check_src("fn f() { if true { } }").unwrap(); // unit fn: no requirement
+    }
+}

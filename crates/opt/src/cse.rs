@@ -1,0 +1,235 @@
+//! Redundant-barrier elimination (the paper's CSE on open operations).
+//!
+//! Opening an object is idempotent within a transaction, so a second
+//! `OpenForRead`/`OpenForUpdate` of the same register (and a second
+//! `LogForUndo` of the same field) is dead code. The *local* variant
+//! reasons within single blocks; the *global* variant runs a forward
+//! must-dataflow over the CFG so availability flows across branches and
+//! into join points.
+
+use omt_ir::{Cfg, IrClass, IrFunction};
+
+use crate::facts::{transfer, FactSet, TransferOptions};
+
+/// Scope of the availability analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CseScope {
+    /// Per-block only (optimization level O1).
+    Local,
+    /// Whole-CFG dataflow (levels O2+).
+    Global,
+}
+
+/// Removes redundant barriers from `function`; returns how many were
+/// deleted.
+pub fn eliminate_redundant_barriers(
+    function: &mut IrFunction,
+    classes: &[IrClass],
+    scope: CseScope,
+    options: TransferOptions,
+) -> usize {
+    let entry_facts = match scope {
+        CseScope::Local => None,
+        CseScope::Global => Some(compute_entry_facts(function, classes, options)),
+    };
+
+    let cfg = Cfg::new(function);
+    let mut removed = 0;
+    for index in 0..function.blocks.len() {
+        if !cfg.is_reachable(omt_ir::BlockId(index as u32)) {
+            continue;
+        }
+        let mut facts = match &entry_facts {
+            Some(per_block) => per_block[index].clone(),
+            None => FactSet::empty(),
+        };
+        if facts == FactSet::Top {
+            facts = FactSet::empty();
+        }
+        let block = &mut function.blocks[index];
+        let before = block.insts.len();
+        block.insts.retain(|inst| !transfer(&mut facts, inst, classes, options));
+        removed += before - block.insts.len();
+    }
+    removed
+}
+
+/// Forward must-analysis: available facts at each block entry.
+fn compute_entry_facts(
+    function: &IrFunction,
+    classes: &[IrClass],
+    options: TransferOptions,
+) -> Vec<FactSet> {
+    let cfg = Cfg::new(function);
+    let n = function.blocks.len();
+    let mut entry: Vec<FactSet> = vec![FactSet::top(); n];
+    entry[0] = FactSet::empty();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &block_id in &cfg.rpo {
+            let mut facts = entry[block_id.index()].clone();
+            if facts == FactSet::Top {
+                continue; // not yet reached via any processed predecessor
+            }
+            for inst in &function.block(block_id).insts {
+                transfer(&mut facts, inst, classes, options);
+            }
+            for &succ in &cfg.succs[block_id.index()] {
+                let met = entry[succ.index()].meet(&facts);
+                if met != entry[succ.index()] {
+                    entry[succ.index()] = met;
+                    changed = true;
+                }
+            }
+        }
+    }
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert::{insert_barriers, InsertOptions};
+    use omt_ir::{lower, verify, IrProgram};
+    use omt_lang::{check, parse};
+
+    fn prepared(src: &str) -> IrProgram {
+        let program = parse(src).expect("parse");
+        let info = check(&program).expect("check");
+        let mut ir = lower(&program, &info);
+        insert_barriers(&mut ir, InsertOptions::default());
+        ir
+    }
+
+    fn run(ir: &mut IrProgram, name: &str, scope: CseScope, options: TransferOptions) -> usize {
+        let id = ir.function_id(name).unwrap();
+        let classes = ir.classes.clone();
+        let removed = eliminate_redundant_barriers(
+            &mut ir.functions[id.0 as usize],
+            &classes,
+            scope,
+            options,
+        );
+        verify(ir).unwrap();
+        removed
+    }
+
+    #[test]
+    fn straight_line_duplicates_removed_locally() {
+        // Three reads + one write of the same object in one block.
+        let mut ir = prepared(
+            "class C { var x: int; var y: int; }
+             fn f(c: C) { atomic { c.x = c.x + c.y + c.x; } }",
+        );
+        let before = ir.function(ir.function_id("f").unwrap()).barrier_counts();
+        assert_eq!(before, (3, 1, 1));
+        let removed = run(&mut ir, "f", CseScope::Local, TransferOptions::default());
+        let after = ir.function(ir.function_id("f").unwrap()).barrier_counts();
+        // First read stays; 2 dup reads removed. Write barriers stay.
+        assert_eq!(after, (1, 1, 1));
+        assert_eq!(removed, 2);
+    }
+
+    #[test]
+    fn availability_flows_across_branches_globally() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C, b: bool) {
+                 atomic {
+                     c.x = 1;
+                     if b { c.x = 2; } else { c.x = 3; }
+                     c.x = 4;
+                 }
+             }",
+        );
+        // Local CSE cannot see across the branch.
+        let mut local = ir.clone();
+        run(&mut local, "f", CseScope::Local, TransferOptions::default());
+        let local_counts = local.function(local.function_id("f").unwrap()).barrier_counts();
+
+        run(&mut ir, "f", CseScope::Global, TransferOptions::default());
+        let global_counts = ir.function(ir.function_id("f").unwrap()).barrier_counts();
+        // Globally, only the first open/log pair survives.
+        assert_eq!(global_counts.1, 1, "one open_for_update remains: {global_counts:?}");
+        assert_eq!(global_counts.2, 1, "one log_for_undo remains");
+        assert!(local_counts.1 > global_counts.1);
+    }
+
+    #[test]
+    fn partial_availability_is_not_enough() {
+        // Opened only on the then-path: the join still needs a barrier.
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C, b: bool) -> int {
+                 let r = 0;
+                 atomic {
+                     if b { c.x = 1; }
+                     r = c.x;
+                 }
+                 return r;
+             }",
+        );
+        run(&mut ir, "f", CseScope::Global, TransferOptions::default());
+        let f = ir.function(ir.function_id("f").unwrap());
+        let (reads, _, _) = f.barrier_counts();
+        assert_eq!(reads, 1, "the read after the join keeps its barrier");
+    }
+
+    #[test]
+    fn tx_local_allocation_elides_all_barriers() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f() -> int {
+                 let r = 0;
+                 atomic {
+                     let c = new C();
+                     c.x = 5;
+                     r = c.x;
+                 }
+                 return r;
+             }",
+        );
+        run(&mut ir, "f", CseScope::Global, TransferOptions { tx_local_new: true });
+        let f = ir.function(ir.function_id("f").unwrap());
+        assert_eq!(f.barrier_counts(), (0, 0, 0), "fresh object needs no barriers");
+    }
+
+    #[test]
+    fn without_tx_local_fresh_objects_keep_barriers() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f() -> int {
+                 let r = 0;
+                 atomic { let c = new C(); c.x = 5; r = c.x; }
+                 return r;
+             }",
+        );
+        run(&mut ir, "f", CseScope::Global, TransferOptions::default());
+        let f = ir.function(ir.function_id("f").unwrap());
+        let (reads, updates, undos) = f.barrier_counts();
+        assert_eq!((updates, undos), (1, 1));
+        // The read after the write is subsumed by the update fact.
+        assert_eq!(reads, 0);
+    }
+
+    #[test]
+    fn loop_carried_availability_is_not_assumed() {
+        // The open inside the loop must stay: on loop entry nothing is
+        // open (this is precisely what hoisting, not CSE, fixes).
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C, n: int) {
+                 atomic {
+                     let i = 0;
+                     while i < n { c.x = c.x + 1; i = i + 1; }
+                 }
+             }",
+        );
+        run(&mut ir, "f", CseScope::Global, TransferOptions::default());
+        let f = ir.function(ir.function_id("f").unwrap());
+        let (_, updates, _) = f.barrier_counts();
+        assert_eq!(updates, 1, "in-loop open survives CSE");
+    }
+}

@@ -1,0 +1,309 @@
+//! "Open availability" facts: the dataflow currency of the CSE pass.
+//!
+//! A fact records that, at a program point, an object register is
+//! already open (for read or update) or a `(register, field)` pair is
+//! already undo-logged — in the *current transaction*. Facts are
+//! created by barrier instructions, copied through register moves,
+//! killed by register redefinition, and cleared at transaction
+//! boundaries. Once an object is open in a transaction it stays open
+//! until commit, so calls do not kill facts.
+
+use std::collections::HashSet;
+
+use omt_ir::{Inst, IrClass, Reg};
+
+/// One availability fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Fact {
+    /// Register's object is open for read (or better).
+    Read(Reg),
+    /// Register's object is open for update.
+    Update(Reg),
+    /// `(register, field)` already has an undo-log entry.
+    Undo(Reg, u32),
+}
+
+impl Fact {
+    fn mentions(self, reg: Reg) -> bool {
+        match self {
+            Fact::Read(r) | Fact::Update(r) | Fact::Undo(r, _) => r == reg,
+        }
+    }
+}
+
+/// A lattice value: either ⊤ (unvisited; identity of meet) or a set.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FactSet {
+    /// Unvisited block: everything available (meet identity).
+    Top,
+    /// Concrete available facts.
+    Set(HashSet<Fact>),
+}
+
+impl FactSet {
+    pub(crate) fn empty() -> FactSet {
+        FactSet::Set(HashSet::new())
+    }
+
+    pub(crate) fn top() -> FactSet {
+        FactSet::Top
+    }
+
+    pub(crate) fn contains(&self, fact: Fact) -> bool {
+        match self {
+            FactSet::Top => true,
+            FactSet::Set(s) => s.contains(&fact),
+        }
+    }
+
+    fn insert(&mut self, fact: Fact) {
+        if let FactSet::Set(s) = self {
+            s.insert(fact);
+        }
+    }
+
+    fn kill_reg(&mut self, reg: Reg) {
+        if let FactSet::Set(s) = self {
+            s.retain(|f| !f.mentions(reg));
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = FactSet::empty();
+    }
+
+    fn copy_facts(&mut self, from: Reg, to: Reg) {
+        if let FactSet::Set(s) = self {
+            let copied: Vec<Fact> = s
+                .iter()
+                .filter_map(|f| match f {
+                    Fact::Read(r) if *r == from => Some(Fact::Read(to)),
+                    Fact::Update(r) if *r == from => Some(Fact::Update(to)),
+                    Fact::Undo(r, field) if *r == from => Some(Fact::Undo(to, *field)),
+                    _ => None,
+                })
+                .collect();
+            s.extend(copied);
+        }
+    }
+
+    /// Meet (intersection); ⊤ is the identity.
+    pub(crate) fn meet(&self, other: &FactSet) -> FactSet {
+        match (self, other) {
+            (FactSet::Top, x) | (x, FactSet::Top) => x.clone(),
+            (FactSet::Set(a), FactSet::Set(b)) => {
+                FactSet::Set(a.intersection(b).copied().collect())
+            }
+        }
+    }
+}
+
+/// Options controlling the transfer function of the availability
+/// analysis (shared by the CSE pass).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferOptions {
+    /// `New` makes its destination fully open (the O4 transaction-local
+    /// optimization: objects allocated in the transaction can never
+    /// conflict, so all their barriers are redundant).
+    pub tx_local_new: bool,
+}
+
+/// Applies `inst`'s transfer function to `facts`.
+///
+/// Returns `true` if `inst` is a *redundant barrier* under the incoming
+/// facts — the caller may delete it. Facts are updated as if the
+/// instruction executed (even a redundant barrier contributes its fact,
+/// trivially, since it was already present).
+pub(crate) fn transfer(
+    facts: &mut FactSet,
+    inst: &Inst,
+    classes: &[IrClass],
+    options: TransferOptions,
+) -> bool {
+    match inst {
+        Inst::OpenForRead { obj } => {
+            if facts.contains(Fact::Read(*obj)) || facts.contains(Fact::Update(*obj)) {
+                return true;
+            }
+            facts.insert(Fact::Read(*obj));
+            false
+        }
+        Inst::OpenForUpdate { obj } => {
+            if facts.contains(Fact::Update(*obj)) {
+                return true;
+            }
+            facts.insert(Fact::Update(*obj));
+            facts.insert(Fact::Read(*obj)); // update subsumes read
+            false
+        }
+        Inst::LogForUndo { obj, field, .. } => {
+            if facts.contains(Fact::Undo(*obj, *field)) {
+                return true;
+            }
+            facts.insert(Fact::Undo(*obj, *field));
+            false
+        }
+        Inst::Copy { dst, src } => {
+            if dst != src {
+                facts.kill_reg(*dst);
+                facts.copy_facts(*src, *dst);
+            }
+            false
+        }
+        Inst::New { dst, class, .. } => {
+            facts.kill_reg(*dst);
+            if options.tx_local_new {
+                facts.insert(Fact::Read(*dst));
+                facts.insert(Fact::Update(*dst));
+                let field_count = classes[class.0 as usize].fields.len() as u32;
+                for field in 0..field_count {
+                    facts.insert(Fact::Undo(*dst, field));
+                }
+            }
+            false
+        }
+        Inst::TxBegin | Inst::TxCommit => {
+            facts.clear();
+            false
+        }
+        other => {
+            if let Some(dst) = other.def() {
+                facts.kill_reg(dst);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_ir::IrClassId;
+
+    fn classes() -> Vec<IrClass> {
+        vec![IrClass {
+            name: "C".into(),
+            fields: vec![
+                omt_ir::IrField { name: "a".into(), immutable: false, is_ref: false },
+                omt_ir::IrField { name: "b".into(), immutable: false, is_ref: false },
+            ],
+        }]
+    }
+
+    #[test]
+    fn duplicate_open_is_redundant() {
+        let classes = classes();
+        let mut facts = FactSet::empty();
+        let open = Inst::OpenForRead { obj: Reg(1) };
+        assert!(!transfer(&mut facts, &open, &classes, TransferOptions::default()));
+        assert!(transfer(&mut facts, &open, &classes, TransferOptions::default()));
+    }
+
+    #[test]
+    fn update_subsumes_read() {
+        let classes = classes();
+        let mut facts = FactSet::empty();
+        let upd = Inst::OpenForUpdate { obj: Reg(1) };
+        let read = Inst::OpenForRead { obj: Reg(1) };
+        assert!(!transfer(&mut facts, &upd, &classes, TransferOptions::default()));
+        assert!(transfer(&mut facts, &read, &classes, TransferOptions::default()));
+    }
+
+    #[test]
+    fn read_does_not_subsume_update() {
+        let classes = classes();
+        let mut facts = FactSet::empty();
+        transfer(&mut facts, &Inst::OpenForRead { obj: Reg(1) }, &classes, Default::default());
+        assert!(!transfer(
+            &mut facts,
+            &Inst::OpenForUpdate { obj: Reg(1) },
+            &classes,
+            Default::default()
+        ));
+    }
+
+    #[test]
+    fn redefinition_kills_facts() {
+        let classes = classes();
+        let mut facts = FactSet::empty();
+        transfer(&mut facts, &Inst::OpenForRead { obj: Reg(1) }, &classes, Default::default());
+        transfer(&mut facts, &Inst::Const { dst: Reg(1), value: 0 }, &classes, Default::default());
+        assert!(!transfer(
+            &mut facts,
+            &Inst::OpenForRead { obj: Reg(1) },
+            &classes,
+            Default::default()
+        ));
+    }
+
+    #[test]
+    fn copies_carry_facts() {
+        let classes = classes();
+        let mut facts = FactSet::empty();
+        transfer(&mut facts, &Inst::OpenForUpdate { obj: Reg(1) }, &classes, Default::default());
+        transfer(&mut facts, &Inst::Copy { dst: Reg(2), src: Reg(1) }, &classes, Default::default());
+        assert!(transfer(
+            &mut facts,
+            &Inst::OpenForUpdate { obj: Reg(2) },
+            &classes,
+            Default::default()
+        ));
+    }
+
+    #[test]
+    fn tx_boundaries_clear_facts() {
+        let classes = classes();
+        let mut facts = FactSet::empty();
+        transfer(&mut facts, &Inst::OpenForRead { obj: Reg(1) }, &classes, Default::default());
+        transfer(&mut facts, &Inst::TxCommit, &classes, Default::default());
+        assert!(!transfer(
+            &mut facts,
+            &Inst::OpenForRead { obj: Reg(1) },
+            &classes,
+            Default::default()
+        ));
+    }
+
+    #[test]
+    fn tx_local_new_opens_everything() {
+        let classes = classes();
+        let mut facts = FactSet::empty();
+        let new = Inst::New { dst: Reg(3), class: IrClassId(0), args: vec![] };
+        transfer(&mut facts, &new, &classes, TransferOptions { tx_local_new: true });
+        assert!(transfer(&mut facts, &Inst::OpenForRead { obj: Reg(3) }, &classes, Default::default()));
+        assert!(transfer(&mut facts, &Inst::OpenForUpdate { obj: Reg(3) }, &classes, Default::default()));
+        assert!(transfer(
+            &mut facts,
+            &Inst::LogForUndo { obj: Reg(3), class: IrClassId(0), field: 1 },
+            &classes,
+            Default::default()
+        ));
+    }
+
+    #[test]
+    fn without_tx_local_new_is_just_a_def() {
+        let classes = classes();
+        let mut facts = FactSet::empty();
+        let new = Inst::New { dst: Reg(3), class: IrClassId(0), args: vec![] };
+        transfer(&mut facts, &new, &classes, TransferOptions::default());
+        assert!(!transfer(
+            &mut facts,
+            &Inst::OpenForRead { obj: Reg(3) },
+            &classes,
+            Default::default()
+        ));
+    }
+
+    #[test]
+    fn meet_intersects_and_top_is_identity() {
+        let mut a = FactSet::empty();
+        a.insert(Fact::Read(Reg(1)));
+        a.insert(Fact::Read(Reg(2)));
+        let mut b = FactSet::empty();
+        b.insert(Fact::Read(Reg(2)));
+        let m = a.meet(&b);
+        assert!(!m.contains(Fact::Read(Reg(1))));
+        assert!(m.contains(Fact::Read(Reg(2))));
+        assert_eq!(FactSet::top().meet(&a), a);
+    }
+}

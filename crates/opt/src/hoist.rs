@@ -1,0 +1,242 @@
+//! Hoisting loop-invariant open operations out of loops.
+//!
+//! Opening an object (and undo-logging a field) is idempotent within a
+//! transaction and tolerant of null references, so a barrier whose
+//! object register is loop-invariant can run *once* before the loop
+//! instead of on every iteration. This is where the big dynamic counts
+//! fall: CSE cannot remove an in-loop barrier (nothing is available on
+//! the loop-entry path), but hoisting can move it.
+//!
+//! Safety: hoisting is speculative (the barrier may now execute even if
+//! the loop body never runs). That is sound — an extra open can cause a
+//! false conflict but never wrong results — and is the paper's stated
+//! trade-off. A loop is only processed if *all* of its blocks are
+//! transactional, so a barrier can never move outside its transaction.
+
+use std::collections::HashSet;
+
+use omt_ir::{insert_preheader, natural_loops, Cfg, Dominators, Inst, IrFunction, Reg};
+
+/// Hoists loop-invariant barriers to loop preheaders. Returns the
+/// number of barrier instructions moved.
+pub fn hoist_opens(function: &mut IrFunction) -> usize {
+    let mut hoisted = 0;
+    // Each round hoists from one loop then recomputes the CFG (preheader
+    // insertion invalidates it). Barriers strictly leave loops, so this
+    // terminates; the bound is a safety net.
+    for _ in 0..1000 {
+        let cfg = Cfg::new(function);
+        let doms = Dominators::new(&cfg);
+        let loops = natural_loops(&cfg, &doms);
+
+        let mut moved_this_round = false;
+        for lp in &loops {
+            // Only fully-transactional loops: a barrier must not cross a
+            // TxBegin/TxCommit boundary.
+            if !lp.body.iter().all(|b| function.block(*b).in_tx) {
+                continue;
+            }
+            // Registers defined anywhere inside the loop are not
+            // invariant.
+            let mut defined: HashSet<Reg> = HashSet::new();
+            for &b in &lp.body {
+                for inst in &function.block(b).insts {
+                    if let Some(d) = inst.def() {
+                        defined.insert(d);
+                    }
+                }
+            }
+            let is_candidate = |inst: &Inst| -> bool {
+                match inst {
+                    Inst::OpenForRead { obj }
+                    | Inst::OpenForUpdate { obj }
+                    | Inst::LogForUndo { obj, .. } => !defined.contains(obj),
+                    _ => false,
+                }
+            };
+            let any: bool = lp
+                .body
+                .iter()
+                .any(|&b| function.block(b).insts.iter().any(&is_candidate));
+            if !any {
+                continue;
+            }
+
+            // Collect candidates (preserving discovery order), remove
+            // them from the loop, and place them in a fresh preheader —
+            // updates first, then reads, then undo logs, deduplicated —
+            // so ownership is always acquired before logging.
+            let mut moved: Vec<Inst> = Vec::new();
+            let mut body_blocks: Vec<_> = lp.body.iter().copied().collect();
+            body_blocks.sort();
+            for b in body_blocks {
+                let block = function.block_mut(b);
+                let mut kept = Vec::with_capacity(block.insts.len());
+                for inst in block.insts.drain(..) {
+                    if is_candidate(&inst) {
+                        if !moved.contains(&inst) {
+                            moved.push(inst);
+                        }
+                        hoisted += 1;
+                    } else {
+                        kept.push(inst);
+                    }
+                }
+                block.insts = kept;
+            }
+            moved.sort_by_key(|inst| match inst {
+                Inst::OpenForUpdate { .. } => 0,
+                Inst::OpenForRead { .. } => 1,
+                Inst::LogForUndo { .. } => 2,
+                _ => unreachable!("only barriers are moved"),
+            });
+            let pre = insert_preheader(function, lp);
+            function.block_mut(pre).insts = moved;
+            moved_this_round = true;
+            break; // CFG changed; recompute before the next loop
+        }
+        if !moved_this_round {
+            break;
+        }
+    }
+    hoisted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cse::{eliminate_redundant_barriers, CseScope};
+    use crate::insert::{insert_barriers, InsertOptions};
+    use omt_ir::{lower, verify, IrProgram};
+    use omt_lang::{check, parse};
+
+    fn prepared(src: &str) -> IrProgram {
+        let program = parse(src).expect("parse");
+        let info = check(&program).expect("check");
+        let mut ir = lower(&program, &info);
+        insert_barriers(&mut ir, InsertOptions::default());
+        ir
+    }
+
+    fn hoist_fn(ir: &mut IrProgram, name: &str) -> usize {
+        let id = ir.function_id(name).unwrap();
+        let n = hoist_opens(&mut ir.functions[id.0 as usize]);
+        verify(ir).unwrap();
+        n
+    }
+
+    /// True if any loop block of `name` still contains a barrier.
+    fn loop_has_barriers(ir: &IrProgram, name: &str) -> bool {
+        let f = ir.function(ir.function_id(name).unwrap());
+        let cfg = Cfg::new(f);
+        let doms = Dominators::new(&cfg);
+        let loops = natural_loops(&cfg, &doms);
+        loops.iter().any(|lp| {
+            lp.body.iter().any(|&b| f.block(b).insts.iter().any(Inst::is_barrier))
+        })
+    }
+
+    #[test]
+    fn invariant_open_moves_to_preheader() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C, n: int) {
+                 atomic {
+                     let i = 0;
+                     while i < n { c.x = c.x + 1; i = i + 1; }
+                 }
+             }",
+        );
+        let moved = hoist_fn(&mut ir, "f");
+        assert!(moved >= 3, "open-update, open-read, log-undo all hoisted, got {moved}");
+        assert!(!loop_has_barriers(&ir, "f"));
+        // Barrier instructions still exist, just outside the loop.
+        let f = ir.function(ir.function_id("f").unwrap());
+        let (r, u, n) = f.barrier_counts();
+        assert!(u >= 1 && n >= 1 && r >= 1);
+    }
+
+    #[test]
+    fn varying_register_is_not_hoisted() {
+        // n.next changes every iteration: the open must stay inside.
+        let mut ir = prepared(
+            "class N { var v: int; var next: N; }
+             fn sum(h: N) -> int {
+                 let t = 0;
+                 atomic {
+                     let n = h;
+                     while n != null { t = t + n.v; n = n.next; }
+                 }
+                 return t;
+             }",
+        );
+        hoist_fn(&mut ir, "sum");
+        assert!(loop_has_barriers(&ir, "sum"), "list-walk opens are not invariant");
+    }
+
+    #[test]
+    fn loop_containing_tx_boundary_is_skipped() {
+        // The atomic block is *inside* the loop: its blocks are not all
+        // transactional, so nothing may be hoisted out.
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C, n: int) {
+                 let i = 0;
+                 while i < n {
+                     atomic { c.x = c.x + 1; }
+                     i = i + 1;
+                 }
+             }",
+        );
+        let moved = hoist_fn(&mut ir, "f");
+        assert_eq!(moved, 0, "barriers must not escape their transaction");
+    }
+
+    #[test]
+    fn hoist_then_cse_leaves_single_barriers() {
+        let mut ir = prepared(
+            "class C { var x: int; var y: int; }
+             fn f(c: C, n: int) {
+                 atomic {
+                     let i = 0;
+                     while i < n { c.x = c.x + c.y; i = i + 1; }
+                 }
+             }",
+        );
+        hoist_fn(&mut ir, "f");
+        let id = ir.function_id("f").unwrap();
+        let classes = ir.classes.clone();
+        eliminate_redundant_barriers(
+            &mut ir.functions[id.0 as usize],
+            &classes,
+            CseScope::Global,
+            Default::default(),
+        );
+        verify(&ir).unwrap();
+        let f = ir.function(id);
+        let (r, u, n) = f.barrier_counts();
+        // c opened once for update (covers the reads), x logged once.
+        assert_eq!(u, 1, "counts: {:?}", (r, u, n));
+        assert_eq!(r, 0, "read open of c subsumed by hoisted update open");
+        assert_eq!(n, 1, "only the written field x needs an undo log");
+    }
+
+    #[test]
+    fn nested_loops_hoist_to_outermost_invariant_point() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C, n: int) {
+                 atomic {
+                     let i = 0;
+                     while i < n {
+                         let j = 0;
+                         while j < n { c.x = c.x + 1; j = j + 1; }
+                         i = i + 1;
+                     }
+                 }
+             }",
+        );
+        hoist_fn(&mut ir, "f");
+        assert!(!loop_has_barriers(&ir, "f"), "barriers leave both loop levels");
+    }
+}

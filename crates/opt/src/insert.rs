@@ -1,0 +1,164 @@
+//! Barrier insertion: the first stage of the pipeline.
+//!
+//! Rewrites every transactional block so that each raw data access is
+//! preceded by the decomposed operations that make it sound:
+//!
+//! - `GetField` ← `OpenForRead` (skipped for immutable `val` fields when
+//!   the option is on — such fields cannot change after construction,
+//!   so there is nothing to validate);
+//! - `SetField` ← `OpenForUpdate` + `LogForUndo`.
+//!
+//! The output of insertion alone corresponds to the *unoptimized* STM
+//! configuration (O0): every access pays the full barrier.
+
+use omt_ir::{Inst, IrFunction, IrProgram};
+
+/// Options controlling insertion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertOptions {
+    /// Do not emit `OpenForRead` for reads of immutable (`val`) fields
+    /// (the O4 immutability optimization).
+    pub elide_immutable_reads: bool,
+}
+
+/// Statistics from one insertion run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertReport {
+    /// `OpenForRead` barriers inserted.
+    pub open_reads: usize,
+    /// `OpenForRead` barriers skipped because the field is immutable.
+    pub immutable_elided: usize,
+    /// `OpenForUpdate` barriers inserted.
+    pub open_updates: usize,
+    /// `LogForUndo` barriers inserted.
+    pub log_undos: usize,
+}
+
+/// Inserts barriers into every transactional block of `program`.
+///
+/// Idempotent only in the sense that it should be run once, on barrier-
+/// free IR straight out of lowering; running it twice duplicates
+/// barriers (the duplicates are semantically harmless but distort
+/// counts).
+pub fn insert_barriers(program: &mut IrProgram, options: InsertOptions) -> InsertReport {
+    let mut report = InsertReport::default();
+    let classes = program.classes.clone();
+    for function in &mut program.functions {
+        insert_in_function(function, &classes, options, &mut report);
+    }
+    report
+}
+
+fn insert_in_function(
+    function: &mut IrFunction,
+    classes: &[omt_ir::IrClass],
+    options: InsertOptions,
+    report: &mut InsertReport,
+) {
+    for block in &mut function.blocks {
+        if !block.in_tx {
+            continue;
+        }
+        let mut out = Vec::with_capacity(block.insts.len() * 2);
+        for inst in block.insts.drain(..) {
+            match &inst {
+                Inst::GetField { obj, class, field, .. } => {
+                    let immutable = classes[class.0 as usize].fields[*field as usize].immutable;
+                    if immutable && options.elide_immutable_reads {
+                        report.immutable_elided += 1;
+                    } else {
+                        out.push(Inst::OpenForRead { obj: *obj });
+                        report.open_reads += 1;
+                    }
+                }
+                Inst::SetField { obj, class, field, .. } => {
+                    out.push(Inst::OpenForUpdate { obj: *obj });
+                    out.push(Inst::LogForUndo { obj: *obj, class: *class, field: *field });
+                    report.open_updates += 1;
+                    report.log_undos += 1;
+                }
+                _ => {}
+            }
+            out.push(inst);
+        }
+        block.insts = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_ir::{lower, verify};
+    use omt_lang::{check, parse};
+
+    fn lowered(src: &str) -> IrProgram {
+        let program = parse(src).expect("parse");
+        let info = check(&program).expect("check");
+        lower(&program, &info)
+    }
+
+    const SRC: &str = "
+        class C { val k: int; var x: int; }
+        fn f(c: C) { atomic { c.x = c.x + c.k; } }
+    ";
+
+    #[test]
+    fn every_access_gets_barriers() {
+        let mut ir = lowered(SRC);
+        let report = insert_barriers(&mut ir, InsertOptions::default());
+        verify(&ir).unwrap();
+        // In f: 2 reads (x, k), 1 write — times 2 (normal + clone).
+        assert_eq!(report.open_reads, 4);
+        assert_eq!(report.open_updates, 2);
+        assert_eq!(report.log_undos, 2);
+        assert_eq!(report.immutable_elided, 0);
+    }
+
+    #[test]
+    fn immutable_reads_can_be_elided() {
+        let mut ir = lowered(SRC);
+        let report =
+            insert_barriers(&mut ir, InsertOptions { elide_immutable_reads: true });
+        verify(&ir).unwrap();
+        assert_eq!(report.open_reads, 2, "only the `var x` read keeps its barrier");
+        assert_eq!(report.immutable_elided, 2);
+    }
+
+    #[test]
+    fn non_tx_code_is_untouched() {
+        let mut ir = lowered("class C { var x: int; } fn f(c: C) -> int { return c.x; }");
+        let report = insert_barriers(&mut ir, InsertOptions::default());
+        // The normal version has no atomic block — but its tx clone is
+        // fully transactional.
+        assert_eq!(report.open_reads, 1);
+        let f = ir.function(ir.function_id("f").unwrap());
+        assert_eq!(f.barrier_counts(), (0, 0, 0));
+        let clone = ir.function(ir.function_id("f$tx").unwrap());
+        assert_eq!(clone.barrier_counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn barriers_precede_their_accesses() {
+        let mut ir = lowered(SRC);
+        insert_barriers(&mut ir, InsertOptions::default());
+        let f = ir.function(ir.function_id("f$tx").unwrap());
+        for block in &f.blocks {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Inst::GetField { obj, .. } = inst {
+                    assert_eq!(
+                        block.insts[i - 1],
+                        Inst::OpenForRead { obj: *obj },
+                        "read barrier immediately before the load"
+                    );
+                }
+                if let Inst::SetField { obj, class, field, .. } = inst {
+                    assert_eq!(
+                        block.insts[i - 1],
+                        Inst::LogForUndo { obj: *obj, class: *class, field: *field }
+                    );
+                    assert_eq!(block.insts[i - 2], Inst::OpenForUpdate { obj: *obj });
+                }
+            }
+        }
+    }
+}

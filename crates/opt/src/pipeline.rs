@@ -1,0 +1,256 @@
+//! The optimization pipeline: the paper's cumulative configurations.
+//!
+//! | level | adds                                                        |
+//! |-------|-------------------------------------------------------------|
+//! | O0    | barrier insertion only (every access pays a full barrier)    |
+//! | O1    | per-block redundant-barrier elimination                      |
+//! | O2    | global CSE + read-to-update subsumption                      |
+//! | O3    | loop-invariant open hoisting                                 |
+//! | O4    | tx-local allocation elision + immutable-field elision        |
+//!
+//! Runtime log filtering is orthogonal (an `omt-stm` configuration
+//! knob), exactly as in the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+use omt_ir::IrProgram;
+use omt_lang::Diagnostics;
+
+use crate::cse::{eliminate_redundant_barriers, CseScope};
+use crate::facts::TransferOptions;
+use crate::hoist::hoist_opens;
+use crate::insert::{insert_barriers, InsertOptions, InsertReport};
+use crate::subsume::subsume_reads;
+
+/// Cumulative optimization levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// Barrier insertion only.
+    O0,
+    /// + local CSE.
+    O1,
+    /// + global CSE and subsumption.
+    O2,
+    /// + loop hoisting.
+    O3,
+    /// + tx-local and immutability elision.
+    O4,
+}
+
+impl OptLevel {
+    /// All levels, lowest to highest.
+    pub const ALL: [OptLevel; 5] =
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4];
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::O4 => "O4",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OptLevel, String> {
+        match s.to_ascii_uppercase().as_str() {
+            "O0" | "0" => Ok(OptLevel::O0),
+            "O1" | "1" => Ok(OptLevel::O1),
+            "O2" | "2" => Ok(OptLevel::O2),
+            "O3" | "3" => Ok(OptLevel::O3),
+            "O4" | "4" => Ok(OptLevel::O4),
+            other => Err(format!("unknown optimization level `{other}` (use O0..O4)")),
+        }
+    }
+}
+
+/// What the pipeline did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Barrier insertion counts.
+    pub inserted: InsertReport,
+    /// `OpenForRead`s promoted to `OpenForUpdate`.
+    pub promoted: usize,
+    /// Barriers moved out of loops.
+    pub hoisted: usize,
+    /// Redundant barriers deleted by CSE.
+    pub removed: usize,
+    /// Final static counts `(open_read, open_update, log_undo)`.
+    pub static_barriers: (usize, usize, usize),
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (r, u, n) = self.static_barriers;
+        write!(
+            f,
+            "inserted {}+{}+{} barriers ({} immutable reads elided), promoted {}, \
+             hoisted {}, removed {}; static: {r} open-read, {u} open-update, {n} log-undo",
+            self.inserted.open_reads,
+            self.inserted.open_updates,
+            self.inserted.log_undos,
+            self.inserted.immutable_elided,
+            self.promoted,
+            self.hoisted,
+            self.removed,
+        )
+    }
+}
+
+/// Runs the pipeline at `level` over barrier-free IR (fresh from
+/// [`omt_ir::lower`]).
+pub fn optimize(program: &mut IrProgram, level: OptLevel) -> PipelineReport {
+    let mut report = PipelineReport {
+        inserted: insert_barriers(
+            program,
+            InsertOptions { elide_immutable_reads: level >= OptLevel::O4 },
+        ),
+        ..PipelineReport::default()
+    };
+
+    let classes = program.classes.clone();
+    for function in &mut program.functions {
+        if level >= OptLevel::O2 {
+            report.promoted += subsume_reads(function);
+        }
+        if level >= OptLevel::O3 {
+            report.hoisted += hoist_opens(function);
+        }
+        if level >= OptLevel::O1 {
+            let scope = if level >= OptLevel::O2 { CseScope::Global } else { CseScope::Local };
+            let options = TransferOptions { tx_local_new: level >= OptLevel::O4 };
+            report.removed += eliminate_redundant_barriers(function, &classes, scope, options);
+        }
+    }
+    report.static_barriers = program.barrier_counts();
+    report
+}
+
+/// Convenience: parse, check, lower, and optimize a TxIL source file.
+///
+/// # Errors
+///
+/// Returns the front-end diagnostics on parse or type errors.
+///
+/// # Examples
+///
+/// ```
+/// use omt_opt::{compile, OptLevel};
+///
+/// let (ir, report) = compile("
+///     class C { var x: int; }
+///     fn bump(c: C) { atomic { c.x = c.x + 1; } }
+/// ", OptLevel::O2)?;
+/// assert!(report.promoted >= 1);
+/// assert!(ir.function_id("bump").is_some());
+/// # Ok::<(), omt_lang::Diagnostics>(())
+/// ```
+pub fn compile(source: &str, level: OptLevel) -> Result<(IrProgram, PipelineReport), Diagnostics> {
+    let program = omt_lang::parse(source)?;
+    let info = omt_lang::check(&program)?;
+    let mut ir = omt_ir::lower(&program, &info);
+    let report = optimize(&mut ir, level);
+    debug_assert!(omt_ir::verify(&ir).is_ok(), "pipeline produced invalid IR");
+    Ok((ir, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_ir::verify;
+
+    const LIST_SUM: &str = "
+        class Node { val key: int; var next: Node; }
+        class Counter { var hits: int; }
+        fn sum(h: Node, c: Counter, n: int) -> int {
+            let t = 0;
+            atomic {
+                let i = 0;
+                while i < n {
+                    let p = h;
+                    while p != null {
+                        t = t + p.key;
+                        p = p.next;
+                    }
+                    c.hits = c.hits + 1;
+                    i = i + 1;
+                }
+            }
+            return t;
+        }
+    ";
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("o3".parse::<OptLevel>().unwrap(), OptLevel::O3);
+        assert!("O9".parse::<OptLevel>().is_err());
+        assert!(OptLevel::O0 < OptLevel::O4);
+        assert_eq!(OptLevel::ALL.len(), 5);
+    }
+
+    #[test]
+    fn static_counts_monotonically_improve() {
+        let mut previous = usize::MAX;
+        for level in OptLevel::ALL {
+            let (ir, report) = compile(LIST_SUM, level).unwrap();
+            verify(&ir).unwrap();
+            let (r, u, n) = report.static_barriers;
+            let total = r + u + n;
+            assert!(
+                total <= previous,
+                "{level}: {total} barriers, worse than previous {previous}"
+            );
+            previous = total;
+        }
+    }
+
+    #[test]
+    fn o0_keeps_every_barrier() {
+        let (_, report) = compile(LIST_SUM, OptLevel::O0).unwrap();
+        let inserted = report.inserted.open_reads
+            + report.inserted.open_updates
+            + report.inserted.log_undos;
+        let (r, u, n) = report.static_barriers;
+        assert_eq!(inserted, r + u + n);
+        assert_eq!(report.removed, 0);
+    }
+
+    #[test]
+    fn o3_hoists_the_counter_barriers() {
+        let (_, report) = compile(LIST_SUM, OptLevel::O3).unwrap();
+        assert!(report.hoisted > 0, "counter barriers are invariant in the outer loop");
+    }
+
+    #[test]
+    fn o4_elides_immutable_key_reads() {
+        // An object whose *only* accessed fields are `val`: at O4 the
+        // open disappears entirely (at O3 one open remains after CSE).
+        let src = "
+            class P { val x: int; val y: int; }
+            fn f(p: P) -> int {
+                let r = 0;
+                atomic { r = p.x + p.y; }
+                return r;
+            }
+        ";
+        let (_, o3) = compile(src, OptLevel::O3).unwrap();
+        let (_, o4) = compile(src, OptLevel::O4).unwrap();
+        assert_eq!(o3.static_barriers.0, 2, "one open per version (normal + clone)");
+        assert_eq!(o4.inserted.immutable_elided, 4);
+        assert_eq!(o4.static_barriers, (0, 0, 0), "no barriers remain at O4");
+    }
+
+    #[test]
+    fn front_end_errors_propagate() {
+        assert!(compile("fn f( {", OptLevel::O2).is_err());
+        assert!(compile("fn f() { x = 1; }", OptLevel::O2).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Read-to-update subsumption.
+//!
+//! If an object opened for read is certain to be opened for update
+//! later in the same transaction, opening it for update *immediately*
+//! is strictly cheaper: the later `OpenForUpdate` becomes redundant
+//! (removed by the CSE pass that follows), and one ownership
+//! acquisition replaces a read-log entry plus an acquisition.
+//!
+//! "Certain" is a backward must-analysis: a register is
+//! *update-anticipated* at a point if every path to function exit
+//! executes `OpenForUpdate` on it before redefining it (or crossing a
+//! transaction boundary).
+
+use std::collections::HashSet;
+
+use omt_ir::{Cfg, Inst, IrFunction, Reg};
+
+/// Promotes `OpenForRead` to `OpenForUpdate` where the update is
+/// certain to follow. Returns the number promoted.
+///
+/// Run the CSE pass afterwards to delete the now-redundant later
+/// `OpenForUpdate`s.
+pub fn subsume_reads(function: &mut IrFunction) -> usize {
+    let cfg = Cfg::new(function);
+    let n = function.blocks.len();
+
+    // Backward must-dataflow. `None` = unvisited (⊤).
+    let mut exit_facts: Vec<Option<HashSet<Reg>>> = vec![None; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &block_id in cfg.rpo.iter().rev() {
+            let index = block_id.index();
+            let block = &function.blocks[index];
+            // Meet over successors' entry facts = transfer of their exit
+            // facts through their own instructions; we store exit facts
+            // and recompute entries on demand.
+            let mut facts: HashSet<Reg> = match block.term.successors().as_slice() {
+                [] => HashSet::new(),
+                succs => {
+                    let mut acc: Option<HashSet<Reg>> = None;
+                    for s in succs {
+                        let entry = entry_facts(function, &exit_facts, s.index());
+                        acc = Some(match (acc, entry) {
+                            (None, e) => e,
+                            (Some(a), e) => a.intersection(&e).copied().collect(),
+                        });
+                    }
+                    acc.unwrap_or_default()
+                }
+            };
+            // `facts` is this block's exit set; nothing more to do with
+            // the instructions here (entry sets are derived lazily).
+            let slot = &mut exit_facts[index];
+            if slot.as_ref() != Some(&facts) {
+                *slot = Some(std::mem::take(&mut facts));
+                changed = true;
+            }
+        }
+    }
+
+    // Rewrite: walk each block backward from its exit set, recording
+    // anticipation at each instruction boundary, then promote.
+    let mut promoted = 0;
+    #[allow(clippy::needless_range_loop)] // exit_facts and blocks indexed in lockstep
+    for index in 0..n {
+        if !cfg.is_reachable(omt_ir::BlockId(index as u32)) {
+            continue;
+        }
+        let exit = exit_facts[index].clone().unwrap_or_default();
+        let block = &mut function.blocks[index];
+        // anticipated[i] = facts holding *after* instruction i-1, i.e.
+        // just before instruction i executes, considering insts i..end.
+        let m = block.insts.len();
+        let mut anticipated = vec![HashSet::new(); m + 1];
+        anticipated[m] = exit;
+        for i in (0..m).rev() {
+            let mut facts = anticipated[i + 1].clone();
+            backward_transfer(&block.insts[i], &mut facts);
+            anticipated[i] = facts;
+        }
+        for (i, inst) in block.insts.iter_mut().enumerate() {
+            if let Inst::OpenForRead { obj } = inst {
+                // Anticipation *after* this instruction: the update
+                // must still be ahead of us.
+                if anticipated[i + 1].contains(obj) {
+                    *inst = Inst::OpenForUpdate { obj: *obj };
+                    promoted += 1;
+                }
+            }
+        }
+    }
+    promoted
+}
+
+/// Entry facts of a block = its exit facts pushed backward through its
+/// instructions.
+fn entry_facts(
+    function: &IrFunction,
+    exit_facts: &[Option<HashSet<Reg>>],
+    index: usize,
+) -> HashSet<Reg> {
+    let mut facts = exit_facts[index].clone().unwrap_or_default();
+    for inst in function.blocks[index].insts.iter().rev() {
+        backward_transfer(inst, &mut facts);
+    }
+    facts
+}
+
+fn backward_transfer(inst: &Inst, facts: &mut HashSet<Reg>) {
+    match inst {
+        Inst::OpenForUpdate { obj } => {
+            facts.insert(*obj);
+        }
+        Inst::TxBegin | Inst::TxCommit => facts.clear(),
+        other => {
+            if let Some(dst) = other.def() {
+                facts.remove(&dst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cse::{eliminate_redundant_barriers, CseScope};
+    use crate::insert::{insert_barriers, InsertOptions};
+    use omt_ir::{lower, verify, IrProgram};
+    use omt_lang::{check, parse};
+
+    fn prepared(src: &str) -> IrProgram {
+        let program = parse(src).expect("parse");
+        let info = check(&program).expect("check");
+        let mut ir = lower(&program, &info);
+        insert_barriers(&mut ir, InsertOptions::default());
+        ir
+    }
+
+    fn subsume_then_cse(ir: &mut IrProgram, name: &str) -> usize {
+        let id = ir.function_id(name).unwrap();
+        let classes = ir.classes.clone();
+        let promoted = subsume_reads(&mut ir.functions[id.0 as usize]);
+        eliminate_redundant_barriers(
+            &mut ir.functions[id.0 as usize],
+            &classes,
+            CseScope::Global,
+            Default::default(),
+        );
+        verify(ir).unwrap();
+        promoted
+    }
+
+    #[test]
+    fn read_then_write_collapses_to_one_update_open() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C) { atomic { c.x = c.x + 1; } }",
+        );
+        let promoted = subsume_then_cse(&mut ir, "f");
+        assert_eq!(promoted, 1);
+        let f = ir.function(ir.function_id("f").unwrap());
+        assert_eq!(f.barrier_counts(), (0, 1, 1), "one update open, no read open");
+    }
+
+    #[test]
+    fn update_on_one_path_only_is_not_promoted() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C, b: bool) -> int {
+                 let r = 0;
+                 atomic {
+                     r = c.x;
+                     if b { c.x = 1; }
+                 }
+                 return r;
+             }",
+        );
+        let promoted = subsume_then_cse(&mut ir, "f");
+        assert_eq!(promoted, 0, "update is conditional; the read must stay a read");
+        let f = ir.function(ir.function_id("f").unwrap());
+        let (reads, updates, _) = f.barrier_counts();
+        assert_eq!(reads, 1);
+        assert_eq!(updates, 1);
+    }
+
+    #[test]
+    fn update_on_both_paths_is_promoted() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(c: C, b: bool) -> int {
+                 let r = 0;
+                 atomic {
+                     r = c.x;
+                     if b { c.x = 1; } else { c.x = 2; }
+                 }
+                 return r;
+             }",
+        );
+        let promoted = subsume_then_cse(&mut ir, "f");
+        assert_eq!(promoted, 1);
+        let f = ir.function(ir.function_id("f").unwrap());
+        let (reads, updates, _) = f.barrier_counts();
+        assert_eq!(reads, 0);
+        assert_eq!(updates, 1, "one promoted open serves both branches");
+    }
+
+    #[test]
+    fn redefinition_blocks_anticipation() {
+        let mut ir = prepared(
+            "class C { var x: int; }
+             fn f(a: C, b: C) -> int {
+                 let r = 0;
+                 atomic {
+                     let c = a;
+                     r = c.x;     // read c (= a)
+                     c = b;
+                     c.x = 1;     // update c (= b) — different object!
+                 }
+                 return r;
+             }",
+        );
+        let promoted = subsume_then_cse(&mut ir, "f");
+        assert_eq!(promoted, 0, "the later update is to a redefined register");
+    }
+}

@@ -1,0 +1,149 @@
+//! Runtime configuration: contention management, filtering, versioning.
+
+use std::fmt;
+
+/// Contention-management policy applied when `OpenForUpdate` finds the
+/// object owned by another transaction.
+///
+/// The paper uses simple policies (the decomposed interface is the
+/// contribution, not contention management); both classics are provided
+/// for the ablation in experiment E7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmPolicy {
+    /// Abort immediately and let the retry loop back off.
+    AbortSelf,
+    /// Spin re-reading the STM word up to the given number of times
+    /// before giving up and aborting.
+    Spin {
+        /// Maximum number of re-reads before aborting.
+        max_spins: u32,
+    },
+}
+
+impl Default for CmPolicy {
+    fn default() -> CmPolicy {
+        CmPolicy::Spin { max_spins: 128 }
+    }
+}
+
+/// Configuration for an [`crate::Stm`] instance.
+///
+/// # Examples
+///
+/// ```
+/// use omt_stm::{StmConfig, CmPolicy};
+///
+/// let config = StmConfig {
+///     runtime_filter: false,          // ablate the log filter (E5)
+///     cm: CmPolicy::AbortSelf,
+///     ..StmConfig::default()
+/// };
+/// assert!(!config.runtime_filter);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmConfig {
+    /// Enable the per-transaction hash filter that suppresses duplicate
+    /// read-log and undo-log entries (the paper's runtime filtering).
+    pub runtime_filter: bool,
+    /// log2 of the filter's slot count.
+    pub filter_bits: u32,
+    /// Number of bits of version number to use before wrapping.
+    ///
+    /// The real system uses the full header word; small widths exist to
+    /// exercise the overflow path (global epoch bump) in tests and in
+    /// experiment E9. Must be in `1..=62`.
+    pub version_bits: u32,
+    /// Contention-management policy.
+    pub cm: CmPolicy,
+    /// Re-validate the read set every `n` reads, catching "zombie"
+    /// transactions early (the managed-runtime sandboxing knob).
+    /// `None` validates only at commit.
+    pub validate_every: Option<u32>,
+    /// Retry budget for [`crate::Stm::try_atomically`].
+    pub max_retries: u32,
+}
+
+impl Default for StmConfig {
+    fn default() -> StmConfig {
+        StmConfig {
+            runtime_filter: true,
+            filter_bits: 8,
+            version_bits: 62,
+            cm: CmPolicy::default(),
+            validate_every: None,
+            max_retries: 1_000_000,
+        }
+    }
+}
+
+impl StmConfig {
+    /// Largest version number before wrap-around under this config.
+    pub fn max_version(&self) -> u64 {
+        (1u64 << self.version_bits) - 1
+    }
+
+    /// Validates invariants, panicking on nonsense values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version_bits` is outside `1..=62` or `filter_bits`
+    /// outside `1..=24`.
+    pub fn validate(&self) {
+        assert!(
+            (1..=62).contains(&self.version_bits),
+            "version_bits must be in 1..=62, got {}",
+            self.version_bits
+        );
+        assert!(
+            (1..=24).contains(&self.filter_bits),
+            "filter_bits must be in 1..=24, got {}",
+            self.filter_bits
+        );
+    }
+}
+
+impl fmt::Display for StmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "filter={} ({} slots), version_bits={}, cm={:?}, validate_every={:?}",
+            self.runtime_filter,
+            1u64 << self.filter_bits,
+            self.version_bits,
+            self.cm,
+            self.validate_every
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = StmConfig::default();
+        c.validate();
+        assert!(c.runtime_filter);
+        assert_eq!(c.max_version(), (1 << 62) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "version_bits")]
+    fn zero_version_bits_rejected() {
+        StmConfig { version_bits: 0, ..StmConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "version_bits")]
+    fn oversized_version_bits_rejected() {
+        StmConfig { version_bits: 63, ..StmConfig::default() }.validate();
+    }
+
+    #[test]
+    fn tiny_version_space() {
+        let c = StmConfig { version_bits: 4, ..StmConfig::default() };
+        c.validate();
+        assert_eq!(c.max_version(), 15);
+    }
+}

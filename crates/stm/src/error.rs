@@ -1,0 +1,134 @@
+//! Transactional error types.
+
+use std::fmt;
+
+/// Why a transaction could not proceed.
+///
+/// All variants except [`TxError::HeapFull`] are *retryable*: aborting
+/// the transaction and re-executing it may succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// A conflict with another transaction (retryable).
+    Conflict(ConflictKind),
+    /// The heap's slot table is exhausted (not retryable).
+    HeapFull,
+}
+
+/// The kind of conflict that doomed a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConflictKind {
+    /// `OpenForUpdate` found the object owned by another transaction and
+    /// the contention manager chose to abort.
+    Busy,
+    /// Read-set validation failed: an object read by this transaction
+    /// was committed by another transaction in the meantime.
+    Invalid,
+    /// The global version-renumbering epoch advanced (version-number
+    /// overflow handling); all in-flight transactions must restart.
+    Epoch,
+    /// The user requested a retry (explicit abort).
+    Explicit,
+}
+
+impl TxError {
+    /// Shorthand for [`TxError::Conflict`] with [`ConflictKind::Busy`].
+    pub const BUSY: TxError = TxError::Conflict(ConflictKind::Busy);
+    /// Shorthand for [`TxError::Conflict`] with [`ConflictKind::Invalid`].
+    pub const INVALID: TxError = TxError::Conflict(ConflictKind::Invalid);
+    /// Shorthand for [`TxError::Conflict`] with [`ConflictKind::Epoch`].
+    pub const EPOCH: TxError = TxError::Conflict(ConflictKind::Epoch);
+    /// Shorthand for [`TxError::Conflict`] with [`ConflictKind::Explicit`].
+    pub const EXPLICIT: TxError = TxError::Conflict(ConflictKind::Explicit);
+
+    /// True if re-running the transaction may succeed.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, TxError::Conflict(_))
+    }
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Conflict(ConflictKind::Busy) => {
+                write!(f, "object owned by a concurrent transaction")
+            }
+            TxError::Conflict(ConflictKind::Invalid) => {
+                write!(f, "read-set validation failed")
+            }
+            TxError::Conflict(ConflictKind::Epoch) => {
+                write!(f, "version renumbering epoch advanced")
+            }
+            TxError::Conflict(ConflictKind::Explicit) => {
+                write!(f, "transaction requested retry")
+            }
+            TxError::HeapFull => write!(f, "heap slot table exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+impl From<omt_heap::HeapFullError> for TxError {
+    fn from(_: omt_heap::HeapFullError) -> TxError {
+        TxError::HeapFull
+    }
+}
+
+/// Result type of transactional operations.
+pub type TxResult<T> = Result<T, TxError>;
+
+/// Why [`crate::Stm::try_atomically`] gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryExhausted {
+    /// The retry budget was consumed by conflicts.
+    Conflicts {
+        /// Number of attempts made.
+        attempts: u32,
+        /// The conflict that doomed the final attempt.
+        last: ConflictKind,
+    },
+    /// The heap filled up; retrying cannot help.
+    HeapFull,
+}
+
+impl fmt::Display for RetryExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryExhausted::Conflicts { attempts, last } => {
+                write!(f, "transaction failed after {attempts} attempts (last: {last:?})")
+            }
+            RetryExhausted::HeapFull => write!(f, "heap slot table exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RetryExhausted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(TxError::BUSY.is_retryable());
+        assert!(TxError::INVALID.is_retryable());
+        assert!(TxError::EPOCH.is_retryable());
+        assert!(TxError::EXPLICIT.is_retryable());
+        assert!(!TxError::HeapFull.is_retryable());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for e in [TxError::BUSY, TxError::INVALID, TxError::EPOCH, TxError::HeapFull] {
+            assert!(!e.to_string().is_empty());
+        }
+        let r = RetryExhausted::Conflicts { attempts: 3, last: ConflictKind::Busy };
+        assert!(r.to_string().contains('3'));
+    }
+
+    #[test]
+    fn heap_full_converts() {
+        let e: TxError = omt_heap::HeapFullError.into();
+        assert_eq!(e, TxError::HeapFull);
+    }
+}

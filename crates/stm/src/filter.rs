@@ -1,0 +1,151 @@
+//! Runtime log filtering.
+//!
+//! Static optimizations cannot remove every duplicate logging operation
+//! (e.g. the same object re-read on different iterations of a loop over
+//! a cyclic structure). The paper therefore adds a cheap *runtime*
+//! filter: a small direct-mapped hash table, consulted before appending
+//! a read-log or undo-log entry.
+//!
+//! The filter is *exact but lossy*: a slot stores the full key, so a hit
+//! is always a true duplicate (never suppressing a first-time entry,
+//! which would be unsound), while collisions simply evict the previous
+//! key (allowing an occasional duplicate entry, which is benign).
+
+/// What kind of log entry a key guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FilterKind {
+    Read,
+    Undo,
+}
+
+/// Direct-mapped duplicate-suppression table.
+#[derive(Debug)]
+pub(crate) struct LogFilter {
+    /// Right-shift that keeps the top `bits` bits of the hash product
+    /// (Fibonacci hashing must use the top bits: only they are affected
+    /// by *every* key bit, including the kind tag in the high bits).
+    shift: u32,
+    slots: Box<[u64]>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LogFilter {
+    /// Creates a filter with `2^bits` slots.
+    pub(crate) fn new(bits: u32) -> LogFilter {
+        let len = 1usize << bits;
+        LogFilter { shift: 64 - bits, slots: vec![0; len].into_boxed_slice(), hits: 0, misses: 0 }
+    }
+
+    fn key(kind: FilterKind, obj_raw: u32, field: u32) -> u64 {
+        let kind_bits: u64 = match kind {
+            FilterKind::Read => 1,
+            FilterKind::Undo => 2,
+        };
+        debug_assert!(field < (1 << 22), "field index too large for filter key");
+        (kind_bits << 54) | (u64::from(field) << 32) | u64::from(obj_raw)
+    }
+
+    /// Returns true if `(kind, obj, field)` was already recorded; records
+    /// it otherwise.
+    pub(crate) fn check_and_set(&mut self, kind: FilterKind, obj_raw: u32, field: u32) -> bool {
+        let key = Self::key(kind, obj_raw, field);
+        // Fibonacci hashing; good dispersion for sequential slot indices.
+        let slot = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift;
+        let cell = &mut self.slots[slot as usize];
+        if *cell == key {
+            self.hits += 1;
+            true
+        } else {
+            *cell = key;
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Forgets everything (used at transaction start and after partial
+    /// rollback, where stale "already logged" claims would be unsound).
+    pub(crate) fn clear(&mut self) {
+        self.slots.fill(0);
+    }
+
+    /// (hits, misses) since construction.
+    #[cfg(test)]
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_occurrence_is_never_suppressed() {
+        let mut f = LogFilter::new(4);
+        assert!(!f.check_and_set(FilterKind::Read, 7, 0));
+        assert!(!f.check_and_set(FilterKind::Undo, 7, 0));
+        assert!(!f.check_and_set(FilterKind::Undo, 7, 1));
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut f = LogFilter::new(4);
+        assert!(!f.check_and_set(FilterKind::Read, 7, 0));
+        assert!(f.check_and_set(FilterKind::Read, 7, 0));
+        assert!(f.check_and_set(FilterKind::Read, 7, 0));
+        assert_eq!(f.counters(), (2, 1));
+    }
+
+    #[test]
+    fn kinds_do_not_alias() {
+        // A read record never makes the undo query claim "seen" and vice
+        // versa; the most recent insert is always resident.
+        let mut f = LogFilter::new(8);
+        assert!(!f.check_and_set(FilterKind::Read, 7, 0));
+        assert!(!f.check_and_set(FilterKind::Undo, 7, 0));
+        assert!(f.check_and_set(FilterKind::Undo, 7, 0));
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut f = LogFilter::new(4);
+        assert!(!f.check_and_set(FilterKind::Read, 7, 0));
+        f.clear();
+        assert!(!f.check_and_set(FilterKind::Read, 7, 0));
+    }
+
+    #[test]
+    fn collisions_evict_but_never_lie() {
+        // With a 1-bit filter (2 slots), hammer many distinct keys; the
+        // filter may forget, but it must never claim an unseen key was
+        // seen.
+        let mut f = LogFilter::new(1);
+        for obj in 0..100u32 {
+            assert!(
+                !f.check_and_set(FilterKind::Read, obj, 0),
+                "filter invented a duplicate for fresh object {obj}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_object_ids_spread_across_slots() {
+        let mut f = LogFilter::new(8);
+        let mut suppressed = 0;
+        for obj in 0..128u32 {
+            if f.check_and_set(FilterKind::Read, obj, 0) {
+                suppressed += 1;
+            }
+        }
+        assert_eq!(suppressed, 0);
+        // Re-query: most should now hit (some evicted by collisions).
+        let mut hits = 0;
+        for obj in 0..128u32 {
+            if f.check_and_set(FilterKind::Read, obj, 0) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 64, "expected most re-queries to hit, got {hits}/128");
+    }
+}

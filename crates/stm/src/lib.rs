@@ -1,0 +1,78 @@
+//! # omt-stm — the PLDI 2006 direct-access STM
+//!
+//! This crate is the core of the reproduction of *"Optimizing memory
+//! transactions"* (Harris, Plesko, Shinnar, Tarditi — PLDI 2006): a
+//! software transactional memory in which
+//!
+//! - transactions **update objects in place** (no shadow copies or write
+//!   buffers), rolling back from an **undo log** on abort;
+//! - writers take **encounter-time exclusive ownership** of objects via a
+//!   single-word compare-and-swap on the object's header;
+//! - readers are **optimistic**, logging per-object version numbers that
+//!   are validated at commit;
+//! - the barrier interface is **decomposed** into `OpenForRead`,
+//!   `OpenForUpdate`, `LogForUndo`, and raw data accesses, so a compiler
+//!   (crate `omt-opt`) can optimize barriers like ordinary code;
+//! - a per-transaction **runtime filter** suppresses duplicate log
+//!   entries that static analysis cannot remove;
+//! - transaction logs participate in **garbage collection**: undo-log
+//!   old values are roots and entries for dead objects are trimmed.
+//!
+//! Entry points: [`Stm::new`] / [`Stm::with_config`], then either the
+//! composed [`Stm::atomically`] retry loop or manual [`Stm::begin`] /
+//! [`Transaction::commit`] for decomposed-barrier callers like the
+//! `omt-vm` interpreter.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use omt_heap::{Heap, ClassDesc, Word};
+//! use omt_stm::{Stm, StmConfig};
+//!
+//! let heap = Arc::new(Heap::new());
+//! let counter = heap.define_class(ClassDesc::with_var_fields("Counter", &["n"]));
+//! let c = heap.alloc(counter)?;
+//! let stm = Stm::with_config(heap.clone(), StmConfig::default());
+//!
+//! // 4 threads × 1000 increments, serializably.
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         scope.spawn(|| {
+//!             for _ in 0..1000 {
+//!                 stm.atomically(|tx| {
+//!                     let n = tx.read(c, 0)?.as_scalar().unwrap();
+//!                     tx.write(c, 0, Word::from_scalar(n + 1))
+//!                 });
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(heap.load(c, 0).as_scalar(), Some(4000));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod error;
+mod filter;
+mod logs;
+mod registry;
+mod stats;
+mod stm;
+mod tx;
+mod word;
+
+#[cfg(test)]
+mod tests;
+
+pub use config::{CmPolicy, StmConfig};
+pub use error::{ConflictKind, RetryExhausted, TxError, TxResult};
+pub use logs::Savepoint;
+pub use registry::TxRegistry;
+pub use stats::{StmStats, StmStatsSnapshot};
+pub use stm::Stm;
+pub use tx::{Transaction, TxCounters};
+pub use word::{StmWord, TxToken, MAX_UPDATE_ENTRIES, MAX_VERSION};

@@ -1,0 +1,202 @@
+//! Per-transaction logs: read log, update log, undo log.
+//!
+//! - The **read log** records each object opened for read together with
+//!   the STM word observed at the time; commit-time validation re-checks
+//!   every entry.
+//! - The **update log** records each object acquired for update together
+//!   with the version it had; the STM word of an owned object points at
+//!   its update-log entry (by index), so entries are never moved — GC
+//!   trimming tombstones them instead.
+//! - The **undo log** records `(object, field, old value)` before each
+//!   first in-place store, to roll the heap back on abort.
+//!
+//! Savepoints capture log lengths for closed-nested transactions.
+
+use omt_heap::ObjRef;
+
+/// A read-log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ReadEntry {
+    pub obj: ObjRef,
+    /// Raw STM word observed by `OpenForRead`.
+    pub observed: u64,
+}
+
+/// An update-log entry (the target of an owned STM word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct UpdateEntry {
+    pub obj: ObjRef,
+    /// Version the object had when acquired; restored on abort and
+    /// incremented on commit.
+    pub original_version: u64,
+    /// Tombstone set by GC trimming when the object died; a dead entry
+    /// is skipped at release time.
+    pub dead: bool,
+}
+
+/// An undo-log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct UndoEntry {
+    pub obj: ObjRef,
+    pub field: u32,
+    /// Raw field bits to restore on abort.
+    pub old_bits: u64,
+}
+
+/// Marks a point in the logs for closed-nested rollback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Savepoint {
+    pub(crate) read_len: usize,
+    pub(crate) update_len: usize,
+    pub(crate) undo_len: usize,
+    pub(crate) alloc_len: usize,
+}
+
+/// All logs of one transaction.
+///
+/// Boxed by the transaction and registered (by pointer) with the STM's
+/// GC registry, so the collector can trace rollback roots and trim dead
+/// entries under the stop-the-world contract.
+#[derive(Debug, Default)]
+pub(crate) struct TxLogs {
+    pub read: Vec<ReadEntry>,
+    pub update: Vec<UpdateEntry>,
+    pub undo: Vec<UndoEntry>,
+    /// Objects allocated inside the transaction (garbage on abort).
+    pub allocs: Vec<ObjRef>,
+}
+
+impl TxLogs {
+    pub(crate) fn new() -> TxLogs {
+        TxLogs::default()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.read.clear();
+        self.update.clear();
+        self.undo.clear();
+        self.allocs.clear();
+    }
+
+    pub(crate) fn savepoint(&self) -> Savepoint {
+        Savepoint {
+            read_len: self.read.len(),
+            update_len: self.update.len(),
+            undo_len: self.undo.len(),
+            alloc_len: self.allocs.len(),
+        }
+    }
+
+    /// Approximate heap footprint of the logs, for the GC experiment.
+    pub(crate) fn byte_size(&self) -> usize {
+        self.read.len() * std::mem::size_of::<ReadEntry>()
+            + self.update.len() * std::mem::size_of::<UpdateEntry>()
+            + self.undo.len() * std::mem::size_of::<UndoEntry>()
+            + self.allocs.len() * std::mem::size_of::<ObjRef>()
+    }
+
+    /// Entry counts `(read, update, undo)`.
+    pub(crate) fn lens(&self) -> (usize, usize, usize) {
+        (self.read.len(), self.update.len(), self.undo.len())
+    }
+
+    /// GC: references that must stay live because abort would write them
+    /// back into the heap.
+    pub(crate) fn trace_rollback_roots(&self, mark: &mut dyn FnMut(ObjRef)) {
+        for entry in &self.undo {
+            if let Some(r) = omt_heap::Word::from_bits(entry.old_bits).as_ref() {
+                mark(r);
+            }
+        }
+    }
+
+    /// GC: drop or tombstone entries whose objects died (the paper's
+    /// log trimming). Returns the number of entries removed.
+    pub(crate) fn trim(&mut self, is_live: &dyn Fn(ObjRef) -> bool) -> usize {
+        let before = self.read.len() + self.undo.len() + self.allocs.len();
+        self.read.retain(|e| is_live(e.obj));
+        self.undo.retain(|e| is_live(e.obj));
+        self.allocs.retain(|r| is_live(*r));
+        let mut tombstoned = 0;
+        for entry in &mut self.update {
+            if !entry.dead && !is_live(entry.obj) {
+                entry.dead = true;
+                tombstoned += 1;
+            }
+        }
+        before - (self.read.len() + self.undo.len() + self.allocs.len()) + tombstoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::{ClassDesc, Heap, Word};
+
+    fn sample_refs(n: usize) -> (Heap, Vec<ObjRef>) {
+        let heap = Heap::new();
+        let class = heap.define_class(ClassDesc::with_var_fields("C", &["v"]));
+        let refs = (0..n).map(|_| heap.alloc(class).unwrap()).collect();
+        (heap, refs)
+    }
+
+    #[test]
+    fn savepoint_captures_lengths() {
+        let (_heap, refs) = sample_refs(2);
+        let mut logs = TxLogs::new();
+        logs.read.push(ReadEntry { obj: refs[0], observed: 0 });
+        let sp = logs.savepoint();
+        assert_eq!(sp.read_len, 1);
+        assert_eq!(sp.update_len, 0);
+        logs.read.push(ReadEntry { obj: refs[1], observed: 2 });
+        assert_eq!(logs.savepoint().read_len, 2);
+    }
+
+    #[test]
+    fn trim_drops_dead_read_and_undo_entries() {
+        let (_heap, refs) = sample_refs(2);
+        let (live, dead) = (refs[0], refs[1]);
+        let mut logs = TxLogs::new();
+        logs.read.push(ReadEntry { obj: live, observed: 0 });
+        logs.read.push(ReadEntry { obj: dead, observed: 0 });
+        logs.undo.push(UndoEntry { obj: dead, field: 0, old_bits: 0 });
+        let removed = logs.trim(&|r| r == live);
+        assert_eq!(removed, 2);
+        assert_eq!(logs.read.len(), 1);
+        assert!(logs.undo.is_empty());
+    }
+
+    #[test]
+    fn trim_tombstones_update_entries_in_place() {
+        let (_heap, refs) = sample_refs(2);
+        let mut logs = TxLogs::new();
+        logs.update.push(UpdateEntry { obj: refs[0], original_version: 3, dead: false });
+        logs.update.push(UpdateEntry { obj: refs[1], original_version: 5, dead: false });
+        let removed = logs.trim(&|r| r == refs[0]);
+        assert_eq!(removed, 1);
+        // Indices are preserved; entry 1 is tombstoned, not removed.
+        assert_eq!(logs.update.len(), 2);
+        assert!(!logs.update[0].dead);
+        assert!(logs.update[1].dead);
+    }
+
+    #[test]
+    fn rollback_roots_are_old_value_refs() {
+        let (_heap, refs) = sample_refs(2);
+        let mut logs = TxLogs::new();
+        logs.undo.push(UndoEntry { obj: refs[0], field: 0, old_bits: Word::from_ref(refs[1]).to_bits() });
+        logs.undo.push(UndoEntry { obj: refs[0], field: 0, old_bits: Word::from_scalar(7).to_bits() });
+        let mut roots = Vec::new();
+        logs.trace_rollback_roots(&mut |r| roots.push(r));
+        assert_eq!(roots, vec![refs[1]]);
+    }
+
+    #[test]
+    fn byte_size_grows_with_entries() {
+        let (_heap, refs) = sample_refs(1);
+        let mut logs = TxLogs::new();
+        let empty = logs.byte_size();
+        logs.read.push(ReadEntry { obj: refs[0], observed: 0 });
+        assert!(logs.byte_size() > empty);
+    }
+}

@@ -1,0 +1,143 @@
+//! Registry of in-flight transactions, for GC integration.
+//!
+//! The paper's collector understands transaction logs: undo-log old
+//! values are roots (abort may write them back into the heap), and log
+//! entries for dead objects are trimmed. To give the collector access to
+//! logs that live on mutator stacks, every active transaction registers
+//! a pointer to its [`TxLogs`] here, and unregisters on completion.
+//!
+//! # Stop-the-world contract
+//!
+//! The registry dereferences those raw pointers only from
+//! [`GcParticipant`] callbacks, which [`omt_heap::Heap::collect`]
+//! documents may run only while all mutators are paused. Outside a
+//! collection the pointers are never touched.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+use parking_lot::Mutex;
+
+use omt_heap::{GcParticipant, ObjRef};
+
+use crate::logs::TxLogs;
+
+/// A registered pointer to a transaction's logs.
+///
+/// SAFETY invariant: the pointee is a `Box<TxLogs>` owned by a live
+/// `Transaction` that unregisters before the box is dropped; it is only
+/// dereferenced under the stop-the-world contract above.
+struct LogsPtr(*mut TxLogs);
+
+// SAFETY: see the struct invariant; access is serialized by the GC's
+// stop-the-world contract plus the registry mutex.
+unsafe impl Send for LogsPtr {}
+
+/// Registry of all active transactions of one [`crate::Stm`].
+#[derive(Default)]
+pub struct TxRegistry {
+    active: Mutex<HashMap<u64, LogsPtr>>,
+    stats: std::sync::Arc<crate::stats::StmStats>,
+}
+
+impl TxRegistry {
+    pub(crate) fn new(stats: std::sync::Arc<crate::stats::StmStats>) -> TxRegistry {
+        TxRegistry { active: Mutex::new(HashMap::new()), stats }
+    }
+
+    pub(crate) fn register(&self, serial: u64, logs: *mut TxLogs) {
+        self.active.lock().insert(serial, LogsPtr(logs));
+    }
+
+    pub(crate) fn unregister(&self, serial: u64) {
+        self.active.lock().remove(&serial);
+    }
+
+    /// Number of registered (active) transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Total byte footprint of all registered logs.
+    ///
+    /// Only meaningful while mutators are paused (same contract as GC).
+    pub fn total_log_bytes(&self) -> usize {
+        let active = self.active.lock();
+        // SAFETY: stop-the-world contract (see module docs).
+        active.values().map(|p| unsafe { &*p.0 }.byte_size()).sum()
+    }
+
+    /// Total `(read, update, undo)` entry counts across registered logs.
+    ///
+    /// Only meaningful while mutators are paused (same contract as GC).
+    pub fn total_log_entries(&self) -> (usize, usize, usize) {
+        let active = self.active.lock();
+        let mut totals = (0, 0, 0);
+        for p in active.values() {
+            // SAFETY: stop-the-world contract (see module docs).
+            let (r, u, n) = unsafe { &*p.0 }.lens();
+            totals.0 += r;
+            totals.1 += u;
+            totals.2 += n;
+        }
+        totals
+    }
+}
+
+impl GcParticipant for TxRegistry {
+    fn trace_roots(&self, mark: &mut dyn FnMut(ObjRef)) {
+        let active = self.active.lock();
+        for p in active.values() {
+            // SAFETY: stop-the-world contract (see module docs).
+            unsafe { &*p.0 }.trace_rollback_roots(mark);
+        }
+    }
+
+    fn after_sweep(&self, is_live: &dyn Fn(ObjRef) -> bool) {
+        let active = self.active.lock();
+        let mut trimmed = 0u64;
+        for p in active.values() {
+            // SAFETY: stop-the-world contract (see module docs); the
+            // mutable access is exclusive because mutators are paused.
+            trimmed += unsafe { &mut *p.0 }.trim(is_live) as u64;
+        }
+        self.stats.gc_trimmed_entries.fetch_add(trimmed, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for TxRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxRegistry").field("active", &self.active_count()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_unregister() {
+        let registry = TxRegistry::new(Default::default());
+        let mut logs = Box::new(TxLogs::new());
+        registry.register(1, &mut *logs);
+        assert_eq!(registry.active_count(), 1);
+        registry.unregister(1);
+        assert_eq!(registry.active_count(), 0);
+    }
+
+    #[test]
+    fn log_footprint_visible_through_registry() {
+        let heap = omt_heap::Heap::new();
+        let class = heap.define_class(omt_heap::ClassDesc::with_var_fields("C", &["v"]));
+        let obj = heap.alloc(class).unwrap();
+
+        let registry = TxRegistry::new(Default::default());
+        let mut logs = Box::new(TxLogs::new());
+        logs.read.push(crate::logs::ReadEntry { obj, observed: 0 });
+        registry.register(7, &mut *logs);
+        let (r, u, n) = registry.total_log_entries();
+        assert_eq!((r, u, n), (1, 0, 0));
+        assert!(registry.total_log_bytes() > 0);
+        registry.unregister(7);
+    }
+}

@@ -1,0 +1,213 @@
+//! STM-wide statistics: transaction outcomes, barrier executions, and
+//! filtering effectiveness.
+//!
+//! These counters regenerate the paper's dynamic-count tables: how many
+//! `OpenForRead` / `OpenForUpdate` / `LogForUndo` operations executed,
+//! how many log entries the runtime filter suppressed, and abort rates.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($(#[$meta:meta] $name:ident),+ $(,)?) => {
+        /// Live counters owned by an [`crate::Stm`]; relaxed atomics.
+        #[derive(Debug, Default)]
+        pub struct StmStats {
+            $( #[$meta] pub(crate) $name: AtomicU64, )+
+        }
+
+        /// A point-in-time copy of [`StmStats`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct StmStatsSnapshot {
+            $( #[$meta] pub $name: u64, )+
+        }
+
+        impl StmStats {
+            /// Takes a snapshot of all counters.
+            pub fn snapshot(&self) -> StmStatsSnapshot {
+                StmStatsSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Transactions begun.
+    begins,
+    /// Transactions committed.
+    commits,
+    /// Aborts because `OpenForUpdate` lost to another owner.
+    aborts_busy,
+    /// Aborts because read-set validation failed.
+    aborts_invalid,
+    /// Aborts because the renumbering epoch advanced.
+    aborts_epoch,
+    /// Aborts requested explicitly by the user.
+    aborts_explicit,
+    /// `OpenForRead` barrier executions.
+    open_read_ops,
+    /// `OpenForUpdate` barrier executions.
+    open_update_ops,
+    /// `LogForUndo` barrier executions.
+    log_undo_ops,
+    /// Read-log entries actually appended.
+    read_entries,
+    /// Read-log appends suppressed by the runtime filter.
+    read_filtered,
+    /// Undo-log entries actually appended.
+    undo_entries,
+    /// Undo-log appends suppressed by the runtime filter.
+    undo_filtered,
+    /// Successful ownership acquisitions (CAS to owned).
+    acquires,
+    /// Read-set validations performed (commit-time and incremental).
+    validations,
+    /// Incremental (mid-transaction) validations.
+    mid_validations,
+    /// Contention-manager spin iterations.
+    cm_spins,
+    /// Log entries removed or tombstoned by GC trimming.
+    gc_trimmed_entries,
+}
+
+impl StmStats {
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl StmStatsSnapshot {
+    /// Total aborts across all causes.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_busy + self.aborts_invalid + self.aborts_epoch + self.aborts_explicit
+    }
+
+    /// Aborts per begun transaction (0 if none begun).
+    pub fn abort_rate(&self) -> f64 {
+        if self.begins == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 / self.begins as f64
+        }
+    }
+
+    /// Fraction of read-log appends suppressed by the filter.
+    pub fn read_filter_rate(&self) -> f64 {
+        let total = self.read_entries + self.read_filtered;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_filtered as f64 / total as f64
+        }
+    }
+
+    /// Fraction of undo-log appends suppressed by the filter.
+    pub fn undo_filter_rate(&self) -> f64 {
+        let total = self.undo_entries + self.undo_filtered;
+        if total == 0 {
+            0.0
+        } else {
+            self.undo_filtered as f64 / total as f64
+        }
+    }
+
+    /// Subtracts a baseline snapshot, yielding deltas.
+    pub fn delta_since(&self, baseline: &StmStatsSnapshot) -> StmStatsSnapshot {
+        StmStatsSnapshot {
+            begins: self.begins - baseline.begins,
+            commits: self.commits - baseline.commits,
+            aborts_busy: self.aborts_busy - baseline.aborts_busy,
+            aborts_invalid: self.aborts_invalid - baseline.aborts_invalid,
+            aborts_epoch: self.aborts_epoch - baseline.aborts_epoch,
+            aborts_explicit: self.aborts_explicit - baseline.aborts_explicit,
+            open_read_ops: self.open_read_ops - baseline.open_read_ops,
+            open_update_ops: self.open_update_ops - baseline.open_update_ops,
+            log_undo_ops: self.log_undo_ops - baseline.log_undo_ops,
+            read_entries: self.read_entries - baseline.read_entries,
+            read_filtered: self.read_filtered - baseline.read_filtered,
+            undo_entries: self.undo_entries - baseline.undo_entries,
+            undo_filtered: self.undo_filtered - baseline.undo_filtered,
+            acquires: self.acquires - baseline.acquires,
+            validations: self.validations - baseline.validations,
+            mid_validations: self.mid_validations - baseline.mid_validations,
+            cm_spins: self.cm_spins - baseline.cm_spins,
+            gc_trimmed_entries: self.gc_trimmed_entries - baseline.gc_trimmed_entries,
+        }
+    }
+}
+
+impl fmt::Display for StmStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tx: {} begun, {} committed, {} aborted ({:.1}%); barriers: {} open-read, \
+             {} open-update, {} log-undo; filtered: {} read ({:.1}%), {} undo ({:.1}%)",
+            self.begins,
+            self.commits,
+            self.aborts(),
+            self.abort_rate() * 100.0,
+            self.open_read_ops,
+            self.open_update_ops,
+            self.log_undo_ops,
+            self.read_filtered,
+            self.read_filter_rate() * 100.0,
+            self.undo_filtered,
+            self.undo_filter_rate() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let stats = StmStats::default();
+        stats.add(&stats.begins, 3);
+        stats.add(&stats.commits, 2);
+        stats.add(&stats.aborts_busy, 1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.begins, 3);
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts(), 1);
+        assert!((snap.abort_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_rates() {
+        let snap = StmStatsSnapshot {
+            read_entries: 25,
+            read_filtered: 75,
+            undo_entries: 10,
+            undo_filtered: 0,
+            ..StmStatsSnapshot::default()
+        };
+        assert!((snap.read_filter_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(snap.undo_filter_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let a = StmStatsSnapshot { begins: 10, commits: 8, ..Default::default() };
+        let b = StmStatsSnapshot { begins: 4, commits: 3, ..Default::default() };
+        let d = a.delta_since(&b);
+        assert_eq!(d.begins, 6);
+        assert_eq!(d.commits, 5);
+    }
+
+    #[test]
+    fn rates_are_zero_when_empty() {
+        let snap = StmStatsSnapshot::default();
+        assert_eq!(snap.abort_rate(), 0.0);
+        assert_eq!(snap.read_filter_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_counts() {
+        let snap = StmStatsSnapshot { begins: 7, ..Default::default() };
+        assert!(snap.to_string().contains("7 begun"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The STM runtime: transaction management and the retry loop.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use omt_heap::{GcParticipant, Heap};
+use rand::Rng;
+
+use crate::config::StmConfig;
+use crate::error::{ConflictKind, RetryExhausted, TxError, TxResult};
+use crate::registry::TxRegistry;
+use crate::stats::{StmStats, StmStatsSnapshot};
+use crate::tx::{Outcome, Transaction, TxCounters};
+use crate::word::TxToken;
+
+/// A direct-access software transactional memory over an
+/// [`omt_heap::Heap`].
+///
+/// One `Stm` instance manages any number of concurrent transactions on
+/// the heap it wraps. Share it across threads behind an [`Arc`] (or with
+/// scoped threads).
+///
+/// # Examples
+///
+/// Transfer between two accounts with automatic retry:
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::{Heap, ClassDesc, Word};
+/// use omt_stm::Stm;
+///
+/// let heap = Arc::new(Heap::new());
+/// let class = heap.define_class(ClassDesc::with_var_fields("Acct", &["bal"]));
+/// let a = heap.alloc(class)?;
+/// let b = heap.alloc(class)?;
+/// let stm = Stm::new(heap.clone());
+/// heap.store(a, 0, Word::from_scalar(100));
+///
+/// stm.atomically(|tx| {
+///     let bal_a = tx.read(a, 0)?.as_scalar().unwrap();
+///     let bal_b = tx.read(b, 0)?.as_scalar().unwrap();
+///     tx.write(a, 0, Word::from_scalar(bal_a - 30))?;
+///     tx.write(b, 0, Word::from_scalar(bal_b + 30))?;
+///     Ok(())
+/// });
+/// assert_eq!(heap.load(b, 0).as_scalar(), Some(30));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Stm {
+    heap: Arc<Heap>,
+    config: StmConfig,
+    /// Global renumbering epoch; bumped when a version number wraps.
+    epoch: AtomicU64,
+    next_token: AtomicU32,
+    next_serial: AtomicU64,
+    registry: TxRegistry,
+    stats: Arc<StmStats>,
+}
+
+impl Stm {
+    /// Creates an STM over `heap` with the default configuration.
+    pub fn new(heap: Arc<Heap>) -> Stm {
+        Stm::with_config(heap, StmConfig::default())
+    }
+
+    /// Creates an STM with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`StmConfig::validate`]).
+    pub fn with_config(heap: Arc<Heap>, config: StmConfig) -> Stm {
+        config.validate();
+        let stats: Arc<StmStats> = Arc::new(StmStats::default());
+        Stm {
+            heap,
+            config,
+            epoch: AtomicU64::new(0),
+            next_token: AtomicU32::new(1),
+            next_serial: AtomicU64::new(1),
+            registry: TxRegistry::new(stats.clone()),
+            stats,
+        }
+    }
+
+    /// The underlying heap.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// Snapshot of the global statistics.
+    pub fn stats(&self) -> StmStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The registry of in-flight transactions (also the STM's
+    /// [`GcParticipant`]).
+    pub fn registry(&self) -> &TxRegistry {
+        &self.registry
+    }
+
+    /// This STM as a GC participant, to pass to
+    /// [`omt_heap::Heap::collect`].
+    pub fn gc_participant(&self) -> &dyn GcParticipant {
+        &self.registry
+    }
+
+    /// Current renumbering epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> Transaction<'_> {
+        self.stats.add(&self.stats.begins, 1);
+        let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
+        let token = TxToken(self.next_token.fetch_add(1, Ordering::Relaxed));
+        Transaction::new(self, serial, token, self.epoch())
+    }
+
+    /// Runs `f` transactionally, retrying on conflicts with randomized
+    /// exponential backoff, until it commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap fills up ([`TxError::HeapFull`] is not
+    /// retryable); use [`Stm::try_atomically`] to handle that case.
+    pub fn atomically<T>(&self, mut f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>) -> T {
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt(&mut f) {
+                Ok(v) => return v,
+                Err(TxError::HeapFull) => panic!("heap slot table exhausted inside atomically"),
+                Err(TxError::Conflict(_)) => {
+                    attempt = attempt.saturating_add(1);
+                    backoff(attempt);
+                }
+            }
+        }
+    }
+
+    /// Like [`Stm::atomically`] but gives up after the configured retry
+    /// budget instead of looping forever.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryExhausted::Conflicts`] after `max_retries` failed
+    /// attempts; [`RetryExhausted::HeapFull`] on allocation failure.
+    pub fn try_atomically<T>(
+        &self,
+        mut f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
+    ) -> Result<T, RetryExhausted> {
+        let budget = self.config.max_retries;
+        let mut last = ConflictKind::Busy;
+        for attempt in 0..=budget {
+            match self.attempt(&mut f) {
+                Ok(v) => return Ok(v),
+                Err(TxError::HeapFull) => return Err(RetryExhausted::HeapFull),
+                Err(TxError::Conflict(kind)) => {
+                    last = kind;
+                    backoff(attempt + 1);
+                }
+            }
+        }
+        Err(RetryExhausted::Conflicts { attempts: budget + 1, last })
+    }
+
+    fn attempt<T>(&self, f: &mut impl FnMut(&mut Transaction<'_>) -> TxResult<T>) -> TxResult<T> {
+        let mut tx = self.begin();
+        match f(&mut tx) {
+            Ok(v) => {
+                tx.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                match e {
+                    TxError::Conflict(kind) => tx.abort_with(kind),
+                    TxError::HeapFull => tx.abort_with(ConflictKind::Explicit),
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Resets every live object's version to zero and advances the
+    /// epoch — the heavy-weight fallback for version-number exhaustion.
+    ///
+    /// The cheap path (automatic wrap + epoch bump at release time)
+    /// normally suffices; this exists to measure the full renumbering
+    /// cost in experiment E9 and to restore small-version-width
+    /// configurations to a clean state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any transaction is still active (requires quiescence).
+    pub fn renumber_versions(&self) {
+        assert_eq!(
+            self.registry.active_count(),
+            0,
+            "renumber_versions requires quiescence (no active transactions)"
+        );
+        self.bump_epoch();
+        self.heap.for_each_live(|r| {
+            self.heap.header_atomic(r).store(0, Ordering::Release);
+        });
+    }
+
+    pub(crate) fn flush_outcome(&self, outcome: Outcome, counters: &TxCounters) {
+        let s = &self.stats;
+        match outcome {
+            Outcome::Committed => s.add(&s.commits, 1),
+            Outcome::Aborted(ConflictKind::Busy) => s.add(&s.aborts_busy, 1),
+            Outcome::Aborted(ConflictKind::Invalid) => s.add(&s.aborts_invalid, 1),
+            Outcome::Aborted(ConflictKind::Epoch) => s.add(&s.aborts_epoch, 1),
+            Outcome::Aborted(ConflictKind::Explicit) => s.add(&s.aborts_explicit, 1),
+        }
+        s.add(&s.open_read_ops, counters.open_read_ops);
+        s.add(&s.open_update_ops, counters.open_update_ops);
+        s.add(&s.log_undo_ops, counters.log_undo_ops);
+        s.add(&s.read_entries, counters.read_entries);
+        s.add(&s.read_filtered, counters.read_filtered);
+        s.add(&s.undo_entries, counters.undo_entries);
+        s.add(&s.undo_filtered, counters.undo_filtered);
+        s.add(&s.acquires, counters.acquires);
+        s.add(&s.validations, counters.validations);
+        s.add(&s.mid_validations, counters.mid_validations);
+        s.add(&s.cm_spins, counters.cm_spins);
+    }
+}
+
+/// Randomized exponential backoff between transaction attempts.
+fn backoff(attempt: u32) {
+    let cap = 1u32 << attempt.min(12);
+    let spins = rand::thread_rng().gen_range(0..=cap);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+    if attempt > 8 {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,633 @@
+//! Transactions: the decomposed barrier interface.
+//!
+//! A [`Transaction`] exposes exactly the operations the paper's compiler
+//! emits after decomposition:
+//!
+//! | paper operation   | method                                        |
+//! |-------------------|-----------------------------------------------|
+//! | `OpenForRead`     | [`Transaction::open_for_read`]                |
+//! | `OpenForUpdate`   | [`Transaction::open_for_update`]              |
+//! | `LogForUndo`      | [`Transaction::log_for_undo`]                 |
+//! | direct data access| [`Transaction::load_direct`] / [`Transaction::store_direct`] |
+//!
+//! The *monolithic* barriers every unoptimized access uses are the
+//! compositions [`Transaction::read`] and [`Transaction::write`]. The
+//! optimizer's job (crate `omt-opt`) is to replace compositions with the
+//! minimal set of decomposed operations.
+//!
+//! # Direct update and zombies
+//!
+//! Updates happen in place; reads are optimistic and validated at
+//! commit. Between a conflicting commit and this transaction's own
+//! validation, reads can observe *inconsistent* states (a "zombie"
+//! transaction). The paper relies on managed-runtime sandboxing; here,
+//! [`StmConfig::validate_every`](crate::StmConfig) re-validates
+//! periodically and the `omt-vm` interpreter re-validates at loop
+//! back-edges. Native users must tolerate torn-but-typed values (all
+//! heap data is tagged [`Word`]s, so this is safe, never UB).
+
+use std::sync::atomic::Ordering;
+
+use omt_heap::{ClassId, ObjRef, Word};
+
+use crate::config::CmPolicy;
+use crate::error::{ConflictKind, TxError, TxResult};
+use crate::filter::{FilterKind, LogFilter};
+use crate::logs::{ReadEntry, Savepoint, TxLogs, UndoEntry, UpdateEntry};
+use crate::stm::Stm;
+use crate::word::{owned_bits, version_bits, StmWord, TxToken, MAX_UPDATE_ENTRIES};
+
+/// Per-transaction operation counters, flushed into the global
+/// [`crate::StmStats`] when the transaction finishes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TxCounters {
+    /// `OpenForRead` executions.
+    pub open_read_ops: u64,
+    /// `OpenForUpdate` executions.
+    pub open_update_ops: u64,
+    /// `LogForUndo` executions.
+    pub log_undo_ops: u64,
+    /// Read-log entries appended.
+    pub read_entries: u64,
+    /// Read-log appends suppressed by the runtime filter.
+    pub read_filtered: u64,
+    /// Undo-log entries appended.
+    pub undo_entries: u64,
+    /// Undo-log appends suppressed by the runtime filter.
+    pub undo_filtered: u64,
+    /// Successful ownership acquisitions.
+    pub acquires: u64,
+    /// Validations run (including the commit-time one).
+    pub validations: u64,
+    /// Mid-transaction validations.
+    pub mid_validations: u64,
+    /// Contention-manager spins.
+    pub cm_spins: u64,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum TxState {
+    Active,
+    Finished,
+}
+
+/// An in-flight transaction. Obtained from [`Stm::begin`].
+///
+/// Dropping an unfinished transaction aborts it (rolling back all
+/// in-place updates and releasing ownership), so early returns and
+/// panics cannot leak ownership or torn state.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::{Heap, ClassDesc, Word};
+/// use omt_stm::Stm;
+///
+/// let heap = Arc::new(Heap::new());
+/// let class = heap.define_class(ClassDesc::with_var_fields("Acct", &["bal"]));
+/// let acct = heap.alloc(class)?;
+/// let stm = Stm::new(heap);
+///
+/// let mut tx = stm.begin();
+/// let bal = tx.read(acct, 0)?.as_scalar().unwrap();
+/// tx.write(acct, 0, Word::from_scalar(bal + 10))?;
+/// tx.commit()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Transaction<'stm> {
+    stm: &'stm Stm,
+    serial: u64,
+    token: TxToken,
+    epoch: u64,
+    logs: Box<TxLogs>,
+    filter: Option<LogFilter>,
+    counters: TxCounters,
+    reads_since_validate: u32,
+    state: TxState,
+}
+
+impl<'stm> Transaction<'stm> {
+    pub(crate) fn new(stm: &'stm Stm, serial: u64, token: TxToken, epoch: u64) -> Transaction<'stm> {
+        let mut logs = Box::new(TxLogs::new());
+        stm.registry().register(serial, &mut *logs);
+        let filter = stm
+            .config()
+            .runtime_filter
+            .then(|| LogFilter::new(stm.config().filter_bits));
+        Transaction {
+            stm,
+            serial,
+            token,
+            epoch,
+            logs,
+            filter,
+            counters: TxCounters::default(),
+            reads_since_validate: 0,
+            state: TxState::Active,
+        }
+    }
+
+    /// This transaction's token (unique among concurrent transactions).
+    pub fn token(&self) -> TxToken {
+        self.token
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn counters(&self) -> TxCounters {
+        self.counters
+    }
+
+    /// Number of read-log entries.
+    pub fn read_set_size(&self) -> usize {
+        self.logs.read.len()
+    }
+
+    /// Number of update-log entries (owned objects).
+    pub fn update_set_size(&self) -> usize {
+        self.logs.update.len()
+    }
+
+    /// Number of undo-log entries.
+    pub fn undo_log_size(&self) -> usize {
+        self.logs.undo.len()
+    }
+
+    fn assert_active(&self) {
+        assert!(self.state == TxState::Active, "transaction already finished");
+    }
+
+    /// `OpenForRead`: make `obj` readable by this transaction.
+    ///
+    /// Logs the object's STM word for commit-time validation. Reading an
+    /// object currently owned by *another* transaction is permitted
+    /// (optimism) — validation will abort this transaction if that
+    /// matters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Conflict`] only when incremental validation
+    /// (config `validate_every`) detects this transaction is doomed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction already finished.
+    pub fn open_for_read(&mut self, obj: ObjRef) -> TxResult<()> {
+        self.assert_active();
+        self.counters.open_read_ops += 1;
+
+        if let Some(filter) = &mut self.filter {
+            if filter.check_and_set(FilterKind::Read, obj.to_raw(), 0) {
+                self.counters.read_filtered += 1;
+                return self.tick_read_validation();
+            }
+        }
+
+        let observed = self.stm.heap().header_atomic(obj).load(Ordering::Acquire);
+        if let StmWord::Owned { owner, .. } = StmWord::decode(observed) {
+            if owner == self.token {
+                // Already open for update by us: subsumed, nothing to log.
+                return self.tick_read_validation();
+            }
+        }
+        self.logs.read.push(ReadEntry { obj, observed });
+        self.counters.read_entries += 1;
+        self.tick_read_validation()
+    }
+
+    fn tick_read_validation(&mut self) -> TxResult<()> {
+        if let Some(every) = self.stm.config().validate_every {
+            self.reads_since_validate += 1;
+            if self.reads_since_validate >= every {
+                self.reads_since_validate = 0;
+                self.counters.mid_validations += 1;
+                return self.validate();
+            }
+        }
+        Ok(())
+    }
+
+    /// `OpenForUpdate`: acquire exclusive ownership of `obj`.
+    ///
+    /// Idempotent for objects this transaction already owns. On success
+    /// the object's STM word points at this transaction's update log and
+    /// in-place stores become permissible (after [`Self::log_for_undo`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::BUSY`] if another transaction owns the object
+    /// and the contention policy gives up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction already finished, or if a single
+    /// transaction opens more than 2³¹ objects for update.
+    pub fn open_for_update(&mut self, obj: ObjRef) -> TxResult<()> {
+        self.assert_active();
+        self.counters.open_update_ops += 1;
+
+        let header = self.stm.heap().header_atomic(obj);
+        let mut spins = 0u32;
+        loop {
+            let current = header.load(Ordering::Acquire);
+            match StmWord::decode(current) {
+                StmWord::Owned { owner, .. } if owner == self.token => return Ok(()),
+                StmWord::Owned { .. } => match self.stm.config().cm {
+                    CmPolicy::AbortSelf => return Err(TxError::BUSY),
+                    CmPolicy::Spin { max_spins } => {
+                        if spins >= max_spins {
+                            return Err(TxError::BUSY);
+                        }
+                        spins += 1;
+                        self.counters.cm_spins += 1;
+                        std::hint::spin_loop();
+                    }
+                },
+                StmWord::Version(v) => {
+                    let entry = self.logs.update.len();
+                    assert!(
+                        entry <= MAX_UPDATE_ENTRIES as usize,
+                        "update log exceeds {MAX_UPDATE_ENTRIES} entries"
+                    );
+                    let owned = owned_bits(self.token, entry as u32);
+                    if header
+                        .compare_exchange(current, owned, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.logs.update.push(UpdateEntry {
+                            obj,
+                            original_version: v,
+                            dead: false,
+                        });
+                        self.counters.acquires += 1;
+                        return Ok(());
+                    }
+                    // Lost a race; retry (the new word may be ours never —
+                    // we didn't install it — so loop to re-decode).
+                }
+            }
+        }
+    }
+
+    /// `LogForUndo`: record the current value of `(obj, field)` so abort
+    /// can restore it.
+    ///
+    /// Must be called (at least once per field) before
+    /// [`Self::store_direct`] on an object this transaction owns; the
+    /// compiler or the composed [`Self::write`] barrier guarantees this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction already finished. In debug builds,
+    /// panics if the object is not owned by this transaction.
+    pub fn log_for_undo(&mut self, obj: ObjRef, field: usize) {
+        self.assert_active();
+        self.counters.log_undo_ops += 1;
+        debug_assert!(
+            matches!(
+                StmWord::decode(self.stm.heap().header_atomic(obj).load(Ordering::Relaxed)),
+                StmWord::Owned { owner, .. } if owner == self.token
+            ),
+            "log_for_undo on object not owned by this transaction"
+        );
+
+        if let Some(filter) = &mut self.filter {
+            if filter.check_and_set(FilterKind::Undo, obj.to_raw(), field as u32) {
+                self.counters.undo_filtered += 1;
+                return;
+            }
+        }
+        let old_bits = self.stm.heap().field_atomic(obj, field).load(Ordering::Relaxed);
+        self.logs.undo.push(UndoEntry { obj, field: field as u32, old_bits });
+        self.counters.undo_entries += 1;
+    }
+
+    /// Direct data read, without any barrier.
+    ///
+    /// Sound only after [`Self::open_for_read`] or
+    /// [`Self::open_for_update`] on `obj` in this transaction (the
+    /// compiler's obligation).
+    pub fn load_direct(&self, obj: ObjRef, field: usize) -> Word {
+        self.stm.heap().load(obj, field)
+    }
+
+    /// Direct data store, without any barrier.
+    ///
+    /// Sound only after [`Self::open_for_update`] and
+    /// [`Self::log_for_undo`] for `(obj, field)` (the compiler's
+    /// obligation).
+    pub fn store_direct(&self, obj: ObjRef, field: usize, value: Word) {
+        self.stm.heap().store(obj, field, value);
+    }
+
+    /// Monolithic read barrier: `OpenForRead` + direct load.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::open_for_read`].
+    pub fn read(&mut self, obj: ObjRef, field: usize) -> TxResult<Word> {
+        self.open_for_read(obj)?;
+        Ok(self.load_direct(obj, field))
+    }
+
+    /// Monolithic write barrier: `OpenForUpdate` + `LogForUndo` + direct
+    /// store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::open_for_update`].
+    pub fn write(&mut self, obj: ObjRef, field: usize, value: Word) -> TxResult<()> {
+        self.open_for_update(obj)?;
+        self.log_for_undo(obj, field);
+        self.store_direct(obj, field, value);
+        Ok(())
+    }
+
+    /// Allocates a new object inside the transaction.
+    ///
+    /// The object starts at version 0 and is recorded in the allocation
+    /// log (it becomes garbage if the transaction aborts). Accesses to
+    /// it still need barriers *unless* the compiler proves it
+    /// transaction-local (optimization level O4) — exactly the paper's
+    /// division of labour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::HeapFull`] if allocation fails.
+    pub fn alloc(&mut self, class: ClassId) -> TxResult<ObjRef> {
+        self.assert_active();
+        let obj = self.stm.heap().alloc(class)?;
+        self.logs.allocs.push(obj);
+        Ok(obj)
+    }
+
+    /// Validates the read set against the current heap state.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::INVALID`] if a read object changed;
+    /// [`TxError::EPOCH`] if the renumbering epoch advanced.
+    pub fn validate(&mut self) -> TxResult<()> {
+        self.counters.validations += 1;
+        // Order all preceding data loads before the validation loads
+        // (seqlock-style LoadLoad fence).
+        std::sync::atomic::fence(Ordering::Acquire);
+
+        if self.stm.epoch() != self.epoch {
+            return Err(TxError::EPOCH);
+        }
+        for entry in &self.logs.read {
+            let current = self.stm.heap().header_atomic(entry.obj).load(Ordering::Acquire);
+            let valid = match StmWord::decode(entry.observed) {
+                StmWord::Version(v) => match StmWord::decode(current) {
+                    StmWord::Version(cv) => cv == v,
+                    StmWord::Owned { owner, entry: idx } => {
+                        owner == self.token
+                            && self
+                                .logs
+                                .update
+                                .get(idx as usize)
+                                .is_some_and(|u| u.obj == entry.obj && u.original_version == v)
+                    }
+                },
+                StmWord::Owned { owner, .. } if owner == self.token => current == entry.observed,
+                StmWord::Owned { .. } => false,
+            };
+            if !valid {
+                return Err(TxError::INVALID);
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempts to commit.
+    ///
+    /// Validates the read set while still holding ownership of every
+    /// updated object, then releases each with an incremented version —
+    /// the linearization point. On failure the transaction is rolled
+    /// back (undo log replayed, ownership released at the original
+    /// versions).
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::INVALID`] or [`TxError::EPOCH`] when validation fails;
+    /// the transaction is already aborted when the error returns.
+    pub fn commit(mut self) -> TxResult<()> {
+        self.assert_active();
+        if let Err(e) = self.validate() {
+            let TxError::Conflict(kind) = e else { unreachable!("validate only conflicts") };
+            self.rollback(kind);
+            return Err(e);
+        }
+
+        // Release phase: publish every update with a bumped version.
+        let max_version = self.stm.config().max_version();
+        let mut epoch_bumps = 0u32;
+        for entry in &self.logs.update {
+            if entry.dead {
+                continue;
+            }
+            let mut next = entry.original_version + 1;
+            if next > max_version {
+                // Version overflow: wrap and advance the global epoch so
+                // no concurrent transaction can confuse old and new
+                // version numbers (they all abort and restart).
+                next = 0;
+                epoch_bumps += 1;
+            }
+            self.stm
+                .heap()
+                .header_atomic(entry.obj)
+                .store(version_bits(next), Ordering::Release);
+        }
+        if epoch_bumps > 0 {
+            self.stm.bump_epoch();
+        }
+        self.finish(Outcome::Committed);
+        Ok(())
+    }
+
+    /// Aborts the transaction explicitly, rolling back all updates.
+    pub fn abort(mut self) {
+        self.assert_active();
+        self.rollback(ConflictKind::Explicit);
+    }
+
+    pub(crate) fn abort_with(mut self, kind: ConflictKind) {
+        self.assert_active();
+        self.rollback(kind);
+    }
+
+    fn rollback(&mut self, kind: ConflictKind) {
+        // Replay the undo log in reverse: duplicate entries (filter off)
+        // then restore progressively older values, ending at the oldest.
+        for entry in self.logs.undo.iter().rev() {
+            self.stm
+                .heap()
+                .field_atomic(entry.obj, entry.field as usize)
+                .store(entry.old_bits, Ordering::Relaxed);
+        }
+        // Release ownership at the original versions.
+        for entry in &self.logs.update {
+            if entry.dead {
+                continue;
+            }
+            self.stm
+                .heap()
+                .header_atomic(entry.obj)
+                .store(version_bits(entry.original_version), Ordering::Release);
+        }
+        self.finish(Outcome::Aborted(kind));
+    }
+
+    /// Creates a savepoint for closed-nested rollback.
+    ///
+    /// Clears the runtime filter: entries logged before the savepoint
+    /// must not suppress re-logging afterwards, or a partial rollback
+    /// could miss restores.
+    pub fn savepoint(&mut self) -> Savepoint {
+        self.assert_active();
+        if let Some(filter) = &mut self.filter {
+            filter.clear();
+        }
+        self.logs.savepoint()
+    }
+
+    /// Rolls back to `sp`: undoes stores, releases ownership acquired,
+    /// and forgets reads logged since the savepoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` does not describe a prefix of the current logs
+    /// (e.g. a savepoint from another transaction).
+    pub fn rollback_to(&mut self, sp: Savepoint) {
+        self.assert_active();
+        assert!(
+            sp.read_len <= self.logs.read.len()
+                && sp.update_len <= self.logs.update.len()
+                && sp.undo_len <= self.logs.undo.len()
+                && sp.alloc_len <= self.logs.allocs.len(),
+            "savepoint does not match this transaction's logs"
+        );
+        for entry in self.logs.undo[sp.undo_len..].iter().rev() {
+            self.stm
+                .heap()
+                .field_atomic(entry.obj, entry.field as usize)
+                .store(entry.old_bits, Ordering::Relaxed);
+        }
+        self.logs.undo.truncate(sp.undo_len);
+        for entry in &self.logs.update[sp.update_len..] {
+            if entry.dead {
+                continue;
+            }
+            self.stm
+                .heap()
+                .header_atomic(entry.obj)
+                .store(version_bits(entry.original_version), Ordering::Release);
+        }
+        self.logs.update.truncate(sp.update_len);
+        self.logs.read.truncate(sp.read_len);
+        self.logs.allocs.truncate(sp.alloc_len);
+        // Stale filter claims would be unsound after truncation.
+        if let Some(filter) = &mut self.filter {
+            filter.clear();
+        }
+    }
+
+    /// Runs `f` as a closed-nested transaction: on `Err`, its effects
+    /// are rolled back (the outer transaction survives) and the error is
+    /// returned for the caller to decide.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error after rolling back the inner effects.
+    pub fn nested<R>(
+        &mut self,
+        f: impl FnOnce(&mut Transaction<'stm>) -> TxResult<R>,
+    ) -> TxResult<R> {
+        let sp = self.savepoint();
+        match f(self) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.rollback_to(sp);
+                Err(e)
+            }
+        }
+    }
+
+    /// The `orElse` combinator: tries `first`; if it *explicitly*
+    /// retries ([`TxError::EXPLICIT`]), its effects are rolled back and
+    /// `second` runs instead. Genuine conflicts propagate (the whole
+    /// transaction must restart).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the chosen alternative returns; an explicit retry from
+    /// `second` propagates to the caller's retry loop.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use omt_heap::{Heap, ClassDesc, Word};
+    /// use omt_stm::{Stm, TxError};
+    ///
+    /// let heap = Arc::new(Heap::new());
+    /// let class = heap.define_class(ClassDesc::with_var_fields("Slot", &["v"]));
+    /// let a = heap.alloc(class)?;
+    /// let b = heap.alloc(class)?;
+    /// heap.store(b, 0, Word::from_scalar(7));
+    /// let stm = Stm::new(heap);
+    ///
+    /// // Take from `a` if non-empty, else from `b`.
+    /// let taken = stm.atomically(|tx| {
+    ///     tx.or_else(
+    ///         |tx| {
+    ///             let v = tx.read(a, 0)?.as_scalar().unwrap();
+    ///             if v == 0 { return Err(TxError::EXPLICIT); }
+    ///             tx.write(a, 0, Word::from_scalar(0))?;
+    ///             Ok(v)
+    ///         },
+    ///         |tx| {
+    ///             let v = tx.read(b, 0)?.as_scalar().unwrap();
+    ///             tx.write(b, 0, Word::from_scalar(0))?;
+    ///             Ok(v)
+    ///         },
+    ///     )
+    /// });
+    /// assert_eq!(taken, 7);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn or_else<R>(
+        &mut self,
+        first: impl FnOnce(&mut Transaction<'stm>) -> TxResult<R>,
+        second: impl FnOnce(&mut Transaction<'stm>) -> TxResult<R>,
+    ) -> TxResult<R> {
+        match self.nested(first) {
+            Err(TxError::Conflict(ConflictKind::Explicit)) => second(self),
+            other => other,
+        }
+    }
+
+    fn finish(&mut self, outcome: Outcome) {
+        self.state = TxState::Finished;
+        self.stm.registry().unregister(self.serial);
+        self.stm.flush_outcome(outcome, &self.counters);
+        self.logs.clear();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Outcome {
+    Committed,
+    Aborted(ConflictKind),
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if self.state == TxState::Active {
+            self.rollback(ConflictKind::Explicit);
+        }
+    }
+}

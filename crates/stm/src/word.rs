@@ -1,0 +1,171 @@
+//! The STM word: per-object transactional metadata in one header word.
+//!
+//! The PLDI 2006 design attaches exactly one word of STM metadata to each
+//! object. When the object is *quiescent* the word holds a version
+//! number; when a transaction has the object open for update the word
+//! points at that transaction's update-log entry:
+//!
+//! ```text
+//! bit 0 = 0:  [ version : 63 ][0]
+//! bit 0 = 1:  [ update-log entry index : 31 ][ owner token : 32 ][1]
+//! ```
+//!
+//! The owner token identifies the owning transaction (for the cheap
+//! "already open by me?" test) and the entry index lets the owner find
+//! the original version it recorded when acquiring the object.
+//! Validation always *decodes* owned words instead of comparing them
+//! bitwise, so token reuse cannot produce ABA false positives.
+
+use std::fmt;
+
+/// Identifies a transaction for the duration of its execution.
+///
+/// Tokens are drawn from a global wrapping counter. A collision would
+/// require 2³² transactions to start during the lifetime of a single
+/// transaction, which we rule out by assumption (and document here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxToken(pub(crate) u32);
+
+impl TxToken {
+    /// Raw token value.
+    pub fn to_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+/// Maximum update-log entry index encodable in an STM word.
+pub const MAX_UPDATE_ENTRIES: u32 = (1 << 31) - 1;
+
+/// Maximum version number encodable in an STM word.
+pub const MAX_VERSION: u64 = (1 << 63) - 1;
+
+/// Decoded view of an object's STM word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmWord {
+    /// Quiescent: the object's current version number.
+    Version(u64),
+    /// Open for update by `owner`; `entry` indexes the owner's update log.
+    Owned {
+        /// The owning transaction's token.
+        owner: TxToken,
+        /// Index of the acquiring entry in the owner's update log.
+        entry: u32,
+    },
+}
+
+impl StmWord {
+    /// Decodes a raw header word.
+    pub fn decode(bits: u64) -> StmWord {
+        if bits & 1 == 0 {
+            StmWord::Version(bits >> 1)
+        } else {
+            StmWord::Owned {
+                owner: TxToken((bits >> 1) as u32),
+                entry: (bits >> 33) as u32,
+            }
+        }
+    }
+
+    /// Encodes this view back into a raw header word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a version exceeds [`MAX_VERSION`] or an entry index
+    /// exceeds [`MAX_UPDATE_ENTRIES`].
+    pub fn encode(self) -> u64 {
+        match self {
+            StmWord::Version(v) => {
+                assert!(v <= MAX_VERSION, "version {v} out of range");
+                v << 1
+            }
+            StmWord::Owned { owner, entry } => {
+                assert!(entry <= MAX_UPDATE_ENTRIES, "update entry {entry} out of range");
+                (u64::from(entry) << 33) | (u64::from(owner.0) << 1) | 1
+            }
+        }
+    }
+
+    /// True if the word encodes ownership.
+    pub fn is_owned(self) -> bool {
+        matches!(self, StmWord::Owned { .. })
+    }
+
+    /// The version, if quiescent.
+    pub fn version(self) -> Option<u64> {
+        match self {
+            StmWord::Version(v) => Some(v),
+            StmWord::Owned { .. } => None,
+        }
+    }
+}
+
+/// Encodes a version number (convenience for hot paths).
+pub(crate) fn version_bits(v: u64) -> u64 {
+    debug_assert!(v <= MAX_VERSION);
+    v << 1
+}
+
+/// Encodes an ownership word (convenience for hot paths).
+pub(crate) fn owned_bits(owner: TxToken, entry: u32) -> u64 {
+    debug_assert!(entry <= MAX_UPDATE_ENTRIES);
+    (u64::from(entry) << 33) | (u64::from(owner.0) << 1) | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_round_trip() {
+        for v in [0u64, 1, 42, 1 << 20, MAX_VERSION] {
+            let bits = StmWord::Version(v).encode();
+            assert_eq!(StmWord::decode(bits), StmWord::Version(v));
+            assert_eq!(bits & 1, 0);
+        }
+    }
+
+    #[test]
+    fn owned_round_trip() {
+        for owner in [0u32, 1, u32::MAX] {
+            for entry in [0u32, 1, MAX_UPDATE_ENTRIES] {
+                let w = StmWord::Owned { owner: TxToken(owner), entry };
+                let bits = w.encode();
+                assert_eq!(StmWord::decode(bits), w);
+                assert_eq!(bits & 1, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_header_is_version_zero() {
+        assert_eq!(StmWord::decode(0), StmWord::Version(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn version_overflow_panics() {
+        let _ = StmWord::Version(MAX_VERSION + 1).encode();
+    }
+
+    #[test]
+    fn helpers_match_encode() {
+        assert_eq!(version_bits(7), StmWord::Version(7).encode());
+        assert_eq!(
+            owned_bits(TxToken(9), 3),
+            StmWord::Owned { owner: TxToken(9), entry: 3 }.encode()
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(StmWord::decode(owned_bits(TxToken(1), 0)).is_owned());
+        assert_eq!(StmWord::Version(5).version(), Some(5));
+        assert_eq!(StmWord::Owned { owner: TxToken(1), entry: 0 }.version(), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! `txil` — compile and run TxIL programs from the command line.
+//!
+//! ```text
+//! txil run  <file.txil> [--entry main] [--arg N]... [--level O4] [--backend stm] [--stats]
+//! txil dump <file.txil> [--level O4] [--function name]
+//! txil check <file.txil>
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use omt_heap::{Heap, Word};
+use omt_opt::{compile, OptLevel};
+use omt_vm::{BackendKind, SyncBackend, Vm};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage("missing command");
+    };
+    match command.as_str() {
+        "run" => run(&args[1..]),
+        "dump" => dump(&args[1..]),
+        "check" => check(&args[1..]),
+        "--help" | "-h" | "help" => {
+            let _ = usage("");
+            ExitCode::SUCCESS
+        }
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+struct Options {
+    file: String,
+    entry: String,
+    args: Vec<i64>,
+    level: OptLevel,
+    backend: BackendKind,
+    stats: bool,
+    function: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        file: String::new(),
+        entry: "main".to_owned(),
+        args: Vec::new(),
+        level: OptLevel::O4,
+        backend: BackendKind::DirectStm,
+        stats: false,
+        function: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--entry" => options.entry = value("--entry")?,
+            "--arg" => options
+                .args
+                .push(value("--arg")?.parse().map_err(|e| format!("bad --arg: {e}"))?),
+            "--level" => options.level = value("--level")?.parse()?,
+            "--backend" => options.backend = value("--backend")?.parse()?,
+            "--function" => options.function = Some(value("--function")?),
+            "--stats" => options.stats = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            file => {
+                if !options.file.is_empty() {
+                    return Err("multiple input files".to_owned());
+                }
+                options.file = file.to_owned();
+            }
+        }
+    }
+    if options.file.is_empty() {
+        return Err("missing input file".to_owned());
+    }
+    Ok(options)
+}
+
+fn load(file: &str) -> Result<String, String> {
+    std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let options = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let source = match load(&options.file) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let (ir, report) = match compile(&source, options.level) {
+        Ok(x) => x,
+        Err(diags) => return fail(&diags.render(&source)),
+    };
+    let heap = Arc::new(Heap::new());
+    let backend = Arc::new(SyncBackend::new(options.backend, heap.clone()));
+    let vm = Vm::new(Arc::new(ir), heap.clone(), backend.clone());
+    let words: Vec<Word> = options.args.iter().map(|a| Word::from_scalar(*a)).collect();
+    match vm.run(&options.entry, &words) {
+        Ok(Some(w)) => println!("{w}"),
+        Ok(None) => {}
+        Err(e) => return fail(&e.to_string()),
+    }
+    if options.stats {
+        eprintln!("optimizer: {report}");
+        eprintln!("dynamic:   {}", vm.counters());
+        if let Some(stm) = backend.as_stm() {
+            eprintln!("stm:       {}", stm.stats());
+        }
+        eprintln!("heap:      {}", heap.stats().snapshot());
+    }
+    ExitCode::SUCCESS
+}
+
+fn dump(args: &[String]) -> ExitCode {
+    let options = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let source = match load(&options.file) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let (ir, report) = match compile(&source, options.level) {
+        Ok(x) => x,
+        Err(diags) => return fail(&diags.render(&source)),
+    };
+    match &options.function {
+        Some(name) => match ir.function_id(name) {
+            Some(id) => print!("{}", ir.function(id)),
+            None => return fail(&format!("no function `{name}`")),
+        },
+        None => print!("{ir}"),
+    }
+    eprintln!("; {report}");
+    ExitCode::SUCCESS
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let options = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let source = match load(&options.file) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    match omt_lang::parse(&source).and_then(|p| omt_lang::check(&p)) {
+        Ok(info) => {
+            println!(
+                "ok: {} class(es), {} function(s)",
+                info.classes.classes.len(),
+                info.functions.sigs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(diags) => fail(&diags.render(&source)),
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("{message}");
+    ExitCode::FAILURE
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage:\n  txil run   <file.txil> [--entry main] [--arg N]... [--level O0..O4] \
+         [--backend sequential|coarse|2pl|wstm|stm] [--stats]\n  txil dump  <file.txil> \
+         [--level O0..O4] [--function name]\n  txil check <file.txil>"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

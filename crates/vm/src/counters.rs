@@ -1,0 +1,152 @@
+//! Dynamic operation counters — the evaluation's "barriers executed"
+//! numbers.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Per-VM dynamic counters (a VM is single-threaded; counters use
+/// `Cell`).
+#[derive(Debug, Default)]
+pub struct VmCounters {
+    pub(crate) insts: Cell<u64>,
+    pub(crate) open_read: Cell<u64>,
+    pub(crate) open_update: Cell<u64>,
+    pub(crate) log_undo: Cell<u64>,
+    pub(crate) get_field: Cell<u64>,
+    pub(crate) set_field: Cell<u64>,
+    pub(crate) allocs: Cell<u64>,
+    pub(crate) calls: Cell<u64>,
+    pub(crate) tx_begun: Cell<u64>,
+    pub(crate) tx_committed: Cell<u64>,
+    pub(crate) tx_retries: Cell<u64>,
+    pub(crate) backedge_validations: Cell<u64>,
+}
+
+impl VmCounters {
+    /// Takes a copy of all counters.
+    pub fn snapshot(&self) -> VmCountersSnapshot {
+        VmCountersSnapshot {
+            insts: self.insts.get(),
+            open_read: self.open_read.get(),
+            open_update: self.open_update.get(),
+            log_undo: self.log_undo.get(),
+            get_field: self.get_field.get(),
+            set_field: self.set_field.get(),
+            allocs: self.allocs.get(),
+            calls: self.calls.get(),
+            tx_begun: self.tx_begun.get(),
+            tx_committed: self.tx_committed.get(),
+            tx_retries: self.tx_retries.get(),
+            backedge_validations: self.backedge_validations.get(),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.insts.set(0);
+        self.open_read.set(0);
+        self.open_update.set(0);
+        self.log_undo.set(0);
+        self.get_field.set(0);
+        self.set_field.set(0);
+        self.allocs.set(0);
+        self.calls.set(0);
+        self.tx_begun.set(0);
+        self.tx_committed.set(0);
+        self.tx_retries.set(0);
+        self.backedge_validations.set(0);
+    }
+
+    pub(crate) fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+}
+
+/// A copy of [`VmCounters`] at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmCountersSnapshot {
+    /// IR instructions executed.
+    pub insts: u64,
+    /// `OpenForRead` barriers executed.
+    pub open_read: u64,
+    /// `OpenForUpdate` barriers executed.
+    pub open_update: u64,
+    /// `LogForUndo` barriers executed.
+    pub log_undo: u64,
+    /// Raw field loads.
+    pub get_field: u64,
+    /// Raw field stores.
+    pub set_field: u64,
+    /// Object allocations.
+    pub allocs: u64,
+    /// Function calls.
+    pub calls: u64,
+    /// Atomic regions entered (first attempts).
+    pub tx_begun: u64,
+    /// Atomic regions committed.
+    pub tx_committed: u64,
+    /// Region re-executions after conflicts.
+    pub tx_retries: u64,
+    /// Validations triggered at loop back-edges.
+    pub backedge_validations: u64,
+}
+
+impl VmCountersSnapshot {
+    /// Total dynamic barrier executions.
+    pub fn total_barriers(&self) -> u64 {
+        self.open_read + self.open_update + self.log_undo
+    }
+
+    /// Barriers per field access — the headline per-access overhead
+    /// indicator (0 when no accesses happened).
+    pub fn barriers_per_access(&self) -> f64 {
+        let accesses = self.get_field + self.set_field;
+        if accesses == 0 {
+            0.0
+        } else {
+            self.total_barriers() as f64 / accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for VmCountersSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts; barriers: {} open-read, {} open-update, {} log-undo \
+             ({:.3}/access); {} tx ({} retries)",
+            self.insts,
+            self.open_read,
+            self.open_update,
+            self.log_undo,
+            self.barriers_per_access(),
+            self.tx_committed,
+            self.tx_retries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let c = VmCounters::default();
+        VmCounters::bump(&c.open_read);
+        VmCounters::bump(&c.open_read);
+        VmCounters::bump(&c.get_field);
+        let s = c.snapshot();
+        assert_eq!(s.open_read, 2);
+        assert_eq!(s.total_barriers(), 2);
+        assert!((s.barriers_per_access() - 2.0).abs() < 1e-9);
+        c.reset();
+        assert_eq!(c.snapshot(), VmCountersSnapshot::default());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = VmCountersSnapshot { open_read: 5, ..Default::default() };
+        assert!(s.to_string().contains("5 open-read"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # omt-vm — interpreter over pluggable synchronization backends
+//!
+//! Executes optimized TxIL IR (from `omt-opt`) against any of the five
+//! synchronization regimes the evaluation compares — uninstrumented
+//! sequential, coarse global lock, per-object two-phase locking, a
+//! TL2-style buffered STM, and the paper's direct-access STM — while
+//! counting every dynamic barrier execution.
+//!
+//! Key reproduction points:
+//!
+//! - **decomposed execution**: `OpenForRead`/`OpenForUpdate`/`LogForUndo`
+//!   are executed exactly where the optimizer left them, so dynamic
+//!   barrier counts (experiment E4) directly reflect the pipeline;
+//! - **region retry**: atomic regions snapshot their registers at
+//!   `TxBegin`; conflicts roll back and re-enter with backoff;
+//! - **sandboxing**: runtime errors inside invalid ("zombie")
+//!   transactions become retries after validation, and loop back-edges
+//!   re-validate periodically — the managed-runtime behaviour the
+//!   paper's direct-update design relies on.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use omt_heap::Heap;
+//! use omt_opt::{compile, OptLevel};
+//! use omt_vm::{BackendKind, SyncBackend, Vm};
+//!
+//! let (ir, _) = compile("
+//!     fn work(n: int) -> int {
+//!         let c = new Counter();
+//!         let i = 0;
+//!         while i < n { atomic { c.hits = c.hits + 1; } i = i + 1; }
+//!         return c.hits;
+//!     }
+//!     class Counter { var hits: int; }
+//! ", OptLevel::O3)?;
+//! let heap = Arc::new(Heap::new());
+//! let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
+//! let vm = Vm::new(Arc::new(ir), heap, backend);
+//! let out = vm.run("work", &[omt_heap::Word::from_scalar(10)])?;
+//! assert_eq!(out.unwrap().as_scalar(), Some(10));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod counters;
+mod parallel;
+mod vm;
+
+#[cfg(test)]
+mod tests;
+
+pub use backend::{BackendKind, SyncBackend};
+pub use counters::{VmCounters, VmCountersSnapshot};
+pub use parallel::{run_parallel, ParallelOutcome};
+pub use vm::{Vm, VmConfig, VmError};

@@ -1,0 +1,591 @@
+//! The IR interpreter.
+//!
+//! Executes optimized IR against a [`SyncBackend`], mapping the
+//! decomposed STM operations onto the backend's session operations and
+//! handling atomic-region retry: on a conflict the session is aborted,
+//! the region's register snapshot is restored, and execution re-enters
+//! at `TxBegin` with randomized backoff.
+//!
+//! Two pieces of managed-runtime *sandboxing* from the paper are
+//! reproduced here:
+//!
+//! - a runtime error raised inside a doomed ("zombie") transaction —
+//!   division by zero, null dereference, type confusion — triggers
+//!   validation first; if the transaction is invalid the error is
+//!   converted into a retry instead of surfacing to the user;
+//! - loop back-edges inside a transaction optionally re-validate every
+//!   *n* iterations, bounding how long a zombie can run.
+
+use std::fmt;
+use std::sync::Arc;
+
+use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, Heap, Word};
+use omt_ir::{BinOpKind, FuncId, Inst, IrProgram, Terminator, UnOpKind};
+use rand::Rng;
+
+use crate::backend::{Session, SyncBackend, Trap};
+use crate::counters::{VmCounters, VmCountersSnapshot};
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Re-validate the active transaction every `n` loop back-edges
+    /// (zombie containment). `None` disables.
+    pub validate_backedges_every: Option<u32>,
+    /// Give up after this many retries of one atomic region.
+    pub max_region_retries: u32,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig { validate_backedges_every: Some(1024), max_region_retries: 10_000_000 }
+    }
+}
+
+/// Errors surfaced to the caller of [`Vm::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// No function with that name in the program.
+    UnknownFunction(String),
+    /// A runtime trap (null dereference, arithmetic error, retry budget
+    /// exhausted, ...).
+    Trap(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            VmError::Trap(msg) => write!(f, "runtime trap: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// A single-threaded interpreter instance.
+///
+/// Multiple `Vm`s may share one program, heap, and backend across
+/// threads (see [`crate::run_parallel`]).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::{Heap, Word};
+/// use omt_opt::{compile, OptLevel};
+/// use omt_vm::{BackendKind, SyncBackend, Vm};
+///
+/// let (ir, _) = compile("
+///     class C { var x: int; }
+///     fn main() -> int {
+///         let c = new C();
+///         atomic { c.x = 41; c.x = c.x + 1; }
+///         return c.x;
+///     }
+/// ", OptLevel::O2)?;
+/// let heap = Arc::new(Heap::new());
+/// let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
+/// let vm = Vm::new(Arc::new(ir), heap, backend);
+/// let result = vm.run("main", &[])?;
+/// assert_eq!(result.unwrap().as_scalar(), Some(42));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Vm {
+    program: Arc<IrProgram>,
+    heap: Arc<Heap>,
+    backend: Arc<SyncBackend>,
+    class_map: Vec<ClassId>,
+    counters: VmCounters,
+    callee_backedges: std::cell::Cell<u32>,
+    config: VmConfig,
+}
+
+struct RegionState {
+    snapshot: Vec<Word>,
+    block: usize,
+    index: usize,
+    attempt: u32,
+    backedges: u32,
+}
+
+impl Vm {
+    /// Creates a VM with the default configuration, registering the
+    /// program's classes with the heap.
+    pub fn new(program: Arc<IrProgram>, heap: Arc<Heap>, backend: Arc<SyncBackend>) -> Vm {
+        Vm::with_config(program, heap, backend, VmConfig::default())
+    }
+
+    /// Creates a VM with an explicit configuration.
+    pub fn with_config(
+        program: Arc<IrProgram>,
+        heap: Arc<Heap>,
+        backend: Arc<SyncBackend>,
+        config: VmConfig,
+    ) -> Vm {
+        let class_map = program
+            .classes
+            .iter()
+            .map(|c| {
+                heap.define_class(ClassDesc::new(
+                    c.name.clone(),
+                    c.fields
+                        .iter()
+                        .map(|f| {
+                            FieldDesc::new(
+                                f.name.clone(),
+                                if f.immutable { FieldMut::Val } else { FieldMut::Var },
+                            )
+                        })
+                        .collect(),
+                ))
+            })
+            .collect();
+        Vm {
+            program,
+            heap,
+            backend,
+            class_map,
+            counters: VmCounters::default(),
+            callee_backedges: std::cell::Cell::new(0),
+            config,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Arc<IrProgram> {
+        &self.program
+    }
+
+    /// The shared heap.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+
+    /// The synchronization backend.
+    pub fn backend(&self) -> &Arc<SyncBackend> {
+        &self.backend
+    }
+
+    /// Dynamic counters accumulated so far.
+    pub fn counters(&self) -> VmCountersSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Zeroes the dynamic counters.
+    pub fn reset_counters(&self) {
+        self.counters.reset();
+    }
+
+    /// Runs the named function with `args`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::UnknownFunction`] for a bad name; [`VmError::Trap`]
+    /// for runtime errors (including a wrong argument count and an
+    /// exhausted retry budget).
+    pub fn run(&self, name: &str, args: &[Word]) -> Result<Option<Word>, VmError> {
+        let Some(func) = self.program.function_id(name) else {
+            return Err(VmError::UnknownFunction(name.to_owned()));
+        };
+        let f = self.program.function(func);
+        if args.len() != f.param_count as usize {
+            return Err(VmError::Trap(format!(
+                "`{name}` expects {} argument(s), got {}",
+                f.param_count,
+                args.len()
+            )));
+        }
+        let backend = self.backend.clone();
+        let mut session = Session::Idle;
+        let result = self.exec(&backend, &mut session, func, args);
+        session.abort(); // releases locks/ownership on error paths
+        result.map_err(|t| match t {
+            Trap::Conflict => VmError::Trap("conflict escaped all atomic regions".into()),
+            Trap::Error(msg) => VmError::Trap(msg),
+        })
+    }
+
+    fn exec<'b>(
+        &self,
+        backend: &'b SyncBackend,
+        session: &mut Session<'b>,
+        func: FuncId,
+        args: &[Word],
+    ) -> Result<Option<Word>, Trap> {
+        let f = self.program.function(func);
+        let mut regs: Vec<Word> = vec![Word::default(); f.reg_count.max(f.param_count) as usize];
+        regs[..args.len()].copy_from_slice(args);
+
+        let mut block = 0usize;
+        let mut index = 0usize;
+        let mut region: Option<RegionState> = None;
+
+        'dispatch: loop {
+            let insts = &f.blocks[block].insts;
+            if index < insts.len() {
+                let inst = &insts[index];
+                VmCounters::bump(&self.counters.insts);
+                let step = self.exec_inst(backend, session, inst, &mut regs, block, index, &mut region);
+                match step {
+                    Ok(()) => {
+                        index += 1;
+                        continue 'dispatch;
+                    }
+                    Err(trap) => {
+                        match self.handle_trap(trap, session, &mut region)? {
+                            Recovery::Retry { to_block, to_index, snapshot } => {
+                                regs.copy_from_slice(&snapshot);
+                                // Keep the snapshot for the next retry.
+                                if let Some(state) = &mut region {
+                                    state.snapshot = snapshot;
+                                }
+                                block = to_block;
+                                index = to_index;
+                                continue 'dispatch;
+                            }
+                        }
+                    }
+                }
+            }
+
+            match &f.blocks[block].term {
+                Terminator::Jump(t) => {
+                    let target = t.index();
+                    if let Err(trap) =
+                        self.on_edge(session, &mut region, block, target)
+                    {
+                        match self.handle_trap(trap, session, &mut region)? {
+                            Recovery::Retry { to_block, to_index, snapshot } => {
+                                regs.copy_from_slice(&snapshot);
+                                if let Some(state) = &mut region {
+                                    state.snapshot = snapshot;
+                                }
+                                block = to_block;
+                                index = to_index;
+                                continue 'dispatch;
+                            }
+                        }
+                    }
+                    block = target;
+                    index = 0;
+                }
+                Terminator::Branch { cond, then_b, else_b } => {
+                    let w = regs[cond.0 as usize];
+                    let taken = match w.as_scalar() {
+                        Some(v) => v != 0,
+                        None => {
+                            // A reference where a bool was expected: only
+                            // possible in a zombie; sandbox it.
+                            match self.handle_trap(
+                                Trap::Error("branch on a non-boolean value".into()),
+                                session,
+                                &mut region,
+                            )? {
+                                Recovery::Retry { to_block, to_index, snapshot } => {
+                                    regs.copy_from_slice(&snapshot);
+                                    if let Some(state) = &mut region {
+                                        state.snapshot = snapshot;
+                                    }
+                                    block = to_block;
+                                    index = to_index;
+                                    continue 'dispatch;
+                                }
+                            }
+                        }
+                    };
+                    let target = if taken { then_b.index() } else { else_b.index() };
+                    if let Err(trap) = self.on_edge(session, &mut region, block, target) {
+                        match self.handle_trap(trap, session, &mut region)? {
+                            Recovery::Retry { to_block, to_index, snapshot } => {
+                                regs.copy_from_slice(&snapshot);
+                                if let Some(state) = &mut region {
+                                    state.snapshot = snapshot;
+                                }
+                                block = to_block;
+                                index = to_index;
+                                continue 'dispatch;
+                            }
+                        }
+                    }
+                    block = target;
+                    index = 0;
+                }
+                Terminator::Return(value) => {
+                    if region.is_some() {
+                        return Err(Trap::Error(
+                            "return inside an atomic region".into(),
+                        ));
+                    }
+                    return Ok(value.map(|r| regs[r.0 as usize]));
+                }
+            }
+        }
+    }
+
+    /// Back-edge hook: count and periodically validate (zombie
+    /// containment).
+    fn on_edge(
+        &self,
+        session: &mut Session<'_>,
+        region: &mut Option<RegionState>,
+        from: usize,
+        to: usize,
+    ) -> Result<(), Trap> {
+        if to > from || !session.is_active() {
+            return Ok(());
+        }
+        let Some(every) = self.config.validate_backedges_every else { return Ok(()) };
+        if let Some(state) = region {
+            state.backedges += 1;
+            if state.backedges >= every {
+                state.backedges = 0;
+                VmCounters::bump(&self.counters.backedge_validations);
+                session.validate()?;
+            }
+        } else {
+            // We are in a callee of the region frame; use a VM-level
+            // counter so callee loops are bounded the same way.
+            let n = self.callee_backedges.get() + 1;
+            if n >= every {
+                self.callee_backedges.set(0);
+                VmCounters::bump(&self.counters.backedge_validations);
+                session.validate()?;
+            } else {
+                self.callee_backedges.set(n);
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_trap(
+        &self,
+        trap: Trap,
+        session: &mut Session<'_>,
+        region: &mut Option<RegionState>,
+    ) -> Result<Recovery, Trap> {
+        let trap = match trap {
+            Trap::Error(msg) => {
+                // Managed-runtime sandboxing: a runtime error inside an
+                // invalid transaction is an artifact — retry instead.
+                if session.is_active() && session.validate().is_err() {
+                    Trap::Conflict
+                } else {
+                    return Err(Trap::Error(msg));
+                }
+            }
+            Trap::Conflict => Trap::Conflict,
+        };
+        debug_assert!(matches!(trap, Trap::Conflict));
+
+        let Some(state) = region else {
+            // The region began in a caller frame; unwind to it.
+            return Err(Trap::Conflict);
+        };
+        session.abort();
+        VmCounters::bump(&self.counters.tx_retries);
+        state.attempt += 1;
+        if state.attempt > self.config.max_region_retries {
+            return Err(Trap::Error("atomic region retry budget exhausted".into()));
+        }
+        backoff(state.attempt);
+        Ok(Recovery::Retry {
+            to_block: state.block,
+            to_index: state.index,
+            snapshot: state.snapshot.clone(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_inst<'b>(
+        &self,
+        backend: &'b SyncBackend,
+        session: &mut Session<'b>,
+        inst: &Inst,
+        regs: &mut [Word],
+        block: usize,
+        index: usize,
+        region: &mut Option<RegionState>,
+    ) -> Result<(), Trap> {
+        let c = &self.counters;
+        match inst {
+            Inst::Const { dst, value } => {
+                regs[dst.0 as usize] = Word::from_scalar(*value);
+                Ok(())
+            }
+            Inst::Null { dst } => {
+                regs[dst.0 as usize] = Word::null();
+                Ok(())
+            }
+            Inst::Copy { dst, src } => {
+                regs[dst.0 as usize] = regs[src.0 as usize];
+                Ok(())
+            }
+            Inst::UnOp { dst, op, src } => {
+                let v = regs[src.0 as usize]
+                    .as_scalar()
+                    .ok_or_else(|| Trap::Error("unary operator on a reference".into()))?;
+                let result = match op {
+                    UnOpKind::Neg => Word::from_scalar_wrapping(v.wrapping_neg()),
+                    UnOpKind::Not => Word::from_scalar(i64::from(v == 0)),
+                };
+                regs[dst.0 as usize] = result;
+                Ok(())
+            }
+            Inst::BinOp { dst, op, lhs, rhs } => {
+                regs[dst.0 as usize] =
+                    eval_binop(*op, regs[lhs.0 as usize], regs[rhs.0 as usize])?;
+                Ok(())
+            }
+            Inst::New { dst, class, args } => {
+                VmCounters::bump(&c.allocs);
+                let heap_class = self.class_map[class.0 as usize];
+                let obj = session.alloc(&self.heap, heap_class)?;
+                if args.is_empty() {
+                    // Zero-arg `new`: ints/bools default to 0/false (the
+                    // heap's zero fill), class-typed fields to null.
+                    for (i, field) in
+                        self.program.class(*class).fields.iter().enumerate()
+                    {
+                        if field.is_ref {
+                            self.heap.store(obj, i, Word::null());
+                        }
+                    }
+                } else {
+                    for (i, arg) in args.iter().enumerate() {
+                        self.heap.store(obj, i, regs[arg.0 as usize]);
+                    }
+                }
+                regs[dst.0 as usize] = Word::from_ref(obj);
+                Ok(())
+            }
+            Inst::GetField { dst, obj, field, .. } => {
+                VmCounters::bump(&c.get_field);
+                let r = object_of(regs[obj.0 as usize])?;
+                regs[dst.0 as usize] = session.load(&self.heap, r, *field as usize)?;
+                Ok(())
+            }
+            Inst::SetField { obj, field, src, .. } => {
+                VmCounters::bump(&c.set_field);
+                let r = object_of(regs[obj.0 as usize])?;
+                session.store(&self.heap, r, *field as usize, regs[src.0 as usize])
+            }
+            Inst::OpenForRead { obj } => {
+                VmCounters::bump(&c.open_read);
+                match regs[obj.0 as usize].as_ref() {
+                    Some(r) => session.open_for_read(r),
+                    None => Ok(()), // null-tolerant (hoisting safety)
+                }
+            }
+            Inst::OpenForUpdate { obj } => {
+                VmCounters::bump(&c.open_update);
+                match regs[obj.0 as usize].as_ref() {
+                    Some(r) => session.open_for_update(r),
+                    None => Ok(()),
+                }
+            }
+            Inst::LogForUndo { obj, field, .. } => {
+                VmCounters::bump(&c.log_undo);
+                match regs[obj.0 as usize].as_ref() {
+                    Some(r) => session.log_for_undo(r, *field as usize),
+                    None => Ok(()),
+                }
+            }
+            Inst::Call { dst, func, args } => {
+                VmCounters::bump(&c.calls);
+                let arg_words: Vec<Word> =
+                    args.iter().map(|a| regs[a.0 as usize]).collect();
+                let result = self.exec(backend, session, *func, &arg_words)?;
+                if let Some(dst) = dst {
+                    let value = result.ok_or_else(|| {
+                        Trap::Error("function returned no value".into())
+                    })?;
+                    regs[dst.0 as usize] = value;
+                }
+                Ok(())
+            }
+            Inst::TxBegin => {
+                if region.is_none() {
+                    VmCounters::bump(&c.tx_begun);
+                    *region = Some(RegionState {
+                        snapshot: regs.to_vec(),
+                        block,
+                        index,
+                        attempt: 0,
+                        backedges: 0,
+                    });
+                }
+                if session.is_active() {
+                    return Err(Trap::Error("nested tx_begin".into()));
+                }
+                *session = Session::begin(backend);
+                Ok(())
+            }
+            Inst::TxCommit => {
+                session.commit()?;
+                VmCounters::bump(&c.tx_committed);
+                *region = None;
+                Ok(())
+            }
+        }
+    }
+}
+
+enum Recovery {
+    Retry { to_block: usize, to_index: usize, snapshot: Vec<Word> },
+}
+
+fn object_of(w: Word) -> Result<omt_heap::ObjRef, Trap> {
+    if w.is_null() {
+        return Err(Trap::Error("null dereference".into()));
+    }
+    w.as_ref().ok_or_else(|| Trap::Error("field access on a non-object".into()))
+}
+
+fn eval_binop(op: BinOpKind, a: Word, b: Word) -> Result<Word, Trap> {
+    use BinOpKind::*;
+    match op {
+        Eq => return Ok(Word::from_scalar(i64::from(a == b))),
+        Ne => return Ok(Word::from_scalar(i64::from(a != b))),
+        _ => {}
+    }
+    let (x, y) = match (a.as_scalar(), b.as_scalar()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return Err(Trap::Error("arithmetic on a reference".into())),
+    };
+    let result = match op {
+        Add => Word::from_scalar_wrapping(x.wrapping_add(y)),
+        Sub => Word::from_scalar_wrapping(x.wrapping_sub(y)),
+        Mul => Word::from_scalar_wrapping(x.wrapping_mul(y)),
+        Div => {
+            if y == 0 {
+                return Err(Trap::Error("division by zero".into()));
+            }
+            Word::from_scalar_wrapping(x.wrapping_div(y))
+        }
+        Mod => {
+            if y == 0 {
+                return Err(Trap::Error("remainder by zero".into()));
+            }
+            Word::from_scalar_wrapping(x.wrapping_rem(y))
+        }
+        Lt => Word::from_scalar(i64::from(x < y)),
+        Le => Word::from_scalar(i64::from(x <= y)),
+        Gt => Word::from_scalar(i64::from(x > y)),
+        Ge => Word::from_scalar(i64::from(x >= y)),
+        Eq | Ne => unreachable!("handled above"),
+    };
+    Ok(result)
+}
+
+fn backoff(attempt: u32) {
+    let cap = 1u32 << attempt.min(12);
+    let spins = rand::thread_rng().gen_range(0..=cap);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+    if attempt > 8 {
+        std::thread::yield_now();
+    }
+}

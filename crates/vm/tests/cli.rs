@@ -1,0 +1,118 @@
+//! Integration tests for the `txil` command-line driver.
+
+use std::process::Command;
+
+fn txil() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_txil"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("omt-cli-{name}-{}.txil", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp program");
+    path
+}
+
+const PROGRAM: &str = "
+    class Counter { var hits: int; }
+    fn main(n: int) -> int {
+        let c = new Counter();
+        let i = 0;
+        while i < n {
+            atomic { c.hits = c.hits + 1; }
+            i = i + 1;
+        }
+        return c.hits;
+    }
+";
+
+#[test]
+fn run_executes_and_prints_the_result() {
+    let path = write_temp("run", PROGRAM);
+    let out = txil()
+        .args(["run"])
+        .arg(&path)
+        .args(["--arg", "41", "--level", "O3"])
+        .output()
+        .expect("spawn txil");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "41");
+}
+
+#[test]
+fn run_with_stats_reports_pipeline_and_counters() {
+    let path = write_temp("stats", PROGRAM);
+    let out = txil()
+        .args(["run"])
+        .arg(&path)
+        .args(["--arg", "5", "--stats", "--backend", "stm"])
+        .output()
+        .expect("spawn txil");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("optimizer:"), "{stderr}");
+    assert!(stderr.contains("stm:"), "{stderr}");
+}
+
+#[test]
+fn every_backend_produces_the_same_answer() {
+    let path = write_temp("backends", PROGRAM);
+    for backend in ["sequential", "coarse", "2pl", "wstm", "stm"] {
+        let out = txil()
+            .args(["run"])
+            .arg(&path)
+            .args(["--arg", "17", "--backend", backend])
+            .output()
+            .expect("spawn txil");
+        assert!(out.status.success(), "backend {backend}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "17",
+            "backend {backend}"
+        );
+    }
+}
+
+#[test]
+fn dump_prints_ir_with_barriers() {
+    let path = write_temp("dump", PROGRAM);
+    let out = txil()
+        .args(["dump"])
+        .arg(&path)
+        .args(["--level", "O0", "--function", "main"])
+        .output()
+        .expect("spawn txil");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tx_begin"), "{stdout}");
+    assert!(stdout.contains("open_for_update"), "{stdout}");
+}
+
+#[test]
+fn check_reports_summary_and_rejects_bad_programs() {
+    let good = write_temp("check-good", PROGRAM);
+    let out = txil().args(["check"]).arg(&good).output().expect("spawn txil");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 class(es), 1 function(s)"));
+
+    let bad = write_temp("check-bad", "fn f() -> int { }");
+    let out = txil().args(["check"]).arg(&bad).output().expect("spawn txil");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("may finish without returning"));
+}
+
+#[test]
+fn bad_flags_exit_with_usage() {
+    let out = txil().args(["run", "--bogus"]).output().expect("spawn txil");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = txil().args(["frobnicate"]).output().expect("spawn txil");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = txil().args(["run", "/nonexistent/nope.txil"]).output().expect("spawn txil");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,262 @@
+//! The bank workload: random transfers between accounts with a global
+//! conservation invariant — the classic serializability smoke test and
+//! the contention knob for experiment E7 (fewer accounts ⇒ more
+//! conflicts).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omt_heap::{ClassDesc, ObjRef, Word};
+use omt_stm::Stm;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BALANCE: usize = 0;
+
+/// Accounts that can transfer and audit.
+pub trait Bank: Sync {
+    /// Atomically moves `amount` from account `from` to account `to`.
+    fn transfer(&self, from: usize, to: usize, amount: i64);
+    /// Atomically sums all balances.
+    fn total(&self) -> i64;
+    /// Number of accounts.
+    fn accounts(&self) -> usize;
+}
+
+/// STM-backed accounts.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::Heap;
+/// use omt_stm::Stm;
+/// use omt_workloads::{Bank, StmBank};
+///
+/// let bank = StmBank::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 8, 100);
+/// bank.transfer(0, 1, 25);
+/// assert_eq!(bank.total(), 800);
+/// ```
+#[derive(Debug)]
+pub struct StmBank {
+    stm: Arc<Stm>,
+    accounts: Vec<ObjRef>,
+}
+
+impl StmBank {
+    /// Creates `n` accounts with `initial` balance each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is full.
+    pub fn new(stm: Arc<Stm>, n: usize, initial: i64) -> StmBank {
+        let class = stm
+            .heap()
+            .define_class(ClassDesc::with_var_fields("Account", &["balance"]));
+        let accounts = (0..n)
+            .map(|_| {
+                let a = stm.heap().alloc(class).expect("heap full");
+                stm.heap().store(a, BALANCE, Word::from_scalar(initial));
+                a
+            })
+            .collect();
+        StmBank { stm, accounts }
+    }
+
+    /// The STM this bank runs on.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+}
+
+impl Bank for StmBank {
+    fn transfer(&self, from: usize, to: usize, amount: i64) {
+        let (from, to) = (self.accounts[from], self.accounts[to]);
+        self.stm.atomically(|tx| {
+            let fb = tx.read(from, BALANCE)?.as_scalar().unwrap_or(0);
+            let tb = tx.read(to, BALANCE)?.as_scalar().unwrap_or(0);
+            tx.write(from, BALANCE, Word::from_scalar(fb - amount))?;
+            tx.write(to, BALANCE, Word::from_scalar(tb + amount))?;
+            Ok(())
+        });
+    }
+
+    fn total(&self) -> i64 {
+        self.stm.atomically(|tx| {
+            let mut sum = 0i64;
+            for account in &self.accounts {
+                sum += tx.read(*account, BALANCE)?.as_scalar().unwrap_or(0);
+            }
+            Ok(sum)
+        })
+    }
+
+    fn accounts(&self) -> usize {
+        self.accounts.len()
+    }
+}
+
+/// Fine-grained lock-based accounts: one mutex per account, acquired in
+/// index order to avoid deadlock — the hand-crafted protocol an expert
+/// would write for exactly this access pattern.
+#[derive(Debug)]
+pub struct LockBank {
+    accounts: Vec<Mutex<i64>>,
+}
+
+impl LockBank {
+    /// Creates `n` accounts with `initial` balance each.
+    pub fn new(n: usize, initial: i64) -> LockBank {
+        LockBank { accounts: (0..n).map(|_| Mutex::new(initial)).collect() }
+    }
+}
+
+impl Bank for LockBank {
+    fn transfer(&self, from: usize, to: usize, amount: i64) {
+        assert!(from != to, "transfer requires distinct accounts");
+        // Ordered acquisition prevents deadlock.
+        let (first, second) = if from < to { (from, to) } else { (to, from) };
+        let mut first_guard = self.accounts[first].lock();
+        let mut second_guard = self.accounts[second].lock();
+        let (from_guard, to_guard) = if from < to {
+            (&mut first_guard, &mut second_guard)
+        } else {
+            (&mut second_guard, &mut first_guard)
+        };
+        **from_guard -= amount;
+        **to_guard += amount;
+    }
+
+    fn total(&self) -> i64 {
+        // Lock everything in order for a consistent audit.
+        let guards: Vec<_> = self.accounts.iter().map(Mutex::lock).collect();
+        guards.iter().map(|g| **g).sum()
+    }
+
+    fn accounts(&self) -> usize {
+        self.accounts.len()
+    }
+}
+
+/// Result of a timed bank run.
+#[derive(Debug, Clone, Copy)]
+pub struct BankOutcome {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Transfers completed.
+    pub transfers: u64,
+}
+
+impl BankOutcome {
+    /// Transfers per second.
+    pub fn transfers_per_second(&self) -> f64 {
+        self.transfers as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs `transfers_per_thread` random transfers on each of `threads`
+/// threads, optionally mixing in audits every `audit_every` transfers.
+pub fn run_bank_workload(
+    bank: &dyn Bank,
+    threads: usize,
+    transfers_per_thread: usize,
+    audit_every: Option<usize>,
+    seed: u64,
+) -> BankOutcome {
+    let n = bank.accounts();
+    assert!(n >= 2, "need at least two accounts");
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 104729));
+                for i in 0..transfers_per_thread {
+                    let from = rng.gen_range(0..n);
+                    let mut to = rng.gen_range(0..n - 1);
+                    if to >= from {
+                        to += 1;
+                    }
+                    bank.transfer(from, to, rng.gen_range(1..100));
+                    if let Some(every) = audit_every {
+                        if i % every == 0 {
+                            let _ = bank.total();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    BankOutcome {
+        elapsed: start.elapsed(),
+        transfers: (threads * transfers_per_thread) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::Heap;
+
+    #[test]
+    fn stm_bank_conserves_money() {
+        let bank = StmBank::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 10, 1_000);
+        run_bank_workload(&bank, 4, 1_000, Some(100), 11);
+        assert_eq!(bank.total(), 10_000);
+    }
+
+    #[test]
+    fn lock_bank_conserves_money() {
+        let bank = LockBank::new(10, 1_000);
+        run_bank_workload(&bank, 4, 1_000, Some(100), 13);
+        assert_eq!(bank.total(), 10_000);
+    }
+
+    #[test]
+    fn two_account_bank_maximizes_contention_but_stays_correct() {
+        let bank = StmBank::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 2, 500);
+        run_bank_workload(&bank, 8, 500, None, 17);
+        assert_eq!(bank.total(), 1_000);
+    }
+
+    #[test]
+    fn overlapping_transfers_conflict_deterministically() {
+        let bank = StmBank::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 2, 500);
+        // A hand-rolled transfer that pauses between read and commit
+        // while a full transfer commits: it must abort and retry.
+        let a = bank.accounts[0];
+        let mut stale = bank.stm().begin();
+        let balance = stale.read(a, BALANCE).unwrap().as_scalar().unwrap();
+        bank.transfer(0, 1, 100);
+        stale.write(a, BALANCE, Word::from_scalar(balance - 1)).unwrap();
+        assert!(stale.commit().is_err());
+        assert_eq!(bank.total(), 1_000);
+    }
+
+    #[test]
+    fn stm_audits_see_consistent_totals() {
+        // Auditing concurrently with transfers: every audit is a
+        // read-only transaction and must observe exactly the invariant.
+        let bank = Arc::new(StmBank::new(
+            Arc::new(Stm::new(Arc::new(Heap::new()))),
+            16,
+            1_000,
+        ));
+        std::thread::scope(|scope| {
+            let b = bank.clone();
+            scope.spawn(move || {
+                run_bank_workload(&*b, 3, 2_000, None, 23);
+            });
+            for _ in 0..200 {
+                assert_eq!(bank.total(), 16_000, "torn audit");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct accounts")]
+    fn lock_bank_rejects_self_transfer() {
+        let bank = LockBank::new(4, 10);
+        bank.transfer(2, 2, 5);
+    }
+}

@@ -1,0 +1,182 @@
+//! A fine-grained lock-based hash set **over the managed heap** — the
+//! apples-to-apples competitor for [`crate::StmHashSet`].
+//!
+//! [`crate::StripedHashSet`] stores its chains in native `Vec`s, so
+//! comparing it against the STM confounds synchronization cost with
+//! managed-heap cost (tagged words, header checks, atomic field
+//! accesses). This set uses the *same* heap object layout as the STM
+//! hash set — one bucket-head object per bucket, chained key/next
+//! nodes — with one mutex per bucket instead of transactions. Whatever
+//! throughput gap remains against `StmHashSet` is genuinely the STM's.
+
+use std::sync::Arc;
+
+use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, Heap, ObjRef, Word};
+use parking_lot::Mutex;
+
+use crate::set::ConcurrentSet;
+
+const BUCKET_HEAD: usize = 0;
+const KEY: usize = 0;
+const NEXT: usize = 1;
+
+/// A lock-per-bucket hash set whose data lives in the managed heap.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::Heap;
+/// use omt_workloads::{ConcurrentSet, HeapStripedHashSet};
+///
+/// let set = HeapStripedHashSet::new(Arc::new(Heap::new()), 16);
+/// assert!(set.insert(4));
+/// assert!(set.contains(4));
+/// assert!(set.remove(4));
+/// ```
+#[derive(Debug)]
+pub struct HeapStripedHashSet {
+    heap: Arc<Heap>,
+    node_class: ClassId,
+    buckets: Vec<(Mutex<()>, ObjRef)>,
+}
+
+impl HeapStripedHashSet {
+    /// Creates a set with `buckets` independently locked chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or the heap is full.
+    pub fn new(heap: Arc<Heap>, buckets: usize) -> HeapStripedHashSet {
+        assert!(buckets > 0, "need at least one bucket");
+        let bucket_class = heap.define_class(ClassDesc::new(
+            "HashBucket",
+            vec![FieldDesc::new("head", FieldMut::Var)],
+        ));
+        let node_class = heap.define_class(ClassDesc::new(
+            "HashNode",
+            vec![FieldDesc::new("key", FieldMut::Val), FieldDesc::new("next", FieldMut::Var)],
+        ));
+        let buckets = (0..buckets)
+            .map(|_| (Mutex::new(()), heap.alloc(bucket_class).expect("heap full")))
+            .collect();
+        HeapStripedHashSet { heap, node_class, buckets }
+    }
+
+    fn bucket(&self, key: i64) -> &(Mutex<()>, ObjRef) {
+        &self.buckets[key.rem_euclid(self.buckets.len() as i64) as usize]
+    }
+
+    /// Walks the chain under the bucket lock; returns
+    /// `(prev, prev_field, node)`.
+    fn locate(&self, bucket: ObjRef, key: i64) -> (ObjRef, usize, Option<ObjRef>) {
+        let mut prev = bucket;
+        let mut prev_field = BUCKET_HEAD;
+        let mut current = self.heap.load(bucket, BUCKET_HEAD).as_ref();
+        while let Some(node) = current {
+            if self.heap.load(node, KEY).as_scalar() == Some(key) {
+                return (prev, prev_field, Some(node));
+            }
+            prev = node;
+            prev_field = NEXT;
+            current = self.heap.load(node, NEXT).as_ref();
+        }
+        (prev, prev_field, None)
+    }
+}
+
+impl ConcurrentSet for HeapStripedHashSet {
+    fn insert(&self, key: i64) -> bool {
+        let (lock, bucket) = self.bucket(key);
+        let _guard = lock.lock();
+        let (_, _, found) = self.locate(*bucket, key);
+        if found.is_some() {
+            return false;
+        }
+        let node = self.heap.alloc(self.node_class).expect("heap full");
+        self.heap.store(node, KEY, Word::from_scalar(key));
+        self.heap.store(node, NEXT, self.heap.load(*bucket, BUCKET_HEAD));
+        self.heap.store(*bucket, BUCKET_HEAD, Word::from_ref(node));
+        true
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        let (lock, bucket) = self.bucket(key);
+        let _guard = lock.lock();
+        let (prev, prev_field, found) = self.locate(*bucket, key);
+        let Some(node) = found else { return false };
+        let after = self.heap.load(node, NEXT);
+        self.heap.store(prev, prev_field, after);
+        true
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        let (lock, bucket) = self.bucket(key);
+        let _guard = lock.lock();
+        self.locate(*bucket, key).2.is_some()
+    }
+
+    fn len(&self) -> usize {
+        let mut n = 0;
+        for (lock, bucket) in &self.buckets {
+            let _guard = lock.lock();
+            let mut current = self.heap.load(*bucket, BUCKET_HEAD).as_ref();
+            while let Some(node) = current {
+                n += 1;
+                current = self.heap.load(node, NEXT).as_ref();
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{run_set_workload, sets_agree, SetWorkload};
+    use crate::lock_sets::CoarseStdSet;
+
+    fn set(buckets: usize) -> HeapStripedHashSet {
+        HeapStripedHashSet::new(Arc::new(Heap::new()), buckets)
+    }
+
+    #[test]
+    fn basic_operations() {
+        let s = set(8);
+        assert!(s.insert(1));
+        assert!(s.insert(9)); // same bucket
+        assert!(!s.insert(1));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert!(s.contains(9));
+    }
+
+    #[test]
+    fn agrees_with_reference() {
+        assert!(sets_agree(&set(16), &CoarseStdSet::new(), 2_000, 55));
+    }
+
+    #[test]
+    fn survives_concurrent_mixed_workload() {
+        let s = set(32);
+        let workload = SetWorkload {
+            initial_size: 0,
+            key_range: 256,
+            ops_per_thread: 2_000,
+            ..SetWorkload::default()
+        };
+        run_set_workload(&s, &workload, 4);
+        assert!(s.len() <= 256);
+        // Chains stay duplicate-free.
+        let mut seen = std::collections::HashSet::new();
+        for (lock, bucket) in &s.buckets {
+            let _guard = lock.lock();
+            let mut cur = s.heap.load(*bucket, BUCKET_HEAD).as_ref();
+            while let Some(node) = cur {
+                assert!(seen.insert(s.heap.load(node, KEY).as_scalar().unwrap()));
+                cur = s.heap.load(node, NEXT).as_ref();
+            }
+        }
+    }
+}

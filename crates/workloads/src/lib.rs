@@ -1,0 +1,61 @@
+//! # omt-workloads — benchmark data structures and drivers
+//!
+//! The workloads behind the evaluation's scalability experiments:
+//! transactional data structures written against the `omt-stm`
+//! decomposed API (the way the paper's compiler would emit them —
+//! including transaction-local initialization of fresh nodes), their
+//! lock-based competitors, and multithreaded drivers.
+//!
+//! STM structures: [`StmHashSet`], [`StmSortedList`], [`StmBst`],
+//! [`StmSkipList`], [`StmBank`], [`CounterArray`], and the composite
+//! [`TravelSystem`] (multi-structure transactions via the `_in`
+//! transaction-composable operations).
+//!
+//! Lock-based competitors: [`StripedHashSet`] and [`HandOverHandList`]
+//! (fine-grained), [`CoarseStdSet`] and [`RwStdSet`] (coarse),
+//! [`LockBank`] (ordered two-lock transfers).
+//!
+//! Drivers: [`run_set_workload`], [`run_bank_workload`],
+//! [`run_contention_point`].
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use omt_heap::Heap;
+//! use omt_stm::Stm;
+//! use omt_workloads::{prefill, run_set_workload, SetWorkload, StmHashSet};
+//!
+//! let stm = Arc::new(Stm::new(Arc::new(Heap::new())));
+//! let set = StmHashSet::new(stm, 64);
+//! let workload = SetWorkload { ops_per_thread: 1_000, ..Default::default() };
+//! prefill(&set, &workload);
+//! let outcome = run_set_workload(&set, &workload, 2);
+//! assert_eq!(outcome.total_ops, 2_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bank;
+mod contention;
+mod heap_lock_hash;
+mod lock_sets;
+mod set;
+mod stm_bst;
+mod stm_hash;
+mod stm_list;
+mod stm_skiplist;
+mod travel;
+
+pub use bank::{run_bank_workload, Bank, BankOutcome, LockBank, StmBank};
+pub use contention::{run_contention_point, ContentionOutcome, CounterArray};
+pub use heap_lock_hash::HeapStripedHashSet;
+pub use lock_sets::{CoarseStdSet, HandOverHandList, RwStdSet, StripedHashSet};
+pub use set::{prefill, run_set_workload, sets_agree, ConcurrentSet, OpMix, SetOutcome,
+    SetWorkload};
+pub use stm_bst::StmBst;
+pub use stm_hash::StmHashSet;
+pub use stm_list::StmSortedList;
+pub use stm_skiplist::StmSkipList;
+pub use travel::{run_travel_workload, Resource, TravelOutcome, TravelSystem};

@@ -1,0 +1,290 @@
+//! Lock-based competitor sets.
+//!
+//! The paper's bar is "comparable to fine-grained locking": these are
+//! the lock-based designs the STM structures race against.
+//!
+//! - [`CoarseStdSet`] / [`RwStdSet`] — coarse-grained: one mutex (or
+//!   reader–writer lock) around a standard set;
+//! - [`StripedHashSet`] — fine-grained: one lock per bucket;
+//! - [`HandOverHandList`] — fine-grained: sorted list with lock
+//!   coupling (each step holds at most two node locks).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::set::ConcurrentSet;
+
+/// One global mutex around a `BTreeSet` — the coarse-grained baseline.
+#[derive(Debug, Default)]
+pub struct CoarseStdSet {
+    inner: Mutex<BTreeSet<i64>>,
+}
+
+impl CoarseStdSet {
+    /// Creates an empty set.
+    pub fn new() -> CoarseStdSet {
+        CoarseStdSet::default()
+    }
+}
+
+impl ConcurrentSet for CoarseStdSet {
+    fn insert(&self, key: i64) -> bool {
+        self.inner.lock().insert(key)
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        self.inner.lock().remove(&key)
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        self.inner.lock().contains(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+/// A reader–writer lock around a `BTreeSet` — coarse, but lookups run
+/// in parallel.
+#[derive(Debug, Default)]
+pub struct RwStdSet {
+    inner: RwLock<BTreeSet<i64>>,
+}
+
+impl RwStdSet {
+    /// Creates an empty set.
+    pub fn new() -> RwStdSet {
+        RwStdSet::default()
+    }
+}
+
+impl ConcurrentSet for RwStdSet {
+    fn insert(&self, key: i64) -> bool {
+        self.inner.write().insert(key)
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        self.inner.write().remove(&key)
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        self.inner.read().contains(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+}
+
+/// A hash set with one lock per bucket — the classic fine-grained
+/// design for hash tables.
+#[derive(Debug)]
+pub struct StripedHashSet {
+    buckets: Vec<Mutex<Vec<i64>>>,
+}
+
+impl StripedHashSet {
+    /// Creates a set with `buckets` independent chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: usize) -> StripedHashSet {
+        assert!(buckets > 0, "need at least one bucket");
+        StripedHashSet { buckets: (0..buckets).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    fn bucket(&self, key: i64) -> &Mutex<Vec<i64>> {
+        &self.buckets[key.rem_euclid(self.buckets.len() as i64) as usize]
+    }
+}
+
+impl ConcurrentSet for StripedHashSet {
+    fn insert(&self, key: i64) -> bool {
+        let mut chain = self.bucket(key).lock();
+        if chain.contains(&key) {
+            false
+        } else {
+            chain.push(key);
+            true
+        }
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        let mut chain = self.bucket(key).lock();
+        match chain.iter().position(|&k| k == key) {
+            Some(i) => {
+                chain.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        self.bucket(key).lock().contains(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.lock().len()).sum()
+    }
+}
+
+type Link = Arc<Mutex<Option<Arc<HohNode>>>>;
+
+#[derive(Debug)]
+struct HohNode {
+    key: i64,
+    next: Link,
+}
+
+/// A sorted linked list with hand-over-hand (lock-coupling)
+/// fine-grained locking.
+///
+/// Each traversal step acquires the next link's lock before releasing
+/// the previous one, so concurrent operations pipeline down the list.
+#[derive(Debug)]
+pub struct HandOverHandList {
+    head: Link,
+}
+
+impl Default for HandOverHandList {
+    fn default() -> HandOverHandList {
+        HandOverHandList::new()
+    }
+}
+
+impl HandOverHandList {
+    /// Creates an empty list.
+    pub fn new() -> HandOverHandList {
+        HandOverHandList { head: Arc::new(Mutex::new(None)) }
+    }
+
+    /// Walks to the link whose target is the first node with
+    /// key >= `key`, returning that link's (owned) guard.
+    fn locate(&self, key: i64) -> parking_lot::ArcMutexGuard<parking_lot::RawMutex, Option<Arc<HohNode>>> {
+        let mut guard = self.head.lock_arc();
+        loop {
+            let advance = match &*guard {
+                Some(node) if node.key < key => node.next.clone(),
+                _ => return guard,
+            };
+            // Hand-over-hand: acquire the next link before releasing the
+            // current one (dropping `guard` happens after `lock_arc`
+            // returns because we assign over it).
+            let next_guard = advance.lock_arc();
+            guard = next_guard;
+        }
+    }
+}
+
+impl ConcurrentSet for HandOverHandList {
+    fn insert(&self, key: i64) -> bool {
+        let mut guard = self.locate(key);
+        if let Some(node) = &*guard {
+            if node.key == key {
+                return false;
+            }
+        }
+        let node = Arc::new(HohNode { key, next: Arc::new(Mutex::new(guard.take())) });
+        *guard = Some(node);
+        true
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        let mut guard = self.locate(key);
+        let matched = matches!(&*guard, Some(node) if node.key == key);
+        if !matched {
+            return false;
+        }
+        let node = guard.take().expect("matched above");
+        *guard = node.next.lock().take();
+        true
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        let guard = self.locate(key);
+        matches!(&*guard, Some(node) if node.key == key)
+    }
+
+    fn len(&self) -> usize {
+        let mut n = 0;
+        let mut guard = self.head.lock_arc();
+        loop {
+            let next = match &*guard {
+                Some(node) => {
+                    n += 1;
+                    node.next.clone()
+                }
+                None => return n,
+            };
+            guard = next.lock_arc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{run_set_workload, sets_agree, SetWorkload};
+
+    fn exercise(set: &dyn ConcurrentSet) {
+        assert!(set.insert(5));
+        assert!(set.insert(1));
+        assert!(!set.insert(5));
+        assert!(set.contains(1));
+        assert!(!set.contains(2));
+        assert!(set.remove(5));
+        assert!(!set.remove(5));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn all_lock_sets_behave_identically() {
+        exercise(&CoarseStdSet::new());
+        exercise(&RwStdSet::new());
+        exercise(&StripedHashSet::new(8));
+        exercise(&HandOverHandList::new());
+    }
+
+    #[test]
+    fn lock_sets_agree_with_reference() {
+        assert!(sets_agree(&StripedHashSet::new(16), &CoarseStdSet::new(), 2_000, 7));
+        assert!(sets_agree(&HandOverHandList::new(), &CoarseStdSet::new(), 2_000, 8));
+        assert!(sets_agree(&RwStdSet::new(), &CoarseStdSet::new(), 2_000, 9));
+    }
+
+    #[test]
+    #[allow(clippy::while_let_loop)] // guard reassignment forbids while-let
+    fn hand_over_hand_sorted_after_contention() {
+        let list = HandOverHandList::new();
+        let workload =
+            SetWorkload { initial_size: 0, key_range: 128, ops_per_thread: 1_500, ..Default::default() };
+        run_set_workload(&list, &workload, 4);
+        // Walk and check sortedness.
+        let mut prev = i64::MIN;
+        let mut guard = list.head.lock_arc();
+        loop {
+            let next = match &*guard {
+                Some(node) => {
+                    assert!(node.key > prev, "sorted, duplicate-free");
+                    prev = node.key;
+                    node.next.clone()
+                }
+                None => break,
+            };
+            guard = next.lock_arc();
+        }
+    }
+
+    #[test]
+    fn striped_set_handles_negative_keys() {
+        let s = StripedHashSet::new(4);
+        assert!(s.insert(-9));
+        assert!(s.contains(-9));
+        assert!(s.remove(-9));
+    }
+}

@@ -1,0 +1,202 @@
+//! The concurrent-set interface and workload driver.
+//!
+//! All scalability experiments run the same shape of workload — a mix
+//! of lookups, inserts, and removes over integer keys — against
+//! implementations synchronized in different ways. This module defines
+//! the common trait and the multithreaded driver that measures them.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A set of 63-bit integers usable from many threads.
+pub trait ConcurrentSet: Sync {
+    /// Inserts `key`; true if it was not present.
+    fn insert(&self, key: i64) -> bool;
+    /// Removes `key`; true if it was present.
+    fn remove(&self, key: i64) -> bool;
+    /// True if `key` is present.
+    fn contains(&self, key: i64) -> bool;
+    /// Number of elements (may take the structure offline; used only in
+    /// tests and validation, never timed).
+    fn len(&self) -> usize;
+    /// True if the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Operation mix in percent (summing to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percent lookups.
+    pub lookup: u32,
+    /// Percent inserts.
+    pub insert: u32,
+    /// Percent removes.
+    pub remove: u32,
+}
+
+impl OpMix {
+    /// The read-dominated mix used by the paper-era hashtable benchmarks.
+    pub const READ_HEAVY: OpMix = OpMix { lookup: 90, insert: 5, remove: 5 };
+    /// A write-heavy mix.
+    pub const WRITE_HEAVY: OpMix = OpMix { lookup: 50, insert: 25, remove: 25 };
+
+    /// Validates that the percentages sum to 100.
+    ///
+    /// # Panics
+    ///
+    /// Panics otherwise.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.lookup + self.insert + self.remove,
+            100,
+            "operation mix must sum to 100%"
+        );
+    }
+}
+
+impl fmt::Display for OpMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.lookup, self.insert, self.remove)
+    }
+}
+
+/// A set workload configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetWorkload {
+    /// Elements inserted before timing starts.
+    pub initial_size: usize,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: i64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for SetWorkload {
+    fn default() -> SetWorkload {
+        SetWorkload {
+            initial_size: 512,
+            key_range: 2048,
+            mix: OpMix::READ_HEAVY,
+            ops_per_thread: 10_000,
+            seed: 0x00D1CE,
+        }
+    }
+}
+
+/// Result of one timed run.
+#[derive(Debug, Clone, Copy)]
+pub struct SetOutcome {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Total operations completed.
+    pub total_ops: u64,
+    /// Lookups that found their key.
+    pub hits: u64,
+}
+
+impl SetOutcome {
+    /// Operations per second.
+    pub fn ops_per_second(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl fmt::Display for SetOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops in {:.3}s ({:.0} ops/s)",
+            self.total_ops,
+            self.elapsed.as_secs_f64(),
+            self.ops_per_second()
+        )
+    }
+}
+
+/// Fills `set` with `workload.initial_size` distinct keys.
+pub fn prefill(set: &dyn ConcurrentSet, workload: &SetWorkload) {
+    let mut rng = StdRng::seed_from_u64(workload.seed ^ 0xF17_7ED);
+    let mut inserted = 0;
+    while inserted < workload.initial_size {
+        if set.insert(rng.gen_range(0..workload.key_range)) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Runs the workload on `threads` threads and returns throughput.
+pub fn run_set_workload(
+    set: &dyn ConcurrentSet,
+    workload: &SetWorkload,
+    threads: usize,
+) -> SetOutcome {
+    workload.mix.validate();
+    assert!(threads >= 1);
+    let start = Instant::now();
+    let hits: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(workload.seed.wrapping_add(t as u64 * 7919));
+                let mut hits = 0u64;
+                for _ in 0..workload.ops_per_thread {
+                    let key = rng.gen_range(0..workload.key_range);
+                    let dice = rng.gen_range(0..100);
+                    if dice < workload.mix.lookup {
+                        if set.contains(key) {
+                            hits += 1;
+                        }
+                    } else if dice < workload.mix.lookup + workload.mix.insert {
+                        set.insert(key);
+                    } else {
+                        set.remove(key);
+                    }
+                }
+                hits
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    });
+    let elapsed = start.elapsed();
+    SetOutcome {
+        elapsed,
+        total_ops: (threads * workload.ops_per_thread) as u64,
+        hits,
+    }
+}
+
+/// Cross-checks two set implementations under the same deterministic
+/// single-threaded operation sequence (used by tests).
+pub fn sets_agree(a: &dyn ConcurrentSet, b: &dyn ConcurrentSet, ops: usize, seed: u64) -> bool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..ops {
+        let key = rng.gen_range(0..256);
+        match rng.gen_range(0..3) {
+            0 => {
+                if a.insert(key) != b.insert(key) {
+                    return false;
+                }
+            }
+            1 => {
+                if a.remove(key) != b.remove(key) {
+                    return false;
+                }
+            }
+            _ => {
+                if a.contains(key) != b.contains(key) {
+                    return false;
+                }
+            }
+        }
+    }
+    a.len() == b.len()
+}

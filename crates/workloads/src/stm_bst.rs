@@ -1,0 +1,285 @@
+//! An (unbalanced) binary search tree set over the direct-access STM.
+//!
+//! Trees give the evaluation a workload with logarithmic read sets and
+//! update locality near the leaves; with random keys the expected depth
+//! is O(log n) without rebalancing machinery.
+
+use std::sync::Arc;
+
+use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, ObjRef, Word};
+use omt_stm::{Stm, Transaction, TxResult};
+
+use crate::set::ConcurrentSet;
+
+const KEY: usize = 0;
+const LEFT: usize = 1;
+const RIGHT: usize = 2;
+const ROOT: usize = 0;
+
+/// A transactional binary search tree.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::Heap;
+/// use omt_stm::Stm;
+/// use omt_workloads::{ConcurrentSet, StmBst};
+///
+/// let tree = StmBst::new(Arc::new(Stm::new(Arc::new(Heap::new()))));
+/// for k in [5, 2, 8, 1, 9] { tree.insert(k); }
+/// assert!(tree.contains(8));
+/// assert!(tree.remove(5)); // interior node with two children
+/// assert!(!tree.contains(5));
+/// assert_eq!(tree.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct StmBst {
+    stm: Arc<Stm>,
+    node_class: ClassId,
+    /// Single-field holder for the root pointer.
+    root_holder: ObjRef,
+}
+
+impl StmBst {
+    /// Creates an empty tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is full.
+    pub fn new(stm: Arc<Stm>) -> StmBst {
+        let holder_class = stm
+            .heap()
+            .define_class(ClassDesc::new("BstRoot", vec![FieldDesc::new("root", FieldMut::Var)]));
+        let node_class = stm.heap().define_class(ClassDesc::new(
+            "BstNode",
+            vec![
+                // `key` is mutable: deletion copies a successor's key.
+                FieldDesc::new("key", FieldMut::Var),
+                FieldDesc::new("left", FieldMut::Var),
+                FieldDesc::new("right", FieldMut::Var),
+            ],
+        ));
+        let root_holder = stm.heap().alloc(holder_class).expect("heap full");
+        StmBst { stm, node_class, root_holder }
+    }
+
+    /// The STM this tree runs on.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    fn key_of(&self, tx: &mut Transaction<'_>, node: ObjRef) -> TxResult<i64> {
+        Ok(tx.read(node, KEY)?.as_scalar().unwrap_or(i64::MAX))
+    }
+
+    /// Finds `key`; returns `(parent, parent_field, node)` where
+    /// `parent`/`parent_field` address the link that points at `node`
+    /// (or at the insertion point when `node` is `None`).
+    fn locate(
+        &self,
+        tx: &mut Transaction<'_>,
+        key: i64,
+    ) -> TxResult<(ObjRef, usize, Option<ObjRef>)> {
+        let mut parent = self.root_holder;
+        let mut parent_field = ROOT;
+        let mut current = tx.read(parent, parent_field)?.as_ref();
+        while let Some(node) = current {
+            let node_key = self.key_of(tx, node)?;
+            if node_key == key {
+                return Ok((parent, parent_field, Some(node)));
+            }
+            parent = node;
+            parent_field = if key < node_key { LEFT } else { RIGHT };
+            current = tx.read(parent, parent_field)?.as_ref();
+        }
+        Ok((parent, parent_field, None))
+    }
+}
+
+impl StmBst {
+    /// Transaction-composable insert: runs inside the caller's open
+    /// transaction, so it composes atomically with other structures on
+    /// the same [`Stm`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional conflicts for the caller's retry loop.
+    pub fn insert_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        let (parent, parent_field, found) = self.locate(tx, key)?;
+        if found.is_some() {
+            return Ok(false);
+        }
+        let fresh = tx.alloc(self.node_class)?;
+        self.stm.heap().store(fresh, KEY, Word::from_scalar(key));
+        tx.write(parent, parent_field, Word::from_ref(fresh))?;
+        Ok(true)
+    }
+
+    /// Transaction-composable membership test (see
+    /// [`StmBst::insert_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional conflicts for the caller's retry loop.
+    pub fn contains_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        Ok(self.locate(tx, key)?.2.is_some())
+    }
+
+    /// Transaction-composable remove (see [`StmBst::insert_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional conflicts for the caller's retry loop.
+    pub fn remove_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        let (parent, parent_field, found) = self.locate(tx, key)?;
+        let Some(node) = found else { return Ok(false) };
+        let left = tx.read(node, LEFT)?.as_ref();
+        let right = tx.read(node, RIGHT)?.as_ref();
+        match (left, right) {
+            (None, None) => {
+                tx.write(parent, parent_field, Word::null())?;
+            }
+            (Some(child), None) | (None, Some(child)) => {
+                tx.write(parent, parent_field, Word::from_ref(child))?;
+            }
+            (Some(_), Some(right)) => {
+                // Two children: splice out the in-order successor
+                // (leftmost node of the right subtree) and move its
+                // key into `node`.
+                let mut succ_parent = node;
+                let mut succ_field = RIGHT;
+                let mut succ = right;
+                while let Some(next) = tx.read(succ, LEFT)?.as_ref() {
+                    succ_parent = succ;
+                    succ_field = LEFT;
+                    succ = next;
+                }
+                let succ_key = tx.read(succ, KEY)?;
+                let succ_right = tx.read(succ, RIGHT)?;
+                tx.write(node, KEY, succ_key)?;
+                tx.write(succ_parent, succ_field, succ_right)?;
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl ConcurrentSet for StmBst {
+    fn insert(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| self.insert_in(tx, key))
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| self.remove_in(tx, key))
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| self.contains_in(tx, key))
+    }
+
+    fn len(&self) -> usize {
+        self.stm.atomically(|tx| {
+            let mut n = 0usize;
+            let mut stack = vec![tx.read(self.root_holder, ROOT)?.as_ref()];
+            while let Some(top) = stack.pop() {
+                let Some(node) = top else { continue };
+                n += 1;
+                stack.push(tx.read(node, LEFT)?.as_ref());
+                stack.push(tx.read(node, RIGHT)?.as_ref());
+            }
+            Ok(n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::Heap;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn tree() -> StmBst {
+        StmBst::new(Arc::new(Stm::new(Arc::new(Heap::new()))))
+    }
+
+    /// In-order traversal for invariant checks (single-threaded).
+    fn inorder(t: &StmBst) -> Vec<i64> {
+        fn walk(t: &StmBst, node: Option<ObjRef>, out: &mut Vec<i64>) {
+            let Some(n) = node else { return };
+            let heap = t.stm.heap();
+            walk(t, heap.load(n, LEFT).as_ref(), out);
+            out.push(heap.load(n, KEY).as_scalar().unwrap());
+            walk(t, heap.load(n, RIGHT).as_ref(), out);
+        }
+        let mut out = Vec::new();
+        let root = t.stm.heap().load(t.root_holder, ROOT).as_ref();
+        walk(t, root, &mut out);
+        out
+    }
+
+    #[test]
+    fn insert_contains_remove_all_cases() {
+        let t = tree();
+        for k in [50, 30, 70, 20, 40, 60, 80] {
+            assert!(t.insert(k));
+        }
+        assert_eq!(t.len(), 7);
+        assert!(t.remove(20), "leaf");
+        assert!(t.remove(30), "one child");
+        assert!(t.remove(50), "two children (root)");
+        assert!(!t.remove(50));
+        assert_eq!(inorder(&t), vec![40, 60, 70, 80]);
+    }
+
+    #[test]
+    fn stays_a_search_tree_under_random_ops() {
+        let t = tree();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut keys: Vec<i64> = (0..200).collect();
+        keys.shuffle(&mut rng);
+        for &k in &keys {
+            t.insert(k);
+        }
+        for k in (0..200).step_by(3) {
+            t.remove(k);
+        }
+        let seq = inorder(&t);
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        assert_eq!(seq, sorted, "in-order traversal must be sorted");
+        assert_eq!(seq.len(), t.len());
+    }
+
+    #[test]
+    fn concurrent_mixed_operations_converge() {
+        let t = Arc::new(tree());
+        std::thread::scope(|scope| {
+            for thread in 0..4i64 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let k = (thread * 37 + i * 11) % 100;
+                        match i % 3 {
+                            0 => {
+                                t.insert(k);
+                            }
+                            1 => {
+                                t.contains(k);
+                            }
+                            _ => {
+                                t.remove(k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let seq = inorder(&t);
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(seq, sorted, "no duplicates, sorted after contention");
+    }
+}

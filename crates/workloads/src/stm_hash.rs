@@ -1,0 +1,208 @@
+//! A chained hash-table set over the direct-access STM — the headline
+//! scalability workload of the paper's evaluation.
+//!
+//! With enough buckets, transactions touch disjoint chains and the STM
+//! should scale like fine-grained locking; with few buckets it degrades
+//! gracefully via conflicts.
+
+use std::sync::Arc;
+
+use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, ObjRef, Word};
+use omt_stm::{Stm, Transaction, TxResult};
+
+use crate::set::ConcurrentSet;
+
+const BUCKET_HEAD: usize = 0;
+const KEY: usize = 0;
+const NEXT: usize = 1;
+
+/// A transactional chained hash set.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::Heap;
+/// use omt_stm::Stm;
+/// use omt_workloads::{ConcurrentSet, StmHashSet};
+///
+/// let stm = Arc::new(Stm::new(Arc::new(Heap::new())));
+/// let set = StmHashSet::new(stm, 64);
+/// assert!(set.insert(7));
+/// assert!(set.contains(7));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StmHashSet {
+    stm: Arc<Stm>,
+    node_class: ClassId,
+    /// One single-field head object per bucket (fixed after creation).
+    buckets: Vec<ObjRef>,
+}
+
+impl StmHashSet {
+    /// Creates a hash set with `buckets` chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or the heap is full.
+    pub fn new(stm: Arc<Stm>, buckets: usize) -> StmHashSet {
+        assert!(buckets > 0, "need at least one bucket");
+        let bucket_class = stm
+            .heap()
+            .define_class(ClassDesc::new("HashBucket", vec![FieldDesc::new("head", FieldMut::Var)]));
+        let node_class = stm.heap().define_class(ClassDesc::new(
+            "HashNode",
+            vec![FieldDesc::new("key", FieldMut::Val), FieldDesc::new("next", FieldMut::Var)],
+        ));
+        let buckets =
+            (0..buckets).map(|_| stm.heap().alloc(bucket_class).expect("heap full")).collect();
+        StmHashSet { stm, node_class, buckets }
+    }
+
+    /// The STM this set runs on.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket(&self, key: i64) -> ObjRef {
+        self.buckets[key.rem_euclid(self.buckets.len() as i64) as usize]
+    }
+
+    /// Walks the chain; returns `(prev, node-with-key)` where `prev` is
+    /// the bucket head or the preceding node.
+    fn locate(
+        &self,
+        tx: &mut Transaction<'_>,
+        key: i64,
+    ) -> TxResult<(ObjRef, usize, Option<ObjRef>)> {
+        let bucket = self.bucket(key);
+        let mut prev = bucket;
+        let mut prev_field = BUCKET_HEAD;
+        let mut current = tx.read(bucket, BUCKET_HEAD)?.as_ref();
+        while let Some(node) = current {
+            if tx.read(node, KEY)?.as_scalar() == Some(key) {
+                return Ok((prev, prev_field, Some(node)));
+            }
+            prev = node;
+            prev_field = NEXT;
+            current = tx.read(node, NEXT)?.as_ref();
+        }
+        Ok((prev, prev_field, None))
+    }
+}
+
+impl ConcurrentSet for StmHashSet {
+    fn insert(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| {
+            let (_, _, found) = self.locate(tx, key)?;
+            if found.is_some() {
+                return Ok(false);
+            }
+            let bucket = self.bucket(key);
+            let first = tx.read(bucket, BUCKET_HEAD)?;
+            let fresh = tx.alloc(self.node_class)?;
+            // Transaction-local initialization (no barriers needed).
+            self.stm.heap().store(fresh, KEY, Word::from_scalar(key));
+            self.stm.heap().store(fresh, NEXT, first);
+            tx.write(bucket, BUCKET_HEAD, Word::from_ref(fresh))?;
+            Ok(true)
+        })
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| {
+            let (prev, prev_field, found) = self.locate(tx, key)?;
+            let Some(node) = found else { return Ok(false) };
+            let after = tx.read(node, NEXT)?;
+            tx.write(prev, prev_field, after)?;
+            Ok(true)
+        })
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| Ok(self.locate(tx, key)?.2.is_some()))
+    }
+
+    fn len(&self) -> usize {
+        self.stm.atomically(|tx| {
+            let mut n = 0usize;
+            for bucket in &self.buckets {
+                let mut current = tx.read(*bucket, BUCKET_HEAD)?.as_ref();
+                while let Some(node) = current {
+                    n += 1;
+                    current = tx.read(node, NEXT)?.as_ref();
+                }
+            }
+            Ok(n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{prefill, run_set_workload, SetWorkload};
+    use omt_heap::Heap;
+
+    fn set(buckets: usize) -> StmHashSet {
+        StmHashSet::new(Arc::new(Stm::new(Arc::new(Heap::new()))), buckets)
+    }
+
+    #[test]
+    fn basic_operations() {
+        let s = set(16);
+        assert!(s.insert(1));
+        assert!(s.insert(17)); // same bucket as 1 with 16 buckets
+        assert!(s.insert(33));
+        assert!(!s.insert(17));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(17));
+        assert!(s.contains(1) && s.contains(33) && !s.contains(17));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn negative_keys_hash_correctly() {
+        let s = set(8);
+        assert!(s.insert(-5));
+        assert!(s.contains(-5));
+        assert!(s.remove(-5));
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_a_list() {
+        let s = set(1);
+        for k in 0..50 {
+            assert!(s.insert(k));
+        }
+        assert_eq!(s.len(), 50);
+        for k in 0..50 {
+            assert!(s.contains(k));
+        }
+    }
+
+    #[test]
+    fn workload_preserves_sanity_under_threads() {
+        let s = set(64);
+        let workload = SetWorkload {
+            initial_size: 128,
+            key_range: 512,
+            ops_per_thread: 2_000,
+            ..SetWorkload::default()
+        };
+        prefill(&s, &workload);
+        assert_eq!(s.len(), 128);
+        let outcome = run_set_workload(&s, &workload, 4);
+        assert_eq!(outcome.total_ops, 8_000);
+        // Set size must stay within the key range.
+        assert!(s.len() <= 512);
+        // And the STM must have committed every operation.
+        assert!(s.stm().stats().commits >= 8_000);
+    }
+}

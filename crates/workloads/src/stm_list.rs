@@ -1,0 +1,255 @@
+//! A sorted linked-list set over the direct-access STM.
+//!
+//! The classic STM micro-benchmark: every operation walks the list
+//! transactionally, so read-set sizes grow with the structure and the
+//! runtime filter and compiler-style barrier discipline matter.
+//!
+//! The implementation is written the way the paper's *compiler* would
+//! emit it: one `open_for_read` per visited node (via
+//! [`Transaction::read`], which the runtime filter deduplicates), and
+//! direct initialization of freshly allocated nodes (the
+//! transaction-local optimization — a new node cannot conflict until it
+//! is linked).
+
+use std::sync::Arc;
+
+use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, ObjRef, Word};
+use omt_stm::{Stm, Transaction, TxResult};
+
+use crate::set::ConcurrentSet;
+
+const KEY: usize = 0;
+const NEXT: usize = 1;
+
+/// A transactional sorted singly-linked list of 63-bit keys.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::Heap;
+/// use omt_stm::Stm;
+/// use omt_workloads::{ConcurrentSet, StmSortedList};
+///
+/// let stm = Arc::new(Stm::new(Arc::new(Heap::new())));
+/// let list = StmSortedList::new(stm);
+/// assert!(list.insert(3));
+/// assert!(!list.insert(3));
+/// assert!(list.contains(3));
+/// assert!(list.remove(3));
+/// assert!(list.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct StmSortedList {
+    stm: Arc<Stm>,
+    node_class: ClassId,
+    /// Sentinel node; its `next` is the first real element.
+    head: ObjRef,
+}
+
+impl StmSortedList {
+    /// Creates an empty list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is full.
+    pub fn new(stm: Arc<Stm>) -> StmSortedList {
+        let node_class = stm.heap().define_class(ClassDesc::new(
+            "ListNode",
+            vec![
+                FieldDesc::new("key", FieldMut::Val),
+                FieldDesc::new("next", FieldMut::Var),
+            ],
+        ));
+        let head = stm.heap().alloc(node_class).expect("heap full");
+        StmSortedList { stm, node_class, head }
+    }
+
+    /// The STM this list runs on.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// Walks to the first node with key >= `key`.
+    /// Returns `(prev, current)`.
+    fn locate(
+        &self,
+        tx: &mut Transaction<'_>,
+        key: i64,
+    ) -> TxResult<(ObjRef, Option<ObjRef>)> {
+        let mut prev = self.head;
+        let mut current = tx.read(prev, NEXT)?.as_ref();
+        while let Some(node) = current {
+            let node_key = tx.read(node, KEY)?.as_scalar().unwrap_or(i64::MAX);
+            if node_key >= key {
+                break;
+            }
+            prev = node;
+            current = tx.read(node, NEXT)?.as_ref();
+        }
+        Ok((prev, current))
+    }
+
+    fn key_of(&self, tx: &mut Transaction<'_>, node: ObjRef) -> TxResult<i64> {
+        Ok(tx.read(node, KEY)?.as_scalar().unwrap_or(i64::MAX))
+    }
+}
+
+impl StmSortedList {
+    /// Transaction-composable insert: runs inside the caller's open
+    /// transaction, so it can be combined atomically with operations on
+    /// other structures sharing the same [`Stm`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional conflicts for the caller's retry loop.
+    pub fn insert_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        let (prev, current) = self.locate(tx, key)?;
+        if let Some(node) = current {
+            if self.key_of(tx, node)? == key {
+                return Ok(false);
+            }
+        }
+        let fresh = tx.alloc(self.node_class)?;
+        // Transaction-local initialization: no barriers needed until
+        // the node is published by the write to `prev.next`.
+        self.stm.heap().store(fresh, KEY, Word::from_scalar(key));
+        self.stm.heap().store(fresh, NEXT, Word::from_opt_ref(current));
+        tx.write(prev, NEXT, Word::from_ref(fresh))?;
+        Ok(true)
+    }
+
+    /// Transaction-composable remove (see [`StmSortedList::insert_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional conflicts for the caller's retry loop.
+    pub fn remove_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        let (prev, current) = self.locate(tx, key)?;
+        let Some(node) = current else { return Ok(false) };
+        if self.key_of(tx, node)? != key {
+            return Ok(false);
+        }
+        let after = tx.read(node, NEXT)?;
+        tx.write(prev, NEXT, after)?;
+        Ok(true)
+    }
+
+    /// Transaction-composable membership test (see
+    /// [`StmSortedList::insert_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional conflicts for the caller's retry loop.
+    pub fn contains_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<bool> {
+        let (_, current) = self.locate(tx, key)?;
+        match current {
+            Some(node) => Ok(self.key_of(tx, node)? == key),
+            None => Ok(false),
+        }
+    }
+}
+
+impl ConcurrentSet for StmSortedList {
+    fn insert(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| self.insert_in(tx, key))
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| self.remove_in(tx, key))
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| self.contains_in(tx, key))
+    }
+
+    fn len(&self) -> usize {
+        self.stm.atomically(|tx| {
+            let mut n = 0usize;
+            let mut current = tx.read(self.head, NEXT)?.as_ref();
+            while let Some(node) = current {
+                n += 1;
+                current = tx.read(node, NEXT)?.as_ref();
+            }
+            Ok(n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::Heap;
+
+    fn list() -> StmSortedList {
+        StmSortedList::new(Arc::new(Stm::new(Arc::new(Heap::new()))))
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let l = list();
+        assert!(l.insert(5));
+        assert!(l.insert(1));
+        assert!(l.insert(9));
+        assert!(!l.insert(5));
+        assert_eq!(l.len(), 3);
+        assert!(l.contains(1) && l.contains(5) && l.contains(9));
+        assert!(!l.contains(7));
+        assert!(l.remove(5));
+        assert!(!l.remove(5));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn keeps_sorted_order() {
+        let l = list();
+        for key in [5, 3, 8, 1, 9, 2] {
+            l.insert(key);
+        }
+        // Walk raw: keys must be ascending.
+        let heap = l.stm.heap().clone();
+        let mut keys = Vec::new();
+        let mut cur = heap.load(l.head, NEXT).as_ref();
+        while let Some(n) = cur {
+            keys.push(heap.load(n, KEY).as_scalar().unwrap());
+            cur = heap.load(n, NEXT).as_ref();
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let l = Arc::new(list());
+        std::thread::scope(|scope| {
+            for t in 0..4i64 {
+                let l = l.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        assert!(l.insert(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(l.len(), 400);
+    }
+
+    #[test]
+    fn concurrent_same_key_inserts_once() {
+        let l = Arc::new(list());
+        let winners: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let l = l.clone();
+                    scope.spawn(move || usize::from(l.insert(42)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1);
+        assert_eq!(l.len(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! A skip-list set over the direct-access STM.
+//!
+//! Skip lists were the third classic shape in STM evaluations of the
+//! period: multi-level towers give short transactional walks (like
+//! trees) with simple pointer surgery (like lists).
+
+use std::sync::Arc;
+
+use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, ObjRef, Word};
+use omt_stm::{Stm, Transaction, TxResult};
+use rand::Rng;
+
+use crate::set::ConcurrentSet;
+
+/// Maximum tower height.
+pub const MAX_LEVEL: usize = 8;
+
+const KEY: usize = 0;
+const LEVEL: usize = 1;
+const NEXT0: usize = 2; // next pointers occupy fields NEXT0..NEXT0+MAX_LEVEL
+
+/// A transactional skip list.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::Heap;
+/// use omt_stm::Stm;
+/// use omt_workloads::{ConcurrentSet, StmSkipList};
+///
+/// let sl = StmSkipList::new(Arc::new(Stm::new(Arc::new(Heap::new()))));
+/// for k in 0..32 { assert!(sl.insert(k)); }
+/// assert_eq!(sl.len(), 32);
+/// assert!(sl.remove(17));
+/// assert!(!sl.contains(17));
+/// ```
+#[derive(Debug)]
+pub struct StmSkipList {
+    stm: Arc<Stm>,
+    node_class: ClassId,
+    /// Sentinel head with a full-height tower.
+    head: ObjRef,
+}
+
+impl StmSkipList {
+    /// Creates an empty skip list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is full.
+    pub fn new(stm: Arc<Stm>) -> StmSkipList {
+        let mut fields = vec![
+            FieldDesc::new("key", FieldMut::Val),
+            FieldDesc::new("level", FieldMut::Val),
+        ];
+        for i in 0..MAX_LEVEL {
+            fields.push(FieldDesc::new(format!("next{i}"), FieldMut::Var));
+        }
+        let node_class = stm.heap().define_class(ClassDesc::new("SkipNode", fields));
+        let head = stm.heap().alloc(node_class).expect("heap full");
+        stm.heap().store(head, LEVEL, Word::from_scalar(MAX_LEVEL as i64));
+        StmSkipList { stm, node_class, head }
+    }
+
+    /// The STM this skip list runs on.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    fn key_of(&self, tx: &mut Transaction<'_>, node: ObjRef) -> TxResult<i64> {
+        Ok(tx.read(node, KEY)?.as_scalar().unwrap_or(i64::MAX))
+    }
+
+    /// Finds the predecessors of `key` at every level, plus the node at
+    /// level 0 if the key is present.
+    fn locate(
+        &self,
+        tx: &mut Transaction<'_>,
+        key: i64,
+    ) -> TxResult<([ObjRef; MAX_LEVEL], Option<ObjRef>)> {
+        let mut preds = [self.head; MAX_LEVEL];
+        let mut node = self.head;
+        for level in (0..MAX_LEVEL).rev() {
+            loop {
+                let next = tx.read(node, NEXT0 + level)?.as_ref();
+                match next {
+                    Some(n) if self.key_of(tx, n)? < key => node = n,
+                    _ => break,
+                }
+            }
+            preds[level] = node;
+        }
+        let candidate = tx.read(node, NEXT0)?.as_ref();
+        let found = match candidate {
+            Some(c) if self.key_of(tx, c)? == key => Some(c),
+            _ => None,
+        };
+        Ok((preds, found))
+    }
+
+    fn random_level() -> usize {
+        let mut level = 1;
+        let mut rng = rand::thread_rng();
+        while level < MAX_LEVEL && rng.gen_bool(0.5) {
+            level += 1;
+        }
+        level
+    }
+}
+
+impl ConcurrentSet for StmSkipList {
+    fn insert(&self, key: i64) -> bool {
+        let level = Self::random_level();
+        self.stm.atomically(|tx| {
+            let (preds, found) = self.locate(tx, key)?;
+            if found.is_some() {
+                return Ok(false);
+            }
+            let fresh = tx.alloc(self.node_class)?;
+            let heap = self.stm.heap();
+            heap.store(fresh, KEY, Word::from_scalar(key));
+            heap.store(fresh, LEVEL, Word::from_scalar(level as i64));
+            for (l, pred) in preds.iter().enumerate().take(level) {
+                let succ = tx.read(*pred, NEXT0 + l)?;
+                heap.store(fresh, NEXT0 + l, succ); // tx-local init
+                tx.write(*pred, NEXT0 + l, Word::from_ref(fresh))?;
+            }
+            Ok(true)
+        })
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| {
+            let (preds, found) = self.locate(tx, key)?;
+            let Some(node) = found else { return Ok(false) };
+            let level = tx.read(node, LEVEL)?.as_scalar().unwrap_or(1) as usize;
+            for (l, pred) in preds.iter().enumerate().take(level.min(MAX_LEVEL)) {
+                // The predecessor at level l may not point at `node` if
+                // the tower is shorter there; check before unlinking.
+                let succ = tx.read(*pred, NEXT0 + l)?.as_ref();
+                if succ == Some(node) {
+                    let after = tx.read(node, NEXT0 + l)?;
+                    tx.write(*pred, NEXT0 + l, after)?;
+                }
+            }
+            Ok(true)
+        })
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        self.stm.atomically(|tx| Ok(self.locate(tx, key)?.1.is_some()))
+    }
+
+    fn len(&self) -> usize {
+        self.stm.atomically(|tx| {
+            let mut n = 0usize;
+            let mut current = tx.read(self.head, NEXT0)?.as_ref();
+            while let Some(node) = current {
+                n += 1;
+                current = tx.read(node, NEXT0)?.as_ref();
+            }
+            Ok(n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::Heap;
+
+    fn skiplist() -> StmSkipList {
+        StmSkipList::new(Arc::new(Stm::new(Arc::new(Heap::new()))))
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let sl = skiplist();
+        for k in [9, 3, 7, 1, 5] {
+            assert!(sl.insert(k));
+        }
+        assert!(!sl.insert(7));
+        assert_eq!(sl.len(), 5);
+        for k in [1, 3, 5, 7, 9] {
+            assert!(sl.contains(k));
+        }
+        assert!(!sl.contains(4));
+        assert!(sl.remove(7));
+        assert!(!sl.remove(7));
+        assert_eq!(sl.len(), 4);
+    }
+
+    #[test]
+    fn level0_order_is_sorted() {
+        let sl = skiplist();
+        for k in [30, 10, 50, 20, 40] {
+            sl.insert(k);
+        }
+        let heap = sl.stm.heap();
+        let mut keys = Vec::new();
+        let mut cur = heap.load(sl.head, NEXT0).as_ref();
+        while let Some(n) = cur {
+            keys.push(heap.load(n, KEY).as_scalar().unwrap());
+            cur = heap.load(n, NEXT0).as_ref();
+        }
+        assert_eq!(keys, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn higher_levels_are_sublists_of_level0() {
+        let sl = skiplist();
+        for k in 0..100 {
+            sl.insert(k);
+        }
+        let heap = sl.stm.heap();
+        let collect = |level: usize| {
+            let mut keys = Vec::new();
+            let mut cur = heap.load(sl.head, NEXT0 + level).as_ref();
+            while let Some(n) = cur {
+                keys.push(heap.load(n, KEY).as_scalar().unwrap());
+                cur = heap.load(n, NEXT0 + level).as_ref();
+            }
+            keys
+        };
+        let level0 = collect(0);
+        assert_eq!(level0.len(), 100);
+        for level in 1..MAX_LEVEL {
+            let keys = collect(level);
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "level {level} must stay sorted");
+            assert!(keys.iter().all(|k| level0.contains(k)));
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_removes_stay_consistent() {
+        let sl = Arc::new(skiplist());
+        std::thread::scope(|scope| {
+            for t in 0..4i64 {
+                let sl = sl.clone();
+                scope.spawn(move || {
+                    for i in 0..150 {
+                        let k = (t * 41 + i * 13) % 128;
+                        if i % 2 == 0 {
+                            sl.insert(k);
+                        } else {
+                            sl.remove(k);
+                        }
+                    }
+                });
+            }
+        });
+        // Level-0 walk must be strictly sorted (no duplicates, no cycles).
+        let heap = sl.stm.heap();
+        let mut prev = i64::MIN;
+        let mut cur = heap.load(sl.head, NEXT0).as_ref();
+        let mut steps = 0;
+        while let Some(n) = cur {
+            let k = heap.load(n, KEY).as_scalar().unwrap();
+            assert!(k > prev, "sorted and duplicate-free");
+            prev = k;
+            cur = heap.load(n, NEXT0).as_ref();
+            steps += 1;
+            assert!(steps <= 128, "cycle detected");
+        }
+    }
+}

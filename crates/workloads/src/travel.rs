@@ -1,0 +1,373 @@
+//! A travel-reservation workload in the Vacation tradition: multi-step
+//! bookings composed from several transactional structures in **one**
+//! transaction — the kind of whole-operation atomicity that motivates
+//! transactional memory in the first place.
+//!
+//! A trip books one flight, one room, and one car. Either all three
+//! resources move from their *available* trees to the *booked* trees
+//! and the customer's itinerary count rises, or nothing changes at all.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omt_heap::{ClassDesc, ObjRef, Word};
+use omt_stm::{Stm, TxError, TxResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stm_bst::StmBst;
+
+/// The three resource kinds of a trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// A flight seat.
+    Flight,
+    /// A hotel room.
+    Room,
+    /// A rental car.
+    Car,
+}
+
+impl Resource {
+    /// All resource kinds.
+    pub const ALL: [Resource; 3] = [Resource::Flight, Resource::Room, Resource::Car];
+
+    fn index(self) -> usize {
+        match self {
+            Resource::Flight => 0,
+            Resource::Room => 1,
+            Resource::Car => 2,
+        }
+    }
+}
+
+const TRIPS: usize = 0;
+
+/// The reservation system.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::Heap;
+/// use omt_stm::Stm;
+/// use omt_workloads::TravelSystem;
+///
+/// let stm = Arc::new(Stm::new(Arc::new(Heap::new())));
+/// let travel = TravelSystem::new(stm, 8, 4);
+/// assert!(travel.book_trip(0, 3, 3, 3));
+/// assert!(!travel.book_trip(1, 3, 0, 0), "flight 3 is taken");
+/// assert!(travel.cancel_trip(0, 3, 3, 3));
+/// travel.check_invariants();
+/// ```
+#[derive(Debug)]
+pub struct TravelSystem {
+    stm: Arc<Stm>,
+    available: [StmBst; 3],
+    booked: [StmBst; 3],
+    customers: Vec<ObjRef>,
+    resources_per_kind: usize,
+}
+
+impl TravelSystem {
+    /// Creates a system with `resources_per_kind` of each resource
+    /// (ids `0..resources_per_kind`) and `customers` customers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap fills up during construction.
+    pub fn new(stm: Arc<Stm>, resources_per_kind: usize, customers: usize) -> TravelSystem {
+        let customer_class =
+            stm.heap().define_class(ClassDesc::with_var_fields("Customer", &["trips"]));
+        let available = [
+            StmBst::new(stm.clone()),
+            StmBst::new(stm.clone()),
+            StmBst::new(stm.clone()),
+        ];
+        let booked = [
+            StmBst::new(stm.clone()),
+            StmBst::new(stm.clone()),
+            StmBst::new(stm.clone()),
+        ];
+        for tree in &available {
+            for id in 0..resources_per_kind {
+                use crate::set::ConcurrentSet;
+                tree.insert(id as i64);
+            }
+        }
+        let customers = (0..customers)
+            .map(|_| stm.heap().alloc(customer_class).expect("heap full"))
+            .collect();
+        TravelSystem { stm, available, booked, customers, resources_per_kind }
+    }
+
+    /// The STM the system runs on.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// Number of resources per kind.
+    pub fn resources_per_kind(&self) -> usize {
+        self.resources_per_kind
+    }
+
+    /// Books a whole trip atomically. Returns false (leaving *nothing*
+    /// changed) if any leg is unavailable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `customer` is out of range.
+    pub fn book_trip(&self, customer: usize, flight: i64, room: i64, car: i64) -> bool {
+        let customer = self.customers[customer];
+        self.stm.atomically(|tx| {
+            let ids = [flight, room, car];
+            // Check availability of every leg first: failing later
+            // would be correct too (the transaction aborts), but
+            // checking first avoids useless ownership acquisition.
+            for kind in Resource::ALL {
+                if !self.available[kind.index()].contains_in(tx, ids[kind.index()])? {
+                    return Ok(false);
+                }
+            }
+            for kind in Resource::ALL {
+                let id = ids[kind.index()];
+                let moved = self.available[kind.index()].remove_in(tx, id)?
+                    && self.booked[kind.index()].insert_in(tx, id)?;
+                if !moved {
+                    // Cannot happen after the checks above within one
+                    // transaction; abort defensively rather than commit
+                    // a half-booked trip.
+                    return Err(TxError::EXPLICIT);
+                }
+            }
+            let trips = tx.read(customer, TRIPS)?.as_scalar().unwrap_or(0);
+            tx.write(customer, TRIPS, Word::from_scalar(trips + 1))?;
+            Ok(true)
+        })
+    }
+
+    /// Cancels a trip atomically (the reverse move). Returns false if
+    /// any leg was not actually booked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `customer` is out of range.
+    pub fn cancel_trip(&self, customer: usize, flight: i64, room: i64, car: i64) -> bool {
+        let customer = self.customers[customer];
+        self.stm.atomically(|tx| {
+            let ids = [flight, room, car];
+            for kind in Resource::ALL {
+                if !self.booked[kind.index()].contains_in(tx, ids[kind.index()])? {
+                    return Ok(false);
+                }
+            }
+            for kind in Resource::ALL {
+                let id = ids[kind.index()];
+                if !(self.booked[kind.index()].remove_in(tx, id)?
+                    && self.available[kind.index()].insert_in(tx, id)?)
+                {
+                    return Err(TxError::EXPLICIT);
+                }
+            }
+            let trips = tx.read(customer, TRIPS)?.as_scalar().unwrap_or(0);
+            tx.write(customer, TRIPS, Word::from_scalar(trips - 1))?;
+            Ok(true)
+        })
+    }
+
+    /// Total trips currently held by all customers (consistent
+    /// read-only transaction).
+    pub fn total_trips(&self) -> i64 {
+        self.stm.atomically(|tx| {
+            let mut sum = 0;
+            for c in &self.customers {
+                sum += tx.read(*c, TRIPS)?.as_scalar().unwrap_or(0);
+            }
+            Ok(sum)
+        })
+    }
+
+    /// Counts `(available, booked)` for one resource kind, atomically.
+    ///
+    /// Two separate `len()` calls would be two transactions and could
+    /// race a booking; one transaction over both trees cannot.
+    pub fn census(&self, kind: Resource) -> (usize, usize) {
+        self.stm.atomically(|tx| {
+            let count = |tree: &StmBst, tx: &mut omt_stm::Transaction<'_>| -> TxResult<usize> {
+                let mut n = 0;
+                for id in 0..self.resources_per_kind as i64 {
+                    if tree.contains_in(tx, id)? {
+                        n += 1;
+                    }
+                }
+                Ok(n)
+            };
+            Ok((count(&self.available[kind.index()], tx)?, count(&self.booked[kind.index()], tx)?))
+        })
+    }
+
+    /// Asserts every conservation invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a resource leaked or was double-booked.
+    pub fn check_invariants(&self) {
+        let mut total_booked = 0;
+        for kind in Resource::ALL {
+            let (available, booked) = self.census(kind);
+            assert_eq!(
+                available + booked,
+                self.resources_per_kind,
+                "{kind:?}: resources leaked or duplicated"
+            );
+            total_booked += booked;
+        }
+        assert_eq!(
+            total_booked as i64,
+            self.total_trips() * 3,
+            "itinerary counts disagree with booked resources"
+        );
+    }
+}
+
+/// Outcome of a timed reservation run.
+#[derive(Debug, Clone, Copy)]
+pub struct TravelOutcome {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Booking attempts made.
+    pub attempts: u64,
+    /// Bookings that succeeded.
+    pub booked: u64,
+}
+
+impl TravelOutcome {
+    /// Attempts per second.
+    pub fn attempts_per_second(&self) -> f64 {
+        self.attempts as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl fmt::Display for TravelOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempts ({} booked) in {:.3}s ({:.0}/s)",
+            self.attempts,
+            self.booked,
+            self.elapsed.as_secs_f64(),
+            self.attempts_per_second()
+        )
+    }
+}
+
+/// Runs a mixed book/cancel workload on `threads` threads.
+pub fn run_travel_workload(
+    system: &TravelSystem,
+    threads: usize,
+    attempts_per_thread: usize,
+    seed: u64,
+) -> TravelOutcome {
+    let n = system.resources_per_kind() as i64;
+    let customers = system.customers.len();
+    let start = Instant::now();
+    let booked: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 6151));
+                    let mut owned: Vec<(usize, i64, i64, i64)> = Vec::new();
+                    let mut booked = 0u64;
+                    for _ in 0..attempts_per_thread {
+                        if !owned.is_empty() && rng.gen_bool(0.3) {
+                            let (c, f, r, k) = owned.swap_remove(rng.gen_range(0..owned.len()));
+                            assert!(system.cancel_trip(c, f, r, k), "owned trip must cancel");
+                        } else {
+                            let c = rng.gen_range(0..customers);
+                            let (f, r, k) =
+                                (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..n));
+                            if system.book_trip(c, f, r, k) {
+                                owned.push((c, f, r, k));
+                                booked += 1;
+                            }
+                        }
+                    }
+                    // Release everything so invariants are easy to read.
+                    for (c, f, r, k) in owned {
+                        assert!(system.cancel_trip(c, f, r, k));
+                    }
+                    booked
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    });
+    TravelOutcome {
+        elapsed: start.elapsed(),
+        attempts: (threads * attempts_per_thread) as u64,
+        booked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::Heap;
+
+    fn system(resources: usize, customers: usize) -> TravelSystem {
+        TravelSystem::new(Arc::new(Stm::new(Arc::new(Heap::new()))), resources, customers)
+    }
+
+    #[test]
+    fn booking_is_all_or_nothing() {
+        let travel = system(4, 2);
+        assert!(travel.book_trip(0, 1, 1, 1));
+        // Flight 1 is taken: the whole second trip must fail, leaving
+        // room 2 and car 2 untouched.
+        assert!(!travel.book_trip(1, 1, 2, 2));
+        let (avail_rooms, booked_rooms) = travel.census(Resource::Room);
+        assert_eq!((avail_rooms, booked_rooms), (3, 1));
+        travel.check_invariants();
+    }
+
+    #[test]
+    fn cancel_restores_availability() {
+        let travel = system(4, 1);
+        assert!(travel.book_trip(0, 2, 3, 0));
+        assert!(travel.cancel_trip(0, 2, 3, 0));
+        assert!(!travel.cancel_trip(0, 2, 3, 0), "double cancel");
+        assert_eq!(travel.total_trips(), 0);
+        for kind in Resource::ALL {
+            assert_eq!(travel.census(kind), (4, 0));
+        }
+    }
+
+    #[test]
+    fn concurrent_bookings_preserve_invariants() {
+        let travel = system(16, 8);
+        let outcome = run_travel_workload(&travel, 4, 300, 61);
+        assert_eq!(outcome.attempts, 1200);
+        travel.check_invariants();
+        assert_eq!(travel.total_trips(), 0, "every owned trip was released");
+    }
+
+    #[test]
+    fn contended_single_resource_books_exactly_once() {
+        let travel = Arc::new(system(1, 8));
+        let winners: u64 = std::thread::scope(|scope| {
+            (0..8)
+                .map(|c| {
+                    let travel = travel.clone();
+                    scope.spawn(move || u64::from(travel.book_trip(c, 0, 0, 0)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1);
+        travel.check_invariants();
+        assert_eq!(travel.total_trips(), 1);
+    }
+}

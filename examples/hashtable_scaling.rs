@@ -1,0 +1,82 @@
+//! The paper's headline comparison, in miniature: a hash-table set
+//! under a read-heavy mix, run with increasing thread counts on the
+//! direct-access STM and on its lock-based competitors.
+//!
+//! (On a single-core host the curves flatten — the comparison then
+//! shows per-operation overhead rather than scalability.)
+//!
+//! Run with: `cargo run --release --example hashtable_scaling`
+
+use std::sync::Arc;
+
+use omt::heap::Heap;
+use omt::stm::Stm;
+use omt::workloads::{
+    prefill, run_set_workload, ConcurrentSet, CoarseStdSet, HandOverHandList, SetWorkload,
+    StmHashSet, StmSortedList, StripedHashSet,
+};
+
+fn measure(name: &str, set: &dyn ConcurrentSet, workload: &SetWorkload, threads: &[usize]) {
+    print!("{name:<22}");
+    for &t in threads {
+        let outcome = run_set_workload(set, workload, t);
+        print!(" {:>10.0}", outcome.ops_per_second());
+    }
+    println!();
+}
+
+fn main() {
+    let threads = [1usize, 2, 4, 8];
+    let workload = SetWorkload {
+        initial_size: 256,
+        key_range: 1024,
+        ops_per_thread: 20_000,
+        ..SetWorkload::default()
+    };
+
+    println!(
+        "hash-table set, {} initial keys, {} mix (lookup/insert/remove), ops/s:",
+        workload.initial_size, workload.mix
+    );
+    print!("{:<22}", "impl \\ threads");
+    for t in &threads {
+        print!(" {t:>10}");
+    }
+    println!();
+
+    let coarse = CoarseStdSet::new();
+    prefill(&coarse, &workload);
+    measure("coarse (mutex+btree)", &coarse, &workload, &threads);
+
+    let striped = StripedHashSet::new(64);
+    prefill(&striped, &workload);
+    measure("fine (striped locks)", &striped, &workload, &threads);
+
+    let stm_set = StmHashSet::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 64);
+    prefill(&stm_set, &workload);
+    measure("stm (direct-access)", &stm_set, &workload, &threads);
+
+    println!("\nsorted-list set (long transactions), 128 keys:");
+    let list_workload = SetWorkload {
+        initial_size: 128,
+        key_range: 256,
+        ops_per_thread: 2_000,
+        ..SetWorkload::default()
+    };
+    print!("{:<22}", "impl \\ threads");
+    for t in &threads {
+        print!(" {t:>10}");
+    }
+    println!();
+
+    let hoh = HandOverHandList::new();
+    prefill(&hoh, &list_workload);
+    measure("fine (lock coupling)", &hoh, &list_workload, &threads);
+
+    let stm_list = StmSortedList::new(Arc::new(Stm::new(Arc::new(Heap::new()))));
+    prefill(&stm_list, &list_workload);
+    measure("stm (direct-access)", &stm_list, &list_workload, &threads);
+
+    let stats = stm_set.stm().stats();
+    println!("\nstm hash-set stats: {stats}");
+}

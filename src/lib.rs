@@ -1,0 +1,83 @@
+//! # omt — *Optimizing Memory Transactions* (PLDI 2006) in Rust
+//!
+//! A from-scratch reproduction of the direct-access software
+//! transactional memory with a decomposed, compiler-optimized barrier
+//! interface described in *"Optimizing memory transactions"* (Harris,
+//! Plesko, Shinnar, Tarditi — PLDI 2006).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`heap`] | `omt-heap` | managed object heap + mark-sweep GC substrate |
+//! | [`stm`] | `omt-stm` | the direct-access STM (core contribution) |
+//! | [`baselines`] | `omt-baselines` | coarse lock, 2PL, TL2-style buffered STM |
+//! | [`lang`] | `omt-lang` | TxIL: lexer, parser, type checker |
+//! | [`ir`] | `omt-ir` | CFG IR with decomposed STM operations |
+//! | [`opt`] | `omt-opt` | the O0–O4 barrier-optimization pipeline |
+//! | [`vm`] | `omt-vm` | interpreter over pluggable sync backends |
+//! | [`workloads`] | `omt-workloads` | benchmark structures and drivers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use omt::heap::{Heap, ClassDesc, Word};
+//! use omt::stm::Stm;
+//!
+//! let heap = Arc::new(Heap::new());
+//! let account = heap.define_class(ClassDesc::with_var_fields("Account", &["balance"]));
+//! let savings = heap.alloc(account)?;
+//! let checking = heap.alloc(account)?;
+//! heap.store(savings, 0, Word::from_scalar(100));
+//!
+//! let stm = Stm::new(heap.clone());
+//! stm.atomically(|tx| {
+//!     let s = tx.read(savings, 0)?.as_scalar().unwrap();
+//!     let c = tx.read(checking, 0)?.as_scalar().unwrap();
+//!     tx.write(savings, 0, Word::from_scalar(s - 40))?;
+//!     tx.write(checking, 0, Word::from_scalar(c + 40))?;
+//!     Ok(())
+//! });
+//! assert_eq!(heap.load(checking, 0).as_scalar(), Some(40));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Or compile a TxIL program and run it under any synchronization
+//! backend:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use omt::opt::{compile, OptLevel};
+//! use omt::vm::{BackendKind, SyncBackend, Vm};
+//!
+//! let (ir, report) = compile("
+//!     class Account { var balance: int; }
+//!     fn deposit(a: Account, amount: int) -> int {
+//!         atomic { a.balance = a.balance + amount; }
+//!         return a.balance;
+//!     }
+//!     fn main() -> int {
+//!         let a = new Account();
+//!         return deposit(a, 10) + deposit(a, 5);
+//!     }
+//! ", OptLevel::O4)?;
+//! println!("optimizer: {report}");
+//!
+//! let heap = Arc::new(omt::heap::Heap::new());
+//! let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
+//! let vm = Vm::new(Arc::new(ir), heap, backend);
+//! assert_eq!(vm.run("main", &[])?.unwrap().as_scalar(), Some(25));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use omt_baselines as baselines;
+pub use omt_heap as heap;
+pub use omt_ir as ir;
+pub use omt_lang as lang;
+pub use omt_opt as opt;
+pub use omt_stm as stm;
+pub use omt_vm as vm;
+pub use omt_workloads as workloads;

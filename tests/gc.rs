@@ -1,0 +1,130 @@
+//! GC/STM integration across crates: collections interleaved with
+//! transactional workloads and VM execution.
+
+use std::sync::Arc;
+
+use omt::heap::{ClassDesc, Heap, RootSet, Word};
+use omt::opt::{compile, OptLevel};
+use omt::stm::Stm;
+use omt::vm::{BackendKind, SyncBackend, Vm};
+use omt::workloads::{ConcurrentSet, StmSortedList};
+
+#[test]
+fn churn_workload_with_periodic_collection_reclaims_removed_nodes() {
+    let heap = Arc::new(Heap::new());
+    let stm = Arc::new(Stm::new(heap.clone()));
+    let list = StmSortedList::new(stm.clone());
+
+    // Roots: only the list's sentinel. Everything else must be
+    // discovered through the heap graph.
+    let sentinel_root = {
+        // The sentinel is the only object allocated before any insert.
+        let mut roots = RootSet::new();
+        heap.for_each_live(|r| roots.push(r));
+        roots
+    };
+
+    let mut peak = 0;
+    for round in 0..10 {
+        for k in 0..200 {
+            list.insert(k);
+        }
+        for k in 0..200 {
+            if k % 2 == round % 2 {
+                list.remove(k);
+            }
+        }
+        peak = peak.max(heap.live_objects());
+        let outcome = heap.collect(&sentinel_root, &[stm.gc_participant()]);
+        assert_eq!(
+            heap.live_objects(),
+            list.len() + 1, // nodes + sentinel
+            "round {round}: live objects must match list content ({outcome})"
+        );
+    }
+    assert!(peak > heap.live_objects(), "collection reclaimed churn garbage");
+    assert!(heap.stats().snapshot().reuses > 0, "swept slots are recycled");
+}
+
+#[test]
+fn collection_between_vm_runs_keeps_program_data_alive() {
+    const SRC: &str = "
+        class Node { val key: int; var next: Node; }
+        fn build(n: int) -> Node {
+            let head: Node = null;
+            let i = 0;
+            while i < n { head = new Node(i, head); i = i + 1; }
+            return head;
+        }
+        fn sum(h: Node) -> int {
+            let t = 0;
+            atomic {
+                let p = h;
+                while p != null { t = t + p.key; p = p.next; }
+            }
+            return t;
+        }
+    ";
+    let (ir, _) = compile(SRC, OptLevel::O4).unwrap();
+    let heap = Arc::new(Heap::new());
+    let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
+    let vm = Vm::new(Arc::new(ir), heap.clone(), backend.clone());
+
+    let head = vm.run("build", &[Word::from_scalar(500)]).unwrap().unwrap();
+    // Garbage: an unreachable second list.
+    vm.run("build", &[Word::from_scalar (300)]).unwrap();
+
+    let stm = backend.as_stm().unwrap();
+    let outcome = heap.collect(
+        &RootSet::from(vec![head.as_ref().unwrap()]),
+        &[stm.gc_participant()],
+    );
+    assert_eq!(outcome.swept, 300);
+
+    // The kept list is fully intact.
+    let total = vm.run("sum", &[head]).unwrap().unwrap();
+    assert_eq!(total.as_scalar(), Some((0..500).sum::<i64>()));
+}
+
+#[test]
+fn aborted_transactions_leave_only_garbage_behind() {
+    let heap = Arc::new(Heap::new());
+    let class = heap.define_class(ClassDesc::with_var_fields("Blob", &["a", "b", "c"]));
+    let stm = Stm::new(heap.clone());
+
+    for _ in 0..50 {
+        let mut tx = stm.begin();
+        for _ in 0..10 {
+            tx.alloc(class).unwrap();
+        }
+        tx.abort();
+    }
+    assert_eq!(heap.live_objects(), 500);
+    let outcome = heap.collect(&RootSet::new(), &[stm.gc_participant()]);
+    assert_eq!(outcome.swept, 500);
+    assert_eq!(heap.live_objects(), 0);
+}
+
+#[test]
+fn log_trimming_shrinks_long_transactions() {
+    let heap = Arc::new(Heap::new());
+    let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["v"]));
+    let stm = Stm::new(heap.clone());
+
+    let keeper = heap.alloc(class).unwrap();
+    let mut tx = stm.begin();
+    // Read 1000 objects that immediately become garbage.
+    for _ in 0..1000 {
+        let o = heap.alloc(class).unwrap();
+        tx.read(o, 0).unwrap();
+    }
+    tx.read(keeper, 0).unwrap();
+    assert_eq!(tx.read_set_size(), 1001);
+    let bytes_before = stm.registry().total_log_bytes();
+
+    heap.collect(&RootSet::from(vec![keeper]), &[stm.gc_participant()]);
+    assert_eq!(tx.read_set_size(), 1, "dead entries trimmed");
+    assert!(stm.registry().total_log_bytes() < bytes_before);
+    assert!(stm.stats().gc_trimmed_entries >= 1000);
+    tx.commit().unwrap();
+}

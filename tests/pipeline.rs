@@ -1,0 +1,191 @@
+//! Cross-crate integration: source → type check → lower → optimize →
+//! execute, with semantic equivalence across optimization levels and
+//! synchronization backends.
+
+use std::sync::Arc;
+
+use omt::heap::{Heap, Word};
+use omt::ir::verify;
+use omt::opt::{compile, OptLevel};
+use omt::vm::{BackendKind, SyncBackend, Vm};
+
+/// A program exercising most language features: classes with `val`
+/// fields, nested calls inside transactions, loops, short-circuit
+/// logic, allocation inside transactions, and recursion.
+const KITCHEN_SINK: &str = "
+    class Node { val key: int; var count: int; var next: Node; }
+    class Summary { var total: int; var distinct: int; }
+
+    fn find(head: Node, key: int) -> Node {
+        let p = head;
+        while p != null {
+            if p.key == key { return p; }
+            p = p.next;
+        }
+        return null;
+    }
+
+    fn record(head: Node, summary: Summary, key: int) -> Node {
+        atomic {
+            let hit = find(head, key);
+            if hit != null {
+                hit.count = hit.count + 1;
+            } else {
+                head.next = new Node(key, 1, head.next);
+                summary.distinct = summary.distinct + 1;
+            }
+            summary.total = summary.total + 1;
+        }
+        return head;
+    }
+
+    fn digest(head: Node) -> int {
+        let acc = 0;
+        atomic {
+            let p = head.next;
+            while p != null {
+                acc = acc + p.key * p.count;
+                p = p.next;
+            }
+        }
+        return acc;
+    }
+
+    fn gcd(a: int, b: int) -> int {
+        if b == 0 { return a; }
+        return gcd(b, a % b);
+    }
+
+    fn main(n: int) -> int {
+        let head = new Node(0 - 1, 0, null); // sentinel
+        let summary = new Summary();
+        let i = 0;
+        while i < n {
+            record(head, summary, i % 7);
+            i = i + 1;
+        }
+        return digest(head) * 1000 + summary.distinct * 10 + gcd(summary.total, n);
+    }
+";
+
+fn expected(n: i64) -> i64 {
+    // Mirror of the TxIL program in plain Rust.
+    let mut counts = std::collections::HashMap::new();
+    for i in 0..n {
+        *counts.entry(i % 7).or_insert(0i64) += 1;
+    }
+    let digest: i64 = counts.iter().map(|(k, c)| k * c).sum();
+    let distinct = counts.len() as i64;
+    fn gcd(a: i64, b: i64) -> i64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    digest * 1000 + distinct * 10 + gcd(n, n)
+}
+
+#[test]
+fn all_levels_and_backends_compute_the_same_answer() {
+    let want = expected(100);
+    for level in OptLevel::ALL {
+        let (ir, _) = compile(KITCHEN_SINK, level).expect("compiles");
+        verify(&ir).expect("valid IR at every level");
+        let ir = Arc::new(ir);
+        for kind in BackendKind::ALL {
+            let heap = Arc::new(Heap::new());
+            let backend = Arc::new(SyncBackend::new(kind, heap.clone()));
+            let vm = Vm::new(ir.clone(), heap, backend);
+            let got = vm
+                .run("main", &[Word::from_scalar(100)])
+                .unwrap_or_else(|e| panic!("{level}/{kind}: {e}"))
+                .unwrap()
+                .as_scalar()
+                .unwrap();
+            assert_eq!(got, want, "wrong answer at {level} under {kind}");
+        }
+    }
+}
+
+#[test]
+fn static_and_dynamic_barrier_counts_shrink_together() {
+    let mut static_totals = Vec::new();
+    let mut dynamic_totals = Vec::new();
+    for level in OptLevel::ALL {
+        let (ir, report) = compile(KITCHEN_SINK, level).expect("compiles");
+        let (r, u, n) = report.static_barriers;
+        static_totals.push(r + u + n);
+
+        let heap = Arc::new(Heap::new());
+        let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
+        let vm = Vm::new(Arc::new(ir), heap, backend);
+        vm.run("main", &[Word::from_scalar(100)]).expect("runs");
+        dynamic_totals.push(vm.counters().total_barriers());
+    }
+    for w in static_totals.windows(2) {
+        assert!(w[1] <= w[0], "static barriers grew: {static_totals:?}");
+    }
+    for w in dynamic_totals.windows(2) {
+        assert!(w[1] <= w[0], "dynamic barriers grew: {dynamic_totals:?}");
+    }
+    assert!(
+        (dynamic_totals[4] as f64) < dynamic_totals[0] as f64 * 0.8,
+        "O4 should remove a substantial fraction of dynamic barriers: {dynamic_totals:?}"
+    );
+}
+
+#[test]
+fn optimized_code_still_retries_correctly_under_contention() {
+    const COUNTER: &str = "
+        class Counter { var hits: int; }
+        fn make() -> Counter { return new Counter(); }
+        fn bump(c: Counter, n: int) -> int {
+            let i = 0;
+            while i < n { atomic { c.hits = c.hits + 1; } i = i + 1; }
+            return c.hits;
+        }
+    ";
+    for level in OptLevel::ALL {
+        let (ir, _) = compile(COUNTER, level).expect("compiles");
+        let ir = Arc::new(ir);
+        let heap = Arc::new(Heap::new());
+        let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
+        let setup = Vm::new(ir.clone(), heap.clone(), backend.clone());
+        let counter = setup.run("make", &[]).unwrap().unwrap();
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ir = ir.clone();
+                let heap = heap.clone();
+                let backend = backend.clone();
+                scope.spawn(move || {
+                    let vm = Vm::new(ir, heap, backend);
+                    vm.run("bump", &[counter, Word::from_scalar(250)]).expect("no trap");
+                });
+            }
+        });
+        assert_eq!(
+            heap.load(counter.as_ref().unwrap(), 0).as_scalar(),
+            Some(1000),
+            "lost updates at {level}"
+        );
+    }
+}
+
+#[test]
+fn front_end_rejects_bad_programs_with_useful_messages() {
+    let cases = [
+        ("fn f() -> int { atomic { return 1; } }", "not allowed inside"),
+        ("fn f() { x = 1; }", "unknown variable"),
+        ("class A { val k: int; } fn f(a: A) { a.k = 2; }", "immutable field"),
+        ("fn f() { g(1); }", "unknown function"),
+    ];
+    for (src, needle) in cases {
+        let err = compile(src, OptLevel::O2).expect_err("must be rejected");
+        assert!(
+            err.to_string().contains(needle),
+            "missing `{needle}` in: {err}"
+        );
+    }
+}

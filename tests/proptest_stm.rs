@@ -1,0 +1,189 @@
+//! Property-based tests: the STM against a sequential model, encodings
+//! against round-trips, and the optimizer against an interpreter
+//! oracle.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use omt::heap::{ClassDesc, Heap, ObjRef, Word};
+
+/// Savepoint paired with the model state it captured.
+type SavedState = (omt::stm::Savepoint, HashMap<(usize, usize), i64>);
+use omt::opt::{compile, OptLevel};
+use omt::stm::{Stm, StmConfig};
+use omt::vm::{BackendKind, SyncBackend, Vm};
+
+#[derive(Debug, Clone)]
+enum TxOp {
+    Read { obj: usize, field: usize },
+    Write { obj: usize, field: usize, value: i64 },
+    Savepoint,
+    RollbackToLastSavepoint,
+}
+
+fn tx_op() -> impl Strategy<Value = TxOp> {
+    prop_oneof![
+        (0..8usize, 0..2usize).prop_map(|(obj, field)| TxOp::Read { obj, field }),
+        (0..8usize, 0..2usize, -1000i64..1000).prop_map(|(obj, field, value)| TxOp::Write {
+            obj,
+            field,
+            value
+        }),
+        Just(TxOp::Savepoint),
+        Just(TxOp::RollbackToLastSavepoint),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A single-threaded transaction with savepoints and a final
+    /// commit-or-abort behaves exactly like a HashMap model.
+    #[test]
+    fn stm_matches_model(ops in proptest::collection::vec(tx_op(), 0..60), commit: bool, filter: bool) {
+        let heap = Arc::new(Heap::new());
+        let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["a", "b"]));
+        let stm = Stm::with_config(
+            heap.clone(),
+            StmConfig { runtime_filter: filter, ..StmConfig::default() },
+        );
+        let objs: Vec<ObjRef> = (0..8).map(|_| heap.alloc(class).unwrap()).collect();
+
+        // Model: committed state and in-tx state with savepoint stack.
+        let committed: HashMap<(usize, usize), i64> = HashMap::new();
+        let mut current = committed.clone();
+        let mut saves: Vec<SavedState> = Vec::new();
+
+        let mut tx = stm.begin();
+        for op in &ops {
+            match op {
+                TxOp::Read { obj, field } => {
+                    let got = tx.read(objs[*obj], *field).unwrap().as_scalar().unwrap();
+                    let want = current.get(&(*obj, *field)).copied().unwrap_or(0);
+                    prop_assert_eq!(got, want, "read mismatch");
+                }
+                TxOp::Write { obj, field, value } => {
+                    tx.write(objs[*obj], *field, Word::from_scalar(*value)).unwrap();
+                    current.insert((*obj, *field), *value);
+                }
+                TxOp::Savepoint => {
+                    saves.push((tx.savepoint(), current.clone()));
+                    // keep types simple: store savepoint alongside model
+                }
+                TxOp::RollbackToLastSavepoint => {
+                    if let Some((sp, model)) = saves.pop() {
+                        tx.rollback_to(sp);
+                        current = model;
+                    }
+                }
+            }
+        }
+        if commit {
+            tx.commit().unwrap();
+        } else {
+            tx.abort();
+            current = committed;
+        }
+        for (obj, r) in objs.iter().enumerate() {
+            for field in 0..2 {
+                let got = heap.load(*r, field).as_scalar().unwrap();
+                let want = current.get(&(obj, field)).copied().unwrap_or(0);
+                prop_assert_eq!(got, want, "final state mismatch at ({}, {})", obj, field);
+            }
+        }
+    }
+
+    /// Word encodings round-trip for all scalars in range.
+    #[test]
+    fn word_scalars_round_trip(v in (i64::MIN >> 1)..=(i64::MAX >> 1)) {
+        prop_assert_eq!(Word::from_scalar(v).as_scalar(), Some(v));
+        prop_assert_eq!(Word::from_bits(Word::from_scalar(v).to_bits()).as_scalar(), Some(v));
+    }
+
+    /// Sequences of set operations on the STM hash set match a model
+    /// `BTreeSet` (single-threaded linearizability baseline).
+    #[test]
+    fn hash_set_matches_btreeset(ops in proptest::collection::vec((0..3u8, 0..64i64), 0..200)) {
+        use omt::workloads::{ConcurrentSet, StmHashSet};
+        let set = StmHashSet::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 8);
+        let mut model = std::collections::BTreeSet::new();
+        for (op, key) in ops {
+            match op {
+                0 => prop_assert_eq!(set.insert(key), model.insert(key)),
+                1 => prop_assert_eq!(set.remove(key), model.remove(&key)),
+                _ => prop_assert_eq!(set.contains(key), model.contains(&key)),
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+    }
+}
+
+/// Random (but structurally valid) TxIL programs: whatever the
+/// optimizer does, O0 and O4 must compute the same result. Programs are
+/// built from a template with random constants, operators, and loop
+/// bounds to keep them well-typed by construction.
+#[derive(Debug, Clone)]
+struct ProgramShape {
+    a: i64,
+    b: i64,
+    loops: u8,
+    use_mul: bool,
+    branch_on: u8,
+}
+
+fn program_shape() -> impl Strategy<Value = ProgramShape> {
+    (-50i64..50, -50i64..50, 0u8..6, any::<bool>(), 0u8..3).prop_map(
+        |(a, b, loops, use_mul, branch_on)| ProgramShape { a, b, loops, use_mul, branch_on },
+    )
+}
+
+fn render(shape: &ProgramShape) -> String {
+    let op = if shape.use_mul { "*" } else { "+" };
+    format!(
+        "
+        class Acc {{ var x: int; var y: int; }}
+        fn main() -> int {{
+            let acc = new Acc({a}, {b});
+            let i = 0;
+            atomic {{
+                while i < {loops} {{
+                    if acc.x % 3 == {branch} {{
+                        acc.x = acc.x {op} 2;
+                    }} else {{
+                        acc.y = acc.y + acc.x;
+                    }}
+                    i = i + 1;
+                }}
+                acc.x = acc.x + acc.y;
+            }}
+            return acc.x * 1000 + acc.y;
+        }}
+        ",
+        a = shape.a,
+        b = shape.b,
+        loops = shape.loops,
+        branch = shape.branch_on,
+        op = op,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimizer_preserves_semantics(shape in program_shape()) {
+        let src = render(&shape);
+        let mut results = Vec::new();
+        for level in [OptLevel::O0, OptLevel::O2, OptLevel::O4] {
+            let (ir, _) = compile(&src, level).expect("valid by construction");
+            let heap = Arc::new(Heap::new());
+            let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
+            let vm = Vm::new(Arc::new(ir), heap, backend);
+            results.push(vm.run("main", &[]).unwrap().unwrap().as_scalar().unwrap());
+        }
+        prop_assert_eq!(results[0], results[1], "O2 diverged on {}", src);
+        prop_assert_eq!(results[0], results[2], "O4 diverged on {}", src);
+    }
+}

@@ -1,0 +1,204 @@
+//! Serializability and structural-invariant tests for the STM data
+//! structures, cross-checked against a trusted reference.
+
+use std::sync::Arc;
+
+use omt::heap::Heap;
+use omt::stm::{Stm, StmConfig};
+use omt::workloads::{
+    prefill, run_set_workload, sets_agree, Bank, ConcurrentSet, CoarseStdSet, LockBank,
+    OpMix, SetWorkload, StmBank, StmBst, StmHashSet, StmSkipList, StmSortedList,
+};
+
+fn fresh_stm() -> Arc<Stm> {
+    Arc::new(Stm::new(Arc::new(Heap::new())))
+}
+
+#[test]
+fn every_stm_set_agrees_with_the_reference_sequentially() {
+    let reference = || CoarseStdSet::new();
+    assert!(sets_agree(&StmHashSet::new(fresh_stm(), 16), &reference(), 3_000, 101));
+    assert!(sets_agree(&StmSortedList::new(fresh_stm()), &reference(), 1_500, 102));
+    assert!(sets_agree(&StmBst::new(fresh_stm()), &reference(), 3_000, 103));
+    assert!(sets_agree(&StmSkipList::new(fresh_stm()), &reference(), 3_000, 104));
+}
+
+/// After any concurrent mixed workload, recount the structure and check
+/// basic sanity: size within key range, all lookups of inserted keys
+/// succeed when re-applied sequentially.
+fn stress_then_audit(set: &dyn ConcurrentSet, key_range: i64) {
+    let workload = SetWorkload {
+        initial_size: 64,
+        key_range,
+        mix: OpMix::WRITE_HEAVY,
+        ops_per_thread: 1_500,
+        seed: 77,
+    };
+    prefill(set, &workload);
+    run_set_workload(set, &workload, 4);
+    let n = set.len();
+    assert!(n <= key_range as usize, "size {n} exceeds key range {key_range}");
+    // Deterministic membership re-check: inserting every key again must
+    // report "new" exactly for the keys not present.
+    let mut added = 0;
+    for k in 0..key_range {
+        if set.insert(k) {
+            added += 1;
+        }
+    }
+    assert_eq!(set.len(), key_range as usize);
+    assert_eq!(added, key_range as usize - n);
+}
+
+#[test]
+fn hash_set_survives_write_heavy_contention() {
+    stress_then_audit(&StmHashSet::new(fresh_stm(), 32), 256);
+}
+
+#[test]
+fn sorted_list_survives_write_heavy_contention() {
+    stress_then_audit(&StmSortedList::new(fresh_stm()), 128);
+}
+
+#[test]
+fn bst_survives_write_heavy_contention() {
+    stress_then_audit(&StmBst::new(fresh_stm()), 256);
+}
+
+#[test]
+fn skiplist_survives_write_heavy_contention() {
+    stress_then_audit(&StmSkipList::new(fresh_stm()), 256);
+}
+
+#[test]
+fn abort_self_policy_also_preserves_invariants() {
+    let stm = Arc::new(Stm::with_config(
+        Arc::new(Heap::new()),
+        StmConfig { cm: omt::stm::CmPolicy::AbortSelf, ..StmConfig::default() },
+    ));
+    stress_then_audit(&StmHashSet::new(stm, 8), 128);
+}
+
+#[test]
+fn disabled_filter_preserves_invariants() {
+    let stm = Arc::new(Stm::with_config(
+        Arc::new(Heap::new()),
+        StmConfig { runtime_filter: false, ..StmConfig::default() },
+    ));
+    stress_then_audit(&StmSortedList::new(stm), 64);
+}
+
+#[test]
+fn tiny_version_width_preserves_invariants() {
+    // 6-bit versions wrap every 64 commits per object, constantly
+    // exercising the epoch-bump overflow path.
+    let stm = Arc::new(Stm::with_config(
+        Arc::new(Heap::new()),
+        StmConfig { version_bits: 6, ..StmConfig::default() },
+    ));
+    let bank = StmBank::new(stm.clone(), 4, 1_000);
+    omt::workloads::run_bank_workload(&bank, 4, 2_000, Some(50), 31);
+    assert_eq!(bank.total(), 4_000);
+    assert!(stm.epoch() > 0, "versions must have wrapped");
+}
+
+#[test]
+fn stm_bank_matches_lock_bank_exactly_under_the_same_schedule() {
+    // Same deterministic single-threaded transfer sequence on both.
+    let stm_bank = StmBank::new(fresh_stm(), 8, 500);
+    let lock_bank = LockBank::new(8, 500);
+    let mut state = 0xBADC0FFEu64;
+    for _ in 0..5_000 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let from = (state % 8) as usize;
+        let to = ((state >> 16) % 8) as usize;
+        if from == to {
+            continue;
+        }
+        let amount = (state >> 32) as i64 % 50;
+        stm_bank.transfer(from, to, amount);
+        lock_bank.transfer(from, to, amount);
+    }
+    assert_eq!(stm_bank.total(), lock_bank.total());
+    assert_eq!(stm_bank.total(), 8 * 500);
+}
+
+#[test]
+fn mixed_structure_transactions_compose() {
+    // One transaction spanning two different structures on one STM:
+    // remove from the list and insert into the tree, atomically, using
+    // the transaction-composable `_in` operations.
+    let stm = fresh_stm();
+    let list = StmSortedList::new(stm.clone());
+    let tree = StmBst::new(stm.clone());
+    for k in 0..50 {
+        list.insert(k);
+    }
+
+    std::thread::scope(|scope| {
+        for t in 0..2 {
+            let stm = stm.clone();
+            let list = &list;
+            let tree = &tree;
+            scope.spawn(move || {
+                for k in 0..50 {
+                    let _ = t;
+                    // Move k from the list to the tree in ONE transaction:
+                    // observers can never see it in both or in neither.
+                    stm.atomically(|tx| {
+                        if list.remove_in(tx, k)? {
+                            tree.insert_in(tx, k)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(list.len(), 0);
+    assert_eq!(tree.len(), 50);
+}
+
+#[test]
+fn composed_move_is_atomic_to_observers() {
+    // An auditor transaction reading both structures must always count
+    // exactly 50 elements in total, mid-migration or not.
+    let stm = fresh_stm();
+    let list = StmSortedList::new(stm.clone());
+    let tree = StmBst::new(stm.clone());
+    for k in 0..50 {
+        list.insert(k);
+    }
+    std::thread::scope(|scope| {
+        let mover_stm = stm.clone();
+        let list_ref = &list;
+        let tree_ref = &tree;
+        scope.spawn(move || {
+            for k in 0..50 {
+                mover_stm.atomically(|tx| {
+                    if list_ref.remove_in(tx, k)? {
+                        tree_ref.insert_in(tx, k)?;
+                    }
+                    Ok(())
+                });
+            }
+        });
+        for _ in 0..100 {
+            let total = stm.atomically(|tx| {
+                let mut n = 0;
+                for k in 0..50 {
+                    if list.contains_in(tx, k)? {
+                        n += 1;
+                    }
+                    if tree.contains_in(tx, k)? {
+                        n += 1;
+                    }
+                }
+                Ok(n)
+            });
+            assert_eq!(total, 50, "observer saw a half-moved element");
+        }
+    });
+}
