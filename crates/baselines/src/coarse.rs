@@ -6,7 +6,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use omt_util::sync::Mutex;
 
 /// A global-mutex synchronization backend.
 ///
@@ -56,7 +56,7 @@ impl CoarseLock {
 /// A held global lock; releases on drop.
 #[derive(Debug)]
 pub struct CoarseGuard<'a> {
-    _guard: parking_lot::MutexGuard<'a, ()>,
+    _guard: omt_util::sync::MutexGuard<'a, ()>,
 }
 
 impl fmt::Debug for CoarseLock {

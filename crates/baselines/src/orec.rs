@@ -22,7 +22,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use omt_heap::{Heap, ObjRef, Word};
-use rand::Rng;
 
 /// Conflict error for the orec STM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -259,10 +258,7 @@ impl OrecTx<'_> {
                 // Changed: acceptable only if we own it and the observed
                 // word was its pre-acquisition version.
                 current == self.owned_word()
-                    && self
-                        .owned
-                        .iter()
-                        .any(|(i, original)| i == index && original == observed)
+                    && self.owned.iter().any(|(i, original)| i == index && original == observed)
             };
             if !valid {
                 self.rollback();
@@ -307,7 +303,7 @@ impl Drop for OrecTx<'_> {
 
 fn backoff(attempt: u32) {
     let cap = 1u32 << attempt.min(12);
-    let spins = rand::thread_rng().gen_range(0..=cap);
+    let spins = omt_util::rng::thread_rng().gen_range(0..=cap);
     for _ in 0..spins {
         std::hint::spin_loop();
     }

@@ -15,7 +15,6 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use omt_heap::{Heap, ObjRef, Word};
-use rand::Rng;
 
 /// Error: a lock could not be acquired in time (possible deadlock).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,7 +254,7 @@ impl Drop for TplTx<'_> {
 
 fn backoff(attempt: u32) {
     let cap = 1u32 << attempt.min(12);
-    let spins = rand::thread_rng().gen_range(0..=cap);
+    let spins = omt_util::rng::thread_rng().gen_range(0..=cap);
     for _ in 0..spins {
         std::hint::spin_loop();
     }

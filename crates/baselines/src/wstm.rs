@@ -19,7 +19,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use omt_heap::{Heap, ObjRef, Word};
-use rand::Rng;
 
 /// Why a buffered transaction failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -310,7 +309,7 @@ impl WTx<'_> {
 
 fn backoff(attempt: u32) {
     let cap = 1u32 << attempt.min(12);
-    let spins = rand::thread_rng().gen_range(0..=cap);
+    let spins = omt_util::rng::thread_rng().gen_range(0..=cap);
     for _ in 0..spins {
         std::hint::spin_loop();
     }

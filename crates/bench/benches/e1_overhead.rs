@@ -1,30 +1,41 @@
-//! Criterion bench for experiment E1: per-optimization-level execution
-//! time of the TxIL benchmarks on the direct-access STM, against the
+//! Bench for experiment E1: per-optimization-level execution time of
+//! the TxIL benchmarks on the direct-access STM, against the
 //! uninstrumented sequential baseline.
+//!
+//! Plain timing harness (median of 5 runs after warmup); run with
+//! `cargo bench --bench e1_overhead`.
 
 use std::sync::Arc;
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use omt_bench::programs::txil_benchmarks;
 use omt_heap::{Heap, Word};
 use omt_opt::{compile, OptLevel};
 use omt_vm::{BackendKind, SyncBackend, Vm};
 
-fn bench_levels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_overhead");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+fn report(name: &str, label: &str, mut run: impl FnMut()) {
+    run(); // warmup
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    println!("{name:>14} / {label:<6} {:>9.3} ms", samples[samples.len() / 2]);
+}
+
+fn main() {
     for (name, src, entry, n) in txil_benchmarks() {
-        let n = n / 5; // criterion repeats; keep iterations small
-        // Sequential baseline.
+        let n = n / 5; // keep iterations small; the harness repeats
         {
             let (ir, _) = compile(src, OptLevel::O0).expect("compiles");
             let heap = Arc::new(Heap::new());
             let backend = Arc::new(SyncBackend::new(BackendKind::Sequential, heap.clone()));
             let vm = Vm::new(Arc::new(ir), heap, backend);
-            group.bench_with_input(BenchmarkId::new(name, "seq"), &n, |b, &n| {
-                b.iter(|| vm.run(entry, &[Word::from_scalar(n)]).expect("runs"));
+            report(name, "seq", || {
+                vm.run(entry, &[Word::from_scalar(n)]).expect("runs");
             });
         }
         for level in OptLevel::ALL {
@@ -32,17 +43,9 @@ fn bench_levels(c: &mut Criterion) {
             let heap = Arc::new(Heap::new());
             let backend = Arc::new(SyncBackend::new(BackendKind::DirectStm, heap.clone()));
             let vm = Vm::new(Arc::new(ir), heap, backend);
-            group.bench_with_input(
-                BenchmarkId::new(name, level.to_string()),
-                &n,
-                |b, &n| {
-                    b.iter(|| vm.run(entry, &[Word::from_scalar(n)]).expect("runs"));
-                },
-            );
+            report(name, &level.to_string(), || {
+                vm.run(entry, &[Word::from_scalar(n)]).expect("runs");
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_levels);
-criterion_main!(benches);

@@ -1,15 +1,16 @@
-//! Criterion bench for experiments E2/E3: throughput of the set
-//! workloads per implementation and thread count.
+//! Bench for experiments E2/E3: throughput of the set workloads per
+//! implementation and thread count.
+//!
+//! Plain timing harness (median of 5 runs after warmup); run with
+//! `cargo bench --bench e2_sets`.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
 use omt_heap::Heap;
 use omt_stm::Stm;
 use omt_workloads::{
-    prefill, run_set_workload, ConcurrentSet, CoarseStdSet, HandOverHandList, SetWorkload,
+    prefill, run_set_workload, CoarseStdSet, ConcurrentSet, HandOverHandList, SetWorkload,
     StmHashSet, StmSortedList, StripedHashSet,
 };
 
@@ -17,30 +18,19 @@ fn workload() -> SetWorkload {
     SetWorkload { initial_size: 256, key_range: 1024, ops_per_thread: 2_000, ..Default::default() }
 }
 
-fn bench_impl(
-    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
-    name: &str,
-    set: &dyn ConcurrentSet,
-    threads: usize,
-) {
-    let w = workload();
-    group.throughput(Throughput::Elements((w.ops_per_thread * threads) as u64));
-    group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                total += run_set_workload(set, &w, t).elapsed;
-            }
-            total
-        });
-    });
+fn bench_impl(group: &str, name: &str, set: &dyn ConcurrentSet, w: &SetWorkload, threads: usize) {
+    run_set_workload(set, w, threads); // warmup
+    let mut samples: Vec<Duration> =
+        (0..5).map(|_| run_set_workload(set, w, threads).elapsed).collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let ops = (w.ops_per_thread * threads) as f64;
+    let kops = ops / median.as_secs_f64() / 1e3;
+    println!("{group} / {name:<12} threads={threads}  {kops:>9.1} Kops/s");
 }
 
-fn bench_hashtable(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_hashtable");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+fn bench_hashtable() {
     let w = workload();
-
     let coarse = CoarseStdSet::new();
     prefill(&coarse, &w);
     let fine = StripedHashSet::new(64);
@@ -49,46 +39,31 @@ fn bench_hashtable(c: &mut Criterion) {
     prefill(&stm, &w);
 
     for threads in [1usize, 2, 4] {
-        bench_impl(&mut group, "coarse", &coarse, threads);
-        bench_impl(&mut group, "fine-striped", &fine, threads);
-        bench_impl(&mut group, "stm", &stm, threads);
+        bench_impl("e2_hashtable", "coarse", &coarse, &w, threads);
+        bench_impl("e2_hashtable", "fine-striped", &fine, &w, threads);
+        bench_impl("e2_hashtable", "stm", &stm, &w, threads);
     }
-    group.finish();
 }
 
-fn bench_list(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_sorted_list");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+fn bench_list() {
     let w = SetWorkload {
         initial_size: 64,
         key_range: 128,
         ops_per_thread: 300,
         ..SetWorkload::default()
     };
-
     let hoh = HandOverHandList::new();
     prefill(&hoh, &w);
     let stm = StmSortedList::new(Arc::new(Stm::new(Arc::new(Heap::new()))));
     prefill(&stm, &w);
 
     for threads in [1usize, 2, 4] {
-        for (name, set) in
-            [("fine-hoh", &hoh as &dyn ConcurrentSet), ("stm", &stm as &dyn ConcurrentSet)]
-        {
-            group.throughput(Throughput::Elements((w.ops_per_thread * threads) as u64));
-            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
-                b.iter_custom(|iters| {
-                    let mut total = Duration::ZERO;
-                    for _ in 0..iters {
-                        total += run_set_workload(set, &w, t).elapsed;
-                    }
-                    total
-                });
-            });
-        }
+        bench_impl("e3_sorted_list", "fine-hoh", &hoh, &w, threads);
+        bench_impl("e3_sorted_list", "stm", &stm, &w, threads);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_hashtable, bench_list);
-criterion_main!(benches);
+fn main() {
+    bench_hashtable();
+    bench_list();
+}

@@ -1,10 +1,11 @@
-//! Criterion bench for experiment E5: the runtime log filter's cost and
-//! benefit on duplicate-heavy transactions.
+//! Bench for experiment E5: the runtime log filter's cost and benefit
+//! on duplicate-heavy transactions.
+//!
+//! Plain timing harness (median of 5 runs after warmup); run with
+//! `cargo bench --bench e5_filter`.
 
 use std::sync::Arc;
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use omt_bench::programs::COUNTER_CHURN;
 use omt_heap::{Heap, Word};
@@ -12,9 +13,7 @@ use omt_opt::{compile, OptLevel};
 use omt_stm::{Stm, StmConfig};
 use omt_vm::{SyncBackend, Vm};
 
-fn bench_filter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_filter");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+fn main() {
     // O1 leaves loop-carried duplicates for the runtime to handle — the
     // filter's job.
     for (label, filter) in [("on", true), ("off", false)] {
@@ -26,12 +25,21 @@ fn bench_filter(c: &mut Criterion) {
         );
         let backend = Arc::new(SyncBackend::DirectStm(stm));
         let vm = Vm::new(Arc::new(ir), heap, backend);
-        group.bench_with_input(BenchmarkId::new("counter_churn", label), &8i64, |b, &n| {
-            b.iter(|| vm.run("main", &[Word::from_scalar(n)]).expect("runs"));
-        });
+        let run = || {
+            vm.run("main", &[Word::from_scalar(8)]).expect("runs");
+        };
+        run(); // warmup
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                run();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        println!(
+            "e5_filter / counter_churn filter={label:<3} {:>9.3} ms",
+            samples[samples.len() / 2]
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_filter);
-criterion_main!(benches);

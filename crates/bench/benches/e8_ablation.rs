@@ -1,11 +1,12 @@
-//! Criterion bench for experiment E8: direct-access (update-in-place +
-//! undo log) versus buffered-update (TL2-style) STM on the same
-//! programs, plus the raw STM operation costs.
+//! Bench for experiment E8: direct-access (update-in-place + undo log)
+//! versus buffered-update (TL2-style) STM on the same programs, plus
+//! the raw STM operation costs.
+//!
+//! Plain timing harness (median of 5 runs after warmup); run with
+//! `cargo bench --bench e8_ablation`.
 
 use std::sync::Arc;
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use omt_bench::programs::{txil_benchmarks, LIST_TRAVERSE};
 use omt_heap::{ClassDesc, Heap, Word};
@@ -13,9 +14,20 @@ use omt_opt::{compile, OptLevel};
 use omt_stm::Stm;
 use omt_vm::{BackendKind, SyncBackend, Vm};
 
-fn bench_designs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_direct_vs_buffered");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+fn report(name: &str, label: &str, mut run: impl FnMut()) {
+    run(); // warmup
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    println!("{name:>28} / {label:<9} {:>9.3} ms", samples[samples.len() / 2]);
+}
+
+fn bench_designs() {
     for (name, src, entry, n) in txil_benchmarks() {
         let n = n / 5;
         for kind in [BackendKind::DirectStm, BackendKind::Buffered] {
@@ -23,68 +35,57 @@ fn bench_designs(c: &mut Criterion) {
             let heap = Arc::new(Heap::new());
             let backend = Arc::new(SyncBackend::new(kind, heap.clone()));
             let vm = Vm::new(Arc::new(ir), heap, backend);
-            group.bench_with_input(BenchmarkId::new(name, kind.to_string()), &n, |b, &n| {
-                b.iter(|| vm.run(entry, &[Word::from_scalar(n)]).expect("runs"));
+            report(name, &kind.to_string(), || {
+                vm.run(entry, &[Word::from_scalar(n)]).expect("runs");
             });
         }
     }
     let _ = LIST_TRAVERSE; // documented pair of the read-mostly case above
-    group.finish();
 }
 
 /// Micro-costs of the decomposed operations themselves.
-fn bench_barrier_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_barrier_primitives");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
-
+fn bench_barrier_primitives() {
     let heap = Arc::new(Heap::new());
     let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["v"]));
     let objs: Vec<_> = (0..64).map(|_| heap.alloc(class).unwrap()).collect();
     let stm = Stm::new(heap.clone());
 
-    group.bench_function("open_for_read_64_objects", |b| {
-        b.iter(|| {
-            let mut tx = stm.begin();
+    report("open_for_read_64_objects", "-", || {
+        let mut tx = stm.begin();
+        for o in &objs {
+            tx.open_for_read(*o).unwrap();
+        }
+        tx.commit().unwrap();
+    });
+
+    report("open_for_update_64_objects", "-", || {
+        let mut tx = stm.begin();
+        for o in &objs {
+            tx.open_for_update(*o).unwrap();
+        }
+        tx.commit().unwrap();
+    });
+
+    report("full_write_barrier_64_fields", "-", || {
+        let mut tx = stm.begin();
+        for o in &objs {
+            tx.write(*o, 0, Word::from_scalar(1)).unwrap();
+        }
+        tx.commit().unwrap();
+    });
+
+    report("filtered_rereads_64x8", "-", || {
+        let mut tx = stm.begin();
+        for _ in 0..8 {
             for o in &objs {
                 tx.open_for_read(*o).unwrap();
             }
-            tx.commit().unwrap();
-        });
+        }
+        tx.commit().unwrap();
     });
-
-    group.bench_function("open_for_update_64_objects", |b| {
-        b.iter(|| {
-            let mut tx = stm.begin();
-            for o in &objs {
-                tx.open_for_update(*o).unwrap();
-            }
-            tx.commit().unwrap();
-        });
-    });
-
-    group.bench_function("full_write_barrier_64_fields", |b| {
-        b.iter(|| {
-            let mut tx = stm.begin();
-            for o in &objs {
-                tx.write(*o, 0, Word::from_scalar(1)).unwrap();
-            }
-            tx.commit().unwrap();
-        });
-    });
-
-    group.bench_function("filtered_rereads_64x8", |b| {
-        b.iter(|| {
-            let mut tx = stm.begin();
-            for _ in 0..8 {
-                for o in &objs {
-                    tx.open_for_read(*o).unwrap();
-                }
-            }
-            tx.commit().unwrap();
-        });
-    });
-    group.finish();
 }
 
-criterion_group!(benches, bench_designs, bench_barrier_primitives);
-criterion_main!(benches);
+fn main() {
+    bench_designs();
+    bench_barrier_primitives();
+}

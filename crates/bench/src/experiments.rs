@@ -9,9 +9,9 @@ use omt_opt::{compile, OptLevel};
 use omt_stm::{CmPolicy, Stm, StmConfig};
 use omt_vm::{BackendKind, VmConfig};
 use omt_workloads::{
-    prefill, run_bank_workload, run_contention_point, run_set_workload, Bank, ConcurrentSet,
-    CoarseStdSet, CounterArray, HandOverHandList, LockBank, OpMix, RwStdSet, SetWorkload,
-    StmBank, StmBst, StmHashSet, StmSkipList, StmSortedList, StripedHashSet,
+    prefill, run_bank_workload, run_contention_point, run_contention_storm, run_set_workload, Bank,
+    CoarseStdSet, ConcurrentSet, CounterArray, HandOverHandList, LockBank, OpMix, RwStdSet,
+    SetWorkload, StmBank, StmBst, StmHashSet, StmSkipList, StmSortedList, StripedHashSet,
 };
 
 use crate::harness::{ms, ratio, time_txil, time_txil_with, Table};
@@ -63,7 +63,9 @@ pub fn e1_overhead(scale: Scale) {
 /// E2 — hash-table scalability: the paper's headline comparison against
 /// coarse- and fine-grained locks.
 pub fn e2_hashtable(scale: Scale) {
-    for (mix_name, mix) in [("read-heavy 90/5/5", OpMix::READ_HEAVY), ("write-heavy 50/25/25", OpMix::WRITE_HEAVY)] {
+    for (mix_name, mix) in
+        [("read-heavy 90/5/5", OpMix::READ_HEAVY), ("write-heavy 50/25/25", OpMix::WRITE_HEAVY)]
+    {
         let workload = SetWorkload {
             initial_size: 256,
             key_range: 1024,
@@ -84,8 +86,7 @@ pub fn e2_hashtable(scale: Scale) {
         let fine = StripedHashSet::new(64);
         prefill(&fine, &workload);
         table.row(sweep_row("fine (native mem)", &fine, &workload, scale.threads));
-        let heap_fine =
-            omt_workloads::HeapStripedHashSet::new(Arc::new(Heap::new()), 64);
+        let heap_fine = omt_workloads::HeapStripedHashSet::new(Arc::new(Heap::new()), 64);
         prefill(&heap_fine, &workload);
         table.row(sweep_row("fine (managed heap)", &heap_fine, &workload, scale.threads));
         let stm = StmHashSet::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 64);
@@ -126,10 +127,8 @@ pub fn e3_structures(scale: Scale) {
         ops_per_thread: 3_000 * scale.factor as usize,
         seed: 44,
     };
-    let mut table = Table::new(
-        "E3b: binary search tree ops/s",
-        &header_with_threads("impl", scale.threads),
-    );
+    let mut table =
+        Table::new("E3b: binary search tree ops/s", &header_with_threads("impl", scale.threads));
     let coarse = CoarseStdSet::new();
     prefill(&coarse, &tree_workload);
     table.row(sweep_row("coarse-lock", &coarse, &tree_workload, scale.threads));
@@ -141,10 +140,7 @@ pub fn e3_structures(scale: Scale) {
     table.row(sweep_row("stm", &stm_tree, &tree_workload, scale.threads));
     table.print();
 
-    let mut table = Table::new(
-        "E3c: skip list ops/s",
-        &header_with_threads("impl", scale.threads),
-    );
+    let mut table = Table::new("E3c: skip list ops/s", &header_with_threads("impl", scale.threads));
     let coarse = CoarseStdSet::new();
     prefill(&coarse, &tree_workload);
     table.row(sweep_row("coarse-lock", &coarse, &tree_workload, scale.threads));
@@ -167,8 +163,7 @@ pub fn e3d_travel(scale: Scale) {
         for &threads in scale.threads {
             let stm = Arc::new(Stm::new(Arc::new(Heap::new())));
             let travel = TravelSystem::new(stm, resources, 16);
-            let outcome =
-                run_travel_workload(&travel, threads, 500 * scale.factor as usize, 53);
+            let outcome = run_travel_workload(&travel, threads, 500 * scale.factor as usize, 53);
             travel.check_invariants();
             cells.push(format!("{:.0}", outcome.attempts_per_second()));
         }
@@ -343,8 +338,14 @@ pub fn e6_gc(scale: Scale) {
     table.print();
 }
 
-/// E7 — contention: throughput and abort rate as the hot-set shrinks,
-/// plus the contention-manager policy ablation.
+/// The contention-management policies ablated in E7.
+const CM_POLICIES: [CmPolicy; 4] =
+    [CmPolicy::AbortSelf, CmPolicy::Spin { max_spins: 128 }, CmPolicy::OldestWins, CmPolicy::Karma];
+
+/// E7 — contention management: throughput and abort rate as the hot-set
+/// shrinks, the policy ablation (abort-self / spin / oldest-wins /
+/// karma) with per-cause abort breakdowns, and the serial-mode-fallback
+/// storm.
 pub fn e7_contention(scale: Scale) {
     let threads = *scale.threads.last().unwrap_or(&4);
     let mut table = Table::new(
@@ -353,13 +354,8 @@ pub fn e7_contention(scale: Scale) {
     );
     for hot in [256usize, 64, 16, 4, 1] {
         let counters = CounterArray::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 256);
-        let outcome = run_contention_point(
-            &counters,
-            threads,
-            2_000 * scale.factor as usize,
-            hot,
-            7,
-        );
+        let outcome =
+            run_contention_point(&counters, threads, 2_000 * scale.factor as usize, hot, 7);
         table.row(vec![
             hot.to_string(),
             format!("{:.0}", outcome.ops_per_second()),
@@ -370,25 +366,82 @@ pub fn e7_contention(scale: Scale) {
     }
     table.print();
 
+    let cause_headers =
+        ["policy", "ops/s", "aborts", "busy", "invalid", "doomed", "dooms", "serial", "cm spins"];
+    let cause_row = |name: String, ops: f64, s: &omt_stm::StmStatsSnapshot| {
+        vec![
+            name,
+            format!("{ops:.0}"),
+            s.aborts().to_string(),
+            s.aborts_busy.to_string(),
+            s.aborts_invalid.to_string(),
+            s.aborts_doomed.to_string(),
+            s.dooms_issued.to_string(),
+            s.serial_entries.to_string(),
+            s.cm_spins.to_string(),
+        ]
+    };
+
     let mut table = Table::new(
-        "E7b: contention-manager policy (2 hot accounts, bank transfers)",
-        &["policy", "transfers/s", "aborts"],
+        format!("E7b: CM policy ablation, counter array ({threads} threads, 4 hot cells)"),
+        &cause_headers,
     );
-    for (name, cm) in
-        [("abort-self", CmPolicy::AbortSelf), ("spin-128", CmPolicy::Spin { max_spins: 128 })]
-    {
+    for cm in CM_POLICIES {
+        let stm = Arc::new(Stm::with_config(
+            Arc::new(Heap::new()),
+            StmConfig { cm, ..StmConfig::default() },
+        ));
+        let counters = CounterArray::new(stm, 256);
+        let per_thread = 2_000 * scale.factor as usize;
+        let outcome = run_contention_point(&counters, threads, per_thread, 4, 11);
+        assert_eq!(counters.total(), (threads * per_thread) as i64, "{cm}: lost increments");
+        table.row(cause_row(cm.to_string(), outcome.ops_per_second(), &outcome.stats));
+    }
+    table.print();
+
+    let mut table = Table::new(
+        format!("E7c: CM policy ablation, bank transfers ({threads} threads, 2 hot accounts)"),
+        &cause_headers,
+    );
+    for cm in CM_POLICIES {
         let stm = Arc::new(Stm::with_config(
             Arc::new(Heap::new()),
             StmConfig { cm, ..StmConfig::default() },
         ));
         let bank = StmBank::new(stm.clone(), 2, 10_000);
-        let outcome =
-            run_bank_workload(&bank, threads, 2_000 * scale.factor as usize, None, 19);
-        assert_eq!(bank.total(), 20_000);
+        let before = stm.stats();
+        let outcome = run_bank_workload(&bank, threads, 2_000 * scale.factor as usize, None, 19);
+        assert_eq!(bank.total(), 20_000, "{cm}: money not conserved");
+        let stats = stm.stats().delta_since(&before);
+        table.row(cause_row(cm.to_string(), outcome.transfers_per_second(), &stats));
+    }
+    table.print();
+
+    let mut table = Table::new(
+        format!("E7d: serial-mode fallback storm ({threads} threads, 1 hot cell, abort-self CM)"),
+        &["serial threshold", "ops/s", "aborts", "serial entries", "all committed"],
+    );
+    for serial_after in [None, Some(8u32)] {
+        let stm = Arc::new(Stm::with_config(
+            Arc::new(Heap::new()),
+            StmConfig {
+                cm: CmPolicy::AbortSelf,
+                serial_after_aborts: serial_after,
+                ..StmConfig::default()
+            },
+        ));
+        let counters = CounterArray::new(stm, 1);
+        let per_thread = 1_000 * scale.factor as usize;
+        let outcome = run_contention_storm(&counters, threads, per_thread);
+        let complete = outcome.per_thread.iter().all(|&c| c == per_thread as u64);
+        assert!(complete, "storm livelocked: {:?}", outcome.per_thread);
+        assert_eq!(counters.total(), (threads * per_thread) as i64);
         table.row(vec![
-            name.to_string(),
-            format!("{:.0}", outcome.transfers_per_second()),
-            stm.stats().aborts().to_string(),
+            serial_after.map_or("off".to_string(), |n| n.to_string()),
+            format!("{:.0}", outcome.total() as f64 / outcome.elapsed.as_secs_f64()),
+            outcome.stats.aborts().to_string(),
+            outcome.stats.serial_entries.to_string(),
+            "yes".to_string(),
         ]);
     }
     table.print();
@@ -444,7 +497,7 @@ pub fn e8_direct_vs_buffered(scale: Scale) {
 pub fn e8c_metadata_placement(scale: Scale) {
     use omt_baselines::OrecStm;
     use omt_heap::{ClassDesc, Word};
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use omt_util::rng::StdRng;
 
     let threads = *scale.threads.last().unwrap_or(&4);
     let increments = 2_000 * scale.factor as usize;
@@ -474,8 +527,7 @@ pub fn e8c_metadata_placement(scale: Scale) {
     for bits in [16u32, 8, 4] {
         let heap = Arc::new(Heap::new());
         let class = heap.define_class(ClassDesc::with_var_fields("Counter", &["value"]));
-        let cells: Vec<_> =
-            (0..OBJECTS).map(|_| heap.alloc(class).expect("heap full")).collect();
+        let cells: Vec<_> = (0..OBJECTS).map(|_| heap.alloc(class).expect("heap full")).collect();
         let stm = OrecStm::new(heap.clone(), bits);
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -495,8 +547,7 @@ pub fn e8c_metadata_placement(scale: Scale) {
             }
         });
         let elapsed = start.elapsed();
-        let total: i64 =
-            cells.iter().map(|c| heap.load(*c, 0).as_scalar().unwrap_or(0)).sum();
+        let total: i64 = cells.iter().map(|c| heap.load(*c, 0).as_scalar().unwrap_or(0)).sum();
         assert_eq!(total as usize, threads * increments, "lost updates");
         // Structural false-sharing probability: how often two random
         // *distinct* counters map to the same ownership record.

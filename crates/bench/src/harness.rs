@@ -88,13 +88,7 @@ pub struct VmRun {
 ///
 /// Panics on compile errors or runtime traps (benchmark programs are
 /// trusted).
-pub fn time_txil(
-    src: &str,
-    level: OptLevel,
-    kind: BackendKind,
-    entry: &str,
-    n: i64,
-) -> VmRun {
+pub fn time_txil(src: &str, level: OptLevel, kind: BackendKind, entry: &str, n: i64) -> VmRun {
     time_txil_with(src, level, kind, entry, n, VmConfig::default())
 }
 
@@ -213,9 +207,6 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(ms(Duration::from_millis(1)), "1.000");
-        assert_eq!(
-            ratio(Duration::from_millis(4), Duration::from_millis(2)),
-            "2.00x"
-        );
+        assert_eq!(ratio(Duration::from_millis(4), Duration::from_millis(2)), "2.00x");
     }
 }

@@ -171,8 +171,8 @@ mod tests {
     fn all_benchmarks_compile_at_every_level() {
         for (name, src, _, _) in txil_benchmarks() {
             for level in OptLevel::ALL {
-                let (ir, _) = compile(src, level)
-                    .unwrap_or_else(|e| panic!("{name} failed at {level}: {e}"));
+                let (ir, _) =
+                    compile(src, level).unwrap_or_else(|e| panic!("{name} failed at {level}: {e}"));
                 omt_ir::verify(&ir).unwrap_or_else(|e| panic!("{name} invalid at {level}: {e}"));
             }
         }

@@ -9,7 +9,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use omt_util::sync::RwLock;
 use std::collections::HashMap;
 
 /// Identifies a class registered with a [`crate::Heap`].
@@ -98,10 +98,7 @@ impl ClassDesc {
 
     /// Convenience constructor: every listed field is a mutable `var`.
     pub fn with_var_fields(name: impl Into<String>, fields: &[&str]) -> ClassDesc {
-        ClassDesc::new(
-            name,
-            fields.iter().map(|f| FieldDesc::new(*f, FieldMut::Var)).collect(),
-        )
+        ClassDesc::new(name, fields.iter().map(|f| FieldDesc::new(*f, FieldMut::Var)).collect())
     }
 
     /// The class name.
@@ -249,10 +246,7 @@ mod tests {
     fn field_metadata() {
         let desc = ClassDesc::new(
             "Node",
-            vec![
-                FieldDesc::new("key", FieldMut::Val),
-                FieldDesc::new("next", FieldMut::Var),
-            ],
+            vec![FieldDesc::new("key", FieldMut::Val), FieldDesc::new("next", FieldMut::Var)],
         );
         assert!(desc.field(0).is_immutable());
         assert!(!desc.field(1).is_immutable());

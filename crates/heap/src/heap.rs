@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering};
 
-use parking_lot::Mutex;
+use omt_util::sync::Mutex;
 
 use crate::class::{ClassDesc, ClassId, ClassRegistry};
 use crate::stats::HeapStats;

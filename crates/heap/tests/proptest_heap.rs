@@ -1,11 +1,13 @@
-//! Property test: the heap's mark-sweep collector agrees with a model
-//! reachability computation over random object graphs.
+//! Property-style test: the heap's mark-sweep collector agrees with a
+//! model reachability computation over random object graphs.
+//!
+//! Cases come from an explicitly seeded deterministic RNG with bounded
+//! case counts, so CI sees exactly the same object graphs every run.
 
 use std::collections::{HashMap, HashSet};
 
-use proptest::prelude::*;
-
 use omt_heap::{ClassDesc, Heap, ObjRef, RootSet, Word};
+use omt_util::rng::StdRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,14 +22,19 @@ enum Op {
     Collect,
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Alloc),
-        3 => (0..64usize, 0..2usize, 0..64usize)
-            .prop_map(|(src, field, dst)| Op::Link { src, field, dst }),
-        1 => (0..64usize, 0..2usize).prop_map(|(src, field)| Op::Unlink { src, field }),
-        1 => Just(Op::Collect),
-    ]
+/// Same op mix as the original generator: Alloc 3 / Link 3 / Unlink 1 /
+/// Collect 1.
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..8u32) {
+        0..=2 => Op::Alloc,
+        3..=5 => Op::Link {
+            src: rng.gen_range(0..64usize),
+            field: rng.gen_range(0..2usize),
+            dst: rng.gen_range(0..64usize),
+        },
+        6 => Op::Unlink { src: rng.gen_range(0..64usize), field: rng.gen_range(0..2usize) },
+        _ => Op::Collect,
+    }
 }
 
 /// Model reachability: roots ∪ transitively linked objects.
@@ -50,11 +57,13 @@ fn model_reachable(
     live
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn collector_matches_model_reachability() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x6C_0113C7 + case);
+        let n_ops = rng.gen_range(1..80usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
 
-    #[test]
-    fn collector_matches_model_reachability(ops in proptest::collection::vec(op(), 1..80)) {
         let heap = Heap::new();
         let class = heap.define_class(ClassDesc::with_var_fields("N", &["a", "b"]));
 
@@ -94,8 +103,7 @@ proptest! {
                     links.remove(&(src, field));
                 }
                 Op::Collect => {
-                    let root_refs: Vec<ObjRef> =
-                        roots.iter().map(|&i| objects[i]).collect();
+                    let root_refs: Vec<ObjRef> = roots.iter().map(|&i| objects[i]).collect();
                     heap.collect(&RootSet::from(root_refs), &[]);
                     let live = model_reachable(&roots, &links, objects.len());
                     for (id, r) in objects.iter().enumerate() {
@@ -103,18 +111,17 @@ proptest! {
                             continue;
                         }
                         let model_live = live.contains(&id);
-                        prop_assert_eq!(
+                        assert_eq!(
                             heap.is_valid(*r),
                             model_live,
-                            "object {} liveness mismatch",
-                            id
+                            "object {id} liveness mismatch (case {case})"
                         );
                         if !model_live {
                             dead.insert(id);
                             links.retain(|(s, _), _| *s != id);
                         }
                     }
-                    prop_assert_eq!(heap.live_objects(), live.len());
+                    assert_eq!(heap.live_objects(), live.len(), "live count (case {case})");
                 }
             }
         }
@@ -123,13 +130,18 @@ proptest! {
         let root_refs: Vec<ObjRef> = roots.iter().map(|&i| objects[i]).collect();
         heap.collect(&RootSet::from(root_refs), &[]);
         let live = model_reachable(&roots, &links, objects.len());
-        prop_assert_eq!(heap.live_objects(), live.len());
+        assert_eq!(heap.live_objects(), live.len(), "final live count (case {case})");
     }
+}
 
-    /// Slot recycling: after collecting garbage, new allocations reuse
-    /// slots and never alias a surviving object.
-    #[test]
-    fn recycled_slots_never_alias_survivors(keep in 1..20usize, churn in 1..50usize) {
+/// Slot recycling: after collecting garbage, new allocations reuse
+/// slots and never alias a surviving object.
+#[test]
+fn recycled_slots_never_alias_survivors() {
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x5107 + case);
+        let keep = rng.gen_range(1..20usize);
+        let churn = rng.gen_range(1..50usize);
         let heap = Heap::new();
         let class = heap.define_class(ClassDesc::with_var_fields("N", &["v"]));
         let keepers: Vec<ObjRef> = (0..keep)
@@ -146,10 +158,10 @@ proptest! {
         let fresh: Vec<ObjRef> = (0..churn).map(|_| heap.alloc(class).unwrap()).collect();
         for f in &fresh {
             heap.store(*f, 0, Word::from_scalar(-1));
-            prop_assert!(!keepers.contains(f), "fresh ref aliases a survivor");
+            assert!(!keepers.contains(f), "fresh ref aliases a survivor (case {case})");
         }
         for (i, k) in keepers.iter().enumerate() {
-            prop_assert_eq!(heap.load(*k, 0).as_scalar(), Some(i as i64));
+            assert_eq!(heap.load(*k, 0).as_scalar(), Some(i as i64), "case {case}");
         }
     }
 }

@@ -41,7 +41,9 @@ mod lower;
 mod verify;
 
 pub use cfg::{insert_preheader, natural_loops, Cfg, Dominators, NaturalLoop};
-pub use ir::{BinOpKind, Block, BlockId, FuncId, Inst, IrClass, IrClassId, IrField, IrFunction,
-    IrProgram, Reg, Terminator, UnOpKind};
+pub use ir::{
+    BinOpKind, Block, BlockId, FuncId, Inst, IrClass, IrClassId, IrField, IrFunction, IrProgram,
+    Reg, Terminator, UnOpKind,
+};
 pub use lower::lower;
 pub use verify::{verify, VerifyError};

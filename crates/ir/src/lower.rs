@@ -357,8 +357,8 @@ impl<'a> FnLowerer<'a> {
                     args.iter().map(|a| self.lower_expr(a).expect("call argument")).collect();
                 let (normal, tx) = self.fn_ids[callee.as_str()];
                 let func = if self.in_tx { tx } else { normal };
-                let has_value = self.info.try_type_of(expr.id).is_some()
-                    && self.sig_has_ret(callee);
+                let has_value =
+                    self.info.try_type_of(expr.id).is_some() && self.sig_has_ret(callee);
                 let dst = if has_value { Some(self.fresh()) } else { None };
                 self.emit(Inst::Call { dst, func, args: arg_regs });
                 dst

@@ -94,16 +94,19 @@ fn verify_function(program: &IrProgram, function: &IrFunction) -> Result<(), Ver
                     if !args.is_empty() && args.len() != c.fields.len() {
                         return Err(err(
                             function,
-                            format!("new `{}` with {} of {} initializers", c.name, args.len(), c.fields.len()),
+                            format!(
+                                "new `{}` with {} of {} initializers",
+                                c.name,
+                                args.len(),
+                                c.fields.len()
+                            ),
                         ));
                     }
                 }
                 Inst::GetField { class, field, .. }
                 | Inst::SetField { class, field, .. }
                 | Inst::LogForUndo { class, field, .. } => check_field(*class, *field)?,
-                Inst::Call { func, .. }
-                    if program.functions.get(func.0 as usize).is_none() =>
-                {
+                Inst::Call { func, .. } if program.functions.get(func.0 as usize).is_none() => {
                     return Err(err(function, format!("call to unknown f{}", func.0)));
                 }
                 Inst::TxBegin | Inst::TxCommit if function.is_tx_clone => {

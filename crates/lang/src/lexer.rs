@@ -82,10 +82,8 @@ impl Lexer<'_> {
                         }
                     }
                     if !closed {
-                        self.diags.error(
-                            "unterminated block comment",
-                            Span::new(start, self.pos as u32),
-                        );
+                        self.diags
+                            .error("unterminated block comment", Span::new(start, self.pos as u32));
                     }
                 }
                 _ => break,
@@ -175,10 +173,8 @@ impl Lexer<'_> {
                 while matches!(self.peek(), Some(b'0'..=b'9') | Some(b'_')) {
                     self.pos += 1;
                 }
-                let text: String = self.source[start as usize..self.pos]
-                    .chars()
-                    .filter(|c| *c != '_')
-                    .collect();
+                let text: String =
+                    self.source[start as usize..self.pos].chars().filter(|c| *c != '_').collect();
                 match text.parse::<i64>() {
                     Ok(v) if v <= (i64::MAX >> 1) => TokenKind::Int(v),
                     _ => {
@@ -258,13 +254,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("atomic atomics class classy"),
-            vec![
-                Atomic,
-                Ident("atomics".into()),
-                Class,
-                Ident("classy".into()),
-                Eof
-            ]
+            vec![Atomic, Ident("atomics".into()), Class, Ident("classy".into()), Eof]
         );
     }
 

@@ -45,8 +45,10 @@ mod printer;
 mod token;
 mod types;
 
-pub use ast::{BinOp, Block, ClassDecl, Expr, ExprId, ExprKind, FieldDecl, FnDecl, Param,
-    Program, Stmt, StmtKind, TypeExpr, TypeExprKind, UnOp};
+pub use ast::{
+    BinOp, Block, ClassDecl, Expr, ExprId, ExprKind, FieldDecl, FnDecl, Param, Program, Stmt,
+    StmtKind, TypeExpr, TypeExprKind, UnOp,
+};
 pub use diag::{Diagnostic, Diagnostics};
 pub use lexer::lex;
 pub use parser::parse;

@@ -210,8 +210,7 @@ impl Parser {
             TokenKind::BoolTy => TypeExprKind::Bool,
             TokenKind::Ident(name) => TypeExprKind::Class(name),
             other => {
-                self.diags
-                    .error(format!("expected a type, found {}", other.describe()), span);
+                self.diags.error(format!("expected a type, found {}", other.describe()), span);
                 return Err(Recover);
             }
         };
@@ -240,8 +239,7 @@ impl Parser {
             TokenKind::Let => {
                 self.bump();
                 let (name, _) = self.expect_ident()?;
-                let ty =
-                    if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+                let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
                 self.expect(TokenKind::Assign)?;
                 let init = self.expr()?;
                 let end = self.expect(TokenKind::Semi)?;
@@ -281,8 +279,7 @@ impl Parser {
             }
             TokenKind::Return => {
                 self.bump();
-                let value =
-                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
                 let end = self.expect(TokenKind::Semi)?;
                 Ok(Stmt { kind: StmtKind::Return { value }, span: start.to(end) })
             }
@@ -290,10 +287,8 @@ impl Parser {
                 let expr = self.expr()?;
                 if self.eat(&TokenKind::Assign) {
                     if !matches!(expr.kind, ExprKind::Var(_) | ExprKind::Field { .. }) {
-                        self.diags.error(
-                            "assignment target must be a variable or field",
-                            expr.span,
-                        );
+                        self.diags
+                            .error("assignment target must be a variable or field", expr.span);
                         return Err(Recover);
                     }
                     let value = self.expr()?;
@@ -390,10 +385,8 @@ impl Parser {
                 return Ok(inner);
             }
             other => {
-                self.diags.error(
-                    format!("expected an expression, found {}", other.describe()),
-                    start,
-                );
+                self.diags
+                    .error(format!("expected an expression, found {}", other.describe()), start);
                 return Err(Recover);
             }
         };
@@ -501,8 +494,7 @@ mod tests {
 
     #[test]
     fn field_assignment_target() {
-        let p = parse("fn f(n: N) { n.next.v = 3; } class N { var next: N; var v: int; }")
-            .unwrap();
+        let p = parse("fn f(n: N) { n.next.v = 3; } class N { var next: N; var v: int; }").unwrap();
         let StmtKind::Assign { target, .. } = &p.functions[0].body.stmts[0].kind else {
             panic!("expected assign");
         };
@@ -528,9 +520,7 @@ mod tests {
              fn f() { let a = new P(); let b = new P(1, 2); }",
         )
         .unwrap();
-        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[1].kind else {
-            panic!()
-        };
+        let StmtKind::Let { init, .. } = &p.functions[0].body.stmts[1].kind else { panic!() };
         let ExprKind::New { args, .. } = &init.kind else { panic!() };
         assert_eq!(args.len(), 2);
     }

@@ -194,9 +194,10 @@ mod tests {
 
     fn fixpoint(src: &str) {
         let first = pretty(&parse(src).expect("parse original"));
-        let second = pretty(&parse(&first).unwrap_or_else(|e| {
-            panic!("printed program failed to parse: {e}\n---\n{first}")
-        }));
+        let second = pretty(
+            &parse(&first)
+                .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n---\n{first}")),
+        );
         assert_eq!(first, second, "print→parse→print not a fixpoint");
     }
 

@@ -223,9 +223,7 @@ pub fn check(program: &Program) -> Result<TypeInfo, Diagnostics> {
         };
         for (param, ty) in decl.params.iter().zip(sig.params.iter()) {
             if checker.scopes[0].insert(param.name.clone(), *ty).is_some() {
-                checker
-                    .diags
-                    .error(format!("duplicate parameter `{}`", param.name), param.span);
+                checker.diags.error(format!("duplicate parameter `{}`", param.name), param.span);
             }
         }
         checker.check_block(&decl.body);
@@ -308,8 +306,11 @@ impl BodyChecker<'_> {
                     (Some(d), Some(i)) => {
                         if !i.is_assignable_to(d) {
                             self.diags.error(
-                                format!("initializer type {} does not match annotation {}",
-                                    self.describe(i), self.describe(d)),
+                                format!(
+                                    "initializer type {} does not match annotation {}",
+                                    self.describe(i),
+                                    self.describe(d)
+                                ),
                                 init.span,
                             );
                         }
@@ -353,8 +354,7 @@ impl BodyChecker<'_> {
                             }
                         }
                         None => {
-                            self.diags
-                                .error(format!("unknown variable `{name}`"), target.span);
+                            self.diags.error(format!("unknown variable `{name}`"), target.span);
                         }
                     },
                     ExprKind::Field { obj, field } => {
@@ -785,8 +785,7 @@ mod tests {
     fn expr_types_recorded() {
         let program = parse("fn f(x: int) -> bool { return x < 3; }").unwrap();
         let info = check(&program).unwrap();
-        let StmtKind::Return { value: Some(e) } = &program.functions[0].body.stmts[0].kind
-        else {
+        let StmtKind::Return { value: Some(e) } = &program.functions[0].body.stmts[0].kind else {
             panic!()
         };
         assert_eq!(info.type_of(e.id), Type::Bool);

@@ -241,7 +241,12 @@ mod tests {
         let classes = classes();
         let mut facts = FactSet::empty();
         transfer(&mut facts, &Inst::OpenForUpdate { obj: Reg(1) }, &classes, Default::default());
-        transfer(&mut facts, &Inst::Copy { dst: Reg(2), src: Reg(1) }, &classes, Default::default());
+        transfer(
+            &mut facts,
+            &Inst::Copy { dst: Reg(2), src: Reg(1) },
+            &classes,
+            Default::default(),
+        );
         assert!(transfer(
             &mut facts,
             &Inst::OpenForUpdate { obj: Reg(2) },
@@ -270,8 +275,18 @@ mod tests {
         let mut facts = FactSet::empty();
         let new = Inst::New { dst: Reg(3), class: IrClassId(0), args: vec![] };
         transfer(&mut facts, &new, &classes, TransferOptions { tx_local_new: true });
-        assert!(transfer(&mut facts, &Inst::OpenForRead { obj: Reg(3) }, &classes, Default::default()));
-        assert!(transfer(&mut facts, &Inst::OpenForUpdate { obj: Reg(3) }, &classes, Default::default()));
+        assert!(transfer(
+            &mut facts,
+            &Inst::OpenForRead { obj: Reg(3) },
+            &classes,
+            Default::default()
+        ));
+        assert!(transfer(
+            &mut facts,
+            &Inst::OpenForUpdate { obj: Reg(3) },
+            &classes,
+            Default::default()
+        ));
         assert!(transfer(
             &mut facts,
             &Inst::LogForUndo { obj: Reg(3), class: IrClassId(0), field: 1 },

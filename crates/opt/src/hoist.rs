@@ -54,10 +54,8 @@ pub fn hoist_opens(function: &mut IrFunction) -> usize {
                     _ => false,
                 }
             };
-            let any: bool = lp
-                .body
-                .iter()
-                .any(|&b| function.block(b).insts.iter().any(&is_candidate));
+            let any: bool =
+                lp.body.iter().any(|&b| function.block(b).insts.iter().any(&is_candidate));
             if !any {
                 continue;
             }
@@ -131,9 +129,9 @@ mod tests {
         let cfg = Cfg::new(f);
         let doms = Dominators::new(&cfg);
         let loops = natural_loops(&cfg, &doms);
-        loops.iter().any(|lp| {
-            lp.body.iter().any(|&b| f.block(b).insts.iter().any(Inst::is_barrier))
-        })
+        loops
+            .iter()
+            .any(|lp| lp.body.iter().any(|&b| f.block(b).insts.iter().any(Inst::is_barrier)))
     }
 
     #[test]

@@ -117,8 +117,7 @@ mod tests {
     #[test]
     fn immutable_reads_can_be_elided() {
         let mut ir = lowered(SRC);
-        let report =
-            insert_barriers(&mut ir, InsertOptions { elide_immutable_reads: true });
+        let report = insert_barriers(&mut ir, InsertOptions { elide_immutable_reads: true });
         verify(&ir).unwrap();
         assert_eq!(report.open_reads, 2, "only the `var x` read keeps its barrier");
         assert_eq!(report.immutable_elided, 2);

@@ -204,10 +204,7 @@ mod tests {
             verify(&ir).unwrap();
             let (r, u, n) = report.static_barriers;
             let total = r + u + n;
-            assert!(
-                total <= previous,
-                "{level}: {total} barriers, worse than previous {previous}"
-            );
+            assert!(total <= previous, "{level}: {total} barriers, worse than previous {previous}");
             previous = total;
         }
     }
@@ -215,9 +212,8 @@ mod tests {
     #[test]
     fn o0_keeps_every_barrier() {
         let (_, report) = compile(LIST_SUM, OptLevel::O0).unwrap();
-        let inserted = report.inserted.open_reads
-            + report.inserted.open_updates
-            + report.inserted.log_undos;
+        let inserted =
+            report.inserted.open_reads + report.inserted.open_updates + report.inserted.log_undos;
         let (r, u, n) = report.static_barriers;
         assert_eq!(inserted, r + u + n);
         assert_eq!(report.removed, 0);

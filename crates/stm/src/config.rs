@@ -1,30 +1,9 @@
-//! Runtime configuration: contention management, filtering, versioning.
+//! Runtime configuration: contention management, filtering, versioning,
+//! backoff, and serial-mode fallback.
 
 use std::fmt;
 
-/// Contention-management policy applied when `OpenForUpdate` finds the
-/// object owned by another transaction.
-///
-/// The paper uses simple policies (the decomposed interface is the
-/// contribution, not contention management); both classics are provided
-/// for the ablation in experiment E7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CmPolicy {
-    /// Abort immediately and let the retry loop back off.
-    AbortSelf,
-    /// Spin re-reading the STM word up to the given number of times
-    /// before giving up and aborting.
-    Spin {
-        /// Maximum number of re-reads before aborting.
-        max_spins: u32,
-    },
-}
-
-impl Default for CmPolicy {
-    fn default() -> CmPolicy {
-        CmPolicy::Spin { max_spins: 128 }
-    }
-}
+pub use crate::cm::CmPolicy;
 
 /// Configuration for an [`crate::Stm`] instance.
 ///
@@ -36,6 +15,7 @@ impl Default for CmPolicy {
 /// let config = StmConfig {
 ///     runtime_filter: false,          // ablate the log filter (E5)
 ///     cm: CmPolicy::AbortSelf,
+///     serial_after_aborts: Some(8),   // degrade to serial mode early
 ///     ..StmConfig::default()
 /// };
 /// assert!(!config.runtime_filter);
@@ -61,6 +41,23 @@ pub struct StmConfig {
     pub validate_every: Option<u32>,
     /// Retry budget for [`crate::Stm::try_atomically`].
     pub max_retries: u32,
+    /// Graceful degradation: after this many *consecutive* aborts of
+    /// one atomic block, the retry loop escalates into exclusive serial
+    /// mode — it waits for in-flight transactions to drain and runs
+    /// alone, guaranteeing progress. `None` disables the fallback.
+    pub serial_after_aborts: Option<u32>,
+    /// log2 of the maximum randomized-backoff spin count; the backoff
+    /// window doubles per attempt up to `2^backoff_cap_log2`. Must be
+    /// in `1..=31`.
+    pub backoff_cap_log2: u32,
+    /// After this many attempts, backoff also yields the thread to the
+    /// scheduler instead of pure spinning.
+    pub backoff_yield_after: u32,
+    /// Bound on how long a winning transaction waits for a doomed owner
+    /// to notice its doom flag and release ownership (spin iterations)
+    /// before giving up and aborting itself. Keeps priority policies
+    /// deadlock-free even if the victim is descheduled.
+    pub doom_wait_spins: u32,
 }
 
 impl Default for StmConfig {
@@ -72,6 +69,10 @@ impl Default for StmConfig {
             cm: CmPolicy::default(),
             validate_every: None,
             max_retries: 1_000_000,
+            serial_after_aborts: Some(32),
+            backoff_cap_log2: 12,
+            backoff_yield_after: 8,
+            doom_wait_spins: 4096,
         }
     }
 }
@@ -86,8 +87,9 @@ impl StmConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `version_bits` is outside `1..=62` or `filter_bits`
-    /// outside `1..=24`.
+    /// Panics if `version_bits` is outside `1..=62`, `filter_bits`
+    /// outside `1..=24`, `backoff_cap_log2` outside `1..=31`, or
+    /// `serial_after_aborts` is `Some(0)`.
     pub fn validate(&self) {
         assert!(
             (1..=62).contains(&self.version_bits),
@@ -99,6 +101,15 @@ impl StmConfig {
             "filter_bits must be in 1..=24, got {}",
             self.filter_bits
         );
+        assert!(
+            (1..=31).contains(&self.backoff_cap_log2),
+            "backoff_cap_log2 must be in 1..=31, got {}",
+            self.backoff_cap_log2
+        );
+        assert!(
+            self.serial_after_aborts != Some(0),
+            "serial_after_aborts must be None or >= 1; Some(0) would serialize everything"
+        );
     }
 }
 
@@ -106,12 +117,14 @@ impl fmt::Display for StmConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "filter={} ({} slots), version_bits={}, cm={:?}, validate_every={:?}",
+            "filter={} ({} slots), version_bits={}, cm={}, validate_every={:?}, \
+             serial_after_aborts={:?}",
             self.runtime_filter,
             1u64 << self.filter_bits,
             self.version_bits,
             self.cm,
-            self.validate_every
+            self.validate_every,
+            self.serial_after_aborts
         )
     }
 }
@@ -126,6 +139,7 @@ mod tests {
         c.validate();
         assert!(c.runtime_filter);
         assert_eq!(c.max_version(), (1 << 62) - 1);
+        assert_eq!(c.serial_after_aborts, Some(32));
     }
 
     #[test]
@@ -145,5 +159,25 @@ mod tests {
         let c = StmConfig { version_bits: 4, ..StmConfig::default() };
         c.validate();
         assert_eq!(c.max_version(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff_cap_log2")]
+    fn oversized_backoff_cap_rejected() {
+        StmConfig { backoff_cap_log2: 32, ..StmConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "serial_after_aborts")]
+    fn zero_serial_threshold_rejected() {
+        StmConfig { serial_after_aborts: Some(0), ..StmConfig::default() }.validate();
+    }
+
+    #[test]
+    fn display_mentions_policy_and_fallback() {
+        let c = StmConfig { cm: CmPolicy::OldestWins, ..StmConfig::default() };
+        let s = c.to_string();
+        assert!(s.contains("oldest-wins"));
+        assert!(s.contains("serial_after_aborts"));
     }
 }

@@ -28,6 +28,11 @@ pub enum ConflictKind {
     Epoch,
     /// The user requested a retry (explicit abort).
     Explicit,
+    /// A contention manager running on behalf of another transaction
+    /// doomed this one (priority-based policies abort the *other*
+    /// transaction; the victim observes this at its next open or
+    /// validate).
+    Doomed,
 }
 
 impl TxError {
@@ -39,6 +44,8 @@ impl TxError {
     pub const EPOCH: TxError = TxError::Conflict(ConflictKind::Epoch);
     /// Shorthand for [`TxError::Conflict`] with [`ConflictKind::Explicit`].
     pub const EXPLICIT: TxError = TxError::Conflict(ConflictKind::Explicit);
+    /// Shorthand for [`TxError::Conflict`] with [`ConflictKind::Doomed`].
+    pub const DOOMED: TxError = TxError::Conflict(ConflictKind::Doomed);
 
     /// True if re-running the transaction may succeed.
     pub fn is_retryable(self) -> bool {
@@ -60,6 +67,9 @@ impl fmt::Display for TxError {
             }
             TxError::Conflict(ConflictKind::Explicit) => {
                 write!(f, "transaction requested retry")
+            }
+            TxError::Conflict(ConflictKind::Doomed) => {
+                write!(f, "doomed by a higher-priority transaction's contention manager")
             }
             TxError::HeapFull => write!(f, "heap slot table exhausted"),
         }
@@ -108,22 +118,52 @@ impl std::error::Error for RetryExhausted {}
 mod tests {
     use super::*;
 
+    /// Every conflict kind, for exhaustive per-variant checks.
+    const ALL_KINDS: [ConflictKind; 5] = [
+        ConflictKind::Busy,
+        ConflictKind::Invalid,
+        ConflictKind::Epoch,
+        ConflictKind::Explicit,
+        ConflictKind::Doomed,
+    ];
+
     #[test]
     fn retryability() {
         assert!(TxError::BUSY.is_retryable());
         assert!(TxError::INVALID.is_retryable());
         assert!(TxError::EPOCH.is_retryable());
         assert!(TxError::EXPLICIT.is_retryable());
+        assert!(TxError::DOOMED.is_retryable());
         assert!(!TxError::HeapFull.is_retryable());
     }
 
     #[test]
-    fn display_is_never_empty() {
-        for e in [TxError::BUSY, TxError::INVALID, TxError::EPOCH, TxError::HeapFull] {
-            assert!(!e.to_string().is_empty());
+    fn every_conflict_kind_is_retryable() {
+        for kind in ALL_KINDS {
+            assert!(
+                TxError::Conflict(kind).is_retryable(),
+                "{kind:?} must be retryable — only HeapFull is terminal"
+            );
         }
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for kind in ALL_KINDS {
+            assert!(!TxError::Conflict(kind).to_string().is_empty(), "{kind:?} display empty");
+        }
+        assert!(!TxError::HeapFull.to_string().is_empty());
         let r = RetryExhausted::Conflicts { attempts: 3, last: ConflictKind::Busy };
         assert!(r.to_string().contains('3'));
+        for kind in ALL_KINDS {
+            let r = RetryExhausted::Conflicts { attempts: 1, last: kind };
+            assert!(!r.to_string().is_empty(), "{kind:?} retry-exhausted display empty");
+        }
+    }
+
+    #[test]
+    fn doomed_display_mentions_contention() {
+        assert!(TxError::DOOMED.to_string().contains("doomed"));
     }
 
     #[test]

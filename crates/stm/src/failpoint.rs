@@ -1,0 +1,277 @@
+//! Deterministic fault injection for the STM's commit, abort, and
+//! ownership-release paths.
+//!
+//! A [`Failpoints`] registry (owned by [`crate::Stm`]) maps *named
+//! sites* — fixed strings compiled into the runtime, listed in
+//! [`sites`] — to a [`FailAction`] guarded by a [`Trigger`]. Tests arm
+//! a site, run a workload, and get reproducible faults at exactly the
+//! configured operations:
+//!
+//! - [`FailAction::Abort`] injects an explicit abort at the site;
+//! - [`FailAction::Delay`] spins a fixed number of iterations, widening
+//!   race windows deterministically;
+//! - [`FailAction::Kill`] simulates thread death *while holding
+//!   ownership*: the transaction's undo log is parked in the registry
+//!   and its ownership records stay in place until a concurrent
+//!   transaction recovers the orphan.
+//!
+//! When no site is armed the whole layer costs one relaxed atomic load
+//! per instrumented site — the registry starts disabled and every
+//! `check` bails on the fast path.
+//!
+//! Probabilistic triggers draw from a private SplitMix64 stream seeded
+//! explicitly, so a given `(seed, p)` fires at the same operation
+//! indices on every run regardless of thread timing elsewhere.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use omt_util::rng::StdRng;
+use omt_util::sync::Mutex;
+
+/// What an armed failpoint does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Abort the current transaction (surfaces as an explicit-retry
+    /// conflict, so retry loops handle it like any user abort).
+    Abort,
+    /// Spin for this many iterations, then continue normally. Widens
+    /// race windows without changing semantics.
+    Delay(u32),
+    /// Simulate the owning thread dying at this point: the transaction
+    /// stops executing, its logs are parked for recovery, and any
+    /// ownership it holds is left in place.
+    Kill,
+}
+
+/// When an armed failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on every hit.
+    Always,
+    /// Fire on the first hit only, then disarm.
+    Once,
+    /// Fire on the `n`-th hit (1-based) only, then disarm.
+    Nth(u64),
+    /// Fire independently on each hit with probability `p`, drawing
+    /// from a SplitMix64 stream seeded with `seed` (deterministic per
+    /// site).
+    Prob {
+        /// Probability in `[0, 1]` of firing on each hit.
+        p: f64,
+        /// Seed of the site-private random stream.
+        seed: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Armed {
+    action: FailAction,
+    trigger: Trigger,
+    hits: u64,
+    spent: bool,
+    rng: StdRng,
+}
+
+impl Armed {
+    fn new(action: FailAction, trigger: Trigger) -> Armed {
+        let seed = match trigger {
+            Trigger::Prob { seed, .. } => seed,
+            _ => 0,
+        };
+        Armed { action, trigger, hits: 0, spent: false, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn hit(&mut self) -> Option<FailAction> {
+        if self.spent {
+            return None;
+        }
+        self.hits += 1;
+        let fire = match self.trigger {
+            Trigger::Always => true,
+            Trigger::Once => {
+                self.spent = true;
+                true
+            }
+            Trigger::Nth(n) => {
+                if self.hits == n {
+                    self.spent = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            Trigger::Prob { p, .. } => self.rng.gen_bool(p),
+        };
+        fire.then_some(self.action)
+    }
+}
+
+/// Registry of armed failpoints; owned by [`crate::Stm`] and shared by
+/// all its transactions.
+#[derive(Debug, Default)]
+pub struct Failpoints {
+    /// Fast path: false ⇒ nothing armed anywhere, skip the map.
+    enabled: AtomicBool,
+    armed: Mutex<HashMap<&'static str, Armed>>,
+}
+
+impl Failpoints {
+    /// Creates an empty (fully disabled) registry.
+    pub fn new() -> Failpoints {
+        Failpoints::default()
+    }
+
+    /// Arms `site` with `action` under `trigger`, replacing any prior
+    /// configuration of that site (including its trigger state).
+    pub fn set(&self, site: &'static str, action: FailAction, trigger: Trigger) {
+        let mut armed = self.armed.lock();
+        armed.insert(site, Armed::new(action, trigger));
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Disarms `site`.
+    pub fn clear(&self, site: &'static str) {
+        let mut armed = self.armed.lock();
+        armed.remove(site);
+        if armed.is_empty() {
+            self.enabled.store(false, Ordering::Release);
+        }
+    }
+
+    /// Disarms every site.
+    pub fn reset(&self) {
+        let mut armed = self.armed.lock();
+        armed.clear();
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// True if any site is armed (spent one-shot sites still count
+    /// until cleared).
+    pub fn any_armed(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Called by the runtime at instrumented sites: records a hit and
+    /// returns the action to perform, if the site is armed and its
+    /// trigger fires. One relaxed load when nothing is armed.
+    pub fn check(&self, site: &'static str) -> Option<FailAction> {
+        if !self.enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        self.armed.lock().get_mut(site)?.hit()
+    }
+}
+
+/// Named failpoint sites instrumented in the STM runtime.
+pub mod sites {
+    /// In `OpenForUpdate`, immediately after the CAS acquired
+    /// ownership — the window where this transaction holds the object
+    /// but has not yet logged or written anything.
+    pub const OPEN_UPDATE_AFTER_ACQUIRE: &str = "open_update.after_acquire";
+    /// At the top of commit, before read-set validation.
+    pub const COMMIT_BEFORE_VALIDATE: &str = "commit.before_validate";
+    /// In commit, after validation succeeded but before ownership is
+    /// released — torn state is maximally visible here.
+    pub const COMMIT_BEFORE_RELEASE: &str = "commit.before_release";
+    /// At the top of rollback, before the undo log is replayed — a
+    /// `Kill` here orphans the transaction with its updates in place.
+    pub const ABORT_BEFORE_UNDO: &str = "abort.before_undo";
+    /// At the top of read-set validation (commit-time and
+    /// incremental).
+    pub const VALIDATE_ENTRY: &str = "validate.entry";
+
+    /// Every instrumented site, for tests that sweep them.
+    pub const ALL: [&str; 5] = [
+        OPEN_UPDATE_AFTER_ACQUIRE,
+        COMMIT_BEFORE_VALIDATE,
+        COMMIT_BEFORE_RELEASE,
+        ABORT_BEFORE_UNDO,
+        VALIDATE_ENTRY,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_never_fires() {
+        let fp = Failpoints::new();
+        assert!(!fp.any_armed());
+        for site in sites::ALL {
+            assert_eq!(fp.check(site), None);
+        }
+    }
+
+    #[test]
+    fn always_fires_every_hit() {
+        let fp = Failpoints::new();
+        fp.set(sites::COMMIT_BEFORE_RELEASE, FailAction::Abort, Trigger::Always);
+        for _ in 0..3 {
+            assert_eq!(fp.check(sites::COMMIT_BEFORE_RELEASE), Some(FailAction::Abort));
+        }
+        // Other sites stay silent.
+        assert_eq!(fp.check(sites::COMMIT_BEFORE_VALIDATE), None);
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let fp = Failpoints::new();
+        fp.set(sites::ABORT_BEFORE_UNDO, FailAction::Kill, Trigger::Once);
+        assert_eq!(fp.check(sites::ABORT_BEFORE_UNDO), Some(FailAction::Kill));
+        assert_eq!(fp.check(sites::ABORT_BEFORE_UNDO), None);
+        assert_eq!(fp.check(sites::ABORT_BEFORE_UNDO), None);
+    }
+
+    #[test]
+    fn nth_fires_on_exact_hit() {
+        let fp = Failpoints::new();
+        fp.set(sites::VALIDATE_ENTRY, FailAction::Delay(10), Trigger::Nth(3));
+        assert_eq!(fp.check(sites::VALIDATE_ENTRY), None);
+        assert_eq!(fp.check(sites::VALIDATE_ENTRY), None);
+        assert_eq!(fp.check(sites::VALIDATE_ENTRY), Some(FailAction::Delay(10)));
+        assert_eq!(fp.check(sites::VALIDATE_ENTRY), None);
+    }
+
+    #[test]
+    fn prob_is_deterministic_for_a_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let fp = Failpoints::new();
+            fp.set(
+                sites::OPEN_UPDATE_AFTER_ACQUIRE,
+                FailAction::Abort,
+                Trigger::Prob { p: 0.5, seed },
+            );
+            (0..64).map(|_| fp.check(sites::OPEN_UPDATE_AFTER_ACQUIRE).is_some()).collect()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed must reproduce the same firing pattern");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f), "p=0.5 over 64 hits mixes");
+        assert_ne!(a, run(43), "different seeds should (here) differ");
+    }
+
+    #[test]
+    fn set_replaces_trigger_state() {
+        let fp = Failpoints::new();
+        fp.set(sites::COMMIT_BEFORE_VALIDATE, FailAction::Abort, Trigger::Once);
+        assert!(fp.check(sites::COMMIT_BEFORE_VALIDATE).is_some());
+        assert!(fp.check(sites::COMMIT_BEFORE_VALIDATE).is_none());
+        // Re-arming resets the one-shot.
+        fp.set(sites::COMMIT_BEFORE_VALIDATE, FailAction::Abort, Trigger::Once);
+        assert!(fp.check(sites::COMMIT_BEFORE_VALIDATE).is_some());
+    }
+
+    #[test]
+    fn clear_and_reset_disarm() {
+        let fp = Failpoints::new();
+        fp.set(sites::COMMIT_BEFORE_RELEASE, FailAction::Abort, Trigger::Always);
+        fp.set(sites::VALIDATE_ENTRY, FailAction::Abort, Trigger::Always);
+        fp.clear(sites::COMMIT_BEFORE_RELEASE);
+        assert_eq!(fp.check(sites::COMMIT_BEFORE_RELEASE), None);
+        assert!(fp.any_armed(), "other site still armed");
+        fp.reset();
+        assert!(!fp.any_armed());
+        assert_eq!(fp.check(sites::VALIDATE_ENTRY), None);
+    }
+}

@@ -55,8 +55,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cm;
 mod config;
 mod error;
+pub mod failpoint;
 mod filter;
 mod logs;
 mod registry;
@@ -68,8 +70,10 @@ mod word;
 #[cfg(test)]
 mod tests;
 
-pub use config::{CmPolicy, StmConfig};
+pub use cm::{CmDecision, CmPolicy, ContentionManager, TxCtl};
+pub use config::StmConfig;
 pub use error::{ConflictKind, RetryExhausted, TxError, TxResult};
+pub use failpoint::{FailAction, Failpoints, Trigger};
 pub use logs::Savepoint;
 pub use registry::TxRegistry;
 pub use stats::{StmStats, StmStatsSnapshot};

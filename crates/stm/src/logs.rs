@@ -184,8 +184,16 @@ mod tests {
     fn rollback_roots_are_old_value_refs() {
         let (_heap, refs) = sample_refs(2);
         let mut logs = TxLogs::new();
-        logs.undo.push(UndoEntry { obj: refs[0], field: 0, old_bits: Word::from_ref(refs[1]).to_bits() });
-        logs.undo.push(UndoEntry { obj: refs[0], field: 0, old_bits: Word::from_scalar(7).to_bits() });
+        logs.undo.push(UndoEntry {
+            obj: refs[0],
+            field: 0,
+            old_bits: Word::from_ref(refs[1]).to_bits(),
+        });
+        logs.undo.push(UndoEntry {
+            obj: refs[0],
+            field: 0,
+            old_bits: Word::from_scalar(7).to_bits(),
+        });
         let mut roots = Vec::new();
         logs.trace_rollback_roots(&mut |r| roots.push(r));
         assert_eq!(roots, vec![refs[1]]);

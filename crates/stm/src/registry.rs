@@ -1,4 +1,5 @@
-//! Registry of in-flight transactions, for GC integration.
+//! Registry of in-flight transactions, for GC integration, contention
+//! management, and orphan recovery.
 //!
 //! The paper's collector understands transaction logs: undo-log old
 //! values are roots (abort may write them back into the heap), and log
@@ -6,21 +7,38 @@
 //! logs that live on mutator stacks, every active transaction registers
 //! a pointer to its [`TxLogs`] here, and unregisters on completion.
 //!
+//! Two further indexes serve the robustness layer:
+//!
+//! - a token → [`TxCtl`] map lets a transaction that loses an
+//!   `OpenForUpdate` race inspect the *owner's* priority and doom or
+//!   wait on it (priority contention management);
+//! - an **orphan pool** holds the undo logs of transactions whose
+//!   thread "died" (a `Kill` failpoint) while owning objects. Any
+//!   transaction that later stumbles on an orphaned owner calls
+//!   [`TxRegistry::recover`], which replays the orphan's undo log and
+//!   releases its ownership — exactly what the victim's own rollback
+//!   would have done.
+//!
 //! # Stop-the-world contract
 //!
-//! The registry dereferences those raw pointers only from
+//! The registry dereferences the raw [`TxLogs`] pointers only from
 //! [`GcParticipant`] callbacks, which [`omt_heap::Heap::collect`]
 //! documents may run only while all mutators are paused. Outside a
-//! collection the pointers are never touched.
+//! collection the pointers are never touched. (Orphan logs are owned
+//! `Box`es, not raw pointers, and are safe to touch any time under the
+//! registry mutex.)
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use omt_util::sync::Mutex;
 
-use omt_heap::{GcParticipant, ObjRef};
+use omt_heap::{GcParticipant, Heap, ObjRef};
 
+use crate::cm::TxCtl;
 use crate::logs::TxLogs;
+use crate::word::{version_bits, TxToken};
 
 /// A registered pointer to a transaction's logs.
 ///
@@ -37,20 +55,78 @@ unsafe impl Send for LogsPtr {}
 #[derive(Default)]
 pub struct TxRegistry {
     active: Mutex<HashMap<u64, LogsPtr>>,
+    /// Control blocks of in-flight transactions, keyed by token. An
+    /// entry outlives its `active` row for killed transactions: it
+    /// stays (with `killed` set) until the orphan is recovered, so
+    /// contenders can tell "owner died" from "owner released".
+    ctls: Mutex<HashMap<TxToken, Arc<TxCtl>>>,
+    /// Undo logs of killed transactions, awaiting recovery.
+    orphans: Mutex<HashMap<TxToken, Box<TxLogs>>>,
     stats: std::sync::Arc<crate::stats::StmStats>,
 }
 
 impl TxRegistry {
     pub(crate) fn new(stats: std::sync::Arc<crate::stats::StmStats>) -> TxRegistry {
-        TxRegistry { active: Mutex::new(HashMap::new()), stats }
+        TxRegistry {
+            active: Mutex::new(HashMap::new()),
+            ctls: Mutex::new(HashMap::new()),
+            orphans: Mutex::new(HashMap::new()),
+            stats,
+        }
     }
 
-    pub(crate) fn register(&self, serial: u64, logs: *mut TxLogs) {
+    pub(crate) fn register(&self, serial: u64, ctl: Arc<TxCtl>, logs: *mut TxLogs) {
         self.active.lock().insert(serial, LogsPtr(logs));
+        self.ctls.lock().insert(ctl.token, ctl);
     }
 
-    pub(crate) fn unregister(&self, serial: u64) {
+    pub(crate) fn unregister(&self, serial: u64, token: TxToken) {
         self.active.lock().remove(&serial);
+        self.ctls.lock().remove(&token);
+    }
+
+    /// Control block of the in-flight (or killed-but-unrecovered)
+    /// transaction holding `token`, if any.
+    pub(crate) fn ctl_of(&self, token: TxToken) -> Option<Arc<TxCtl>> {
+        self.ctls.lock().get(&token).cloned()
+    }
+
+    /// Parks a killed transaction's logs for later recovery. The
+    /// serial row is dropped (the thread is gone; there is no stack
+    /// slot to trace) but the control block stays until recovery so
+    /// contenders can detect the death.
+    pub(crate) fn park_orphan(&self, serial: u64, token: TxToken, logs: Box<TxLogs>) {
+        self.active.lock().remove(&serial);
+        self.orphans.lock().insert(token, logs);
+    }
+
+    /// Recovers the orphaned transaction holding `token`: replays its
+    /// undo log (restoring every field it had updated in place) and
+    /// releases its ownership records at their original versions —
+    /// exactly the rollback its own thread would have performed.
+    ///
+    /// Idempotent and race-free: the first caller takes the logs out of
+    /// the pool; concurrent callers find nothing and return `false`.
+    pub(crate) fn recover(&self, heap: &Heap, token: TxToken) -> bool {
+        let Some(logs) = self.orphans.lock().remove(&token) else {
+            return false;
+        };
+        for entry in logs.undo.iter().rev() {
+            heap.field_atomic(entry.obj, entry.field as usize)
+                .store(entry.old_bits, Ordering::Relaxed);
+        }
+        for entry in &logs.update {
+            if entry.dead {
+                continue;
+            }
+            heap.header_atomic(entry.obj)
+                .store(version_bits(entry.original_version), Ordering::Release);
+        }
+        // Only now does the token disappear: contenders that raced with
+        // us kept seeing `killed` rather than a stale "still running".
+        self.ctls.lock().remove(&token);
+        self.stats.orphans_recovered.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Number of registered (active) transactions.
@@ -58,16 +134,23 @@ impl TxRegistry {
         self.active.lock().len()
     }
 
-    /// Total byte footprint of all registered logs.
+    /// Number of killed transactions awaiting recovery.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.lock().len()
+    }
+
+    /// Total byte footprint of all registered logs (including orphans).
     ///
     /// Only meaningful while mutators are paused (same contract as GC).
     pub fn total_log_bytes(&self) -> usize {
         let active = self.active.lock();
         // SAFETY: stop-the-world contract (see module docs).
-        active.values().map(|p| unsafe { &*p.0 }.byte_size()).sum()
+        let live: usize = active.values().map(|p| unsafe { &*p.0 }.byte_size()).sum();
+        live + self.orphans.lock().values().map(|l| l.byte_size()).sum::<usize>()
     }
 
-    /// Total `(read, update, undo)` entry counts across registered logs.
+    /// Total `(read, update, undo)` entry counts across registered logs
+    /// (including orphans).
     ///
     /// Only meaningful while mutators are paused (same contract as GC).
     pub fn total_log_entries(&self) -> (usize, usize, usize) {
@@ -76,6 +159,12 @@ impl TxRegistry {
         for p in active.values() {
             // SAFETY: stop-the-world contract (see module docs).
             let (r, u, n) = unsafe { &*p.0 }.lens();
+            totals.0 += r;
+            totals.1 += u;
+            totals.2 += n;
+        }
+        for logs in self.orphans.lock().values() {
+            let (r, u, n) = logs.lens();
             totals.0 += r;
             totals.1 += u;
             totals.2 += n;
@@ -91,6 +180,12 @@ impl GcParticipant for TxRegistry {
             // SAFETY: stop-the-world contract (see module docs).
             unsafe { &*p.0 }.trace_rollback_roots(mark);
         }
+        drop(active);
+        // Orphan undo logs are rollback roots too: recovery will write
+        // their old values back into the heap.
+        for logs in self.orphans.lock().values() {
+            logs.trace_rollback_roots(mark);
+        }
     }
 
     fn after_sweep(&self, is_live: &dyn Fn(ObjRef) -> bool) {
@@ -101,13 +196,20 @@ impl GcParticipant for TxRegistry {
             // mutable access is exclusive because mutators are paused.
             trimmed += unsafe { &mut *p.0 }.trim(is_live) as u64;
         }
+        drop(active);
+        for logs in self.orphans.lock().values_mut() {
+            trimmed += logs.trim(is_live) as u64;
+        }
         self.stats.gc_trimmed_entries.fetch_add(trimmed, Ordering::Relaxed);
     }
 }
 
 impl std::fmt::Debug for TxRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TxRegistry").field("active", &self.active_count()).finish()
+        f.debug_struct("TxRegistry")
+            .field("active", &self.active_count())
+            .field("orphans", &self.orphan_count())
+            .finish()
     }
 }
 
@@ -115,14 +217,21 @@ impl std::fmt::Debug for TxRegistry {
 mod tests {
     use super::*;
 
+    fn ctl(token: u32, serial: u64) -> Arc<TxCtl> {
+        Arc::new(TxCtl::new(TxToken(token), serial, 0))
+    }
+
     #[test]
     fn register_and_unregister() {
         let registry = TxRegistry::new(Default::default());
         let mut logs = Box::new(TxLogs::new());
-        registry.register(1, &mut *logs);
+        registry.register(1, ctl(9, 1), &mut *logs);
         assert_eq!(registry.active_count(), 1);
-        registry.unregister(1);
+        assert!(registry.ctl_of(TxToken(9)).is_some());
+        assert!(registry.ctl_of(TxToken(8)).is_none());
+        registry.unregister(1, TxToken(9));
         assert_eq!(registry.active_count(), 0);
+        assert!(registry.ctl_of(TxToken(9)).is_none());
     }
 
     #[test]
@@ -134,10 +243,48 @@ mod tests {
         let registry = TxRegistry::new(Default::default());
         let mut logs = Box::new(TxLogs::new());
         logs.read.push(crate::logs::ReadEntry { obj, observed: 0 });
-        registry.register(7, &mut *logs);
+        registry.register(7, ctl(1, 7), &mut *logs);
         let (r, u, n) = registry.total_log_entries();
         assert_eq!((r, u, n), (1, 0, 0));
         assert!(registry.total_log_bytes() > 0);
-        registry.unregister(7);
+        registry.unregister(7, TxToken(1));
+    }
+
+    #[test]
+    fn orphan_recovery_restores_and_releases() {
+        use crate::logs::{UndoEntry, UpdateEntry};
+        use omt_heap::Word;
+
+        let heap = omt_heap::Heap::new();
+        let class = heap.define_class(omt_heap::ClassDesc::with_var_fields("C", &["v"]));
+        let obj = heap.alloc(class).unwrap();
+        heap.store(obj, 0, Word::from_scalar(41));
+        let old_bits = heap.field_atomic(obj, 0).load(Ordering::Relaxed);
+
+        // Simulate a killed transaction: field overwritten in place,
+        // header left owned.
+        heap.store(obj, 0, Word::from_scalar(99));
+        let token = TxToken(5);
+        heap.header_atomic(obj).store(crate::word::owned_bits(token, 0), Ordering::Release);
+
+        let registry = TxRegistry::new(Default::default());
+        let mut logs = Box::new(TxLogs::new());
+        logs.undo.push(UndoEntry { obj, field: 0, old_bits });
+        logs.update.push(UpdateEntry { obj, original_version: 3, dead: false });
+        registry.register(1, ctl(5, 1), &mut *logs);
+        registry.park_orphan(1, token, logs);
+        assert_eq!(registry.orphan_count(), 1);
+        assert!(registry.ctl_of(token).is_some(), "ctl survives until recovery");
+
+        assert!(registry.recover(&heap, token));
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(41), "undo restored the field");
+        assert_eq!(
+            heap.header_atomic(obj).load(Ordering::Acquire),
+            version_bits(3),
+            "ownership released at the original version"
+        );
+        assert_eq!(registry.orphan_count(), 0);
+        assert!(registry.ctl_of(token).is_none());
+        assert!(!registry.recover(&heap, token), "second recovery is a no-op");
     }
 }

@@ -9,17 +9,17 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! counters {
-    ($(#[$meta:meta] $name:ident),+ $(,)?) => {
+    ($($(#[$meta:meta])* $name:ident),+ $(,)?) => {
         /// Live counters owned by an [`crate::Stm`]; relaxed atomics.
         #[derive(Debug, Default)]
         pub struct StmStats {
-            $( #[$meta] pub(crate) $name: AtomicU64, )+
+            $( $(#[$meta])* pub(crate) $name: AtomicU64, )+
         }
 
         /// A point-in-time copy of [`StmStats`].
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
         pub struct StmStatsSnapshot {
-            $( #[$meta] pub $name: u64, )+
+            $( $(#[$meta])* pub $name: u64, )+
         }
 
         impl StmStats {
@@ -46,6 +46,23 @@ counters! {
     aborts_epoch,
     /// Aborts requested explicitly by the user.
     aborts_explicit,
+    /// Aborts of transactions doomed by another transaction's
+    /// contention manager (priority policies).
+    aborts_doomed,
+    /// Doom flags set by priority contention managers (each one aborts
+    /// some *other* transaction).
+    dooms_issued,
+    /// Times a retry loop escalated into exclusive serial mode after
+    /// too many consecutive aborts.
+    serial_entries,
+    /// Failpoint actions triggered (fault injection).
+    failpoint_fires,
+    /// Transactions killed mid-flight by a `Kill` failpoint (simulated
+    /// thread death while holding ownership).
+    txs_killed,
+    /// Orphaned (killed) transactions rolled back and released by a
+    /// concurrent transaction's recovery path.
+    orphans_recovered,
     /// `OpenForRead` barrier executions.
     open_read_ops,
     /// `OpenForUpdate` barrier executions.
@@ -81,7 +98,11 @@ impl StmStats {
 impl StmStatsSnapshot {
     /// Total aborts across all causes.
     pub fn aborts(&self) -> u64 {
-        self.aborts_busy + self.aborts_invalid + self.aborts_epoch + self.aborts_explicit
+        self.aborts_busy
+            + self.aborts_invalid
+            + self.aborts_epoch
+            + self.aborts_explicit
+            + self.aborts_doomed
     }
 
     /// Aborts per begun transaction (0 if none begun).
@@ -122,6 +143,12 @@ impl StmStatsSnapshot {
             aborts_invalid: self.aborts_invalid - baseline.aborts_invalid,
             aborts_epoch: self.aborts_epoch - baseline.aborts_epoch,
             aborts_explicit: self.aborts_explicit - baseline.aborts_explicit,
+            aborts_doomed: self.aborts_doomed - baseline.aborts_doomed,
+            dooms_issued: self.dooms_issued - baseline.dooms_issued,
+            serial_entries: self.serial_entries - baseline.serial_entries,
+            failpoint_fires: self.failpoint_fires - baseline.failpoint_fires,
+            txs_killed: self.txs_killed - baseline.txs_killed,
+            orphans_recovered: self.orphans_recovered - baseline.orphans_recovered,
             open_read_ops: self.open_read_ops - baseline.open_read_ops,
             open_update_ops: self.open_update_ops - baseline.open_update_ops,
             log_undo_ops: self.log_undo_ops - baseline.log_undo_ops,

@@ -1,13 +1,16 @@
-//! The STM runtime: transaction management and the retry loop.
+//! The STM runtime: transaction management, the retry loop, and the
+//! serial-mode fallback gate.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use omt_heap::{GcParticipant, Heap};
-use rand::Rng;
+use omt_util::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::cm::TxCtl;
 use crate::config::StmConfig;
 use crate::error::{ConflictKind, RetryExhausted, TxError, TxResult};
+use crate::failpoint::Failpoints;
 use crate::registry::TxRegistry;
 use crate::stats::{StmStats, StmStatsSnapshot};
 use crate::tx::{Outcome, Transaction, TxCounters};
@@ -56,6 +59,30 @@ pub struct Stm {
     next_serial: AtomicU64,
     registry: TxRegistry,
     stats: Arc<StmStats>,
+    failpoints: Failpoints,
+    /// Serial-mode gate. Every retry-loop attempt holds it shared; a
+    /// transaction that escalates to serial mode holds it exclusively,
+    /// so it runs with no retry-loop transaction in flight.
+    gate: RwLock<()>,
+    /// Writers queued on the gate. Shared entrants yield while this is
+    /// non-zero, giving escalated transactions priority (std's `RwLock`
+    /// does not promise writer preference).
+    gate_waiting: AtomicUsize,
+}
+
+/// Per-atomic-block state carried across retries: the age priority is
+/// pinned to the *first* attempt and karma accumulates, so contention
+/// managers see a transaction's full history, not just its latest
+/// incarnation.
+struct AttemptSeed {
+    priority: u64,
+    karma: u64,
+}
+
+/// Holder of the serial-mode gate for one attempt.
+enum GateGuard<'a> {
+    Shared(#[allow(dead_code)] RwLockReadGuard<'a, ()>),
+    Exclusive(#[allow(dead_code)] RwLockWriteGuard<'a, ()>),
 }
 
 impl Stm {
@@ -81,6 +108,9 @@ impl Stm {
             next_serial: AtomicU64::new(1),
             registry: TxRegistry::new(stats.clone()),
             stats,
+            failpoints: Failpoints::new(),
+            gate: RwLock::new(()),
+            gate_waiting: AtomicUsize::new(0),
         }
     }
 
@@ -97,6 +127,16 @@ impl Stm {
     /// Snapshot of the global statistics.
     pub fn stats(&self) -> StmStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The fault-injection registry (see [`crate::failpoint`]). Arm
+    /// sites here before running workloads under test.
+    pub fn failpoints(&self) -> &Failpoints {
+        &self.failpoints
+    }
+
+    pub(crate) fn note_failpoint_fire(&self) {
+        self.stats.add(&self.stats.failpoint_fires, 1);
     }
 
     /// The registry of in-flight transactions (also the STM's
@@ -121,30 +161,48 @@ impl Stm {
     }
 
     /// Begins a transaction.
+    ///
+    /// Manual transactions do not participate in the serial-mode gate:
+    /// only [`Stm::atomically`] / [`Stm::try_atomically`] attempts are
+    /// excluded when some retry loop escalates to serial mode.
     pub fn begin(&self) -> Transaction<'_> {
+        self.begin_with(None)
+    }
+
+    fn begin_with(&self, seed: Option<&AttemptSeed>) -> Transaction<'_> {
         self.stats.add(&self.stats.begins, 1);
         let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
         let token = TxToken(self.next_token.fetch_add(1, Ordering::Relaxed));
-        Transaction::new(self, serial, token, self.epoch())
+        let (priority, karma) = match seed {
+            Some(s) => (s.priority, s.karma),
+            None => (serial, 0),
+        };
+        let ctl = Arc::new(TxCtl::new(token, priority, karma));
+        Transaction::new(self, serial, token, self.epoch(), ctl)
     }
 
     /// Runs `f` transactionally, retrying on conflicts with randomized
     /// exponential backoff, until it commits.
     ///
+    /// After `serial_after_aborts` consecutive failed attempts (see
+    /// [`StmConfig`]), the loop degrades gracefully: it waits for all
+    /// other retry-loop transactions to drain and re-runs `f` in
+    /// exclusive *serial mode*, which cannot lose another conflict race
+    /// — a livelock-freedom guarantee under any contention-management
+    /// policy.
+    ///
     /// # Panics
     ///
     /// Panics if the heap fills up ([`TxError::HeapFull`] is not
     /// retryable); use [`Stm::try_atomically`] to handle that case.
-    pub fn atomically<T>(&self, mut f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>) -> T {
-        let mut attempt = 0u32;
-        loop {
-            match self.attempt(&mut f) {
-                Ok(v) => return v,
-                Err(TxError::HeapFull) => panic!("heap slot table exhausted inside atomically"),
-                Err(TxError::Conflict(_)) => {
-                    attempt = attempt.saturating_add(1);
-                    backoff(attempt);
-                }
+    pub fn atomically<T>(&self, f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>) -> T {
+        match self.run_loop(f, None) {
+            Ok(v) => v,
+            Err(RetryExhausted::HeapFull) => {
+                panic!("heap slot table exhausted inside atomically")
+            }
+            Err(RetryExhausted::Conflicts { .. }) => {
+                unreachable!("no budget => conflicts never exhaust")
             }
         }
     }
@@ -158,30 +216,51 @@ impl Stm {
     /// attempts; [`RetryExhausted::HeapFull`] on allocation failure.
     pub fn try_atomically<T>(
         &self,
-        mut f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
+        f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
     ) -> Result<T, RetryExhausted> {
-        let budget = self.config.max_retries;
-        let mut last = ConflictKind::Busy;
-        for attempt in 0..=budget {
-            match self.attempt(&mut f) {
+        self.run_loop(f, Some(self.config.max_retries))
+    }
+
+    /// The retry loop shared by [`Stm::atomically`] (no budget) and
+    /// [`Stm::try_atomically`] (budget = `max_retries` extra attempts
+    /// after the first).
+    fn run_loop<T>(
+        &self,
+        mut f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
+        budget: Option<u32>,
+    ) -> Result<T, RetryExhausted> {
+        let mut seed = None;
+        let mut failures = 0u32;
+        loop {
+            let serial = self.config.serial_after_aborts.is_some_and(|n| failures >= n);
+            let gate = self.enter_gate(serial);
+            match self.attempt(&mut f, &mut seed) {
                 Ok(v) => return Ok(v),
                 Err(TxError::HeapFull) => return Err(RetryExhausted::HeapFull),
                 Err(TxError::Conflict(kind)) => {
-                    last = kind;
-                    backoff(attempt + 1);
+                    failures = failures.saturating_add(1);
+                    if budget.is_some_and(|b| failures > b) {
+                        return Err(RetryExhausted::Conflicts { attempts: failures, last: kind });
+                    }
+                    drop(gate);
+                    self.backoff(failures);
                 }
             }
         }
-        Err(RetryExhausted::Conflicts { attempts: budget + 1, last })
     }
 
-    fn attempt<T>(&self, f: &mut impl FnMut(&mut Transaction<'_>) -> TxResult<T>) -> TxResult<T> {
-        let mut tx = self.begin();
-        match f(&mut tx) {
-            Ok(v) => {
-                tx.commit()?;
-                Ok(v)
-            }
+    /// One attempt: begin (re-seeding priority/karma from prior
+    /// attempts), run `f`, commit or roll back. On failure the seed is
+    /// updated so the next attempt inherits this one's age and karma.
+    fn attempt<T>(
+        &self,
+        f: &mut impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
+        seed: &mut Option<AttemptSeed>,
+    ) -> TxResult<T> {
+        let mut tx = self.begin_with(seed.as_ref());
+        let ctl = tx.ctl_arc();
+        let result = match f(&mut tx) {
+            Ok(v) => tx.commit().map(|()| v),
             Err(e) => {
                 match e {
                     TxError::Conflict(kind) => tx.abort_with(kind),
@@ -189,6 +268,43 @@ impl Stm {
                 }
                 Err(e)
             }
+        };
+        if result.is_err() {
+            *seed = Some(AttemptSeed { priority: ctl.priority(), karma: ctl.karma() });
+        }
+        result
+    }
+
+    /// Takes the serial-mode gate: shared for a normal attempt,
+    /// exclusive for an escalated one. Shared entrants yield while a
+    /// writer is queued so escalation cannot starve.
+    fn enter_gate(&self, exclusive: bool) -> GateGuard<'_> {
+        if exclusive {
+            self.gate_waiting.fetch_add(1, Ordering::AcqRel);
+            let guard = self.gate.write();
+            self.gate_waiting.fetch_sub(1, Ordering::AcqRel);
+            self.stats.add(&self.stats.serial_entries, 1);
+            GateGuard::Exclusive(guard)
+        } else {
+            while self.gate_waiting.load(Ordering::Acquire) > 0 {
+                std::thread::yield_now();
+            }
+            GateGuard::Shared(self.gate.read())
+        }
+    }
+
+    /// Randomized exponential backoff between attempts: spin a random
+    /// count in a window doubling per attempt (capped by
+    /// `backoff_cap_log2`), yielding to the scheduler past
+    /// `backoff_yield_after` attempts.
+    pub(crate) fn backoff(&self, attempt: u32) {
+        let cap = 1u32 << attempt.min(self.config.backoff_cap_log2);
+        let spins = omt_util::rng::thread_rng().gen_range(0..=cap);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        if attempt > self.config.backoff_yield_after {
+            std::thread::yield_now();
         }
     }
 
@@ -202,12 +318,18 @@ impl Stm {
     ///
     /// # Panics
     ///
-    /// Panics if any transaction is still active (requires quiescence).
+    /// Panics if any transaction is still active or any killed
+    /// transaction is unrecovered (requires quiescence).
     pub fn renumber_versions(&self) {
         assert_eq!(
             self.registry.active_count(),
             0,
             "renumber_versions requires quiescence (no active transactions)"
+        );
+        assert_eq!(
+            self.registry.orphan_count(),
+            0,
+            "renumber_versions requires quiescence (no unrecovered orphans)"
         );
         self.bump_epoch();
         self.heap.for_each_live(|r| {
@@ -223,6 +345,8 @@ impl Stm {
             Outcome::Aborted(ConflictKind::Invalid) => s.add(&s.aborts_invalid, 1),
             Outcome::Aborted(ConflictKind::Epoch) => s.add(&s.aborts_epoch, 1),
             Outcome::Aborted(ConflictKind::Explicit) => s.add(&s.aborts_explicit, 1),
+            Outcome::Aborted(ConflictKind::Doomed) => s.add(&s.aborts_doomed, 1),
+            Outcome::Killed => s.add(&s.txs_killed, 1),
         }
         s.add(&s.open_read_ops, counters.open_read_ops);
         s.add(&s.open_update_ops, counters.open_update_ops);
@@ -235,17 +359,6 @@ impl Stm {
         s.add(&s.validations, counters.validations);
         s.add(&s.mid_validations, counters.mid_validations);
         s.add(&s.cm_spins, counters.cm_spins);
-    }
-}
-
-/// Randomized exponential backoff between transaction attempts.
-fn backoff(attempt: u32) {
-    let cap = 1u32 << attempt.min(12);
-    let spins = rand::thread_rng().gen_range(0..=cap);
-    for _ in 0..spins {
-        std::hint::spin_loop();
-    }
-    if attempt > 8 {
-        std::thread::yield_now();
+        s.add(&s.dooms_issued, counters.dooms);
     }
 }

@@ -306,8 +306,7 @@ fn foreign_savepoint_is_rejected() {
 
 #[test]
 fn version_overflow_wraps_and_bumps_epoch() {
-    let (heap, class, stm) =
-        setup_with(StmConfig { version_bits: 2, ..StmConfig::default() }); // max version 3
+    let (heap, class, stm) = setup_with(StmConfig { version_bits: 2, ..StmConfig::default() }); // max version 3
     let obj = heap.alloc(class).unwrap();
     let epoch_before = stm.epoch();
     for i in 0..4 {
@@ -325,8 +324,7 @@ fn version_overflow_wraps_and_bumps_epoch() {
 
 #[test]
 fn epoch_bump_aborts_transactions_spanning_the_wrap() {
-    let (heap, class, stm) =
-        setup_with(StmConfig { version_bits: 2, ..StmConfig::default() });
+    let (heap, class, stm) = setup_with(StmConfig { version_bits: 2, ..StmConfig::default() });
     let obj = heap.alloc(class).unwrap();
     let other = heap.alloc(class).unwrap();
 
@@ -408,8 +406,7 @@ fn atomically_retries_until_success() {
 
 #[test]
 fn try_atomically_exhausts_budget() {
-    let (_heap, _class, stm) =
-        setup_with(StmConfig { max_retries: 3, ..StmConfig::default() });
+    let (_heap, _class, stm) = setup_with(StmConfig { max_retries: 3, ..StmConfig::default() });
     let result: Result<(), _> = stm.try_atomically(|_tx| Err(TxError::EXPLICIT));
     match result {
         Err(crate::RetryExhausted::Conflicts { attempts, last }) => {
@@ -526,8 +523,7 @@ fn concurrent_disjoint_transfers_preserve_total() {
         }
     });
 
-    let total: i64 =
-        accounts.iter().map(|a| heap.load(*a, 0).as_scalar().unwrap()).sum();
+    let total: i64 = accounts.iter().map(|a| heap.load(*a, 0).as_scalar().unwrap()).sum();
     assert_eq!(total, 16 * 1000, "money conserved under contention");
     assert!(stm.stats().commits >= 1);
 }
@@ -536,9 +532,7 @@ fn concurrent_disjoint_transfers_preserve_total() {
 fn or_else_takes_first_when_it_succeeds() {
     let (heap, class, stm) = setup();
     let obj = heap.alloc(class).unwrap();
-    let got = stm.atomically(|tx| {
-        tx.or_else(|tx| tx.read(obj, 0), |_| Ok(Word::from_scalar(99)))
-    });
+    let got = stm.atomically(|tx| tx.or_else(|tx| tx.read(obj, 0), |_| Ok(Word::from_scalar(99))));
     assert_eq!(got.as_scalar(), Some(0));
 }
 
@@ -597,4 +591,304 @@ impl crate::Transaction<'_> {
     fn abort_internal_for_test(self) {
         self.abort();
     }
+}
+
+// ---------------------------------------------------------------------
+// Contention management: priority policies, dooming, serial fallback.
+// ---------------------------------------------------------------------
+
+#[test]
+fn oldest_wins_dooms_younger_owner() {
+    let (heap, class, stm) = setup_with(StmConfig {
+        cm: CmPolicy::OldestWins,
+        doom_wait_spins: 64,
+        ..StmConfig::default()
+    });
+    let obj = heap.alloc(class).unwrap();
+    heap.store(obj, 0, Word::from_scalar(5));
+
+    let mut older = stm.begin(); // lower serial ⇒ higher priority
+    let mut younger = stm.begin();
+    younger.write(obj, 0, Word::from_scalar(6)).unwrap();
+
+    // The older transaction dooms the younger; with a single thread the
+    // victim cannot release mid-wait, so the bounded doom wait ends in
+    // a Busy abort for the older — but the doom flag is set.
+    assert_eq!(older.open_for_update(obj), Err(TxError::BUSY));
+    assert!(younger.is_doomed());
+    assert_eq!(stm.stats().dooms_issued, 0, "dooms flush when the doomer finishes");
+
+    // The victim observes its doom at the next open and at commit.
+    assert_eq!(younger.open_for_read(obj), Err(TxError::DOOMED));
+    assert_eq!(younger.commit(), Err(TxError::DOOMED));
+    // Its in-place update was rolled back and ownership released.
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(5));
+    older.abort();
+
+    let s = stm.stats();
+    assert_eq!(s.aborts_doomed, 1);
+    assert_eq!(s.dooms_issued, 1);
+}
+
+#[test]
+fn oldest_wins_younger_defers_to_older_owner() {
+    let (heap, class, stm) =
+        setup_with(StmConfig { cm: CmPolicy::OldestWins, ..StmConfig::default() });
+    let obj = heap.alloc(class).unwrap();
+
+    let mut older = stm.begin();
+    older.open_for_update(obj).unwrap();
+    let mut younger = stm.begin();
+    // The younger waits out its patience, then aborts itself; the older
+    // is never doomed.
+    assert_eq!(younger.open_for_update(obj), Err(TxError::BUSY));
+    assert!(!older.is_doomed());
+    assert!(younger.counters().cm_spins > 0);
+    younger.abort();
+    older.commit().unwrap();
+}
+
+#[test]
+fn karma_work_beats_age() {
+    let (heap, class, stm) =
+        setup_with(StmConfig { cm: CmPolicy::Karma, doom_wait_spins: 64, ..StmConfig::default() });
+    let objs: Vec<_> = (0..10).map(|_| heap.alloc(class).unwrap()).collect();
+    let hot = heap.alloc(class).unwrap();
+
+    let mut older = stm.begin();
+    older.open_for_update(hot).unwrap(); // karma 1
+    let mut younger = stm.begin();
+    for o in &objs {
+        younger.open_for_read(*o).unwrap(); // karma 10
+    }
+    // Despite being younger, the high-karma transaction wins the
+    // arbitration and dooms the older owner.
+    assert_eq!(younger.open_for_update(hot), Err(TxError::BUSY)); // bounded wait, single thread
+    assert!(older.is_doomed());
+    assert_eq!(older.commit(), Err(TxError::DOOMED));
+    younger.abort();
+    assert_eq!(stm.stats().aborts_doomed, 1);
+}
+
+#[test]
+fn doomed_atomically_retries_and_succeeds() {
+    // A doomed retry-loop transaction must come back and commit.
+    let (heap, class, stm) = setup_with(StmConfig {
+        cm: CmPolicy::OldestWins,
+        doom_wait_spins: 16,
+        ..StmConfig::default()
+    });
+    let obj = heap.alloc(class).unwrap();
+
+    let mut doomed_once = false;
+    stm.atomically(|tx| {
+        if !doomed_once {
+            // Simulate being doomed mid-flight by a higher-priority
+            // transaction's contention manager.
+            tx.ctl_arc().doomed.store(true, Ordering::Release);
+            doomed_once = true;
+        }
+        let n = tx.read(obj, 0)?.as_scalar().unwrap();
+        tx.write(obj, 0, Word::from_scalar(n + 1))
+    });
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(1));
+    assert_eq!(stm.stats().aborts_doomed, 1);
+    assert_eq!(stm.stats().commits, 1);
+}
+
+#[test]
+fn retry_carries_priority_and_karma_across_attempts() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    let mut seen: Vec<(u64, u64)> = Vec::new();
+    let _ = stm.try_atomically(|tx| {
+        tx.open_for_read(obj)?; // karma +1 each attempt
+        let ctl = tx.ctl_arc();
+        seen.push((ctl.priority(), ctl.karma()));
+        if seen.len() < 3 {
+            return Err(TxError::EXPLICIT);
+        }
+        Ok(())
+    });
+    assert_eq!(seen.len(), 3);
+    let first_priority = seen[0].0;
+    assert!(seen.iter().all(|&(p, _)| p == first_priority), "age pinned to first attempt");
+    assert_eq!(seen[0].1, 1);
+    assert_eq!(seen[1].1, 2, "karma accumulates across retries");
+    assert_eq!(seen[2].1, 3);
+}
+
+#[test]
+fn serial_mode_entered_after_consecutive_aborts() {
+    let (_heap, _class, stm) = setup_with(StmConfig {
+        serial_after_aborts: Some(2),
+        max_retries: 5,
+        ..StmConfig::default()
+    });
+    let result: Result<(), _> = stm.try_atomically(|_tx| Err(TxError::EXPLICIT));
+    assert!(matches!(result, Err(crate::RetryExhausted::Conflicts { attempts: 6, .. })));
+    // Attempts begin with 0..=5 prior failures; those with >= 2 run
+    // serially: attempts 3, 4, 5 and 6 → four serial entries.
+    assert_eq!(stm.stats().serial_entries, 4);
+}
+
+#[test]
+fn serial_fallback_disabled_when_none() {
+    let (_heap, _class, stm) =
+        setup_with(StmConfig { serial_after_aborts: None, max_retries: 5, ..StmConfig::default() });
+    let _: Result<(), _> = stm.try_atomically(|_tx| Err(TxError::EXPLICIT));
+    assert_eq!(stm.stats().serial_entries, 0);
+}
+
+#[test]
+fn try_atomically_reports_busy_exhaustion_against_a_holder() {
+    // Deterministic RetryExhausted with a real conflict: a manual
+    // transaction holds the object for the whole budget.
+    let (heap, class, stm) = setup_with(StmConfig {
+        cm: CmPolicy::AbortSelf,
+        max_retries: 3,
+        serial_after_aborts: None,
+        ..StmConfig::default()
+    });
+    let obj = heap.alloc(class).unwrap();
+    let mut holder = stm.begin();
+    holder.open_for_update(obj).unwrap();
+
+    let result = stm.try_atomically(|tx| tx.open_for_update(obj));
+    match result {
+        Err(crate::RetryExhausted::Conflicts { attempts, last }) => {
+            assert_eq!(attempts, 4);
+            assert_eq!(last, ConflictKind::Busy);
+        }
+        other => panic!("expected Busy exhaustion, got {other:?}"),
+    }
+    assert_eq!(stm.stats().aborts_busy, 4);
+    holder.abort();
+}
+
+// ---------------------------------------------------------------------
+// Failpoints: deterministic fault injection and orphan recovery.
+// ---------------------------------------------------------------------
+
+use crate::failpoint::{sites, FailAction, Trigger};
+
+#[test]
+fn failpoint_abort_at_commit_is_survivable() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    stm.failpoints().set(sites::COMMIT_BEFORE_VALIDATE, FailAction::Abort, Trigger::Once);
+    stm.atomically(|tx| tx.write(obj, 0, Word::from_scalar(9)));
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(9));
+    let s = stm.stats();
+    assert_eq!(s.failpoint_fires, 1);
+    assert_eq!(s.aborts_explicit, 1);
+    assert_eq!(s.commits, 1);
+}
+
+#[test]
+fn failpoint_delay_does_not_change_semantics() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    stm.failpoints().set(sites::COMMIT_BEFORE_RELEASE, FailAction::Delay(100), Trigger::Always);
+    stm.atomically(|tx| tx.write(obj, 0, Word::from_scalar(3)));
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(3));
+    assert_eq!(stm.stats().commits, 1);
+    assert!(stm.stats().failpoint_fires >= 1);
+}
+
+#[test]
+fn kill_after_acquire_is_recovered_by_contender() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    heap.store(obj, 0, Word::from_scalar(7));
+
+    stm.failpoints().set(sites::OPEN_UPDATE_AFTER_ACQUIRE, FailAction::Kill, Trigger::Once);
+    let mut victim = stm.begin();
+    assert_eq!(victim.write(obj, 0, Word::from_scalar(8)), Err(TxError::DOOMED));
+    drop(victim);
+    // The dead transaction still owns the object; its logs are parked.
+    assert!(matches!(
+        StmWord::decode(heap.header_atomic(obj).load(Ordering::Acquire)),
+        StmWord::Owned { .. }
+    ));
+    assert_eq!(stm.registry().active_count(), 0);
+    assert_eq!(stm.registry().orphan_count(), 1);
+
+    // A later transaction stumbles on the orphan, recovers it, and
+    // proceeds — no operator intervention.
+    let mut other = stm.begin();
+    other.write(obj, 0, Word::from_scalar(9)).unwrap();
+    other.commit().unwrap();
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(9));
+
+    let s = stm.stats();
+    assert_eq!(s.txs_killed, 1);
+    assert_eq!(s.orphans_recovered, 1);
+    assert_eq!(stm.registry().orphan_count(), 0);
+}
+
+#[test]
+fn kill_before_release_leaves_torn_state_that_recovery_undoes() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    heap.store(obj, 0, Word::from_scalar(10));
+
+    stm.failpoints().set(sites::COMMIT_BEFORE_RELEASE, FailAction::Kill, Trigger::Once);
+    let mut victim = stm.begin();
+    victim.write(obj, 0, Word::from_scalar(99)).unwrap();
+    assert_eq!(victim.commit(), Err(TxError::DOOMED));
+    // Validation passed, the in-place update is in the heap, ownership
+    // is held — maximal torn state.
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(99));
+
+    let mut other = stm.begin();
+    other.open_for_update(obj).unwrap(); // triggers recovery
+                                         // Recovery replayed the orphan's undo log: exact pre-state.
+    assert_eq!(other.read(obj, 0).unwrap().as_scalar(), Some(10));
+    other.abort();
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(10));
+    assert_eq!(stm.stats().orphans_recovered, 1);
+}
+
+#[test]
+fn kill_during_rollback_orphans_with_updates_in_place() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    heap.store(obj, 0, Word::from_scalar(1));
+
+    stm.failpoints().set(sites::ABORT_BEFORE_UNDO, FailAction::Kill, Trigger::Once);
+    let mut victim = stm.begin();
+    victim.write(obj, 0, Word::from_scalar(2)).unwrap();
+    victim.abort(); // dies at the top of rollback, nothing undone
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(2), "update still in place");
+    assert_eq!(stm.registry().orphan_count(), 1);
+
+    let mut other = stm.begin();
+    other.open_for_update(obj).unwrap();
+    assert_eq!(other.read(obj, 0).unwrap().as_scalar(), Some(1), "recovery restored pre-state");
+    other.commit().unwrap();
+}
+
+#[test]
+fn seeded_probabilistic_aborts_are_reproducible() {
+    let run = |seed: u64| {
+        let (heap, class, stm) = setup();
+        let obj = heap.alloc(class).unwrap();
+        stm.failpoints().set(
+            sites::COMMIT_BEFORE_VALIDATE,
+            FailAction::Abort,
+            Trigger::Prob { p: 0.3, seed },
+        );
+        for _ in 0..32 {
+            stm.atomically(|tx| {
+                let n = tx.read(obj, 0)?.as_scalar().unwrap();
+                tx.write(obj, 0, Word::from_scalar(n + 1))
+            });
+        }
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(32));
+        stm.stats().failpoint_fires
+    };
+    let fires = run(0xFA11);
+    assert_eq!(fires, run(0xFA11), "same seed ⇒ same injected-abort schedule");
+    assert!(fires > 0, "p=0.3 over ≥32 commits should fire at least once");
 }

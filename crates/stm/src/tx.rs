@@ -27,11 +27,13 @@
 //! heap data is tagged [`Word`]s, so this is safe, never UB).
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use omt_heap::{ClassId, ObjRef, Word};
 
-use crate::config::CmPolicy;
+use crate::cm::{CmDecision, TxCtl};
 use crate::error::{ConflictKind, TxError, TxResult};
+use crate::failpoint::{sites, FailAction};
 use crate::filter::{FilterKind, LogFilter};
 use crate::logs::{ReadEntry, Savepoint, TxLogs, UndoEntry, UpdateEntry};
 use crate::stm::Stm;
@@ -63,6 +65,9 @@ pub struct TxCounters {
     pub mid_validations: u64,
     /// Contention-manager spins.
     pub cm_spins: u64,
+    /// Doom flags this transaction set on *other* transactions
+    /// (priority contention management).
+    pub dooms: u64,
 }
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -101,6 +106,7 @@ pub struct Transaction<'stm> {
     serial: u64,
     token: TxToken,
     epoch: u64,
+    ctl: Arc<TxCtl>,
     logs: Box<TxLogs>,
     filter: Option<LogFilter>,
     counters: TxCounters,
@@ -109,18 +115,22 @@ pub struct Transaction<'stm> {
 }
 
 impl<'stm> Transaction<'stm> {
-    pub(crate) fn new(stm: &'stm Stm, serial: u64, token: TxToken, epoch: u64) -> Transaction<'stm> {
+    pub(crate) fn new(
+        stm: &'stm Stm,
+        serial: u64,
+        token: TxToken,
+        epoch: u64,
+        ctl: Arc<TxCtl>,
+    ) -> Transaction<'stm> {
         let mut logs = Box::new(TxLogs::new());
-        stm.registry().register(serial, &mut *logs);
-        let filter = stm
-            .config()
-            .runtime_filter
-            .then(|| LogFilter::new(stm.config().filter_bits));
+        stm.registry().register(serial, ctl.clone(), &mut *logs);
+        let filter = stm.config().runtime_filter.then(|| LogFilter::new(stm.config().filter_bits));
         Transaction {
             stm,
             serial,
             token,
             epoch,
+            ctl,
             logs,
             filter,
             counters: TxCounters::default(),
@@ -132,6 +142,67 @@ impl<'stm> Transaction<'stm> {
     /// This transaction's token (unique among concurrent transactions).
     pub fn token(&self) -> TxToken {
         self.token
+    }
+
+    /// Shared control block (priority, karma, doom flag).
+    pub(crate) fn ctl_arc(&self) -> Arc<TxCtl> {
+        self.ctl.clone()
+    }
+
+    /// True if another transaction's contention manager doomed this
+    /// one; the next open or validate will return
+    /// [`TxError::DOOMED`].
+    pub fn is_doomed(&self) -> bool {
+        self.ctl.is_doomed()
+    }
+
+    /// Returns [`TxError::DOOMED`] once a priority contention manager
+    /// has doomed this transaction.
+    fn check_doomed(&self) -> TxResult<()> {
+        if self.ctl.is_doomed() {
+            Err(TxError::DOOMED)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Performs a failpoint action, if `site` is armed and fires.
+    ///
+    /// `Delay` spins then continues; `Abort` surfaces as an explicit
+    /// conflict; `Kill` simulates thread death (logs parked, ownership
+    /// left in place) and surfaces as `DOOMED` so retry loops stop
+    /// using this transaction.
+    fn hit_failpoint(&mut self, site: &'static str) -> TxResult<()> {
+        let Some(action) = self.stm.failpoints().check(site) else {
+            return Ok(());
+        };
+        self.stm.note_failpoint_fire();
+        match action {
+            FailAction::Delay(n) => {
+                for _ in 0..n {
+                    std::hint::spin_loop();
+                }
+                Ok(())
+            }
+            FailAction::Abort => Err(TxError::EXPLICIT),
+            FailAction::Kill => {
+                self.kill();
+                Err(TxError::DOOMED)
+            }
+        }
+    }
+
+    /// Simulates the owning thread dying right now: the transaction
+    /// stops, its logs are parked in the registry's orphan pool, and
+    /// every object it owns stays owned until a concurrent transaction
+    /// runs recovery.
+    fn kill(&mut self) {
+        self.state = TxState::Finished;
+        let logs = std::mem::replace(&mut self.logs, Box::new(TxLogs::new()));
+        self.stm.registry().park_orphan(self.serial, self.token, logs);
+        // Publish the death only after the logs are recoverable.
+        self.ctl.killed.store(true, Ordering::Release);
+        self.stm.flush_outcome(Outcome::Killed, &self.counters);
     }
 
     /// Operation counters accumulated so far.
@@ -167,15 +238,19 @@ impl<'stm> Transaction<'stm> {
     ///
     /// # Errors
     ///
-    /// Returns [`TxError::Conflict`] only when incremental validation
-    /// (config `validate_every`) detects this transaction is doomed.
+    /// Returns [`TxError::Conflict`] when incremental validation
+    /// (config `validate_every`) detects this transaction cannot
+    /// commit, or [`TxError::DOOMED`] when a priority contention
+    /// manager aborted it on another transaction's behalf.
     ///
     /// # Panics
     ///
     /// Panics if the transaction already finished.
     pub fn open_for_read(&mut self, obj: ObjRef) -> TxResult<()> {
         self.assert_active();
+        self.check_doomed()?;
         self.counters.open_read_ops += 1;
+        self.ctl.karma.fetch_add(1, Ordering::Relaxed);
 
         if let Some(filter) = &mut self.filter {
             if filter.check_and_set(FilterKind::Read, obj.to_raw(), 0) {
@@ -217,7 +292,10 @@ impl<'stm> Transaction<'stm> {
     /// # Errors
     ///
     /// Returns [`TxError::BUSY`] if another transaction owns the object
-    /// and the contention policy gives up.
+    /// and the contention policy gives up, or [`TxError::DOOMED`] if a
+    /// priority contention manager aborted this transaction on another
+    /// transaction's behalf (including mid-wait, which is what keeps
+    /// doom cycles impossible).
     ///
     /// # Panics
     ///
@@ -225,7 +303,9 @@ impl<'stm> Transaction<'stm> {
     /// transaction opens more than 2³¹ objects for update.
     pub fn open_for_update(&mut self, obj: ObjRef) -> TxResult<()> {
         self.assert_active();
+        self.check_doomed()?;
         self.counters.open_update_ops += 1;
+        self.ctl.karma.fetch_add(1, Ordering::Relaxed);
 
         let header = self.stm.heap().header_atomic(obj);
         let mut spins = 0u32;
@@ -233,17 +313,9 @@ impl<'stm> Transaction<'stm> {
             let current = header.load(Ordering::Acquire);
             match StmWord::decode(current) {
                 StmWord::Owned { owner, .. } if owner == self.token => return Ok(()),
-                StmWord::Owned { .. } => match self.stm.config().cm {
-                    CmPolicy::AbortSelf => return Err(TxError::BUSY),
-                    CmPolicy::Spin { max_spins } => {
-                        if spins >= max_spins {
-                            return Err(TxError::BUSY);
-                        }
-                        spins += 1;
-                        self.counters.cm_spins += 1;
-                        std::hint::spin_loop();
-                    }
-                },
+                StmWord::Owned { owner, .. } => {
+                    self.contend(obj, owner, &mut spins)?;
+                }
                 StmWord::Version(v) => {
                     let entry = self.logs.update.len();
                     assert!(
@@ -261,11 +333,70 @@ impl<'stm> Transaction<'stm> {
                             dead: false,
                         });
                         self.counters.acquires += 1;
+                        self.hit_failpoint(sites::OPEN_UPDATE_AFTER_ACQUIRE)?;
                         return Ok(());
                     }
                     // Lost a race; retry (the new word may be ours never —
                     // we didn't install it — so loop to re-decode).
                 }
+            }
+        }
+    }
+
+    /// One round of contention handling against `owner`, which was
+    /// observed owning `obj`. Returns `Ok(())` to make the caller
+    /// re-examine the header (the conflict may have evaporated), or an
+    /// error to abort this transaction.
+    fn contend(&mut self, obj: ObjRef, owner: TxToken, spins: &mut u32) -> TxResult<()> {
+        // A winner that dooms us mid-wait must be able to proceed, so
+        // re-check our own doom flag on every round.
+        self.check_doomed()?;
+
+        let Some(other) = self.stm.registry().ctl_of(owner) else {
+            // The owner finished between our header load and the
+            // registry lookup; the header is released (or re-owned) by
+            // now — re-examine it.
+            std::hint::spin_loop();
+            return Ok(());
+        };
+        if other.is_killed() {
+            // The owner's thread died holding the object: recover the
+            // orphan (replay its undo log, release its ownership), then
+            // re-examine the header.
+            self.stm.registry().recover(self.stm.heap(), owner);
+            return Ok(());
+        }
+
+        match self.stm.config().cm.arbitrate(&self.ctl, &other, *spins) {
+            CmDecision::Wait => {
+                *spins += 1;
+                self.counters.cm_spins += 1;
+                std::hint::spin_loop();
+                Ok(())
+            }
+            CmDecision::AbortSelf => Err(TxError::BUSY),
+            CmDecision::AbortOther => {
+                if !other.doomed.swap(true, Ordering::AcqRel) {
+                    self.counters.dooms += 1;
+                }
+                // The victim only notices at its next open or validate;
+                // wait for it to release, bounded so a descheduled (or
+                // compute-bound) victim cannot wedge us.
+                let header = self.stm.heap().header_atomic(obj);
+                for _ in 0..self.stm.config().doom_wait_spins {
+                    match StmWord::decode(header.load(Ordering::Acquire)) {
+                        StmWord::Owned { owner: now, .. } if now == owner => {
+                            if other.is_killed() {
+                                self.stm.registry().recover(self.stm.heap(), owner);
+                                return Ok(());
+                            }
+                            self.counters.cm_spins += 1;
+                            std::hint::spin_loop();
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+                Err(TxError::BUSY)
             }
         }
     }
@@ -367,8 +498,12 @@ impl<'stm> Transaction<'stm> {
     /// # Errors
     ///
     /// [`TxError::INVALID`] if a read object changed;
-    /// [`TxError::EPOCH`] if the renumbering epoch advanced.
+    /// [`TxError::EPOCH`] if the renumbering epoch advanced;
+    /// [`TxError::DOOMED`] if a contention manager aborted this
+    /// transaction on another's behalf.
     pub fn validate(&mut self) -> TxResult<()> {
+        self.hit_failpoint(sites::VALIDATE_ENTRY)?;
+        self.check_doomed()?;
         self.counters.validations += 1;
         // Order all preceding data loads before the validation loads
         // (seqlock-style LoadLoad fence).
@@ -415,8 +550,18 @@ impl<'stm> Transaction<'stm> {
     /// the transaction is already aborted when the error returns.
     pub fn commit(mut self) -> TxResult<()> {
         self.assert_active();
+        if let Err(e) = self.hit_failpoint(sites::COMMIT_BEFORE_VALIDATE) {
+            let TxError::Conflict(kind) = e else { unreachable!("failpoints only conflict") };
+            self.rollback(kind);
+            return Err(e);
+        }
         if let Err(e) = self.validate() {
             let TxError::Conflict(kind) = e else { unreachable!("validate only conflicts") };
+            self.rollback(kind);
+            return Err(e);
+        }
+        if let Err(e) = self.hit_failpoint(sites::COMMIT_BEFORE_RELEASE) {
+            let TxError::Conflict(kind) = e else { unreachable!("failpoints only conflict") };
             self.rollback(kind);
             return Err(e);
         }
@@ -436,10 +581,7 @@ impl<'stm> Transaction<'stm> {
                 next = 0;
                 epoch_bumps += 1;
             }
-            self.stm
-                .heap()
-                .header_atomic(entry.obj)
-                .store(version_bits(next), Ordering::Release);
+            self.stm.heap().header_atomic(entry.obj).store(version_bits(next), Ordering::Release);
         }
         if epoch_bumps > 0 {
             self.stm.bump_epoch();
@@ -455,11 +597,35 @@ impl<'stm> Transaction<'stm> {
     }
 
     pub(crate) fn abort_with(mut self, kind: ConflictKind) {
-        self.assert_active();
+        // Tolerates an already-finished transaction: the closure's
+        // error may have come from a `Kill` failpoint, in which case
+        // the logs are parked and there is nothing left to roll back.
         self.rollback(kind);
     }
 
     fn rollback(&mut self, kind: ConflictKind) {
+        if self.state == TxState::Finished {
+            return;
+        }
+        if let Some(action) = self.stm.failpoints().check(sites::ABORT_BEFORE_UNDO) {
+            self.stm.note_failpoint_fire();
+            match action {
+                FailAction::Delay(n) => {
+                    for _ in 0..n {
+                        std::hint::spin_loop();
+                    }
+                }
+                // Death at the top of rollback orphans the transaction
+                // with its in-place updates unrestored — the worst
+                // case the recovery path must handle.
+                FailAction::Kill => {
+                    self.kill();
+                    return;
+                }
+                // Already aborting; injecting an abort is a no-op.
+                FailAction::Abort => {}
+            }
+        }
         // Replay the undo log in reverse: duplicate entries (filter off)
         // then restore progressively older values, ending at the oldest.
         for entry in self.logs.undo.iter().rev() {
@@ -612,7 +778,7 @@ impl<'stm> Transaction<'stm> {
 
     fn finish(&mut self, outcome: Outcome) {
         self.state = TxState::Finished;
-        self.stm.registry().unregister(self.serial);
+        self.stm.registry().unregister(self.serial, self.token);
         self.stm.flush_outcome(outcome, &self.counters);
         self.logs.clear();
     }
@@ -622,6 +788,9 @@ impl<'stm> Transaction<'stm> {
 pub(crate) enum Outcome {
     Committed,
     Aborted(ConflictKind),
+    /// A `Kill` failpoint simulated thread death; the transaction
+    /// neither committed nor rolled back (recovery does that later).
+    Killed,
 }
 
 impl Drop for Transaction<'_> {

@@ -65,10 +65,7 @@ impl StmWord {
         if bits & 1 == 0 {
             StmWord::Version(bits >> 1)
         } else {
-            StmWord::Owned {
-                owner: TxToken((bits >> 1) as u32),
-                entry: (bits >> 33) as u32,
-            }
+            StmWord::Owned { owner: TxToken((bits >> 1) as u32), entry: (bits >> 33) as u32 }
         }
     }
 

@@ -1,0 +1,23 @@
+//! # omt-util — dependency-free substrate for the omt workspace
+//!
+//! The workspace builds in hermetic environments with no crates-io
+//! access, so the handful of external utilities the reproduction needs
+//! are implemented here instead of pulled from the registry:
+//!
+//! - [`rng`] — a small, fast, *deterministic* pseudo-random number
+//!   generator (SplitMix64 core) with explicit seeding, used by the
+//!   workload generators, randomized backoff, and the seeded
+//!   property-style tests;
+//! - [`sync`] — `Mutex` / `RwLock` wrappers over `std::sync` with a
+//!   panic-tolerant (non-poisoning) API in the style of `parking_lot`,
+//!   plus an owned [`sync::ArcMutexGuard`] for hand-over-hand locking.
+//!
+//! Everything here is intentionally boring: no unsafe beyond the one
+//! documented lifetime extension in [`sync::ArcMutexGuard`], no
+//! platform-specific code, no feature flags.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod rng;
+pub mod sync;

@@ -1,0 +1,221 @@
+//! Non-poisoning `Mutex` / `RwLock` wrappers over `std::sync`.
+//!
+//! The workspace treats a panic while holding a lock as "the protected
+//! data is still structurally valid" (every critical section here
+//! either completes or leaves plain-old-data behind), so the poisoning
+//! machinery of `std::sync` is noise: these wrappers recover the guard
+//! from a [`std::sync::PoisonError`] instead of propagating it, giving
+//! the `parking_lot`-style API the rest of the workspace is written
+//! against.
+//!
+//! [`ArcMutexGuard`] additionally provides an *owned* guard (a guard
+//! that keeps its mutex alive via an [`Arc`]) which the hand-over-hand
+//! list traversal in `omt-workloads` needs: each step must hold the
+//! next node's lock while the binding for the previous guard is
+//! overwritten.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A mutual-exclusion primitive (non-poisoning `std::sync::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// An RAII guard for [`Mutex`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available. Never poisons: a
+    /// panic in another critical section is ignored.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A reader–writer lock (non-poisoning `std::sync::RwLock`).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-access RAII guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Exclusive-access RAII guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access. Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive access. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// An owned mutex guard: holds the lock *and* an `Arc` keeping the
+/// mutex alive, so the guard can outlive the borrow it was created
+/// from (hand-over-hand traversal reassigns the guard binding while
+/// the next lock is already held).
+pub struct ArcMutexGuard<T: 'static> {
+    /// INVARIANT: dropped (exactly once, in `Drop`) before `_arc`, and
+    /// never moved out otherwise. The `'static` lifetime is a lie told
+    /// to the type system; the true lifetime is "while `_arc` lives",
+    /// which `Drop` enforces.
+    guard: ManuallyDrop<std::sync::MutexGuard<'static, T>>,
+    _arc: Arc<Mutex<T>>,
+}
+
+/// Extension trait providing [`LockArc::lock_arc`] on `Arc<Mutex<T>>`.
+pub trait LockArc<T: 'static> {
+    /// Acquires the mutex, returning an owned guard that keeps the
+    /// mutex alive.
+    fn lock_arc(&self) -> ArcMutexGuard<T>;
+}
+
+impl<T: 'static> LockArc<T> for Arc<Mutex<T>> {
+    fn lock_arc(&self) -> ArcMutexGuard<T> {
+        let arc = Arc::clone(self);
+        let guard = arc.lock();
+        // SAFETY: the guard borrows the mutex inside `arc`'s heap
+        // allocation, which is stable across moves of the Arc and kept
+        // alive by `_arc` until `Drop` releases the guard first.
+        let guard: std::sync::MutexGuard<'static, T> =
+            unsafe { std::mem::transmute::<MutexGuard<'_, T>, MutexGuard<'static, T>>(guard) };
+        ArcMutexGuard { guard: ManuallyDrop::new(guard), _arc: arc }
+    }
+}
+
+impl<T: 'static> Deref for ArcMutexGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: 'static> DerefMut for ArcMutexGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: 'static> Drop for ArcMutexGuard<T> {
+    fn drop(&mut self) {
+        // SAFETY: `guard` is initialized (only `Drop` extracts it) and
+        // the mutex it releases is kept alive by `_arc`, which drops
+        // after this struct field.
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
+    }
+}
+
+impl<T: fmt::Debug + 'static> fmt::Debug for ArcMutexGuard<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ArcMutexGuard").field(&**self).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn mutex_survives_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // A poisoned std mutex would panic here; ours recovers.
+        assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn rwlock_many_readers_one_writer() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn arc_guard_hand_over_hand() {
+        let a = Arc::new(Mutex::new(1));
+        let b = Arc::new(Mutex::new(2));
+        let mut guard = a.lock_arc();
+        assert_eq!(*guard, 1);
+        // Reassign while the old guard is still alive (the crux).
+        let next = b.lock_arc();
+        guard = next;
+        assert_eq!(*guard, 2);
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*b.lock(), 3);
+        // `a` was released when its guard was overwritten.
+        assert_eq!(*a.lock(), 1);
+    }
+
+    #[test]
+    fn arc_guard_keeps_mutex_alive() {
+        let guard = {
+            let m = Arc::new(Mutex::new(String::from("alive")));
+            m.lock_arc()
+            // The only other Arc to the mutex drops here.
+        };
+        assert_eq!(&*guard, "alive");
+    }
+
+    #[test]
+    fn mutex_in_thread_scope() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 4_000);
+    }
+}

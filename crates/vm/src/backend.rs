@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use omt_baselines::{CoarseGuard, CoarseLock, TplTx, TwoPhaseLocking, WConflict, WStm, WTx};
 use omt_heap::{Heap, ObjRef, Word};
-use omt_stm::{Stm, Transaction, TxError};
+use omt_stm::{Stm, StmConfig, Transaction, TxError};
 
 /// Why an atomic region's execution could not continue.
 #[derive(Debug)]
@@ -35,6 +35,9 @@ pub(crate) enum Trap {
 }
 
 /// A synchronization backend over a shared heap.
+// One backend exists per VM, so the size skew from the Stm variant
+// (serial gate + failpoint registry) does not matter.
+#[allow(clippy::large_enum_variant)]
 pub enum SyncBackend {
     /// No synchronization: the uninstrumented sequential baseline.
     Sequential,
@@ -51,12 +54,19 @@ pub enum SyncBackend {
 impl SyncBackend {
     /// Creates a backend of the given kind over `heap`.
     pub fn new(kind: BackendKind, heap: Arc<Heap>) -> SyncBackend {
+        SyncBackend::with_stm_config(kind, heap, StmConfig::default())
+    }
+
+    /// Creates a backend of the given kind over `heap`, using `config`
+    /// for the direct STM (contention management, serial fallback,
+    /// filtering...). Non-STM backends ignore the config.
+    pub fn with_stm_config(kind: BackendKind, heap: Arc<Heap>, config: StmConfig) -> SyncBackend {
         match kind {
             BackendKind::Sequential => SyncBackend::Sequential,
             BackendKind::Coarse => SyncBackend::Coarse(CoarseLock::new()),
             BackendKind::TwoPhase => SyncBackend::TwoPhase(TwoPhaseLocking::new(heap)),
             BackendKind::Buffered => SyncBackend::Buffered(WStm::new(heap)),
-            BackendKind::DirectStm => SyncBackend::DirectStm(Stm::new(heap)),
+            BackendKind::DirectStm => SyncBackend::DirectStm(Stm::with_config(heap, config)),
         }
     }
 
@@ -135,9 +145,7 @@ impl std::str::FromStr for BackendKind {
             "2pl" | "twophase" | "medium" => Ok(BackendKind::TwoPhase),
             "wstm" | "buffered" | "tl2" => Ok(BackendKind::Buffered),
             "stm" | "direct" => Ok(BackendKind::DirectStm),
-            other => Err(format!(
-                "unknown backend `{other}` (sequential|coarse|2pl|wstm|stm)"
-            )),
+            other => Err(format!("unknown backend `{other}` (sequential|coarse|2pl|wstm|stm)")),
         }
     }
 }
@@ -235,11 +243,7 @@ impl<'b> Session<'b> {
 
     /// Allocates an object (recorded in the transaction's allocation
     /// log under the direct STM).
-    pub(crate) fn alloc(
-        &mut self,
-        heap: &Heap,
-        class: omt_heap::ClassId,
-    ) -> Result<ObjRef, Trap> {
+    pub(crate) fn alloc(&mut self, heap: &Heap, class: omt_heap::ClassId) -> Result<ObjRef, Trap> {
         match self {
             Session::Stm(tx) => tx.alloc(class).map_err(Trap::from),
             _ => heap.alloc(class).map_err(|e| Trap::Error(e.to_string())),

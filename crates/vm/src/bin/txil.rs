@@ -52,14 +52,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut value = |name: &str| {
-            iter.next().cloned().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value =
+            |name: &str| iter.next().cloned().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "--entry" => options.entry = value("--entry")?,
-            "--arg" => options
-                .args
-                .push(value("--arg")?.parse().map_err(|e| format!("bad --arg: {e}"))?),
+            "--arg" => {
+                options.args.push(value("--arg")?.parse().map_err(|e| format!("bad --arg: {e}"))?)
+            }
             "--level" => options.level = value("--level")?.parse()?,
             "--backend" => options.backend = value("--backend")?.parse()?,
             "--function" => options.function = Some(value("--function")?),

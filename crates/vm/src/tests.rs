@@ -70,11 +70,7 @@ fn all_backends_agree_on_list_sum() {
     for kind in BackendKind::ALL {
         for level in OptLevel::ALL {
             let vm = vm_for(LIST_PROGRAM, level, kind);
-            assert_eq!(
-                run_scalar(&vm, "main", &[100]),
-                5050,
-                "backend {kind}, level {level}"
-            );
+            assert_eq!(run_scalar(&vm, "main", &[100]), 5050, "backend {kind}, level {level}");
         }
     }
 }
@@ -140,12 +136,9 @@ fn atomic_counter_is_exact_under_contention() {
         }
         fn make() -> Counter { return new Counter(); }
     ";
-    for kind in [
-        BackendKind::Coarse,
-        BackendKind::TwoPhase,
-        BackendKind::Buffered,
-        BackendKind::DirectStm,
-    ] {
+    for kind in
+        [BackendKind::Coarse, BackendKind::TwoPhase, BackendKind::Buffered, BackendKind::DirectStm]
+    {
         let (ir, _) = compile(SRC, OptLevel::O2).expect("compile");
         let ir = Arc::new(ir);
         let heap = Arc::new(Heap::new());
@@ -153,22 +146,12 @@ fn atomic_counter_is_exact_under_contention() {
         let setup = Vm::new(ir.clone(), heap.clone(), backend.clone());
         let counter = setup.run("make", &[]).unwrap().unwrap();
 
-        let outcome = run_parallel(
-            &ir,
-            &heap,
-            &backend,
-            VmConfig::default(),
-            "bump",
-            4,
-            |_| vec![counter, Word::from_scalar(250)],
-        )
+        let outcome = run_parallel(&ir, &heap, &backend, VmConfig::default(), "bump", 4, |_| {
+            vec![counter, Word::from_scalar(250)]
+        })
         .expect("parallel run");
         let c = counter.as_ref().unwrap();
-        assert_eq!(
-            heap.load(c, 0).as_scalar(),
-            Some(1000),
-            "lost updates under backend {kind}"
-        );
+        assert_eq!(heap.load(c, 0).as_scalar(), Some(1000), "lost updates under backend {kind}");
         assert_eq!(outcome.results.len(), 4);
     }
 }
@@ -194,15 +177,9 @@ fn conflicts_are_retried_and_counted() {
     let setup = Vm::new(ir.clone(), heap.clone(), backend.clone());
     let counter = setup.run("make", &[]).unwrap().unwrap();
 
-    let outcome = run_parallel(
-        &ir,
-        &heap,
-        &backend,
-        VmConfig::default(),
-        "bump",
-        8,
-        |_| vec![counter, Word::from_scalar(500)],
-    )
+    let outcome = run_parallel(&ir, &heap, &backend, VmConfig::default(), "bump", 8, |_| {
+        vec![counter, Word::from_scalar(500)]
+    })
     .expect("parallel run");
     assert_eq!(heap.load(counter.as_ref().unwrap(), 0).as_scalar(), Some(4000));
     assert_eq!(outcome.counters.tx_committed, 4000);

@@ -21,7 +21,6 @@ use std::sync::Arc;
 
 use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, Heap, Word};
 use omt_ir::{BinOpKind, FuncId, Inst, IrProgram, Terminator, UnOpKind};
-use rand::Rng;
 
 use crate::backend::{Session, SyncBackend, Trap};
 use crate::counters::{VmCounters, VmCountersSnapshot};
@@ -227,7 +226,8 @@ impl Vm {
             if index < insts.len() {
                 let inst = &insts[index];
                 VmCounters::bump(&self.counters.insts);
-                let step = self.exec_inst(backend, session, inst, &mut regs, block, index, &mut region);
+                let step =
+                    self.exec_inst(backend, session, inst, &mut regs, block, index, &mut region);
                 match step {
                     Ok(()) => {
                         index += 1;
@@ -253,9 +253,7 @@ impl Vm {
             match &f.blocks[block].term {
                 Terminator::Jump(t) => {
                     let target = t.index();
-                    if let Err(trap) =
-                        self.on_edge(session, &mut region, block, target)
-                    {
+                    if let Err(trap) = self.on_edge(session, &mut region, block, target) {
                         match self.handle_trap(trap, session, &mut region)? {
                             Recovery::Retry { to_block, to_index, snapshot } => {
                                 regs.copy_from_slice(&snapshot);
@@ -314,9 +312,7 @@ impl Vm {
                 }
                 Terminator::Return(value) => {
                     if region.is_some() {
-                        return Err(Trap::Error(
-                            "return inside an atomic region".into(),
-                        ));
+                        return Err(Trap::Error("return inside an atomic region".into()));
                     }
                     return Ok(value.map(|r| regs[r.0 as usize]));
                 }
@@ -434,8 +430,7 @@ impl Vm {
                 Ok(())
             }
             Inst::BinOp { dst, op, lhs, rhs } => {
-                regs[dst.0 as usize] =
-                    eval_binop(*op, regs[lhs.0 as usize], regs[rhs.0 as usize])?;
+                regs[dst.0 as usize] = eval_binop(*op, regs[lhs.0 as usize], regs[rhs.0 as usize])?;
                 Ok(())
             }
             Inst::New { dst, class, args } => {
@@ -445,9 +440,7 @@ impl Vm {
                 if args.is_empty() {
                     // Zero-arg `new`: ints/bools default to 0/false (the
                     // heap's zero fill), class-typed fields to null.
-                    for (i, field) in
-                        self.program.class(*class).fields.iter().enumerate()
-                    {
+                    for (i, field) in self.program.class(*class).fields.iter().enumerate() {
                         if field.is_ref {
                             self.heap.store(obj, i, Word::null());
                         }
@@ -494,13 +487,11 @@ impl Vm {
             }
             Inst::Call { dst, func, args } => {
                 VmCounters::bump(&c.calls);
-                let arg_words: Vec<Word> =
-                    args.iter().map(|a| regs[a.0 as usize]).collect();
+                let arg_words: Vec<Word> = args.iter().map(|a| regs[a.0 as usize]).collect();
                 let result = self.exec(backend, session, *func, &arg_words)?;
                 if let Some(dst) = dst {
-                    let value = result.ok_or_else(|| {
-                        Trap::Error("function returned no value".into())
-                    })?;
+                    let value =
+                        result.ok_or_else(|| Trap::Error("function returned no value".into()))?;
                     regs[dst.0 as usize] = value;
                 }
                 Ok(())
@@ -581,7 +572,7 @@ fn eval_binop(op: BinOpKind, a: Word, b: Word) -> Result<Word, Trap> {
 
 fn backoff(attempt: u32) {
     let cap = 1u32 << attempt.min(12);
-    let spins = rand::thread_rng().gen_range(0..=cap);
+    let spins = omt_util::rng::thread_rng().gen_range(0..=cap);
     for _ in 0..spins {
         std::hint::spin_loop();
     }

@@ -64,11 +64,7 @@ fn every_backend_produces_the_same_answer() {
             .output()
             .expect("spawn txil");
         assert!(out.status.success(), "backend {backend}");
-        assert_eq!(
-            String::from_utf8_lossy(&out.stdout).trim(),
-            "17",
-            "backend {backend}"
-        );
+        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "17", "backend {backend}");
     }
 }
 

@@ -8,9 +8,8 @@ use std::time::{Duration, Instant};
 
 use omt_heap::{ClassDesc, ObjRef, Word};
 use omt_stm::Stm;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use omt_util::rng::StdRng;
+use omt_util::sync::Mutex;
 
 const BALANCE: usize = 0;
 
@@ -51,9 +50,7 @@ impl StmBank {
     ///
     /// Panics if the heap is full.
     pub fn new(stm: Arc<Stm>, n: usize, initial: i64) -> StmBank {
-        let class = stm
-            .heap()
-            .define_class(ClassDesc::with_var_fields("Account", &["balance"]));
+        let class = stm.heap().define_class(ClassDesc::with_var_fields("Account", &["balance"]));
         let accounts = (0..n)
             .map(|_| {
                 let a = stm.heap().alloc(class).expect("heap full");
@@ -177,7 +174,7 @@ pub fn run_bank_workload(
                     if to >= from {
                         to += 1;
                     }
-                    bank.transfer(from, to, rng.gen_range(1..100));
+                    bank.transfer(from, to, rng.gen_range(1..100i64));
                     if let Some(every) = audit_every {
                         if i % every == 0 {
                             let _ = bank.total();
@@ -187,10 +184,7 @@ pub fn run_bank_workload(
             });
         }
     });
-    BankOutcome {
-        elapsed: start.elapsed(),
-        transfers: (threads * transfers_per_thread) as u64,
-    }
+    BankOutcome { elapsed: start.elapsed(), transfers: (threads * transfers_per_thread) as u64 }
 }
 
 #[cfg(test)]
@@ -237,11 +231,7 @@ mod tests {
     fn stm_audits_see_consistent_totals() {
         // Auditing concurrently with transfers: every audit is a
         // read-only transaction and must observe exactly the invariant.
-        let bank = Arc::new(StmBank::new(
-            Arc::new(Stm::new(Arc::new(Heap::new()))),
-            16,
-            1_000,
-        ));
+        let bank = Arc::new(StmBank::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 16, 1_000));
         std::thread::scope(|scope| {
             let b = bank.clone();
             scope.spawn(move || {

@@ -7,8 +7,7 @@ use std::time::{Duration, Instant};
 
 use omt_heap::{ClassDesc, ObjRef, Word};
 use omt_stm::{Stm, StmStatsSnapshot};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use omt_util::rng::StdRng;
 
 const VALUE: usize = 0;
 
@@ -124,6 +123,62 @@ pub fn run_contention_point(
     }
 }
 
+/// Result of a contention storm (see [`run_contention_storm`]).
+#[derive(Debug, Clone)]
+pub struct StormOutcome {
+    /// Threads that participated.
+    pub threads: usize,
+    /// Increments each thread committed (every entry must equal the
+    /// requested per-thread count — the zero-livelock check).
+    pub per_thread: Vec<u64>,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// STM statistics delta over the storm.
+    pub stats: StmStatsSnapshot,
+}
+
+impl StormOutcome {
+    /// Total committed increments.
+    pub fn total(&self) -> u64 {
+        self.per_thread.iter().sum()
+    }
+}
+
+/// The worst case of the contention dial: every thread hammers the
+/// *same* cell. Used to demonstrate the livelock-freedom guarantee of
+/// the serial-mode fallback — the storm must complete with every
+/// thread having committed all its increments, under any
+/// contention-management policy.
+pub fn run_contention_storm(
+    counters: &CounterArray,
+    threads: usize,
+    increments_per_thread: usize,
+) -> StormOutcome {
+    let before = counters.stm().stats();
+    let start = Instant::now();
+    let per_thread = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut committed = 0u64;
+                    for _ in 0..increments_per_thread {
+                        counters.increment(0);
+                        committed += 1;
+                    }
+                    committed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("storm thread panicked")).collect()
+    });
+    StormOutcome {
+        threads,
+        per_thread,
+        elapsed: start.elapsed(),
+        stats: counters.stm().stats().delta_since(&before),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +232,24 @@ mod tests {
         let outcome = run_contention_point(&c, 2, 100, 999, 7);
         assert_eq!(outcome.hot_cells, 4);
         assert_eq!(c.total(), 200);
+    }
+
+    #[test]
+    fn storm_commits_every_thread() {
+        use omt_stm::{CmPolicy, StmConfig};
+        let heap = Arc::new(Heap::new());
+        let stm = Arc::new(Stm::with_config(
+            heap,
+            StmConfig {
+                cm: CmPolicy::AbortSelf,
+                serial_after_aborts: Some(4),
+                ..StmConfig::default()
+            },
+        ));
+        let c = CounterArray::new(stm, 1);
+        let outcome = run_contention_storm(&c, 4, 500);
+        assert_eq!(outcome.per_thread, vec![500u64; 4], "every thread committed everything");
+        assert_eq!(outcome.total(), 2_000);
+        assert_eq!(c.total(), 2_000);
     }
 }

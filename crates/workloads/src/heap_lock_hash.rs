@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, Heap, ObjRef, Word};
-use parking_lot::Mutex;
+use omt_util::sync::Mutex;
 
 use crate::set::ConcurrentSet;
 
@@ -133,8 +133,8 @@ impl ConcurrentSet for HeapStripedHashSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::set::{run_set_workload, sets_agree, SetWorkload};
     use crate::lock_sets::CoarseStdSet;
+    use crate::set::{run_set_workload, sets_agree, SetWorkload};
 
     fn set(buckets: usize) -> HeapStripedHashSet {
         HeapStripedHashSet::new(Arc::new(Heap::new()), buckets)

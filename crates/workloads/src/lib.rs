@@ -49,11 +49,14 @@ mod stm_skiplist;
 mod travel;
 
 pub use bank::{run_bank_workload, Bank, BankOutcome, LockBank, StmBank};
-pub use contention::{run_contention_point, ContentionOutcome, CounterArray};
+pub use contention::{
+    run_contention_point, run_contention_storm, ContentionOutcome, CounterArray, StormOutcome,
+};
 pub use heap_lock_hash::HeapStripedHashSet;
 pub use lock_sets::{CoarseStdSet, HandOverHandList, RwStdSet, StripedHashSet};
-pub use set::{prefill, run_set_workload, sets_agree, ConcurrentSet, OpMix, SetOutcome,
-    SetWorkload};
+pub use set::{
+    prefill, run_set_workload, sets_agree, ConcurrentSet, OpMix, SetOutcome, SetWorkload,
+};
 pub use stm_bst::StmBst;
 pub use stm_hash::StmHashSet;
 pub use stm_list::StmSortedList;

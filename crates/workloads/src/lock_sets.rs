@@ -12,7 +12,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use omt_util::sync::{ArcMutexGuard, LockArc, Mutex, RwLock};
 
 use crate::set::ConcurrentSet;
 
@@ -165,7 +165,7 @@ impl HandOverHandList {
 
     /// Walks to the link whose target is the first node with
     /// key >= `key`, returning that link's (owned) guard.
-    fn locate(&self, key: i64) -> parking_lot::ArcMutexGuard<parking_lot::RawMutex, Option<Arc<HohNode>>> {
+    fn locate(&self, key: i64) -> ArcMutexGuard<Option<Arc<HohNode>>> {
         let mut guard = self.head.lock_arc();
         loop {
             let advance = match &*guard {
@@ -261,8 +261,12 @@ mod tests {
     #[allow(clippy::while_let_loop)] // guard reassignment forbids while-let
     fn hand_over_hand_sorted_after_contention() {
         let list = HandOverHandList::new();
-        let workload =
-            SetWorkload { initial_size: 0, key_range: 128, ops_per_thread: 1_500, ..Default::default() };
+        let workload = SetWorkload {
+            initial_size: 0,
+            key_range: 128,
+            ops_per_thread: 1_500,
+            ..Default::default()
+        };
         run_set_workload(&list, &workload, 4);
         // Walk and check sortedness.
         let mut prev = i64::MIN;

@@ -8,8 +8,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use omt_util::rng::StdRng;
 
 /// A set of 63-bit integers usable from many threads.
 pub trait ConcurrentSet: Sync {
@@ -51,11 +50,7 @@ impl OpMix {
     ///
     /// Panics otherwise.
     pub fn validate(&self) {
-        assert_eq!(
-            self.lookup + self.insert + self.remove,
-            100,
-            "operation mix must sum to 100%"
-        );
+        assert_eq!(self.lookup + self.insert + self.remove, 100, "operation mix must sum to 100%");
     }
 }
 
@@ -150,7 +145,7 @@ pub fn run_set_workload(
                 let mut hits = 0u64;
                 for _ in 0..workload.ops_per_thread {
                     let key = rng.gen_range(0..workload.key_range);
-                    let dice = rng.gen_range(0..100);
+                    let dice = rng.gen_range(0..100u32);
                     if dice < workload.mix.lookup {
                         if set.contains(key) {
                             hits += 1;
@@ -167,11 +162,7 @@ pub fn run_set_workload(
         handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
     });
     let elapsed = start.elapsed();
-    SetOutcome {
-        elapsed,
-        total_ops: (threads * workload.ops_per_thread) as u64,
-        hits,
-    }
+    SetOutcome { elapsed, total_ops: (threads * workload.ops_per_thread) as u64, hits }
 }
 
 /// Cross-checks two set implementations under the same deterministic
@@ -179,8 +170,8 @@ pub fn run_set_workload(
 pub fn sets_agree(a: &dyn ConcurrentSet, b: &dyn ConcurrentSet, ops: usize, seed: u64) -> bool {
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..ops {
-        let key = rng.gen_range(0..256);
-        match rng.gen_range(0..3) {
+        let key = rng.gen_range(0..256i64);
+        match rng.gen_range(0..3u32) {
             0 => {
                 if a.insert(key) != b.insert(key) {
                     return false;

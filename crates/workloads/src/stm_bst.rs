@@ -197,8 +197,6 @@ impl ConcurrentSet for StmBst {
 mod tests {
     use super::*;
     use omt_heap::Heap;
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
 
     fn tree() -> StmBst {
         StmBst::new(Arc::new(Stm::new(Arc::new(Heap::new()))))
@@ -236,9 +234,9 @@ mod tests {
     #[test]
     fn stays_a_search_tree_under_random_ops() {
         let t = tree();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = omt_util::rng::StdRng::seed_from_u64(42);
         let mut keys: Vec<i64> = (0..200).collect();
-        keys.shuffle(&mut rng);
+        rng.shuffle(&mut keys);
         for &k in &keys {
             t.insert(k);
         }

@@ -48,9 +48,10 @@ impl StmHashSet {
     /// Panics if `buckets` is zero or the heap is full.
     pub fn new(stm: Arc<Stm>, buckets: usize) -> StmHashSet {
         assert!(buckets > 0, "need at least one bucket");
-        let bucket_class = stm
-            .heap()
-            .define_class(ClassDesc::new("HashBucket", vec![FieldDesc::new("head", FieldMut::Var)]));
+        let bucket_class = stm.heap().define_class(ClassDesc::new(
+            "HashBucket",
+            vec![FieldDesc::new("head", FieldMut::Var)],
+        ));
         let node_class = stm.heap().define_class(ClassDesc::new(
             "HashNode",
             vec![FieldDesc::new("key", FieldMut::Val), FieldDesc::new("next", FieldMut::Var)],

@@ -56,10 +56,7 @@ impl StmSortedList {
     pub fn new(stm: Arc<Stm>) -> StmSortedList {
         let node_class = stm.heap().define_class(ClassDesc::new(
             "ListNode",
-            vec![
-                FieldDesc::new("key", FieldMut::Val),
-                FieldDesc::new("next", FieldMut::Var),
-            ],
+            vec![FieldDesc::new("key", FieldMut::Val), FieldDesc::new("next", FieldMut::Var)],
         ));
         let head = stm.heap().alloc(node_class).expect("heap full");
         StmSortedList { stm, node_class, head }
@@ -72,11 +69,7 @@ impl StmSortedList {
 
     /// Walks to the first node with key >= `key`.
     /// Returns `(prev, current)`.
-    fn locate(
-        &self,
-        tx: &mut Transaction<'_>,
-        key: i64,
-    ) -> TxResult<(ObjRef, Option<ObjRef>)> {
+    fn locate(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<(ObjRef, Option<ObjRef>)> {
         let mut prev = self.head;
         let mut current = tx.read(prev, NEXT)?.as_ref();
         while let Some(node) = current {

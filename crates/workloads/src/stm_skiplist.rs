@@ -8,7 +8,6 @@ use std::sync::Arc;
 
 use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, ObjRef, Word};
 use omt_stm::{Stm, Transaction, TxResult};
-use rand::Rng;
 
 use crate::set::ConcurrentSet;
 
@@ -50,10 +49,8 @@ impl StmSkipList {
     ///
     /// Panics if the heap is full.
     pub fn new(stm: Arc<Stm>) -> StmSkipList {
-        let mut fields = vec![
-            FieldDesc::new("key", FieldMut::Val),
-            FieldDesc::new("level", FieldMut::Val),
-        ];
+        let mut fields =
+            vec![FieldDesc::new("key", FieldMut::Val), FieldDesc::new("level", FieldMut::Val)];
         for i in 0..MAX_LEVEL {
             fields.push(FieldDesc::new(format!("next{i}"), FieldMut::Var));
         }
@@ -101,7 +98,7 @@ impl StmSkipList {
 
     fn random_level() -> usize {
         let mut level = 1;
-        let mut rng = rand::thread_rng();
+        let mut rng = omt_util::rng::thread_rng();
         while level < MAX_LEVEL && rng.gen_bool(0.5) {
             level += 1;
         }

@@ -13,8 +13,7 @@ use std::time::{Duration, Instant};
 
 use omt_heap::{ClassDesc, ObjRef, Word};
 use omt_stm::{Stm, TxError, TxResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use omt_util::rng::StdRng;
 
 use crate::stm_bst::StmBst;
 
@@ -80,25 +79,17 @@ impl TravelSystem {
     pub fn new(stm: Arc<Stm>, resources_per_kind: usize, customers: usize) -> TravelSystem {
         let customer_class =
             stm.heap().define_class(ClassDesc::with_var_fields("Customer", &["trips"]));
-        let available = [
-            StmBst::new(stm.clone()),
-            StmBst::new(stm.clone()),
-            StmBst::new(stm.clone()),
-        ];
-        let booked = [
-            StmBst::new(stm.clone()),
-            StmBst::new(stm.clone()),
-            StmBst::new(stm.clone()),
-        ];
+        let available =
+            [StmBst::new(stm.clone()), StmBst::new(stm.clone()), StmBst::new(stm.clone())];
+        let booked = [StmBst::new(stm.clone()), StmBst::new(stm.clone()), StmBst::new(stm.clone())];
         for tree in &available {
             for id in 0..resources_per_kind {
                 use crate::set::ConcurrentSet;
                 tree.insert(id as i64);
             }
         }
-        let customers = (0..customers)
-            .map(|_| stm.heap().alloc(customer_class).expect("heap full"))
-            .collect();
+        let customers =
+            (0..customers).map(|_| stm.heap().alloc(customer_class).expect("heap full")).collect();
         TravelSystem { stm, available, booked, customers, resources_per_kind }
     }
 

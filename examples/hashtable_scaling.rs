@@ -12,7 +12,7 @@ use std::sync::Arc;
 use omt::heap::Heap;
 use omt::stm::Stm;
 use omt::workloads::{
-    prefill, run_set_workload, ConcurrentSet, CoarseStdSet, HandOverHandList, SetWorkload,
+    prefill, run_set_workload, CoarseStdSet, ConcurrentSet, HandOverHandList, SetWorkload,
     StmHashSet, StmSortedList, StripedHashSet,
 };
 

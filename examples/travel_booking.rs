@@ -30,8 +30,5 @@ fn main() {
 
     let stats = stm.stats();
     println!("\nstm: {stats}");
-    println!(
-        "read filter saved {} log entries across the tree walks",
-        stats.read_filtered
-    );
+    println!("read filter saved {} log entries across the tree walks", stats.read_filtered);
 }

@@ -9,6 +9,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`util`] | `omt-util` | dependency-free PRNG + sync substrate |
 //! | [`heap`] | `omt-heap` | managed object heap + mark-sweep GC substrate |
 //! | [`stm`] | `omt-stm` | the direct-access STM (core contribution) |
 //! | [`baselines`] | `omt-baselines` | coarse lock, 2PL, TL2-style buffered STM |
@@ -79,5 +80,6 @@ pub use omt_ir as ir;
 pub use omt_lang as lang;
 pub use omt_opt as opt;
 pub use omt_stm as stm;
+pub use omt_util as util;
 pub use omt_vm as vm;
 pub use omt_workloads as workloads;

@@ -72,13 +72,11 @@ fn collection_between_vm_runs_keeps_program_data_alive() {
 
     let head = vm.run("build", &[Word::from_scalar(500)]).unwrap().unwrap();
     // Garbage: an unreachable second list.
-    vm.run("build", &[Word::from_scalar (300)]).unwrap();
+    vm.run("build", &[Word::from_scalar(300)]).unwrap();
 
     let stm = backend.as_stm().unwrap();
-    let outcome = heap.collect(
-        &RootSet::from(vec![head.as_ref().unwrap()]),
-        &[stm.gc_participant()],
-    );
+    let outcome =
+        heap.collect(&RootSet::from(vec![head.as_ref().unwrap()]), &[stm.gc_participant()]);
     assert_eq!(outcome.swept, 300);
 
     // The kept list is fully intact.

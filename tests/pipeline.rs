@@ -183,9 +183,6 @@ fn front_end_rejects_bad_programs_with_useful_messages() {
     ];
     for (src, needle) in cases {
         let err = compile(src, OptLevel::O2).expect_err("must be rejected");
-        assert!(
-            err.to_string().contains(needle),
-            "missing `{needle}` in: {err}"
-        );
+        assert!(err.to_string().contains(needle), "missing `{needle}` in: {err}");
     }
 }

@@ -1,13 +1,17 @@
-//! Property-based tests: the STM against a sequential model, encodings
+//! Property-style tests: the STM against a sequential model, encodings
 //! against round-trips, and the optimizer against an interpreter
 //! oracle.
+//!
+//! Cases are generated from an explicitly seeded deterministic RNG
+//! (`omt_util::rng::StdRng`) with bounded case counts, so every CI run
+//! exercises exactly the same inputs. Each assertion carries the case
+//! seed so a failure is reproducible by construction.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use omt::heap::{ClassDesc, Heap, ObjRef, Word};
+use omt::util::rng::StdRng;
 
 /// Savepoint paired with the model state it captured.
 type SavedState = (omt::stm::Savepoint, HashMap<(usize, usize), i64>);
@@ -23,26 +27,32 @@ enum TxOp {
     RollbackToLastSavepoint,
 }
 
-fn tx_op() -> impl Strategy<Value = TxOp> {
-    prop_oneof![
-        (0..8usize, 0..2usize).prop_map(|(obj, field)| TxOp::Read { obj, field }),
-        (0..8usize, 0..2usize, -1000i64..1000).prop_map(|(obj, field, value)| TxOp::Write {
-            obj,
-            field,
-            value
-        }),
-        Just(TxOp::Savepoint),
-        Just(TxOp::RollbackToLastSavepoint),
-    ]
+fn random_tx_op(rng: &mut StdRng) -> TxOp {
+    match rng.gen_range(0..4u32) {
+        0 => TxOp::Read { obj: rng.gen_range(0..8usize), field: rng.gen_range(0..2usize) },
+        1 => TxOp::Write {
+            obj: rng.gen_range(0..8usize),
+            field: rng.gen_range(0..2usize),
+            value: rng.gen_range(-1000..1000i64),
+        },
+        2 => TxOp::Savepoint,
+        _ => TxOp::RollbackToLastSavepoint,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A single-threaded transaction with savepoints and a final
+/// commit-or-abort behaves exactly like a HashMap model.
+#[test]
+fn stm_matches_model() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0x57A7_E000 + case);
+        let ops: Vec<TxOp> = {
+            let n = rng.gen_range(0..60usize);
+            (0..n).map(|_| random_tx_op(&mut rng)).collect()
+        };
+        let commit = rng.gen_bool(0.5);
+        let filter = rng.gen_bool(0.5);
 
-    /// A single-threaded transaction with savepoints and a final
-    /// commit-or-abort behaves exactly like a HashMap model.
-    #[test]
-    fn stm_matches_model(ops in proptest::collection::vec(tx_op(), 0..60), commit: bool, filter: bool) {
         let heap = Arc::new(Heap::new());
         let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["a", "b"]));
         let stm = Stm::with_config(
@@ -62,7 +72,7 @@ proptest! {
                 TxOp::Read { obj, field } => {
                     let got = tx.read(objs[*obj], *field).unwrap().as_scalar().unwrap();
                     let want = current.get(&(*obj, *field)).copied().unwrap_or(0);
-                    prop_assert_eq!(got, want, "read mismatch");
+                    assert_eq!(got, want, "read mismatch (case {case})");
                 }
                 TxOp::Write { obj, field, value } => {
                     tx.write(objs[*obj], *field, Word::from_scalar(*value)).unwrap();
@@ -70,7 +80,6 @@ proptest! {
                 }
                 TxOp::Savepoint => {
                     saves.push((tx.savepoint(), current.clone()));
-                    // keep types simple: store savepoint alongside model
                 }
                 TxOp::RollbackToLastSavepoint => {
                     if let Some((sp, model)) = saves.pop() {
@@ -90,33 +99,54 @@ proptest! {
             for field in 0..2 {
                 let got = heap.load(*r, field).as_scalar().unwrap();
                 let want = current.get(&(obj, field)).copied().unwrap_or(0);
-                prop_assert_eq!(got, want, "final state mismatch at ({}, {})", obj, field);
+                assert_eq!(got, want, "final state mismatch at ({obj}, {field}), case {case}");
             }
         }
     }
+}
 
-    /// Word encodings round-trip for all scalars in range.
-    #[test]
-    fn word_scalars_round_trip(v in (i64::MIN >> 1)..=(i64::MAX >> 1)) {
-        prop_assert_eq!(Word::from_scalar(v).as_scalar(), Some(v));
-        prop_assert_eq!(Word::from_bits(Word::from_scalar(v).to_bits()).as_scalar(), Some(v));
+/// Word encodings round-trip for all scalars in range.
+#[test]
+fn word_scalars_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x1207D);
+    let check = |v: i64| {
+        assert_eq!(Word::from_scalar(v).as_scalar(), Some(v));
+        assert_eq!(Word::from_bits(Word::from_scalar(v).to_bits()).as_scalar(), Some(v));
+    };
+    for boundary in [0, 1, -1, i64::MIN >> 1, i64::MAX >> 1] {
+        check(boundary);
     }
+    for _ in 0..512 {
+        check(rng.gen_range((i64::MIN >> 1)..=(i64::MAX >> 1)));
+    }
+}
 
-    /// Sequences of set operations on the STM hash set match a model
-    /// `BTreeSet` (single-threaded linearizability baseline).
-    #[test]
-    fn hash_set_matches_btreeset(ops in proptest::collection::vec((0..3u8, 0..64i64), 0..200)) {
-        use omt::workloads::{ConcurrentSet, StmHashSet};
+/// Sequences of set operations on the STM hash set match a model
+/// `BTreeSet` (single-threaded linearizability baseline).
+#[test]
+fn hash_set_matches_btreeset() {
+    use omt::workloads::{ConcurrentSet, StmHashSet};
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E7_5E7 + case);
         let set = StmHashSet::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 8);
         let mut model = std::collections::BTreeSet::new();
-        for (op, key) in ops {
+        let n = rng.gen_range(0..200usize);
+        for _ in 0..n {
+            let op = rng.gen_range(0..3u8);
+            let key = rng.gen_range(0..64i64);
             match op {
-                0 => prop_assert_eq!(set.insert(key), model.insert(key)),
-                1 => prop_assert_eq!(set.remove(key), model.remove(&key)),
-                _ => prop_assert_eq!(set.contains(key), model.contains(&key)),
+                0 => assert_eq!(set.insert(key), model.insert(key), "insert {key}, case {case}"),
+                1 => assert_eq!(set.remove(key), model.remove(&key), "remove {key}, case {case}"),
+                _ => {
+                    assert_eq!(
+                        set.contains(key),
+                        model.contains(&key),
+                        "contains {key}, case {case}"
+                    )
+                }
             }
         }
-        prop_assert_eq!(set.len(), model.len());
+        assert_eq!(set.len(), model.len(), "length mismatch, case {case}");
     }
 }
 
@@ -133,10 +163,14 @@ struct ProgramShape {
     branch_on: u8,
 }
 
-fn program_shape() -> impl Strategy<Value = ProgramShape> {
-    (-50i64..50, -50i64..50, 0u8..6, any::<bool>(), 0u8..3).prop_map(
-        |(a, b, loops, use_mul, branch_on)| ProgramShape { a, b, loops, use_mul, branch_on },
-    )
+fn random_shape(rng: &mut StdRng) -> ProgramShape {
+    ProgramShape {
+        a: rng.gen_range(-50..50i64),
+        b: rng.gen_range(-50..50i64),
+        loops: rng.gen_range(0..6u8),
+        use_mul: rng.gen_bool(0.5),
+        branch_on: rng.gen_range(0..3u8),
+    }
 }
 
 fn render(shape: &ProgramShape) -> String {
@@ -169,11 +203,11 @@ fn render(shape: &ProgramShape) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn optimizer_preserves_semantics(shape in program_shape()) {
+#[test]
+fn optimizer_preserves_semantics() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x0971_3173 + case);
+        let shape = random_shape(&mut rng);
         let src = render(&shape);
         let mut results = Vec::new();
         for level in [OptLevel::O0, OptLevel::O2, OptLevel::O4] {
@@ -183,7 +217,7 @@ proptest! {
             let vm = Vm::new(Arc::new(ir), heap, backend);
             results.push(vm.run("main", &[]).unwrap().unwrap().as_scalar().unwrap());
         }
-        prop_assert_eq!(results[0], results[1], "O2 diverged on {}", src);
-        prop_assert_eq!(results[0], results[2], "O4 diverged on {}", src);
+        assert_eq!(results[0], results[1], "O2 diverged (case {case}) on {src}");
+        assert_eq!(results[0], results[2], "O4 diverged (case {case}) on {src}");
     }
 }

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use omt::heap::Heap;
 use omt::stm::{Stm, StmConfig};
 use omt::workloads::{
-    prefill, run_set_workload, sets_agree, Bank, ConcurrentSet, CoarseStdSet, LockBank,
-    OpMix, SetWorkload, StmBank, StmBst, StmHashSet, StmSkipList, StmSortedList,
+    prefill, run_set_workload, sets_agree, Bank, CoarseStdSet, ConcurrentSet, LockBank, OpMix,
+    SetWorkload, StmBank, StmBst, StmHashSet, StmSkipList, StmSortedList,
 };
 
 fn fresh_stm() -> Arc<Stm> {
