@@ -5,8 +5,13 @@
 //!
 //! `--full` uses the larger sizes recorded in EXPERIMENTS.md; the
 //! default quick sizes finish in well under a minute per experiment.
+//!
+//! `--experiment e2` (and `e3`, and `all`) additionally runs the
+//! measured scalability sweep and writes the machine-readable report
+//! `BENCH_e2_scalability.json` at the repository root.
 
 use omt_bench::experiments::{self, Scale};
+use omt_bench::scalability;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,10 +37,14 @@ fn main() {
     println!("# host: {} core(s)", std::thread::available_parallelism().map_or(1, |n| n.get()));
     match experiment.as_str() {
         "e1" => experiments::e1_overhead(scale),
-        "e2" => experiments::e2_hashtable(scale),
+        "e2" => {
+            experiments::e2_hashtable(scale);
+            run_scalability_sweep(scale);
+        }
         "e3" => {
             experiments::e3_structures(scale);
             experiments::e3d_travel(scale);
+            run_scalability_sweep(scale);
         }
         "e4" => experiments::e4_barrier_counts(scale),
         "e5" => experiments::e5_filter(scale),
@@ -46,8 +55,26 @@ fn main() {
             experiments::e8c_metadata_placement(scale);
         }
         "e9" => experiments::e9_sandbox_overflow(scale),
-        "all" => experiments::run_all(scale),
+        "all" => {
+            experiments::run_all(scale);
+            run_scalability_sweep(scale);
+        }
         other => usage(&format!("unknown experiment `{other}`")),
+    }
+}
+
+/// Runs the measured threads × workload × implementation sweep, prints
+/// its tables, and writes the validated JSON report.
+fn run_scalability_sweep(scale: Scale) {
+    let report = scalability::run_scalability(scale);
+    report.print_tables();
+    let path = scalability::default_output_path();
+    match scalability::write_report(&report, &path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }
 

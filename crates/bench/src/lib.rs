@@ -15,4 +15,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod programs;
+pub mod scalability;

@@ -1,0 +1,426 @@
+//! The measured E2/E3 scalability harness.
+//!
+//! Sweeps threads × workload × implementation and reports throughput in
+//! two forms: human-readable tables (like the other experiments) and a
+//! machine-readable JSON report, `BENCH_e2_scalability.json` at the
+//! repository root, whose schema is validated by [`validate_report`]
+//! (exercised by CI's bench smoke job).
+//!
+//! Each workload pits the direct-access STM against the two anchors of
+//! the locking spectrum: a single coarse lock (cannot scale by
+//! construction) and the hand-crafted fine-grained protocol the paper
+//! competes with. STM instances run with statistics recording disabled
+//! ([`omt_stm::StmConfig::record_stats`]) so the sweep measures the
+//! runtime's hot path, not its accounting.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use omt_heap::Heap;
+use omt_stm::{Stm, StmConfig};
+use omt_workloads::{
+    prefill, run_bank_workload, run_counter_throughput, run_set_workload, CoarseBank,
+    CoarseCounterArray, CoarseStdSet, CounterArray, HandOverHandList, LockBank, OpMix, SetWorkload,
+    StmBank, StmHashSet, StmSkipList, StripedCounterArray, StripedHashSet,
+};
+
+use crate::experiments::Scale;
+use crate::harness::Table;
+use crate::json::Json;
+
+/// Workloads swept, in report order.
+pub const WORKLOADS: [&str; 4] = ["counter", "bank", "stm_hash", "stm_skiplist"];
+
+/// Implementations compared per workload, in report order.
+pub const IMPLS: [&str; 3] = ["stm", "coarse", "fine"];
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchPoint {
+    /// Workload name (one of [`WORKLOADS`]).
+    pub workload: &'static str,
+    /// Implementation name (one of [`IMPLS`]).
+    pub impl_name: &'static str,
+    /// Threads driving the workload.
+    pub threads: usize,
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl BenchPoint {
+    /// Operations per second.
+    pub fn ops_per_second(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct ScalabilityReport {
+    /// `"quick"` or `"full"`.
+    pub mode: &'static str,
+    /// Thread counts swept.
+    pub threads: Vec<usize>,
+    /// One point per thread count × workload × implementation.
+    pub points: Vec<BenchPoint>,
+}
+
+/// An STM configured for throughput measurement: identical to the
+/// default except statistics recording is off.
+fn throughput_stm() -> Arc<Stm> {
+    Arc::new(Stm::with_config(
+        Arc::new(Heap::new()),
+        StmConfig { record_stats: false, ..StmConfig::default() },
+    ))
+}
+
+/// Runs the sweep at the given scale.
+pub fn run_scalability(scale: Scale) -> ScalabilityReport {
+    let mut points = Vec::new();
+    for &threads in scale.threads {
+        points.extend(counter_points(scale, threads));
+        points.extend(bank_points(scale, threads));
+        points.extend(set_points(scale, threads, "stm_hash"));
+        points.extend(set_points(scale, threads, "stm_skiplist"));
+    }
+    ScalabilityReport {
+        mode: if scale == Scale::FULL { "full" } else { "quick" },
+        threads: scale.threads.to_vec(),
+        points,
+    }
+}
+
+fn counter_points(scale: Scale, threads: usize) -> Vec<BenchPoint> {
+    const CELLS: usize = 256;
+    let ops_per_thread = 4_000 * scale.factor as usize;
+    let ops = (threads * ops_per_thread) as u64;
+    let point =
+        |impl_name, elapsed| BenchPoint { workload: "counter", impl_name, threads, ops, elapsed };
+    let stm = CounterArray::new(throughput_stm(), CELLS);
+    let coarse = CoarseCounterArray::new(CELLS);
+    let fine = StripedCounterArray::new(CELLS);
+    vec![
+        point("stm", run_counter_throughput(&stm, threads, ops_per_thread, 61)),
+        point("coarse", run_counter_throughput(&coarse, threads, ops_per_thread, 61)),
+        point("fine", run_counter_throughput(&fine, threads, ops_per_thread, 61)),
+    ]
+}
+
+fn bank_points(scale: Scale, threads: usize) -> Vec<BenchPoint> {
+    const ACCOUNTS: usize = 64;
+    let transfers_per_thread = 2_000 * scale.factor as usize;
+    let point = |impl_name, outcome: omt_workloads::BankOutcome| BenchPoint {
+        workload: "bank",
+        impl_name,
+        threads,
+        ops: outcome.transfers,
+        elapsed: outcome.elapsed,
+    };
+    let stm = StmBank::new(throughput_stm(), ACCOUNTS, 1_000);
+    let coarse = CoarseBank::new(ACCOUNTS, 1_000);
+    let fine = LockBank::new(ACCOUNTS, 1_000);
+    vec![
+        point("stm", run_bank_workload(&stm, threads, transfers_per_thread, None, 67)),
+        point("coarse", run_bank_workload(&coarse, threads, transfers_per_thread, None, 67)),
+        point("fine", run_bank_workload(&fine, threads, transfers_per_thread, None, 67)),
+    ]
+}
+
+fn set_points(scale: Scale, threads: usize, workload_name: &'static str) -> Vec<BenchPoint> {
+    let workload = match workload_name {
+        "stm_hash" => SetWorkload {
+            initial_size: 256,
+            key_range: 1024,
+            mix: OpMix::READ_HEAVY,
+            ops_per_thread: 2_000 * scale.factor as usize,
+            seed: 71,
+        },
+        "stm_skiplist" => SetWorkload {
+            initial_size: 128,
+            key_range: 512,
+            mix: OpMix::READ_HEAVY,
+            ops_per_thread: 1_000 * scale.factor as usize,
+            seed: 73,
+        },
+        other => unreachable!("unknown set workload {other}"),
+    };
+    let point = |impl_name, outcome: omt_workloads::SetOutcome| BenchPoint {
+        workload: workload_name,
+        impl_name,
+        threads,
+        ops: outcome.total_ops,
+        elapsed: outcome.elapsed,
+    };
+    let mut points = Vec::with_capacity(IMPLS.len());
+    // Fresh structures per point so earlier sweep cells cannot skew
+    // later ones through size drift.
+    if workload_name == "stm_hash" {
+        let stm = StmHashSet::new(throughput_stm(), 64);
+        prefill(&stm, &workload);
+        points.push(point("stm", run_set_workload(&stm, &workload, threads)));
+    } else {
+        let stm = StmSkipList::new(throughput_stm());
+        prefill(&stm, &workload);
+        points.push(point("stm", run_set_workload(&stm, &workload, threads)));
+    }
+    let coarse = CoarseStdSet::new();
+    prefill(&coarse, &workload);
+    points.push(point("coarse", run_set_workload(&coarse, &workload, threads)));
+    if workload_name == "stm_hash" {
+        let fine = StripedHashSet::new(64);
+        prefill(&fine, &workload);
+        points.push(point("fine", run_set_workload(&fine, &workload, threads)));
+    } else {
+        let fine = HandOverHandList::new();
+        prefill(&fine, &workload);
+        points.push(point("fine", run_set_workload(&fine, &workload, threads)));
+    }
+    points
+}
+
+impl ScalabilityReport {
+    /// Looks up one cell of the sweep.
+    pub fn point(&self, workload: &str, impl_name: &str, threads: usize) -> Option<&BenchPoint> {
+        self.points
+            .iter()
+            .find(|p| p.workload == workload && p.impl_name == impl_name && p.threads == threads)
+    }
+
+    /// Renders one throughput table per workload.
+    pub fn print_tables(&self) {
+        for workload in WORKLOADS {
+            let mut headers: Vec<&'static str> = vec!["impl"];
+            for &t in &self.threads {
+                headers.push(Box::leak(format!("{t} thr (ops/s)").into_boxed_str()));
+            }
+            let mut table = Table::new(format!("E2/E3 scalability: {workload} ops/s"), &headers);
+            for impl_name in IMPLS {
+                let mut cells = vec![impl_name.to_string()];
+                for &t in &self.threads {
+                    let p = self.point(workload, impl_name, t).expect("complete sweep");
+                    cells.push(format!("{:.0}", p.ops_per_second()));
+                }
+                table.row(cells);
+            }
+            table.print();
+        }
+    }
+
+    /// The machine-readable form (schema checked by
+    /// [`validate_report`]).
+    pub fn to_json(&self) -> Json {
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("e2_scalability".into())),
+            ("mode".into(), Json::Str(self.mode.into())),
+            ("host_cores".into(), Json::Num(host_cores as f64)),
+            (
+                "threads".into(),
+                Json::Arr(self.threads.iter().map(|&t| Json::Num(t as f64)).collect()),
+            ),
+            (
+                "workloads".into(),
+                Json::Arr(WORKLOADS.iter().map(|w| Json::Str((*w).into())).collect()),
+            ),
+            ("impls".into(), Json::Arr(IMPLS.iter().map(|i| Json::Str((*i).into())).collect())),
+            (
+                "points".into(),
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::Str(p.workload.into())),
+                                ("impl".into(), Json::Str(p.impl_name.into())),
+                                ("threads".into(), Json::Num(p.threads as f64)),
+                                ("ops".into(), Json::Num(p.ops as f64)),
+                                ("elapsed_ms".into(), Json::Num(p.elapsed.as_secs_f64() * 1_000.0)),
+                                ("ops_per_second".into(), Json::Num(p.ops_per_second())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Checks that `json` is a well-formed scalability report: required
+/// keys, correct types, and a complete threads × workloads × impls
+/// cross product with positive throughput in every cell.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_report(json: &Json) -> Result<(), String> {
+    let experiment = json.get("experiment").and_then(Json::as_str).ok_or("missing `experiment`")?;
+    if experiment != "e2_scalability" {
+        return Err(format!("unexpected experiment `{experiment}`"));
+    }
+    let mode = json.get("mode").and_then(Json::as_str).ok_or("missing `mode`")?;
+    if mode != "quick" && mode != "full" {
+        return Err(format!("mode must be quick|full, got `{mode}`"));
+    }
+    json.get("host_cores")
+        .and_then(Json::as_f64)
+        .filter(|&n| n >= 1.0)
+        .ok_or("missing or non-positive `host_cores`")?;
+
+    let threads: Vec<usize> = json
+        .get("threads")
+        .and_then(Json::as_array)
+        .ok_or("missing `threads`")?
+        .iter()
+        .map(|t| t.as_f64().filter(|&n| n >= 1.0).map(|n| n as usize))
+        .collect::<Option<_>>()
+        .ok_or("`threads` must be positive numbers")?;
+    if threads.is_empty() {
+        return Err("`threads` is empty".into());
+    }
+    let workloads: Vec<&str> = json
+        .get("workloads")
+        .and_then(Json::as_array)
+        .ok_or("missing `workloads`")?
+        .iter()
+        .map(|w| w.as_str())
+        .collect::<Option<_>>()
+        .ok_or("`workloads` must be strings")?;
+    if workloads.len() < 3 {
+        return Err(format!("need >= 3 workloads, got {}", workloads.len()));
+    }
+    let impls: Vec<&str> = json
+        .get("impls")
+        .and_then(Json::as_array)
+        .ok_or("missing `impls`")?
+        .iter()
+        .map(|i| i.as_str())
+        .collect::<Option<_>>()
+        .ok_or("`impls` must be strings")?;
+    for required in IMPLS {
+        if !impls.contains(&required) {
+            return Err(format!("missing impl `{required}`"));
+        }
+    }
+
+    let points = json.get("points").and_then(Json::as_array).ok_or("missing `points`")?;
+    let expected = threads.len() * workloads.len() * impls.len();
+    if points.len() != expected {
+        return Err(format!("expected {expected} points, got {}", points.len()));
+    }
+    let mut combos = Vec::with_capacity(expected);
+    for &t in &threads {
+        for &workload in &workloads {
+            for &impl_name in &impls {
+                combos.push((workload, impl_name, t));
+            }
+        }
+    }
+    for (workload, impl_name, t) in combos {
+        let point = points
+            .iter()
+            .find(|p| {
+                p.get("workload").and_then(Json::as_str) == Some(workload)
+                    && p.get("impl").and_then(Json::as_str) == Some(impl_name)
+                    && p.get("threads").and_then(Json::as_f64) == Some(t as f64)
+            })
+            .ok_or(format!("missing point {workload}/{impl_name}/{t}"))?;
+        point
+            .get("ops")
+            .and_then(Json::as_f64)
+            .filter(|&n| n >= 1.0)
+            .ok_or(format!("{workload}/{impl_name}/{t}: bad `ops`"))?;
+        point
+            .get("elapsed_ms")
+            .and_then(Json::as_f64)
+            .filter(|&n| n > 0.0)
+            .ok_or(format!("{workload}/{impl_name}/{t}: bad `elapsed_ms`"))?;
+        point
+            .get("ops_per_second")
+            .and_then(Json::as_f64)
+            .filter(|&n| n > 0.0)
+            .ok_or(format!("{workload}/{impl_name}/{t}: bad `ops_per_second`"))?;
+    }
+    Ok(())
+}
+
+/// Where the report is written: `BENCH_e2_scalability.json` at the
+/// repository root (found by walking up from the working directory),
+/// or the working directory itself outside a checkout.
+pub fn default_output_path() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &cwd;
+    loop {
+        if dir.join(".git").exists() {
+            return dir.join("BENCH_e2_scalability.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join("BENCH_e2_scalability.json"),
+        }
+    }
+}
+
+/// Serializes the report, re-parses it, validates the schema, and
+/// writes it to `path`.
+///
+/// # Errors
+///
+/// I/O failure writing the file.
+///
+/// # Panics
+///
+/// Panics if the emitted report fails its own schema validation (a
+/// harness bug, not an environment problem).
+pub fn write_report(report: &ScalabilityReport, path: &Path) -> std::io::Result<()> {
+    let json = report.to_json();
+    let text = json.to_string();
+    let reparsed = crate::json::parse(&text).expect("emitter produced valid JSON");
+    validate_report(&reparsed).expect("emitted report matches schema");
+    std::fs::write(path, text + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: Scale = Scale { factor: 1, threads: &[1, 2] };
+
+    #[test]
+    fn sweep_covers_the_cross_product_and_validates() {
+        let report = run_scalability(TINY);
+        assert_eq!(report.points.len(), 2 * WORKLOADS.len() * IMPLS.len());
+        let json = report.to_json();
+        let reparsed = crate::json::parse(&json.to_string()).unwrap();
+        validate_report(&reparsed).unwrap();
+        report.print_tables();
+    }
+
+    #[test]
+    fn validation_rejects_missing_points() {
+        let report = run_scalability(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        for (key, value) in &mut members {
+            if key == "points" {
+                let Json::Arr(points) = value else { panic!("array") };
+                points.pop();
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("points"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_experiment() {
+        let json = crate::json::parse("{\"experiment\": \"e1\"}").unwrap();
+        assert!(validate_report(&json).is_err());
+    }
+
+    #[test]
+    fn output_path_lands_at_a_repo_root_when_inside_one() {
+        let path = default_output_path();
+        assert!(path.ends_with("BENCH_e2_scalability.json"));
+    }
+}

@@ -58,6 +58,11 @@ pub struct StmConfig {
     /// before giving up and aborting itself. Keeps priority policies
     /// deadlock-free even if the victim is descheduled.
     pub doom_wait_spins: u32,
+    /// Record runtime statistics ([`crate::StmStats`]). Counters are
+    /// sharded so recording is cheap even under contention; disabling
+    /// them reduces every record to a single branch, for throughput
+    /// benchmarks that want the runtime alone on the hot path.
+    pub record_stats: bool,
 }
 
 impl Default for StmConfig {
@@ -73,6 +78,7 @@ impl Default for StmConfig {
             backoff_cap_log2: 12,
             backoff_yield_after: 8,
             doom_wait_spins: 4096,
+            record_stats: true,
         }
     }
 }
@@ -138,6 +144,7 @@ mod tests {
         let c = StmConfig::default();
         c.validate();
         assert!(c.runtime_filter);
+        assert!(c.record_stats, "stats recording defaults on");
         assert_eq!(c.max_version(), (1 << 62) - 1);
         assert_eq!(c.serial_after_aborts, Some(32));
     }

@@ -10,6 +10,14 @@
 //! is always a true duplicate (never suppressing a first-time entry,
 //! which would be unsound), while collisions simply evict the previous
 //! key (allowing an occasional duplicate entry, which is benign).
+//!
+//! [`LogFilter::clear`] is O(1): each slot is stamped with the
+//! generation in which it was written, and clearing just bumps the
+//! current generation — a slot from an older generation reads as empty.
+//! Without this, every transaction start (and every pooled reuse of a
+//! filter) would pay a full-table write. The generation counter is 32
+//! bits; on the (rare) wrap the table is zeroed for real, so a stale
+//! slot can never alias a live generation.
 
 /// What kind of log entry a key guards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +34,11 @@ pub(crate) struct LogFilter {
     /// by *every* key bit, including the kind tag in the high bits).
     shift: u32,
     slots: Box<[u64]>,
+    /// Generation stamp of each slot; a slot counts as occupied only
+    /// when its stamp equals [`LogFilter::generation`].
+    stamps: Box<[u32]>,
+    /// Current generation; never 0 (0 marks never-written slots).
+    generation: u32,
     hits: u64,
     misses: u64,
 }
@@ -34,7 +47,20 @@ impl LogFilter {
     /// Creates a filter with `2^bits` slots.
     pub(crate) fn new(bits: u32) -> LogFilter {
         let len = 1usize << bits;
-        LogFilter { shift: 64 - bits, slots: vec![0; len].into_boxed_slice(), hits: 0, misses: 0 }
+        LogFilter {
+            shift: 64 - bits,
+            slots: vec![0; len].into_boxed_slice(),
+            stamps: vec![0; len].into_boxed_slice(),
+            generation: 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// log2 of the slot count (for pooled reuse: a recycled filter is
+    /// only compatible with the same table size).
+    pub(crate) fn bits(&self) -> u32 {
+        64 - self.shift
     }
 
     fn key(kind: FilterKind, obj_raw: u32, field: u32) -> u64 {
@@ -48,16 +74,17 @@ impl LogFilter {
 
     /// Returns true if `(kind, obj, field)` was already recorded; records
     /// it otherwise.
+    #[inline]
     pub(crate) fn check_and_set(&mut self, kind: FilterKind, obj_raw: u32, field: u32) -> bool {
         let key = Self::key(kind, obj_raw, field);
         // Fibonacci hashing; good dispersion for sequential slot indices.
-        let slot = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift;
-        let cell = &mut self.slots[slot as usize];
-        if *cell == key {
+        let slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+        if self.slots[slot] == key && self.stamps[slot] == self.generation {
             self.hits += 1;
             true
         } else {
-            *cell = key;
+            self.slots[slot] = key;
+            self.stamps[slot] = self.generation;
             self.misses += 1;
             false
         }
@@ -65,8 +92,17 @@ impl LogFilter {
 
     /// Forgets everything (used at transaction start and after partial
     /// rollback, where stale "already logged" claims would be unsound).
+    ///
+    /// O(1): bumps the generation instead of zeroing the table. Only a
+    /// generation wrap (once per 2³²−1 clears) pays a real fill, which
+    /// keeps stale stamps from a previous epoch of the counter from
+    /// masquerading as current.
     pub(crate) fn clear(&mut self) {
-        self.slots.fill(0);
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
     }
 
     /// (hits, misses) since construction.
@@ -113,6 +149,32 @@ mod tests {
         assert!(!f.check_and_set(FilterKind::Read, 7, 0));
         f.clear();
         assert!(!f.check_and_set(FilterKind::Read, 7, 0));
+        assert!(f.check_and_set(FilterKind::Read, 7, 0), "re-recorded after clear");
+    }
+
+    #[test]
+    fn clear_is_generation_bump_not_table_write() {
+        // Many clears interleaved with queries: every generation must be
+        // isolated from every other, even though slots are never zeroed.
+        let mut f = LogFilter::new(6);
+        for round in 0..1_000u32 {
+            assert!(!f.check_and_set(FilterKind::Read, round % 13, 0), "stale slot leaked");
+            assert!(f.check_and_set(FilterKind::Read, round % 13, 0));
+            f.clear();
+        }
+    }
+
+    #[test]
+    fn generation_wrap_zeroes_stamps() {
+        let mut f = LogFilter::new(2);
+        f.check_and_set(FilterKind::Read, 1, 0);
+        // Force the wrap path directly.
+        f.generation = u32::MAX;
+        f.check_and_set(FilterKind::Read, 2, 0);
+        f.clear();
+        assert_eq!(f.generation, 1);
+        assert!(!f.check_and_set(FilterKind::Read, 2, 0), "wrap must empty the table");
+        assert!(!f.check_and_set(FilterKind::Read, 1, 0));
     }
 
     #[test]

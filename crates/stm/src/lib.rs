@@ -61,6 +61,7 @@ mod error;
 pub mod failpoint;
 mod filter;
 mod logs;
+mod pool;
 mod registry;
 mod stats;
 mod stm;

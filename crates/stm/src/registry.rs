@@ -19,6 +19,20 @@
 //!   releases its ownership — exactly what the victim's own rollback
 //!   would have done.
 //!
+//! # Lock striping
+//!
+//! Every transaction registers at begin and unregisters at
+//! commit/abort, so these maps are on the hot path of *all* threads.
+//! The registry is therefore striped: [`REGISTRY_STRIPES`] shards, each
+//! with its own `active` / `ctls` / `orphans` maps and mutexes. A row
+//! lives in the shard selected by its key (serial for `active`, token
+//! for `ctls` and `orphans`); serials and tokens are allocated
+//! sequentially, so concurrent transactions land on different shards
+//! and never contend on registration. The per-map protocols are
+//! unchanged — each operation still locks exactly the one map it needs,
+//! and `ctls`/`orphans` rows for one token share a shard, preserving
+//! the recovery ordering (orphan logs out **before** ctl removal).
+//!
 //! # Stop-the-world contract
 //!
 //! The registry dereferences the raw [`TxLogs`] pointers only from
@@ -26,7 +40,7 @@
 //! documents may run only while all mutators are paused. Outside a
 //! collection the pointers are never touched. (Orphan logs are owned
 //! `Box`es, not raw pointers, and are safe to touch any time under the
-//! registry mutex.)
+//! shard mutex.)
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -40,6 +54,10 @@ use crate::cm::TxCtl;
 use crate::logs::TxLogs;
 use crate::word::{version_bits, TxToken};
 
+/// Number of lock stripes. A power of two; serials/tokens are assigned
+/// sequentially so consecutive transactions hash to distinct stripes.
+const REGISTRY_STRIPES: usize = 16;
+
 /// A registered pointer to a transaction's logs.
 ///
 /// SAFETY invariant: the pointee is a `Box<TxLogs>` owned by a live
@@ -48,12 +66,12 @@ use crate::word::{version_bits, TxToken};
 struct LogsPtr(*mut TxLogs);
 
 // SAFETY: see the struct invariant; access is serialized by the GC's
-// stop-the-world contract plus the registry mutex.
+// stop-the-world contract plus the shard mutex.
 unsafe impl Send for LogsPtr {}
 
-/// Registry of all active transactions of one [`crate::Stm`].
+/// One lock stripe: the slice of each index whose keys hash here.
 #[derive(Default)]
-pub struct TxRegistry {
+struct RegistryShard {
     active: Mutex<HashMap<u64, LogsPtr>>,
     /// Control blocks of in-flight transactions, keyed by token. An
     /// entry outlives its `active` row for killed transactions: it
@@ -62,33 +80,52 @@ pub struct TxRegistry {
     ctls: Mutex<HashMap<TxToken, Arc<TxCtl>>>,
     /// Undo logs of killed transactions, awaiting recovery.
     orphans: Mutex<HashMap<TxToken, Box<TxLogs>>>,
-    stats: std::sync::Arc<crate::stats::StmStats>,
+}
+
+/// Registry of all active transactions of one [`crate::Stm`].
+pub struct TxRegistry {
+    shards: Box<[RegistryShard]>,
+    stats: Arc<crate::stats::StmStats>,
+}
+
+impl Default for TxRegistry {
+    fn default() -> TxRegistry {
+        TxRegistry::new(Default::default())
+    }
 }
 
 impl TxRegistry {
-    pub(crate) fn new(stats: std::sync::Arc<crate::stats::StmStats>) -> TxRegistry {
+    pub(crate) fn new(stats: Arc<crate::stats::StmStats>) -> TxRegistry {
         TxRegistry {
-            active: Mutex::new(HashMap::new()),
-            ctls: Mutex::new(HashMap::new()),
-            orphans: Mutex::new(HashMap::new()),
+            shards: (0..REGISTRY_STRIPES).map(|_| RegistryShard::default()).collect(),
             stats,
         }
     }
 
+    #[inline]
+    fn shard_for_serial(&self, serial: u64) -> &RegistryShard {
+        &self.shards[serial as usize & (REGISTRY_STRIPES - 1)]
+    }
+
+    #[inline]
+    fn shard_for_token(&self, token: TxToken) -> &RegistryShard {
+        &self.shards[token.0 as usize & (REGISTRY_STRIPES - 1)]
+    }
+
     pub(crate) fn register(&self, serial: u64, ctl: Arc<TxCtl>, logs: *mut TxLogs) {
-        self.active.lock().insert(serial, LogsPtr(logs));
-        self.ctls.lock().insert(ctl.token, ctl);
+        self.shard_for_serial(serial).active.lock().insert(serial, LogsPtr(logs));
+        self.shard_for_token(ctl.token).ctls.lock().insert(ctl.token, ctl);
     }
 
     pub(crate) fn unregister(&self, serial: u64, token: TxToken) {
-        self.active.lock().remove(&serial);
-        self.ctls.lock().remove(&token);
+        self.shard_for_serial(serial).active.lock().remove(&serial);
+        self.shard_for_token(token).ctls.lock().remove(&token);
     }
 
     /// Control block of the in-flight (or killed-but-unrecovered)
     /// transaction holding `token`, if any.
     pub(crate) fn ctl_of(&self, token: TxToken) -> Option<Arc<TxCtl>> {
-        self.ctls.lock().get(&token).cloned()
+        self.shard_for_token(token).ctls.lock().get(&token).cloned()
     }
 
     /// Parks a killed transaction's logs for later recovery. The
@@ -96,8 +133,8 @@ impl TxRegistry {
     /// slot to trace) but the control block stays until recovery so
     /// contenders can detect the death.
     pub(crate) fn park_orphan(&self, serial: u64, token: TxToken, logs: Box<TxLogs>) {
-        self.active.lock().remove(&serial);
-        self.orphans.lock().insert(token, logs);
+        self.shard_for_serial(serial).active.lock().remove(&serial);
+        self.shard_for_token(token).orphans.lock().insert(token, logs);
     }
 
     /// Recovers the orphaned transaction holding `token`: replays its
@@ -108,7 +145,8 @@ impl TxRegistry {
     /// Idempotent and race-free: the first caller takes the logs out of
     /// the pool; concurrent callers find nothing and return `false`.
     pub(crate) fn recover(&self, heap: &Heap, token: TxToken) -> bool {
-        let Some(logs) = self.orphans.lock().remove(&token) else {
+        let shard = self.shard_for_token(token);
+        let Some(logs) = shard.orphans.lock().remove(&token) else {
             return false;
         };
         for entry in logs.undo.iter().rev() {
@@ -124,29 +162,33 @@ impl TxRegistry {
         }
         // Only now does the token disappear: contenders that raced with
         // us kept seeing `killed` rather than a stale "still running".
-        self.ctls.lock().remove(&token);
-        self.stats.orphans_recovered.fetch_add(1, Ordering::Relaxed);
+        shard.ctls.lock().remove(&token);
+        self.stats.add(|c| &c.orphans_recovered, 1);
         true
     }
 
     /// Number of registered (active) transactions.
     pub fn active_count(&self) -> usize {
-        self.active.lock().len()
+        self.shards.iter().map(|s| s.active.lock().len()).sum()
     }
 
     /// Number of killed transactions awaiting recovery.
     pub fn orphan_count(&self) -> usize {
-        self.orphans.lock().len()
+        self.shards.iter().map(|s| s.orphans.lock().len()).sum()
     }
 
     /// Total byte footprint of all registered logs (including orphans).
     ///
     /// Only meaningful while mutators are paused (same contract as GC).
     pub fn total_log_bytes(&self) -> usize {
-        let active = self.active.lock();
-        // SAFETY: stop-the-world contract (see module docs).
-        let live: usize = active.values().map(|p| unsafe { &*p.0 }.byte_size()).sum();
-        live + self.orphans.lock().values().map(|l| l.byte_size()).sum::<usize>()
+        let mut total = 0;
+        for shard in self.shards.iter() {
+            // SAFETY: stop-the-world contract (see module docs).
+            total +=
+                shard.active.lock().values().map(|p| unsafe { &*p.0 }.byte_size()).sum::<usize>();
+            total += shard.orphans.lock().values().map(|l| l.byte_size()).sum::<usize>();
+        }
+        total
     }
 
     /// Total `(read, update, undo)` entry counts across registered logs
@@ -154,20 +196,21 @@ impl TxRegistry {
     ///
     /// Only meaningful while mutators are paused (same contract as GC).
     pub fn total_log_entries(&self) -> (usize, usize, usize) {
-        let active = self.active.lock();
         let mut totals = (0, 0, 0);
-        for p in active.values() {
-            // SAFETY: stop-the-world contract (see module docs).
-            let (r, u, n) = unsafe { &*p.0 }.lens();
-            totals.0 += r;
-            totals.1 += u;
-            totals.2 += n;
-        }
-        for logs in self.orphans.lock().values() {
-            let (r, u, n) = logs.lens();
-            totals.0 += r;
-            totals.1 += u;
-            totals.2 += n;
+        for shard in self.shards.iter() {
+            for p in shard.active.lock().values() {
+                // SAFETY: stop-the-world contract (see module docs).
+                let (r, u, n) = unsafe { &*p.0 }.lens();
+                totals.0 += r;
+                totals.1 += u;
+                totals.2 += n;
+            }
+            for logs in shard.orphans.lock().values() {
+                let (r, u, n) = logs.lens();
+                totals.0 += r;
+                totals.1 += u;
+                totals.2 += n;
+            }
         }
         totals
     }
@@ -175,38 +218,39 @@ impl TxRegistry {
 
 impl GcParticipant for TxRegistry {
     fn trace_roots(&self, mark: &mut dyn FnMut(ObjRef)) {
-        let active = self.active.lock();
-        for p in active.values() {
-            // SAFETY: stop-the-world contract (see module docs).
-            unsafe { &*p.0 }.trace_rollback_roots(mark);
-        }
-        drop(active);
-        // Orphan undo logs are rollback roots too: recovery will write
-        // their old values back into the heap.
-        for logs in self.orphans.lock().values() {
-            logs.trace_rollback_roots(mark);
+        for shard in self.shards.iter() {
+            for p in shard.active.lock().values() {
+                // SAFETY: stop-the-world contract (see module docs).
+                unsafe { &*p.0 }.trace_rollback_roots(mark);
+            }
+            // Orphan undo logs are rollback roots too: recovery will
+            // write their old values back into the heap.
+            for logs in shard.orphans.lock().values() {
+                logs.trace_rollback_roots(mark);
+            }
         }
     }
 
     fn after_sweep(&self, is_live: &dyn Fn(ObjRef) -> bool) {
-        let active = self.active.lock();
         let mut trimmed = 0u64;
-        for p in active.values() {
-            // SAFETY: stop-the-world contract (see module docs); the
-            // mutable access is exclusive because mutators are paused.
-            trimmed += unsafe { &mut *p.0 }.trim(is_live) as u64;
+        for shard in self.shards.iter() {
+            for p in shard.active.lock().values() {
+                // SAFETY: stop-the-world contract (see module docs); the
+                // mutable access is exclusive because mutators are paused.
+                trimmed += unsafe { &mut *p.0 }.trim(is_live) as u64;
+            }
+            for logs in shard.orphans.lock().values_mut() {
+                trimmed += logs.trim(is_live) as u64;
+            }
         }
-        drop(active);
-        for logs in self.orphans.lock().values_mut() {
-            trimmed += logs.trim(is_live) as u64;
-        }
-        self.stats.gc_trimmed_entries.fetch_add(trimmed, Ordering::Relaxed);
+        self.stats.add(|c| &c.gc_trimmed_entries, trimmed);
     }
 }
 
 impl std::fmt::Debug for TxRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TxRegistry")
+            .field("stripes", &self.shards.len())
             .field("active", &self.active_count())
             .field("orphans", &self.orphan_count())
             .finish()
@@ -232,6 +276,44 @@ mod tests {
         registry.unregister(1, TxToken(9));
         assert_eq!(registry.active_count(), 0);
         assert!(registry.ctl_of(TxToken(9)).is_none());
+    }
+
+    #[test]
+    fn rows_spread_across_stripes_but_aggregate_exactly() {
+        // Register transactions whose serials/tokens cover every stripe
+        // (and wrap around); global counts must see all of them.
+        let registry = TxRegistry::new(Default::default());
+        let mut logs: Vec<Box<TxLogs>> =
+            (0..3 * REGISTRY_STRIPES).map(|_| Box::new(TxLogs::new())).collect();
+        for (i, l) in logs.iter_mut().enumerate() {
+            registry.register(i as u64, ctl(i as u32, i as u64), &mut **l);
+        }
+        assert_eq!(registry.active_count(), 3 * REGISTRY_STRIPES);
+        for i in 0..3 * REGISTRY_STRIPES {
+            assert!(registry.ctl_of(TxToken(i as u32)).is_some(), "token {i} lost");
+        }
+        for i in 0..3 * REGISTRY_STRIPES {
+            registry.unregister(i as u64, TxToken(i as u32));
+        }
+        assert_eq!(registry.active_count(), 0);
+    }
+
+    #[test]
+    fn serial_and_token_may_hash_to_different_stripes() {
+        // serial 1 → stripe 1, token 18 → stripe 2: registration rows
+        // split across stripes and both must still resolve and clean up.
+        let registry = TxRegistry::new(Default::default());
+        let mut logs = Box::new(TxLogs::new());
+        registry.register(1, ctl(18, 1), &mut *logs);
+        assert_eq!(registry.active_count(), 1);
+        assert!(registry.ctl_of(TxToken(18)).is_some());
+        registry.park_orphan(1, TxToken(18), logs);
+        assert_eq!(registry.active_count(), 0);
+        assert_eq!(registry.orphan_count(), 1);
+        assert!(registry.ctl_of(TxToken(18)).is_some(), "ctl survives park in its own stripe");
+        assert!(registry.recover(&omt_heap::Heap::new(), TxToken(18)));
+        assert_eq!(registry.orphan_count(), 0);
+        assert!(registry.ctl_of(TxToken(18)).is_none());
     }
 
     #[test]
@@ -286,5 +368,23 @@ mod tests {
         assert_eq!(registry.orphan_count(), 0);
         assert!(registry.ctl_of(token).is_none());
         assert!(!registry.recover(&heap, token), "second recovery is a no-op");
+    }
+
+    #[test]
+    fn orphans_in_distinct_stripes_recover_independently() {
+        let heap = omt_heap::Heap::new();
+        let registry = TxRegistry::new(Default::default());
+        // Two orphans whose tokens land in different stripes.
+        for (serial, token) in [(1u64, TxToken(3)), (2, TxToken(4))] {
+            let mut logs = Box::new(TxLogs::new());
+            registry.register(serial, ctl(token.0, serial), &mut *logs);
+            registry.park_orphan(serial, token, logs);
+        }
+        assert_eq!(registry.orphan_count(), 2);
+        assert!(registry.recover(&heap, TxToken(3)));
+        assert_eq!(registry.orphan_count(), 1, "other stripe's orphan untouched");
+        assert!(registry.ctl_of(TxToken(4)).is_some());
+        assert!(registry.recover(&heap, TxToken(4)));
+        assert_eq!(registry.orphan_count(), 0);
     }
 }

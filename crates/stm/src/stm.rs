@@ -99,7 +99,7 @@ impl Stm {
     /// [`StmConfig::validate`]).
     pub fn with_config(heap: Arc<Heap>, config: StmConfig) -> Stm {
         config.validate();
-        let stats: Arc<StmStats> = Arc::new(StmStats::default());
+        let stats: Arc<StmStats> = Arc::new(StmStats::new(config.record_stats));
         Stm {
             heap,
             config,
@@ -136,7 +136,7 @@ impl Stm {
     }
 
     pub(crate) fn note_failpoint_fire(&self) {
-        self.stats.add(&self.stats.failpoint_fires, 1);
+        self.stats.add(|c| &c.failpoint_fires, 1);
     }
 
     /// The registry of in-flight transactions (also the STM's
@@ -170,7 +170,7 @@ impl Stm {
     }
 
     fn begin_with(&self, seed: Option<&AttemptSeed>) -> Transaction<'_> {
-        self.stats.add(&self.stats.begins, 1);
+        self.stats.add(|c| &c.begins, 1);
         let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
         let token = TxToken(self.next_token.fetch_add(1, Ordering::Relaxed));
         let (priority, karma) = match seed {
@@ -283,7 +283,7 @@ impl Stm {
             self.gate_waiting.fetch_add(1, Ordering::AcqRel);
             let guard = self.gate.write();
             self.gate_waiting.fetch_sub(1, Ordering::AcqRel);
-            self.stats.add(&self.stats.serial_entries, 1);
+            self.stats.add(|c| &c.serial_entries, 1);
             GateGuard::Exclusive(guard)
         } else {
             while self.gate_waiting.load(Ordering::Acquire) > 0 {
@@ -340,25 +340,25 @@ impl Stm {
     pub(crate) fn flush_outcome(&self, outcome: Outcome, counters: &TxCounters) {
         let s = &self.stats;
         match outcome {
-            Outcome::Committed => s.add(&s.commits, 1),
-            Outcome::Aborted(ConflictKind::Busy) => s.add(&s.aborts_busy, 1),
-            Outcome::Aborted(ConflictKind::Invalid) => s.add(&s.aborts_invalid, 1),
-            Outcome::Aborted(ConflictKind::Epoch) => s.add(&s.aborts_epoch, 1),
-            Outcome::Aborted(ConflictKind::Explicit) => s.add(&s.aborts_explicit, 1),
-            Outcome::Aborted(ConflictKind::Doomed) => s.add(&s.aborts_doomed, 1),
-            Outcome::Killed => s.add(&s.txs_killed, 1),
+            Outcome::Committed => s.add(|c| &c.commits, 1),
+            Outcome::Aborted(ConflictKind::Busy) => s.add(|c| &c.aborts_busy, 1),
+            Outcome::Aborted(ConflictKind::Invalid) => s.add(|c| &c.aborts_invalid, 1),
+            Outcome::Aborted(ConflictKind::Epoch) => s.add(|c| &c.aborts_epoch, 1),
+            Outcome::Aborted(ConflictKind::Explicit) => s.add(|c| &c.aborts_explicit, 1),
+            Outcome::Aborted(ConflictKind::Doomed) => s.add(|c| &c.aborts_doomed, 1),
+            Outcome::Killed => s.add(|c| &c.txs_killed, 1),
         }
-        s.add(&s.open_read_ops, counters.open_read_ops);
-        s.add(&s.open_update_ops, counters.open_update_ops);
-        s.add(&s.log_undo_ops, counters.log_undo_ops);
-        s.add(&s.read_entries, counters.read_entries);
-        s.add(&s.read_filtered, counters.read_filtered);
-        s.add(&s.undo_entries, counters.undo_entries);
-        s.add(&s.undo_filtered, counters.undo_filtered);
-        s.add(&s.acquires, counters.acquires);
-        s.add(&s.validations, counters.validations);
-        s.add(&s.mid_validations, counters.mid_validations);
-        s.add(&s.cm_spins, counters.cm_spins);
-        s.add(&s.dooms_issued, counters.dooms);
+        s.add(|c| &c.open_read_ops, counters.open_read_ops);
+        s.add(|c| &c.open_update_ops, counters.open_update_ops);
+        s.add(|c| &c.log_undo_ops, counters.log_undo_ops);
+        s.add(|c| &c.read_entries, counters.read_entries);
+        s.add(|c| &c.read_filtered, counters.read_filtered);
+        s.add(|c| &c.undo_entries, counters.undo_entries);
+        s.add(|c| &c.undo_filtered, counters.undo_filtered);
+        s.add(|c| &c.acquires, counters.acquires);
+        s.add(|c| &c.validations, counters.validations);
+        s.add(|c| &c.mid_validations, counters.mid_validations);
+        s.add(|c| &c.cm_spins, counters.cm_spins);
+        s.add(|c| &c.dooms_issued, counters.dooms);
     }
 }

@@ -26,6 +26,7 @@
 //! back-edges. Native users must tolerate torn-but-typed values (all
 //! heap data is tagged [`Word`]s, so this is safe, never UB).
 
+use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -34,8 +35,9 @@ use omt_heap::{ClassId, ObjRef, Word};
 use crate::cm::{CmDecision, TxCtl};
 use crate::error::{ConflictKind, TxError, TxResult};
 use crate::failpoint::{sites, FailAction};
-use crate::filter::{FilterKind, LogFilter};
+use crate::filter::FilterKind;
 use crate::logs::{ReadEntry, Savepoint, TxLogs, UndoEntry, UpdateEntry};
+use crate::pool::{self, TxCtx};
 use crate::stm::Stm;
 use crate::word::{owned_bits, version_bits, StmWord, TxToken, MAX_UPDATE_ENTRIES};
 
@@ -107,8 +109,10 @@ pub struct Transaction<'stm> {
     token: TxToken,
     epoch: u64,
     ctl: Arc<TxCtl>,
-    logs: Box<TxLogs>,
-    filter: Option<LogFilter>,
+    /// Pooled logs + filter; taken from the thread-local context pool
+    /// at begin and returned in `Drop` (`ManuallyDrop` lets `Drop` move
+    /// it out without a replacement allocation).
+    ctx: ManuallyDrop<TxCtx>,
     counters: TxCounters,
     reads_since_validate: u32,
     state: TxState,
@@ -122,17 +126,15 @@ impl<'stm> Transaction<'stm> {
         epoch: u64,
         ctl: Arc<TxCtl>,
     ) -> Transaction<'stm> {
-        let mut logs = Box::new(TxLogs::new());
-        stm.registry().register(serial, ctl.clone(), &mut *logs);
-        let filter = stm.config().runtime_filter.then(|| LogFilter::new(stm.config().filter_bits));
+        let mut ctx = pool::acquire(stm.config().runtime_filter, stm.config().filter_bits);
+        stm.registry().register(serial, ctl.clone(), &mut *ctx.logs);
         Transaction {
             stm,
             serial,
             token,
             epoch,
             ctl,
-            logs,
-            filter,
+            ctx: ManuallyDrop::new(ctx),
             counters: TxCounters::default(),
             reads_since_validate: 0,
             state: TxState::Active,
@@ -198,7 +200,9 @@ impl<'stm> Transaction<'stm> {
     /// runs recovery.
     fn kill(&mut self) {
         self.state = TxState::Finished;
-        let logs = std::mem::replace(&mut self.logs, Box::new(TxLogs::new()));
+        // Kills are rare (fault injection only), so the replacement
+        // allocation off the pooled fast path is fine.
+        let logs = std::mem::replace(&mut self.ctx.logs, Box::new(TxLogs::new()));
         self.stm.registry().park_orphan(self.serial, self.token, logs);
         // Publish the death only after the logs are recoverable.
         self.ctl.killed.store(true, Ordering::Release);
@@ -212,17 +216,17 @@ impl<'stm> Transaction<'stm> {
 
     /// Number of read-log entries.
     pub fn read_set_size(&self) -> usize {
-        self.logs.read.len()
+        self.ctx.logs.read.len()
     }
 
     /// Number of update-log entries (owned objects).
     pub fn update_set_size(&self) -> usize {
-        self.logs.update.len()
+        self.ctx.logs.update.len()
     }
 
     /// Number of undo-log entries.
     pub fn undo_log_size(&self) -> usize {
-        self.logs.undo.len()
+        self.ctx.logs.undo.len()
     }
 
     fn assert_active(&self) {
@@ -246,13 +250,14 @@ impl<'stm> Transaction<'stm> {
     /// # Panics
     ///
     /// Panics if the transaction already finished.
+    #[inline]
     pub fn open_for_read(&mut self, obj: ObjRef) -> TxResult<()> {
         self.assert_active();
         self.check_doomed()?;
         self.counters.open_read_ops += 1;
         self.ctl.karma.fetch_add(1, Ordering::Relaxed);
 
-        if let Some(filter) = &mut self.filter {
+        if let Some(filter) = &mut self.ctx.filter {
             if filter.check_and_set(FilterKind::Read, obj.to_raw(), 0) {
                 self.counters.read_filtered += 1;
                 return self.tick_read_validation();
@@ -266,7 +271,7 @@ impl<'stm> Transaction<'stm> {
                 return self.tick_read_validation();
             }
         }
-        self.logs.read.push(ReadEntry { obj, observed });
+        self.ctx.logs.read.push(ReadEntry { obj, observed });
         self.counters.read_entries += 1;
         self.tick_read_validation()
     }
@@ -301,6 +306,7 @@ impl<'stm> Transaction<'stm> {
     ///
     /// Panics if the transaction already finished, or if a single
     /// transaction opens more than 2³¹ objects for update.
+    #[inline]
     pub fn open_for_update(&mut self, obj: ObjRef) -> TxResult<()> {
         self.assert_active();
         self.check_doomed()?;
@@ -309,6 +315,9 @@ impl<'stm> Transaction<'stm> {
 
         let header = self.stm.heap().header_atomic(obj);
         let mut spins = 0u32;
+        // First iteration is the version-match fast path: one load, one
+        // CAS, one log push. Contention falls into the `#[cold]`
+        // arbitration routine and comes back around the loop.
         loop {
             let current = header.load(Ordering::Acquire);
             match StmWord::decode(current) {
@@ -317,7 +326,7 @@ impl<'stm> Transaction<'stm> {
                     self.contend(obj, owner, &mut spins)?;
                 }
                 StmWord::Version(v) => {
-                    let entry = self.logs.update.len();
+                    let entry = self.ctx.logs.update.len();
                     assert!(
                         entry <= MAX_UPDATE_ENTRIES as usize,
                         "update log exceeds {MAX_UPDATE_ENTRIES} entries"
@@ -327,7 +336,7 @@ impl<'stm> Transaction<'stm> {
                         .compare_exchange(current, owned, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
-                        self.logs.update.push(UpdateEntry {
+                        self.ctx.logs.update.push(UpdateEntry {
                             obj,
                             original_version: v,
                             dead: false,
@@ -347,6 +356,7 @@ impl<'stm> Transaction<'stm> {
     /// observed owning `obj`. Returns `Ok(())` to make the caller
     /// re-examine the header (the conflict may have evaporated), or an
     /// error to abort this transaction.
+    #[cold]
     fn contend(&mut self, obj: ObjRef, owner: TxToken, spins: &mut u32) -> TxResult<()> {
         // A winner that dooms us mid-wait must be able to proceed, so
         // re-check our own doom flag on every round.
@@ -412,6 +422,7 @@ impl<'stm> Transaction<'stm> {
     ///
     /// Panics if the transaction already finished. In debug builds,
     /// panics if the object is not owned by this transaction.
+    #[inline]
     pub fn log_for_undo(&mut self, obj: ObjRef, field: usize) {
         self.assert_active();
         self.counters.log_undo_ops += 1;
@@ -423,14 +434,14 @@ impl<'stm> Transaction<'stm> {
             "log_for_undo on object not owned by this transaction"
         );
 
-        if let Some(filter) = &mut self.filter {
+        if let Some(filter) = &mut self.ctx.filter {
             if filter.check_and_set(FilterKind::Undo, obj.to_raw(), field as u32) {
                 self.counters.undo_filtered += 1;
                 return;
             }
         }
         let old_bits = self.stm.heap().field_atomic(obj, field).load(Ordering::Relaxed);
-        self.logs.undo.push(UndoEntry { obj, field: field as u32, old_bits });
+        self.ctx.logs.undo.push(UndoEntry { obj, field: field as u32, old_bits });
         self.counters.undo_entries += 1;
     }
 
@@ -457,6 +468,7 @@ impl<'stm> Transaction<'stm> {
     /// # Errors
     ///
     /// See [`Self::open_for_read`].
+    #[inline]
     pub fn read(&mut self, obj: ObjRef, field: usize) -> TxResult<Word> {
         self.open_for_read(obj)?;
         Ok(self.load_direct(obj, field))
@@ -468,6 +480,7 @@ impl<'stm> Transaction<'stm> {
     /// # Errors
     ///
     /// See [`Self::open_for_update`].
+    #[inline]
     pub fn write(&mut self, obj: ObjRef, field: usize, value: Word) -> TxResult<()> {
         self.open_for_update(obj)?;
         self.log_for_undo(obj, field);
@@ -489,7 +502,7 @@ impl<'stm> Transaction<'stm> {
     pub fn alloc(&mut self, class: ClassId) -> TxResult<ObjRef> {
         self.assert_active();
         let obj = self.stm.heap().alloc(class)?;
-        self.logs.allocs.push(obj);
+        self.ctx.logs.allocs.push(obj);
         Ok(obj)
     }
 
@@ -512,7 +525,7 @@ impl<'stm> Transaction<'stm> {
         if self.stm.epoch() != self.epoch {
             return Err(TxError::EPOCH);
         }
-        for entry in &self.logs.read {
+        for entry in &self.ctx.logs.read {
             let current = self.stm.heap().header_atomic(entry.obj).load(Ordering::Acquire);
             let valid = match StmWord::decode(entry.observed) {
                 StmWord::Version(v) => match StmWord::decode(current) {
@@ -520,6 +533,7 @@ impl<'stm> Transaction<'stm> {
                     StmWord::Owned { owner, entry: idx } => {
                         owner == self.token
                             && self
+                                .ctx
                                 .logs
                                 .update
                                 .get(idx as usize)
@@ -569,7 +583,7 @@ impl<'stm> Transaction<'stm> {
         // Release phase: publish every update with a bumped version.
         let max_version = self.stm.config().max_version();
         let mut epoch_bumps = 0u32;
-        for entry in &self.logs.update {
+        for entry in &self.ctx.logs.update {
             if entry.dead {
                 continue;
             }
@@ -628,14 +642,14 @@ impl<'stm> Transaction<'stm> {
         }
         // Replay the undo log in reverse: duplicate entries (filter off)
         // then restore progressively older values, ending at the oldest.
-        for entry in self.logs.undo.iter().rev() {
+        for entry in self.ctx.logs.undo.iter().rev() {
             self.stm
                 .heap()
                 .field_atomic(entry.obj, entry.field as usize)
                 .store(entry.old_bits, Ordering::Relaxed);
         }
         // Release ownership at the original versions.
-        for entry in &self.logs.update {
+        for entry in &self.ctx.logs.update {
             if entry.dead {
                 continue;
             }
@@ -654,10 +668,10 @@ impl<'stm> Transaction<'stm> {
     /// could miss restores.
     pub fn savepoint(&mut self) -> Savepoint {
         self.assert_active();
-        if let Some(filter) = &mut self.filter {
+        if let Some(filter) = &mut self.ctx.filter {
             filter.clear();
         }
-        self.logs.savepoint()
+        self.ctx.logs.savepoint()
     }
 
     /// Rolls back to `sp`: undoes stores, releases ownership acquired,
@@ -670,20 +684,20 @@ impl<'stm> Transaction<'stm> {
     pub fn rollback_to(&mut self, sp: Savepoint) {
         self.assert_active();
         assert!(
-            sp.read_len <= self.logs.read.len()
-                && sp.update_len <= self.logs.update.len()
-                && sp.undo_len <= self.logs.undo.len()
-                && sp.alloc_len <= self.logs.allocs.len(),
+            sp.read_len <= self.ctx.logs.read.len()
+                && sp.update_len <= self.ctx.logs.update.len()
+                && sp.undo_len <= self.ctx.logs.undo.len()
+                && sp.alloc_len <= self.ctx.logs.allocs.len(),
             "savepoint does not match this transaction's logs"
         );
-        for entry in self.logs.undo[sp.undo_len..].iter().rev() {
+        for entry in self.ctx.logs.undo[sp.undo_len..].iter().rev() {
             self.stm
                 .heap()
                 .field_atomic(entry.obj, entry.field as usize)
                 .store(entry.old_bits, Ordering::Relaxed);
         }
-        self.logs.undo.truncate(sp.undo_len);
-        for entry in &self.logs.update[sp.update_len..] {
+        self.ctx.logs.undo.truncate(sp.undo_len);
+        for entry in &self.ctx.logs.update[sp.update_len..] {
             if entry.dead {
                 continue;
             }
@@ -692,11 +706,11 @@ impl<'stm> Transaction<'stm> {
                 .header_atomic(entry.obj)
                 .store(version_bits(entry.original_version), Ordering::Release);
         }
-        self.logs.update.truncate(sp.update_len);
-        self.logs.read.truncate(sp.read_len);
-        self.logs.allocs.truncate(sp.alloc_len);
+        self.ctx.logs.update.truncate(sp.update_len);
+        self.ctx.logs.read.truncate(sp.read_len);
+        self.ctx.logs.allocs.truncate(sp.alloc_len);
         // Stale filter claims would be unsound after truncation.
-        if let Some(filter) = &mut self.filter {
+        if let Some(filter) = &mut self.ctx.filter {
             filter.clear();
         }
     }
@@ -780,7 +794,6 @@ impl<'stm> Transaction<'stm> {
         self.state = TxState::Finished;
         self.stm.registry().unregister(self.serial, self.token);
         self.stm.flush_outcome(outcome, &self.counters);
-        self.logs.clear();
     }
 }
 
@@ -798,5 +811,9 @@ impl Drop for Transaction<'_> {
         if self.state == TxState::Active {
             self.rollback(ConflictKind::Explicit);
         }
+        // Recycle the logs + filter through the thread-local pool so the
+        // next transaction on this thread starts without allocating.
+        let ctx = unsafe { ManuallyDrop::take(&mut self.ctx) };
+        pool::release(ctx);
     }
 }

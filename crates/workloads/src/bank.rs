@@ -94,6 +94,37 @@ impl Bank for StmBank {
     }
 }
 
+/// Coarse-grained lock-based accounts: one mutex over the whole ledger.
+/// Trivially correct and trivially serial — the lower anchor of the
+/// scalability comparison.
+#[derive(Debug)]
+pub struct CoarseBank {
+    accounts: Mutex<Vec<i64>>,
+}
+
+impl CoarseBank {
+    /// Creates `n` accounts with `initial` balance each.
+    pub fn new(n: usize, initial: i64) -> CoarseBank {
+        CoarseBank { accounts: Mutex::new(vec![initial; n]) }
+    }
+}
+
+impl Bank for CoarseBank {
+    fn transfer(&self, from: usize, to: usize, amount: i64) {
+        let mut accounts = self.accounts.lock();
+        accounts[from] -= amount;
+        accounts[to] += amount;
+    }
+
+    fn total(&self) -> i64 {
+        self.accounts.lock().iter().sum()
+    }
+
+    fn accounts(&self) -> usize {
+        self.accounts.lock().len()
+    }
+}
+
 /// Fine-grained lock-based accounts: one mutex per account, acquired in
 /// index order to avoid deadlock — the hand-crafted protocol an expert
 /// would write for exactly this access pattern.
@@ -204,6 +235,14 @@ mod tests {
         let bank = LockBank::new(10, 1_000);
         run_bank_workload(&bank, 4, 1_000, Some(100), 13);
         assert_eq!(bank.total(), 10_000);
+    }
+
+    #[test]
+    fn coarse_bank_conserves_money() {
+        let bank = CoarseBank::new(10, 1_000);
+        run_bank_workload(&bank, 4, 1_000, Some(100), 13);
+        assert_eq!(bank.total(), 10_000);
+        assert_eq!(bank.accounts(), 10);
     }
 
     #[test]

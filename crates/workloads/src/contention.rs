@@ -11,6 +11,24 @@ use omt_util::rng::StdRng;
 
 const VALUE: usize = 0;
 
+/// Concurrent counter cells: atomic per-cell increment plus a
+/// consistent audit. Implemented by the STM-backed [`CounterArray`] and
+/// its lock-based competitors ([`crate::CoarseCounterArray`],
+/// [`crate::StripedCounterArray`]), so scalability sweeps can drive all
+/// three through one interface.
+pub trait CounterCells: Sync {
+    /// Atomically increments cell `index`.
+    fn increment(&self, index: usize);
+    /// Consistent sum of all cells.
+    fn total(&self) -> i64;
+    /// Number of cells.
+    fn len(&self) -> usize;
+    /// True if there are no cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// An array of transactional counters.
 #[derive(Debug)]
 pub struct CounterArray {
@@ -68,6 +86,45 @@ impl CounterArray {
             Ok(sum)
         })
     }
+}
+
+impl CounterCells for CounterArray {
+    fn increment(&self, index: usize) {
+        CounterArray::increment(self, index);
+    }
+
+    fn total(&self) -> i64 {
+        CounterArray::total(self)
+    }
+
+    fn len(&self) -> usize {
+        CounterArray::len(self)
+    }
+}
+
+/// Runs `ops_per_thread` uniform-random increments per thread and
+/// returns the wall-clock duration — the throughput driver shared by
+/// every [`CounterCells`] implementation.
+pub fn run_counter_throughput(
+    cells: &dyn CounterCells,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> Duration {
+    let n = cells.len();
+    assert!(n > 0, "need at least one cell");
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 48611));
+                for _ in 0..ops_per_thread {
+                    cells.increment(rng.gen_range(0..n));
+                }
+            });
+        }
+    });
+    start.elapsed()
 }
 
 /// Result of a contention sweep point.

@@ -13,10 +13,13 @@
 //!
 //! Lock-based competitors: [`StripedHashSet`] and [`HandOverHandList`]
 //! (fine-grained), [`CoarseStdSet`] and [`RwStdSet`] (coarse),
-//! [`LockBank`] (ordered two-lock transfers).
+//! [`LockBank`] (ordered two-lock transfers) vs [`CoarseBank`], and
+//! [`StripedCounterArray`] vs [`CoarseCounterArray`] for the counter
+//! workload (all three counter implementations drive through
+//! [`CounterCells`]).
 //!
 //! Drivers: [`run_set_workload`], [`run_bank_workload`],
-//! [`run_contention_point`].
+//! [`run_contention_point`], [`run_counter_throughput`].
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@
 mod bank;
 mod contention;
 mod heap_lock_hash;
+mod lock_counters;
 mod lock_sets;
 mod set;
 mod stm_bst;
@@ -48,11 +52,13 @@ mod stm_list;
 mod stm_skiplist;
 mod travel;
 
-pub use bank::{run_bank_workload, Bank, BankOutcome, LockBank, StmBank};
+pub use bank::{run_bank_workload, Bank, BankOutcome, CoarseBank, LockBank, StmBank};
 pub use contention::{
-    run_contention_point, run_contention_storm, ContentionOutcome, CounterArray, StormOutcome,
+    run_contention_point, run_contention_storm, run_counter_throughput, ContentionOutcome,
+    CounterArray, CounterCells, StormOutcome,
 };
 pub use heap_lock_hash::HeapStripedHashSet;
+pub use lock_counters::{CoarseCounterArray, StripedCounterArray};
 pub use lock_sets::{CoarseStdSet, HandOverHandList, RwStdSet, StripedHashSet};
 pub use set::{
     prefill, run_set_workload, sets_agree, ConcurrentSet, OpMix, SetOutcome, SetWorkload,
