@@ -1,17 +1,79 @@
-//! Regenerates the evaluation tables (experiments E1–E9).
+//! Regenerates the evaluation tables (experiments E1–E9 and the
+//! measured sweeps).
 //!
 //! Usage:
-//!   repro [--experiment e1|e2|...|e9|all] [--full]
+//!   repro [--experiment <id>|all] [--full|--quick]
 //!
 //! `--full` uses the larger sizes recorded in EXPERIMENTS.md; the
 //! default quick sizes finish in well under a minute per experiment.
+//! Both flags apply uniformly to every experiment, including the
+//! measured sweeps.
 //!
 //! `--experiment e2` (and `e3`, and `all`) additionally runs the
-//! measured scalability sweep and writes the machine-readable report
-//! `BENCH_e2_scalability.json` at the repository root.
+//! measured scalability sweep and writes `BENCH_e2_scalability.json`
+//! at the repository root; `e5b` (and `all`) runs the measured
+//! validation-cost sweep and writes `BENCH_e5_validation.json`.
+//! Run `repro --help` (or pass an unknown id) for the experiment table.
 
 use omt_bench::experiments::{self, Scale};
-use omt_bench::scalability;
+use omt_bench::{scalability, validation};
+
+/// One dispatchable experiment: id, what it regenerates, and a runner.
+struct Experiment {
+    id: &'static str,
+    description: &'static str,
+    run: fn(Scale),
+}
+
+/// Every experiment id accepted by `--experiment`, in `all` order.
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "e1",
+        description: "single-thread overhead vs locks",
+        run: experiments::e1_overhead,
+    },
+    Experiment {
+        id: "e2",
+        description: "hashtable scaling + measured sweep (BENCH_e2_scalability.json)",
+        run: run_e2,
+    },
+    Experiment {
+        id: "e3",
+        description: "data structures, travel workload + measured sweep",
+        run: run_e3,
+    },
+    Experiment {
+        id: "e4",
+        description: "static barrier-elimination counts",
+        run: experiments::e4_barrier_counts,
+    },
+    Experiment {
+        id: "e5",
+        description: "runtime log filtering ablation",
+        run: experiments::e5_filter,
+    },
+    Experiment {
+        id: "e5b",
+        description: "commit-sequence validation cost (BENCH_e5_validation.json)",
+        run: run_e5b,
+    },
+    Experiment { id: "e6", description: "GC integration: log trimming", run: experiments::e6_gc },
+    Experiment {
+        id: "e7",
+        description: "contention management policies",
+        run: experiments::e7_contention,
+    },
+    Experiment {
+        id: "e8",
+        description: "direct vs buffered update, metadata placement",
+        run: run_e8,
+    },
+    Experiment {
+        id: "e9",
+        description: "sandboxing and version overflow",
+        run: experiments::e9_sandbox_overflow,
+    },
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,32 +97,32 @@ fn main() {
 
     println!("# omt reproduction — experiment {experiment} ({:?})", scale);
     println!("# host: {} core(s)", std::thread::available_parallelism().map_or(1, |n| n.get()));
-    match experiment.as_str() {
-        "e1" => experiments::e1_overhead(scale),
-        "e2" => {
-            experiments::e2_hashtable(scale);
-            run_scalability_sweep(scale);
+    if experiment == "all" {
+        for e in EXPERIMENTS {
+            (e.run)(scale);
         }
-        "e3" => {
-            experiments::e3_structures(scale);
-            experiments::e3d_travel(scale);
-            run_scalability_sweep(scale);
+    } else {
+        match EXPERIMENTS.iter().find(|e| e.id == experiment) {
+            Some(e) => (e.run)(scale),
+            None => usage(&format!("unknown experiment `{experiment}`")),
         }
-        "e4" => experiments::e4_barrier_counts(scale),
-        "e5" => experiments::e5_filter(scale),
-        "e6" => experiments::e6_gc(scale),
-        "e7" => experiments::e7_contention(scale),
-        "e8" => {
-            experiments::e8_direct_vs_buffered(scale);
-            experiments::e8c_metadata_placement(scale);
-        }
-        "e9" => experiments::e9_sandbox_overflow(scale),
-        "all" => {
-            experiments::run_all(scale);
-            run_scalability_sweep(scale);
-        }
-        other => usage(&format!("unknown experiment `{other}`")),
     }
+}
+
+fn run_e2(scale: Scale) {
+    experiments::e2_hashtable(scale);
+    run_scalability_sweep(scale);
+}
+
+fn run_e3(scale: Scale) {
+    experiments::e3_structures(scale);
+    experiments::e3d_travel(scale);
+    run_scalability_sweep(scale);
+}
+
+fn run_e8(scale: Scale) {
+    experiments::e8_direct_vs_buffered(scale);
+    experiments::e8c_metadata_placement(scale);
 }
 
 /// Runs the measured threads × workload × implementation sweep, prints
@@ -69,7 +131,20 @@ fn run_scalability_sweep(scale: Scale) {
     let report = scalability::run_scalability(scale);
     report.print_tables();
     let path = scalability::default_output_path();
-    match scalability::write_report(&report, &path) {
+    write_or_die(scalability::write_report(&report, &path), &path);
+}
+
+/// Runs the measured validation-cost sweep (E5b), prints its tables,
+/// and writes the validated JSON report.
+fn run_e5b(scale: Scale) {
+    let report = validation::run_validation(scale);
+    report.print_tables();
+    let path = validation::default_output_path();
+    write_or_die(validation::write_report(&report, &path), &path);
+}
+
+fn write_or_die(result: std::io::Result<()>, path: &std::path::Path) {
+    match result {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => {
             eprintln!("error: could not write {}: {e}", path.display());
@@ -82,6 +157,11 @@ fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
-    eprintln!("usage: repro [--experiment e1|..|e9|all] [--full|--quick]");
+    eprintln!("usage: repro [--experiment <id>|all] [--full|--quick]\n");
+    eprintln!("experiments:");
+    for e in EXPERIMENTS {
+        eprintln!("  {:4}  {}", e.id, e.description);
+    }
+    eprintln!("  all   every experiment above, in order");
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -248,6 +248,8 @@ pub fn e5_filter(scale: Scale) {
             "read filtered",
             "undo entries",
             "undo filtered",
+            "val fast-path",
+            "val scanned",
             "time(ms)",
         ],
     );
@@ -276,6 +278,8 @@ pub fn e5_filter(scale: Scale) {
                 stats.read_filtered.to_string(),
                 stats.undo_entries.to_string(),
                 stats.undo_filtered.to_string(),
+                stats.validation_fast_path.to_string(),
+                stats.validation_entries_scanned.to_string(),
                 ms(elapsed),
             ]);
         }
@@ -366,8 +370,19 @@ pub fn e7_contention(scale: Scale) {
     }
     table.print();
 
-    let cause_headers =
-        ["policy", "ops/s", "aborts", "busy", "invalid", "doomed", "dooms", "serial", "cm spins"];
+    let cause_headers = [
+        "policy",
+        "ops/s",
+        "aborts",
+        "busy",
+        "invalid",
+        "doomed",
+        "dooms",
+        "serial",
+        "cm spins",
+        "val fast-path%",
+        "val scans/commit",
+    ];
     let cause_row = |name: String, ops: f64, s: &omt_stm::StmStatsSnapshot| {
         vec![
             name,
@@ -379,6 +394,8 @@ pub fn e7_contention(scale: Scale) {
             s.dooms_issued.to_string(),
             s.serial_entries.to_string(),
             s.cm_spins.to_string(),
+            format!("{:.1}", s.validation_fast_path_rate() * 100.0),
+            format!("{:.2}", s.entries_scanned_per_commit()),
         ]
     };
 

@@ -18,3 +18,4 @@ pub mod harness;
 pub mod json;
 pub mod programs;
 pub mod scalability;
+pub mod validation;

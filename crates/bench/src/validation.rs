@@ -1,0 +1,550 @@
+//! The measured E5b validation-cost experiment.
+//!
+//! Quantifies what the commit-sequence clock (DESIGN.md §4.7) buys:
+//! read-mostly sweeps over the STM hashtable, the STM skip list, and a
+//! read-only bank audit, each run twice — once with the clock enabled
+//! and once with `commit_sequence: false` (the unconditional full
+//! rescan, i.e. the pre-clock baseline). Unlike the throughput sweeps,
+//! these STM instances run with statistics recording *on*: the payload
+//! is the validation accounting (fast-path hits and read-log entries
+//! scanned), not raw ops/s.
+//!
+//! Output mirrors the E2 harness: human tables plus a machine-readable
+//! `BENCH_e5_validation.json` whose schema — including the headline
+//! invariants, a >90% fast-path rate on the read-only sweep and
+//! strictly fewer entries scanned per commit than the clock-off
+//! baseline — is enforced by [`validate_report`] and CI's bench smoke
+//! job.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omt_heap::Heap;
+use omt_stm::{Stm, StmConfig, StmStatsSnapshot};
+use omt_workloads::{
+    prefill, run_set_workload, Bank, OpMix, SetWorkload, StmBank, StmHashSet, StmSkipList,
+};
+
+use crate::experiments::Scale;
+use crate::harness::Table;
+use crate::json::Json;
+
+/// Workloads swept, in report order.
+pub const WORKLOADS: [&str; 4] =
+    ["stm_hash_readonly", "stm_hash_readheavy", "stm_skiplist_readheavy", "bank_audit"];
+
+/// Clock variants compared per workload, in report order.
+pub const VARIANTS: [&str; 2] = ["clock_on", "clock_off"];
+
+/// A 100% lookup mix (the O(1) read-only commit headline case).
+const READ_ONLY: OpMix = OpMix { lookup: 100, insert: 0, remove: 0 };
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationPoint {
+    /// Workload name (one of [`WORKLOADS`]).
+    pub workload: &'static str,
+    /// Clock variant (one of [`VARIANTS`]).
+    pub variant: &'static str,
+    /// Threads driving the workload.
+    pub threads: usize,
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed transactions (delta over the timed window).
+    pub commits: u64,
+    /// Validation runs.
+    pub validations: u64,
+    /// Validations satisfied by the commit-sequence fast path.
+    pub validation_fast_path: u64,
+    /// Read-log entries examined across all validations.
+    pub validation_entries_scanned: u64,
+}
+
+impl ValidationPoint {
+    /// Fraction of validations that skipped the read-log scan.
+    pub fn fast_path_rate(&self) -> f64 {
+        if self.validations == 0 {
+            0.0
+        } else {
+            self.validation_fast_path as f64 / self.validations as f64
+        }
+    }
+
+    /// Average read-log entries scanned per committed transaction.
+    pub fn entries_scanned_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.validation_entries_scanned as f64 / self.commits as f64
+        }
+    }
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// `"quick"` or `"full"`.
+    pub mode: &'static str,
+    /// Thread counts swept.
+    pub threads: Vec<usize>,
+    /// One point per thread count × workload × variant.
+    pub points: Vec<ValidationPoint>,
+}
+
+/// An STM configured for validation accounting: statistics on (they are
+/// the measurement), commit-sequence clock per variant.
+fn accounting_stm(variant: &str) -> Arc<Stm> {
+    Arc::new(Stm::with_config(
+        Arc::new(Heap::new()),
+        StmConfig {
+            record_stats: true,
+            commit_sequence: variant == "clock_on",
+            ..StmConfig::default()
+        },
+    ))
+}
+
+/// Runs the sweep at the given scale.
+pub fn run_validation(scale: Scale) -> ValidationReport {
+    let mut points = Vec::new();
+    for &threads in scale.threads {
+        for workload in WORKLOADS {
+            for variant in VARIANTS {
+                points.push(measure_point(scale, workload, variant, threads));
+            }
+        }
+    }
+    ValidationReport {
+        mode: if scale == Scale::FULL { "full" } else { "quick" },
+        threads: scale.threads.to_vec(),
+        points,
+    }
+}
+
+fn set_workload(scale: Scale, workload: &str) -> SetWorkload {
+    match workload {
+        "stm_hash_readonly" => SetWorkload {
+            initial_size: 256,
+            key_range: 1024,
+            mix: READ_ONLY,
+            ops_per_thread: 2_000 * scale.factor as usize,
+            seed: 81,
+        },
+        "stm_hash_readheavy" => SetWorkload {
+            initial_size: 256,
+            key_range: 1024,
+            mix: OpMix::READ_HEAVY,
+            ops_per_thread: 2_000 * scale.factor as usize,
+            seed: 83,
+        },
+        "stm_skiplist_readheavy" => SetWorkload {
+            initial_size: 128,
+            key_range: 512,
+            mix: OpMix::READ_HEAVY,
+            ops_per_thread: 1_000 * scale.factor as usize,
+            seed: 87,
+        },
+        other => unreachable!("unknown set workload {other}"),
+    }
+}
+
+fn measure_point(
+    scale: Scale,
+    workload: &'static str,
+    variant: &'static str,
+    threads: usize,
+) -> ValidationPoint {
+    let stm = accounting_stm(variant);
+    let (ops, elapsed, delta) = if workload == "bank_audit" {
+        run_bank_audit(scale, &stm, threads)
+    } else {
+        let w = set_workload(scale, workload);
+        let outcome;
+        // Prefill commits (and their clock bumps) are excluded from the
+        // accounting window by snapshotting after the fill.
+        let before;
+        if workload == "stm_skiplist_readheavy" {
+            let set = StmSkipList::new(stm.clone());
+            prefill(&set, &w);
+            before = stm.stats();
+            outcome = run_set_workload(&set, &w, threads);
+        } else {
+            let set = StmHashSet::new(stm.clone(), 64);
+            prefill(&set, &w);
+            before = stm.stats();
+            outcome = run_set_workload(&set, &w, threads);
+        }
+        (outcome.total_ops, outcome.elapsed, stm.stats().delta_since(&before))
+    };
+    ValidationPoint {
+        workload,
+        variant,
+        threads,
+        ops,
+        elapsed,
+        commits: delta.commits,
+        validations: delta.validations,
+        validation_fast_path: delta.validation_fast_path,
+        validation_entries_scanned: delta.validation_entries_scanned,
+    }
+}
+
+/// Read-only audits over a shared bank: every transaction reads all
+/// accounts and commits without publishing anything.
+fn run_bank_audit(
+    scale: Scale,
+    stm: &Arc<Stm>,
+    threads: usize,
+) -> (u64, Duration, StmStatsSnapshot) {
+    const ACCOUNTS: usize = 32;
+    let audits_per_thread = 500 * scale.factor as usize;
+    let bank = StmBank::new(stm.clone(), ACCOUNTS, 1_000);
+    let before = stm.stats();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for _ in 0..audits_per_thread {
+                    assert_eq!(bank.total(), (ACCOUNTS as i64) * 1_000, "torn audit");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    ((threads * audits_per_thread) as u64, elapsed, stm.stats().delta_since(&before))
+}
+
+impl ValidationReport {
+    /// Looks up one cell of the sweep.
+    pub fn point(&self, workload: &str, variant: &str, threads: usize) -> Option<&ValidationPoint> {
+        self.points
+            .iter()
+            .find(|p| p.workload == workload && p.variant == variant && p.threads == threads)
+    }
+
+    /// Renders one validation-cost table per workload.
+    pub fn print_tables(&self) {
+        for workload in WORKLOADS {
+            let mut headers: Vec<&'static str> = vec!["variant"];
+            for &t in &self.threads {
+                headers.push(Box::leak(format!("{t} thr fast-path%").into_boxed_str()));
+                headers.push(Box::leak(format!("{t} thr scans/commit").into_boxed_str()));
+            }
+            let mut table = Table::new(format!("E5b validation cost: {workload}"), &headers);
+            for variant in VARIANTS {
+                let mut cells = vec![variant.to_string()];
+                for &t in &self.threads {
+                    let p = self.point(workload, variant, t).expect("complete sweep");
+                    cells.push(format!("{:.1}", p.fast_path_rate() * 100.0));
+                    cells.push(format!("{:.2}", p.entries_scanned_per_commit()));
+                }
+                table.row(cells);
+            }
+            table.print();
+        }
+    }
+
+    /// The machine-readable form (schema checked by
+    /// [`validate_report`]).
+    pub fn to_json(&self) -> Json {
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("e5_validation".into())),
+            ("mode".into(), Json::Str(self.mode.into())),
+            ("host_cores".into(), Json::Num(host_cores as f64)),
+            (
+                "threads".into(),
+                Json::Arr(self.threads.iter().map(|&t| Json::Num(t as f64)).collect()),
+            ),
+            (
+                "workloads".into(),
+                Json::Arr(WORKLOADS.iter().map(|w| Json::Str((*w).into())).collect()),
+            ),
+            (
+                "variants".into(),
+                Json::Arr(VARIANTS.iter().map(|v| Json::Str((*v).into())).collect()),
+            ),
+            (
+                "points".into(),
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::Str(p.workload.into())),
+                                ("variant".into(), Json::Str(p.variant.into())),
+                                ("threads".into(), Json::Num(p.threads as f64)),
+                                ("ops".into(), Json::Num(p.ops as f64)),
+                                ("elapsed_ms".into(), Json::Num(p.elapsed.as_secs_f64() * 1_000.0)),
+                                ("commits".into(), Json::Num(p.commits as f64)),
+                                ("validations".into(), Json::Num(p.validations as f64)),
+                                (
+                                    "validation_fast_path".into(),
+                                    Json::Num(p.validation_fast_path as f64),
+                                ),
+                                (
+                                    "validation_entries_scanned".into(),
+                                    Json::Num(p.validation_entries_scanned as f64),
+                                ),
+                                ("fast_path_rate".into(), Json::Num(p.fast_path_rate())),
+                                (
+                                    "entries_scanned_per_commit".into(),
+                                    Json::Num(p.entries_scanned_per_commit()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn point_num(point: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    point.get(key).and_then(Json::as_f64).filter(|n| *n >= 0.0).ok_or(format!("{ctx}: bad `{key}`"))
+}
+
+/// Checks that `json` is a well-formed validation report: required
+/// keys, a complete threads × workloads × variants cross product,
+/// internally consistent counters, and the experiment's headline
+/// invariants — `clock_off` points never take the fast path, while the
+/// read-only hashtable sweep under `clock_on` fast-paths more than 90%
+/// of validations and scans strictly fewer entries per commit than the
+/// `clock_off` baseline at the same thread count.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_report(json: &Json) -> Result<(), String> {
+    let experiment = json.get("experiment").and_then(Json::as_str).ok_or("missing `experiment`")?;
+    if experiment != "e5_validation" {
+        return Err(format!("unexpected experiment `{experiment}`"));
+    }
+    let mode = json.get("mode").and_then(Json::as_str).ok_or("missing `mode`")?;
+    if mode != "quick" && mode != "full" {
+        return Err(format!("mode must be quick|full, got `{mode}`"));
+    }
+    json.get("host_cores")
+        .and_then(Json::as_f64)
+        .filter(|&n| n >= 1.0)
+        .ok_or("missing or non-positive `host_cores`")?;
+
+    let threads: Vec<usize> = json
+        .get("threads")
+        .and_then(Json::as_array)
+        .ok_or("missing `threads`")?
+        .iter()
+        .map(|t| t.as_f64().filter(|&n| n >= 1.0).map(|n| n as usize))
+        .collect::<Option<_>>()
+        .ok_or("`threads` must be positive numbers")?;
+    if threads.is_empty() {
+        return Err("`threads` is empty".into());
+    }
+    let workloads: Vec<&str> = json
+        .get("workloads")
+        .and_then(Json::as_array)
+        .ok_or("missing `workloads`")?
+        .iter()
+        .map(|w| w.as_str())
+        .collect::<Option<_>>()
+        .ok_or("`workloads` must be strings")?;
+    for required in WORKLOADS {
+        if !workloads.contains(&required) {
+            return Err(format!("missing workload `{required}`"));
+        }
+    }
+    let variants: Vec<&str> = json
+        .get("variants")
+        .and_then(Json::as_array)
+        .ok_or("missing `variants`")?
+        .iter()
+        .map(|v| v.as_str())
+        .collect::<Option<_>>()
+        .ok_or("`variants` must be strings")?;
+    for required in VARIANTS {
+        if !variants.contains(&required) {
+            return Err(format!("missing variant `{required}`"));
+        }
+    }
+
+    let points = json.get("points").and_then(Json::as_array).ok_or("missing `points`")?;
+    let expected = threads.len() * workloads.len() * variants.len();
+    if points.len() != expected {
+        return Err(format!("expected {expected} points, got {}", points.len()));
+    }
+
+    let find = |workload: &str, variant: &str, t: usize| {
+        points.iter().find(|p| {
+            p.get("workload").and_then(Json::as_str) == Some(workload)
+                && p.get("variant").and_then(Json::as_str) == Some(variant)
+                && p.get("threads").and_then(Json::as_f64) == Some(t as f64)
+        })
+    };
+    for &t in &threads {
+        for &workload in &workloads {
+            for &variant in &variants {
+                let ctx = format!("{workload}/{variant}/{t}");
+                let point = find(workload, variant, t).ok_or(format!("missing point {ctx}"))?;
+                let ops = point_num(point, "ops", &ctx)?;
+                if ops < 1.0 {
+                    return Err(format!("{ctx}: no operations ran"));
+                }
+                point
+                    .get("elapsed_ms")
+                    .and_then(Json::as_f64)
+                    .filter(|&n| n > 0.0)
+                    .ok_or(format!("{ctx}: bad `elapsed_ms`"))?;
+                let commits = point_num(point, "commits", &ctx)?;
+                if commits < 1.0 {
+                    return Err(format!("{ctx}: no transaction committed"));
+                }
+                let validations = point_num(point, "validations", &ctx)?;
+                let fast = point_num(point, "validation_fast_path", &ctx)?;
+                let scanned = point_num(point, "validation_entries_scanned", &ctx)?;
+                if fast > validations {
+                    return Err(format!("{ctx}: fast-path count exceeds validations"));
+                }
+                if variant == "clock_off" && fast != 0.0 {
+                    return Err(format!("{ctx}: knob off but the fast path fired"));
+                }
+                let rate = point_num(point, "fast_path_rate", &ctx)?;
+                if validations > 0.0 && (rate - fast / validations).abs() > 1e-9 {
+                    return Err(format!("{ctx}: `fast_path_rate` inconsistent with counts"));
+                }
+                let per_commit = point_num(point, "entries_scanned_per_commit", &ctx)?;
+                if (per_commit - scanned / commits).abs() > 1e-9 {
+                    return Err(format!(
+                        "{ctx}: `entries_scanned_per_commit` inconsistent with counts"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Headline invariants: the read-only sweep under the clock must
+    // fast-path >90% of validations and beat the clock-off baseline on
+    // entries scanned per commit, at every thread count.
+    for &t in &threads {
+        let ctx = format!("stm_hash_readonly/clock_on/{t}");
+        let on = find("stm_hash_readonly", "clock_on", t).ok_or(format!("missing {ctx}"))?;
+        let off = find("stm_hash_readonly", "clock_off", t)
+            .ok_or(format!("missing stm_hash_readonly/clock_off/{t}"))?;
+        let rate = point_num(on, "fast_path_rate", &ctx)?;
+        if rate <= 0.9 {
+            return Err(format!("{ctx}: fast-path rate {rate:.3} not above 90%"));
+        }
+        let on_scans = point_num(on, "entries_scanned_per_commit", &ctx)?;
+        let off_scans = point_num(off, "entries_scanned_per_commit", &ctx)?;
+        if on_scans >= off_scans {
+            return Err(format!(
+                "{ctx}: scans/commit {on_scans:.3} not below clock-off baseline {off_scans:.3}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Where the report is written: `BENCH_e5_validation.json` at the
+/// repository root (found by walking up from the working directory),
+/// or the working directory itself outside a checkout.
+pub fn default_output_path() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &cwd;
+    loop {
+        if dir.join(".git").exists() {
+            return dir.join("BENCH_e5_validation.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join("BENCH_e5_validation.json"),
+        }
+    }
+}
+
+/// Serializes the report, re-parses it, validates the schema, and
+/// writes it to `path`.
+///
+/// # Errors
+///
+/// I/O failure writing the file.
+///
+/// # Panics
+///
+/// Panics if the emitted report fails its own schema validation (a
+/// harness bug, not an environment problem).
+pub fn write_report(report: &ValidationReport, path: &Path) -> std::io::Result<()> {
+    let json = report.to_json();
+    let text = json.to_string();
+    let reparsed = crate::json::parse(&text).expect("emitter produced valid JSON");
+    validate_report(&reparsed).expect("emitted report matches schema");
+    std::fs::write(path, text + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: Scale = Scale { factor: 1, threads: &[1, 2] };
+
+    #[test]
+    fn sweep_meets_the_headline_invariants() {
+        let report = run_validation(TINY);
+        assert_eq!(report.points.len(), 2 * WORKLOADS.len() * VARIANTS.len());
+        // The acceptance criteria, asserted directly on the measured
+        // report: a >90% fast-path rate on the read-only hashtable
+        // sweep and strictly fewer scans per commit than the clock-off
+        // baseline.
+        for &t in TINY.threads {
+            let on = report.point("stm_hash_readonly", "clock_on", t).unwrap();
+            let off = report.point("stm_hash_readonly", "clock_off", t).unwrap();
+            assert!(on.fast_path_rate() > 0.9, "rate {} at {t} threads", on.fast_path_rate());
+            assert!(on.entries_scanned_per_commit() < off.entries_scanned_per_commit());
+            assert_eq!(off.validation_fast_path, 0);
+        }
+        let json = report.to_json();
+        let reparsed = crate::json::parse(&json.to_string()).unwrap();
+        validate_report(&reparsed).unwrap();
+        report.print_tables();
+    }
+
+    #[test]
+    fn validation_rejects_a_fast_path_hit_with_the_knob_off() {
+        let report = run_validation(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        for (key, value) in &mut members {
+            if key == "points" {
+                let Json::Arr(points) = value else { panic!("array") };
+                for p in points {
+                    let Json::Obj(fields) = p else { panic!("object") };
+                    let off = fields
+                        .iter()
+                        .any(|(k, v)| k == "variant" && v.as_str() == Some("clock_off"));
+                    if off {
+                        for (k, v) in fields.iter_mut() {
+                            if k == "validation_fast_path" {
+                                *v = Json::Num(1.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("knob off") || err.contains("inconsistent"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_experiment() {
+        let json = crate::json::parse("{\"experiment\": \"e2_scalability\"}").unwrap();
+        assert!(validate_report(&json).is_err());
+    }
+
+    #[test]
+    fn output_path_lands_at_a_repo_root_when_inside_one() {
+        let path = default_output_path();
+        assert!(path.ends_with("BENCH_e5_validation.json"));
+    }
+}

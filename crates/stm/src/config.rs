@@ -63,6 +63,15 @@ pub struct StmConfig {
     /// them reduces every record to a single branch, for throughput
     /// benchmarks that want the runtime alone on the hot path.
     pub record_stats: bool,
+    /// Use the global commit-sequence clock to short-circuit read-set
+    /// validation (see DESIGN.md §4.7). Writers bump the clock when
+    /// they publish updates; a validation that observes the clock
+    /// unchanged since the transaction's last successful validation
+    /// returns without rescanning the read log, making read-only
+    /// commits O(1) under low write traffic. Disabling the knob
+    /// restores the unconditional full-rescan slow path (the ablation
+    /// baseline for experiment E5b).
+    pub commit_sequence: bool,
 }
 
 impl Default for StmConfig {
@@ -79,6 +88,7 @@ impl Default for StmConfig {
             backoff_yield_after: 8,
             doom_wait_spins: 4096,
             record_stats: true,
+            commit_sequence: true,
         }
     }
 }
@@ -124,13 +134,14 @@ impl fmt::Display for StmConfig {
         write!(
             f,
             "filter={} ({} slots), version_bits={}, cm={}, validate_every={:?}, \
-             serial_after_aborts={:?}",
+             serial_after_aborts={:?}, commit_sequence={}",
             self.runtime_filter,
             1u64 << self.filter_bits,
             self.version_bits,
             self.cm,
             self.validate_every,
-            self.serial_after_aborts
+            self.serial_after_aborts,
+            self.commit_sequence
         )
     }
 }
@@ -145,6 +156,7 @@ mod tests {
         c.validate();
         assert!(c.runtime_filter);
         assert!(c.record_stats, "stats recording defaults on");
+        assert!(c.commit_sequence, "commit-sequence clock defaults on (opt-out knob)");
         assert_eq!(c.max_version(), (1 << 62) - 1);
         assert_eq!(c.serial_after_aborts, Some(32));
     }
@@ -186,5 +198,6 @@ mod tests {
         let s = c.to_string();
         assert!(s.contains("oldest-wins"));
         assert!(s.contains("serial_after_aborts"));
+        assert!(s.contains("commit_sequence=true"));
     }
 }

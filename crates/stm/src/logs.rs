@@ -14,12 +14,30 @@
 
 use omt_heap::ObjRef;
 
+use crate::word::{StmWord, TxToken};
+
 /// A read-log entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct ReadEntry {
     pub obj: ObjRef,
     /// Raw STM word observed by `OpenForRead`.
     pub observed: u64,
+}
+
+impl ReadEntry {
+    /// True if the word observed at open time encoded ownership by a
+    /// transaction other than `me`.
+    ///
+    /// Such an entry can never pass validation (the owner either aborts
+    /// — restoring a version the entry did not observe as a version —
+    /// or commits with a bumped version), and the value read alongside
+    /// it may have been the owner's uncommitted in-place store. Its
+    /// presence therefore disables the commit-sequence-clock fast path
+    /// for the whole transaction: ownership transfers do not bump the
+    /// clock, so the clock alone cannot vouch for this entry.
+    pub(crate) fn observed_foreign_owner(&self, me: TxToken) -> bool {
+        matches!(StmWord::decode(self.observed), StmWord::Owned { owner, .. } if owner != me)
+    }
 }
 
 /// An update-log entry (the target of an owned STM word).
@@ -197,6 +215,19 @@ mod tests {
         let mut roots = Vec::new();
         logs.trace_rollback_roots(&mut |r| roots.push(r));
         assert_eq!(roots, vec![refs[1]]);
+    }
+
+    #[test]
+    fn foreign_owner_detection_decodes_the_observed_word() {
+        use crate::word::owned_bits;
+        let (_heap, refs) = sample_refs(1);
+        let me = TxToken(7);
+        let version = ReadEntry { obj: refs[0], observed: StmWord::Version(3).encode() };
+        assert!(!version.observed_foreign_owner(me));
+        let mine = ReadEntry { obj: refs[0], observed: owned_bits(me, 0) };
+        assert!(!mine.observed_foreign_owner(me));
+        let theirs = ReadEntry { obj: refs[0], observed: owned_bits(TxToken(8), 0) };
+        assert!(theirs.observed_foreign_owner(me));
     }
 
     #[test]

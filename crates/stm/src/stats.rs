@@ -125,6 +125,12 @@ counters! {
     validations,
     /// Incremental (mid-transaction) validations.
     mid_validations,
+    /// Validations that returned through the commit-sequence-clock fast
+    /// path without scanning any read-log entry.
+    validation_fast_path,
+    /// Read-log entries actually scanned by validations (a full pass
+    /// scans the whole read log; the fast path scans none).
+    validation_entries_scanned,
     /// Contention-manager spin iterations.
     cm_spins,
     /// Log entries removed or tombstoned by GC trimming.
@@ -206,6 +212,26 @@ impl StmStatsSnapshot {
         }
     }
 
+    /// Fraction of validations that skipped the read-log scan via the
+    /// commit-sequence clock (0 if none ran).
+    pub fn validation_fast_path_rate(&self) -> f64 {
+        if self.validations == 0 {
+            0.0
+        } else {
+            self.validation_fast_path as f64 / self.validations as f64
+        }
+    }
+
+    /// Read-log entries scanned per committed transaction (0 if none
+    /// committed).
+    pub fn entries_scanned_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.validation_entries_scanned as f64 / self.commits as f64
+        }
+    }
+
     /// Fraction of undo-log appends suppressed by the filter.
     pub fn undo_filter_rate(&self) -> f64 {
         let total = self.undo_entries + self.undo_filtered;
@@ -222,7 +248,8 @@ impl fmt::Display for StmStatsSnapshot {
         write!(
             f,
             "tx: {} begun, {} committed, {} aborted ({:.1}%); barriers: {} open-read, \
-             {} open-update, {} log-undo; filtered: {} read ({:.1}%), {} undo ({:.1}%)",
+             {} open-update, {} log-undo; filtered: {} read ({:.1}%), {} undo ({:.1}%); \
+             validation: {} runs, {} fast-path ({:.1}%), {} entries scanned",
             self.begins,
             self.commits,
             self.aborts(),
@@ -234,6 +261,10 @@ impl fmt::Display for StmStatsSnapshot {
             self.read_filter_rate() * 100.0,
             self.undo_filtered,
             self.undo_filter_rate() * 100.0,
+            self.validations,
+            self.validation_fast_path,
+            self.validation_fast_path_rate() * 100.0,
+            self.validation_entries_scanned,
         )
     }
 }
@@ -302,6 +333,22 @@ mod tests {
         };
         assert!((snap.read_filter_rate() - 0.75).abs() < 1e-9);
         assert_eq!(snap.undo_filter_rate(), 0.0);
+    }
+
+    #[test]
+    fn validation_rates() {
+        let snap = StmStatsSnapshot {
+            commits: 4,
+            validations: 10,
+            validation_fast_path: 9,
+            validation_entries_scanned: 20,
+            ..StmStatsSnapshot::default()
+        };
+        assert!((snap.validation_fast_path_rate() - 0.9).abs() < 1e-9);
+        assert!((snap.entries_scanned_per_commit() - 5.0).abs() < 1e-9);
+        let empty = StmStatsSnapshot::default();
+        assert_eq!(empty.validation_fast_path_rate(), 0.0);
+        assert_eq!(empty.entries_scanned_per_commit(), 0.0);
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub struct Stm {
     config: StmConfig,
     /// Global renumbering epoch; bumped when a version number wraps.
     epoch: AtomicU64,
+    /// Commit-sequence clock: bumped by every transaction that
+    /// publishes updates, at the *start* of its release phase (before
+    /// any header store becomes visible). A transaction whose snapshot
+    /// of this clock is unchanged knows no writer has begun publishing
+    /// since, so its read set needs no rescan (see
+    /// [`Transaction::validate`] and DESIGN.md §4.7).
+    commit_clock: AtomicU64,
     next_token: AtomicU32,
     next_serial: AtomicU64,
     registry: TxRegistry,
@@ -104,6 +111,7 @@ impl Stm {
             heap,
             config,
             epoch: AtomicU64::new(0),
+            commit_clock: AtomicU64::new(0),
             next_token: AtomicU32::new(1),
             next_serial: AtomicU64::new(1),
             registry: TxRegistry::new(stats.clone()),
@@ -158,6 +166,21 @@ impl Stm {
 
     pub(crate) fn bump_epoch(&self) {
         self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Current commit-sequence clock (number of update-publishing
+    /// release phases started so far).
+    pub fn commit_clock(&self) -> u64 {
+        self.commit_clock.load(Ordering::Acquire)
+    }
+
+    /// Announces an update-publishing release phase. Must happen
+    /// *before* the first header release-store so that any transaction
+    /// observing a published header also observes the bump (writer
+    /// program order + release/acquire on the header), and therefore
+    /// never takes the validation fast path across this commit.
+    pub(crate) fn bump_commit_clock(&self) {
+        self.commit_clock.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Begins a transaction.
@@ -358,6 +381,8 @@ impl Stm {
         s.add(|c| &c.acquires, counters.acquires);
         s.add(|c| &c.validations, counters.validations);
         s.add(|c| &c.mid_validations, counters.mid_validations);
+        s.add(|c| &c.validation_fast_path, counters.validation_fast_path);
+        s.add(|c| &c.validation_entries_scanned, counters.validation_entries_scanned);
         s.add(|c| &c.cm_spins, counters.cm_spins);
         s.add(|c| &c.dooms_issued, counters.dooms);
     }

@@ -892,3 +892,236 @@ fn seeded_probabilistic_aborts_are_reproducible() {
     assert_eq!(fires, run(0xFA11), "same seed ⇒ same injected-abort schedule");
     assert!(fires > 0, "p=0.3 over ≥32 commits should fire at least once");
 }
+
+// ---------------------------------------------------------------------
+// Commit-sequence clock: validation fast path, watermark, ablation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn read_only_commit_takes_the_validation_fast_path() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    heap.store(obj, 0, Word::from_scalar(7));
+
+    let mut tx = stm.begin();
+    assert_eq!(tx.read(obj, 0).unwrap().as_scalar(), Some(7));
+    tx.commit().unwrap();
+
+    let s = stm.stats();
+    assert_eq!(s.commits, 1);
+    assert_eq!(s.validations, 1);
+    assert_eq!(s.validation_fast_path, 1, "clock unchanged ⇒ no read-log scan");
+    assert_eq!(s.validation_entries_scanned, 0);
+    assert_eq!(stm.commit_clock(), 0, "read-only commits never bump the clock");
+}
+
+#[test]
+fn writer_commits_bump_the_clock_and_force_a_full_rescan() {
+    let (heap, class, stm) = setup();
+    let a = heap.alloc(class).unwrap();
+    let b = heap.alloc(class).unwrap();
+
+    let mut reader = stm.begin();
+    reader.read(a, 0).unwrap();
+
+    // An unrelated writer publishes an update: the clock moves.
+    let mut writer = stm.begin();
+    writer.write(b, 0, Word::from_scalar(1)).unwrap();
+    writer.commit().unwrap();
+    assert_eq!(stm.commit_clock(), 1);
+
+    reader.validate().unwrap();
+    assert_eq!(reader.counters().validation_fast_path, 0, "clock moved ⇒ full pass");
+    assert_eq!(reader.counters().validation_entries_scanned, 1);
+
+    // The pass refreshed the snapshot; with no further commits the next
+    // validation is O(1) again.
+    reader.validate().unwrap();
+    assert_eq!(reader.counters().validation_fast_path, 1);
+    assert_eq!(reader.counters().validation_entries_scanned, 1);
+    reader.commit().unwrap();
+}
+
+#[test]
+fn aborted_writers_do_not_bump_the_clock() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+
+    let mut writer = stm.begin();
+    writer.write(obj, 0, Word::from_scalar(9)).unwrap();
+    writer.abort();
+    // Rollback restored the exact pre-state before releasing ownership,
+    // so nothing a reader could have fast-pathed across was published.
+    assert_eq!(stm.commit_clock(), 0);
+
+    let mut reader = stm.begin();
+    reader.read(obj, 0).unwrap();
+    reader.commit().unwrap();
+    assert_eq!(stm.stats().validation_fast_path, 1);
+}
+
+#[test]
+fn epoch_bump_is_checked_before_the_clock_shortcut() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+
+    let mut tx = stm.begin();
+    tx.read(obj, 0).unwrap();
+    // Advance the epoch without any commit: the clock is untouched, so
+    // a clock-first validation would silently (and wrongly) pass.
+    stm.bump_epoch();
+    assert_eq!(stm.commit_clock(), 0);
+    assert_eq!(tx.validate(), Err(TxError::EPOCH));
+    assert_eq!(tx.counters().validation_fast_path, 0, "EPOCH must never be fast-pathed away");
+    tx.abort();
+}
+
+#[test]
+fn version_overflow_epoch_bump_forces_the_slow_path_and_epoch_abort() {
+    let (heap, class, stm) = setup_with(StmConfig { version_bits: 2, ..StmConfig::default() });
+    let obj = heap.alloc(class).unwrap();
+    let other = heap.alloc(class).unwrap();
+
+    let mut spanning = stm.begin();
+    spanning.read(other, 0).unwrap();
+    spanning.validate().unwrap();
+    assert_eq!(spanning.counters().validation_fast_path, 1, "pre-wrap validation fast-paths");
+
+    // Wrap the version space: the last commit bumps the global epoch
+    // (and, like every update commit, the commit-sequence clock).
+    for i in 0..4 {
+        let mut tx = stm.begin();
+        tx.write(obj, 0, Word::from_scalar(i)).unwrap();
+        tx.commit().unwrap();
+    }
+    // The epoch moved between the snapshot refresh and the commit: the
+    // outcome is an EPOCH abort, never a silent fast-path skip.
+    assert_eq!(spanning.commit(), Err(TxError::EPOCH));
+}
+
+#[test]
+fn doomed_is_observed_before_the_clock_shortcut() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+
+    let mut tx = stm.begin();
+    tx.read(obj, 0).unwrap();
+    // Every fast-path precondition holds (clock unchanged, clean read
+    // log) — yet the doom flag must win.
+    tx.ctl_arc().doomed.store(true, Ordering::Release);
+    assert_eq!(tx.validate(), Err(TxError::Conflict(ConflictKind::Doomed)));
+    assert_eq!(tx.counters().validation_fast_path, 0);
+    assert_eq!(tx.commit(), Err(TxError::DOOMED));
+}
+
+#[test]
+fn foreign_owner_in_read_log_disables_the_fast_path() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+
+    let mut owner = stm.begin();
+    owner.open_for_update(obj).unwrap();
+
+    let mut reader = stm.begin();
+    reader.read(obj, 0).unwrap(); // observes the foreign Owned word
+                                  // Ownership acquisition does not bump the clock, so the clock alone
+                                  // cannot vouch for this entry — the fast path must stand down.
+    assert_eq!(reader.validate(), Err(TxError::INVALID));
+    assert_eq!(reader.counters().validation_fast_path, 0);
+    assert_eq!(reader.counters().validation_entries_scanned, 1);
+    owner.abort();
+}
+
+#[test]
+fn poisoned_tail_rescans_only_past_the_watermark() {
+    let (heap, class, stm) = setup();
+    let a = heap.alloc(class).unwrap();
+    let b = heap.alloc(class).unwrap();
+
+    let mut reader = stm.begin();
+    reader.read(a, 0).unwrap();
+    reader.validate().unwrap(); // watermark now covers entry 0
+    assert_eq!(reader.counters().validation_fast_path, 1);
+
+    let mut owner = stm.begin();
+    owner.open_for_update(b).unwrap();
+    reader.read(b, 0).unwrap(); // poisons the fast path
+
+    // Clock unchanged: the clock still vouches for the covered prefix,
+    // so only the tail (the offending entry) is scanned.
+    assert_eq!(reader.validate(), Err(TxError::INVALID));
+    assert_eq!(reader.counters().validation_entries_scanned, 1);
+    owner.abort();
+}
+
+#[test]
+fn rollback_to_savepoint_restores_fast_path_eligibility() {
+    let (heap, class, stm) = setup();
+    let a = heap.alloc(class).unwrap();
+    let b = heap.alloc(class).unwrap();
+
+    let mut owner = stm.begin();
+    owner.open_for_update(b).unwrap();
+
+    let mut reader = stm.begin();
+    reader.read(a, 0).unwrap();
+    let sp = reader.savepoint();
+    reader.read(b, 0).unwrap(); // poisons the fast path
+    reader.rollback_to(sp); // ...and the poisoning entry is truncated away
+    owner.abort();
+
+    reader.validate().unwrap();
+    assert_eq!(reader.counters().validation_fast_path, 1, "poison recomputed after rollback");
+    reader.commit().unwrap();
+}
+
+#[test]
+fn disabling_commit_sequence_restores_the_full_rescan_baseline() {
+    // The same deterministic workload under both knob settings: commits,
+    // reads, one invalidated zombie per round.
+    let run = |commit_sequence: bool| {
+        let (heap, class, stm) = setup_with(StmConfig { commit_sequence, ..StmConfig::default() });
+        let objs: Vec<_> = (0..4).map(|_| heap.alloc(class).unwrap()).collect();
+        for round in 0..3i64 {
+            let mut audit = stm.begin();
+            for o in &objs {
+                audit.read(*o, 0).unwrap();
+            }
+            audit.commit().unwrap();
+
+            let mut writer = stm.begin();
+            writer.write(objs[0], 0, Word::from_scalar(round)).unwrap();
+            writer.commit().unwrap();
+
+            let mut zombie = stm.begin();
+            zombie.read(objs[0], 0).unwrap();
+            let mut rival = stm.begin();
+            rival.write(objs[0], 0, Word::from_scalar(round + 100)).unwrap();
+            rival.commit().unwrap();
+            assert_eq!(zombie.commit(), Err(TxError::INVALID));
+        }
+        let values: Vec<_> = objs.iter().map(|o| heap.load(*o, 0).as_scalar().unwrap()).collect();
+        (stm.stats(), values)
+    };
+
+    let (on, heap_on) = run(true);
+    let (off, heap_off) = run(false);
+
+    assert_eq!(heap_on, heap_off, "the knob must not change results");
+    assert_eq!(off.validation_fast_path, 0, "knob off ⇒ the fast path never fires");
+    assert!(on.validation_fast_path > 0);
+    assert!(
+        on.validation_entries_scanned < off.validation_entries_scanned,
+        "the clock must save scans: {} !< {}",
+        on.validation_entries_scanned,
+        off.validation_entries_scanned
+    );
+
+    // Every pre-existing statistic is byte-identical across the ablation.
+    let normalize = |mut s: crate::StmStatsSnapshot| {
+        s.validation_fast_path = 0;
+        s.validation_entries_scanned = 0;
+        s
+    };
+    assert_eq!(normalize(on), normalize(off));
+}

@@ -65,6 +65,12 @@ pub struct TxCounters {
     pub validations: u64,
     /// Mid-transaction validations.
     pub mid_validations: u64,
+    /// Validations that returned through the commit-sequence-clock fast
+    /// path without scanning any read-log entry.
+    pub validation_fast_path: u64,
+    /// Read-log entries scanned by validations (full and partial
+    /// passes; the fast path scans none).
+    pub validation_entries_scanned: u64,
     /// Contention-manager spins.
     pub cm_spins: u64,
     /// Doom flags this transaction set on *other* transactions
@@ -115,6 +121,18 @@ pub struct Transaction<'stm> {
     ctx: ManuallyDrop<TxCtx>,
     counters: TxCounters,
     reads_since_validate: u32,
+    /// Commit-sequence clock value under which the validated read-log
+    /// prefix (`0..validated_watermark`) is known consistent: snapshot
+    /// at begin, refreshed by every successful validation.
+    clock_snapshot: u64,
+    /// Length of the read-log prefix covered by `clock_snapshot`.
+    /// Entries past the watermark have not been re-checked since they
+    /// were appended.
+    validated_watermark: usize,
+    /// False once any read-log entry observed a foreign owner: the
+    /// clock cannot vouch for such an entry (ownership transfers do not
+    /// bump it), so validation must fall back to scanning.
+    clock_fast_path_ok: bool,
     state: TxState,
 }
 
@@ -137,6 +155,9 @@ impl<'stm> Transaction<'stm> {
             ctx: ManuallyDrop::new(ctx),
             counters: TxCounters::default(),
             reads_since_validate: 0,
+            clock_snapshot: stm.commit_clock(),
+            validated_watermark: 0,
+            clock_fast_path_ok: true,
             state: TxState::Active,
         }
     }
@@ -270,6 +291,11 @@ impl<'stm> Transaction<'stm> {
                 // Already open for update by us: subsumed, nothing to log.
                 return self.tick_read_validation();
             }
+            // An entry that observed a foreign owner can never pass
+            // validation, and the commit-sequence clock cannot see it
+            // (acquisitions do not bump the clock), so the validation
+            // fast path is off for the rest of this transaction.
+            self.clock_fast_path_ok = false;
         }
         self.ctx.logs.read.push(ReadEntry { obj, observed });
         self.counters.read_entries += 1;
@@ -508,6 +534,19 @@ impl<'stm> Transaction<'stm> {
 
     /// Validates the read set against the current heap state.
     ///
+    /// With [`StmConfig::commit_sequence`](crate::StmConfig) enabled
+    /// (the default), validation first consults the STM's global
+    /// commit-sequence clock: writers bump it before publishing any
+    /// update, so a transaction whose snapshot is unchanged — and whose
+    /// read log never observed a foreign owner — knows every entry is
+    /// still consistent and returns without touching the read log at
+    /// all. This makes read-only commits O(1) and repeated
+    /// re-validation nearly free under low write traffic. When the
+    /// clock has moved, one full pass runs and refreshes the snapshot
+    /// and the validated watermark; the doom flag and the renumbering
+    /// epoch are always checked *before* the clock shortcut, so dooming
+    /// and version-overflow epoch bumps can never be skipped.
+    ///
     /// # Errors
     ///
     /// [`TxError::INVALID`] if a read object changed;
@@ -519,15 +558,48 @@ impl<'stm> Transaction<'stm> {
         self.check_doomed()?;
         self.counters.validations += 1;
         // Order all preceding data loads before the validation loads
-        // (seqlock-style LoadLoad fence).
+        // (seqlock-style LoadLoad fence). Also orders them before the
+        // commit-clock load below.
         std::sync::atomic::fence(Ordering::Acquire);
 
         if self.stm.epoch() != self.epoch {
             return Err(TxError::EPOCH);
         }
-        for entry in &self.ctx.logs.read {
+
+        // Commit-sequence fast path. Soundness: the clock is bumped
+        // before the first header release-store of every
+        // update-publishing commit, so observing any published header
+        // implies observing the bump (release/acquire on the header,
+        // program order in the writer). Clock unchanged therefore means
+        // no update this transaction could have seen was published
+        // since the snapshot — every entry that observed a version word
+        // is still consistent, and entries that observed a foreign
+        // owner cleared `clock_fast_path_ok` when they were appended.
+        let mut start = 0;
+        let mut clock = None;
+        if self.stm.config().commit_sequence {
+            let now = self.stm.commit_clock();
+            if now == self.clock_snapshot {
+                if self.clock_fast_path_ok {
+                    self.counters.validation_fast_path += 1;
+                    self.validated_watermark = self.ctx.logs.read.len();
+                    return Ok(());
+                }
+                // Clock unchanged but a foreign owner was observed
+                // since the watermark: the covered prefix is still
+                // vouched for by the clock; rescan only the tail (which
+                // contains the offending entry and cannot pass).
+                start = self.validated_watermark;
+            }
+            clock = Some(now);
+        }
+
+        let mut scanned = 0u64;
+        let mut valid = true;
+        for entry in &self.ctx.logs.read[start..] {
+            scanned += 1;
             let current = self.stm.heap().header_atomic(entry.obj).load(Ordering::Acquire);
-            let valid = match StmWord::decode(entry.observed) {
+            valid = match StmWord::decode(entry.observed) {
                 StmWord::Version(v) => match StmWord::decode(current) {
                     StmWord::Version(cv) => cv == v,
                     StmWord::Owned { owner, entry: idx } => {
@@ -544,8 +616,19 @@ impl<'stm> Transaction<'stm> {
                 StmWord::Owned { .. } => false,
             };
             if !valid {
-                return Err(TxError::INVALID);
+                break;
             }
+        }
+        self.counters.validation_entries_scanned += scanned;
+        if !valid {
+            return Err(TxError::INVALID);
+        }
+        if let Some(now) = clock {
+            // The pass read the clock *before* scanning: a commit that
+            // raced with the scan keeps the snapshot behind and forces
+            // the next validation back onto the full pass.
+            self.clock_snapshot = now;
+            self.validated_watermark = self.ctx.logs.read.len();
         }
         Ok(())
     }
@@ -581,6 +664,14 @@ impl<'stm> Transaction<'stm> {
         }
 
         // Release phase: publish every update with a bumped version.
+        // Announce the publish on the commit-sequence clock *first*:
+        // any transaction that observes one of the released headers
+        // must also observe the bump (and so cannot skip validation
+        // across this commit).
+        if self.stm.config().commit_sequence && self.ctx.logs.update.iter().any(|entry| !entry.dead)
+        {
+            self.stm.bump_commit_clock();
+        }
         let max_version = self.stm.config().max_version();
         let mut epoch_bumps = 0u32;
         for entry in &self.ctx.logs.update {
@@ -709,6 +800,13 @@ impl<'stm> Transaction<'stm> {
         self.ctx.logs.update.truncate(sp.update_len);
         self.ctx.logs.read.truncate(sp.read_len);
         self.ctx.logs.allocs.truncate(sp.alloc_len);
+        // The validated watermark must not extend past the surviving
+        // read log, and a foreign-owner observation may have been
+        // rolled away with the truncated tail — recompute eligibility
+        // from the entries that remain.
+        self.validated_watermark = self.validated_watermark.min(sp.read_len);
+        self.clock_fast_path_ok =
+            !self.ctx.logs.read.iter().any(|e| e.observed_foreign_owner(self.token));
         // Stale filter claims would be unsound after truncation.
         if let Some(filter) = &mut self.ctx.filter {
             filter.clear();
