@@ -12,17 +12,33 @@
 //! `--experiment e2` (and `e3`, and `all`) additionally runs the
 //! measured scalability sweep and writes `BENCH_e2_scalability.json`
 //! at the repository root; `e5b` (and `all`) runs the measured
-//! validation-cost sweep and writes `BENCH_e5_validation.json`.
+//! validation-cost sweep and writes `BENCH_e5_validation.json`. `all`
+//! runs each measured sweep exactly once, however many experiments
+//! share it.
 //! Run `repro --help` (or pass an unknown id) for the experiment table.
 
 use omt_bench::experiments::{self, Scale};
 use omt_bench::{scalability, validation};
 
-/// One dispatchable experiment: id, what it regenerates, and a runner.
+/// A measured sweep attached to one or more experiments. Sweeps are
+/// the expensive part of a run, so `all` deduplicates them and runs
+/// each exactly once (after the experiment bodies).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Sweep {
+    /// Threads × workload × implementation throughput
+    /// (`BENCH_e2_scalability.json`).
+    Scalability,
+    /// Commit-sequence validation cost (`BENCH_e5_validation.json`).
+    Validation,
+}
+
+/// One dispatchable experiment: id, what it regenerates, a runner for
+/// its body, and the measured sweep (if any) that accompanies it.
 struct Experiment {
     id: &'static str,
     description: &'static str,
     run: fn(Scale),
+    sweep: Option<Sweep>,
 }
 
 /// Every experiment id accepted by `--experiment`, in `all` order.
@@ -31,47 +47,61 @@ const EXPERIMENTS: &[Experiment] = &[
         id: "e1",
         description: "single-thread overhead vs locks",
         run: experiments::e1_overhead,
+        sweep: None,
     },
     Experiment {
         id: "e2",
         description: "hashtable scaling + measured sweep (BENCH_e2_scalability.json)",
-        run: run_e2,
+        run: experiments::e2_hashtable,
+        sweep: Some(Sweep::Scalability),
     },
     Experiment {
         id: "e3",
         description: "data structures, travel workload + measured sweep",
-        run: run_e3,
+        run: run_e3_body,
+        sweep: Some(Sweep::Scalability),
     },
     Experiment {
         id: "e4",
         description: "static barrier-elimination counts",
         run: experiments::e4_barrier_counts,
+        sweep: None,
     },
     Experiment {
         id: "e5",
         description: "runtime log filtering ablation",
         run: experiments::e5_filter,
+        sweep: None,
     },
     Experiment {
         id: "e5b",
         description: "commit-sequence validation cost (BENCH_e5_validation.json)",
-        run: run_e5b,
+        run: no_body,
+        sweep: Some(Sweep::Validation),
     },
-    Experiment { id: "e6", description: "GC integration: log trimming", run: experiments::e6_gc },
+    Experiment {
+        id: "e6",
+        description: "GC integration: log trimming",
+        run: experiments::e6_gc,
+        sweep: None,
+    },
     Experiment {
         id: "e7",
         description: "contention management policies",
         run: experiments::e7_contention,
+        sweep: None,
     },
     Experiment {
         id: "e8",
         description: "direct vs buffered update, metadata placement",
         run: run_e8,
+        sweep: None,
     },
     Experiment {
         id: "e9",
         description: "sandboxing and version overflow",
         run: experiments::e9_sandbox_overflow,
+        sweep: None,
     },
 ];
 
@@ -101,28 +131,46 @@ fn main() {
         for e in EXPERIMENTS {
             (e.run)(scale);
         }
+        // Measured sweeps run last, each exactly once, however many
+        // experiments reference them.
+        let mut done: Vec<Sweep> = Vec::new();
+        for sweep in EXPERIMENTS.iter().filter_map(|e| e.sweep) {
+            if !done.contains(&sweep) {
+                done.push(sweep);
+                run_sweep(sweep, scale);
+            }
+        }
     } else {
         match EXPERIMENTS.iter().find(|e| e.id == experiment) {
-            Some(e) => (e.run)(scale),
+            Some(e) => {
+                (e.run)(scale);
+                if let Some(sweep) = e.sweep {
+                    run_sweep(sweep, scale);
+                }
+            }
             None => usage(&format!("unknown experiment `{experiment}`")),
         }
     }
 }
 
-fn run_e2(scale: Scale) {
-    experiments::e2_hashtable(scale);
-    run_scalability_sweep(scale);
-}
+/// Body for experiments that consist solely of their measured sweep.
+fn no_body(_: Scale) {}
 
-fn run_e3(scale: Scale) {
+fn run_e3_body(scale: Scale) {
     experiments::e3_structures(scale);
     experiments::e3d_travel(scale);
-    run_scalability_sweep(scale);
 }
 
 fn run_e8(scale: Scale) {
     experiments::e8_direct_vs_buffered(scale);
     experiments::e8c_metadata_placement(scale);
+}
+
+fn run_sweep(sweep: Sweep, scale: Scale) {
+    match sweep {
+        Sweep::Scalability => run_scalability_sweep(scale),
+        Sweep::Validation => run_validation_sweep(scale),
+    }
 }
 
 /// Runs the measured threads × workload × implementation sweep, prints
@@ -136,7 +184,7 @@ fn run_scalability_sweep(scale: Scale) {
 
 /// Runs the measured validation-cost sweep (E5b), prints its tables,
 /// and writes the validated JSON report.
-fn run_e5b(scale: Scale) {
+fn run_validation_sweep(scale: Scale) {
     let report = validation::run_validation(scale);
     report.print_tables();
     let path = validation::default_output_path();

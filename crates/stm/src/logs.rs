@@ -33,8 +33,9 @@ impl ReadEntry {
     /// or commits with a bumped version), and the value read alongside
     /// it may have been the owner's uncommitted in-place store. Its
     /// presence therefore disables the commit-sequence-clock fast path
-    /// for the whole transaction: ownership transfers do not bump the
-    /// clock, so the clock alone cannot vouch for this entry.
+    /// for the whole transaction: the acquisition may predate the
+    /// transaction's clock snapshots and the owner's later in-place
+    /// stores bump no clock, so the clocks cannot vouch for this entry.
     pub(crate) fn observed_foreign_owner(&self, me: TxToken) -> bool {
         matches!(StmWord::decode(self.observed), StmWord::Owned { owner, .. } if owner != me)
     }

@@ -62,6 +62,15 @@ pub struct Stm {
     /// since, so its read set needs no rescan (see
     /// [`Transaction::validate`] and DESIGN.md §4.7).
     commit_clock: AtomicU64,
+    /// Acquisition clock: bumped by every successful ownership
+    /// acquisition (`open_for_update`'s CAS), *before* the acquiring
+    /// transaction can issue any in-place store. In a direct-update
+    /// STM an uncommitted in-place store is observable without any
+    /// commit having happened, so the commit clock alone cannot vouch
+    /// for a read set; the validation fast path requires *both* clocks
+    /// to be quiescent (see [`Transaction::validate`] and DESIGN.md
+    /// §4.7).
+    acquire_clock: AtomicU64,
     next_token: AtomicU32,
     next_serial: AtomicU64,
     registry: TxRegistry,
@@ -112,6 +121,7 @@ impl Stm {
             config,
             epoch: AtomicU64::new(0),
             commit_clock: AtomicU64::new(0),
+            acquire_clock: AtomicU64::new(0),
             next_token: AtomicU32::new(1),
             next_serial: AtomicU64::new(1),
             registry: TxRegistry::new(stats.clone()),
@@ -181,6 +191,31 @@ impl Stm {
     /// never takes the validation fast path across this commit.
     pub(crate) fn bump_commit_clock(&self) {
         self.commit_clock.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Current acquisition clock (number of successful ownership
+    /// acquisitions so far, while [`StmConfig::commit_sequence`] is
+    /// enabled).
+    pub fn acquire_clock(&self) -> u64 {
+        self.acquire_clock.load(Ordering::Acquire)
+    }
+
+    /// Announces a successful ownership acquisition. Runs *after* the
+    /// acquiring CAS and *before* `open_for_update` returns, so no
+    /// in-place store can precede it. Two orderings matter:
+    ///
+    /// - CAS-then-bump (`AcqRel` on both): a validator whose `Acquire`
+    ///   clock load observes the bump also observes the `Owned` header,
+    ///   so a read-log scan under that clock value cannot miss the
+    ///   acquisition.
+    /// - The trailing `Release` fence pairs with the `Acquire` fence at
+    ///   the top of [`Transaction::validate`]: a validator that
+    ///   observed any of the owner's subsequent (relaxed) in-place
+    ///   stores must then also observe the bump, and therefore never
+    ///   takes the fast path across uncommitted data.
+    pub(crate) fn bump_acquire_clock(&self) {
+        self.acquire_clock.fetch_add(1, Ordering::AcqRel);
+        std::sync::atomic::fence(Ordering::Release);
     }
 
     /// Begins a transaction.

@@ -1024,8 +1024,9 @@ fn foreign_owner_in_read_log_disables_the_fast_path() {
 
     let mut reader = stm.begin();
     reader.read(obj, 0).unwrap(); // observes the foreign Owned word
-                                  // Ownership acquisition does not bump the clock, so the clock alone
-                                  // cannot vouch for this entry — the fast path must stand down.
+                                  // The acquisition predates the reader's clock snapshots and the
+                                  // owner's in-place stores bump no clock, so the clocks cannot vouch
+                                  // for this entry — the fast path must stand down.
     assert_eq!(reader.validate(), Err(TxError::INVALID));
     assert_eq!(reader.counters().validation_fast_path, 0);
     assert_eq!(reader.counters().validation_entries_scanned, 1);
@@ -1038,17 +1039,20 @@ fn poisoned_tail_rescans_only_past_the_watermark() {
     let a = heap.alloc(class).unwrap();
     let b = heap.alloc(class).unwrap();
 
+    // The acquisition happens before the reader begins, so both clocks
+    // stay quiescent from the reader's point of view.
+    let mut owner = stm.begin();
+    owner.open_for_update(b).unwrap();
+
     let mut reader = stm.begin();
     reader.read(a, 0).unwrap();
     reader.validate().unwrap(); // watermark now covers entry 0
     assert_eq!(reader.counters().validation_fast_path, 1);
 
-    let mut owner = stm.begin();
-    owner.open_for_update(b).unwrap();
     reader.read(b, 0).unwrap(); // poisons the fast path
 
-    // Clock unchanged: the clock still vouches for the covered prefix,
-    // so only the tail (the offending entry) is scanned.
+    // Clocks unchanged: they still vouch for the covered prefix, so
+    // only the tail (the offending entry) is scanned.
     assert_eq!(reader.validate(), Err(TxError::INVALID));
     assert_eq!(reader.counters().validation_entries_scanned, 1);
     owner.abort();
@@ -1073,6 +1077,114 @@ fn rollback_to_savepoint_restores_fast_path_eligibility() {
     reader.validate().unwrap();
     assert_eq!(reader.counters().validation_fast_path, 1, "poison recomputed after rollback");
     reader.commit().unwrap();
+}
+
+#[test]
+fn in_flight_acquisition_defeats_the_fast_path() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    heap.store(obj, 0, Word::from_scalar(1));
+
+    let mut reader = stm.begin();
+    assert_eq!(reader.read(obj, 0).unwrap().as_scalar(), Some(1));
+
+    // A writer acquires the object and stores in place *after* the
+    // reader opened it, without committing: the commit clock stays
+    // parked, but the acquisition clock moves.
+    let mut writer = stm.begin();
+    writer.write(obj, 0, Word::from_scalar(99)).unwrap();
+    assert_eq!(stm.commit_clock(), 0);
+
+    // Direct update makes the uncommitted store observable; the
+    // validation fast path must stand down and the scan must abort the
+    // reader (observed Version vs current foreign Owned).
+    assert_eq!(reader.load_direct(obj, 0).as_scalar(), Some(99), "dirty read is observable");
+    assert_eq!(reader.validate(), Err(TxError::INVALID));
+    assert_eq!(reader.counters().validation_fast_path, 0);
+    assert_eq!(reader.commit(), Err(TxError::INVALID));
+    writer.abort();
+}
+
+#[test]
+fn acquisition_after_watermark_refresh_forces_a_full_rescan() {
+    let (heap, class, stm) = setup();
+    let a = heap.alloc(class).unwrap();
+    let b = heap.alloc(class).unwrap();
+
+    let mut reader = stm.begin();
+    reader.read(a, 0).unwrap();
+    reader.read(b, 0).unwrap();
+    reader.validate().unwrap(); // watermark covers both entries
+    assert_eq!(reader.counters().validation_fast_path, 1);
+
+    // An acquisition *inside* the watermark-covered prefix: the clocks
+    // may no longer vouch for the prefix, so the next validation must
+    // rescan it (and reject the now-owned entry) rather than fast-path
+    // or tail-scan.
+    let mut writer = stm.begin();
+    writer.write(a, 0, Word::from_scalar(7)).unwrap();
+
+    assert_eq!(reader.validate(), Err(TxError::INVALID));
+    assert_eq!(reader.counters().validation_fast_path, 1, "no further fast path");
+    assert!(reader.counters().validation_entries_scanned >= 1, "the prefix was rescanned");
+    writer.abort();
+}
+
+#[test]
+fn mid_validation_catches_an_in_flight_writer() {
+    // Zombie containment: `validate_every` re-validation is the
+    // mechanism that stops a doomed transaction from computing on torn
+    // reads, so it must never fast-path across an in-flight foreign
+    // acquisition.
+    let (heap, class, stm) =
+        setup_with(StmConfig { validate_every: Some(2), ..StmConfig::default() });
+    let x = heap.alloc(class).unwrap();
+    let y = heap.alloc(class).unwrap();
+
+    let mut reader = stm.begin();
+    reader.read(x, 0).unwrap(); // one read: no mid-validation yet
+
+    let mut writer = stm.begin();
+    writer.write(x, 0, Word::from_scalar(13)).unwrap(); // uncommitted
+
+    // The second read trips the periodic validation, which must scan
+    // (the acquisition clock moved) and abort the zombie-to-be.
+    assert_eq!(reader.read(y, 0), Err(TxError::INVALID));
+    assert_eq!(reader.counters().mid_validations, 1);
+    assert_eq!(reader.counters().validation_fast_path, 0);
+    reader.abort();
+    writer.abort();
+}
+
+#[test]
+fn own_acquisitions_keep_the_fast_path_armed() {
+    let (heap, class, stm) = setup();
+    let a = heap.alloc(class).unwrap();
+    let b = heap.alloc(class).unwrap();
+
+    // A read-write transaction with no foreign activity: its own
+    // acquisition bumps are discounted, so validation is still O(1).
+    let mut tx = stm.begin();
+    tx.read(a, 0).unwrap();
+    tx.write(b, 0, Word::from_scalar(3)).unwrap();
+    tx.validate().unwrap();
+    assert_eq!(tx.counters().validation_fast_path, 1);
+    assert_eq!(tx.counters().validation_entries_scanned, 0);
+    tx.commit().unwrap();
+    assert_eq!(stm.acquire_clock(), 1);
+    assert_eq!(stm.commit_clock(), 1);
+}
+
+#[test]
+fn knob_off_parks_both_clocks() {
+    let (heap, class, stm) =
+        setup_with(StmConfig { commit_sequence: false, ..StmConfig::default() });
+    let obj = heap.alloc(class).unwrap();
+    let mut tx = stm.begin();
+    tx.write(obj, 0, Word::from_scalar(4)).unwrap();
+    tx.commit().unwrap();
+    assert_eq!(stm.commit_clock(), 0);
+    assert_eq!(stm.acquire_clock(), 0);
 }
 
 #[test]

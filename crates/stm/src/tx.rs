@@ -125,6 +125,21 @@ pub struct Transaction<'stm> {
     /// prefix (`0..validated_watermark`) is known consistent: snapshot
     /// at begin, refreshed by every successful validation.
     clock_snapshot: u64,
+    /// Acquisition-clock value snapshot, taken and refreshed together
+    /// with `clock_snapshot`. The fast path additionally requires the
+    /// acquisition clock to be quiescent — in a direct-update STM a
+    /// foreign acquisition alone (no commit) already permits
+    /// observable dirty in-place stores.
+    acquire_snapshot: u64,
+    /// Acquisition-clock bumps made by *this* transaction since
+    /// `acquire_snapshot`. The clock is monotone, so
+    /// `acquire_clock == acquire_snapshot + self_acquire_bumps` proves
+    /// no *foreign* acquisition happened in between — our own
+    /// acquisitions never invalidate our own reads (validation checks
+    /// self-owned entries against the update log, and a foreign
+    /// publish between our read and our acquisition would have bumped
+    /// the commit clock).
+    self_acquire_bumps: u64,
     /// Length of the read-log prefix covered by `clock_snapshot`.
     /// Entries past the watermark have not been re-checked since they
     /// were appended.
@@ -156,6 +171,8 @@ impl<'stm> Transaction<'stm> {
             counters: TxCounters::default(),
             reads_since_validate: 0,
             clock_snapshot: stm.commit_clock(),
+            acquire_snapshot: stm.acquire_clock(),
+            self_acquire_bumps: 0,
             validated_watermark: 0,
             clock_fast_path_ok: true,
             state: TxState::Active,
@@ -292,8 +309,9 @@ impl<'stm> Transaction<'stm> {
                 return self.tick_read_validation();
             }
             // An entry that observed a foreign owner can never pass
-            // validation, and the commit-sequence clock cannot see it
-            // (acquisitions do not bump the clock), so the validation
+            // validation, and the clocks cannot vouch for it: the
+            // acquisition may predate our snapshots, and the owner's
+            // later in-place stores move neither clock. The validation
             // fast path is off for the rest of this transaction.
             self.clock_fast_path_ok = false;
         }
@@ -362,6 +380,15 @@ impl<'stm> Transaction<'stm> {
                         .compare_exchange(current, owned, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
+                        // Announce the acquisition before any in-place
+                        // store becomes possible (stores require this
+                        // call to return first), so no concurrent
+                        // validation can fast-path across our dirty
+                        // data.
+                        if self.stm.config().commit_sequence {
+                            self.stm.bump_acquire_clock();
+                            self.self_acquire_bumps += 1;
+                        }
                         self.ctx.logs.update.push(UpdateEntry {
                             obj,
                             original_version: v,
@@ -535,17 +562,19 @@ impl<'stm> Transaction<'stm> {
     /// Validates the read set against the current heap state.
     ///
     /// With [`StmConfig::commit_sequence`](crate::StmConfig) enabled
-    /// (the default), validation first consults the STM's global
-    /// commit-sequence clock: writers bump it before publishing any
-    /// update, so a transaction whose snapshot is unchanged — and whose
-    /// read log never observed a foreign owner — knows every entry is
-    /// still consistent and returns without touching the read log at
-    /// all. This makes read-only commits O(1) and repeated
-    /// re-validation nearly free under low write traffic. When the
-    /// clock has moved, one full pass runs and refreshes the snapshot
-    /// and the validated watermark; the doom flag and the renumbering
-    /// epoch are always checked *before* the clock shortcut, so dooming
-    /// and version-overflow epoch bumps can never be skipped.
+    /// (the default), validation first consults two global clocks: the
+    /// commit-sequence clock (bumped before any update is published)
+    /// and the acquisition clock (bumped before any in-place store is
+    /// possible). A transaction whose snapshots of both are unchanged
+    /// — modulo its own acquisitions — and whose read log never
+    /// observed a foreign owner knows every entry is still consistent
+    /// and returns without touching the read log at all. This makes
+    /// read-only commits O(1) and repeated re-validation nearly free
+    /// under low write traffic. When either clock has moved, one full
+    /// pass runs and refreshes the snapshots and the validated
+    /// watermark; the doom flag and the renumbering epoch are always
+    /// checked *before* the clock shortcut, so dooming and
+    /// version-overflow epoch bumps can never be skipped.
     ///
     /// # Errors
     ///
@@ -566,32 +595,49 @@ impl<'stm> Transaction<'stm> {
             return Err(TxError::EPOCH);
         }
 
-        // Commit-sequence fast path. Soundness: the clock is bumped
-        // before the first header release-store of every
-        // update-publishing commit, so observing any published header
-        // implies observing the bump (release/acquire on the header,
-        // program order in the writer). Clock unchanged therefore means
-        // no update this transaction could have seen was published
-        // since the snapshot — every entry that observed a version word
-        // is still consistent, and entries that observed a foreign
-        // owner cleared `clock_fast_path_ok` when they were appended.
+        // Commit-sequence fast path. Soundness needs *two* quiescent
+        // clocks in a direct-update STM:
+        //
+        // - Commit clock: bumped before the first header release-store
+        //   of every update-publishing commit, so observing any
+        //   published header implies observing the bump
+        //   (release/acquire on the header, program order in the
+        //   writer). Unchanged ⇒ no update this transaction could have
+        //   seen was published since the snapshot.
+        // - Acquisition clock: bumped after every successful ownership
+        //   CAS, before the owner can issue an in-place store, with a
+        //   release fence pairing with the acquire fence above.
+        //   Observing an owner's dirty (uncommitted) store therefore
+        //   implies observing the bump. Foreign-quiescent (the monotone
+        //   clock advanced by exactly our own acquisitions) ⇒ no entry
+        //   that observed a version word has been acquired — let alone
+        //   dirtied — since the snapshot.
+        //
+        // Entries that observed a foreign owner *at open time* are the
+        // remaining case; they cleared `clock_fast_path_ok` when they
+        // were appended, because the owner's later stores move neither
+        // clock.
         let mut start = 0;
         let mut clock = None;
         if self.stm.config().commit_sequence {
             let now = self.stm.commit_clock();
-            if now == self.clock_snapshot {
+            let acq_now = self.stm.acquire_clock();
+            if now == self.clock_snapshot
+                && acq_now == self.acquire_snapshot + self.self_acquire_bumps
+            {
                 if self.clock_fast_path_ok {
                     self.counters.validation_fast_path += 1;
                     self.validated_watermark = self.ctx.logs.read.len();
                     return Ok(());
                 }
-                // Clock unchanged but a foreign owner was observed
+                // Clocks unchanged but a foreign owner was observed
                 // since the watermark: the covered prefix is still
-                // vouched for by the clock; rescan only the tail (which
-                // contains the offending entry and cannot pass).
+                // vouched for by the clocks; rescan only the tail
+                // (which contains the offending entry and cannot
+                // pass).
                 start = self.validated_watermark;
             }
-            clock = Some(now);
+            clock = Some((now, acq_now));
         }
 
         let mut scanned = 0u64;
@@ -623,11 +669,14 @@ impl<'stm> Transaction<'stm> {
         if !valid {
             return Err(TxError::INVALID);
         }
-        if let Some(now) = clock {
-            // The pass read the clock *before* scanning: a commit that
-            // raced with the scan keeps the snapshot behind and forces
-            // the next validation back onto the full pass.
+        if let Some((now, acq_now)) = clock {
+            // The pass read both clocks *before* scanning: a commit or
+            // acquisition that raced with the scan keeps the snapshot
+            // behind and forces the next validation back onto the full
+            // pass.
             self.clock_snapshot = now;
+            self.acquire_snapshot = acq_now;
+            self.self_acquire_bumps = 0;
             self.validated_watermark = self.ctx.logs.read.len();
         }
         Ok(())

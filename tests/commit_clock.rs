@@ -4,11 +4,11 @@
 //! readers must stay consistent while writers move the clock, and the
 //! opt-out knob must restore the unconditional full-rescan baseline.
 
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 
 use omt::heap::{ClassDesc, Heap, ObjRef, Word};
-use omt::stm::{Stm, StmConfig};
+use omt::stm::{Stm, StmConfig, TxError};
 
 const CELLS: usize = 16;
 const READERS: usize = 4;
@@ -97,6 +97,53 @@ fn clock_counts_exactly_the_update_publishing_commits() {
     assert_eq!(stm.commit_clock(), TRANSFERS as u64);
     let total: i64 = cells.iter().map(|c| heap.load(*c, 0).as_scalar().unwrap()).sum();
     assert_eq!(total, (0..CELLS as i64).sum::<i64>());
+}
+
+/// A reader that opened an object while it was quiescent must abort if
+/// a concurrent writer acquired it and stored in place — even though
+/// the writer never committed and the commit clock never moved. This
+/// is the direct-update dirty-read hazard the acquisition clock
+/// exists for: without it, the fast path would commit the reader on
+/// uncommitted data.
+#[test]
+fn uncommitted_in_place_store_aborts_the_reader() {
+    let (_heap, stm, cells) = setup(StmConfig::default());
+    let x = cells[0];
+
+    let (to_writer, writer_rx) = mpsc::channel::<()>();
+    let (to_reader, reader_rx) = mpsc::channel::<()>();
+
+    thread::scope(|s| {
+        let writer_stm = stm.clone();
+        s.spawn(move || {
+            // W: acquire x and store in place, but do not commit.
+            let mut writer = writer_stm.begin();
+            writer_rx.recv().unwrap();
+            writer.write(x, 0, Word::from_scalar(999)).unwrap();
+            to_reader.send(()).unwrap();
+            // Hold the uncommitted store across the reader's commit.
+            writer_rx.recv().unwrap();
+            writer.abort();
+        });
+
+        // R: open x while quiescent (observes a Version word).
+        let mut reader = stm.begin();
+        assert_eq!(reader.read(x, 0).unwrap().as_scalar(), Some(0));
+
+        // Sequence W's acquisition + in-place store after R's open.
+        to_writer.send(()).unwrap();
+        reader_rx.recv().unwrap();
+
+        // The channel handoff makes the dirty store visible.
+        assert_eq!(reader.load_direct(x, 0).as_scalar(), Some(999), "dirty read");
+        assert_eq!(stm.commit_clock(), 0, "nothing committed");
+        assert_eq!(reader.commit(), Err(TxError::INVALID), "must not commit dirty data");
+
+        to_writer.send(()).unwrap();
+    });
+
+    let stats = stm.stats();
+    assert_eq!(stats.aborts_invalid, 1);
 }
 
 #[test]
