@@ -1,0 +1,443 @@
+//! The execution engine: runs one set of virtual threads under one
+//! schedule, sequentially, by baton passing.
+//!
+//! Each virtual thread is a real OS thread with a schedule-point hook
+//! installed ([`omt_util::sched::install_hook`]). Exactly one party —
+//! the scheduler or one thread — holds the *baton* at any moment, so
+//! the execution is sequentially consistent by construction and fully
+//! determined by the sequence of scheduling choices. A thread runs from
+//! one schedule point to the next; at each point it hands the baton
+//! back and the scheduler picks who continues.
+//!
+//! ## What the engine can and cannot explore
+//!
+//! Because only one thread runs at a time, the engine explores exactly
+//! the interleavings of *instrumented* steps under sequential
+//! consistency. Weak-memory reorderings between schedule points are out
+//! of scope (see DESIGN.md §4.8); the schedule points are placed so the
+//! cross-thread races of interest straddle them.
+//!
+//! ## Abandonment
+//!
+//! A schedule that exceeds the step budget (a cooperative livelock —
+//! e.g. a waiter that is the only thread ever scheduled) is *abandoned*:
+//! hooks turn into pass-throughs and all threads run to completion
+//! under real concurrency. The run's outcome is then not a
+//! deterministic witness, so it is counted (`step_limited`) but its
+//! check result is discarded.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One virtual thread's body. Fresh closures are built for every
+/// execution by the scenario factory.
+pub type ThreadBody = Box<dyn FnOnce() + Send + 'static>;
+
+/// A scheduling policy for [`run_driven`]: receives the step index, the
+/// enabled set (non-empty), and the previously scheduled thread, and
+/// must return a member of the enabled set.
+pub type Chooser<'a> = dyn FnMut(usize, &[usize], Option<usize>) -> usize + 'a;
+
+/// A single execution: thread bodies plus a final-state check that runs
+/// after every thread finished. The check returns `Err` with a
+/// human-readable message to flag the schedule as a counterexample.
+pub struct Execution {
+    /// The virtual threads, scheduled by index.
+    pub threads: Vec<ThreadBody>,
+    /// Final-state oracle; runs on the scheduler thread at quiescence.
+    pub check: Box<dyn FnOnce() -> Result<(), String>>,
+}
+
+impl std::fmt::Debug for Execution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Execution").field("threads", &self.threads.len()).finish()
+    }
+}
+
+/// One recorded scheduling step: which thread ran and the site name it
+/// stopped at afterwards (`"<done>"` if it ran to completion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Index of the thread that was scheduled.
+    pub thread: usize,
+    /// Schedule-point name the thread stopped at, or `"<done>"`.
+    pub site: &'static str,
+}
+
+/// Site name recorded when a scheduled thread ran to completion instead
+/// of stopping at a schedule point.
+pub const SITE_DONE: &str = "<done>";
+/// Site name recorded when a scheduled thread panicked.
+pub const SITE_PANIC: &str = "<panicked>";
+
+/// Status of one virtual thread, as the scheduler sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    /// Spawned, has not yet been given the baton for the first time.
+    Ready,
+    /// Holds the baton and is executing.
+    Running,
+    /// Parked at a schedule point, waiting for the baton.
+    Yielded(&'static str),
+    /// Ran to completion.
+    Done,
+    /// Panicked; the payload's message.
+    Panicked(String),
+}
+
+impl Status {
+    fn enabled(&self) -> bool {
+        matches!(self, Status::Ready | Status::Yielded(_))
+    }
+}
+
+/// Who currently holds the baton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Scheduler,
+    Thread(usize),
+}
+
+struct EngineState {
+    turn: Turn,
+    statuses: Vec<Status>,
+}
+
+/// Shared between the scheduler and the virtual threads.
+struct Shared {
+    state: Mutex<EngineState>,
+    cv: Condvar,
+    /// Once set, hooks stop parking and all threads free-run to
+    /// completion (see module docs on abandonment).
+    abandoned: AtomicBool,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, EngineState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Called from a virtual thread's hook: park at `site` until the
+    /// scheduler hands the baton back.
+    fn yield_to_scheduler(&self, me: usize, site: &'static str) {
+        if self.abandoned.load(Ordering::Acquire) {
+            return;
+        }
+        let mut st = self.lock();
+        st.statuses[me] = Status::Yielded(site);
+        st.turn = Turn::Scheduler;
+        self.cv.notify_all();
+        while st.turn != Turn::Thread(me) && !self.abandoned.load(Ordering::Acquire) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.statuses[me] = Status::Running;
+    }
+
+    /// Called from a virtual thread's wrapper before running its body:
+    /// wait for the first baton.
+    fn wait_for_first_turn(&self, me: usize) {
+        let mut st = self.lock();
+        while st.turn != Turn::Thread(me) && !self.abandoned.load(Ordering::Acquire) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.statuses[me] = Status::Running;
+    }
+
+    /// Called from a virtual thread's wrapper when its body returned or
+    /// panicked: record the terminal status and return the baton.
+    fn finish(&self, me: usize, status: Status) {
+        let mut st = self.lock();
+        st.statuses[me] = status;
+        st.turn = Turn::Scheduler;
+        self.cv.notify_all();
+    }
+}
+
+/// How one run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All threads finished and the check passed.
+    Pass,
+    /// The check failed, or a thread panicked: `message` explains.
+    Fail {
+        /// Why this schedule is a counterexample.
+        message: String,
+    },
+    /// The step budget ran out; the run was abandoned (not a witness).
+    StepLimited,
+}
+
+/// Full record of one run: the decision trace (for backtracking and
+/// replay) and the outcome.
+#[derive(Debug)]
+pub struct RunRecord {
+    /// The scheduling decision made at each step.
+    pub steps: Vec<Step>,
+    /// The set of enabled threads observed before each step (parallel
+    /// to `steps`); DFS derives untried alternatives from it.
+    pub enabled_sets: Vec<Vec<usize>>,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// True if some forced choice (from the schedule prefix) named a
+    /// thread that was not enabled — the execution diverged from the
+    /// recording, i.e. the program is not deterministic under the
+    /// explored schedule points.
+    pub diverged: bool,
+}
+
+/// Runs `execution` under the scheduling choices in `prefix`; once the
+/// prefix is exhausted (or a forced choice is disabled), the *default
+/// policy* fills in: keep running the previously scheduled thread while
+/// it stays enabled, else the lowest-index enabled thread.
+///
+/// `max_steps` bounds cooperative livelocks (see module docs).
+pub fn run_one(execution: Execution, prefix: &[usize], max_steps: usize) -> RunRecord {
+    let diverged = std::cell::Cell::new(false);
+    let mut record = run_driven(
+        execution,
+        &mut |step, enabled, prev| match prefix.get(step) {
+            Some(&forced) if enabled.contains(&forced) => forced,
+            Some(_) => {
+                diverged.set(true);
+                default_choice(prev, enabled)
+            }
+            None => default_choice(prev, enabled),
+        },
+        max_steps,
+    );
+    record.diverged = diverged.get();
+    record
+}
+
+/// Runs `execution` with `chooser` deciding every step: it receives the
+/// step index, the enabled set (non-empty), and the previously
+/// scheduled thread, and must return a member of the enabled set.
+///
+/// This is the primitive under [`run_one`] (prefix + default fill) and
+/// under the explorer's random walks (seeded RNG chooser).
+pub fn run_driven(execution: Execution, chooser: &mut Chooser<'_>, max_steps: usize) -> RunRecord {
+    let Execution { threads, check } = execution;
+    let n = threads.len();
+    assert!(n > 0, "an execution needs at least one thread");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(EngineState { turn: Turn::Scheduler, statuses: vec![Status::Ready; n] }),
+        cv: Condvar::new(),
+        abandoned: AtomicBool::new(false),
+    });
+
+    let handles: Vec<_> = threads
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("omt-sched-t{i}"))
+                .spawn(move || {
+                    let hook_shared = shared.clone();
+                    omt_util::sched::install_hook(Box::new(move |site| {
+                        hook_shared.yield_to_scheduler(i, site);
+                    }));
+                    shared.wait_for_first_turn(i);
+                    let result = catch_unwind(AssertUnwindSafe(body));
+                    omt_util::sched::clear_hook();
+                    shared.finish(
+                        i,
+                        match result {
+                            Ok(()) => Status::Done,
+                            Err(payload) => Status::Panicked(panic_message(payload.as_ref())),
+                        },
+                    );
+                })
+                .expect("spawn virtual thread")
+        })
+        .collect();
+
+    let mut steps: Vec<Step> = Vec::new();
+    let mut enabled_sets: Vec<Vec<usize>> = Vec::new();
+    let mut step_limited = false;
+    let mut prev: Option<usize> = None;
+    loop {
+        let enabled: Vec<usize> = {
+            let st = shared.lock();
+            debug_assert_eq!(st.turn, Turn::Scheduler);
+            (0..n).filter(|&i| st.statuses[i].enabled()).collect()
+        };
+        if enabled.is_empty() {
+            break;
+        }
+        if steps.len() >= max_steps {
+            step_limited = true;
+            shared.abandoned.store(true, Ordering::Release);
+            shared.cv.notify_all();
+            break;
+        }
+        let choice = chooser(steps.len(), &enabled, prev);
+        assert!(enabled.contains(&choice), "chooser returned disabled thread {choice}");
+        enabled_sets.push(enabled);
+        // Hand over the baton and wait for it to come back.
+        {
+            let mut st = shared.lock();
+            st.turn = Turn::Thread(choice);
+            shared.cv.notify_all();
+            while st.turn != Turn::Scheduler {
+                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let site = match &st.statuses[choice] {
+                Status::Yielded(site) => site,
+                Status::Done => SITE_DONE,
+                Status::Panicked(_) => SITE_PANIC,
+                s => unreachable!("thread {choice} returned the baton in state {s:?}"),
+            };
+            steps.push(Step { thread: choice, site });
+        }
+        prev = Some(choice);
+    }
+
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    let outcome = if step_limited {
+        RunOutcome::StepLimited
+    } else {
+        let panics: Vec<String> = {
+            let st = shared.lock();
+            st.statuses
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Status::Panicked(msg) => Some(format!("thread {i} panicked: {msg}")),
+                    _ => None,
+                })
+                .collect()
+        };
+        if !panics.is_empty() {
+            RunOutcome::Fail { message: panics.join("; ") }
+        } else {
+            match check() {
+                Ok(()) => RunOutcome::Pass,
+                Err(message) => RunOutcome::Fail { message },
+            }
+        }
+    };
+    RunRecord { steps, enabled_sets, outcome, diverged: false }
+}
+
+/// The deterministic fill-in policy: continue the previous thread while
+/// it is enabled (no preemption), else the lowest-index enabled thread.
+pub(crate) fn default_choice(prev: Option<usize>, enabled: &[usize]) -> usize {
+    match prev {
+        Some(p) if enabled.contains(&p) => p,
+        _ => enabled[0],
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn two_appenders(order: &Arc<Mutex<Vec<u32>>>) -> Execution {
+        let threads: Vec<ThreadBody> = (0..2u32)
+            .map(|id| {
+                let order = order.clone();
+                Box::new(move || {
+                    omt_util::sched::yield_point("test.a");
+                    order.lock().unwrap().push(id * 10);
+                    omt_util::sched::yield_point("test.b");
+                    order.lock().unwrap().push(id * 10 + 1);
+                }) as ThreadBody
+            })
+            .collect();
+        Execution { threads, check: Box::new(|| Ok(())) }
+    }
+
+    #[test]
+    fn default_policy_runs_threads_to_completion_in_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let record = run_one(two_appenders(&order), &[], 1000);
+        assert_eq!(record.outcome, RunOutcome::Pass);
+        assert!(!record.diverged);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 10, 11]);
+        // t0: yield a, run (a..b), run (b..done) = 3 steps; same for t1.
+        assert_eq!(record.steps.len(), 6);
+        assert_eq!(record.steps[2].site, SITE_DONE);
+    }
+
+    #[test]
+    fn a_prefix_forces_an_interleaving() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Alternate strictly: t0 to a, t1 to a, t0 past a, t1 past a, ...
+        let record = run_one(two_appenders(&order), &[0, 1, 0, 1, 0, 1], 1000);
+        assert_eq!(record.outcome, RunOutcome::Pass);
+        assert!(!record.diverged);
+        assert_eq!(*order.lock().unwrap(), vec![0, 10, 1, 11]);
+    }
+
+    #[test]
+    fn panics_are_contained_and_reported() {
+        let threads: Vec<ThreadBody> =
+            vec![Box::new(|| panic!("boom")), Box::new(|| omt_util::sched::yield_point("test.x"))];
+        let record = run_one(Execution { threads, check: Box::new(|| Ok(())) }, &[], 1000);
+        match record.outcome {
+            RunOutcome::Fail { ref message } => assert!(message.contains("boom"), "{message}"),
+            ref o => panic!("expected Fail, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn check_failure_is_a_counterexample() {
+        let threads: Vec<ThreadBody> = vec![Box::new(|| {})];
+        let record =
+            run_one(Execution { threads, check: Box::new(|| Err("bad state".into())) }, &[], 1000);
+        assert_eq!(record.outcome, RunOutcome::Fail { message: "bad state".into() });
+    }
+
+    #[test]
+    fn step_limit_abandons_a_cooperative_livelock() {
+        // One thread yields forever *under the scheduler*; abandonment
+        // flips the hook off so the loop's exit flag (set by the other
+        // thread, which the default policy never schedules) is reached
+        // under free running.
+        let stop = Arc::new(AtomicBool::new(false));
+        let spins = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<ThreadBody> = vec![
+            Box::new({
+                let stop = stop.clone();
+                let spins = spins.clone();
+                move || {
+                    while !stop.load(Ordering::Acquire) {
+                        spins.fetch_add(1, Ordering::Relaxed);
+                        omt_util::sched::yield_point("test.spin");
+                    }
+                }
+            }),
+            Box::new({
+                let stop = stop.clone();
+                move || stop.store(true, Ordering::Release)
+            }),
+        ];
+        let record = run_one(Execution { threads, check: Box::new(|| Ok(())) }, &[], 100);
+        assert_eq!(record.outcome, RunOutcome::StepLimited);
+    }
+
+    #[test]
+    fn forced_choice_of_disabled_thread_marks_divergence() {
+        let threads: Vec<ThreadBody> = vec![Box::new(|| {})];
+        // Thread 5 does not exist; the run must fall back and flag it.
+        let record = run_one(Execution { threads, check: Box::new(|| Ok(())) }, &[5], 1000);
+        assert_eq!(record.outcome, RunOutcome::Pass);
+        assert!(record.diverged);
+    }
+}

@@ -1,0 +1,528 @@
+//! Exploration strategies over the engine: bounded-preemption DFS,
+//! seeded random walks, counterexample minimization, and replay.
+//!
+//! The DFS enumerates interleavings in the style of CHESS: schedules
+//! are ordered so the *non-preemptive* continuation (keep running the
+//! current thread) is tried first, and a schedule may contain at most
+//! [`SchedConfig::preemption_bound`] preemptions — switches away from a
+//! thread that was still enabled. Most concurrency bugs need only a
+//! handful of preemptions, so a small bound covers the interesting
+//! space at a fraction of the factorial cost. Seeded random walks are
+//! layered on top to sample beyond the bound.
+
+use omt_util::rng::StdRng;
+
+use crate::engine::{self, run_one, Execution, RunOutcome, RunRecord, Step};
+
+/// Tuning for one exploration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Maximum preemptions per DFS schedule (CHESS-style context bound).
+    pub preemption_bound: usize,
+    /// Cap on DFS schedules; the search reports `exhausted: false` when
+    /// it stops here.
+    pub max_schedules: usize,
+    /// Number of seeded random walks run after (or instead of) the DFS.
+    /// Walks ignore the preemption bound.
+    pub random_walks: usize,
+    /// Seed for the random walks (walk `w` uses `seed + w`).
+    pub seed: u64,
+    /// Per-run step budget; a run exceeding it is abandoned as a
+    /// cooperative livelock (counted in `step_limited`, not a witness).
+    pub max_steps: usize,
+    /// Minimize counterexamples by greedy tail truncation before
+    /// reporting.
+    pub minimize: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            preemption_bound: 2,
+            max_schedules: 20_000,
+            random_walks: 200,
+            seed: 0xC0FFEE,
+            max_steps: 20_000,
+            minimize: true,
+        }
+    }
+}
+
+/// A schedule: the thread index chosen at each scheduling step. Replay
+/// runs this as a forced prefix with deterministic default fill-in
+/// beyond it, so a frozen schedule stays replayable even if the tail of
+/// the execution grows.
+pub type Schedule = Vec<usize>;
+
+/// A failing schedule, minimized (if configured) and re-verified.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The oracle's message (or the panic message).
+    pub message: String,
+    /// The failing schedule, replayable via [`Explorer::replay`].
+    pub schedule: Schedule,
+    /// Human-readable step trace: one `tN @ site` line per step.
+    pub trace: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "counterexample: {}", self.message)?;
+        writeln!(f, "schedule: {:?}", self.schedule)?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+/// What an exploration did and found.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Total schedules executed (DFS + random + minimization probes).
+    pub schedules_run: usize,
+    /// Schedules executed by the bounded-preemption DFS.
+    pub dfs_schedules: usize,
+    /// Schedules executed by random walks.
+    pub random_schedules: usize,
+    /// True if the DFS enumerated its whole bounded space (it was not
+    /// cut off by `max_schedules` or by finding a counterexample).
+    pub exhausted: bool,
+    /// Runs abandoned for exceeding `max_steps`.
+    pub step_limited: usize,
+    /// Runs in which a forced choice named a disabled thread — evidence
+    /// of nondeterminism in the scenario (e.g. real randomness altering
+    /// control flow between runs).
+    pub divergences: usize,
+    /// The first failing schedule found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreReport {
+    /// True if no counterexample was found.
+    pub fn passed(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// One node of the DFS decision path.
+#[derive(Debug)]
+struct PathNode {
+    /// Candidate choices in exploration order: the default
+    /// (non-preemptive) continuation first, then the remaining enabled
+    /// threads by index.
+    ordered: Vec<usize>,
+    /// Index into `ordered` of the choice taken by the current path.
+    pos: usize,
+    /// Preemptions in the path strictly before this node.
+    preemptions_before: usize,
+    /// Thread scheduled at the previous node (None at the root).
+    prev: Option<usize>,
+}
+
+/// Deterministic schedule explorer over a scenario factory.
+///
+/// The factory builds a fresh [`Execution`] — fresh shared state, fresh
+/// thread closures, fresh check — for every run; the explorer owns
+/// *when* each virtual thread advances.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    config: SchedConfig,
+}
+
+impl Explorer {
+    /// An explorer with the given tuning.
+    pub fn new(config: SchedConfig) -> Explorer {
+        Explorer { config }
+    }
+
+    /// An explorer with [`SchedConfig::default`].
+    pub fn with_defaults() -> Explorer {
+        Explorer::new(SchedConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.config
+    }
+
+    /// Explores `factory`'s interleavings: the bounded-preemption DFS
+    /// first, then `random_walks` seeded walks. Stops at the first
+    /// counterexample (minimized if configured).
+    pub fn explore(&self, factory: &dyn Fn() -> Execution) -> ExploreReport {
+        let mut report = ExploreReport {
+            schedules_run: 0,
+            dfs_schedules: 0,
+            random_schedules: 0,
+            exhausted: false,
+            step_limited: 0,
+            divergences: 0,
+            counterexample: None,
+        };
+        self.dfs(factory, &mut report);
+        if report.counterexample.is_none() {
+            self.random_walks(factory, &mut report);
+        }
+        report
+    }
+
+    /// The bounded-preemption DFS (see module docs).
+    fn dfs(&self, factory: &dyn Fn() -> Execution, report: &mut ExploreReport) {
+        let bound = self.config.preemption_bound;
+        let mut prefix: Schedule = Vec::new();
+        loop {
+            if report.dfs_schedules >= self.config.max_schedules {
+                return;
+            }
+            let record = run_one(factory(), &prefix, self.config.max_steps);
+            report.schedules_run += 1;
+            report.dfs_schedules += 1;
+            self.note_run(&record, report);
+            if let RunOutcome::Fail { message } = &record.outcome {
+                report.counterexample =
+                    Some(self.build_counterexample(factory, message.clone(), &record, report));
+                return;
+            }
+            // Rebuild the decision path from the recorded run and
+            // backtrack to the deepest node with an untried,
+            // within-bound alternative.
+            let mut path = build_path(&record);
+            loop {
+                let Some(mut node) = path.pop() else {
+                    report.exhausted = true;
+                    return;
+                };
+                let mut advanced = false;
+                while node.pos + 1 < node.ordered.len() {
+                    node.pos += 1;
+                    let candidate = node.ordered[node.pos];
+                    let preemptions = node.preemptions_before
+                        + usize::from(is_preemption(node.prev, candidate, &node.ordered));
+                    if preemptions <= bound {
+                        advanced = true;
+                        break;
+                    }
+                }
+                if advanced {
+                    prefix = path
+                        .iter()
+                        .map(|n| n.ordered[n.pos])
+                        .chain(std::iter::once(node.ordered[node.pos]))
+                        .collect();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Seeded random walks; walk `w` uses seed `seed + w` and picks
+    /// uniformly among the enabled threads at every step.
+    fn random_walks(&self, factory: &dyn Fn() -> Execution, report: &mut ExploreReport) {
+        for walk in 0..self.config.random_walks {
+            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(walk as u64));
+            let record = engine::run_driven(
+                factory(),
+                &mut |_step, enabled, _prev| enabled[rng.gen_range(0..enabled.len())],
+                self.config.max_steps,
+            );
+            report.schedules_run += 1;
+            report.random_schedules += 1;
+            self.note_run(&record, report);
+            if let RunOutcome::Fail { message } = &record.outcome {
+                report.counterexample =
+                    Some(self.build_counterexample(factory, message.clone(), &record, report));
+                return;
+            }
+        }
+    }
+
+    /// Replays a frozen schedule once and returns the run's outcome.
+    /// The schedule is a forced prefix; steps beyond it (or forced
+    /// choices that are no longer enabled) fall back to the
+    /// deterministic default policy, so frozen schedules keep running —
+    /// if more loosely — as the code under test evolves.
+    pub fn replay(&self, factory: &dyn Fn() -> Execution, schedule: &Schedule) -> RunOutcome {
+        run_one(factory(), schedule, self.config.max_steps).outcome
+    }
+
+    fn note_run(&self, record: &RunRecord, report: &mut ExploreReport) {
+        if record.outcome == RunOutcome::StepLimited {
+            report.step_limited += 1;
+        }
+        if record.diverged {
+            report.divergences += 1;
+        }
+    }
+
+    /// Minimizes (if configured) and packages a failing run.
+    fn build_counterexample(
+        &self,
+        factory: &dyn Fn() -> Execution,
+        message: String,
+        record: &RunRecord,
+        report: &mut ExploreReport,
+    ) -> Counterexample {
+        let schedule: Schedule = record.steps.iter().map(|s| s.thread).collect();
+        if !self.config.minimize {
+            return Counterexample { message, schedule, trace: trace_string(&record.steps) };
+        }
+        let (schedule, steps, message) =
+            self.minimize(factory, schedule, record.steps.clone(), message, report);
+        Counterexample { message, schedule, trace: trace_string(&steps) }
+    }
+
+    /// Greedy tail truncation: repeatedly try cutting the schedule just
+    /// before its last *non-default* decision; if the default fill from
+    /// there still fails, adopt the shorter schedule. The result is a
+    /// schedule whose trailing decisions are all forced/default — the
+    /// final preemption it contains is essential.
+    fn minimize(
+        &self,
+        factory: &dyn Fn() -> Execution,
+        mut schedule: Schedule,
+        mut steps: Vec<Step>,
+        mut message: String,
+        report: &mut ExploreReport,
+    ) -> (Schedule, Vec<Step>, String) {
+        while let Some(cut) = last_nondefault_index(&schedule) {
+            let candidate: Schedule = schedule[..cut].to_vec();
+            let record = run_one(factory(), &candidate, self.config.max_steps);
+            report.schedules_run += 1;
+            let RunOutcome::Fail { message: m } = record.outcome else { break };
+            schedule = record.steps.iter().map(|s| s.thread).collect();
+            steps = record.steps;
+            message = m;
+            // The re-recorded schedule may again have a non-default
+            // tail (default fill-in is recorded explicitly), so trim
+            // the recorded schedule back to the forced prefix first.
+            schedule.truncate(cut);
+        }
+        (schedule, steps, message)
+    }
+}
+
+/// Rebuilds the DFS decision path from a recorded run.
+fn build_path(record: &RunRecord) -> Vec<PathNode> {
+    let mut path = Vec::with_capacity(record.steps.len());
+    let mut prev: Option<usize> = None;
+    let mut preemptions = 0usize;
+    for (step, enabled) in record.steps.iter().zip(&record.enabled_sets) {
+        let ordered = candidate_order(prev, enabled);
+        let pos =
+            ordered.iter().position(|&c| c == step.thread).expect("recorded choice was enabled");
+        path.push(PathNode { ordered, pos, preemptions_before: preemptions, prev });
+        preemptions += usize::from(is_preemption(prev, step.thread, &path.last().unwrap().ordered));
+        prev = Some(step.thread);
+    }
+    path
+}
+
+/// Candidate choices at a node, default (non-preemptive) continuation
+/// first, then the remaining enabled threads by index.
+fn candidate_order(prev: Option<usize>, enabled: &[usize]) -> Vec<usize> {
+    let default = engine::default_choice(prev, enabled);
+    std::iter::once(default).chain(enabled.iter().copied().filter(|&c| c != default)).collect()
+}
+
+/// A choice is a preemption iff it switches away from a previous thread
+/// that is still enabled. `ordered` is the node's candidate list (its
+/// membership is the enabled set).
+fn is_preemption(prev: Option<usize>, choice: usize, ordered: &[usize]) -> bool {
+    match prev {
+        Some(p) => choice != p && ordered.contains(&p),
+        None => false,
+    }
+}
+
+/// Index of the last context switch in the schedule (entry `k` naming a
+/// different thread than entry `k-1`), falling back to `0` for a
+/// non-empty switch-free schedule and `None` for an empty one. Cutting
+/// at the returned index and default-filling from there removes the
+/// schedule's last forced decision.
+fn last_nondefault_index(schedule: &Schedule) -> Option<usize> {
+    if schedule.is_empty() {
+        return None;
+    }
+    (1..schedule.len()).rev().find(|&k| schedule[k] != schedule[k - 1]).or(Some(0))
+}
+
+/// Formats steps as a numbered, replayable trace.
+pub fn trace_string(steps: &[Step]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (k, step) in steps.iter().enumerate() {
+        let _ = writeln!(out, "  step {k:>4}: t{} @ {}", step.thread, step.site);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ThreadBody;
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    /// A classic lost-update race: two threads read-modify-write a
+    /// shared cell with a schedule point between load and store. Only
+    /// an interleaving that preempts between them loses an update.
+    fn lost_update_factory() -> Execution {
+        let cell = Arc::new(AtomicI64::new(0));
+        let threads: Vec<ThreadBody> = (0..2)
+            .map(|_| {
+                let cell = cell.clone();
+                Box::new(move || {
+                    let v = cell.load(Ordering::SeqCst);
+                    omt_util::sched::yield_point("race.between_load_and_store");
+                    cell.store(v + 1, Ordering::SeqCst);
+                }) as ThreadBody
+            })
+            .collect();
+        let check_cell = cell.clone();
+        Execution {
+            threads,
+            check: Box::new(move || {
+                let v = check_cell.load(Ordering::SeqCst);
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("lost update: expected 2, got {v}"))
+                }
+            }),
+        }
+    }
+
+    /// The same program with the race fixed (atomic increment).
+    fn sound_factory() -> Execution {
+        let cell = Arc::new(AtomicI64::new(0));
+        let threads: Vec<ThreadBody> = (0..2)
+            .map(|_| {
+                let cell = cell.clone();
+                Box::new(move || {
+                    omt_util::sched::yield_point("race.before_increment");
+                    cell.fetch_add(1, Ordering::SeqCst);
+                }) as ThreadBody
+            })
+            .collect();
+        let check_cell = cell.clone();
+        Execution {
+            threads,
+            check: Box::new(move || {
+                let v = check_cell.load(Ordering::SeqCst);
+                if v == 2 {
+                    Ok(())
+                } else {
+                    Err(format!("expected 2, got {v}"))
+                }
+            }),
+        }
+    }
+
+    #[test]
+    fn dfs_finds_the_lost_update() {
+        let explorer = Explorer::new(SchedConfig { random_walks: 0, ..SchedConfig::default() });
+        let report = explorer.explore(&lost_update_factory);
+        let cx = report.counterexample.expect("the race must be found");
+        assert!(cx.message.contains("lost update"), "{}", cx.message);
+        assert!(cx.trace.contains("race.between_load_and_store"));
+        // The counterexample must replay.
+        match explorer.replay(&lost_update_factory, &cx.schedule) {
+            RunOutcome::Fail { message } => assert!(message.contains("lost update")),
+            o => panic!("minimized schedule must still fail, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn dfs_exhausts_the_sound_program() {
+        let explorer = Explorer::new(SchedConfig { random_walks: 0, ..SchedConfig::default() });
+        let report = explorer.explore(&sound_factory);
+        assert!(report.passed(), "{:?}", report.counterexample);
+        assert!(report.exhausted, "tiny space must be fully enumerated");
+        assert!(report.dfs_schedules > 1, "more than one interleaving explored");
+        assert_eq!(report.divergences, 0);
+    }
+
+    #[test]
+    fn random_walks_also_find_the_race() {
+        let explorer = Explorer::new(SchedConfig {
+            max_schedules: 0, // disable DFS
+            random_walks: 100,
+            ..SchedConfig::default()
+        });
+        let report = explorer.explore(&lost_update_factory);
+        assert!(report.counterexample.is_some());
+        assert!(report.random_schedules >= 1);
+    }
+
+    #[test]
+    fn walks_are_deterministic_under_a_seed() {
+        let config = SchedConfig { max_schedules: 0, random_walks: 50, ..SchedConfig::default() };
+        let a = Explorer::new(config.clone()).explore(&lost_update_factory);
+        let b = Explorer::new(config).explore(&lost_update_factory);
+        let (ca, cb) = (a.counterexample.unwrap(), b.counterexample.unwrap());
+        assert_eq!(ca.schedule, cb.schedule, "same seed, same counterexample");
+        assert_eq!(a.random_schedules, b.random_schedules);
+    }
+
+    #[test]
+    fn minimized_schedules_are_no_longer_than_raw_ones() {
+        let raw = Explorer::new(SchedConfig {
+            random_walks: 0,
+            minimize: false,
+            ..SchedConfig::default()
+        })
+        .explore(&lost_update_factory)
+        .counterexample
+        .unwrap();
+        let min = Explorer::new(SchedConfig { random_walks: 0, ..SchedConfig::default() })
+            .explore(&lost_update_factory)
+            .counterexample
+            .unwrap();
+        assert!(min.schedule.len() <= raw.schedule.len());
+    }
+
+    #[test]
+    fn preemption_bound_zero_sees_only_serial_orders() {
+        // With no preemptions allowed the lost update is invisible:
+        // each thread runs its load+store back to back.
+        let explorer = Explorer::new(SchedConfig {
+            preemption_bound: 0,
+            random_walks: 0,
+            ..SchedConfig::default()
+        });
+        let report = explorer.explore(&lost_update_factory);
+        assert!(report.passed(), "bound 0 must miss the race");
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn three_thread_spaces_stay_enumerable() {
+        let factory = || {
+            let cell = Arc::new(AtomicI64::new(0));
+            let threads: Vec<ThreadBody> = (0..3)
+                .map(|_| {
+                    let cell = cell.clone();
+                    Box::new(move || {
+                        omt_util::sched::yield_point("t.a");
+                        cell.fetch_add(1, Ordering::SeqCst);
+                        omt_util::sched::yield_point("t.b");
+                        cell.fetch_add(1, Ordering::SeqCst);
+                    }) as ThreadBody
+                })
+                .collect();
+            let c = cell.clone();
+            Execution {
+                threads,
+                check: Box::new(move || {
+                    if c.load(Ordering::SeqCst) == 6 {
+                        Ok(())
+                    } else {
+                        Err("sum".into())
+                    }
+                }),
+            }
+        };
+        let explorer = Explorer::new(SchedConfig { random_walks: 0, ..SchedConfig::default() });
+        let report = explorer.explore(&factory);
+        assert!(report.passed());
+        assert!(report.exhausted);
+        assert!(report.dfs_schedules >= 10, "got {}", report.dfs_schedules);
+    }
+}

@@ -1,0 +1,78 @@
+//! # omt-sched — deterministic schedule explorer for the omt STM
+//!
+//! A loom-style interleaving explorer built on the schedule-point hooks
+//! in [`omt_util::sched`]. A *scenario* is a factory producing fresh
+//! thread closures plus a final-state oracle; the explorer runs the
+//! threads as cooperative virtual threads — real OS threads, but with
+//! exactly one allowed to run at a time — and enumerates the orders in
+//! which they pass their schedule points:
+//!
+//! - an exhaustive DFS with a **bounded preemption budget**
+//!   (CHESS-style: most concurrency bugs need very few forced context
+//!   switches), then
+//! - **seeded random walks** that sample the space beyond the bound.
+//!
+//! A failing schedule is greedily **minimized** and reported as a
+//! [`Counterexample`] carrying a replayable schedule (a plain
+//! `Vec<usize>` of thread choices, freezable in a regression test) and
+//! a human-readable step trace naming each schedule point.
+//!
+//! ## Scope
+//!
+//! The engine serializes execution, so it explores interleavings of
+//! *instrumented* steps under sequential consistency; weak-memory
+//! reorderings between schedule points are not modeled. Scenario code
+//! must be deterministic given the schedule (no time, no ambient
+//! randomness that changes which schedule points run) and must not
+//! block on another virtual thread without a schedule point in the
+//! loop — a blocked thread that never yields deadlocks the baton, and a
+//! spin loop that yields forever is cut off by the step budget and
+//! abandoned. In particular, STM scenarios must disable serial-mode
+//! escalation (`serial_after_aborts: None`) and use bounded retries.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicI64, Ordering};
+//! use omt_sched::{Execution, Explorer, SchedConfig, ThreadBody};
+//!
+//! // Two racing read-modify-write threads; the oracle wants both
+//! // increments to survive.
+//! let factory = || {
+//!     let cell = Arc::new(AtomicI64::new(0));
+//!     let threads: Vec<ThreadBody> = (0..2)
+//!         .map(|_| {
+//!             let cell = cell.clone();
+//!             Box::new(move || {
+//!                 let v = cell.load(Ordering::SeqCst);
+//!                 omt_util::sched::yield_point("example.mid_rmw");
+//!                 cell.store(v + 1, Ordering::SeqCst);
+//!             }) as ThreadBody
+//!         })
+//!         .collect();
+//!     let cell2 = cell.clone();
+//!     Execution {
+//!         threads,
+//!         check: Box::new(move || match cell2.load(Ordering::SeqCst) {
+//!             2 => Ok(()),
+//!             v => Err(format!("lost update: {v}")),
+//!         }),
+//!     }
+//! };
+//! let report = Explorer::new(SchedConfig::default()).explore(&factory);
+//! let cx = report.counterexample.expect("explorer finds the race");
+//! assert!(cx.message.contains("lost update"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod explore;
+
+pub use engine::{
+    run_driven, run_one, Chooser, Execution, RunOutcome, RunRecord, Step, ThreadBody, SITE_DONE,
+    SITE_PANIC,
+};
+pub use explore::{trace_string, Counterexample, ExploreReport, Explorer, SchedConfig, Schedule};

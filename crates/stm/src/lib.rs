@@ -63,6 +63,7 @@ mod filter;
 mod logs;
 mod pool;
 mod registry;
+pub mod schedpt;
 mod stats;
 mod stm;
 mod tx;

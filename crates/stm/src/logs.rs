@@ -45,12 +45,24 @@ impl ReadEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct UpdateEntry {
     pub obj: ObjRef,
-    /// Version the object had when acquired; restored on abort and
-    /// incremented on commit.
+    /// Version the object had when acquired; incremented on commit.
+    /// Abort also increments it if the object was [`dirtied`], because a
+    /// concurrent optimistic reader may have loaded an uncommitted
+    /// in-place store: releasing at the *original* version would let
+    /// that reader pass validation against data that was rolled away
+    /// (see DESIGN.md §4.8, "abort must burn a version").
+    ///
+    /// [`dirtied`]: UpdateEntry::dirtied
     pub original_version: u64,
     /// Tombstone set by GC trimming when the object died; a dead entry
     /// is skipped at release time.
     pub dead: bool,
+    /// True once `log_for_undo` ran against this entry: the owner was
+    /// cleared to store in place, so the object's fields may have held
+    /// uncommitted values that a concurrent reader observed. Clean
+    /// (never-dirtied) entries may release at the original version on
+    /// abort without burning a version number.
+    pub dirtied: bool,
 }
 
 /// An undo-log entry.
@@ -189,8 +201,18 @@ mod tests {
     fn trim_tombstones_update_entries_in_place() {
         let (_heap, refs) = sample_refs(2);
         let mut logs = TxLogs::new();
-        logs.update.push(UpdateEntry { obj: refs[0], original_version: 3, dead: false });
-        logs.update.push(UpdateEntry { obj: refs[1], original_version: 5, dead: false });
+        logs.update.push(UpdateEntry {
+            obj: refs[0],
+            original_version: 3,
+            dead: false,
+            dirtied: false,
+        });
+        logs.update.push(UpdateEntry {
+            obj: refs[1],
+            original_version: 5,
+            dead: false,
+            dirtied: false,
+        });
         let removed = logs.trim(&|r| r == refs[0]);
         assert_eq!(removed, 1);
         // Indices are preserved; entry 1 is tombstoned, not removed.

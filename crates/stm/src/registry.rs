@@ -139,26 +139,54 @@ impl TxRegistry {
 
     /// Recovers the orphaned transaction holding `token`: replays its
     /// undo log (restoring every field it had updated in place) and
-    /// releases its ownership records at their original versions —
-    /// exactly the rollback its own thread would have performed.
+    /// releases its ownership records — exactly the rollback its own
+    /// thread would have performed, including burning a version on
+    /// dirtied entries (a reader may have loaded the dead transaction's
+    /// uncommitted stores; see `Transaction::rollback`). `max_version`
+    /// is the configured wrap point and `bump_epoch` is invoked once,
+    /// before any wrapped header store, if a burned version wraps.
     ///
     /// Idempotent and race-free: the first caller takes the logs out of
     /// the pool; concurrent callers find nothing and return `false`.
-    pub(crate) fn recover(&self, heap: &Heap, token: TxToken) -> bool {
+    pub(crate) fn recover(
+        &self,
+        heap: &Heap,
+        token: TxToken,
+        max_version: u64,
+        bump_epoch: &mut dyn FnMut(),
+    ) -> bool {
         let shard = self.shard_for_token(token);
         let Some(logs) = shard.orphans.lock().remove(&token) else {
             return false;
         };
+        omt_util::sched::yield_point(crate::schedpt::RECOVER_PRE_UNDO);
         for entry in logs.undo.iter().rev() {
             heap.field_atomic(entry.obj, entry.field as usize)
                 .store(entry.old_bits, Ordering::Relaxed);
+        }
+        let will_wrap = logs
+            .update
+            .iter()
+            .any(|e| !e.dead && e.dirtied && e.original_version + 1 > max_version);
+        if will_wrap {
+            bump_epoch();
         }
         for entry in &logs.update {
             if entry.dead {
                 continue;
             }
-            heap.header_atomic(entry.obj)
-                .store(version_bits(entry.original_version), Ordering::Release);
+            let released = if entry.dirtied {
+                let next = entry.original_version + 1;
+                if next > max_version {
+                    0
+                } else {
+                    next
+                }
+            } else {
+                entry.original_version
+            };
+            omt_util::sched::yield_point(crate::schedpt::RECOVER_PRE_RELEASE);
+            heap.header_atomic(entry.obj).store(version_bits(released), Ordering::Release);
         }
         // Only now does the token disappear: contenders that raced with
         // us kept seeing `killed` rather than a stale "still running".
@@ -311,7 +339,7 @@ mod tests {
         assert_eq!(registry.active_count(), 0);
         assert_eq!(registry.orphan_count(), 1);
         assert!(registry.ctl_of(TxToken(18)).is_some(), "ctl survives park in its own stripe");
-        assert!(registry.recover(&omt_heap::Heap::new(), TxToken(18)));
+        assert!(registry.recover(&omt_heap::Heap::new(), TxToken(18), u64::MAX, &mut || ()));
         assert_eq!(registry.orphan_count(), 0);
         assert!(registry.ctl_of(TxToken(18)).is_none());
     }
@@ -352,22 +380,72 @@ mod tests {
         let registry = TxRegistry::new(Default::default());
         let mut logs = Box::new(TxLogs::new());
         logs.undo.push(UndoEntry { obj, field: 0, old_bits });
-        logs.update.push(UpdateEntry { obj, original_version: 3, dead: false });
+        logs.update.push(UpdateEntry { obj, original_version: 3, dead: false, dirtied: true });
         registry.register(1, ctl(5, 1), &mut *logs);
         registry.park_orphan(1, token, logs);
         assert_eq!(registry.orphan_count(), 1);
         assert!(registry.ctl_of(token).is_some(), "ctl survives until recovery");
 
-        assert!(registry.recover(&heap, token));
+        let mut epoch_bumps = 0;
+        assert!(registry.recover(&heap, token, u64::MAX, &mut || epoch_bumps += 1));
         assert_eq!(heap.load(obj, 0).as_scalar(), Some(41), "undo restored the field");
         assert_eq!(
             heap.header_atomic(obj).load(Ordering::Acquire),
-            version_bits(3),
-            "ownership released at the original version"
+            version_bits(4),
+            "ownership released one past the original version (the entry was dirtied, \
+             so a reader may have seen the dead store; abort burns a version)"
         );
+        assert_eq!(epoch_bumps, 0, "no wrap, no epoch bump");
         assert_eq!(registry.orphan_count(), 0);
         assert!(registry.ctl_of(token).is_none());
-        assert!(!registry.recover(&heap, token), "second recovery is a no-op");
+        assert!(
+            !registry.recover(&heap, token, u64::MAX, &mut || ()),
+            "second recovery is a no-op"
+        );
+    }
+
+    #[test]
+    fn recovery_of_clean_entries_keeps_the_original_version() {
+        use crate::logs::UpdateEntry;
+
+        let heap = omt_heap::Heap::new();
+        let class = heap.define_class(omt_heap::ClassDesc::with_var_fields("C", &["v"]));
+        let obj = heap.alloc(class).unwrap();
+        let token = TxToken(6);
+        heap.header_atomic(obj).store(crate::word::owned_bits(token, 0), Ordering::Release);
+
+        let registry = TxRegistry::new(Default::default());
+        let mut logs = Box::new(TxLogs::new());
+        // Acquired but never cleared for in-place stores: no reader can
+        // have observed anything but the pre-acquisition state.
+        logs.update.push(UpdateEntry { obj, original_version: 3, dead: false, dirtied: false });
+        registry.register(1, ctl(6, 1), &mut *logs);
+        registry.park_orphan(1, token, logs);
+        assert!(registry.recover(&heap, token, u64::MAX, &mut || ()));
+        assert_eq!(heap.header_atomic(obj).load(Ordering::Acquire), version_bits(3));
+    }
+
+    #[test]
+    fn recovery_wrap_bumps_epoch_before_release() {
+        use crate::logs::UpdateEntry;
+
+        let heap = omt_heap::Heap::new();
+        let class = heap.define_class(omt_heap::ClassDesc::with_var_fields("C", &["v"]));
+        let obj = heap.alloc(class).unwrap();
+        let token = TxToken(7);
+        heap.header_atomic(obj).store(crate::word::owned_bits(token, 0), Ordering::Release);
+
+        let registry = TxRegistry::new(Default::default());
+        let mut logs = Box::new(TxLogs::new());
+        // Dirtied at the maximum version: burning one must wrap to 0 and
+        // announce a new epoch.
+        logs.update.push(UpdateEntry { obj, original_version: 15, dead: false, dirtied: true });
+        registry.register(1, ctl(7, 1), &mut *logs);
+        registry.park_orphan(1, token, logs);
+        let mut epoch_bumps = 0;
+        assert!(registry.recover(&heap, token, 15, &mut || epoch_bumps += 1));
+        assert_eq!(heap.header_atomic(obj).load(Ordering::Acquire), version_bits(0));
+        assert_eq!(epoch_bumps, 1);
     }
 
     #[test]
@@ -381,10 +459,10 @@ mod tests {
             registry.park_orphan(serial, token, logs);
         }
         assert_eq!(registry.orphan_count(), 2);
-        assert!(registry.recover(&heap, TxToken(3)));
+        assert!(registry.recover(&heap, TxToken(3), u64::MAX, &mut || ()));
         assert_eq!(registry.orphan_count(), 1, "other stripe's orphan untouched");
         assert!(registry.ctl_of(TxToken(4)).is_some());
-        assert!(registry.recover(&heap, TxToken(4)));
+        assert!(registry.recover(&heap, TxToken(4), u64::MAX, &mut || ()));
         assert_eq!(registry.orphan_count(), 0);
     }
 }

@@ -1,0 +1,121 @@
+//! Named schedule points instrumented in the STM hot paths.
+//!
+//! Each constant names a cross-thread-visible step at which the runtime
+//! calls [`omt_util::sched::yield_point`]. In production builds nothing
+//! listens and each site costs one relaxed atomic load; under the
+//! `omt-sched` explorer every virtual thread pauses at every site it
+//! reaches, which is what makes interleavings enumerable and
+//! counterexample traces readable (the trace prints these names).
+//!
+//! The map from site to code location:
+//!
+//! | site | where |
+//! |------|-------|
+//! | [`OPEN_READ_PRE_HEADER`] | `open_for_read`, before the header load |
+//! | [`READ_PRE_LOAD`] | composed `read`, between open and the data load |
+//! | [`OPEN_UPDATE_PRE_HEADER`] | `open_for_update`, top of the CAS loop |
+//! | [`OPEN_UPDATE_PRE_ACQ_BUMP`] | after a winning CAS, before the acquisition-clock bump |
+//! | [`WRITE_PRE_STORE`] | composed `write`, between undo logging and the data store |
+//! | [`CONTEND_WAIT`] | every contention-wait round (CM `Wait` and doom-wait) |
+//! | [`VALIDATE_PRE_CLOCKS`] | `validate`, before the two clock loads |
+//! | [`VALIDATE_PRE_SCAN`] | `validate`, before the read-log scan |
+//! | [`COMMIT_PRE_CLOCK_BUMP`] | `commit`, after validation, before the commit-clock bump |
+//! | [`COMMIT_PRE_RELEASE`] | `commit`, before **each** release-phase header store |
+//! | [`ROLLBACK_PRE_UNDO`] | `rollback`/`rollback_to`, before **each** undo-log field restore |
+//! | [`ROLLBACK_PRE_RELEASE`] | `rollback`/`rollback_to`, before **each** ownership release |
+//! | [`KILL_PRE_PARK`] | `kill`, before the logs are parked as an orphan |
+//! | [`RECOVER_PRE_UNDO`] | `TxRegistry::recover`, before the orphan's undo replay |
+//! | [`RECOVER_PRE_RELEASE`] | `TxRegistry::recover`, before **each** ownership release |
+//! | [`GATE_ENTER`] | `enter_gate`, before taking the serial-mode gate |
+
+/// In `open_for_read`, before the header load that samples the word the
+/// read log will record.
+pub const OPEN_READ_PRE_HEADER: &str = "open_read.pre_header_load";
+/// In the composed `read` barrier, between `open_for_read` returning
+/// and the raw data load — the window in which a foreign owner's
+/// in-place store can become the value this transaction computes with.
+pub const READ_PRE_LOAD: &str = "read.pre_data_load";
+/// Top of `open_for_update`'s load/CAS loop (covers every retry and
+/// every contention re-examination).
+pub const OPEN_UPDATE_PRE_HEADER: &str = "open_update.pre_header_load";
+/// Immediately after `open_for_update`'s winning CAS, before the
+/// acquisition-clock bump — the window the PR 3 two-clock fix closed.
+pub const OPEN_UPDATE_PRE_ACQ_BUMP: &str = "open_update.pre_acquire_bump";
+/// In the composed `write` barrier, between `log_for_undo` and the raw
+/// data store.
+pub const WRITE_PRE_STORE: &str = "write.pre_data_store";
+/// One contention-wait round: the CM said `Wait`, or the winner is
+/// waiting for a doomed victim to notice. Placed so a waiting virtual
+/// thread hands the baton back instead of spinning it forever.
+pub const CONTEND_WAIT: &str = "contend.wait";
+/// In `validate`, after the doom/epoch checks, before the two clock
+/// loads of the commit-sequence fast path.
+pub const VALIDATE_PRE_CLOCKS: &str = "validate.pre_clocks";
+/// In `validate`, after the clock comparison decided to scan, before
+/// the read-log pass starts.
+pub const VALIDATE_PRE_SCAN: &str = "validate.pre_scan";
+/// In `commit`, after validation succeeded, before the commit-sequence
+/// clock bump that announces the release phase.
+pub const COMMIT_PRE_CLOCK_BUMP: &str = "commit.pre_clock_bump";
+/// In `commit`'s release phase, before each header store that publishes
+/// one updated object.
+pub const COMMIT_PRE_RELEASE: &str = "commit.pre_release_store";
+/// In rollback (full or to a savepoint), before each undo-log field
+/// restore.
+pub const ROLLBACK_PRE_UNDO: &str = "rollback.pre_undo_store";
+/// In rollback (full or to a savepoint), before each ownership-release
+/// header store.
+pub const ROLLBACK_PRE_RELEASE: &str = "rollback.pre_release_store";
+/// In `kill`, before the dead transaction's logs are parked in the
+/// orphan pool (ownership is still in place, data possibly dirty).
+pub const KILL_PRE_PARK: &str = "kill.pre_park";
+/// In `TxRegistry::recover`, after the orphan's logs were claimed,
+/// before its undo log is replayed.
+pub const RECOVER_PRE_UNDO: &str = "recover.pre_undo_store";
+/// In `TxRegistry::recover`, before each ownership-release header
+/// store.
+pub const RECOVER_PRE_RELEASE: &str = "recover.pre_release_store";
+/// In `enter_gate`, before acquiring the serial-mode gate (shared or
+/// exclusive).
+pub const GATE_ENTER: &str = "gate.enter";
+
+/// Every instrumented site, for tools that sweep or document them.
+pub const ALL: [&str; 16] = [
+    OPEN_READ_PRE_HEADER,
+    READ_PRE_LOAD,
+    OPEN_UPDATE_PRE_HEADER,
+    OPEN_UPDATE_PRE_ACQ_BUMP,
+    WRITE_PRE_STORE,
+    CONTEND_WAIT,
+    VALIDATE_PRE_CLOCKS,
+    VALIDATE_PRE_SCAN,
+    COMMIT_PRE_CLOCK_BUMP,
+    COMMIT_PRE_RELEASE,
+    ROLLBACK_PRE_UNDO,
+    ROLLBACK_PRE_RELEASE,
+    KILL_PRE_PARK,
+    RECOVER_PRE_UNDO,
+    RECOVER_PRE_RELEASE,
+    GATE_ENTER,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_names_are_unique() {
+        let mut names: Vec<&str> = ALL.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len(), "duplicate schedule-point names");
+    }
+
+    #[test]
+    fn site_names_are_dotted_paths() {
+        for site in ALL {
+            assert!(site.contains('.'), "site {site} should be area.step");
+            assert!(!site.contains(' '), "site {site} should be machine-friendly");
+        }
+    }
+}

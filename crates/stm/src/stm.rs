@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use omt_heap::{GcParticipant, Heap};
+use omt_util::sched::yield_point;
 use omt_util::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::cm::TxCtl;
@@ -84,6 +85,17 @@ pub struct Stm {
     /// non-zero, giving escalated transactions priority (std's `RwLock`
     /// does not promise writer preference).
     gate_waiting: AtomicUsize,
+    /// Test-only unsoundness knob: validation's fast path consults the
+    /// commit-sequence clock *alone*, reverting the PR 3 two-clock fix.
+    /// Exists so the schedule explorer can re-derive that bug's
+    /// counterexample as a regression oracle.
+    #[cfg(test)]
+    test_unsound_commit_clock_only: std::sync::atomic::AtomicBool,
+    /// Test-only unsoundness knob: abort releases dirtied entries at
+    /// their *original* version instead of burning one, reverting this
+    /// PR's abort-ABA fix (see `UpdateEntry::original_version`).
+    #[cfg(test)]
+    test_unsound_abort_restores_version: std::sync::atomic::AtomicBool,
 }
 
 /// Per-atomic-block state carried across retries: the age priority is
@@ -129,6 +141,10 @@ impl Stm {
             failpoints: Failpoints::new(),
             gate: RwLock::new(()),
             gate_waiting: AtomicUsize::new(0),
+            #[cfg(test)]
+            test_unsound_commit_clock_only: std::sync::atomic::AtomicBool::new(false),
+            #[cfg(test)]
+            test_unsound_abort_restores_version: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -231,6 +247,21 @@ impl Stm {
         self.stats.add(|c| &c.begins, 1);
         let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
         let token = TxToken(self.next_token.fetch_add(1, Ordering::Relaxed));
+        // The design rules out token collisions by assumption (2³²
+        // transactions would have to start during one transaction's
+        // lifetime — see `TxToken`). Debug builds check the assumption:
+        // handing out a token that a live transaction still holds would
+        // let two transactions treat each other's ownership records as
+        // their own, which corrupts the heap far from the cause.
+        #[cfg(debug_assertions)]
+        if let Some(live) = self.registry.ctl_of(token) {
+            panic!(
+                "TxToken collision: token {token} (serial {serial}) reissued while a live \
+                 transaction (priority {}) still holds it; the 32-bit token space wrapped \
+                 within one transaction's lifetime",
+                live.priority()
+            );
+        }
         let (priority, karma) = match seed {
             Some(s) => (s.priority, s.karma),
             None => (serial, 0),
@@ -337,6 +368,7 @@ impl Stm {
     /// exclusive for an escalated one. Shared entrants yield while a
     /// writer is queued so escalation cannot starve.
     fn enter_gate(&self, exclusive: bool) -> GateGuard<'_> {
+        yield_point(crate::schedpt::GATE_ENTER);
         if exclusive {
             self.gate_waiting.fetch_add(1, Ordering::AcqRel);
             let guard = self.gate.write();
@@ -393,6 +425,47 @@ impl Stm {
         self.heap.for_each_live(|r| {
             self.heap.header_atomic(r).store(0, Ordering::Release);
         });
+    }
+
+    /// Recovers the orphaned (killed) transaction holding `token`,
+    /// replaying its undo log and releasing its ownership records with
+    /// this STM's wrap/epoch semantics. Returns `false` if someone else
+    /// got there first (or the token was never orphaned).
+    pub(crate) fn recover_orphan(&self, token: TxToken) -> bool {
+        let max_version = self.config.max_version();
+        self.registry.recover(&self.heap, token, max_version, &mut || self.bump_epoch())
+    }
+
+    /// Reads the `commit-clock-only` unsoundness knob (see the field).
+    #[cfg(test)]
+    pub(crate) fn test_unsound_commit_clock_only(&self) -> bool {
+        self.test_unsound_commit_clock_only.load(Ordering::Relaxed)
+    }
+
+    /// Arms/disarms validation's single-clock fast path (test only).
+    #[cfg(test)]
+    pub(crate) fn set_test_unsound_commit_clock_only(&self, on: bool) {
+        self.test_unsound_commit_clock_only.store(on, Ordering::Relaxed);
+    }
+
+    /// Reads the `abort-restores-version` unsoundness knob (see the
+    /// field).
+    #[cfg(test)]
+    pub(crate) fn test_unsound_abort_restores_version(&self) -> bool {
+        self.test_unsound_abort_restores_version.load(Ordering::Relaxed)
+    }
+
+    /// Arms/disarms version-burning on abort (test only).
+    #[cfg(test)]
+    pub(crate) fn set_test_unsound_abort_restores_version(&self, on: bool) {
+        self.test_unsound_abort_restores_version.store(on, Ordering::Relaxed);
+    }
+
+    /// Rewinds the token counter so the next [`Stm::begin`] reissues a
+    /// specific token (test only; exercises the collision guard).
+    #[cfg(test)]
+    pub(crate) fn set_next_token_for_test(&self, raw: u32) {
+        self.next_token.store(raw, Ordering::Relaxed);
     }
 
     pub(crate) fn flush_outcome(&self, outcome: Outcome, counters: &TxCounters) {

@@ -62,13 +62,36 @@ fn abort_restores_values_and_version() {
     // In-place updates are visible in the raw heap while owned...
     assert_eq!(heap.load(obj, 0).as_scalar(), Some(99));
     tx.abort();
-    // ...and rolled back on abort, with the original version restored.
+    // ...and rolled back on abort. The version is *burned*, not
+    // restored: a concurrent optimistic reader may have loaded the 99
+    // while it was in place, and releasing back at version 0 would let
+    // that reader validate against data that no longer exists (see
+    // `UpdateEntry::original_version`).
     assert_eq!(heap.load(obj, 0).as_scalar(), Some(10));
     assert_eq!(heap.load(obj, 1).as_scalar(), Some(20));
     assert_eq!(
         StmWord::decode(heap.header_atomic(obj).load(Ordering::Relaxed)),
+        StmWord::Version(1)
+    );
+}
+
+#[test]
+fn abort_without_stores_keeps_the_version() {
+    // Acquisition alone (no `log_for_undo`, no in-place store) cannot
+    // have exposed uncommitted data, so abort releases at the original
+    // version and concurrent readers stay valid.
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    let mut reader = stm.begin();
+    assert_eq!(reader.read(obj, 0).unwrap().as_scalar(), Some(0));
+    let mut tx = stm.begin();
+    tx.open_for_update(obj).unwrap();
+    tx.abort();
+    assert_eq!(
+        StmWord::decode(heap.header_atomic(obj).load(Ordering::Relaxed)),
         StmWord::Version(0)
     );
+    reader.commit().unwrap();
 }
 
 #[test]
@@ -197,6 +220,10 @@ fn without_filter_duplicates_accumulate() {
         tx.read(obj, 0).unwrap();
     }
     assert_eq!(tx.read_set_size(), 10);
+    // Commit the reader before the undo-logging writer aborts: its
+    // abort burns a version (the reader could have seen dirty data),
+    // which would — correctly — invalidate a still-open reader.
+    tx.commit().unwrap();
     let mut tx2 = stm.begin();
     tx2.open_for_update(obj).unwrap();
     for _ in 0..10 {
@@ -204,7 +231,6 @@ fn without_filter_duplicates_accumulate() {
     }
     assert_eq!(tx2.undo_log_size(), 10);
     tx2.abort();
-    tx.commit().unwrap();
 }
 
 #[test]
@@ -1236,4 +1262,186 @@ fn disabling_commit_sequence_restores_the_full_rescan_baseline() {
         s
     };
     assert_eq!(normalize(on), normalize(off));
+}
+
+// ---------------------------------------------------------------------
+// Deterministic schedule exploration: the explorer re-derives the
+// cross-thread bugs this crate has fixed, from the test-only knobs that
+// revert each fix. Each scenario's oracle rejects a *zombie commit* — a
+// reader committing a value no writer ever committed.
+// ---------------------------------------------------------------------
+
+mod sched_regressions {
+    use super::*;
+    use omt_sched::{Execution, Explorer, RunOutcome, SchedConfig, ThreadBody};
+    use std::sync::Mutex;
+
+    /// Which fix to revert for one exploration.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Revert {
+        /// Sound tree: both fixes in place.
+        Nothing,
+        /// Validation's fast path consults the commit clock alone
+        /// (reverts the PR 3 acquisition-clock check).
+        AcquireClockCheck,
+        /// Abort releases dirtied entries at their original version
+        /// (reverts this PR's version-burn fix).
+        AbortVersionBurn,
+    }
+
+    /// One reader racing one aborting writer on a single cell.
+    ///
+    /// The writer stores 1 in place and then aborts; no transaction
+    /// ever commits an update, so a reader that *commits* having read 1
+    /// observed uncommitted (later rolled-back) state — a
+    /// serializability violation. Each knob opens a distinct window:
+    ///
+    /// - commit-clock-only: the reader validates while the writer still
+    ///   owns the cell; with no commit ever published the commit clock
+    ///   is quiescent, and without the acquisition clock the fast path
+    ///   skips the scan that would see the `Owned` header.
+    /// - abort-restores-version: the reader validates *after* the abort
+    ///   released the cell back at its original version; the scan
+    ///   passes because header word equals the logged word (the ABA the
+    ///   version burn prevents).
+    fn zombie_read_factory(revert: Revert) -> impl Fn() -> Execution {
+        move || {
+            let heap = Arc::new(Heap::new());
+            let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["a", "b"]));
+            let obj = heap.alloc(class).unwrap();
+            let stm = Arc::new(Stm::with_config(
+                heap.clone(),
+                StmConfig { serial_after_aborts: None, ..StmConfig::default() },
+            ));
+            stm.set_test_unsound_commit_clock_only(revert == Revert::AcquireClockCheck);
+            stm.set_test_unsound_abort_restores_version(revert == Revert::AbortVersionBurn);
+            let committed_read = Arc::new(Mutex::new(None::<i64>));
+
+            let reader: ThreadBody = Box::new({
+                let stm = stm.clone();
+                let out = committed_read.clone();
+                move || {
+                    let mut tx = stm.begin();
+                    match tx.read(obj, 0) {
+                        Ok(word) => {
+                            let v = word.as_scalar().unwrap();
+                            if tx.commit().is_ok() {
+                                *out.lock().unwrap() = Some(v);
+                            }
+                        }
+                        Err(_) => tx.abort(),
+                    }
+                }
+            });
+            let writer: ThreadBody = Box::new({
+                let stm = stm.clone();
+                move || {
+                    let mut tx = stm.begin();
+                    let _ = tx.write(obj, 0, Word::from_scalar(1));
+                    tx.abort();
+                }
+            });
+            Execution {
+                threads: vec![reader, writer],
+                check: Box::new(move || match *committed_read.lock().unwrap() {
+                    Some(v) if v != 0 => Err(format!(
+                        "zombie commit: reader committed {v}, but no writer ever committed"
+                    )),
+                    _ => Ok(()),
+                }),
+            }
+        }
+    }
+
+    fn explorer() -> Explorer {
+        Explorer::new(SchedConfig {
+            preemption_bound: 3,
+            random_walks: 0,
+            ..SchedConfig::default()
+        })
+    }
+
+    #[test]
+    fn explorer_rederives_the_two_clock_bug() {
+        let report = explorer().explore(&zombie_read_factory(Revert::AcquireClockCheck));
+        let cx = report.counterexample.expect(
+            "reverting the acquisition-clock check must reintroduce the PR 3 zombie commit",
+        );
+        assert!(cx.message.contains("zombie commit"), "{}", cx.message);
+        // The counterexample replays deterministically.
+        match explorer().replay(&zombie_read_factory(Revert::AcquireClockCheck), &cx.schedule) {
+            RunOutcome::Fail { message } => assert!(message.contains("zombie commit")),
+            o => panic!("counterexample must replay, got {o:?}"),
+        }
+        // And the *same schedule* passes on the fixed tree: the fix
+        // closes exactly this interleaving.
+        assert_eq!(
+            explorer().replay(&zombie_read_factory(Revert::Nothing), &cx.schedule),
+            RunOutcome::Pass,
+            "schedule: {:?}\n{}",
+            cx.schedule,
+            cx.trace
+        );
+    }
+
+    #[test]
+    fn explorer_rederives_the_abort_version_aba_bug() {
+        let report = explorer().explore(&zombie_read_factory(Revert::AbortVersionBurn));
+        let cx = report
+            .counterexample
+            .expect("reverting the version burn must reintroduce the abort-ABA zombie commit");
+        assert!(cx.message.contains("zombie commit"), "{}", cx.message);
+        match explorer().replay(&zombie_read_factory(Revert::AbortVersionBurn), &cx.schedule) {
+            RunOutcome::Fail { message } => assert!(message.contains("zombie commit")),
+            o => panic!("counterexample must replay, got {o:?}"),
+        }
+        assert_eq!(
+            explorer().replay(&zombie_read_factory(Revert::Nothing), &cx.schedule),
+            RunOutcome::Pass
+        );
+    }
+
+    #[test]
+    fn fixed_tree_has_no_zombie_commit() {
+        let report = explorer().explore(&zombie_read_factory(Revert::Nothing));
+        assert!(report.passed(), "{}", report.counterexample.unwrap());
+        assert!(report.exhausted, "the bounded space must be fully enumerated");
+        assert_eq!(report.divergences, 0, "scenario must be schedule-deterministic");
+    }
+
+    /// Prints the minimized counterexample schedules (run with
+    /// `--nocapture --ignored` to refresh the frozen schedules in
+    /// `tests/sched_explore.rs`).
+    #[test]
+    #[ignore = "development aid: prints minimized schedules"]
+    fn print_minimized_schedules() {
+        for (name, revert) in
+            [("two_clock", Revert::AcquireClockCheck), ("abort_aba", Revert::AbortVersionBurn)]
+        {
+            let report = explorer().explore(&zombie_read_factory(revert));
+            let cx = report.counterexample.expect(name);
+            println!("{name}: schedule {:?}\n{}", cx.schedule, cx.trace);
+        }
+    }
+}
+
+#[test]
+#[cfg(debug_assertions)]
+fn token_collision_guard_panics_in_debug_builds() {
+    let (_heap, _class, stm) = setup();
+    let tx = stm.begin();
+    let raw = tx.token().to_raw();
+    // Rewind the counter: the next begin() would reissue the live
+    // transaction's token.
+    stm.set_next_token_for_test(raw);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _tx2 = stm.begin();
+    }));
+    drop(tx);
+    let payload = result.expect_err("token reuse against a live transaction must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+    assert!(msg.contains("TxToken collision"), "{msg}");
 }

@@ -32,12 +32,15 @@ use std::sync::Arc;
 
 use omt_heap::{ClassId, ObjRef, Word};
 
+use omt_util::sched::yield_point;
+
 use crate::cm::{CmDecision, TxCtl};
 use crate::error::{ConflictKind, TxError, TxResult};
 use crate::failpoint::{sites, FailAction};
 use crate::filter::FilterKind;
 use crate::logs::{ReadEntry, Savepoint, TxLogs, UndoEntry, UpdateEntry};
 use crate::pool::{self, TxCtx};
+use crate::schedpt;
 use crate::stm::Stm;
 use crate::word::{owned_bits, version_bits, StmWord, TxToken, MAX_UPDATE_ENTRIES};
 
@@ -238,6 +241,7 @@ impl<'stm> Transaction<'stm> {
     /// runs recovery.
     fn kill(&mut self) {
         self.state = TxState::Finished;
+        yield_point(schedpt::KILL_PRE_PARK);
         // Kills are rare (fault injection only), so the replacement
         // allocation off the pooled fast path is fine.
         let logs = std::mem::replace(&mut self.ctx.logs, Box::new(TxLogs::new()));
@@ -302,6 +306,7 @@ impl<'stm> Transaction<'stm> {
             }
         }
 
+        yield_point(schedpt::OPEN_READ_PRE_HEADER);
         let observed = self.stm.heap().header_atomic(obj).load(Ordering::Acquire);
         if let StmWord::Owned { owner, .. } = StmWord::decode(observed) {
             if owner == self.token {
@@ -363,6 +368,7 @@ impl<'stm> Transaction<'stm> {
         // CAS, one log push. Contention falls into the `#[cold]`
         // arbitration routine and comes back around the loop.
         loop {
+            yield_point(schedpt::OPEN_UPDATE_PRE_HEADER);
             let current = header.load(Ordering::Acquire);
             match StmWord::decode(current) {
                 StmWord::Owned { owner, .. } if owner == self.token => return Ok(()),
@@ -385,14 +391,26 @@ impl<'stm> Transaction<'stm> {
                         // call to return first), so no concurrent
                         // validation can fast-path across our dirty
                         // data.
+                        yield_point(schedpt::OPEN_UPDATE_PRE_ACQ_BUMP);
                         if self.stm.config().commit_sequence {
                             self.stm.bump_acquire_clock();
                             self.self_acquire_bumps += 1;
+                        } else {
+                            // The clock bump carries a trailing Release
+                            // fence that orders the CAS before our
+                            // upcoming (relaxed) in-place stores as seen
+                            // by a validator's Acquire fence. With the
+                            // clock knob off that ordering must still
+                            // hold — a validator that read one of our
+                            // dirty stores must not then load the
+                            // header as still-unowned.
+                            std::sync::atomic::fence(Ordering::Release);
                         }
                         self.ctx.logs.update.push(UpdateEntry {
                             obj,
                             original_version: v,
                             dead: false,
+                            dirtied: false,
                         });
                         self.counters.acquires += 1;
                         self.hit_failpoint(sites::OPEN_UPDATE_AFTER_ACQUIRE)?;
@@ -419,6 +437,7 @@ impl<'stm> Transaction<'stm> {
             // The owner finished between our header load and the
             // registry lookup; the header is released (or re-owned) by
             // now — re-examine it.
+            yield_point(schedpt::CONTEND_WAIT);
             std::hint::spin_loop();
             return Ok(());
         };
@@ -426,7 +445,7 @@ impl<'stm> Transaction<'stm> {
             // The owner's thread died holding the object: recover the
             // orphan (replay its undo log, release its ownership), then
             // re-examine the header.
-            self.stm.registry().recover(self.stm.heap(), owner);
+            self.stm.recover_orphan(owner);
             return Ok(());
         }
 
@@ -434,6 +453,7 @@ impl<'stm> Transaction<'stm> {
             CmDecision::Wait => {
                 *spins += 1;
                 self.counters.cm_spins += 1;
+                yield_point(schedpt::CONTEND_WAIT);
                 std::hint::spin_loop();
                 Ok(())
             }
@@ -450,10 +470,11 @@ impl<'stm> Transaction<'stm> {
                     match StmWord::decode(header.load(Ordering::Acquire)) {
                         StmWord::Owned { owner: now, .. } if now == owner => {
                             if other.is_killed() {
-                                self.stm.registry().recover(self.stm.heap(), owner);
+                                self.stm.recover_orphan(owner);
                                 return Ok(());
                             }
                             self.counters.cm_spins += 1;
+                            yield_point(schedpt::CONTEND_WAIT);
                             std::hint::spin_loop();
                         }
                         _ => return Ok(()),
@@ -493,6 +514,20 @@ impl<'stm> Transaction<'stm> {
                 return;
             }
         }
+        // The object is about to be stored to in place: its update
+        // entry must release with a *bumped* version even on abort, or a
+        // concurrent optimistic reader could validate against the
+        // restored header after having loaded our uncommitted value
+        // (see `rollback`). The owned header points at the entry.
+        if let StmWord::Owned { owner, entry } =
+            StmWord::decode(self.stm.heap().header_atomic(obj).load(Ordering::Relaxed))
+        {
+            if owner == self.token {
+                if let Some(e) = self.ctx.logs.update.get_mut(entry as usize) {
+                    e.dirtied = true;
+                }
+            }
+        }
         let old_bits = self.stm.heap().field_atomic(obj, field).load(Ordering::Relaxed);
         self.ctx.logs.undo.push(UndoEntry { obj, field: field as u32, old_bits });
         self.counters.undo_entries += 1;
@@ -524,6 +559,10 @@ impl<'stm> Transaction<'stm> {
     #[inline]
     pub fn read(&mut self, obj: ObjRef, field: usize) -> TxResult<Word> {
         self.open_for_read(obj)?;
+        // The window between logging the header and loading the data is
+        // where a foreign owner's in-place store can become the value
+        // this transaction computes with; validation must catch that.
+        yield_point(schedpt::READ_PRE_LOAD);
         Ok(self.load_direct(obj, field))
     }
 
@@ -537,6 +576,7 @@ impl<'stm> Transaction<'stm> {
     pub fn write(&mut self, obj: ObjRef, field: usize, value: Word) -> TxResult<()> {
         self.open_for_update(obj)?;
         self.log_for_undo(obj, field);
+        yield_point(schedpt::WRITE_PRE_STORE);
         self.store_direct(obj, field, value);
         Ok(())
     }
@@ -620,11 +660,16 @@ impl<'stm> Transaction<'stm> {
         let mut start = 0;
         let mut clock = None;
         if self.stm.config().commit_sequence {
+            yield_point(schedpt::VALIDATE_PRE_CLOCKS);
             let now = self.stm.commit_clock();
             let acq_now = self.stm.acquire_clock();
-            if now == self.clock_snapshot
-                && acq_now == self.acquire_snapshot + self.self_acquire_bumps
-            {
+            let acq_quiescent = acq_now == self.acquire_snapshot + self.self_acquire_bumps;
+            // Test-only regression mode: re-open the pre-PR-3 hole where
+            // the fast path consulted the commit clock alone, so the
+            // schedule explorer can prove it catches that class of bug.
+            #[cfg(test)]
+            let acq_quiescent = acq_quiescent || self.stm.test_unsound_commit_clock_only();
+            if now == self.clock_snapshot && acq_quiescent {
                 if self.clock_fast_path_ok {
                     self.counters.validation_fast_path += 1;
                     self.validated_watermark = self.ctx.logs.read.len();
@@ -640,6 +685,7 @@ impl<'stm> Transaction<'stm> {
             clock = Some((now, acq_now));
         }
 
+        yield_point(schedpt::VALIDATE_PRE_SCAN);
         let mut scanned = 0u64;
         let mut valid = true;
         for entry in &self.ctx.logs.read[start..] {
@@ -717,28 +763,40 @@ impl<'stm> Transaction<'stm> {
         // any transaction that observes one of the released headers
         // must also observe the bump (and so cannot skip validation
         // across this commit).
-        if self.stm.config().commit_sequence && self.ctx.logs.update.iter().any(|entry| !entry.dead)
-        {
+        let max_version = self.stm.config().max_version();
+        let mut publishes = false;
+        let mut will_wrap = false;
+        for entry in &self.ctx.logs.update {
+            if !entry.dead {
+                publishes = true;
+                will_wrap |= entry.original_version + 1 > max_version;
+            }
+        }
+        if self.stm.config().commit_sequence && publishes {
+            yield_point(schedpt::COMMIT_PRE_CLOCK_BUMP);
             self.stm.bump_commit_clock();
         }
-        let max_version = self.stm.config().max_version();
-        let mut epoch_bumps = 0u32;
+        if will_wrap {
+            // Version overflow: advance the global epoch *before* any
+            // wrapped header becomes visible, so a concurrent
+            // transaction that observes a wrapped version also fails
+            // its epoch check (it aborts with EPOCH and restarts)
+            // instead of matching the small number against a stale
+            // observation. Bumping after the stores would leave a
+            // window in which old and new version numbers are
+            // indistinguishable.
+            self.stm.bump_epoch();
+        }
         for entry in &self.ctx.logs.update {
             if entry.dead {
                 continue;
             }
             let mut next = entry.original_version + 1;
             if next > max_version {
-                // Version overflow: wrap and advance the global epoch so
-                // no concurrent transaction can confuse old and new
-                // version numbers (they all abort and restart).
                 next = 0;
-                epoch_bumps += 1;
             }
+            yield_point(schedpt::COMMIT_PRE_RELEASE);
             self.stm.heap().header_atomic(entry.obj).store(version_bits(next), Ordering::Release);
-        }
-        if epoch_bumps > 0 {
-            self.stm.bump_epoch();
         }
         self.finish(Outcome::Committed);
         Ok(())
@@ -783,20 +841,59 @@ impl<'stm> Transaction<'stm> {
         // Replay the undo log in reverse: duplicate entries (filter off)
         // then restore progressively older values, ending at the oldest.
         for entry in self.ctx.logs.undo.iter().rev() {
+            yield_point(schedpt::ROLLBACK_PRE_UNDO);
             self.stm
                 .heap()
                 .field_atomic(entry.obj, entry.field as usize)
                 .store(entry.old_bits, Ordering::Relaxed);
         }
-        // Release ownership at the original versions.
+        // Release ownership. Dirtied entries release at a *bumped*
+        // version even though the data is restored: between our
+        // in-place store and this undo, a concurrent optimistic reader
+        // may have loaded the uncommitted value, and its commit-time
+        // validation compares versions only — releasing at the original
+        // version would let that reader validate a value that never
+        // committed (the abort-ABA the schedule explorer reproduces;
+        // DESIGN.md §4.8). Burning a version on dirty aborts makes such
+        // readers fail validation and retry. Clean (acquired but never
+        // stored) entries restore the original version: nothing
+        // observable happened.
+        let max_version = self.stm.config().max_version();
+        #[cfg(test)]
+        let legacy_restore = self.stm.test_unsound_abort_restores_version();
+        #[cfg(not(test))]
+        let legacy_restore = false;
+        let mut will_wrap = false;
+        if !legacy_restore {
+            for entry in &self.ctx.logs.update {
+                will_wrap |=
+                    !entry.dead && entry.dirtied && entry.original_version + 1 > max_version;
+            }
+        }
+        if will_wrap {
+            // As in commit: the epoch must advance before any wrapped
+            // header is visible.
+            self.stm.bump_epoch();
+        }
         for entry in &self.ctx.logs.update {
             if entry.dead {
                 continue;
             }
+            let released = if entry.dirtied && !legacy_restore {
+                let next = entry.original_version + 1;
+                if next > max_version {
+                    0
+                } else {
+                    next
+                }
+            } else {
+                entry.original_version
+            };
+            yield_point(schedpt::ROLLBACK_PRE_RELEASE);
             self.stm
                 .heap()
                 .header_atomic(entry.obj)
-                .store(version_bits(entry.original_version), Ordering::Release);
+                .store(version_bits(released), Ordering::Release);
         }
         self.finish(Outcome::Aborted(kind));
     }
@@ -831,20 +928,59 @@ impl<'stm> Transaction<'stm> {
             "savepoint does not match this transaction's logs"
         );
         for entry in self.ctx.logs.undo[sp.undo_len..].iter().rev() {
+            yield_point(schedpt::ROLLBACK_PRE_UNDO);
             self.stm
                 .heap()
                 .field_atomic(entry.obj, entry.field as usize)
                 .store(entry.old_bits, Ordering::Relaxed);
         }
         self.ctx.logs.undo.truncate(sp.undo_len);
+        // Release ownership acquired since the savepoint, burning a
+        // version on dirtied entries exactly as `rollback` does (a
+        // foreign reader may have seen the rolled-away stores). Our own
+        // surviving read entries that observed the original version stay
+        // valid — we held exclusive ownership, so the restored state at
+        // version v+1 is bit-identical to what version v named — and are
+        // patched to the released version so the transaction does not
+        // abort against its own savepoint rollback (`or_else` relies on
+        // this).
+        let max_version = self.stm.config().max_version();
+        let mut will_wrap = false;
         for entry in &self.ctx.logs.update[sp.update_len..] {
+            will_wrap |= !entry.dead && entry.dirtied && entry.original_version + 1 > max_version;
+        }
+        if will_wrap {
+            self.stm.bump_epoch();
+        }
+        for i in sp.update_len..self.ctx.logs.update.len() {
+            let entry = self.ctx.logs.update[i];
             if entry.dead {
                 continue;
             }
+            let released = if entry.dirtied {
+                let next = entry.original_version + 1;
+                if next > max_version {
+                    0
+                } else {
+                    next
+                }
+            } else {
+                entry.original_version
+            };
+            yield_point(schedpt::ROLLBACK_PRE_RELEASE);
             self.stm
                 .heap()
                 .header_atomic(entry.obj)
-                .store(version_bits(entry.original_version), Ordering::Release);
+                .store(version_bits(released), Ordering::Release);
+            if released != entry.original_version {
+                let old = StmWord::Version(entry.original_version).encode();
+                let new = StmWord::Version(released).encode();
+                for read in self.ctx.logs.read[..sp.read_len].iter_mut() {
+                    if read.obj == entry.obj && read.observed == old {
+                        read.observed = new;
+                    }
+                }
+            }
         }
         self.ctx.logs.update.truncate(sp.update_len);
         self.ctx.logs.read.truncate(sp.read_len);

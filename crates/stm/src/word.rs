@@ -103,14 +103,31 @@ impl StmWord {
 }
 
 /// Encodes a version number (convenience for hot paths).
+///
+/// # Panics
+///
+/// Panics if `v` exceeds [`MAX_VERSION`] — in release builds too,
+/// matching [`StmWord::encode`]. A `debug_assert!` here once let a
+/// wrapped version shift into bit 0 in release mode, silently turning a
+/// version word into an ownership word; a hard assert costs one
+/// predicted compare against a constant and can never corrupt a header.
+#[inline]
 pub(crate) fn version_bits(v: u64) -> u64 {
-    debug_assert!(v <= MAX_VERSION);
+    assert!(v <= MAX_VERSION, "version {v} out of range");
     v << 1
 }
 
 /// Encodes an ownership word (convenience for hot paths).
+///
+/// # Panics
+///
+/// Panics if `entry` exceeds [`MAX_UPDATE_ENTRIES`] — in release builds
+/// too, matching [`StmWord::encode`] (the same unification as
+/// [`version_bits`]; an oversized index would silently alias another
+/// transaction's entry otherwise).
+#[inline]
 pub(crate) fn owned_bits(owner: TxToken, entry: u32) -> u64 {
-    debug_assert!(entry <= MAX_UPDATE_ENTRIES);
+    assert!(entry <= MAX_UPDATE_ENTRIES, "update entry {entry} out of range");
     (u64::from(entry) << 33) | (u64::from(owner.0) << 1) | 1
 }
 
@@ -157,6 +174,21 @@ mod tests {
             owned_bits(TxToken(9), 3),
             StmWord::Owned { owner: TxToken(9), entry: 3 }.encode()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn version_bits_helper_panics_like_encode() {
+        // The hot-path helper and `encode` must agree in every build
+        // profile: a wrapped version must never silently shift into the
+        // owned bit (this assert fires in release builds too).
+        let _ = version_bits(MAX_VERSION + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owned_bits_helper_panics_like_encode() {
+        let _ = owned_bits(TxToken(1), MAX_UPDATE_ENTRIES + 1);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   property-style tests;
 //! - [`sync`] — `Mutex` / `RwLock` wrappers over `std::sync` with a
 //!   panic-tolerant (non-poisoning) API in the style of `parking_lot`,
-//!   plus an owned [`sync::ArcMutexGuard`] for hand-over-hand locking.
+//!   plus an owned [`sync::ArcMutexGuard`] for hand-over-hand locking;
+//! - [`sched`] — thread-local schedule-point hooks that let the
+//!   `omt-sched` deterministic interleaving explorer pause instrumented
+//!   runtime code at cross-thread-visible steps (one relaxed load per
+//!   site when nothing is installed).
 //!
 //! Everything here is intentionally boring: no unsafe beyond the one
 //! documented lifetime extension in [`sync::ArcMutexGuard`], no
@@ -20,4 +24,5 @@
 #![warn(missing_debug_implementations)]
 
 pub mod rng;
+pub mod sched;
 pub mod sync;

@@ -1,0 +1,574 @@
+//! Schedule-explorer sweep over the public STM API: four oracles driven
+//! through `omt-sched`'s bounded-preemption DFS and seeded random
+//! walks, plus the frozen schedules of the cross-thread bugs this
+//! explorer found (see DESIGN.md §4.8).
+//!
+//! Scenario ground rules (from the explorer's scope): serial-mode
+//! escalation is disabled (`serial_after_aborts: None` — the exclusive
+//! gate held across schedule points would deadlock the baton),
+//! contention management is `AbortSelf` (no cooperative doom-wait
+//! spins), and retries are bounded, so every virtual thread terminates
+//! under every schedule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use omt_heap::{ClassDesc, Heap, ObjRef, Word};
+use omt_sched::{Execution, Explorer, RunOutcome, SchedConfig, ThreadBody};
+use omt_stm::failpoint::{sites, FailAction, Trigger};
+use omt_stm::{CmPolicy, Stm, StmConfig, StmWord, TxError};
+
+/// STM configuration every scenario uses (see module docs).
+fn scenario_config() -> StmConfig {
+    StmConfig {
+        cm: CmPolicy::AbortSelf,
+        serial_after_aborts: None,
+        max_retries: 6,
+        backoff_cap_log2: 1,
+        ..StmConfig::default()
+    }
+}
+
+fn explorer(max_schedules: usize, random_walks: usize) -> Explorer {
+    Explorer::new(SchedConfig {
+        preemption_bound: 2,
+        max_schedules,
+        random_walks,
+        seed: 0x5EED,
+        max_steps: 800,
+        minimize: true,
+    })
+}
+
+fn new_cells(n: usize, init: &[i64]) -> (Arc<Heap>, Vec<ObjRef>) {
+    let heap = Arc::new(Heap::new());
+    let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["a", "b"]));
+    let objs: Vec<ObjRef> = (0..n).map(|_| heap.alloc(class).unwrap()).collect();
+    for (obj, v) in objs.iter().zip(init) {
+        heap.store(*obj, 0, Word::from_scalar(*v));
+    }
+    (heap, objs)
+}
+
+fn scalar(heap: &Heap, obj: ObjRef, field: usize) -> i64 {
+    heap.load(obj, field).as_scalar().expect("scalar field")
+}
+
+/// Coverage line per oracle (visible with `--nocapture`; the measured
+/// numbers are quoted in EXPERIMENTS.md).
+fn report_coverage(name: &str, report: &omt_sched::ExploreReport) {
+    eprintln!(
+        "{name}: {} schedules ({} dfs{}, {} random), {} step-limited",
+        report.schedules_run,
+        report.dfs_schedules,
+        if report.exhausted { " — exhausted" } else { "" },
+        report.random_schedules,
+        report.step_limited,
+    );
+}
+
+/// All orderings of `items` (≤ 3! here, so brute force is fine).
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (k, &head) in items.iter().enumerate() {
+        let rest: Vec<usize> =
+            items.iter().enumerate().filter(|&(j, _)| j != k).map(|(_, &x)| x).collect();
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Oracle 1: serializability of a 3-thread bank against the sequential
+// reference — the committed transfers, applied in *some* order to the
+// initial balances, must reproduce the final heap exactly.
+// ---------------------------------------------------------------------
+
+const BANK_INIT: [i64; 3] = [8, 4, 2];
+
+/// Thread `i`'s transfer: move half of account `i` into account
+/// `(i+1) % 3`. Integer division makes the transfers non-commutative,
+/// so distinct commit orders give distinct final states.
+fn bank_model_apply(balances: &mut [i64; 3], i: usize) {
+    let amount = balances[i] / 2;
+    balances[i] -= amount;
+    balances[(i + 1) % 3] += amount;
+}
+
+fn bank_factory() -> Execution {
+    let (heap, accts) = new_cells(3, &BANK_INIT);
+    let stm = Arc::new(Stm::with_config(heap.clone(), scenario_config()));
+    let committed = Arc::new(Mutex::new([false; 3]));
+
+    let threads: Vec<ThreadBody> = (0..3)
+        .map(|i| {
+            let stm = stm.clone();
+            let accts = accts.clone();
+            let committed = committed.clone();
+            Box::new(move || {
+                let src = accts[i];
+                let dst = accts[(i + 1) % 3];
+                let result = stm.try_atomically(|tx| {
+                    let s = tx.read(src, 0)?.as_scalar().unwrap();
+                    let d = tx.read(dst, 0)?.as_scalar().unwrap();
+                    let amount = s / 2;
+                    tx.write(src, 0, Word::from_scalar(s - amount))?;
+                    tx.write(dst, 0, Word::from_scalar(d + amount))?;
+                    Ok(())
+                });
+                if result.is_ok() {
+                    committed.lock().unwrap()[i] = true;
+                }
+            }) as ThreadBody
+        })
+        .collect();
+
+    let check = Box::new(move || {
+        let finals: Vec<i64> = accts.iter().map(|&a| scalar(&heap, a, 0)).collect();
+        if finals.iter().sum::<i64>() != BANK_INIT.iter().sum::<i64>() {
+            return Err(format!("money not conserved: {finals:?}"));
+        }
+        let done: Vec<usize> = (0..3).filter(|&i| committed.lock().unwrap()[i]).collect();
+        let serializable = permutations(&done).iter().any(|order| {
+            let mut model = BANK_INIT;
+            for &i in order {
+                bank_model_apply(&mut model, i);
+            }
+            model[..] == finals[..]
+        });
+        if serializable {
+            Ok(())
+        } else {
+            Err(format!("no sequential order of committed transfers {done:?} yields {finals:?}"))
+        }
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_bank_serializability() {
+    let report = explorer(4_000, 2_500).explore(&bank_factory);
+    report_coverage("bank", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0, "scenario must be schedule-deterministic");
+    assert!(report.schedules_run >= 2_500, "got {}", report.schedules_run);
+}
+
+// ---------------------------------------------------------------------
+// Oracle 2: opacity / zombie containment — writers preserve x + y == C;
+// a reader transaction may observe torn state mid-flight (this is a
+// direct-update STM), but a *committed* read snapshot must be
+// consistent.
+// ---------------------------------------------------------------------
+
+fn opacity_factory() -> Execution {
+    const C: i64 = 10;
+    let (heap, cells) = new_cells(2, &[C, 0]);
+    let (x, y) = (cells[0], cells[1]);
+    let stm = Arc::new(Stm::with_config(
+        heap.clone(),
+        StmConfig { validate_every: Some(1), ..scenario_config() },
+    ));
+    let snapshots = Arc::new(Mutex::new(Vec::<(i64, i64)>::new()));
+
+    let mover = |from: ObjRef, to: ObjRef| {
+        let stm = stm.clone();
+        Box::new(move || {
+            let _ = stm.try_atomically(|tx| {
+                let f = tx.read(from, 0)?.as_scalar().unwrap();
+                let t = tx.read(to, 0)?.as_scalar().unwrap();
+                tx.write(from, 0, Word::from_scalar(f - 1))?;
+                tx.write(to, 0, Word::from_scalar(t + 1))?;
+                Ok(())
+            });
+        }) as ThreadBody
+    };
+    let reader: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let snapshots = snapshots.clone();
+        move || {
+            let mut tx = stm.begin();
+            let pair = (|| -> Result<(i64, i64), TxError> {
+                let a = tx.read(x, 0)?.as_scalar().unwrap();
+                let b = tx.read(y, 0)?.as_scalar().unwrap();
+                Ok((a, b))
+            })();
+            match pair {
+                Ok(pair) => {
+                    if tx.commit().is_ok() {
+                        snapshots.lock().unwrap().push(pair);
+                    }
+                }
+                Err(_) => tx.abort(),
+            }
+        }
+    });
+
+    let threads: Vec<ThreadBody> = vec![reader, mover(x, y), mover(y, x)];
+    let check = Box::new(move || {
+        for &(a, b) in snapshots.lock().unwrap().iter() {
+            if a + b != C {
+                return Err(format!("zombie snapshot committed: {a} + {b} != {C}"));
+            }
+        }
+        let (a, b) = (scalar(&heap, x, 0), scalar(&heap, y, 0));
+        if a + b != C {
+            return Err(format!("writers broke the invariant: {a} + {b} != {C}"));
+        }
+        Ok(())
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_opacity_zombie_containment() {
+    let report = explorer(3_000, 2_000).explore(&opacity_factory);
+    report_coverage("opacity", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0);
+    assert!(report.schedules_run >= 2_000, "got {}", report.schedules_run);
+}
+
+// ---------------------------------------------------------------------
+// Oracle 3: a transaction killed by the Kill failpoint mid-commit
+// (updates in place, ownership held) must be recovered to its exact
+// pre-state, under every interleaving with a racing contender.
+// ---------------------------------------------------------------------
+
+fn kill_recovery_factory() -> Execution {
+    let (heap, cells) = new_cells(1, &[7]);
+    let obj = cells[0];
+    heap.store(obj, 1, Word::from_scalar(5));
+    let stm = Arc::new(Stm::with_config(heap.clone(), scenario_config()));
+    // Failpoints are global, so whichever transaction reaches its
+    // commit's release phase first dies there — after validation, with
+    // its in-place stores maximally visible. The oracle is symmetric:
+    // either writer may be the victim.
+    stm.failpoints().set(sites::COMMIT_BEFORE_RELEASE, FailAction::Kill, Trigger::Once);
+    let committed = Arc::new(Mutex::new([false; 2]));
+
+    // Writer `i` updates field `i` of the shared object (same object,
+    // so they contend on ownership) and retries until it either commits
+    // or is killed. Both loops terminate: the Kill fires exactly once,
+    // and the survivor recovers the orphan and goes through.
+    let threads: Vec<ThreadBody> = [99, 6]
+        .into_iter()
+        .enumerate()
+        .map(|(i, value)| {
+            let stm = stm.clone();
+            let committed = committed.clone();
+            Box::new(move || loop {
+                let mut tx = stm.begin();
+                match tx.read(obj, i).and_then(|_| tx.write(obj, i, Word::from_scalar(value))) {
+                    Ok(()) => match tx.commit() {
+                        Ok(()) => {
+                            committed.lock().unwrap()[i] = true;
+                            break;
+                        }
+                        // Simulated thread death while holding
+                        // ownership: this thread is gone, it must not
+                        // retry.
+                        Err(TxError::DOOMED) => break,
+                        Err(_) => continue,
+                    },
+                    Err(_) => tx.abort(),
+                }
+            }) as ThreadBody
+        })
+        .collect();
+
+    let check = Box::new(move || {
+        // The check runs on the harness thread (no hook installed).
+        // Optimistic reads never recover orphans, so acquire the object
+        // for update — that path recovers if nobody else did — then
+        // abort cleanly (no stores, so values and version are kept).
+        let mut cleanup = stm.begin();
+        cleanup.open_for_update(obj).expect("cleanup acquisition");
+        cleanup.abort();
+        let s = stm.stats();
+        if s.txs_killed != 1 {
+            return Err(format!("expected exactly one kill, saw {}", s.txs_killed));
+        }
+        if s.orphans_recovered != 1 {
+            return Err(format!("expected exactly one recovery, saw {}", s.orphans_recovered));
+        }
+        if stm.registry().orphan_count() != 0 {
+            return Err("orphan left unrecovered".into());
+        }
+        let done = *committed.lock().unwrap();
+        if done[0] && done[1] {
+            return Err("both writers committed, yet one must have been killed".into());
+        }
+        let expected = [if done[0] { 99 } else { 7 }, if done[1] { 6 } else { 5 }];
+        let finals = [scalar(&heap, obj, 0), scalar(&heap, obj, 1)];
+        if finals != expected {
+            return Err(format!(
+                "state {finals:?} != {expected:?} for committed set {done:?} \
+                 (killed writer's effects must be rolled back exactly)"
+            ));
+        }
+        if StmWord::decode(heap.header_atomic(obj).load(Ordering::SeqCst)).is_owned() {
+            return Err("header still owned at quiescence".into());
+        }
+        Ok(())
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_kill_recovery_restores_pre_state() {
+    let report = explorer(2_500, 1_500).explore(&kill_recovery_factory);
+    report_coverage("kill-recovery", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0);
+    assert!(report.schedules_run >= 1_500, "got {}", report.schedules_run);
+}
+
+// ---------------------------------------------------------------------
+// Oracle 4: two-clock bookkeeping — at quiescence the acquisition
+// clock equals the number of successful acquisitions and the
+// commit-sequence clock equals the number of update-publishing commits,
+// under every interleaving.
+// ---------------------------------------------------------------------
+
+fn quiescence_factory() -> Execution {
+    let (heap, cells) = new_cells(2, &[0, 0]);
+    let stm = Arc::new(Stm::with_config(heap.clone(), scenario_config()));
+    let commits = Arc::new(AtomicUsize::new(0));
+
+    let writer = |obj: ObjRef| {
+        let stm = stm.clone();
+        let commits = commits.clone();
+        Box::new(move || {
+            let result = stm.try_atomically(|tx| {
+                let v = tx.read(obj, 0)?.as_scalar().unwrap();
+                tx.write(obj, 0, Word::from_scalar(v + 1))
+            });
+            if result.is_ok() {
+                commits.fetch_add(1, Ordering::SeqCst);
+            }
+        }) as ThreadBody
+    };
+    let reader: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let cells = cells.clone();
+        move || {
+            let mut tx = stm.begin();
+            let ok = tx.read(cells[0], 0).is_ok() && tx.read(cells[1], 0).is_ok();
+            if ok {
+                let _ = tx.commit();
+            } else {
+                tx.abort();
+            }
+        }
+    });
+
+    let threads: Vec<ThreadBody> = vec![reader, writer(cells[0]), writer(cells[1])];
+    let check = Box::new(move || {
+        let s = stm.stats();
+        if stm.acquire_clock() != s.acquires {
+            return Err(format!(
+                "acquisition clock {} != successful acquisitions {}",
+                stm.acquire_clock(),
+                s.acquires
+            ));
+        }
+        let published = commits.load(Ordering::SeqCst) as u64;
+        if stm.commit_clock() != published {
+            return Err(format!(
+                "commit clock {} != update-publishing commits {published}",
+                stm.commit_clock()
+            ));
+        }
+        if s.validation_fast_path > s.validations {
+            return Err("more fast paths than validations".into());
+        }
+        Ok(())
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_two_clock_quiescence() {
+    let report = explorer(2_500, 1_500).explore(&quiescence_factory);
+    report_coverage("quiescence", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0);
+    assert!(report.schedules_run >= 1_500, "got {}", report.schedules_run);
+}
+
+// ---------------------------------------------------------------------
+// Frozen regression schedules: the minimized counterexamples the
+// explorer produced for the two cross-thread bugs this repository has
+// fixed, replayed against the fixed tree. The step-by-step traces are
+// documented in DESIGN.md §4.8. (The failing form of each schedule is
+// pinned in `crates/stm/src/tests.rs::sched_regressions`, where
+// test-only knobs can revert each fix.)
+// ---------------------------------------------------------------------
+
+/// One reader racing one aborting writer (the scenario both frozen
+/// schedules run against). No transaction ever commits an update, so a
+/// reader that commits a non-zero value observed rolled-back state.
+fn zombie_read_factory() -> Execution {
+    let (heap, cells) = new_cells(1, &[0]);
+    let obj = cells[0];
+    let stm = Arc::new(Stm::with_config(heap.clone(), scenario_config()));
+    let committed_read = Arc::new(Mutex::new(None::<i64>));
+
+    let reader: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let out = committed_read.clone();
+        move || {
+            let mut tx = stm.begin();
+            match tx.read(obj, 0) {
+                Ok(word) => {
+                    let v = word.as_scalar().unwrap();
+                    if tx.commit().is_ok() {
+                        *out.lock().unwrap() = Some(v);
+                    }
+                }
+                Err(_) => tx.abort(),
+            }
+        }
+    });
+    let writer: ThreadBody = Box::new({
+        let stm = stm.clone();
+        move || {
+            let mut tx = stm.begin();
+            let _ = tx.write(obj, 0, Word::from_scalar(1));
+            tx.abort();
+        }
+    });
+    let check = Box::new(move || match *committed_read.lock().unwrap() {
+        Some(v) if v != 0 => {
+            Err(format!("zombie commit: reader committed {v} from an aborted writer"))
+        }
+        _ => Ok(()),
+    });
+    Execution { threads: vec![reader, writer], check }
+}
+
+/// PR 3's two-clock bug: the reader validates while the aborting writer
+/// still owns the cell; with the acquisition-clock check reverted, the
+/// (quiescent) commit clock alone lets the fast path skip the scan.
+const TWO_CLOCK_FAST_PATH_SCHEDULE: &[usize] = &[0, 0, 1, 1, 1, 1, 0, 0];
+
+/// This PR's abort-ABA bug: the reader's data load lands on the
+/// writer's in-place store, and its validation scan lands after the
+/// abort released the header — at the *original* version before the
+/// fix, making the stale read entry validate.
+const ABORT_VERSION_ABA_SCHEDULE: &[usize] = &[0, 0, 1, 1, 1, 1, 0, 0, 1, 1];
+
+#[test]
+fn frozen_two_clock_schedule_passes_on_the_fixed_tree() {
+    let outcome =
+        explorer(1, 0).replay(&zombie_read_factory, &TWO_CLOCK_FAST_PATH_SCHEDULE.to_vec());
+    assert_eq!(outcome, RunOutcome::Pass);
+}
+
+#[test]
+fn frozen_abort_aba_schedule_passes_on_the_fixed_tree() {
+    let outcome = explorer(1, 0).replay(&zombie_read_factory, &ABORT_VERSION_ABA_SCHEDULE.to_vec());
+    assert_eq!(outcome, RunOutcome::Pass);
+}
+
+#[test]
+fn zombie_read_scenario_is_clean_under_exploration() {
+    let report = Explorer::new(SchedConfig {
+        preemption_bound: 3,
+        random_walks: 500,
+        ..SchedConfig::default()
+    })
+    .explore(&zombie_read_factory);
+    report_coverage("zombie-read", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert!(report.exhausted, "two-thread space must be fully enumerated");
+}
+
+// ---------------------------------------------------------------------
+// Version-wrap epoch abort (satellite S1): with a tiny version width,
+// a writer commit wraps the version counter and bumps the global
+// epoch; a reader that opened the cell before the wrap must abort with
+// TxError::EPOCH — never validate across the renumbering.
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_reader_aborts_with_epoch_across_a_version_wrap() {
+    let epoch_aborts = Arc::new(AtomicUsize::new(0));
+    let factory = {
+        let epoch_aborts = epoch_aborts.clone();
+        move || {
+            let (heap, cells) = new_cells(1, &[0]);
+            let obj = cells[0];
+            let stm = Arc::new(Stm::with_config(
+                heap.clone(),
+                StmConfig { version_bits: 4, ..scenario_config() },
+            ));
+            // Drive the cell to the maximum encodable version (15): the
+            // next committed update must wrap to 0 and bump the epoch.
+            for v in 1..=15i64 {
+                let mut tx = stm.begin();
+                tx.write(obj, 0, Word::from_scalar(v)).unwrap();
+                tx.commit().unwrap();
+            }
+            assert_eq!(
+                StmWord::decode(heap.header_atomic(obj).load(Ordering::SeqCst)),
+                StmWord::Version(15)
+            );
+
+            let observed = Arc::new(Mutex::new(None::<Result<i64, TxError>>));
+            let reader: ThreadBody = Box::new({
+                let stm = stm.clone();
+                let observed = observed.clone();
+                move || {
+                    let mut tx = stm.begin();
+                    let result = match tx.read(obj, 0) {
+                        Ok(word) => {
+                            let v = word.as_scalar().unwrap();
+                            tx.commit().map(|()| v)
+                        }
+                        Err(e) => {
+                            tx.abort();
+                            Err(e)
+                        }
+                    };
+                    *observed.lock().unwrap() = Some(result);
+                }
+            });
+            let writer: ThreadBody = Box::new({
+                let stm = stm.clone();
+                move || {
+                    let _ = stm.try_atomically(|tx| tx.write(obj, 0, Word::from_scalar(100)));
+                }
+            });
+            let epoch_aborts = epoch_aborts.clone();
+            let check = Box::new(move || {
+                assert_eq!(stm.epoch(), 1, "the wrapping commit must bump the epoch");
+                match observed.lock().unwrap().take() {
+                    Some(Ok(v)) if v != 15 && v != 100 => {
+                        Err(format!("reader committed impossible value {v}"))
+                    }
+                    Some(Err(TxError::EPOCH)) => {
+                        epoch_aborts.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    }
+                    _ => Ok(()),
+                }
+            });
+            Execution { threads: vec![reader, writer], check }
+        }
+    };
+    let report = explorer(800, 200).explore(&factory);
+    report_coverage("epoch-wrap", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert!(
+        epoch_aborts.load(Ordering::SeqCst) > 0,
+        "some schedule must drive the reader across the wrap into an EPOCH abort"
+    );
+}
