@@ -140,6 +140,14 @@ impl Heap {
     /// all live references are reported via `roots` or a participant;
     /// violations surface as "dangling ObjRef" panics, never undefined
     /// behaviour.
+    ///
+    /// Under a schedule explorer, a participant's `after_sweep` may
+    /// yield between shards of its own bookkeeping; mutator steps
+    /// interleaved there are safe (logs are trimmed before storage is
+    /// reclaimed — see below) as long as they do not *allocate*: the
+    /// sweep would treat an unmarked fresh object as garbage. Marking
+    /// takes no such pauses — without write barriers a mutator store
+    /// interleaved mid-mark could hide a live object from the trace.
     pub fn collect(&self, roots: &RootSet, participants: &[&dyn GcParticipant]) -> GcOutcome {
         let live_before = self.live_objects() as u64;
         let mut worklist: Vec<u32> = Vec::new();
@@ -181,6 +189,19 @@ impl Heap {
             }
         }
 
+        // Trim participant bookkeeping *before* storage is reclaimed.
+        // A participant may pause mid-trim under a schedule explorer
+        // (see the registry's shard-boundary yields); a mutator step
+        // interleaved there can still validate a not-yet-trimmed entry
+        // against an intact — merely condemned — object. Freeing first
+        // would put a dangling slot behind that entry.
+        let is_live = |r: ObjRef| {
+            self.is_valid(r) && self.mark_bit(r.slot()).load(std::sync::atomic::Ordering::Relaxed)
+        };
+        for p in participants {
+            p.after_sweep(&is_live);
+        }
+
         let mut swept: u64 = 0;
         self.with_alloc_state(|state| {
             for slot in 0..state.next_fresh() {
@@ -197,11 +218,6 @@ impl Heap {
                 swept += 1;
             }
         });
-
-        let is_live = |r: ObjRef| self.is_valid(r);
-        for p in participants {
-            p.after_sweep(&is_live);
-        }
 
         self.stats().record_collection(swept);
         GcOutcome { marked, swept, live_before }

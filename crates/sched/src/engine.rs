@@ -9,6 +9,42 @@
 //! one schedule point to the next; at each point it hands the baton
 //! back and the scheduler picks who continues.
 //!
+//! ## The worker pool and the inline tick
+//!
+//! Spawning OS threads per schedule dominated the cost of PR 4's
+//! engine. [`run_driven`] instead borrows *pooled* workers from a
+//! thread-local pool owned by the scheduler's thread: each worker parks
+//! on its job-slot condvar between executions and is handed a fresh
+//! closure per run, so a schedule costs zero spawns.
+//!
+//! The second cost in PR 4's engine was that every step bounced the
+//! baton through the scheduler thread — two OS handoffs per step even
+//! when the same thread kept running, which is the common case (DFS
+//! tries the non-preemptive continuation first). The pooled engine
+//! instead runs the scheduling decision *inline* on whichever party
+//! holds the baton ([`Shared::tick`]): when the chooser picks the
+//! current thread again, no handoff happens at all, so a run's OS
+//! handoffs scale with its context *switches*, not its steps. The baton
+//! itself is spin-then-park (the waiting party spins briefly on an
+//! atomic turn word before falling back to a per-party condvar) when
+//! more than one core is available; on a single-core host the spin
+//! phase is disabled since the partner cannot make progress while we
+//! spin. [`run_driven_reference`] preserves the spawn-per-run,
+//! bounce-per-step, park-only cost model as the measurement baseline
+//! for the speedup.
+//!
+//! ## Blocked threads
+//!
+//! A thread that reaches a *blocking* acquisition
+//! ([`omt_util::sched::block_until`]) parks in status `Blocked` instead
+//! of invisibly seizing a native lock with the baton in hand. A blocked
+//! thread stays schedulable (scheduling it retries the acquisition)
+//! until a retry fails with no intervening progress; it then leaves the
+//! enabled set until any other thread completes a step, which may have
+//! released the resource. If the enabled set empties while threads are
+//! blocked, the run fails with a deadlock report naming the blocked
+//! sites — that is an explorable bug, not an engine hang.
+//!
 //! ## What the engine can and cannot explore
 //!
 //! Because only one thread runs at a time, the engine explores exactly
@@ -24,11 +60,19 @@
 //! hooks turn into pass-throughs and all threads run to completion
 //! under real concurrency. The run's outcome is then not a
 //! deterministic witness, so it is counted (`step_limited`) but its
-//! check result is discarded.
+//! check result is discarded. A deadlocked run is abandoned the same
+//! way (blocked threads fall back to their real blocking acquisition);
+//! if the threads do not quiesce within a grace period, the pool is
+//! discarded and rebuilt rather than joined — a found deadlock ends the
+//! exploration anyway.
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use omt_util::sched::SchedPoint;
 
 /// One virtual thread's body. Fresh closures are built for every
 /// execution by the scenario factory.
@@ -36,8 +80,8 @@ pub type ThreadBody = Box<dyn FnOnce() + Send + 'static>;
 
 /// A scheduling policy for [`run_driven`]: receives the step index, the
 /// enabled set (non-empty), and the previously scheduled thread, and
-/// must return a member of the enabled set.
-pub type Chooser<'a> = dyn FnMut(usize, &[usize], Option<usize>) -> usize + 'a;
+/// must return the `thread` of a member of the enabled set.
+pub type Chooser<'a> = dyn FnMut(usize, &[EnabledSlot], Option<usize>) -> usize + 'a;
 
 /// A single execution: thread bodies plus a final-state check that runs
 /// after every thread finished. The check returns `Err` with a
@@ -53,6 +97,24 @@ impl std::fmt::Debug for Execution {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Execution").field("threads", &self.threads.len()).finish()
     }
+}
+
+/// One schedulable thread at a scheduling decision, with its pending
+/// action: the schedule point it is parked at names the step it is
+/// about to perform. Explorers use `key` for commutativity-based
+/// pruning and `blocked` for preemption accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnabledSlot {
+    /// Index of the thread.
+    pub thread: usize,
+    /// Site the thread is parked at (`None` before its first step).
+    pub site: Option<&'static str>,
+    /// Object identity of the pending step, if the site names one.
+    /// `None` means unknown: dependent on everything.
+    pub key: Option<usize>,
+    /// True if the thread is parked at a blocking acquisition;
+    /// scheduling it retries the acquisition.
+    pub blocked: bool,
 }
 
 /// One recorded scheduling step: which thread ran and the site name it
@@ -74,12 +136,18 @@ pub const SITE_PANIC: &str = "<panicked>";
 /// Status of one virtual thread, as the scheduler sees it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Status {
-    /// Spawned, has not yet been given the baton for the first time.
+    /// Assigned to a worker, has not yet been given the baton.
     Ready,
     /// Holds the baton and is executing.
     Running,
     /// Parked at a schedule point, waiting for the baton.
-    Yielded(&'static str),
+    Yielded { site: &'static str, key: Option<usize> },
+    /// Parked at a blocking acquisition that is not currently
+    /// available. `retried` is set when the thread was rescheduled and
+    /// re-blocked at the same site with no intervening progress; it is
+    /// cleared (for every blocked thread) whenever any thread completes
+    /// a step that could have released a resource.
+    Blocked { site: &'static str, retried: bool },
     /// Ran to completion.
     Done,
     /// Panicked; the payload's message.
@@ -87,71 +155,482 @@ enum Status {
 }
 
 impl Status {
-    fn enabled(&self) -> bool {
-        matches!(self, Status::Ready | Status::Yielded(_))
+    fn enabled_slot(&self, thread: usize) -> Option<EnabledSlot> {
+        match self {
+            Status::Ready => Some(EnabledSlot { thread, site: None, key: None, blocked: false }),
+            Status::Yielded { site, key } => {
+                Some(EnabledSlot { thread, site: Some(site), key: *key, blocked: false })
+            }
+            Status::Blocked { site, retried: false } => {
+                Some(EnabledSlot { thread, site: Some(site), key: None, blocked: true })
+            }
+            _ => None,
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(self, Status::Done | Status::Panicked(_))
     }
 }
 
-/// Who currently holds the baton.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Turn {
-    Scheduler,
-    Thread(usize),
+/// Baton token of the scheduler; thread `i` is token `i + 1`.
+const SCHED: usize = 0;
+
+/// Spin iterations on the turn word before parking on the seat condvar.
+/// Spinning only pays when the handoff partner can run on another core:
+/// on a single-CPU host the partner cannot store `turn` while we burn
+/// the core, so every spin is wasted and the phase is disabled.
+fn spin_limit() -> usize {
+    static LIMIT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() >= 2 => 256,
+        _ => 0,
+    })
+}
+/// How long to wait for threads to quiesce after abandoning a run
+/// before declaring the pool unreclaimable.
+const RECLAIM_DEADLINE: Duration = Duration::from_secs(1);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-struct EngineState {
-    turn: Turn,
-    statuses: Vec<Status>,
-}
-
-/// Shared between the scheduler and the virtual threads.
-struct Shared {
-    state: Mutex<EngineState>,
+/// One party's parking spot for the spin-then-park baton.
+struct Seat {
+    /// Dekker flag: set (then turn rechecked) before waiting, so the
+    /// releaser's `turn` store / `parked` load pairing can skip the
+    /// notification when nobody is parked.
+    parked: AtomicBool,
+    lock: Mutex<()>,
     cv: Condvar,
+}
+
+impl Seat {
+    fn new() -> Seat {
+        Seat { parked: AtomicBool::new(false), lock: Mutex::new(()), cv: Condvar::new() }
+    }
+}
+
+/// Per-run driver state: the chooser and the record under construction.
+/// Only the current baton holder touches it — under the pooled engine's
+/// *inline tick* the scheduling decision runs on whichever thread holds
+/// the baton, so the state must live where every party can reach it.
+/// The mutex is therefore always uncontended; it exists to move the
+/// state across threads soundly.
+struct Driver {
+    /// Type-erased `&mut Chooser<'_>` from `run_driven_impl`'s frame.
+    ///
+    /// SAFETY: dereferenced only by the baton holder (serialized by the
+    /// turn handoff, which is SeqCst-paired) and only while the run is
+    /// live — `run_driven_impl` takes the driver back before it
+    /// abandons a run or returns, and post-abandonment hooks never
+    /// tick.
+    chooser: *mut Chooser<'static>,
+    steps: Vec<Step>,
+    enabled_sets: Vec<Vec<EnabledSlot>>,
+    /// The choice whose step is currently executing, plus the site it
+    /// was blocked at when scheduled (if it was a blocked retry).
+    pending: Option<(usize, Option<&'static str>)>,
+    prev: Option<usize>,
+    max_steps: usize,
+    step_limited: bool,
+    deadlock: Option<String>,
+}
+
+// SAFETY: see `Driver::chooser` — all access is serialized by the baton.
+unsafe impl Send for Driver {}
+
+/// What an inline tick did with the baton.
+enum Tick {
+    /// The calling thread was chosen again: keep running, no handoff.
+    Continue,
+    /// The baton went to another thread or back to the scheduler.
+    Handed,
+}
+
+/// Shared between the scheduler and the virtual threads, one per run.
+struct Shared {
+    /// Who holds the baton: [`SCHED`] or thread index + 1.
+    turn: AtomicUsize,
+    /// `seats[token]`: where that party parks when the spin fails.
+    seats: Vec<Seat>,
+    statuses: Mutex<Vec<Status>>,
+    /// Notified (with `statuses` held) on every terminal transition;
+    /// the scheduler waits on it to reclaim workers after abandonment.
+    done_cv: Condvar,
     /// Once set, hooks stop parking and all threads free-run to
     /// completion (see module docs on abandonment).
     abandoned: AtomicBool,
+    /// 0 disables the spin phase (the reference engine's cost model).
+    spin_limit: usize,
+    /// True when scheduling decisions run inline on the baton holder
+    /// (the pooled engine); false in reference mode, where the classic
+    /// bounce-to-scheduler loop drives.
+    inline: bool,
+    /// Present while a pooled (inline-tick) run is live; `None` in
+    /// reference mode.
+    driver: Mutex<Option<Driver>>,
 }
 
 impl Shared {
-    fn lock(&self) -> std::sync::MutexGuard<'_, EngineState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    fn new(n: usize, spin_limit: usize, inline: bool) -> Shared {
+        Shared {
+            turn: AtomicUsize::new(SCHED),
+            seats: (0..=n).map(|_| Seat::new()).collect(),
+            statuses: Mutex::new(vec![Status::Ready; n]),
+            done_cv: Condvar::new(),
+            abandoned: AtomicBool::new(false),
+            spin_limit,
+            inline,
+            driver: Mutex::new(None),
+        }
     }
 
-    /// Called from a virtual thread's hook: park at `site` until the
-    /// scheduler hands the baton back.
-    fn yield_to_scheduler(&self, me: usize, site: &'static str) {
-        if self.abandoned.load(Ordering::Acquire) {
-            return;
+    /// One scheduling decision, run *inline* by the party holding the
+    /// baton (`me`, or `None` for the scheduler's seeding tick): record
+    /// the result of the step that just finished, pick the next thread,
+    /// and hand the baton over — except when the chooser picked the
+    /// caller itself, which costs no handoff at all. That same-thread
+    /// fast path is what makes the pooled engine fast on DFS schedules,
+    /// which run long non-preemptive stretches by construction.
+    fn tick(&self, me: Option<usize>) -> Tick {
+        let mut dg = lock(&self.driver);
+        let driver = dg.as_mut().expect("inline tick during a live pooled run");
+        let enabled: Vec<EnabledSlot> = {
+            let mut st = lock(&self.statuses);
+            if let Some((choice, from_blocked)) = driver.pending.take() {
+                let site = note_step_result_locked(&mut st, choice, from_blocked);
+                driver.steps.push(Step { thread: choice, site });
+            }
+            let mut enabled: Vec<EnabledSlot> = Vec::with_capacity(st.len());
+            enabled.extend(st.iter().enumerate().filter_map(|(i, s)| s.enabled_slot(i)));
+            if enabled.is_empty() {
+                let blocked: Vec<String> = st
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        Status::Blocked { site, .. } => Some(format!("t{i}@{site}")),
+                        _ => None,
+                    })
+                    .collect();
+                if !blocked.is_empty() {
+                    driver.deadlock = Some(format!(
+                        "deadlock: no runnable threads; blocked: {}",
+                        blocked.join(", ")
+                    ));
+                }
+            }
+            enabled
+        };
+        if enabled.is_empty() {
+            drop(dg);
+            self.release_turn_to(SCHED);
+            return Tick::Handed;
         }
-        let mut st = self.lock();
-        st.statuses[me] = Status::Yielded(site);
-        st.turn = Turn::Scheduler;
-        self.cv.notify_all();
-        while st.turn != Turn::Thread(me) && !self.abandoned.load(Ordering::Acquire) {
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        if driver.steps.len() >= driver.max_steps {
+            driver.step_limited = true;
+            drop(dg);
+            self.release_turn_to(SCHED);
+            return Tick::Handed;
         }
-        st.statuses[me] = Status::Running;
+        // SAFETY: see `Driver::chooser`.
+        let choice = unsafe { &mut *driver.chooser }(driver.steps.len(), &enabled, driver.prev);
+        let slot = *enabled
+            .iter()
+            .find(|s| s.thread == choice)
+            .unwrap_or_else(|| panic!("chooser returned disabled thread {choice}"));
+        driver.pending = Some((choice, if slot.blocked { slot.site } else { None }));
+        driver.prev = Some(choice);
+        driver.enabled_sets.push(enabled);
+        drop(dg);
+        if me == Some(choice) {
+            return Tick::Continue;
+        }
+        self.release_turn_to(choice + 1);
+        Tick::Handed
     }
 
-    /// Called from a virtual thread's wrapper before running its body:
-    /// wait for the first baton.
-    fn wait_for_first_turn(&self, me: usize) {
-        let mut st = self.lock();
-        while st.turn != Turn::Thread(me) && !self.abandoned.load(Ordering::Acquire) {
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    /// Waits until this party holds the baton (or the run is abandoned).
+    fn acquire_turn(&self, token: usize) {
+        for _ in 0..self.spin_limit {
+            if self.turn.load(Ordering::SeqCst) == token || self.abandoned.load(Ordering::SeqCst) {
+                return;
+            }
+            std::hint::spin_loop();
         }
-        st.statuses[me] = Status::Running;
+        let seat = &self.seats[token];
+        let mut g = lock(&seat.lock);
+        loop {
+            seat.parked.store(true, Ordering::SeqCst);
+            if self.turn.load(Ordering::SeqCst) == token || self.abandoned.load(Ordering::SeqCst) {
+                seat.parked.store(false, Ordering::SeqCst);
+                return;
+            }
+            g = seat.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            seat.parked.store(false, Ordering::SeqCst);
+        }
     }
 
-    /// Called from a virtual thread's wrapper when its body returned or
-    /// panicked: record the terminal status and return the baton.
-    fn finish(&self, me: usize, status: Status) {
-        let mut st = self.lock();
-        st.statuses[me] = status;
-        st.turn = Turn::Scheduler;
-        self.cv.notify_all();
+    /// Hands the baton to `token`, waking it only if it parked (the
+    /// SeqCst `turn` store / `parked` load here pairs with the waiter's
+    /// `parked` store / `turn` load: one of the two sides must observe
+    /// the other, so no wakeup is lost).
+    fn release_turn_to(&self, token: usize) {
+        self.turn.store(token, Ordering::SeqCst);
+        let seat = &self.seats[token];
+        if seat.parked.load(Ordering::SeqCst) {
+            drop(lock(&seat.lock));
+            seat.cv.notify_all();
+        }
     }
+
+    /// Flips the run into free-running mode and wakes every parked
+    /// party.
+    fn abandon(&self) {
+        self.abandoned.store(true, Ordering::SeqCst);
+        for seat in &self.seats {
+            drop(lock(&seat.lock));
+            seat.cv.notify_all();
+        }
+    }
+
+    /// Called from a virtual thread's hook: park at `point` until the
+    /// scheduler hands the baton back. Returns false (point unhandled)
+    /// when the run is abandoned, so blocking acquisitions fall back to
+    /// their real blocking path under free running.
+    fn handle_point(&self, me: usize, point: SchedPoint) -> bool {
+        if self.abandoned.load(Ordering::SeqCst) {
+            return !point.blocking;
+        }
+        {
+            let mut st = lock(&self.statuses);
+            st[me] = if point.blocking {
+                Status::Blocked { site: point.site, retried: false }
+            } else {
+                Status::Yielded { site: point.site, key: point.key }
+            };
+        }
+        if self.inline {
+            // Run the scheduling decision right here; if we are chosen
+            // again there is no handoff at all.
+            if let Tick::Continue = self.tick(Some(me)) {
+                lock(&self.statuses)[me] = Status::Running;
+                return true;
+            }
+        } else {
+            self.release_turn_to(SCHED);
+        }
+        self.acquire_turn(me + 1);
+        if self.abandoned.load(Ordering::SeqCst) {
+            return !point.blocking;
+        }
+        lock(&self.statuses)[me] = Status::Running;
+        true
+    }
+
+    /// Scheduler side of one step: reads where `choice` stopped,
+    /// maintains the `retried` flags, and returns the recorded site.
+    /// `from_blocked_site` is the site `choice` was blocked at when
+    /// scheduled, if it was scheduled as a blocked retry.
+    fn note_step_result(
+        &self,
+        choice: usize,
+        from_blocked_site: Option<&'static str>,
+    ) -> &'static str {
+        note_step_result_locked(&mut lock(&self.statuses), choice, from_blocked_site)
+    }
+
+    /// Waits until every thread reached a terminal status; false if the
+    /// deadline passes first (threads genuinely stuck in native blocking
+    /// calls — the pool must be discarded).
+    fn wait_all_terminal(&self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        let mut st = lock(&self.statuses);
+        while !st.iter().all(Status::terminal) {
+            let Some(left) = deadline.checked_sub(start.elapsed()) else {
+                return false;
+            };
+            let (g, _timeout) =
+                self.done_cv.wait_timeout(st, left).unwrap_or_else(|e| e.into_inner());
+            st = g;
+        }
+        true
+    }
+
+    fn panics(&self) -> Vec<String> {
+        lock(&self.statuses)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Status::Panicked(msg) => Some(format!("thread {i} panicked: {msg}")),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// [`Shared::note_step_result`] on an already-locked status table (the
+/// inline tick batches it with the enabled-set scan under one lock).
+fn note_step_result_locked(
+    st: &mut [Status],
+    choice: usize,
+    from_blocked_site: Option<&'static str>,
+) -> &'static str {
+    let (site, progressed) = match &st[choice] {
+        Status::Yielded { site, .. } => (*site, true),
+        // Re-blocking at the same site with nothing run in between is a
+        // failed retry, not progress.
+        Status::Blocked { site, .. } => (*site, from_blocked_site != Some(*site)),
+        Status::Done => (SITE_DONE, true),
+        Status::Panicked(_) => (SITE_PANIC, true),
+        s => unreachable!("thread {choice} returned the baton in state {s:?}"),
+    };
+    if progressed {
+        for s in st.iter_mut() {
+            if let Status::Blocked { retried, .. } = s {
+                *retried = false;
+            }
+        }
+    } else if let Status::Blocked { retried, .. } = &mut st[choice] {
+        *retried = true;
+    }
+    site
+}
+
+/// Body shared by pooled workers and reference-mode spawned threads:
+/// install the hook, run under the baton, record the terminal status.
+fn virtual_thread_main(index: usize, body: ThreadBody, shared: &Arc<Shared>) {
+    let hook_shared = shared.clone();
+    omt_util::sched::install_hook(Box::new(move |point| hook_shared.handle_point(index, point)));
+    shared.acquire_turn(index + 1);
+    if !shared.abandoned.load(Ordering::SeqCst) {
+        lock(&shared.statuses)[index] = Status::Running;
+    }
+    let result = catch_unwind(AssertUnwindSafe(body));
+    omt_util::sched::clear_hook();
+    let status = match result {
+        Ok(()) => Status::Done,
+        Err(payload) => Status::Panicked(panic_message(payload.as_ref())),
+    };
+    {
+        let mut st = lock(&shared.statuses);
+        st[index] = status;
+        shared.done_cv.notify_all();
+    }
+    if shared.inline && !shared.abandoned.load(Ordering::SeqCst) {
+        // The dying thread records its own final step and hands the
+        // baton straight to the next thread. If the tick itself panics
+        // (a chooser bug), fall back to waking the scheduler so the run
+        // still terminates with the panic recorded.
+        if catch_unwind(AssertUnwindSafe(|| shared.tick(Some(index)))).is_err() {
+            shared.release_turn_to(SCHED);
+        }
+    } else {
+        shared.release_turn_to(SCHED);
+    }
+}
+
+/// A job for a pooled worker.
+enum Cmd {
+    Run { index: usize, body: ThreadBody, shared: Arc<Shared> },
+    Exit,
+}
+
+struct Slot {
+    cmd: Mutex<Option<Cmd>>,
+    cv: Condvar,
+}
+
+struct Worker {
+    slot: Arc<Slot>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn(id: usize) -> Worker {
+        let slot = Arc::new(Slot { cmd: Mutex::new(None), cv: Condvar::new() });
+        let slot2 = slot.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("omt-sched-w{id}"))
+            .spawn(move || worker_main(&slot2))
+            .expect("spawn pooled virtual thread");
+        Worker { slot, handle: Some(handle) }
+    }
+
+    fn submit(&self, cmd: Cmd) {
+        let mut g = lock(&self.slot.cmd);
+        debug_assert!(g.is_none() || matches!(cmd, Cmd::Exit), "worker already has a pending job");
+        *g = Some(cmd);
+        self.slot.cv.notify_one();
+    }
+}
+
+fn worker_main(slot: &Slot) {
+    loop {
+        let cmd = {
+            let mut g = lock(&slot.cmd);
+            loop {
+                match g.take() {
+                    Some(c) => break c,
+                    None => g = slot.cv.wait(g).unwrap_or_else(|e| e.into_inner()),
+                }
+            }
+        };
+        match cmd {
+            Cmd::Exit => return,
+            Cmd::Run { index, body, shared } => virtual_thread_main(index, body, &shared),
+        }
+    }
+}
+
+/// The scheduler thread's pool of parked workers, reused across runs.
+struct Pool {
+    workers: Vec<Worker>,
+    /// Set when a run's threads failed to quiesce (stuck in a native
+    /// blocking call after a deadlock was abandoned): the workers can
+    /// never be joined, so the pool is dropped detached and rebuilt.
+    poisoned: bool,
+    next_id: usize,
+}
+
+impl Pool {
+    const fn new() -> Pool {
+        Pool { workers: Vec::new(), poisoned: false, next_id: 0 }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let w = Worker::spawn(self.next_id);
+            self.next_id += 1;
+            self.workers.push(w);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            w.submit(Cmd::Exit);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                if self.poisoned {
+                    // A stuck worker never reads its Exit; detach.
+                    drop(h);
+                } else {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = const { RefCell::new(Pool::new()) };
+}
+
+fn with_pool<R>(f: impl FnOnce(&mut Pool) -> R) -> R {
+    POOL.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 /// How one run ended.
@@ -159,7 +638,8 @@ impl Shared {
 pub enum RunOutcome {
     /// All threads finished and the check passed.
     Pass,
-    /// The check failed, or a thread panicked: `message` explains.
+    /// The check failed, a thread panicked, or the threads deadlocked:
+    /// `message` explains.
     Fail {
         /// Why this schedule is a counterexample.
         message: String,
@@ -175,8 +655,9 @@ pub struct RunRecord {
     /// The scheduling decision made at each step.
     pub steps: Vec<Step>,
     /// The set of enabled threads observed before each step (parallel
-    /// to `steps`); DFS derives untried alternatives from it.
-    pub enabled_sets: Vec<Vec<usize>>,
+    /// to `steps`), each carrying its pending site/key; DFS derives
+    /// untried alternatives and sleep sets from it.
+    pub enabled_sets: Vec<Vec<EnabledSlot>>,
     /// How the run ended.
     pub outcome: RunOutcome,
     /// True if some forced choice (from the schedule prefix) named a
@@ -189,7 +670,8 @@ pub struct RunRecord {
 /// Runs `execution` under the scheduling choices in `prefix`; once the
 /// prefix is exhausted (or a forced choice is disabled), the *default
 /// policy* fills in: keep running the previously scheduled thread while
-/// it stays enabled, else the lowest-index enabled thread.
+/// it stays runnable, else the lowest-index runnable thread (blocked
+/// threads are retried only when nothing else can run).
 ///
 /// `max_steps` bounds cooperative livelocks (see module docs).
 pub fn run_one(execution: Execution, prefix: &[usize], max_steps: usize) -> RunRecord {
@@ -197,7 +679,7 @@ pub fn run_one(execution: Execution, prefix: &[usize], max_steps: usize) -> RunR
     let mut record = run_driven(
         execution,
         &mut |step, enabled, prev| match prefix.get(step) {
-            Some(&forced) if enabled.contains(&forced) => forced,
+            Some(&forced) if enabled.iter().any(|s| s.thread == forced) => forced,
             Some(_) => {
                 diverged.set(true);
                 default_choice(prev, enabled)
@@ -210,108 +692,161 @@ pub fn run_one(execution: Execution, prefix: &[usize], max_steps: usize) -> RunR
     record
 }
 
-/// Runs `execution` with `chooser` deciding every step: it receives the
-/// step index, the enabled set (non-empty), and the previously
-/// scheduled thread, and must return a member of the enabled set.
+/// Runs `execution` with `chooser` deciding every step, on pooled
+/// workers (see module docs).
 ///
 /// This is the primitive under [`run_one`] (prefix + default fill) and
 /// under the explorer's random walks (seeded RNG chooser).
 pub fn run_driven(execution: Execution, chooser: &mut Chooser<'_>, max_steps: usize) -> RunRecord {
+    run_driven_impl(execution, chooser, max_steps, true)
+}
+
+/// [`run_driven`] with PR 4's cost model — fresh OS threads per run and
+/// park-only baton handoff — kept as the measurement baseline for the
+/// pooled engine's speedup (see the sched-smoke perf comparison).
+pub fn run_driven_reference(
+    execution: Execution,
+    chooser: &mut Chooser<'_>,
+    max_steps: usize,
+) -> RunRecord {
+    run_driven_impl(execution, chooser, max_steps, false)
+}
+
+fn run_driven_impl(
+    execution: Execution,
+    chooser: &mut Chooser<'_>,
+    max_steps: usize,
+    pooled: bool,
+) -> RunRecord {
     let Execution { threads, check } = execution;
     let n = threads.len();
     assert!(n > 0, "an execution needs at least one thread");
-    let shared = Arc::new(Shared {
-        state: Mutex::new(EngineState { turn: Turn::Scheduler, statuses: vec![Status::Ready; n] }),
-        cv: Condvar::new(),
-        abandoned: AtomicBool::new(false),
-    });
+    let shared = Arc::new(Shared::new(n, if pooled { spin_limit() } else { 0 }, pooled));
 
-    let handles: Vec<_> = threads
-        .into_iter()
-        .enumerate()
-        .map(|(i, body)| {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name(format!("omt-sched-t{i}"))
-                .spawn(move || {
-                    let hook_shared = shared.clone();
-                    omt_util::sched::install_hook(Box::new(move |site| {
-                        hook_shared.yield_to_scheduler(i, site);
-                    }));
-                    shared.wait_for_first_turn(i);
-                    let result = catch_unwind(AssertUnwindSafe(body));
-                    omt_util::sched::clear_hook();
-                    shared.finish(
-                        i,
-                        match result {
-                            Ok(()) => Status::Done,
-                            Err(payload) => Status::Panicked(panic_message(payload.as_ref())),
-                        },
-                    );
-                })
-                .expect("spawn virtual thread")
-        })
-        .collect();
-
-    let mut steps: Vec<Step> = Vec::new();
-    let mut enabled_sets: Vec<Vec<usize>> = Vec::new();
-    let mut step_limited = false;
-    let mut prev: Option<usize> = None;
-    loop {
-        let enabled: Vec<usize> = {
-            let st = shared.lock();
-            debug_assert_eq!(st.turn, Turn::Scheduler);
-            (0..n).filter(|&i| st.statuses[i].enabled()).collect()
-        };
-        if enabled.is_empty() {
-            break;
-        }
-        if steps.len() >= max_steps {
-            step_limited = true;
-            shared.abandoned.store(true, Ordering::Release);
-            shared.cv.notify_all();
-            break;
-        }
-        let choice = chooser(steps.len(), &enabled, prev);
-        assert!(enabled.contains(&choice), "chooser returned disabled thread {choice}");
-        enabled_sets.push(enabled);
-        // Hand over the baton and wait for it to come back.
-        {
-            let mut st = shared.lock();
-            st.turn = Turn::Thread(choice);
-            shared.cv.notify_all();
-            while st.turn != Turn::Scheduler {
-                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    let steps: Vec<Step>;
+    let enabled_sets: Vec<Vec<EnabledSlot>>;
+    let step_limited: bool;
+    let deadlock_msg: Option<String>;
+    let mut reference_handles = Vec::new();
+    if pooled {
+        // Type-erase the chooser into the driver. SAFETY: the erased
+        // lifetime never escapes this frame — the pointer is only
+        // dereferenced by baton holders (serialized), and the driver is
+        // taken back below before this frame returns or abandons.
+        let chooser_ptr =
+            unsafe { std::mem::transmute::<*mut Chooser<'_>, *mut Chooser<'static>>(chooser) };
+        *lock(&shared.driver) = Some(Driver {
+            chooser: chooser_ptr,
+            steps: Vec::new(),
+            enabled_sets: Vec::new(),
+            pending: None,
+            prev: None,
+            max_steps,
+            step_limited: false,
+            deadlock: None,
+        });
+        with_pool(|pool| {
+            if pool.poisoned {
+                *pool = Pool::new();
             }
-            let site = match &st.statuses[choice] {
-                Status::Yielded(site) => site,
-                Status::Done => SITE_DONE,
-                Status::Panicked(_) => SITE_PANIC,
-                s => unreachable!("thread {choice} returned the baton in state {s:?}"),
-            };
-            steps.push(Step { thread: choice, site });
+            pool.ensure(n);
+            for (i, body) in threads.into_iter().enumerate() {
+                pool.workers[i].submit(Cmd::Run { index: i, body, shared: shared.clone() });
+            }
+        });
+        // Seed the run with the first decision; every later decision
+        // runs inline on whichever virtual thread holds the baton, and
+        // the baton only comes back here when the run is over.
+        shared.tick(None);
+        shared.acquire_turn(SCHED);
+        let driver = lock(&shared.driver).take().expect("driver present until taken back");
+        steps = driver.steps;
+        enabled_sets = driver.enabled_sets;
+        step_limited = driver.step_limited;
+        deadlock_msg = driver.deadlock;
+    } else {
+        for (i, body) in threads.into_iter().enumerate() {
+            let shared = shared.clone();
+            reference_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("omt-sched-t{i}"))
+                    .spawn(move || virtual_thread_main(i, body, &shared))
+                    .expect("spawn virtual thread"),
+            );
         }
-        prev = Some(choice);
+        let mut ref_steps: Vec<Step> = Vec::new();
+        let mut ref_enabled_sets: Vec<Vec<EnabledSlot>> = Vec::new();
+        let mut ref_step_limited = false;
+        let mut ref_deadlock: Option<String> = None;
+        let mut prev: Option<usize> = None;
+        loop {
+            debug_assert_eq!(shared.turn.load(Ordering::SeqCst), SCHED);
+            let enabled: Vec<EnabledSlot> = {
+                let st = lock(&shared.statuses);
+                st.iter().enumerate().filter_map(|(i, s)| s.enabled_slot(i)).collect()
+            };
+            if enabled.is_empty() {
+                let blocked: Vec<String> = lock(&shared.statuses)
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        Status::Blocked { site, .. } => Some(format!("t{i}@{site}")),
+                        _ => None,
+                    })
+                    .collect();
+                if !blocked.is_empty() {
+                    ref_deadlock = Some(format!(
+                        "deadlock: no runnable threads; blocked: {}",
+                        blocked.join(", ")
+                    ));
+                }
+                break;
+            }
+            if ref_steps.len() >= max_steps {
+                ref_step_limited = true;
+                break;
+            }
+            let choice = chooser(ref_steps.len(), &enabled, prev);
+            let slot = *enabled
+                .iter()
+                .find(|s| s.thread == choice)
+                .unwrap_or_else(|| panic!("chooser returned disabled thread {choice}"));
+            let from_blocked_site = if slot.blocked { slot.site } else { None };
+            ref_enabled_sets.push(enabled);
+            // Hand over the baton and wait for it to come back.
+            shared.release_turn_to(choice + 1);
+            shared.acquire_turn(SCHED);
+            let site = shared.note_step_result(choice, from_blocked_site);
+            ref_steps.push(Step { thread: choice, site });
+            prev = Some(choice);
+        }
+        steps = ref_steps;
+        enabled_sets = ref_enabled_sets;
+        step_limited = ref_step_limited;
+        deadlock_msg = ref_deadlock;
     }
 
-    for handle in handles {
-        let _ = handle.join();
+    if step_limited || deadlock_msg.is_some() {
+        shared.abandon();
     }
+    let reclaimed = shared.wait_all_terminal(RECLAIM_DEADLINE);
+    if pooled {
+        if !reclaimed {
+            with_pool(|pool| pool.poisoned = true);
+        }
+    } else if reclaimed {
+        for h in reference_handles {
+            let _ = h.join();
+        }
+    }
+    // else: threads are stuck in native blocking calls; detach them.
 
-    let outcome = if step_limited {
+    let outcome = if let Some(message) = deadlock_msg {
+        RunOutcome::Fail { message }
+    } else if step_limited {
         RunOutcome::StepLimited
     } else {
-        let panics: Vec<String> = {
-            let st = shared.lock();
-            st.statuses
-                .iter()
-                .enumerate()
-                .filter_map(|(i, s)| match s {
-                    Status::Panicked(msg) => Some(format!("thread {i} panicked: {msg}")),
-                    _ => None,
-                })
-                .collect()
-        };
+        let panics = shared.panics();
         if !panics.is_empty() {
             RunOutcome::Fail { message: panics.join("; ") }
         } else {
@@ -325,12 +860,19 @@ pub fn run_driven(execution: Execution, chooser: &mut Chooser<'_>, max_steps: us
 }
 
 /// The deterministic fill-in policy: continue the previous thread while
-/// it is enabled (no preemption), else the lowest-index enabled thread.
-pub(crate) fn default_choice(prev: Option<usize>, enabled: &[usize]) -> usize {
-    match prev {
-        Some(p) if enabled.contains(&p) => p,
-        _ => enabled[0],
+/// it is runnable (no preemption); else the lowest-index runnable
+/// thread; else the lowest-index blocked thread (a retry — the only
+/// remaining move).
+pub(crate) fn default_choice(prev: Option<usize>, enabled: &[EnabledSlot]) -> usize {
+    if let Some(p) = prev {
+        if enabled.iter().any(|s| s.thread == p && !s.blocked) {
+            return p;
+        }
     }
+    if let Some(s) = enabled.iter().find(|s| !s.blocked) {
+        return s.thread;
+    }
+    enabled[0].thread
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -346,7 +888,6 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
 
     fn two_appenders(order: &Arc<Mutex<Vec<u32>>>) -> Execution {
         let threads: Vec<ThreadBody> = (0..2u32)
@@ -383,6 +924,31 @@ mod tests {
         assert_eq!(record.outcome, RunOutcome::Pass);
         assert!(!record.diverged);
         assert_eq!(*order.lock().unwrap(), vec![0, 10, 1, 11]);
+    }
+
+    #[test]
+    fn pooled_workers_are_reused_across_runs() {
+        // Many back-to-back runs on one scheduler thread must all pass
+        // (exercising job handoff, status reset, and baton reuse).
+        for _ in 0..50 {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let record = run_one(two_appenders(&order), &[0, 1, 0, 1, 0, 1], 1000);
+            assert_eq!(record.outcome, RunOutcome::Pass);
+            assert_eq!(*order.lock().unwrap(), vec![0, 10, 1, 11]);
+        }
+    }
+
+    #[test]
+    fn reference_engine_matches_pooled_behavior() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let record = run_driven_reference(
+            two_appenders(&order),
+            &mut |_, enabled, prev| default_choice(prev, enabled),
+            1000,
+        );
+        assert_eq!(record.outcome, RunOutcome::Pass);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 10, 11]);
+        assert_eq!(record.steps.len(), 6);
     }
 
     #[test]
@@ -439,5 +1005,96 @@ mod tests {
         let record = run_one(Execution { threads, check: Box::new(|| Ok(())) }, &[5], 1000);
         assert_eq!(record.outcome, RunOutcome::Pass);
         assert!(record.diverged);
+    }
+
+    /// t0 holds a "lock" and releases it after one schedule point; t1
+    /// needs it via `block_until`. Forcing t1 first exercises the
+    /// Blocked status, the failed-retry flag, and re-enabling on
+    /// another thread's progress.
+    #[test]
+    fn blocked_thread_is_modeled_and_retried() {
+        let held = Arc::new(AtomicBool::new(true));
+        let threads: Vec<ThreadBody> = vec![
+            Box::new({
+                let held = held.clone();
+                move || {
+                    omt_util::sched::yield_point("test.work");
+                    held.store(false, Ordering::SeqCst);
+                }
+            }),
+            Box::new({
+                let held = held.clone();
+                move || {
+                    omt_util::sched::block_until(
+                        "test.lock",
+                        || {
+                            held.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                                .ok()
+                                .map(|_| ())
+                        },
+                        || panic!("explorer must model this block, not fall through"),
+                    );
+                }
+            }),
+        ];
+        // t1 blocks, retries once (fails, leaves the enabled set), then
+        // t0 runs to completion, re-enabling t1, which then acquires.
+        let record = run_one(Execution { threads, check: Box::new(|| Ok(())) }, &[1, 1], 1000);
+        assert_eq!(record.outcome, RunOutcome::Pass);
+        assert!(!record.diverged);
+        let sites: Vec<_> = record.steps.iter().map(|s| (s.thread, s.site)).collect();
+        assert_eq!(
+            sites,
+            vec![
+                (1, "test.lock"),
+                (1, "test.lock"),
+                (0, "test.work"),
+                (0, SITE_DONE),
+                (1, SITE_DONE),
+            ]
+        );
+        // The enabled set before step 2 must show t1 blocked-out:
+        // only t0 is schedulable.
+        assert_eq!(record.enabled_sets[2].len(), 1);
+        assert_eq!(record.enabled_sets[2][0].thread, 0);
+        // Before step 1, t1 is enabled but flagged blocked.
+        let t1 = record.enabled_sets[1].iter().find(|s| s.thread == 1).unwrap();
+        assert!(t1.blocked);
+        assert_eq!(t1.site, Some("test.lock"));
+    }
+
+    #[test]
+    fn unsatisfiable_block_is_reported_as_deadlock() {
+        let threads: Vec<ThreadBody> = vec![Box::new(|| {
+            // Never available; the free-running fallback returns
+            // immediately so the run quiesces after abandonment.
+            omt_util::sched::block_until("test.never", || None::<()>, || ());
+        })];
+        let record = run_one(Execution { threads, check: Box::new(|| Ok(())) }, &[], 1000);
+        match record.outcome {
+            RunOutcome::Fail { ref message } => {
+                assert!(message.contains("deadlock"), "{message}");
+                assert!(message.contains("t0@test.never"), "{message}");
+            }
+            ref o => panic!("expected deadlock Fail, got {o:?}"),
+        }
+        // The pool must survive (the fallback quiesced): a fresh run
+        // on the same scheduler thread still works.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let record = run_one(two_appenders(&order), &[], 1000);
+        assert_eq!(record.outcome, RunOutcome::Pass);
+    }
+
+    #[test]
+    fn yield_keys_flow_into_enabled_sets() {
+        let threads: Vec<ThreadBody> = vec![Box::new(|| {
+            omt_util::sched::yield_point_keyed("test.keyed", 77);
+        })];
+        let record = run_one(Execution { threads, check: Box::new(|| Ok(())) }, &[], 1000);
+        assert_eq!(record.outcome, RunOutcome::Pass);
+        // Step 0 parks t0 at the keyed point; the enabled set before
+        // step 1 carries the key.
+        assert_eq!(record.enabled_sets[1][0].key, Some(77));
+        assert_eq!(record.enabled_sets[1][0].site, Some("test.keyed"));
     }
 }

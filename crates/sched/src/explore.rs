@@ -1,18 +1,41 @@
-//! Exploration strategies over the engine: bounded-preemption DFS,
-//! seeded random walks, counterexample minimization, and replay.
+//! Exploration strategies over the engine: bounded-preemption DFS with
+//! sleep-set pruning, seeded random walks, counterexample minimization,
+//! and replay.
 //!
 //! The DFS enumerates interleavings in the style of CHESS: schedules
 //! are ordered so the *non-preemptive* continuation (keep running the
 //! current thread) is tried first, and a schedule may contain at most
 //! [`SchedConfig::preemption_bound`] preemptions — switches away from a
-//! thread that was still enabled. Most concurrency bugs need only a
+//! thread that was still runnable. Most concurrency bugs need only a
 //! handful of preemptions, so a small bound covers the interesting
 //! space at a fraction of the factorial cost. Seeded random walks are
 //! layered on top to sample beyond the bound.
+//!
+//! ## Sleep sets
+//!
+//! On top of the bound, the DFS prunes *commutative* re-orderings with
+//! sleep sets (Godefroid). Every schedule point may name the object its
+//! pending step touches ([`omt_util::sched::yield_point_keyed`]); two
+//! pending steps with distinct keys commute, so exploring both orders
+//! is redundant. After the subtree scheduling thread `t` at a node is
+//! fully explored, `t` falls asleep at that node: sibling subtrees skip
+//! scheduling `t` again until some scheduled step *depends* on `t`'s
+//! pending step (same key, or an unkeyed step, which is conservatively
+//! dependent on everything). Sleep sets preserve every reachable final
+//! state, so final-state oracles lose nothing; combined with a
+//! preemption bound the reduction is heuristic at the bound's edge (a
+//! pruned schedule's representative may itself have been over budget),
+//! which is the standard trade — the pruning pays for a higher bound,
+//! which covers strictly more.
+//!
+//! The sleep sets are *re-derived* from each run's record rather than
+//! stored: the search keeps no per-node state beyond the current
+//! prefix, exactly like the preemption accounting, so the stateless
+//! re-execution architecture is unchanged.
 
 use omt_util::rng::StdRng;
 
-use crate::engine::{self, run_one, Execution, RunOutcome, RunRecord, Step};
+use crate::engine::{self, run_one, EnabledSlot, Execution, RunOutcome, RunRecord, Step};
 
 /// Tuning for one exploration.
 #[derive(Debug, Clone)]
@@ -33,6 +56,9 @@ pub struct SchedConfig {
     /// Minimize counterexamples by greedy tail truncation before
     /// reporting.
     pub minimize: bool,
+    /// Prune commutative re-orderings with sleep sets (see module
+    /// docs). Off, the DFS degenerates to PR 4's plain bounded search.
+    pub sleep_sets: bool,
 }
 
 impl Default for SchedConfig {
@@ -44,6 +70,7 @@ impl Default for SchedConfig {
             seed: 0xC0FFEE,
             max_steps: 20_000,
             minimize: true,
+            sleep_sets: true,
         }
     }
 }
@@ -82,11 +109,21 @@ pub struct ExploreReport {
     pub dfs_schedules: usize,
     /// Schedules executed by random walks.
     pub random_schedules: usize,
-    /// True if the DFS enumerated its whole bounded space (it was not
-    /// cut off by `max_schedules` or by finding a counterexample).
+    /// True if the DFS enumerated its whole bounded space: it was not
+    /// cut off by `max_schedules` or a counterexample, and no DFS run
+    /// was abandoned at the step budget (an abandoned run's
+    /// continuations were never seen, so the space was *not* covered).
     pub exhausted: bool,
-    /// Runs abandoned for exceeding `max_steps`.
+    /// Runs abandoned for exceeding `max_steps` (all strategies,
+    /// including minimization probes).
     pub step_limited: usize,
+    /// DFS runs among those — these poison the `exhausted` claim and
+    /// are never treated as explored-green leaves.
+    pub dfs_abandoned: usize,
+    /// DFS candidate branches skipped because the candidate thread was
+    /// asleep: its pending step already explored from that node and
+    /// commuting with everything scheduled since.
+    pub sleep_pruned: usize,
     /// Runs in which a forced choice named a disabled thread — evidence
     /// of nondeterminism in the scenario (e.g. real randomness altering
     /// control flow between runs).
@@ -115,6 +152,30 @@ struct PathNode {
     preemptions_before: usize,
     /// Thread scheduled at the previous node (None at the root).
     prev: Option<usize>,
+    /// The enabled slots at this node: each candidate's pending
+    /// site/key (for independence checks).
+    slots: Vec<EnabledSlot>,
+    /// Threads asleep on entry to this node: their pending step was
+    /// fully explored from an ancestor sibling and commutes with every
+    /// step taken since, so rescheduling them here is redundant.
+    sleep_in: Vec<usize>,
+}
+
+impl PathNode {
+    /// Siblings strictly before `upto` that were actually explored —
+    /// within the preemption bound and not asleep. Re-derived
+    /// deterministically so the stateless DFS needs no stored per-node
+    /// search state.
+    fn explored_siblings(&self, upto: usize, bound: usize) -> Vec<usize> {
+        (0..upto)
+            .map(|q| self.ordered[q])
+            .filter(|&c| {
+                let preemptions =
+                    self.preemptions_before + usize::from(is_preemption(self.prev, c, &self.slots));
+                preemptions <= bound && !self.sleep_in.contains(&c)
+            })
+            .collect()
+    }
 }
 
 /// Deterministic schedule explorer over a scenario factory.
@@ -153,6 +214,8 @@ impl Explorer {
             random_schedules: 0,
             exhausted: false,
             step_limited: 0,
+            dfs_abandoned: 0,
+            sleep_pruned: 0,
             divergences: 0,
             counterexample: None,
         };
@@ -175,6 +238,13 @@ impl Explorer {
             report.schedules_run += 1;
             report.dfs_schedules += 1;
             self.note_run(&record, report);
+            if record.outcome == RunOutcome::StepLimited {
+                // Abandoned: its check result is discarded and the
+                // space below its cut-off was never seen, so the run
+                // cannot count as an explored-green leaf. Alternatives
+                // along its (truncated) path are still worth trying.
+                report.dfs_abandoned += 1;
+            }
             if let RunOutcome::Fail { message } = &record.outcome {
                 report.counterexample =
                     Some(self.build_counterexample(factory, message.clone(), &record, report));
@@ -182,11 +252,13 @@ impl Explorer {
             }
             // Rebuild the decision path from the recorded run and
             // backtrack to the deepest node with an untried,
-            // within-bound alternative.
-            let mut path = build_path(&record);
+            // within-bound, awake alternative.
+            let mut path = build_path(&record, bound, self.config.sleep_sets);
             loop {
                 let Some(mut node) = path.pop() else {
-                    report.exhausted = true;
+                    // Frontier emptied; the bounded space was covered
+                    // only if no run along the way was abandoned.
+                    report.exhausted = report.dfs_abandoned == 0;
                     return;
                 };
                 let mut advanced = false;
@@ -194,11 +266,16 @@ impl Explorer {
                     node.pos += 1;
                     let candidate = node.ordered[node.pos];
                     let preemptions = node.preemptions_before
-                        + usize::from(is_preemption(node.prev, candidate, &node.ordered));
-                    if preemptions <= bound {
-                        advanced = true;
-                        break;
+                        + usize::from(is_preemption(node.prev, candidate, &node.slots));
+                    if preemptions > bound {
+                        continue;
                     }
+                    if self.config.sleep_sets && node.sleep_in.contains(&candidate) {
+                        report.sleep_pruned += 1;
+                        continue;
+                    }
+                    advanced = true;
+                    break;
                 }
                 if advanced {
                     prefix = path
@@ -219,7 +296,7 @@ impl Explorer {
             let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(walk as u64));
             let record = engine::run_driven(
                 factory(),
-                &mut |_step, enabled, _prev| enabled[rng.gen_range(0..enabled.len())],
+                &mut |_step, enabled, _prev| enabled[rng.gen_range(0..enabled.len())].thread,
                 self.config.max_steps,
             );
             report.schedules_run += 1;
@@ -285,6 +362,11 @@ impl Explorer {
             let candidate: Schedule = schedule[..cut].to_vec();
             let record = run_one(factory(), &candidate, self.config.max_steps);
             report.schedules_run += 1;
+            self.note_run(&record, report);
+            // Anything but a deterministic Fail — a pass, and equally
+            // an *abandoned* (step-limited) probe, whose discarded
+            // check result proves nothing — stops the truncation: the
+            // current schedule stays the shortest verified witness.
             let RunOutcome::Fail { message: m } = record.outcome else { break };
             schedule = record.steps.iter().map(|s| s.thread).collect();
             steps = record.steps;
@@ -298,37 +380,76 @@ impl Explorer {
     }
 }
 
-/// Rebuilds the DFS decision path from a recorded run.
-fn build_path(record: &RunRecord) -> Vec<PathNode> {
+/// Rebuilds the DFS decision path from a recorded run, including each
+/// node's inherited sleep set (when `sleep_sets` is on).
+fn build_path(record: &RunRecord, bound: usize, sleep_sets: bool) -> Vec<PathNode> {
     let mut path = Vec::with_capacity(record.steps.len());
     let mut prev: Option<usize> = None;
     let mut preemptions = 0usize;
+    let mut sleep_in: Vec<usize> = Vec::new();
     for (step, enabled) in record.steps.iter().zip(&record.enabled_sets) {
         let ordered = candidate_order(prev, enabled);
         let pos =
             ordered.iter().position(|&c| c == step.thread).expect("recorded choice was enabled");
-        path.push(PathNode { ordered, pos, preemptions_before: preemptions, prev });
-        preemptions += usize::from(is_preemption(prev, step.thread, &path.last().unwrap().ordered));
+        // Preemption accounting from this node's own enabled set: total
+        // by construction, even for empty and single-step paths.
+        let stepped_preemption = is_preemption(prev, step.thread, enabled);
+        let node = PathNode {
+            ordered,
+            pos,
+            preemptions_before: preemptions,
+            prev,
+            slots: enabled.clone(),
+            sleep_in: std::mem::take(&mut sleep_in),
+        };
+        if sleep_sets {
+            // Godefroid's transition: siblings explored before this
+            // choice fall asleep for the subtree, and sleepers wake as
+            // soon as the chosen step depends on their pending step.
+            sleep_in = node
+                .sleep_in
+                .iter()
+                .copied()
+                .chain(node.explored_siblings(node.pos, bound))
+                .filter(|&t| t != step.thread && independent(&node.slots, t, step.thread))
+                .collect();
+            sleep_in.dedup();
+        }
+        preemptions += usize::from(stepped_preemption);
         prev = Some(step.thread);
+        path.push(node);
     }
     path
 }
 
 /// Candidate choices at a node, default (non-preemptive) continuation
 /// first, then the remaining enabled threads by index.
-fn candidate_order(prev: Option<usize>, enabled: &[usize]) -> Vec<usize> {
+fn candidate_order(prev: Option<usize>, enabled: &[EnabledSlot]) -> Vec<usize> {
     let default = engine::default_choice(prev, enabled);
-    std::iter::once(default).chain(enabled.iter().copied().filter(|&c| c != default)).collect()
+    std::iter::once(default)
+        .chain(enabled.iter().map(|s| s.thread).filter(|&c| c != default))
+        .collect()
 }
 
 /// A choice is a preemption iff it switches away from a previous thread
-/// that is still enabled. `ordered` is the node's candidate list (its
-/// membership is the enabled set).
-fn is_preemption(prev: Option<usize>, choice: usize, ordered: &[usize]) -> bool {
+/// that is still *runnable* — still enabled and not parked at a blocking
+/// acquisition (there is no point staying on a blocked thread, so
+/// leaving one is free).
+fn is_preemption(prev: Option<usize>, choice: usize, enabled: &[EnabledSlot]) -> bool {
     match prev {
-        Some(p) => choice != p && ordered.contains(&p),
+        Some(p) => choice != p && enabled.iter().any(|s| s.thread == p && !s.blocked),
         None => false,
     }
+}
+
+/// Two pending steps commute iff both name an object key and the keys
+/// differ. An unkeyed step (or a blocked one — its retry probes a
+/// shared resource) is conservatively dependent on everything.
+fn independent(slots: &[EnabledSlot], a: usize, b: usize) -> bool {
+    let key = |t: usize| {
+        slots.iter().find(|s| s.thread == t).and_then(|s| if s.blocked { None } else { s.key })
+    };
+    matches!((key(a), key(b)), (Some(ka), Some(kb)) if ka != kb)
 }
 
 /// Index of the last context switch in the schedule (entry `k` naming a
@@ -357,7 +478,7 @@ pub fn trace_string(steps: &[Step]) -> String {
 mod tests {
     use super::*;
     use crate::engine::ThreadBody;
-    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
     use std::sync::Arc;
 
     /// A classic lost-update race: two threads read-modify-write a
@@ -524,5 +645,226 @@ mod tests {
         assert!(report.passed());
         assert!(report.exhausted);
         assert!(report.dfs_schedules >= 10, "got {}", report.dfs_schedules);
+    }
+
+    #[test]
+    fn build_path_is_total_on_empty_and_single_step_records() {
+        // Zero-length record: no steps at all.
+        let empty = RunRecord {
+            steps: vec![],
+            enabled_sets: vec![],
+            outcome: RunOutcome::Pass,
+            diverged: false,
+        };
+        assert!(build_path(&empty, 2, true).is_empty());
+
+        // Single-step record: the preemption accounting at the first
+        // node must not need a predecessor.
+        let single = RunRecord {
+            steps: vec![Step { thread: 0, site: engine::SITE_DONE }],
+            enabled_sets: vec![vec![EnabledSlot {
+                thread: 0,
+                site: None,
+                key: None,
+                blocked: false,
+            }]],
+            outcome: RunOutcome::Pass,
+            diverged: false,
+        };
+        let path = build_path(&single, 0, true);
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].preemptions_before, 0);
+        assert_eq!(path[0].pos, 0);
+        assert!(path[0].sleep_in.is_empty());
+    }
+
+    /// t0 spins on a flag only t1 sets: the default-first DFS order
+    /// abandons its very first run at the step budget. Abandoned runs
+    /// must be counted apart and must poison the `exhausted` claim —
+    /// the space beyond their cut-off was never seen.
+    #[test]
+    fn abandoned_dfs_runs_are_counted_and_break_exhaustion() {
+        let factory = || {
+            let flag = Arc::new(AtomicBool::new(false));
+            let threads: Vec<ThreadBody> = vec![
+                Box::new({
+                    let flag = flag.clone();
+                    move || {
+                        while !flag.load(Ordering::SeqCst) {
+                            omt_util::sched::yield_point("gated.spin");
+                        }
+                    }
+                }),
+                Box::new({
+                    let flag = flag.clone();
+                    move || flag.store(true, Ordering::SeqCst)
+                }),
+            ];
+            Execution { threads, check: Box::new(|| Ok(())) }
+        };
+        let explorer = Explorer::new(SchedConfig {
+            preemption_bound: 1,
+            max_steps: 30,
+            max_schedules: 5_000,
+            random_walks: 0,
+            ..SchedConfig::default()
+        });
+        let report = explorer.explore(&factory);
+        assert!(report.passed(), "{:?}", report.counterexample);
+        assert!(report.dfs_abandoned >= 1, "the default-order run must abandon");
+        assert_eq!(report.step_limited, report.dfs_abandoned);
+        assert!(
+            !report.exhausted,
+            "abandoned runs left the space uncovered; exhausted must be false"
+        );
+    }
+
+    /// Minimization must not adopt an abandoned candidate as if it were
+    /// green: here every truncation below the essential `t1` decision
+    /// livelocks (t0 spins on a flag only t1 sets), so the minimizer
+    /// has to stop at a schedule that still contains that decision.
+    #[test]
+    fn minimization_never_adopts_an_abandoned_candidate() {
+        let factory = || {
+            let flag = Arc::new(AtomicBool::new(false));
+            let bad = Arc::new(AtomicBool::new(false));
+            let threads: Vec<ThreadBody> = vec![
+                Box::new({
+                    let flag = flag.clone();
+                    move || {
+                        while !flag.load(Ordering::SeqCst) {
+                            omt_util::sched::yield_point("min.spin");
+                        }
+                    }
+                }),
+                Box::new({
+                    let flag = flag.clone();
+                    let bad = bad.clone();
+                    move || {
+                        omt_util::sched::yield_point("min.pre");
+                        bad.store(true, Ordering::SeqCst);
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                }),
+            ];
+            let bad2 = bad.clone();
+            Execution {
+                threads,
+                check: Box::new(move || {
+                    if bad2.load(Ordering::SeqCst) {
+                        Err("t1 ran to completion".into())
+                    } else {
+                        Ok(())
+                    }
+                }),
+            }
+        };
+        let explorer = Explorer::new(SchedConfig {
+            preemption_bound: 1,
+            max_steps: 40,
+            max_schedules: 5_000,
+            random_walks: 0,
+            ..SchedConfig::default()
+        });
+        let report = explorer.explore(&factory);
+        let cx = report.counterexample.expect("completing t1 always fails the check");
+        assert!(
+            cx.schedule.contains(&1),
+            "minimizer adopted an abandoned (t1-free) candidate: {:?}",
+            cx.schedule
+        );
+        // The shortest candidates (which drop t1 entirely) livelock;
+        // those probes must have been counted, not adopted.
+        assert!(report.step_limited >= 1);
+        match explorer.replay(&factory, &cx.schedule) {
+            RunOutcome::Fail { message } => assert!(message.contains("t1"), "{message}"),
+            o => panic!("minimized schedule must still fail, got {o:?}"),
+        }
+    }
+
+    /// Two threads touching *different* keyed objects commute
+    /// everywhere: sleep sets collapse the interleaving space to a
+    /// fraction of the plain bounded DFS while still exhausting it.
+    #[test]
+    fn sleep_sets_prune_commuting_interleavings() {
+        let factory = || {
+            let x = Arc::new(AtomicI64::new(0));
+            let y = Arc::new(AtomicI64::new(0));
+            let mk = |cell: Arc<AtomicI64>, key: usize, site: &'static str| {
+                Box::new(move || {
+                    omt_util::sched::yield_point_keyed(site, key);
+                    cell.fetch_add(1, Ordering::SeqCst);
+                    omt_util::sched::yield_point_keyed(site, key);
+                    cell.fetch_add(1, Ordering::SeqCst);
+                }) as ThreadBody
+            };
+            let threads = vec![mk(x.clone(), 1, "obj.x"), mk(y.clone(), 2, "obj.y")];
+            let (cx, cy) = (x.clone(), y.clone());
+            Execution {
+                threads,
+                check: Box::new(move || {
+                    if cx.load(Ordering::SeqCst) == 2 && cy.load(Ordering::SeqCst) == 2 {
+                        Ok(())
+                    } else {
+                        Err("sum".into())
+                    }
+                }),
+            }
+        };
+        // A bound high enough that commuting branches are not already
+        // excluded by the preemption budget (the bound check runs
+        // before the sleep check, so pruning shows up within it).
+        let base = SchedConfig { preemption_bound: 4, random_walks: 0, ..SchedConfig::default() };
+        let plain =
+            Explorer::new(SchedConfig { sleep_sets: false, ..base.clone() }).explore(&factory);
+        let pruned = Explorer::new(base).explore(&factory);
+        assert!(plain.passed() && pruned.passed());
+        assert!(plain.exhausted && pruned.exhausted);
+        assert!(pruned.sleep_pruned > 0, "commuting branches must be pruned");
+        assert!(
+            pruned.dfs_schedules < plain.dfs_schedules,
+            "pruned {} !< plain {}",
+            pruned.dfs_schedules,
+            plain.dfs_schedules
+        );
+        assert_eq!(plain.sleep_pruned, 0);
+    }
+
+    /// Sleep sets must not prune *dependent* interleavings: the lost
+    /// update (same key on both threads) is still found, and unkeyed
+    /// points are treated as dependent on everything.
+    #[test]
+    fn sleep_sets_keep_dependent_races_findable() {
+        let keyed_lost_update = || {
+            let cell = Arc::new(AtomicI64::new(0));
+            let threads: Vec<ThreadBody> = (0..2)
+                .map(|_| {
+                    let cell = cell.clone();
+                    Box::new(move || {
+                        let v = cell.load(Ordering::SeqCst);
+                        omt_util::sched::yield_point_keyed("race.keyed_mid", 9);
+                        cell.store(v + 1, Ordering::SeqCst);
+                    }) as ThreadBody
+                })
+                .collect();
+            let check_cell = cell.clone();
+            Execution {
+                threads,
+                check: Box::new(move || {
+                    let v = check_cell.load(Ordering::SeqCst);
+                    if v == 2 {
+                        Ok(())
+                    } else {
+                        Err(format!("lost update: expected 2, got {v}"))
+                    }
+                }),
+            }
+        };
+        let explorer = Explorer::new(SchedConfig { random_walks: 0, ..SchedConfig::default() });
+        let report = explorer.explore(&keyed_lost_update);
+        assert!(report.counterexample.is_some(), "same-key race must survive pruning");
+        // And the unkeyed variant as before.
+        let report = explorer.explore(&lost_update_factory);
+        assert!(report.counterexample.is_some(), "unkeyed race must survive pruning");
     }
 }

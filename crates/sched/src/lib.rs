@@ -27,8 +27,18 @@
 //! block on another virtual thread without a schedule point in the
 //! loop — a blocked thread that never yields deadlocks the baton, and a
 //! spin loop that yields forever is cut off by the step budget and
-//! abandoned. In particular, STM scenarios must disable serial-mode
-//! escalation (`serial_after_aborts: None`) and use bounded retries.
+//! abandoned. Blocking acquisitions routed through
+//! [`omt_util::sched::block_until`] (like the STM's serial-mode gate)
+//! are exempt: the engine models them as a visible `Blocked` status, so
+//! STM scenarios may run with `serial_after_aborts: Some(_)` and have
+//! the serial-fallback protocol itself explored. If every thread ends
+//! up blocked, the run fails with a deadlock counterexample instead of
+//! hanging.
+//!
+//! Virtual threads are pooled per scheduler thread and reused across
+//! runs, and schedule points keyed by object
+//! ([`omt_util::sched::yield_point_keyed`]) feed sleep-set pruning of
+//! commuting interleavings — see [`SchedConfig::sleep_sets`].
 //!
 //! ## Example
 //!
@@ -72,7 +82,7 @@ mod engine;
 mod explore;
 
 pub use engine::{
-    run_driven, run_one, Chooser, Execution, RunOutcome, RunRecord, Step, ThreadBody, SITE_DONE,
-    SITE_PANIC,
+    run_driven, run_driven_reference, run_one, Chooser, EnabledSlot, Execution, RunOutcome,
+    RunRecord, Step, ThreadBody, SITE_DONE, SITE_PANIC,
 };
 pub use explore::{trace_string, Counterexample, ExploreReport, Explorer, SchedConfig, Schedule};

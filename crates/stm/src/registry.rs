@@ -185,7 +185,10 @@ impl TxRegistry {
             } else {
                 entry.original_version
             };
-            omt_util::sched::yield_point(crate::schedpt::RECOVER_PRE_RELEASE);
+            omt_util::sched::yield_point_keyed(
+                crate::schedpt::RECOVER_PRE_RELEASE,
+                entry.obj.to_raw() as usize,
+            );
             heap.header_atomic(entry.obj).store(version_bits(released), Ordering::Release);
         }
         // Only now does the token disappear: contenders that raced with
@@ -245,6 +248,22 @@ impl TxRegistry {
 }
 
 impl GcParticipant for TxRegistry {
+    // Trimming yields at each shard *boundary* — never while a shard
+    // lock is held or a raw `LogsPtr` is live. In production the yields
+    // are no-ops and the stop-the-world contract holds verbatim. Under
+    // the `omt-sched` explorer (which serializes all threads, so there
+    // are no data races) the boundary placement is what keeps the raw
+    // derefs sound while mutator steps interleave with the trim:
+    // registration changes take the same shard lock the traversal
+    // holds, so a pointer observed inside the lock cannot dangle;
+    // between shards no pointer is held; and `Heap::collect` frees
+    // storage only after every participant trimmed, so a mutator step
+    // validating a not-yet-trimmed dead entry still finds an intact
+    // header. Tracing takes *no* yields: without write barriers, a
+    // mutator store interleaved mid-mark could hide a live object from
+    // the trace (the undo entry recording the overwritten reference may
+    // sit in an already-traced shard).
+
     fn trace_roots(&self, mark: &mut dyn FnMut(ObjRef)) {
         for shard in self.shards.iter() {
             for p in shard.active.lock().values() {
@@ -262,6 +281,7 @@ impl GcParticipant for TxRegistry {
     fn after_sweep(&self, is_live: &dyn Fn(ObjRef) -> bool) {
         let mut trimmed = 0u64;
         for shard in self.shards.iter() {
+            omt_util::sched::yield_point(crate::schedpt::GC_PRE_TRIM_SHARD);
             for p in shard.active.lock().values() {
                 // SAFETY: stop-the-world contract (see module docs); the
                 // mutable access is exclusive because mutators are paused.

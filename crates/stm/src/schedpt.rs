@@ -27,6 +27,19 @@
 //! | [`RECOVER_PRE_UNDO`] | `TxRegistry::recover`, before the orphan's undo replay |
 //! | [`RECOVER_PRE_RELEASE`] | `TxRegistry::recover`, before **each** ownership release |
 //! | [`GATE_ENTER`] | `enter_gate`, before taking the serial-mode gate |
+//! | [`GATE_ACQUIRE_SHARED`] | `enter_gate`, each failed shared acquisition attempt (blocking) |
+//! | [`GATE_ACQUIRE_EXCLUSIVE`] | `enter_gate`, each failed exclusive acquisition attempt (blocking) |
+//! | [`GC_PRE_TRIM_SHARD`] | `TxRegistry::after_sweep`, before **each** registry shard's trim |
+//! | [`STATS_PRE_SNAPSHOT`] | `StmStats::snapshot`, before the cross-shard sum |
+//!
+//! Sites that name an object use
+//! [`omt_util::sched::yield_point_keyed`] with the object's raw
+//! reference as key, which lets explorers prune schedules that differ
+//! only in the order of steps on distinct objects. The two
+//! `GATE_ACQUIRE_*` sites are *blocking* points raised through
+//! [`omt_util::sched::block_until`]: an explorer sees the waiting
+//! thread as blocked instead of spinning it, so scenarios may run with
+//! serial-mode escalation enabled.
 
 /// In `open_for_read`, before the header load that samples the word the
 /// read log will record.
@@ -78,9 +91,27 @@ pub const RECOVER_PRE_RELEASE: &str = "recover.pre_release_store";
 /// In `enter_gate`, before acquiring the serial-mode gate (shared or
 /// exclusive).
 pub const GATE_ENTER: &str = "gate.enter";
+/// In `enter_gate`'s shared path: a *blocking* point raised on each
+/// failed non-blocking read acquisition (a serial writer is queued or
+/// holds the gate).
+pub const GATE_ACQUIRE_SHARED: &str = "gate.acquire_shared";
+/// In `enter_gate`'s exclusive path: a *blocking* point raised on each
+/// failed non-blocking write acquisition (retry-loop attempts still
+/// hold the gate shared).
+pub const GATE_ACQUIRE_EXCLUSIVE: &str = "gate.acquire_exclusive";
+/// In `TxRegistry::after_sweep`, before each registry shard is locked
+/// and its log entries trimmed. Placed at the shard *boundary* — never
+/// while a shard lock is held or a raw log pointer is live — so an
+/// explorer can interleave mutator steps with the trim shard-by-shard.
+/// (Tracing has no counterpart: marking is atomic with respect to
+/// mutators — see `TxRegistry`'s `GcParticipant` impl.)
+pub const GC_PRE_TRIM_SHARD: &str = "gc.pre_trim_shard";
+/// In `StmStats::snapshot`, before the cross-shard counter sum — the
+/// snapshot is not atomic with respect to concurrent increments.
+pub const STATS_PRE_SNAPSHOT: &str = "stats.pre_snapshot";
 
 /// Every instrumented site, for tools that sweep or document them.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 20] = [
     OPEN_READ_PRE_HEADER,
     READ_PRE_LOAD,
     OPEN_UPDATE_PRE_HEADER,
@@ -97,6 +128,10 @@ pub const ALL: [&str; 16] = [
     RECOVER_PRE_UNDO,
     RECOVER_PRE_RELEASE,
     GATE_ENTER,
+    GATE_ACQUIRE_SHARED,
+    GATE_ACQUIRE_EXCLUSIVE,
+    GC_PRE_TRIM_SHARD,
+    STATS_PRE_SNAPSHOT,
 ];
 
 #[cfg(test)]

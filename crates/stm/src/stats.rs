@@ -55,7 +55,10 @@ macro_rules! counters {
 
         impl StmStats {
             /// Takes a snapshot of all counters (sums every shard).
+            /// The sum is not atomic against concurrent increments; the
+            /// schedule point makes that window explorable.
             pub fn snapshot(&self) -> StmStatsSnapshot {
+                omt_util::sched::yield_point(crate::schedpt::STATS_PRE_SNAPSHOT);
                 let mut snap = StmStatsSnapshot::default();
                 for shard in self.shards.iter() {
                     $( snap.$name += shard.$name.load(Ordering::Relaxed); )+

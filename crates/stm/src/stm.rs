@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use omt_heap::{GcParticipant, Heap};
-use omt_util::sched::yield_point;
+use omt_util::sched::{block_until, yield_point};
 use omt_util::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::cm::TxCtl;
@@ -367,19 +367,46 @@ impl Stm {
     /// Takes the serial-mode gate: shared for a normal attempt,
     /// exclusive for an escalated one. Shared entrants yield while a
     /// writer is queued so escalation cannot starve.
+    ///
+    /// Both acquisitions go through [`block_until`], so a schedule
+    /// explorer sees a waiting entrant as a *blocked* thread (runnable
+    /// again only after some other thread progressed) instead of a
+    /// native `RwLock` wait that would wedge the exploration baton.
+    /// In production builds the non-blocking attempt runs once and
+    /// falls back to the plain blocking acquisition.
     fn enter_gate(&self, exclusive: bool) -> GateGuard<'_> {
         yield_point(crate::schedpt::GATE_ENTER);
         if exclusive {
             self.gate_waiting.fetch_add(1, Ordering::AcqRel);
-            let guard = self.gate.write();
+            let guard = block_until(
+                crate::schedpt::GATE_ACQUIRE_EXCLUSIVE,
+                || self.gate.try_write(),
+                || self.gate.write(),
+            );
             self.gate_waiting.fetch_sub(1, Ordering::AcqRel);
             self.stats.add(|c| &c.serial_entries, 1);
             GateGuard::Exclusive(guard)
         } else {
-            while self.gate_waiting.load(Ordering::Acquire) > 0 {
-                std::thread::yield_now();
-            }
-            GateGuard::Shared(self.gate.read())
+            let guard = block_until(
+                crate::schedpt::GATE_ACQUIRE_SHARED,
+                // Refuse even an available read slot while a writer is
+                // queued: escalation must not starve behind a stream of
+                // shared entrants.
+                || {
+                    if self.gate_waiting.load(Ordering::Acquire) > 0 {
+                        None
+                    } else {
+                        self.gate.try_read()
+                    }
+                },
+                || {
+                    while self.gate_waiting.load(Ordering::Acquire) > 0 {
+                        std::thread::yield_now();
+                    }
+                    self.gate.read()
+                },
+            );
+            GateGuard::Shared(guard)
         }
     }
 

@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use omt_heap::{ClassId, ObjRef, Word};
 
-use omt_util::sched::yield_point;
+use omt_util::sched::{yield_point, yield_point_keyed};
 
 use crate::cm::{CmDecision, TxCtl};
 use crate::error::{ConflictKind, TxError, TxResult};
@@ -306,7 +306,7 @@ impl<'stm> Transaction<'stm> {
             }
         }
 
-        yield_point(schedpt::OPEN_READ_PRE_HEADER);
+        yield_point_keyed(schedpt::OPEN_READ_PRE_HEADER, obj.to_raw() as usize);
         let observed = self.stm.heap().header_atomic(obj).load(Ordering::Acquire);
         if let StmWord::Owned { owner, .. } = StmWord::decode(observed) {
             if owner == self.token {
@@ -368,7 +368,7 @@ impl<'stm> Transaction<'stm> {
         // CAS, one log push. Contention falls into the `#[cold]`
         // arbitration routine and comes back around the loop.
         loop {
-            yield_point(schedpt::OPEN_UPDATE_PRE_HEADER);
+            yield_point_keyed(schedpt::OPEN_UPDATE_PRE_HEADER, obj.to_raw() as usize);
             let current = header.load(Ordering::Acquire);
             match StmWord::decode(current) {
                 StmWord::Owned { owner, .. } if owner == self.token => return Ok(()),
@@ -437,7 +437,7 @@ impl<'stm> Transaction<'stm> {
             // The owner finished between our header load and the
             // registry lookup; the header is released (or re-owned) by
             // now — re-examine it.
-            yield_point(schedpt::CONTEND_WAIT);
+            yield_point_keyed(schedpt::CONTEND_WAIT, obj.to_raw() as usize);
             std::hint::spin_loop();
             return Ok(());
         };
@@ -453,7 +453,7 @@ impl<'stm> Transaction<'stm> {
             CmDecision::Wait => {
                 *spins += 1;
                 self.counters.cm_spins += 1;
-                yield_point(schedpt::CONTEND_WAIT);
+                yield_point_keyed(schedpt::CONTEND_WAIT, obj.to_raw() as usize);
                 std::hint::spin_loop();
                 Ok(())
             }
@@ -474,7 +474,7 @@ impl<'stm> Transaction<'stm> {
                                 return Ok(());
                             }
                             self.counters.cm_spins += 1;
-                            yield_point(schedpt::CONTEND_WAIT);
+                            yield_point_keyed(schedpt::CONTEND_WAIT, obj.to_raw() as usize);
                             std::hint::spin_loop();
                         }
                         _ => return Ok(()),
@@ -562,7 +562,7 @@ impl<'stm> Transaction<'stm> {
         // The window between logging the header and loading the data is
         // where a foreign owner's in-place store can become the value
         // this transaction computes with; validation must catch that.
-        yield_point(schedpt::READ_PRE_LOAD);
+        yield_point_keyed(schedpt::READ_PRE_LOAD, obj.to_raw() as usize);
         Ok(self.load_direct(obj, field))
     }
 
@@ -576,7 +576,7 @@ impl<'stm> Transaction<'stm> {
     pub fn write(&mut self, obj: ObjRef, field: usize, value: Word) -> TxResult<()> {
         self.open_for_update(obj)?;
         self.log_for_undo(obj, field);
-        yield_point(schedpt::WRITE_PRE_STORE);
+        yield_point_keyed(schedpt::WRITE_PRE_STORE, obj.to_raw() as usize);
         self.store_direct(obj, field, value);
         Ok(())
     }
@@ -795,7 +795,7 @@ impl<'stm> Transaction<'stm> {
             if next > max_version {
                 next = 0;
             }
-            yield_point(schedpt::COMMIT_PRE_RELEASE);
+            yield_point_keyed(schedpt::COMMIT_PRE_RELEASE, entry.obj.to_raw() as usize);
             self.stm.heap().header_atomic(entry.obj).store(version_bits(next), Ordering::Release);
         }
         self.finish(Outcome::Committed);
@@ -841,7 +841,7 @@ impl<'stm> Transaction<'stm> {
         // Replay the undo log in reverse: duplicate entries (filter off)
         // then restore progressively older values, ending at the oldest.
         for entry in self.ctx.logs.undo.iter().rev() {
-            yield_point(schedpt::ROLLBACK_PRE_UNDO);
+            yield_point_keyed(schedpt::ROLLBACK_PRE_UNDO, entry.obj.to_raw() as usize);
             self.stm
                 .heap()
                 .field_atomic(entry.obj, entry.field as usize)
@@ -889,7 +889,7 @@ impl<'stm> Transaction<'stm> {
             } else {
                 entry.original_version
             };
-            yield_point(schedpt::ROLLBACK_PRE_RELEASE);
+            yield_point_keyed(schedpt::ROLLBACK_PRE_RELEASE, entry.obj.to_raw() as usize);
             self.stm
                 .heap()
                 .header_atomic(entry.obj)
@@ -928,7 +928,7 @@ impl<'stm> Transaction<'stm> {
             "savepoint does not match this transaction's logs"
         );
         for entry in self.ctx.logs.undo[sp.undo_len..].iter().rev() {
-            yield_point(schedpt::ROLLBACK_PRE_UNDO);
+            yield_point_keyed(schedpt::ROLLBACK_PRE_UNDO, entry.obj.to_raw() as usize);
             self.stm
                 .heap()
                 .field_atomic(entry.obj, entry.field as usize)
@@ -967,7 +967,7 @@ impl<'stm> Transaction<'stm> {
             } else {
                 entry.original_version
             };
-            yield_point(schedpt::ROLLBACK_PRE_RELEASE);
+            yield_point_keyed(schedpt::ROLLBACK_PRE_RELEASE, entry.obj.to_raw() as usize);
             self.stm
                 .heap()
                 .header_atomic(entry.obj)

@@ -13,6 +13,20 @@
 //! hook thread-local means a test's set-up code (running on the harness
 //! thread, no hook installed) passes through schedule points untouched
 //! while the virtual threads under test stop at every one.
+//!
+//! Three kinds of schedule point exist:
+//!
+//! - [`yield_point`]: a plain pre-step yield, no object identity.
+//! - [`yield_point_keyed`]: a yield that also names *which* object the
+//!   next step touches (an opaque `usize`, typically a header address).
+//!   Explorers use the key for partial-order reduction: two steps on
+//!   different keys commute, so schedules differing only in their order
+//!   need not both be explored.
+//! - [`block_until`]: a potentially-*blocking* acquisition (lock, gate).
+//!   With no hook installed it simply blocks. Under an explorer it
+//!   loops a non-blocking `try_claim` against a *blocking* schedule
+//!   point, so the scheduler sees the thread as blocked (not runnable)
+//!   instead of deadlocking the baton inside a real `lock()` call.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -21,9 +35,29 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// [`yield_point`] is a near-no-op everywhere.
 static HOOKS_INSTALLED: AtomicUsize = AtomicUsize::new(0);
 
-/// A schedule-point handler: called with the site name at every
-/// [`yield_point`] the installing thread reaches.
-pub type Hook = Box<dyn FnMut(&'static str)>;
+/// What a thread is about to do when it reaches a schedule point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedPoint {
+    /// Static name of the instrumented step (see `omt_stm::sched_sites`).
+    pub site: &'static str,
+    /// Identity of the object the next step touches, if the site names
+    /// one (typically a header address). `None` means "unknown /
+    /// global" and explorers must treat the step as dependent on
+    /// everything.
+    pub key: Option<usize>,
+    /// True when the thread is *blocked*: it cannot make progress until
+    /// some other thread acts (e.g. releases a lock). The explorer
+    /// should treat the thread as not-runnable rather than schedule it
+    /// in a busy loop.
+    pub blocking: bool,
+}
+
+/// A schedule-point handler: called with a [`SchedPoint`] at every
+/// instrumented step the installing thread reaches. Returns `true` if
+/// the hook handled the point (the explorer scheduled around it);
+/// `false` means "unhandled" and is only meaningful for *blocking*
+/// points, where the caller falls back to a real blocking acquisition.
+pub type Hook = Box<dyn FnMut(SchedPoint) -> bool>;
 
 thread_local! {
     static HOOK: RefCell<Option<Hook>> = const { RefCell::new(None) };
@@ -40,21 +74,71 @@ pub fn yield_point(site: &'static str) {
     if HOOKS_INSTALLED.load(Ordering::Relaxed) == 0 {
         return;
     }
-    yield_point_slow(site);
+    hook_point(SchedPoint { site, key: None, blocking: false });
+}
+
+/// A schedule point that names the object the next step touches.
+/// Explorers use `key` for commutativity-based pruning; production
+/// builds pay the same near-no-op cost as [`yield_point`].
+#[inline]
+pub fn yield_point_keyed(site: &'static str, key: usize) {
+    if HOOKS_INSTALLED.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    hook_point(SchedPoint { site, key: Some(key), blocking: false });
+}
+
+/// A blocking acquisition visible to explorers.
+///
+/// `try_claim` is a non-blocking attempt (e.g. `try_write()`), returning
+/// `Some(resource)` on success; `block` is the real blocking path used
+/// when no explorer is attached (or when the hook declines the point).
+///
+/// With no hook installed this is exactly `try_claim().unwrap_or_else`
+/// over `block()` — one cheap attempt, then the normal blocking wait.
+/// Under an explorer, each failed `try_claim` raises a *blocking*
+/// schedule point; the explorer parks the thread as blocked and only
+/// reschedules it when some other thread ran (and may have released
+/// the resource), so the acquisition loop is deterministic and the
+/// baton never blocks inside a native lock.
+pub fn block_until<T>(
+    site: &'static str,
+    mut try_claim: impl FnMut() -> Option<T>,
+    block: impl FnOnce() -> T,
+) -> T {
+    if HOOKS_INSTALLED.load(Ordering::Relaxed) == 0 {
+        return match try_claim() {
+            Some(v) => v,
+            None => block(),
+        };
+    }
+    loop {
+        if let Some(v) = try_claim() {
+            return v;
+        }
+        let handled = hook_point(SchedPoint { site, key: None, blocking: true });
+        if !handled {
+            // No hook on this thread (some other thread is being
+            // explored) or the hook declined: fall back to the real
+            // blocking acquisition.
+            return block();
+        }
+    }
 }
 
 #[cold]
-fn yield_point_slow(site: &'static str) {
+fn hook_point(point: SchedPoint) -> bool {
     HOOK.with(|h| {
         // `try_borrow_mut` guards against re-entrancy: a hook that
         // itself reaches a schedule point (it should not) is ignored
         // rather than panicking the virtual thread mid-protocol.
         if let Ok(mut hook) = h.try_borrow_mut() {
             if let Some(f) = hook.as_mut() {
-                f(site);
+                return f(point);
             }
         }
-    });
+        false
+    })
 }
 
 /// Installs `hook` as this thread's schedule-point handler, replacing
@@ -96,13 +180,17 @@ mod tests {
     fn no_hook_is_a_no_op() {
         assert!(!hook_installed());
         yield_point("nothing.listens");
+        yield_point_keyed("nothing.listens", 7);
     }
 
     #[test]
     fn hook_sees_sites_and_clear_removes_it() {
         let seen: Rc<Cell<usize>> = Rc::new(Cell::new(0));
         let seen2 = seen.clone();
-        install_hook(Box::new(move |_site| seen2.set(seen2.get() + 1)));
+        install_hook(Box::new(move |_point| {
+            seen2.set(seen2.get() + 1);
+            true
+        }));
         assert!(hook_installed());
         yield_point("a");
         yield_point("b");
@@ -111,6 +199,21 @@ mod tests {
         assert!(!hook_installed());
         yield_point("c");
         assert_eq!(seen.get(), 2);
+    }
+
+    #[test]
+    fn keyed_points_carry_their_key() {
+        let last: Rc<Cell<Option<usize>>> = Rc::new(Cell::new(None));
+        let last2 = last.clone();
+        install_hook(Box::new(move |point| {
+            last2.set(point.key);
+            true
+        }));
+        yield_point("plain");
+        assert_eq!(last.get(), None);
+        yield_point_keyed("keyed", 42);
+        assert_eq!(last.get(), Some(42));
+        clear_hook();
     }
 
     #[test]
@@ -127,12 +230,61 @@ mod tests {
 
     #[test]
     fn reinstall_replaces_without_leaking_count() {
-        install_hook(Box::new(|_| {}));
-        install_hook(Box::new(|_| {}));
+        install_hook(Box::new(|_| true));
+        install_hook(Box::new(|_| true));
         clear_hook();
         assert!(!hook_installed());
         // Count balanced: with no hooks anywhere, yield is the fast path
         // (nothing observable to assert beyond "does not hang or panic").
         yield_point("y");
+    }
+
+    #[test]
+    fn block_until_without_hook_tries_then_blocks() {
+        // try_claim succeeds: block must not run.
+        let got = block_until("lock.x", || Some(1), || panic!("must not block"));
+        assert_eq!(got, 1);
+        // try_claim fails: falls through to block.
+        let got = block_until("lock.x", || None::<i32>, || 2);
+        assert_eq!(got, 2);
+    }
+
+    #[test]
+    fn block_until_loops_try_claim_under_a_hook() {
+        // The hook "handles" two blocking points; try_claim succeeds on
+        // the third attempt. block() must never run.
+        let attempts: Rc<Cell<usize>> = Rc::new(Cell::new(0));
+        let blocked_seen: Rc<Cell<usize>> = Rc::new(Cell::new(0));
+        let bs = blocked_seen.clone();
+        install_hook(Box::new(move |point| {
+            assert!(point.blocking);
+            bs.set(bs.get() + 1);
+            true
+        }));
+        let a = attempts.clone();
+        let got = block_until(
+            "lock.y",
+            move || {
+                a.set(a.get() + 1);
+                if a.get() >= 3 {
+                    Some(99)
+                } else {
+                    None
+                }
+            },
+            || panic!("hook handled the point; must not block"),
+        );
+        clear_hook();
+        assert_eq!(got, 99);
+        assert_eq!(attempts.get(), 3);
+        assert_eq!(blocked_seen.get(), 2);
+    }
+
+    #[test]
+    fn block_until_falls_back_when_hook_declines() {
+        install_hook(Box::new(|point| !point.blocking));
+        let got = block_until("lock.z", || None::<i32>, || 7);
+        clear_hook();
+        assert_eq!(got, 7);
     }
 }

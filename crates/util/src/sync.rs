@@ -77,6 +77,26 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+
+    /// Attempts shared access without blocking. `None` if a writer
+    /// holds (or std reports contention on) the lock. Never poisons.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive access without blocking. `None` if any guard
+    /// is held. Never poisons.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 /// An owned mutex guard: holds the lock *and* an `Arc` keeping the
@@ -175,6 +195,25 @@ mod tests {
         }
         *l.write() = 9;
         assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(1);
+        {
+            let r = l.try_read().expect("uncontended try_read");
+            assert_eq!(*r, 1);
+            // A reader blocks writers but not other readers.
+            assert!(l.try_write().is_none());
+            assert!(l.try_read().is_some());
+        }
+        {
+            let mut w = l.try_write().expect("uncontended try_write");
+            *w = 3;
+            assert!(l.try_read().is_none());
+            assert!(l.try_write().is_none());
+        }
+        assert_eq!(*l.read(), 3);
     }
 
     #[test]

@@ -253,17 +253,21 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_transfers_conflict_deterministically() {
+    fn overlapping_transfers_conflict_deterministically() -> Result<(), omt_stm::TxError> {
         let bank = StmBank::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 2, 500);
         // A hand-rolled transfer that pauses between read and commit
         // while a full transfer commits: it must abort and retry.
+        // Transactional reads/writes can conflict, so this path uses `?`
+        // instead of unwrapping (a panic here would take down a virtual
+        // thread when the scenario runs under the schedule explorer).
         let a = bank.accounts[0];
         let mut stale = bank.stm().begin();
-        let balance = stale.read(a, BALANCE).unwrap().as_scalar().unwrap();
+        let balance = stale.read(a, BALANCE)?.as_scalar().unwrap_or(0);
         bank.transfer(0, 1, 100);
-        stale.write(a, BALANCE, Word::from_scalar(balance - 1)).unwrap();
+        stale.write(a, BALANCE, Word::from_scalar(balance - 1))?;
         assert!(stale.commit().is_err());
         assert_eq!(bank.total(), 1_000);
+        Ok(())
     }
 
     #[test]

@@ -269,18 +269,22 @@ mod tests {
     }
 
     #[test]
-    fn overlapping_increments_conflict_deterministically() {
+    fn overlapping_increments_conflict_deterministically() -> Result<(), omt_stm::TxError> {
         use omt_heap::Word;
         let c = counters(1);
         let cell = c.cells[0];
         // Interleave two increments by hand: the slower one must abort.
+        // `?` instead of unwrap on the transactional accesses: a
+        // conflict on this path aborts the transaction cleanly (Drop
+        // rolls back) rather than panicking.
         let mut slow = c.stm().begin();
-        let v = slow.read(cell, VALUE).unwrap().as_scalar().unwrap();
+        let v = slow.read(cell, VALUE)?.as_scalar().unwrap_or(0);
         c.increment(0); // a full transaction commits in between
-        slow.write(cell, VALUE, Word::from_scalar(v + 1)).unwrap();
+        slow.write(cell, VALUE, Word::from_scalar(v + 1))?;
         assert!(slow.commit().is_err(), "stale read must fail validation");
         assert_eq!(c.total(), 1);
         assert!(c.stm().stats().aborts() >= 1);
+        Ok(())
     }
 
     #[test]

@@ -1,14 +1,18 @@
-//! Schedule-explorer sweep over the public STM API: four oracles driven
-//! through `omt-sched`'s bounded-preemption DFS and seeded random
-//! walks, plus the frozen schedules of the cross-thread bugs this
-//! explorer found (see DESIGN.md §4.8).
+//! Schedule-explorer sweep over the public STM API: oracles driven
+//! through `omt-sched`'s bounded-preemption DFS (with sleep-set
+//! pruning) and seeded random walks, plus the frozen schedules of the
+//! cross-thread bugs this explorer found (see DESIGN.md §4.8).
 //!
-//! Scenario ground rules (from the explorer's scope): serial-mode
-//! escalation is disabled (`serial_after_aborts: None` — the exclusive
-//! gate held across schedule points would deadlock the baton),
-//! contention management is `AbortSelf` (no cooperative doom-wait
-//! spins), and retries are bounded, so every virtual thread terminates
-//! under every schedule.
+//! Scenario ground rules: contention management is `AbortSelf` (no
+//! cooperative doom-wait spins) and retries are bounded, so every
+//! virtual thread terminates under every schedule. Serial-mode
+//! escalation is *allowed*: the gate's acquisitions go through
+//! `block_until`, so an entrant waiting on the gate surfaces to the
+//! scheduler as a blocked thread instead of wedging the baton — the
+//! serial-gate and serial-storm oracles below run with
+//! `serial_after_aborts: Some(_)`. Most scenarios still leave it `None`
+//! because their oracles count aborts or commits exactly and escalation
+//! would fold those counts into the gate's bookkeeping.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -18,7 +22,8 @@ use omt_sched::{Execution, Explorer, RunOutcome, SchedConfig, ThreadBody};
 use omt_stm::failpoint::{sites, FailAction, Trigger};
 use omt_stm::{CmPolicy, Stm, StmConfig, StmWord, TxError};
 
-/// STM configuration every scenario uses (see module docs).
+/// Baseline STM configuration (see module docs); the serial-mode
+/// oracles override `serial_after_aborts`.
 fn scenario_config() -> StmConfig {
     StmConfig {
         cm: CmPolicy::AbortSelf,
@@ -37,6 +42,7 @@ fn explorer(max_schedules: usize, random_walks: usize) -> Explorer {
         seed: 0x5EED,
         max_steps: 800,
         minimize: true,
+        sleep_sets: true,
     })
 }
 
@@ -57,13 +63,19 @@ fn scalar(heap: &Heap, obj: ObjRef, field: usize) -> i64 {
 /// Coverage line per oracle (visible with `--nocapture`; the measured
 /// numbers are quoted in EXPERIMENTS.md).
 fn report_coverage(name: &str, report: &omt_sched::ExploreReport) {
+    let frontier = report.dfs_schedules + report.sleep_pruned;
+    let pruned_pct =
+        if frontier == 0 { 0.0 } else { 100.0 * report.sleep_pruned as f64 / frontier as f64 };
     eprintln!(
-        "{name}: {} schedules ({} dfs{}, {} random), {} step-limited",
+        "{name}: {} schedules ({} dfs{}, {} random), {} step-limited, {} abandoned, \
+         {} sleep-pruned ({pruned_pct:.0}% of the dfs frontier)",
         report.schedules_run,
         report.dfs_schedules,
         if report.exhausted { " — exhausted" } else { "" },
         report.random_schedules,
         report.step_limited,
+        report.dfs_abandoned,
+        report.sleep_pruned,
     );
 }
 
@@ -480,15 +492,33 @@ fn frozen_abort_aba_schedule_passes_on_the_fixed_tree() {
 
 #[test]
 fn zombie_read_scenario_is_clean_under_exploration() {
-    let report = Explorer::new(SchedConfig {
-        preemption_bound: 3,
-        random_walks: 500,
-        ..SchedConfig::default()
-    })
-    .explore(&zombie_read_factory);
-    report_coverage("zombie-read", &report);
-    assert!(report.passed(), "{}", report.counterexample.unwrap());
-    assert!(report.exhausted, "two-thread space must be fully enumerated");
+    // Run the same exhaustive sweep with and without sleep sets: both
+    // must enumerate the space and pass; the pruned run must not do
+    // more work. The pair of dfs counts is the before/after-pruning
+    // figure quoted in EXPERIMENTS.md.
+    let sweep = |sleep_sets: bool| {
+        Explorer::new(SchedConfig {
+            preemption_bound: 3,
+            random_walks: 500,
+            sleep_sets,
+            ..SchedConfig::default()
+        })
+        .explore(&zombie_read_factory)
+    };
+    let plain = sweep(false);
+    report_coverage("zombie-read (no pruning)", &plain);
+    let pruned = sweep(true);
+    report_coverage("zombie-read (sleep sets)", &pruned);
+    for report in [&plain, &pruned] {
+        assert!(report.passed(), "{}", report.counterexample.as_ref().unwrap());
+        assert!(report.exhausted, "two-thread space must be fully enumerated");
+    }
+    assert!(
+        pruned.dfs_schedules <= plain.dfs_schedules,
+        "sleep sets must not enlarge the sweep: {} > {}",
+        pruned.dfs_schedules,
+        plain.dfs_schedules
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -570,5 +600,397 @@ fn concurrent_reader_aborts_with_epoch_across_a_version_wrap() {
     assert!(
         epoch_aborts.load(Ordering::SeqCst) > 0,
         "some schedule must drive the reader across the wrap into an EPOCH abort"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Oracle 5: serial-gate protocol — one transaction escalates to serial
+// mode while two bystanders pass through the shared side of the gate.
+// Escalation is forced deterministically: the escalator's closure
+// requests a retry (`TxError::EXPLICIT`) on its first two attempts, and
+// `serial_after_aborts: Some(2)` sends the third attempt through the
+// exclusive gate. The bystanders touch disjoint cells, so they can
+// never conflict and never escalate: at quiescence `serial_entries`
+// must be *exactly* one, every thread must have committed (no lost
+// wakeup leaves a thread parked on the gate), and all-blocked states
+// surface as deadlock counterexamples.
+// ---------------------------------------------------------------------
+
+fn serial_gate_factory() -> Execution {
+    let (heap, cells) = new_cells(3, &[0, 0, 0]);
+    let stm = Arc::new(Stm::with_config(
+        heap.clone(),
+        StmConfig { serial_after_aborts: Some(2), ..scenario_config() },
+    ));
+    let committed = Arc::new(Mutex::new([false; 3]));
+
+    let escalator: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let obj = cells[0];
+        let committed = committed.clone();
+        let attempts = AtomicUsize::new(0);
+        move || {
+            let result = stm.try_atomically(|tx| {
+                let v = tx.read(obj, 0)?.as_scalar().unwrap();
+                tx.write(obj, 0, Word::from_scalar(v + 1))?;
+                // Two explicit retries, then commit — by then the retry
+                // loop has escalated to the exclusive gate.
+                if attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                    return Err(TxError::EXPLICIT);
+                }
+                Ok(())
+            });
+            if result.is_ok() {
+                committed.lock().unwrap()[0] = true;
+            }
+        }
+    });
+    let bystander = |i: usize| {
+        let stm = stm.clone();
+        let obj = cells[i];
+        let committed = committed.clone();
+        Box::new(move || {
+            let result = stm.try_atomically(|tx| {
+                let v = tx.read(obj, 0)?.as_scalar().unwrap();
+                tx.write(obj, 0, Word::from_scalar(v + 1))
+            });
+            if result.is_ok() {
+                committed.lock().unwrap()[i] = true;
+            }
+        }) as ThreadBody
+    };
+
+    let threads: Vec<ThreadBody> = vec![escalator, bystander(1), bystander(2)];
+    let check = Box::new(move || {
+        let done = *committed.lock().unwrap();
+        if done != [true; 3] {
+            return Err(format!("not every thread committed: {done:?}"));
+        }
+        let finals: Vec<i64> = cells.iter().map(|&c| scalar(&heap, c, 0)).collect();
+        if finals != [1, 1, 1] {
+            return Err(format!("each cell must be incremented exactly once: {finals:?}"));
+        }
+        let s = stm.stats();
+        if s.serial_entries != 1 {
+            return Err(format!("expected exactly one serial entry, saw {}", s.serial_entries));
+        }
+        if s.commits != 3 {
+            return Err(format!("expected exactly three commits, saw {}", s.commits));
+        }
+        Ok(())
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_serial_gate_escalation() {
+    let report = explorer(2_000, 1_200).explore(&serial_gate_factory);
+    report_coverage("serial-gate", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0);
+    assert!(report.schedules_run >= 1_200, "got {}", report.schedules_run);
+}
+
+// ---------------------------------------------------------------------
+// Oracle 6: serial-mode storm — every thread hammers the *same* cell
+// with escalation armed after a single failure. Whether any thread
+// escalates is schedule-dependent, so the per-schedule oracle checks
+// only exactness (every thread commits exactly once, under any mix of
+// shared and exclusive gate traffic); the test then asserts that the
+// sweep as a whole drove at least one schedule into serial mode.
+// ---------------------------------------------------------------------
+
+#[test]
+fn oracle_serial_mode_storm() {
+    let serial_entries = Arc::new(AtomicUsize::new(0));
+    let factory = {
+        let serial_entries = serial_entries.clone();
+        move || {
+            let (heap, cells) = new_cells(1, &[0]);
+            let obj = cells[0];
+            let stm = Arc::new(Stm::with_config(
+                heap.clone(),
+                StmConfig { serial_after_aborts: Some(1), ..scenario_config() },
+            ));
+            let commits = Arc::new(AtomicUsize::new(0));
+
+            let threads: Vec<ThreadBody> = (0..3)
+                .map(|_| {
+                    let stm = stm.clone();
+                    let commits = commits.clone();
+                    Box::new(move || {
+                        let result = stm.try_atomically(|tx| {
+                            let v = tx.read(obj, 0)?.as_scalar().unwrap();
+                            tx.write(obj, 0, Word::from_scalar(v + 1))
+                        });
+                        if result.is_ok() {
+                            commits.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }) as ThreadBody
+                })
+                .collect();
+
+            let serial_entries = serial_entries.clone();
+            let check = Box::new(move || {
+                let committed = commits.load(Ordering::SeqCst);
+                if committed != 3 {
+                    return Err(format!("expected all 3 increments to commit, saw {committed}"));
+                }
+                let v = scalar(&heap, obj, 0);
+                if v != 3 {
+                    return Err(format!("cell is {v}, not the 3 committed increments"));
+                }
+                serial_entries.fetch_add(stm.stats().serial_entries as usize, Ordering::SeqCst);
+                Ok(())
+            });
+            Execution { threads, check }
+        }
+    };
+    let report = explorer(1_500, 1_000).explore(&factory);
+    report_coverage("serial-storm", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert!(
+        serial_entries.load(Ordering::SeqCst) > 0,
+        "some schedule must drive a conflicted thread through the exclusive gate"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Oracle 7: GC log trimming during a live transaction. A reader holds a
+// read-log entry for an object that a second transaction unlinks from
+// the object graph; a concurrent collection (interleavable at every
+// registry shard boundary) must (a) keep the object alive while any
+// undo log can still restore a reference to it, (b) sweep it exactly
+// once over the scenario's lifetime, and (c) trim the reader's dead
+// read entry so its later validation never touches the swept slot.
+// ---------------------------------------------------------------------
+
+fn gc_trim_factory(trims: Arc<AtomicUsize>) -> Execution {
+    use omt_heap::RootSet;
+
+    let (heap, cells) = new_cells(2, &[0, 3]);
+    let (anchor, floater) = (cells[0], cells[1]);
+    // anchor.b → floater keeps the floater reachable until unlinked.
+    heap.store(anchor, 1, Word::from_ref(floater));
+    let stm = Arc::new(Stm::with_config(heap.clone(), scenario_config()));
+    // The reader signals here once the floater is in its read log; the
+    // unlinker blocks on the signal (a visible blocked state under the
+    // explorer), so no schedule chases the reference after the sweep.
+    let read_done = Arc::new(AtomicUsize::new(0));
+    let first_swept = Arc::new(Mutex::new(0u64));
+    let reader_outcome = Arc::new(Mutex::new(None::<Result<i64, TxError>>));
+
+    let reader: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let read_done = read_done.clone();
+        let outcome = reader_outcome.clone();
+        move || {
+            let mut tx = stm.begin();
+            let result = match tx.read(floater, 0) {
+                Ok(word) => {
+                    let v = word.as_scalar().unwrap();
+                    read_done.store(1, Ordering::SeqCst);
+                    tx.commit().map(|()| v)
+                }
+                Err(e) => {
+                    tx.abort();
+                    Err(e)
+                }
+            };
+            *outcome.lock().unwrap() = Some(result);
+        }
+    });
+    let unlinker: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let read_done = read_done.clone();
+        move || {
+            omt_util::sched::block_until(
+                "test.await_read",
+                || (read_done.load(Ordering::SeqCst) == 1).then_some(()),
+                || {
+                    while read_done.load(Ordering::SeqCst) != 1 {
+                        std::thread::yield_now();
+                    }
+                },
+            );
+            stm.try_atomically(|tx| tx.write(anchor, 1, Word::null())).expect("uncontended unlink");
+        }
+    });
+    let collector: ThreadBody = Box::new({
+        let heap = heap.clone();
+        let stm = stm.clone();
+        let first_swept = first_swept.clone();
+        move || {
+            let outcome = heap.collect(&RootSet::from(vec![anchor]), &[stm.gc_participant()]);
+            *first_swept.lock().unwrap() = outcome.swept;
+        }
+    });
+
+    let threads: Vec<ThreadBody> = vec![reader, unlinker, collector];
+    let check = Box::new(move || {
+        // A quiescent collection on the harness thread (no hook, so the
+        // shard yields are no-ops) reclaims whatever the racing
+        // collection legitimately had to keep alive.
+        let final_outcome = heap.collect(&RootSet::from(vec![anchor]), &[stm.gc_participant()]);
+        let racing = *first_swept.lock().unwrap();
+        if racing + final_outcome.swept != 1 {
+            return Err(format!(
+                "floater must be swept exactly once: racing collect {racing}, final {}",
+                final_outcome.swept
+            ));
+        }
+        match *reader_outcome.lock().unwrap() {
+            Some(Ok(3)) => {}
+            ref other => return Err(format!("reader must commit the value 3, got {other:?}")),
+        }
+        if heap.load(anchor, 1) != Word::null() {
+            return Err("unlink did not stick".into());
+        }
+        if heap.live_objects() != 1 {
+            return Err(format!("expected only the anchor alive, {} live", heap.live_objects()));
+        }
+        trims.fetch_add(stm.stats().gc_trimmed_entries as usize, Ordering::SeqCst);
+        Ok(())
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_gc_trims_logs_of_a_live_transaction() {
+    let trims = Arc::new(AtomicUsize::new(0));
+    let factory = {
+        let trims = trims.clone();
+        move || gc_trim_factory(trims.clone())
+    };
+    let report = explorer(1_500, 1_000).explore(&factory);
+    report_coverage("gc-trim", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert!(
+        trims.load(Ordering::SeqCst) > 0,
+        "some schedule must sweep the floater while the reader's entry is live and trim it"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Throughput: the pooled engine against PR 4's reference cost model
+// (fresh OS threads per run, park-only handoff) on the checked-in bank
+// oracle. The printed schedules/sec figures are the sched-smoke numbers
+// quoted in EXPERIMENTS.md.
+// ---------------------------------------------------------------------
+
+/// Reproduces the per-schedule heap-setup cost PR 4's sweeps paid:
+/// `omt-heap`'s `new_chunk` built each 64Ki-entry chunk through a `Vec`
+/// and `Heap::drop` scanned the full chunk for live objects — both
+/// fixed in this PR (zeroed allocation; scan bounded by `next_fresh`).
+/// The baseline below adds this cost back so "PR 4's engine" means the
+/// sweeper as it actually ran, not PR 4's engine with this PR's heap.
+fn pr4_per_schedule_heap_cost() {
+    use std::sync::atomic::{AtomicPtr, Ordering};
+    let chunk: Box<[AtomicPtr<u64>]> = (0..65536)
+        .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let mut live = 0u32;
+    for entry in chunk.iter() {
+        if !entry.load(Ordering::Relaxed).is_null() {
+            live += 1;
+        }
+    }
+    std::hint::black_box((chunk, live));
+}
+
+#[test]
+#[ignore = "timing-sensitive: run alone (the sched-smoke job does), not under a parallel test load"]
+fn pooled_engine_outpaces_pr4s_engine_on_the_bank_oracle() {
+    use omt_sched::{run_driven, run_driven_reference, EnabledSlot};
+    use std::time::{Duration, Instant};
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        /// This PR's engine: pooled workers, inline tick.
+        Pooled,
+        /// PR 4's engine cost model: spawn-per-run, bounce-per-step.
+        Reference,
+        /// PR 4 as shipped: the reference engine plus the per-schedule
+        /// heap-setup cost its sweeps paid (see above).
+        Pr4,
+    }
+
+    // A chooser with the shape DFS produces: long non-preemptive runs
+    // (stay on the previous thread while it is runnable) broken by a
+    // bounded number of forced preemptions at run-dependent steps.
+    fn choose(tick: usize, salt: usize, enabled: &[EnabledSlot], prev: Option<usize>) -> usize {
+        let preempt = tick == 5 + salt % 11 || tick == 20 + salt % 29;
+        if let Some(p) = prev {
+            if !preempt && enabled.iter().any(|s| s.thread == p && !s.blocked) {
+                return p;
+            }
+            if let Some(s) = enabled.iter().find(|s| s.thread != p && !s.blocked) {
+                return s.thread;
+            }
+        }
+        enabled.iter().find(|s| !s.blocked).unwrap_or(&enabled[0]).thread
+    }
+    let sweep = |runs: usize, mode: Mode| {
+        let start = Instant::now();
+        for i in 0..runs {
+            if mode == Mode::Pr4 {
+                pr4_per_schedule_heap_cost();
+            }
+            let mut chooser = |step: usize, enabled: &[EnabledSlot], prev: Option<usize>| {
+                choose(step, i, enabled, prev)
+            };
+            let record = if mode == Mode::Pooled {
+                run_driven(bank_factory(), &mut chooser, 800)
+            } else {
+                run_driven_reference(bank_factory(), &mut chooser, 800)
+            };
+            assert_eq!(record.outcome, RunOutcome::Pass);
+        }
+        start.elapsed()
+    };
+
+    // Warm the scheduler thread's pool, then time the sweeps in
+    // interleaved rounds — every round measures all three modes
+    // back-to-back, so a slow patch of machine time (the CI box is
+    // noisy) hits the modes it compares alike instead of skewing
+    // whichever mode it happened to land on. The best (fastest)
+    // duration per mode across rounds approximates each engine's
+    // undisturbed cost.
+    sweep(20, Mode::Pooled);
+    const RUNS: usize = 400;
+    const BASE_RUNS: usize = 50;
+    const ROUNDS: usize = 4;
+    let mut pooled = Duration::MAX;
+    let mut reference = Duration::MAX;
+    let mut pr4 = Duration::MAX;
+    for _ in 0..ROUNDS {
+        pooled = pooled.min(sweep(RUNS, Mode::Pooled));
+        reference = reference.min(sweep(BASE_RUNS, Mode::Reference));
+        pr4 = pr4.min(sweep(BASE_RUNS, Mode::Pr4));
+    }
+    let pooled_rate = RUNS as f64 / pooled.as_secs_f64();
+    let reference_rate = BASE_RUNS as f64 / reference.as_secs_f64();
+    let pr4_rate = BASE_RUNS as f64 / pr4.as_secs_f64();
+    eprintln!(
+        "bank oracle sweep rate: pooled {pooled_rate:.0}/s, reference engine \
+         {reference_rate:.0}/s ({:.1}x), PR 4 as shipped {pr4_rate:.0}/s ({:.1}x)",
+        pooled_rate / reference_rate,
+        pooled_rate / pr4_rate,
+    );
+    assert!(
+        pooled_rate > reference_rate,
+        "the pool + inline tick must beat the spawn-per-run engine outright \
+         (pooled {pooled_rate:.0}/s, reference {reference_rate:.0}/s)"
+    );
+    // PR 4's recorded sweeps (EXPERIMENTS.md) and the sched-smoke job
+    // run debug builds; in release the reproduced chunk loop optimizes
+    // to a memset and no longer represents what PR 4's sweeps paid, so
+    // the 10x gate only applies where the baseline is faithful.
+    #[cfg(debug_assertions)]
+    assert!(
+        pooled_rate >= 10.0 * pr4_rate,
+        "the explorer must sweep at least 10x more schedules/s than PR 4's \
+         sweeper (pooled {pooled_rate:.0}/s, PR 4 {pr4_rate:.0}/s)"
     );
 }
