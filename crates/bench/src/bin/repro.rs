@@ -12,13 +12,14 @@
 //! `--experiment e2` (and `e3`, and `all`) additionally runs the
 //! measured scalability sweep and writes `BENCH_e2_scalability.json`
 //! at the repository root; `e5b` (and `all`) runs the measured
-//! validation-cost sweep and writes `BENCH_e5_validation.json`. `all`
-//! runs each measured sweep exactly once, however many experiments
-//! share it.
+//! validation-cost sweep and writes `BENCH_e5_validation.json`; `e10`
+//! (and `all`) runs the measured service-overload sweep and writes
+//! `BENCH_e10_service.json`. `all` runs each measured sweep exactly
+//! once, however many experiments share it.
 //! Run `repro --help` (or pass an unknown id) for the experiment table.
 
 use omt_bench::experiments::{self, Scale};
-use omt_bench::{scalability, validation};
+use omt_bench::{scalability, service, validation};
 
 /// A measured sweep attached to one or more experiments. Sweeps are
 /// the expensive part of a run, so `all` deduplicates them and runs
@@ -30,6 +31,9 @@ enum Sweep {
     Scalability,
     /// Commit-sequence validation cost (`BENCH_e5_validation.json`).
     Validation,
+    /// Service overload robustness: rate × admission-policy grid plus
+    /// the fault-injection storm (`BENCH_e10_service.json`).
+    Service,
 }
 
 /// One dispatchable experiment: id, what it regenerates, a runner for
@@ -103,6 +107,12 @@ const EXPERIMENTS: &[Experiment] = &[
         run: experiments::e9_sandbox_overflow,
         sweep: None,
     },
+    Experiment {
+        id: "e10",
+        description: "service overload robustness (BENCH_e10_service.json)",
+        run: no_body,
+        sweep: Some(Sweep::Service),
+    },
 ];
 
 fn main() {
@@ -170,6 +180,7 @@ fn run_sweep(sweep: Sweep, scale: Scale) {
     match sweep {
         Sweep::Scalability => run_scalability_sweep(scale),
         Sweep::Validation => run_validation_sweep(scale),
+        Sweep::Service => run_service_sweep(scale),
     }
 }
 
@@ -189,6 +200,15 @@ fn run_validation_sweep(scale: Scale) {
     report.print_tables();
     let path = validation::default_output_path();
     write_or_die(validation::write_report(&report, &path), &path);
+}
+
+/// Runs the measured service-overload sweep (E10), prints its tables,
+/// and writes the validated JSON report.
+fn run_service_sweep(scale: Scale) {
+    let report = service::run_service(scale);
+    report.print_tables();
+    let path = service::default_output_path();
+    write_or_die(service::write_report(&report, &path), &path);
 }
 
 fn write_or_die(result: std::io::Result<()>, path: &std::path::Path) {

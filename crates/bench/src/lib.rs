@@ -18,4 +18,5 @@ pub mod harness;
 pub mod json;
 pub mod programs;
 pub mod scalability;
+pub mod service;
 pub mod validation;

@@ -1,0 +1,602 @@
+//! The measured E10 service-overload experiment.
+//!
+//! Drives the `omt-server` transactional bank with open-loop traffic
+//! across an arrival-rate × admission-policy grid, then runs a fault
+//! storm (probabilistic mid-transaction kills and stalls) under
+//! continuous invariant auditing. The report captures the overload
+//! story quantitatively:
+//!
+//! - per point: goodput, shed rate, deadline misses, and latency
+//!   percentiles measured from *scheduled arrival* (queueing counts);
+//! - per policy: the saturation knee — the highest offered rate whose
+//!   goodput ratio stays ≥ 90%;
+//! - the storm: injected kills/stalls with the number of orphans
+//!   recovered and — the headline robustness invariant — **zero**
+//!   conservation violations across every concurrent audit.
+//!
+//! Output mirrors E2/E5b: human tables plus machine-readable
+//! `BENCH_e10_service.json` whose schema is enforced by
+//! [`validate_report`] and CI's bench-smoke job. Latency numbers and
+//! knee positions are machine-dependent and deliberately *not*
+//! schema-checked; the accounting identities and the zero-violation
+//! invariant are.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use omt_server::{run_open_loop, Service, ServiceConfig, TrafficConfig, TrafficOutcome};
+use omt_stm::failpoint::{sites, FailAction, Trigger};
+
+use crate::experiments::Scale;
+use crate::harness::Table;
+use crate::json::Json;
+
+/// Admission policies compared, in report order.
+pub const POLICIES: [&str; 2] = ["admit", "noadmit"];
+
+/// Goodput ratio a point must keep for its rate to count as below the
+/// saturation knee.
+pub const KNEE_RATIO: f64 = 0.9;
+
+/// One measured cell of the rate × policy sweep.
+#[derive(Debug, Clone)]
+pub struct ServicePoint {
+    /// Admission policy (one of [`POLICIES`]).
+    pub policy: &'static str,
+    /// Offered arrival rate, requests per second.
+    pub rate: f64,
+    /// Requests the open-loop schedule offered.
+    pub offered: u64,
+    /// Requests that committed.
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub shed: u64,
+    /// Requests that missed their deadline after admission.
+    pub deadline_misses: u64,
+    /// Requests whose conflict retry budget ran out.
+    pub retry_exhausted: u64,
+    /// Requests admitted via starvation escalation.
+    pub escalations: u64,
+    /// Concurrent audits completed during the run.
+    pub audits: u64,
+    /// Audits that saw a broken conservation invariant (must be 0).
+    pub invariant_violations: u64,
+    /// Whether the post-run audit balanced.
+    pub final_audit_ok: bool,
+    /// Committed requests per wall-clock second.
+    pub goodput_per_sec: f64,
+    /// completed / offered.
+    pub goodput_ratio: f64,
+    /// shed / offered.
+    pub shed_rate: f64,
+    /// Median latency (µs, from scheduled arrival).
+    pub p50_us: u64,
+    /// 95th-percentile latency (µs).
+    pub p95_us: u64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: u64,
+    /// Wall-clock duration of the point (ms).
+    pub elapsed_ms: f64,
+}
+
+/// Outcome of the fault-injection storm.
+#[derive(Debug, Clone)]
+pub struct StormOutcome {
+    /// Transactions killed mid-flight while holding ownership.
+    pub kills: u64,
+    /// Injected stall fires.
+    pub stalls: u64,
+    /// Orphans recovered by concurrent transactions.
+    pub orphans_recovered: u64,
+    /// Requests offered during the storm.
+    pub offered: u64,
+    /// Requests that committed during the storm.
+    pub completed: u64,
+    /// Concurrent audits completed during the storm.
+    pub audits: u64,
+    /// Audits that saw a broken invariant (must be 0).
+    pub invariant_violations: u64,
+    /// Whether the ledger balanced after the storm.
+    pub final_audit_ok: bool,
+}
+
+/// The full E10 result.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// `"quick"` or `"full"`.
+    pub mode: &'static str,
+    /// Arrival rates swept (requests/second).
+    pub rates: Vec<f64>,
+    /// One point per policy × rate.
+    pub points: Vec<ServicePoint>,
+    /// The fault-injection storm run.
+    pub storm: StormOutcome,
+}
+
+/// Worker threads driving the open loop (bounded so the sweep behaves
+/// on small hosts).
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get()).clamp(2, 4)
+}
+
+/// Shared service tuning for every sweep point (admission per policy).
+///
+/// The in-flight cap is deliberately tight — half the worker pool — so
+/// the gate is *reachable*: a cap the workers can never fill would
+/// leave admission control unmeasured and both policies identical.
+/// With a tight gate, shedding is load-proportional (overlap between
+/// workers grows with the arrival rate), which is the behaviour the
+/// sweep is after.
+fn service_config(policy: &str) -> ServiceConfig {
+    ServiceConfig {
+        accounts: 256,
+        initial_balance: 1_000,
+        deadline: Duration::from_millis(5),
+        max_inflight: (workers() / 2).max(1),
+        shed_abort_rate: 0.85,
+        shed_serial_per_sec: 100.0,
+        signal_window: Duration::from_millis(5),
+        starvation_sheds: 8,
+        admission: policy == "admit",
+        ..ServiceConfig::default()
+    }
+}
+
+fn traffic_config(scale: Scale, rate: f64) -> TrafficConfig {
+    TrafficConfig {
+        sessions: 2_000,
+        workers: workers(),
+        arrival_rate: rate,
+        duration: Duration::from_millis(if scale == Scale::FULL { 500 } else { 200 }),
+        zipf_exponent: 1.0,
+        read_fraction: 0.5,
+        audit_period: Some(Duration::from_millis(5)),
+        seed: 1213,
+    }
+}
+
+fn point_from_outcome(policy: &'static str, rate: f64, outcome: &TrafficOutcome) -> ServicePoint {
+    ServicePoint {
+        policy,
+        rate,
+        offered: outcome.offered,
+        completed: outcome.completed,
+        shed: outcome.shed,
+        deadline_misses: outcome.deadline_misses,
+        retry_exhausted: outcome.retry_exhausted,
+        escalations: outcome.escalations,
+        audits: outcome.audits,
+        invariant_violations: outcome.invariant_violations,
+        final_audit_ok: outcome.final_audit_ok,
+        goodput_per_sec: outcome.goodput_per_sec(),
+        goodput_ratio: outcome.goodput_ratio(),
+        shed_rate: outcome.shed_rate(),
+        p50_us: outcome.latency_us.percentile(50.0),
+        p95_us: outcome.latency_us.percentile(95.0),
+        p99_us: outcome.latency_us.percentile(99.0),
+        elapsed_ms: outcome.elapsed.as_secs_f64() * 1_000.0,
+    }
+}
+
+/// Runs the rate × policy sweep plus the fault storm.
+pub fn run_service(scale: Scale) -> ServiceReport {
+    let rates: Vec<f64> = if scale == Scale::FULL {
+        vec![2_000.0, 8_000.0, 32_000.0, 128_000.0, 512_000.0]
+    } else {
+        vec![2_000.0, 8_000.0, 32_000.0, 128_000.0]
+    };
+    let mut points = Vec::new();
+    for policy in POLICIES {
+        for &rate in &rates {
+            let service = Service::new(service_config(policy));
+            let outcome = run_open_loop(&service, &traffic_config(scale, rate));
+            points.push(point_from_outcome(policy, rate, &outcome));
+        }
+    }
+    let storm = run_storm(scale);
+    ServiceReport {
+        mode: if scale == Scale::FULL { "full" } else { "quick" },
+        rates,
+        points,
+        storm,
+    }
+}
+
+/// The storm: probabilistic kills at update acquisition (so every kill
+/// orphans held ownership) and stalls ahead of validation, under
+/// moderate open-loop traffic with the continuous auditor running.
+fn run_storm(scale: Scale) -> StormOutcome {
+    let service = Service::new(service_config("admit"));
+    let stm = service.stm().clone();
+    stm.failpoints().set(
+        sites::OPEN_UPDATE_AFTER_ACQUIRE,
+        FailAction::Kill,
+        Trigger::Prob { p: 0.01, seed: 0xB10C },
+    );
+    stm.failpoints().set(
+        sites::COMMIT_BEFORE_VALIDATE,
+        FailAction::Delay(20_000),
+        Trigger::Prob { p: 0.05, seed: 0x57A1 },
+    );
+    let traffic = TrafficConfig {
+        arrival_rate: 4_000.0,
+        duration: Duration::from_millis(if scale == Scale::FULL { 600 } else { 300 }),
+        ..traffic_config(scale, 4_000.0)
+    };
+    let before = stm.stats();
+    let outcome = run_open_loop(&service, &traffic);
+    stm.failpoints().reset();
+    let delta = stm.stats().delta_since(&before);
+    // One clean audit with injection disarmed: recovery (including the
+    // validation-path recovery for read-side stumbles) must have left
+    // an intact, balanced ledger.
+    let final_audit_ok = outcome.final_audit_ok
+        && service.audit_total() == service.expected_total()
+        && stm.registry().orphan_count() == 0;
+    StormOutcome {
+        kills: delta.txs_killed,
+        stalls: delta.failpoint_fires.saturating_sub(delta.txs_killed),
+        orphans_recovered: stm.stats().orphans_recovered,
+        offered: outcome.offered,
+        completed: outcome.completed,
+        audits: outcome.audits,
+        invariant_violations: outcome.invariant_violations,
+        final_audit_ok,
+    }
+}
+
+impl ServiceReport {
+    /// Looks up one cell of the sweep.
+    pub fn point(&self, policy: &str, rate: f64) -> Option<&ServicePoint> {
+        self.points.iter().find(|p| p.policy == policy && p.rate == rate)
+    }
+
+    /// The saturation knee for `policy`: the highest swept rate whose
+    /// goodput ratio stays at or above [`KNEE_RATIO`] (0.0 when even
+    /// the lowest rate saturates).
+    pub fn knee(&self, policy: &str) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.policy == policy && p.goodput_ratio >= KNEE_RATIO)
+            .map(|p| p.rate)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders one table per policy plus the storm summary.
+    pub fn print_tables(&self) {
+        for policy in POLICIES {
+            let mut table = Table::new(
+                format!("E10 service overload: policy = {policy}"),
+                &["rate/s", "offered", "goodput/s", "ratio", "shed%", "p50 µs", "p95 µs", "p99 µs"],
+            );
+            for &rate in &self.rates {
+                let p = self.point(policy, rate).expect("complete sweep");
+                table.row(vec![
+                    format!("{rate:.0}"),
+                    format!("{}", p.offered),
+                    format!("{:.0}", p.goodput_per_sec),
+                    format!("{:.2}", p.goodput_ratio),
+                    format!("{:.1}", p.shed_rate * 100.0),
+                    format!("{}", p.p50_us),
+                    format!("{}", p.p95_us),
+                    format!("{}", p.p99_us),
+                ]);
+            }
+            table.print();
+            println!("  saturation knee ({policy}): {:.0} req/s\n", self.knee(policy));
+        }
+        let s = &self.storm;
+        println!(
+            "E10 fault storm: {} kills, {} stalls, {} orphans recovered, \
+             {}/{} requests committed, {} audits, {} invariant violations, final audit {}",
+            s.kills,
+            s.stalls,
+            s.orphans_recovered,
+            s.completed,
+            s.offered,
+            s.audits,
+            s.invariant_violations,
+            if s.final_audit_ok { "balanced" } else { "BROKEN" }
+        );
+    }
+
+    /// The machine-readable form (schema checked by
+    /// [`validate_report`]).
+    pub fn to_json(&self) -> Json {
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let point_json = |p: &ServicePoint| {
+            Json::Obj(vec![
+                ("policy".into(), Json::Str(p.policy.into())),
+                ("rate".into(), Json::Num(p.rate)),
+                ("offered".into(), Json::Num(p.offered as f64)),
+                ("completed".into(), Json::Num(p.completed as f64)),
+                ("shed".into(), Json::Num(p.shed as f64)),
+                ("deadline_misses".into(), Json::Num(p.deadline_misses as f64)),
+                ("retry_exhausted".into(), Json::Num(p.retry_exhausted as f64)),
+                ("escalations".into(), Json::Num(p.escalations as f64)),
+                ("audits".into(), Json::Num(p.audits as f64)),
+                ("invariant_violations".into(), Json::Num(p.invariant_violations as f64)),
+                ("final_audit_ok".into(), Json::Bool(p.final_audit_ok)),
+                ("goodput_per_sec".into(), Json::Num(p.goodput_per_sec)),
+                ("goodput_ratio".into(), Json::Num(p.goodput_ratio)),
+                ("shed_rate".into(), Json::Num(p.shed_rate)),
+                ("p50_us".into(), Json::Num(p.p50_us as f64)),
+                ("p95_us".into(), Json::Num(p.p95_us as f64)),
+                ("p99_us".into(), Json::Num(p.p99_us as f64)),
+                ("elapsed_ms".into(), Json::Num(p.elapsed_ms)),
+            ])
+        };
+        let s = &self.storm;
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("e10_service".into())),
+            ("mode".into(), Json::Str(self.mode.into())),
+            ("host_cores".into(), Json::Num(host_cores as f64)),
+            ("rates".into(), Json::Arr(self.rates.iter().map(|&r| Json::Num(r)).collect())),
+            (
+                "policies".into(),
+                Json::Arr(POLICIES.iter().map(|p| Json::Str((*p).into())).collect()),
+            ),
+            ("points".into(), Json::Arr(self.points.iter().map(point_json).collect())),
+            (
+                "knees".into(),
+                Json::Obj(
+                    POLICIES.iter().map(|&p| (p.to_string(), Json::Num(self.knee(p)))).collect(),
+                ),
+            ),
+            (
+                "storm".into(),
+                Json::Obj(vec![
+                    ("kills".into(), Json::Num(s.kills as f64)),
+                    ("stalls".into(), Json::Num(s.stalls as f64)),
+                    ("orphans_recovered".into(), Json::Num(s.orphans_recovered as f64)),
+                    ("offered".into(), Json::Num(s.offered as f64)),
+                    ("completed".into(), Json::Num(s.completed as f64)),
+                    ("audits".into(), Json::Num(s.audits as f64)),
+                    ("invariant_violations".into(), Json::Num(s.invariant_violations as f64)),
+                    ("final_audit_ok".into(), Json::Bool(s.final_audit_ok)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn req_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key).and_then(Json::as_f64).filter(|n| *n >= 0.0).ok_or(format!("{ctx}: bad `{key}`"))
+}
+
+/// Checks that `json` is a well-formed E10 report: required keys, a
+/// complete policies × rates cross product, exact request accounting
+/// (offered = completed + shed + deadline misses + retry exhausted),
+/// monotone latency percentiles, shedding only under the `admit`
+/// policy — and the robustness headline: **zero invariant violations
+/// everywhere**, a balanced final audit everywhere, and a storm that
+/// actually killed transactions (kills ≥ 1, orphans recovered ≥ 1)
+/// while the service kept committing requests.
+///
+/// Latency magnitudes, goodput, and knee positions are machine-
+/// dependent and not constrained beyond internal consistency.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_report(json: &Json) -> Result<(), String> {
+    let experiment = json.get("experiment").and_then(Json::as_str).ok_or("missing `experiment`")?;
+    if experiment != "e10_service" {
+        return Err(format!("unexpected experiment `{experiment}`"));
+    }
+    let mode = json.get("mode").and_then(Json::as_str).ok_or("missing `mode`")?;
+    if mode != "quick" && mode != "full" {
+        return Err(format!("mode must be quick|full, got `{mode}`"));
+    }
+    json.get("host_cores")
+        .and_then(Json::as_f64)
+        .filter(|&n| n >= 1.0)
+        .ok_or("missing or non-positive `host_cores`")?;
+
+    let rates: Vec<f64> = json
+        .get("rates")
+        .and_then(Json::as_array)
+        .ok_or("missing `rates`")?
+        .iter()
+        .map(|r| r.as_f64().filter(|&n| n > 0.0))
+        .collect::<Option<_>>()
+        .ok_or("`rates` must be positive numbers")?;
+    if rates.is_empty() {
+        return Err("`rates` is empty".into());
+    }
+    let policies: Vec<&str> = json
+        .get("policies")
+        .and_then(Json::as_array)
+        .ok_or("missing `policies`")?
+        .iter()
+        .map(|p| p.as_str())
+        .collect::<Option<_>>()
+        .ok_or("`policies` must be strings")?;
+    for required in POLICIES {
+        if !policies.contains(&required) {
+            return Err(format!("missing policy `{required}`"));
+        }
+    }
+
+    let points = json.get("points").and_then(Json::as_array).ok_or("missing `points`")?;
+    let expected = rates.len() * policies.len();
+    if points.len() != expected {
+        return Err(format!("expected {expected} points, got {}", points.len()));
+    }
+    let find = |policy: &str, rate: f64| {
+        points.iter().find(|p| {
+            p.get("policy").and_then(Json::as_str) == Some(policy)
+                && p.get("rate").and_then(Json::as_f64) == Some(rate)
+        })
+    };
+    for &policy in &policies {
+        for &rate in &rates {
+            let ctx = format!("{policy}/{rate:.0}");
+            let point = find(policy, rate).ok_or(format!("missing point {ctx}"))?;
+            let offered = req_num(point, "offered", &ctx)?;
+            if offered < 1.0 {
+                return Err(format!("{ctx}: no requests offered"));
+            }
+            let completed = req_num(point, "completed", &ctx)?;
+            if completed < 1.0 {
+                return Err(format!("{ctx}: no request committed"));
+            }
+            let shed = req_num(point, "shed", &ctx)?;
+            let deadline = req_num(point, "deadline_misses", &ctx)?;
+            let retries = req_num(point, "retry_exhausted", &ctx)?;
+            if completed + shed + deadline + retries != offered {
+                return Err(format!("{ctx}: request accounting does not sum to offered"));
+            }
+            if policy == "noadmit" && shed != 0.0 {
+                return Err(format!("{ctx}: admission off but requests were shed"));
+            }
+            let violations = req_num(point, "invariant_violations", &ctx)?;
+            if violations != 0.0 {
+                return Err(format!("{ctx}: {violations} invariant violations"));
+            }
+            if point.get("final_audit_ok") != Some(&Json::Bool(true)) {
+                return Err(format!("{ctx}: final audit did not balance"));
+            }
+            let audits = req_num(point, "audits", &ctx)?;
+            if audits < 1.0 {
+                return Err(format!("{ctx}: the continuous auditor never ran"));
+            }
+            let p50 = req_num(point, "p50_us", &ctx)?;
+            let p95 = req_num(point, "p95_us", &ctx)?;
+            let p99 = req_num(point, "p99_us", &ctx)?;
+            if p50 > p95 || p95 > p99 {
+                return Err(format!("{ctx}: percentiles not monotone ({p50}/{p95}/{p99})"));
+            }
+            point
+                .get("elapsed_ms")
+                .and_then(Json::as_f64)
+                .filter(|&n| n > 0.0)
+                .ok_or(format!("{ctx}: bad `elapsed_ms`"))?;
+            let ratio = req_num(point, "goodput_ratio", &ctx)?;
+            if (ratio - completed / offered).abs() > 1e-9 {
+                return Err(format!("{ctx}: `goodput_ratio` inconsistent with counts"));
+            }
+            let shed_rate = req_num(point, "shed_rate", &ctx)?;
+            if (shed_rate - shed / offered).abs() > 1e-9 {
+                return Err(format!("{ctx}: `shed_rate` inconsistent with counts"));
+            }
+        }
+    }
+
+    let knees = json.get("knees").ok_or("missing `knees`")?;
+    for &policy in &policies {
+        let knee = knees
+            .get(policy)
+            .and_then(Json::as_f64)
+            .ok_or(format!("missing knee for `{policy}`"))?;
+        if knee != 0.0 && !rates.contains(&knee) {
+            return Err(format!("knee {knee} for `{policy}` is not a swept rate"));
+        }
+    }
+
+    let storm = json.get("storm").ok_or("missing `storm`")?;
+    let kills = req_num(storm, "kills", "storm")?;
+    if kills < 1.0 {
+        return Err("storm: no transaction was killed".into());
+    }
+    if req_num(storm, "orphans_recovered", "storm")? < 1.0 {
+        return Err("storm: kills happened but no orphan was recovered".into());
+    }
+    if req_num(storm, "completed", "storm")? < 1.0 {
+        return Err("storm: the service stopped committing under faults".into());
+    }
+    if req_num(storm, "audits", "storm")? < 1.0 {
+        return Err("storm: the continuous auditor never ran".into());
+    }
+    if req_num(storm, "invariant_violations", "storm")? != 0.0 {
+        return Err("storm: conservation invariant violated".into());
+    }
+    if storm.get("final_audit_ok") != Some(&Json::Bool(true)) {
+        return Err("storm: final audit did not balance".into());
+    }
+    Ok(())
+}
+
+/// Where the report is written: `BENCH_e10_service.json` at the
+/// repository root (found by walking up from the working directory),
+/// or the working directory itself outside a checkout.
+pub fn default_output_path() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir: &Path = &cwd;
+    loop {
+        if dir.join(".git").exists() {
+            return dir.join("BENCH_e10_service.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join("BENCH_e10_service.json"),
+        }
+    }
+}
+
+/// Serializes the report, re-parses it, validates the schema, and
+/// writes it to `path`.
+///
+/// # Errors
+///
+/// I/O failure writing the file.
+///
+/// # Panics
+///
+/// Panics if the emitted report fails its own schema validation (a
+/// harness bug, not an environment problem).
+pub fn write_report(report: &ServiceReport, path: &Path) -> std::io::Result<()> {
+    let json = report.to_json();
+    let text = json.to_string();
+    let reparsed = crate::json::parse(&text).expect("emitter produced valid JSON");
+    validate_report(&reparsed).expect("emitted report matches schema");
+    std::fs::write(path, text + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_a_schema_valid_report() {
+        let report = run_service(Scale { factor: 1, threads: &[1, 2] });
+        assert_eq!(report.points.len(), POLICIES.len() * report.rates.len());
+        assert_eq!(report.storm.invariant_violations, 0, "lost update under faults");
+        assert!(report.storm.kills >= 1, "storm injected no kills");
+        assert!(report.storm.final_audit_ok);
+        let json = report.to_json();
+        let reparsed = crate::json::parse(&json.to_string()).unwrap();
+        validate_report(&reparsed).unwrap();
+        report.print_tables();
+    }
+
+    #[test]
+    fn validation_rejects_an_invariant_violation() {
+        let report = run_service(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        for (key, value) in &mut members {
+            if key == "storm" {
+                let Json::Obj(fields) = value else { panic!("object") };
+                for (k, v) in fields.iter_mut() {
+                    if k == "invariant_violations" {
+                        *v = Json::Num(1.0);
+                    }
+                }
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("invariant"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_experiment() {
+        let json = crate::json::parse("{\"experiment\": \"e2_scalability\"}").unwrap();
+        assert!(validate_report(&json).is_err());
+    }
+
+    #[test]
+    fn output_path_lands_at_a_repo_root_when_inside_one() {
+        let path = default_output_path();
+        assert!(path.ends_with("BENCH_e10_service.json"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Admission control and load shedding from live runtime signals.
+//!
+//! An overloaded transactional service fails in a specific, ugly way:
+//! past the saturation knee every admitted request raises the abort
+//! rate for everyone else, latency explodes, and goodput *drops* as
+//! offered load rises (the classic congestion-collapse curve). The
+//! cure is to refuse work at the front door while the floor is
+//! burning. This module decides when the floor is burning using
+//! signals the STM already maintains:
+//!
+//! - **in-flight depth** — requests currently inside the service; a
+//!   hard cap bounds queueing ahead of the runtime;
+//! - **abort rate** — the fraction of transactions aborting over the
+//!   last sampling window (from [`StmStatsSnapshot`] deltas); a high
+//!   rate means admitted requests are mostly burning retries;
+//! - **serial-mode entries** — retry loops escalating into the
+//!   exclusive serial gate per second; each one stalls the whole
+//!   runtime, so a burst of them is the strongest overload signal.
+//!
+//! Shedding is refusal with a typed [`ShedReason`], never silent
+//! dropping — the client can back off, downgrade, or retry elsewhere.
+//! To keep refusal from becoming starvation, callers that have been
+//! shed repeatedly use [`AdmissionController::force_admit`], which
+//! bypasses the checks: the same oldest-wins/karma idea the STM's
+//! contention managers apply to transactions, lifted to requests.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omt_stm::{Stm, StmStatsSnapshot};
+use omt_util::sync::Mutex;
+
+/// Why a request was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShedReason {
+    /// The in-flight cap is reached.
+    InflightFull {
+        /// Requests currently being served.
+        inflight: usize,
+    },
+    /// The windowed abort rate is above the shedding threshold.
+    AbortStorm {
+        /// Aborts / (aborts + commits) over the last window.
+        abort_rate: f64,
+    },
+    /// Serial-mode escalations per second are above the threshold.
+    SerialStorm {
+        /// Serial-gate entries per second over the last window.
+        per_sec: f64,
+    },
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::InflightFull { inflight } => {
+                write!(f, "in-flight cap reached ({inflight} executing)")
+            }
+            ShedReason::AbortStorm { abort_rate } => {
+                write!(f, "abort rate {:.0}% over threshold", abort_rate * 100.0)
+            }
+            ShedReason::SerialStorm { per_sec } => {
+                write!(f, "serial-mode rate {per_sec:.1}/s over threshold")
+            }
+        }
+    }
+}
+
+/// Windowed view of the STM's health, refreshed at most once per
+/// `window` by whichever caller gets there first (everyone else reads
+/// the cached rates — two relaxed loads on the admit fast path).
+#[derive(Debug)]
+pub struct LoadSignals {
+    stm: Arc<Stm>,
+    window: Duration,
+    epoch: Instant,
+    /// Microseconds since `epoch` of the last completed refresh; also
+    /// the claim ticket — the thread that CASes it forward does the
+    /// refresh.
+    last_refresh: AtomicU64,
+    /// Stats baseline at the last refresh (guards the refresh itself).
+    baseline: Mutex<StmStatsSnapshot>,
+    /// f64 bit patterns of the cached rates.
+    abort_rate_bits: AtomicU64,
+    serial_per_sec_bits: AtomicU64,
+}
+
+impl LoadSignals {
+    /// Creates signals over `stm`, sampling at most once per `window`.
+    pub fn new(stm: Arc<Stm>, window: Duration) -> LoadSignals {
+        let baseline = stm.stats();
+        LoadSignals {
+            stm,
+            window,
+            epoch: Instant::now(),
+            last_refresh: AtomicU64::new(0),
+            baseline: Mutex::new(baseline),
+            abort_rate_bits: AtomicU64::new(0f64.to_bits()),
+            serial_per_sec_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Refreshes the cached rates if the window has elapsed. Cheap when
+    /// it hasn't: one clock read and one relaxed load.
+    pub fn refresh(&self) {
+        let now = self.epoch.elapsed().as_micros() as u64;
+        let last = self.last_refresh.load(Ordering::Relaxed);
+        let window = self.window.as_micros() as u64;
+        if now.saturating_sub(last) < window.max(1) {
+            return;
+        }
+        // One refresher per window; losers use the winner's numbers.
+        if self.last_refresh.compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            != Ok(last)
+        {
+            return;
+        }
+        let mut baseline = self.baseline.lock();
+        let snap = self.stm.stats();
+        let delta = snap.delta_since(&baseline);
+        *baseline = snap;
+        let secs = ((now - last) as f64 / 1e6).max(1e-6);
+        let attempts = delta.aborts() + delta.commits;
+        let abort_rate = if attempts == 0 { 0.0 } else { delta.aborts() as f64 / attempts as f64 };
+        self.abort_rate_bits.store(abort_rate.to_bits(), Ordering::Relaxed);
+        self.serial_per_sec_bits
+            .store((delta.serial_entries as f64 / secs).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Aborts / (aborts + commits) over the last completed window.
+    pub fn abort_rate(&self) -> f64 {
+        f64::from_bits(self.abort_rate_bits.load(Ordering::Relaxed))
+    }
+
+    /// Serial-mode escalations per second over the last window.
+    pub fn serial_per_sec(&self) -> f64 {
+        f64::from_bits(self.serial_per_sec_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// RAII token for one admitted request; dropping it releases the
+/// in-flight slot (including during a panic unwind).
+#[derive(Debug)]
+pub struct InflightGuard<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The front door: admit or shed, from [`LoadSignals`] plus an
+/// in-flight cap.
+#[derive(Debug)]
+pub struct AdmissionController {
+    signals: LoadSignals,
+    max_inflight: usize,
+    shed_abort_rate: f64,
+    shed_serial_per_sec: f64,
+    inflight: AtomicUsize,
+    sheds: AtomicU64,
+}
+
+impl AdmissionController {
+    /// Builds a controller over `stm`'s signals.
+    pub fn new(
+        stm: Arc<Stm>,
+        window: Duration,
+        max_inflight: usize,
+        shed_abort_rate: f64,
+        shed_serial_per_sec: f64,
+    ) -> AdmissionController {
+        assert!(max_inflight > 0, "an in-flight cap of 0 admits nothing");
+        AdmissionController {
+            signals: LoadSignals::new(stm, window),
+            max_inflight,
+            shed_abort_rate,
+            shed_serial_per_sec,
+            inflight: AtomicUsize::new(0),
+            sheds: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits the request or refuses it with the dominant reason.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ShedReason`] that applies, strongest signal first
+    /// (serial storm, then abort storm, then the in-flight cap).
+    pub fn admit(&self) -> Result<InflightGuard<'_>, ShedReason> {
+        self.signals.refresh();
+        let serial = self.signals.serial_per_sec();
+        if serial > self.shed_serial_per_sec {
+            self.sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::SerialStorm { per_sec: serial });
+        }
+        let abort_rate = self.signals.abort_rate();
+        if abort_rate > self.shed_abort_rate {
+            self.sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::AbortStorm { abort_rate });
+        }
+        let inflight = self.inflight.fetch_add(1, Ordering::Relaxed);
+        if inflight >= self.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            self.sheds.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::InflightFull { inflight });
+        }
+        Ok(InflightGuard { counter: &self.inflight })
+    }
+
+    /// Admits unconditionally (the starvation-escalation path): the
+    /// request still counts against the in-flight gauge so the signals
+    /// stay honest, but no threshold can refuse it.
+    pub fn force_admit(&self) -> InflightGuard<'_> {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        InflightGuard { counter: &self.inflight }
+    }
+
+    /// Requests currently being served.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Total requests refused so far.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// The live signals (for reporting).
+    pub fn signals(&self) -> &LoadSignals {
+        &self.signals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::Heap;
+
+    fn stm() -> Arc<Stm> {
+        Arc::new(Stm::new(Arc::new(Heap::new())))
+    }
+
+    #[test]
+    fn inflight_cap_sheds_and_guard_releases() {
+        let ctl = AdmissionController::new(stm(), Duration::from_millis(50), 2, 1.0, f64::MAX);
+        let a = ctl.admit().unwrap();
+        let _b = ctl.admit().unwrap();
+        assert_eq!(ctl.inflight(), 2);
+        match ctl.admit() {
+            Err(ShedReason::InflightFull { inflight: 2 }) => {}
+            other => panic!("expected InflightFull, got {other:?}"),
+        }
+        assert_eq!(ctl.sheds(), 1);
+        drop(a);
+        assert_eq!(ctl.inflight(), 1);
+        let _c = ctl.admit().unwrap();
+    }
+
+    #[test]
+    fn force_admit_bypasses_a_full_cap() {
+        let ctl = AdmissionController::new(stm(), Duration::from_millis(50), 1, 1.0, f64::MAX);
+        let _a = ctl.admit().unwrap();
+        assert!(ctl.admit().is_err());
+        let g = ctl.force_admit();
+        assert_eq!(ctl.inflight(), 2, "forced request still counts");
+        drop(g);
+        assert_eq!(ctl.inflight(), 1);
+    }
+
+    #[test]
+    fn abort_storm_is_observed_through_the_window() {
+        let s = Arc::new(Stm::with_config(
+            Arc::new(Heap::new()),
+            omt_stm::StmConfig {
+                max_retries: 0,
+                serial_after_aborts: None,
+                ..omt_stm::StmConfig::default()
+            },
+        ));
+        let signals = LoadSignals::new(s.clone(), Duration::from_millis(1));
+        // Generate an abort-heavy window: every try gives up once.
+        for _ in 0..50 {
+            let _: Result<(), _> = s.try_atomically(|_tx| Err(omt_stm::TxError::EXPLICIT));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        signals.refresh();
+        assert!(signals.abort_rate() > 0.5, "abort rate {}", signals.abort_rate());
+    }
+
+    #[test]
+    fn shed_reasons_render() {
+        assert!(ShedReason::InflightFull { inflight: 3 }.to_string().contains('3'));
+        assert!(ShedReason::AbortStorm { abort_rate: 0.9 }.to_string().contains("90"));
+        assert!(ShedReason::SerialStorm { per_sec: 2.0 }.to_string().contains("serial"));
+    }
+}

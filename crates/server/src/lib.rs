@@ -1,0 +1,40 @@
+//! # omt-server — an overload-robust transactional service
+//!
+//! The experiments in `omt-bench` drive the STM with closed-loop
+//! benchmark harnesses: N threads issuing operations back-to-back.
+//! Real deployments look different — requests *arrive* at their own
+//! rate whether or not the service keeps up, and a runtime that only
+//! guarantees eventual commit is not enough; each request must commit
+//! *within its latency budget* or get out of the way. This crate puts a
+//! small transactional bank/KV service in front of the STM and makes
+//! that robustness story concrete:
+//!
+//! - [`service`] — the service proper: typed requests over STM-backed
+//!   accounts, per-request deadlines (via
+//!   [`Stm::try_atomically_within`](omt_stm::Stm::try_atomically_within)),
+//!   and typed give-up errors instead of unbounded retry loops;
+//! - [`admission`] — load shedding from live runtime signals (abort
+//!   rate, serial-mode entries, in-flight depth), with a
+//!   starvation-escalation path so a session that keeps getting shed
+//!   eventually bypasses the shedder — karma at the admission layer,
+//!   mirroring the Karma contention manager inside the STM;
+//! - [`traffic`] — an open-loop traffic generator: tens of thousands of
+//!   lightweight sessions multiplexed over a worker pool, zipfian key
+//!   popularity, exponential inter-arrival times, and latency measured
+//!   from *scheduled arrival* (so queueing delay counts, the honest
+//!   open-loop metric), plus a continuous audit thread checking the
+//!   bank's conservation invariant while faults are injected.
+//!
+//! The measured experiment over this crate is E10
+//! (`repro --experiment e10`, `BENCH_e10_service.json`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod service;
+pub mod traffic;
+
+pub use admission::{AdmissionController, LoadSignals, ShedReason};
+pub use service::{Request, Response, Service, ServiceConfig, ServiceError, Session};
+pub use traffic::{run_open_loop, TrafficConfig, TrafficOutcome};

@@ -1,0 +1,458 @@
+//! The transactional bank/KV service: typed requests over STM-backed
+//! accounts, with per-request deadlines and admission control.
+//!
+//! Every request runs as one atomic block through
+//! [`Stm::try_atomically_within`], so the STM's whole robustness stack
+//! — capped randomized backoff, contention management, serial-mode
+//! escalation, orphan recovery — sits behind a *bounded* entry point:
+//! a request either commits inside its latency budget or comes back
+//! with a typed error the caller can act on. Nothing in the service
+//! loops forever.
+//!
+//! Sessions are deliberately lightweight (two words of state over an
+//! `Arc<Service>`): the open-loop traffic generator multiplexes tens
+//! of thousands of them over a small worker pool. The per-session
+//! state is the starvation counter: a session that keeps getting shed
+//! escalates past the admission controller (see
+//! [`AdmissionController::force_admit`]), trading a little extra load
+//! for a guarantee that shedding never turns into starvation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use omt_heap::{ClassDesc, Heap, ObjRef, Word};
+use omt_stm::{CmPolicy, RetryExhausted, Stm, StmConfig};
+
+use crate::admission::{AdmissionController, ShedReason};
+
+/// Field index of an account's balance.
+const BALANCE: usize = 0;
+
+/// Tuning for a [`Service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of accounts in the ledger.
+    pub accounts: usize,
+    /// Initial balance of each account (the conserved quantity).
+    pub initial_balance: i64,
+    /// Per-request deadline: a request that cannot commit within this
+    /// budget returns [`ServiceError::DeadlineExceeded`].
+    pub deadline: Duration,
+    /// Maximum requests executing concurrently before the admission
+    /// controller sheds.
+    pub max_inflight: usize,
+    /// Shed when the windowed abort rate exceeds this fraction.
+    pub shed_abort_rate: f64,
+    /// Shed when serial-mode escalations per second exceed this.
+    pub shed_serial_per_sec: f64,
+    /// Sampling window for the overload signals.
+    pub signal_window: Duration,
+    /// Consecutive sheds after which a session's next request bypasses
+    /// admission control (starvation escalation).
+    pub starvation_sheds: u32,
+    /// Master switch for admission control; off = admit everything
+    /// (the E10 ablation baseline).
+    pub admission: bool,
+    /// The STM underneath. Defaults to the Karma contention manager so
+    /// repeatedly-aborted requests accumulate priority.
+    pub stm: StmConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            accounts: 1024,
+            initial_balance: 1_000,
+            deadline: Duration::from_millis(10),
+            max_inflight: 256,
+            shed_abort_rate: 0.85,
+            shed_serial_per_sec: 50.0,
+            signal_window: Duration::from_millis(10),
+            starvation_sheds: 8,
+            admission: true,
+            stm: StmConfig { cm: CmPolicy::Karma, ..StmConfig::default() },
+        }
+    }
+}
+
+/// One request to the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Move `amount` from `from` to `to`.
+    Transfer {
+        /// Source account index.
+        from: usize,
+        /// Destination account index.
+        to: usize,
+        /// Amount to move (may drive balances negative; the invariant
+        /// is conservation, not solvency).
+        amount: i64,
+    },
+    /// Read one balance.
+    Balance {
+        /// Account index.
+        account: usize,
+    },
+    /// Sum every balance in one consistent snapshot.
+    Audit,
+}
+
+/// A successful request's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// The transfer committed.
+    Transferred,
+    /// A single balance.
+    Balance(i64),
+    /// The consistent total across all accounts.
+    Audit(i64),
+}
+
+/// Why a request failed. Every variant is actionable by the caller:
+/// shed and deadline errors are back-off signals, the rest are bugs in
+/// the request itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceError {
+    /// Refused at the door by admission control.
+    Overloaded(ShedReason),
+    /// Admitted, but the per-request deadline passed before commit.
+    DeadlineExceeded {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// Admitted, but the retry budget was consumed by conflicts.
+    RetryExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The request names an account outside the ledger.
+    NoSuchAccount {
+        /// The offending index.
+        account: usize,
+    },
+    /// The heap's slot table is exhausted (terminal).
+    HeapFull,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded(reason) => write!(f, "overloaded: {reason}"),
+            ServiceError::DeadlineExceeded { attempts } => {
+                write!(f, "deadline exceeded after {attempts} attempts")
+            }
+            ServiceError::RetryExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
+            ServiceError::NoSuchAccount { account } => write!(f, "no such account {account}"),
+            ServiceError::HeapFull => write!(f, "heap slot table exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The service: an STM-backed ledger behind an admission controller.
+#[derive(Debug)]
+pub struct Service {
+    stm: Arc<Stm>,
+    accounts: Vec<ObjRef>,
+    config: ServiceConfig,
+    admission: AdmissionController,
+}
+
+impl Service {
+    /// Builds the ledger and its runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accounts < 2` or the heap cannot hold the ledger.
+    pub fn new(config: ServiceConfig) -> Arc<Service> {
+        assert!(config.accounts >= 2, "a ledger needs at least two accounts");
+        let heap = Arc::new(Heap::new());
+        let class = heap.define_class(ClassDesc::with_var_fields("Account", &["balance"]));
+        let stm = Arc::new(Stm::with_config(heap.clone(), config.stm));
+        let accounts: Vec<ObjRef> = (0..config.accounts)
+            .map(|_| {
+                let a = heap.alloc(class).expect("heap full building ledger");
+                heap.store(a, BALANCE, Word::from_scalar(config.initial_balance));
+                a
+            })
+            .collect();
+        let admission = AdmissionController::new(
+            stm.clone(),
+            config.signal_window,
+            config.max_inflight,
+            config.shed_abort_rate,
+            config.shed_serial_per_sec,
+        );
+        Arc::new(Service { stm, accounts, config, admission })
+    }
+
+    /// Opens a session (cheap; clone-per-logical-client).
+    pub fn session(self: &Arc<Service>) -> Session {
+        Session { service: self.clone(), consecutive_sheds: 0 }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The STM underneath (for stats and fault injection).
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// The admission controller (for shed counts and signals).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The total the conservation invariant demands.
+    pub fn expected_total(&self) -> i64 {
+        self.config.accounts as i64 * self.config.initial_balance
+    }
+
+    /// Audits the ledger outside any deadline or admission path: a
+    /// plain `atomically` audit that always completes (serial-mode
+    /// escalation bounds it under contention). This is the invariant
+    /// checker the fault-injection harness runs continuously.
+    pub fn audit_total(&self) -> i64 {
+        self.stm.atomically(|tx| {
+            let mut sum = 0i64;
+            for &account in &self.accounts {
+                sum += tx.read(account, BALANCE)?.as_scalar().unwrap_or(0);
+            }
+            Ok(sum)
+        })
+    }
+
+    /// Executes one request, optionally bypassing admission control
+    /// (`escalated` — the session-starvation path).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceError`].
+    pub fn execute(&self, request: &Request, escalated: bool) -> Result<Response, ServiceError> {
+        self.check_bounds(request)?;
+        let _guard = if !self.config.admission || escalated {
+            self.admission.force_admit()
+        } else {
+            self.admission.admit().map_err(ServiceError::Overloaded)?
+        };
+        let result = match *request {
+            Request::Transfer { from, to, amount } => {
+                let (from, to) = (self.accounts[from], self.accounts[to]);
+                self.stm.try_atomically_within(self.config.deadline, |tx| {
+                    let fb = tx.read(from, BALANCE)?.as_scalar().unwrap_or(0);
+                    let tb = tx.read(to, BALANCE)?.as_scalar().unwrap_or(0);
+                    tx.write(from, BALANCE, Word::from_scalar(fb - amount))?;
+                    tx.write(to, BALANCE, Word::from_scalar(tb + amount))?;
+                    Ok(Response::Transferred)
+                })
+            }
+            Request::Balance { account } => {
+                let account = self.accounts[account];
+                self.stm.try_atomically_within(self.config.deadline, |tx| {
+                    Ok(Response::Balance(tx.read(account, BALANCE)?.as_scalar().unwrap_or(0)))
+                })
+            }
+            Request::Audit => self.stm.try_atomically_within(self.config.deadline, |tx| {
+                let mut sum = 0i64;
+                for &account in &self.accounts {
+                    sum += tx.read(account, BALANCE)?.as_scalar().unwrap_or(0);
+                }
+                Ok(Response::Audit(sum))
+            }),
+        };
+        result.map_err(|e| match e {
+            RetryExhausted::DeadlineExceeded { attempts } => {
+                ServiceError::DeadlineExceeded { attempts }
+            }
+            RetryExhausted::Conflicts { attempts, .. } => ServiceError::RetryExhausted { attempts },
+            RetryExhausted::HeapFull => ServiceError::HeapFull,
+        })
+    }
+
+    fn check_bounds(&self, request: &Request) -> Result<(), ServiceError> {
+        let check = |account: usize| {
+            if account >= self.accounts.len() {
+                Err(ServiceError::NoSuchAccount { account })
+            } else {
+                Ok(())
+            }
+        };
+        match *request {
+            Request::Transfer { from, to, .. } => {
+                check(from)?;
+                check(to)
+            }
+            Request::Balance { account } => check(account),
+            Request::Audit => Ok(()),
+        }
+    }
+}
+
+/// A client handle: one logical connection's worth of state.
+#[derive(Debug)]
+pub struct Session {
+    service: Arc<Service>,
+    /// Consecutive [`ServiceError::Overloaded`] results; reaching
+    /// `starvation_sheds` escalates the next call past admission.
+    consecutive_sheds: u32,
+}
+
+impl Session {
+    /// Issues one request, applying this session's starvation
+    /// escalation: after `starvation_sheds` consecutive refusals the
+    /// next request is admitted unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceError`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let escalated = self.consecutive_sheds >= self.service.config.starvation_sheds;
+        let result = self.service.execute(request, escalated);
+        match result {
+            Err(ServiceError::Overloaded(_)) => {
+                self.consecutive_sheds = self.consecutive_sheds.saturating_add(1);
+            }
+            _ => self.consecutive_sheds = 0,
+        }
+        result
+    }
+
+    /// True if this session's next call will bypass admission control.
+    pub fn is_escalated(&self) -> bool {
+        self.consecutive_sheds >= self.service.config.starvation_sheds
+    }
+
+    /// The service behind this session.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Arc<Service> {
+        Service::new(ServiceConfig {
+            accounts: 8,
+            initial_balance: 100,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn transfers_conserve_the_total() {
+        let svc = tiny();
+        let mut session = svc.session();
+        for i in 0..8 {
+            session
+                .call(&Request::Transfer { from: i % 8, to: (i + 3) % 8, amount: 10 + i as i64 })
+                .unwrap();
+        }
+        assert_eq!(svc.audit_total(), 800);
+        assert_eq!(session.call(&Request::Audit), Ok(Response::Audit(800)));
+    }
+
+    #[test]
+    fn balance_reads_see_committed_transfers() {
+        let svc = tiny();
+        let mut session = svc.session();
+        session.call(&Request::Transfer { from: 0, to: 1, amount: 25 }).unwrap();
+        assert_eq!(session.call(&Request::Balance { account: 0 }), Ok(Response::Balance(75)));
+        assert_eq!(session.call(&Request::Balance { account: 1 }), Ok(Response::Balance(125)));
+    }
+
+    #[test]
+    fn out_of_range_accounts_are_typed_errors() {
+        let svc = tiny();
+        let mut session = svc.session();
+        assert_eq!(
+            session.call(&Request::Balance { account: 99 }),
+            Err(ServiceError::NoSuchAccount { account: 99 })
+        );
+        assert_eq!(
+            session.call(&Request::Transfer { from: 0, to: 99, amount: 1 }),
+            Err(ServiceError::NoSuchAccount { account: 99 })
+        );
+    }
+
+    #[test]
+    fn deadline_surfaces_as_typed_error_under_a_stall() {
+        use omt_stm::failpoint::{sites, FailAction, Trigger};
+        let svc = Service::new(ServiceConfig {
+            accounts: 8,
+            deadline: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        // Stall every acquisition, then doom every commit: the request
+        // burns its 1ms budget stalled and can never commit, so the
+        // deadline must end the loop instead of retrying forever.
+        svc.stm().failpoints().set(
+            sites::OPEN_UPDATE_AFTER_ACQUIRE,
+            FailAction::Delay(2_000_000),
+            Trigger::Always,
+        );
+        svc.stm().failpoints().set(
+            sites::COMMIT_BEFORE_VALIDATE,
+            FailAction::Abort,
+            Trigger::Always,
+        );
+        let mut session = svc.session();
+        let started = std::time::Instant::now();
+        let result = session.call(&Request::Transfer { from: 0, to: 1, amount: 5 });
+        svc.stm().failpoints().reset();
+        match result {
+            Err(ServiceError::DeadlineExceeded { attempts }) => {
+                assert!(attempts >= 1, "at least one attempt ran");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The give-up is prompt (deadline + a bounded number of
+        // stalled attempts), not a retry-forever hang.
+        assert!(started.elapsed() < Duration::from_secs(30));
+        // Nothing committed, nothing torn.
+        assert_eq!(svc.audit_total(), svc.expected_total());
+    }
+
+    #[test]
+    fn starved_session_escalates_past_admission() {
+        let svc = Service::new(ServiceConfig {
+            accounts: 4,
+            max_inflight: 1,
+            starvation_sheds: 3,
+            ..ServiceConfig::default()
+        });
+        // Hold the only in-flight slot so every admit sheds.
+        let _slot = svc.admission().admit().unwrap();
+        let mut session = svc.session();
+        for _ in 0..3 {
+            assert!(matches!(
+                session.call(&Request::Balance { account: 0 }),
+                Err(ServiceError::Overloaded(_))
+            ));
+        }
+        assert!(session.is_escalated());
+        // The fourth call bypasses the (still-full) controller.
+        assert_eq!(session.call(&Request::Balance { account: 0 }), Ok(Response::Balance(1_000)));
+        assert!(!session.is_escalated(), "success resets the starvation counter");
+    }
+
+    #[test]
+    fn admission_off_admits_through_a_full_cap() {
+        let svc = Service::new(ServiceConfig {
+            accounts: 4,
+            max_inflight: 1,
+            admission: false,
+            ..ServiceConfig::default()
+        });
+        let _slot = svc.admission().admit().unwrap();
+        let mut session = svc.session();
+        assert!(session.call(&Request::Balance { account: 1 }).is_ok());
+    }
+}

@@ -1,0 +1,347 @@
+//! Open-loop traffic generation with continuous invariant auditing.
+//!
+//! Closed-loop drivers (N threads issuing requests back-to-back)
+//! understate overload: when the service slows down, a closed loop
+//! politely slows its offered load to match, hiding the queueing
+//! catastrophe a real arrival process produces. This generator is
+//! **open-loop**: requests arrive on a Poisson schedule at a configured
+//! rate whether or not the service keeps up, and each request's latency
+//! is measured from its *scheduled arrival time* — so time spent
+//! queued behind a lagging worker counts, which is exactly the honest
+//! number (the "coordinated omission" fix).
+//!
+//! Tens of thousands of lightweight [`Session`]s are multiplexed over
+//! a small worker pool; zipfian account popularity concentrates
+//! contention on a hot set the way real key distributions do. A
+//! dedicated auditor thread sums the ledger in a read-only transaction
+//! throughout the run — under fault injection (kills, stalls) this is
+//! the live proof that no update was half-applied or lost.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omt_util::hist::LogHistogram;
+use omt_util::rng::{StdRng, Zipf};
+
+use crate::service::{Request, Service, ServiceError, Session};
+
+/// Shape of one open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Logical sessions (clients) multiplexed over the workers.
+    pub sessions: usize,
+    /// OS threads driving the sessions.
+    pub workers: usize,
+    /// Total offered load, requests per second across all workers.
+    pub arrival_rate: f64,
+    /// Run length.
+    pub duration: Duration,
+    /// Zipf exponent of account popularity (0 = uniform, ~1 = web-like
+    /// skew).
+    pub zipf_exponent: f64,
+    /// Fraction of requests that are balance reads (the rest are
+    /// transfers).
+    pub read_fraction: f64,
+    /// Period of the continuous invariant auditor; `None` disables it.
+    pub audit_period: Option<Duration>,
+    /// Seed for arrivals, key choice, and operation mix.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            sessions: 10_000,
+            workers: 4,
+            arrival_rate: 20_000.0,
+            duration: Duration::from_millis(500),
+            zipf_exponent: 1.0,
+            read_fraction: 0.5,
+            audit_period: Some(Duration::from_millis(5)),
+            seed: 42,
+        }
+    }
+}
+
+/// What one open-loop run produced.
+#[derive(Debug)]
+pub struct TrafficOutcome {
+    /// Requests the schedule offered.
+    pub offered: u64,
+    /// Requests that committed.
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub shed: u64,
+    /// Requests that missed their deadline after admission.
+    pub deadline_misses: u64,
+    /// Requests whose conflict retry budget ran out.
+    pub retry_exhausted: u64,
+    /// Requests admitted via the starvation-escalation path.
+    pub escalations: u64,
+    /// Audits the continuous auditor completed.
+    pub audits: u64,
+    /// Audits that observed a broken conservation invariant. Any value
+    /// but zero is a serializability bug.
+    pub invariant_violations: u64,
+    /// Whether the post-run audit balanced.
+    pub final_audit_ok: bool,
+    /// Latency of completed requests in microseconds, measured from
+    /// scheduled arrival (queueing included).
+    pub latency_us: LogHistogram,
+    /// Wall-clock run length.
+    pub elapsed: Duration,
+}
+
+impl TrafficOutcome {
+    /// Committed requests per second of wall-clock time.
+    pub fn goodput_per_sec(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of offered requests that were shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of offered requests that committed.
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Exponential inter-arrival draw with mean `1/rate` seconds.
+fn exp_interval(rng: &mut StdRng, rate: f64) -> f64 {
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    // 1 - u is in (0, 1]; ln of it is finite and non-positive.
+    -(1.0 - u).ln() / rate
+}
+
+/// Waits until `deadline`: sleeps for coarse gaps, spins the tail so
+/// arrival times stay accurate at high rates.
+fn pace_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let gap = deadline - now;
+        if gap > Duration::from_micros(200) {
+            std::thread::sleep(gap - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Per-worker tally, merged into the [`TrafficOutcome`] at the end.
+#[derive(Debug, Default)]
+struct WorkerTally {
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    deadline_misses: u64,
+    retry_exhausted: u64,
+    escalations: u64,
+    latency_us: LogHistogram,
+}
+
+/// Runs one open-loop experiment against `service`.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`, `sessions < workers`, or the rate is not
+/// positive and finite.
+pub fn run_open_loop(service: &Arc<Service>, config: &TrafficConfig) -> TrafficOutcome {
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(config.sessions >= config.workers, "need at least one session per worker");
+    assert!(
+        config.arrival_rate > 0.0 && config.arrival_rate.is_finite(),
+        "arrival rate must be positive"
+    );
+    let zipf = Zipf::new(service.config().accounts, config.zipf_exponent);
+    let accounts = service.config().accounts;
+    let stop = AtomicBool::new(false);
+    let audits = AtomicU64::new(0);
+    let violations = AtomicU64::new(0);
+
+    let start = Instant::now();
+    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+        // The continuous auditor: read-only full-ledger sums while the
+        // storm rages. Runs outside the deadline/admission path so it
+        // always completes (serial escalation bounds it).
+        if let Some(period) = config.audit_period {
+            let (stop, audits, violations) = (&stop, &audits, &violations);
+            scope.spawn(move || {
+                let expected = service.expected_total();
+                while !stop.load(Ordering::Relaxed) {
+                    let total = service.audit_total();
+                    audits.fetch_add(1, Ordering::Relaxed);
+                    if total != expected {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(period);
+                }
+            });
+        }
+
+        let workers: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let zipf = &zipf;
+                let stop = &stop;
+                scope.spawn(move || run_worker(service, config, zipf, accounts, w, start, stop))
+            })
+            .collect();
+        let tallies: Vec<WorkerTally> =
+            workers.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        stop.store(true, Ordering::Relaxed);
+        tallies
+    });
+    let elapsed = start.elapsed();
+
+    let mut outcome = TrafficOutcome {
+        offered: 0,
+        completed: 0,
+        shed: 0,
+        deadline_misses: 0,
+        retry_exhausted: 0,
+        escalations: 0,
+        audits: audits.load(Ordering::Relaxed),
+        invariant_violations: violations.load(Ordering::Relaxed),
+        final_audit_ok: service.audit_total() == service.expected_total(),
+        latency_us: LogHistogram::new(),
+        elapsed,
+    };
+    for tally in tallies {
+        outcome.offered += tally.offered;
+        outcome.completed += tally.completed;
+        outcome.shed += tally.shed;
+        outcome.deadline_misses += tally.deadline_misses;
+        outcome.retry_exhausted += tally.retry_exhausted;
+        outcome.escalations += tally.escalations;
+        outcome.latency_us.merge(&tally.latency_us);
+    }
+    outcome
+}
+
+/// One worker: paces its share of the Poisson schedule over its share
+/// of the sessions.
+fn run_worker(
+    service: &Arc<Service>,
+    config: &TrafficConfig,
+    zipf: &Zipf,
+    accounts: usize,
+    worker: usize,
+    start: Instant,
+    _stop: &AtomicBool,
+) -> WorkerTally {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(worker as u64 * 0x9E37));
+    let rate = config.arrival_rate / config.workers as f64;
+    let span = config.duration.as_secs_f64();
+    // This worker's slice of the session population.
+    let mut sessions: Vec<Session> = (0..config.sessions)
+        .filter(|s| s % config.workers == worker)
+        .map(|_| service.session())
+        .collect();
+    let n_sessions = sessions.len();
+
+    let mut tally = WorkerTally::default();
+    let mut at = 0.0f64;
+    loop {
+        at += exp_interval(&mut rng, rate);
+        if at >= span {
+            break;
+        }
+        let scheduled = start + Duration::from_secs_f64(at);
+        pace_until(scheduled);
+
+        let session = &mut sessions[rng.gen_range(0..n_sessions)];
+        let request = if rng.gen_bool(config.read_fraction) {
+            Request::Balance { account: zipf.sample(&mut rng) }
+        } else {
+            let from = zipf.sample(&mut rng);
+            let mut to = rng.gen_range(0..accounts - 1);
+            if to >= from {
+                to += 1;
+            }
+            Request::Transfer { from, to, amount: rng.gen_range(1..100i64) }
+        };
+        if session.is_escalated() {
+            tally.escalations += 1;
+        }
+        tally.offered += 1;
+        let result = session.call(&request);
+        // Latency from *scheduled arrival*: a worker running behind
+        // charges its lag to every queued request, as an open-loop
+        // harness must.
+        let latency = Instant::now().saturating_duration_since(scheduled);
+        match result {
+            Ok(_) => {
+                tally.completed += 1;
+                tally.latency_us.record(latency.as_micros() as u64);
+            }
+            Err(ServiceError::Overloaded(_)) => tally.shed += 1,
+            Err(ServiceError::DeadlineExceeded { .. }) => tally.deadline_misses += 1,
+            Err(ServiceError::RetryExhausted { .. }) => tally.retry_exhausted += 1,
+            Err(ServiceError::NoSuchAccount { .. } | ServiceError::HeapFull) => {
+                unreachable!("generator only emits valid requests")
+            }
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn quick_config() -> TrafficConfig {
+        TrafficConfig {
+            sessions: 64,
+            workers: 2,
+            arrival_rate: 2_000.0,
+            duration: Duration::from_millis(80),
+            audit_period: Some(Duration::from_millis(2)),
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn open_loop_run_conserves_money_and_completes_requests() {
+        let service = Service::new(ServiceConfig { accounts: 64, ..ServiceConfig::default() });
+        let outcome = run_open_loop(&service, &quick_config());
+        assert!(outcome.offered > 0, "schedule produced no arrivals");
+        assert!(outcome.completed > 0, "nothing committed");
+        assert!(outcome.audits > 0, "auditor never ran");
+        assert_eq!(outcome.invariant_violations, 0, "lost or torn update");
+        assert!(outcome.final_audit_ok);
+        assert_eq!(
+            outcome.offered,
+            outcome.completed + outcome.shed + outcome.deadline_misses + outcome.retry_exhausted,
+            "every offered request is accounted for exactly once"
+        );
+        assert_eq!(outcome.latency_us.count(), outcome.completed);
+        assert!(outcome.latency_us.percentile(50.0) <= outcome.latency_us.percentile(99.0));
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                exp_interval(&mut a, 100.0).to_bits(),
+                exp_interval(&mut b, 100.0).to_bits()
+            );
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! backoff, and serial-mode fallback.
 
 use std::fmt;
+use std::time::Duration;
 
 pub use crate::cm::CmPolicy;
 
@@ -41,6 +42,17 @@ pub struct StmConfig {
     pub validate_every: Option<u32>,
     /// Retry budget for [`crate::Stm::try_atomically`].
     pub max_retries: u32,
+    /// Default deadline for every atomic block, measured from the first
+    /// attempt. The fallible entry points
+    /// ([`crate::Stm::try_atomically`] /
+    /// [`crate::Stm::try_atomically_within`]) give up with a typed
+    /// [`RetryExhausted::DeadlineExceeded`](crate::RetryExhausted) when
+    /// it passes; the infallible [`crate::Stm::atomically`] instead
+    /// escalates into exclusive serial mode (which cannot lose a
+    /// conflict race), so a deadline bounds its completion time without
+    /// changing its signature. `None` (the default) disables the
+    /// deadline; per-call deadlines override this knob.
+    pub tx_deadline: Option<Duration>,
     /// Graceful degradation: after this many *consecutive* aborts of
     /// one atomic block, the retry loop escalates into exclusive serial
     /// mode — it waits for in-flight transactions to drain and runs
@@ -83,6 +95,7 @@ impl Default for StmConfig {
             cm: CmPolicy::default(),
             validate_every: None,
             max_retries: 1_000_000,
+            tx_deadline: None,
             serial_after_aborts: Some(32),
             backoff_cap_log2: 12,
             backoff_yield_after: 8,
@@ -134,14 +147,15 @@ impl fmt::Display for StmConfig {
         write!(
             f,
             "filter={} ({} slots), version_bits={}, cm={}, validate_every={:?}, \
-             serial_after_aborts={:?}, commit_sequence={}",
+             serial_after_aborts={:?}, commit_sequence={}, tx_deadline={:?}",
             self.runtime_filter,
             1u64 << self.filter_bits,
             self.version_bits,
             self.cm,
             self.validate_every,
             self.serial_after_aborts,
-            self.commit_sequence
+            self.commit_sequence,
+            self.tx_deadline
         )
     }
 }
@@ -159,6 +173,7 @@ mod tests {
         assert!(c.commit_sequence, "commit-sequence clock defaults on (opt-out knob)");
         assert_eq!(c.max_version(), (1 << 62) - 1);
         assert_eq!(c.serial_after_aborts, Some(32));
+        assert_eq!(c.tx_deadline, None, "deadlines are opt-in");
     }
 
     #[test]

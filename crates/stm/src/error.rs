@@ -4,14 +4,22 @@ use std::fmt;
 
 /// Why a transaction could not proceed.
 ///
-/// All variants except [`TxError::HeapFull`] are *retryable*: aborting
-/// the transaction and re-executing it may succeed.
+/// All variants except [`TxError::HeapFull`] and
+/// [`TxError::DeadlineExceeded`] are *retryable*: aborting the
+/// transaction and re-executing it may succeed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxError {
     /// A conflict with another transaction (retryable).
     Conflict(ConflictKind),
     /// The heap's slot table is exhausted (not retryable).
     HeapFull,
+    /// The atomic block's deadline passed (see
+    /// [`StmConfig::tx_deadline`](crate::StmConfig) and
+    /// [`crate::Stm::try_atomically_within`]). Not retryable: the retry
+    /// loop gives up rather than re-running the closure. A closure may
+    /// also return this explicitly to bail out of a long transaction it
+    /// knows cannot finish in time.
+    DeadlineExceeded,
 }
 
 /// The kind of conflict that doomed a transaction.
@@ -72,6 +80,7 @@ impl fmt::Display for TxError {
                 write!(f, "doomed by a higher-priority transaction's contention manager")
             }
             TxError::HeapFull => write!(f, "heap slot table exhausted"),
+            TxError::DeadlineExceeded => write!(f, "transaction deadline exceeded"),
         }
     }
 }
@@ -87,7 +96,8 @@ impl From<omt_heap::HeapFullError> for TxError {
 /// Result type of transactional operations.
 pub type TxResult<T> = Result<T, TxError>;
 
-/// Why [`crate::Stm::try_atomically`] gave up.
+/// Why [`crate::Stm::try_atomically`] (or
+/// [`crate::Stm::try_atomically_within`]) gave up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetryExhausted {
     /// The retry budget was consumed by conflicts.
@@ -97,8 +107,25 @@ pub enum RetryExhausted {
         /// The conflict that doomed the final attempt.
         last: ConflictKind,
     },
+    /// The deadline passed before an attempt committed.
+    DeadlineExceeded {
+        /// Number of attempts made before the deadline struck.
+        attempts: u32,
+    },
     /// The heap filled up; retrying cannot help.
     HeapFull,
+}
+
+impl RetryExhausted {
+    /// Number of attempts the loop made before giving up (0 when the
+    /// deadline had already passed at entry, or on heap exhaustion).
+    pub fn attempts(&self) -> u32 {
+        match *self {
+            RetryExhausted::Conflicts { attempts, .. } => attempts,
+            RetryExhausted::DeadlineExceeded { attempts } => attempts,
+            RetryExhausted::HeapFull => 0,
+        }
+    }
 }
 
 impl fmt::Display for RetryExhausted {
@@ -106,6 +133,9 @@ impl fmt::Display for RetryExhausted {
         match self {
             RetryExhausted::Conflicts { attempts, last } => {
                 write!(f, "transaction failed after {attempts} attempts (last: {last:?})")
+            }
+            RetryExhausted::DeadlineExceeded { attempts } => {
+                write!(f, "transaction deadline exceeded after {attempts} attempts")
             }
             RetryExhausted::HeapFull => write!(f, "heap slot table exhausted"),
         }
@@ -135,6 +165,7 @@ mod tests {
         assert!(TxError::EXPLICIT.is_retryable());
         assert!(TxError::DOOMED.is_retryable());
         assert!(!TxError::HeapFull.is_retryable());
+        assert!(!TxError::DeadlineExceeded.is_retryable());
     }
 
     #[test]
@@ -153,8 +184,13 @@ mod tests {
             assert!(!TxError::Conflict(kind).to_string().is_empty(), "{kind:?} display empty");
         }
         assert!(!TxError::HeapFull.to_string().is_empty());
+        assert!(TxError::DeadlineExceeded.to_string().contains("deadline"));
         let r = RetryExhausted::Conflicts { attempts: 3, last: ConflictKind::Busy };
         assert!(r.to_string().contains('3'));
+        let d = RetryExhausted::DeadlineExceeded { attempts: 4 };
+        assert!(d.to_string().contains("deadline") && d.to_string().contains('4'));
+        assert_eq!(d.attempts(), 4);
+        assert_eq!(RetryExhausted::HeapFull.attempts(), 0);
         for kind in ALL_KINDS {
             let r = RetryExhausted::Conflicts { attempts: 1, last: kind };
             assert!(!r.to_string().is_empty(), "{kind:?} retry-exhausted display empty");

@@ -98,8 +98,19 @@ counters! {
     /// some *other* transaction).
     dooms_issued,
     /// Times a retry loop escalated into exclusive serial mode after
-    /// too many consecutive aborts.
+    /// too many consecutive aborts (or past its deadline on the
+    /// infallible path).
     serial_entries,
+    /// Fallible retry loops that gave up because the atomic block's
+    /// deadline passed (config `tx_deadline` or a per-call deadline).
+    deadlines_exceeded,
+    /// Fallible retry loops that gave up because the attempt budget
+    /// (`max_retries`) was consumed by conflicts.
+    retries_exhausted,
+    /// Panics that unwound out of a transaction closure after the
+    /// runtime rolled the transaction back (undo replayed, ownership
+    /// released, registry deregistered).
+    panics_unwound,
     /// Failpoint actions triggered (fault injection).
     failpoint_fires,
     /// Transactions killed mid-flight by a `Kill` failpoint (simulated
@@ -194,6 +205,13 @@ impl StmStatsSnapshot {
             + self.aborts_epoch
             + self.aborts_explicit
             + self.aborts_doomed
+    }
+
+    /// Retry loops that gave up, whatever the budget that ran out
+    /// (deadline or attempt count) — both paths share one give-up
+    /// decision, so this is the complete count.
+    pub fn give_ups(&self) -> u64 {
+        self.deadlines_exceeded + self.retries_exhausted
     }
 
     /// Aborts per begun transaction (0 if none begun).

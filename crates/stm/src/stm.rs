@@ -3,6 +3,7 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use omt_heap::{GcParticipant, Heap};
 use omt_util::sched::{block_until, yield_point};
@@ -111,6 +112,35 @@ struct AttemptSeed {
 enum GateGuard<'a> {
     Shared(#[allow(dead_code)] RwLockReadGuard<'a, ()>),
     Exclusive(#[allow(dead_code)] RwLockWriteGuard<'a, ()>),
+}
+
+/// The give-up budget of one retry loop — the *single* decision point
+/// shared by every entry path, so the attempt counter, the deadline,
+/// and the give-up statistics live in one place instead of per-caller
+/// bespoke counters.
+///
+/// - [`Stm::atomically`] runs an *infallible* budget: it never gives
+///   up, but a configured deadline forces escalation into exclusive
+///   serial mode (which cannot lose a conflict race), bounding its
+///   completion time gracefully.
+/// - [`Stm::try_atomically`] / [`Stm::try_atomically_within`] run a
+///   *fallible* budget: attempt count and deadline both end the loop
+///   with a typed [`RetryExhausted`].
+#[derive(Debug, Clone, Copy)]
+struct RetryBudget {
+    /// Extra attempts allowed after the first (`None` = unbounded).
+    max_attempts: Option<u32>,
+    /// Absolute give-up time (`None` = no deadline).
+    deadline: Option<Instant>,
+    /// Whether running out of budget surfaces as an error (`true`) or
+    /// as forced serial-mode escalation (`false`).
+    fallible: bool,
+}
+
+impl RetryBudget {
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 impl Stm {
@@ -278,69 +308,159 @@ impl Stm {
     /// other retry-loop transactions to drain and re-runs `f` in
     /// exclusive *serial mode*, which cannot lose another conflict race
     /// — a livelock-freedom guarantee under any contention-management
-    /// policy.
+    /// policy. A configured [`StmConfig::tx_deadline`] triggers the
+    /// same escalation once it passes (this entry point never returns
+    /// an error, so the deadline bounds completion time instead).
     ///
     /// # Panics
     ///
     /// Panics if the heap fills up ([`TxError::HeapFull`] is not
-    /// retryable); use [`Stm::try_atomically`] to handle that case.
+    /// retryable), or if `f` returns [`TxError::DeadlineExceeded`]
+    /// explicitly; use [`Stm::try_atomically`] to handle those cases.
     pub fn atomically<T>(&self, f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>) -> T {
-        match self.run_loop(f, None) {
+        let budget = RetryBudget {
+            max_attempts: None,
+            deadline: self.config.tx_deadline.map(|d| Instant::now() + d),
+            fallible: false,
+        };
+        match self.run_loop(f, budget) {
             Ok(v) => v,
             Err(RetryExhausted::HeapFull) => {
                 panic!("heap slot table exhausted inside atomically")
             }
+            Err(RetryExhausted::DeadlineExceeded { .. }) => {
+                panic!("transaction closure returned TxError::DeadlineExceeded inside atomically")
+            }
             Err(RetryExhausted::Conflicts { .. }) => {
-                unreachable!("no budget => conflicts never exhaust")
+                unreachable!("infallible budget => conflicts never exhaust")
             }
         }
     }
 
     /// Like [`Stm::atomically`] but gives up after the configured retry
-    /// budget instead of looping forever.
+    /// budget (and the configured [`StmConfig::tx_deadline`], if any)
+    /// instead of looping forever.
     ///
     /// # Errors
     ///
     /// [`RetryExhausted::Conflicts`] after `max_retries` failed
-    /// attempts; [`RetryExhausted::HeapFull`] on allocation failure.
+    /// attempts; [`RetryExhausted::DeadlineExceeded`] once the
+    /// configured deadline passes; [`RetryExhausted::HeapFull`] on
+    /// allocation failure.
     pub fn try_atomically<T>(
         &self,
         f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
     ) -> Result<T, RetryExhausted> {
-        self.run_loop(f, Some(self.config.max_retries))
+        let budget = RetryBudget {
+            max_attempts: Some(self.config.max_retries),
+            deadline: self.config.tx_deadline.map(|d| Instant::now() + d),
+            fallible: true,
+        };
+        self.run_loop(f, budget)
     }
 
-    /// The retry loop shared by [`Stm::atomically`] (no budget) and
-    /// [`Stm::try_atomically`] (budget = `max_retries` extra attempts
-    /// after the first).
+    /// Like [`Stm::try_atomically`] with an explicit per-call deadline,
+    /// overriding [`StmConfig::tx_deadline`]. The retry budget
+    /// (`max_retries`) still applies; whichever runs out first ends the
+    /// loop. This is the entry point for request-scoped work (a service
+    /// handler that must answer or shed within its latency budget).
+    ///
+    /// # Errors
+    ///
+    /// As [`Stm::try_atomically`];
+    /// [`RetryExhausted::DeadlineExceeded`] once `deadline` (measured
+    /// from now) passes — with `attempts: 0` if it already has.
+    pub fn try_atomically_within<T>(
+        &self,
+        deadline: Duration,
+        f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
+    ) -> Result<T, RetryExhausted> {
+        let budget = RetryBudget {
+            max_attempts: Some(self.config.max_retries),
+            deadline: Some(Instant::now() + deadline),
+            fallible: true,
+        };
+        self.run_loop(f, budget)
+    }
+
+    /// The retry loop shared by every entry path; `budget` is the one
+    /// give-up decision (attempts *and* deadline — see [`RetryBudget`]).
     fn run_loop<T>(
         &self,
         mut f: impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
-        budget: Option<u32>,
+        budget: RetryBudget,
     ) -> Result<T, RetryExhausted> {
         let mut seed = None;
         let mut failures = 0u32;
+        // A deadline that has already passed sheds the call before any
+        // attempt runs — the admission-control fast path.
+        if budget.fallible && budget.past_deadline() {
+            self.stats.add(|c| &c.deadlines_exceeded, 1);
+            return Err(RetryExhausted::DeadlineExceeded { attempts: 0 });
+        }
         loop {
-            let serial = self.config.serial_after_aborts.is_some_and(|n| failures >= n);
+            // Past-deadline infallible loops escalate to serial mode:
+            // they cannot return an error, but exclusive execution
+            // cannot lose another conflict race, so the block completes
+            // in bounded further time instead of thrashing.
+            let serial = self.config.serial_after_aborts.is_some_and(|n| failures >= n)
+                || (!budget.fallible && failures > 0 && budget.past_deadline());
             let gate = self.enter_gate(serial);
             match self.attempt(&mut f, &mut seed) {
                 Ok(v) => return Ok(v),
                 Err(TxError::HeapFull) => return Err(RetryExhausted::HeapFull),
+                Err(TxError::DeadlineExceeded) => {
+                    // The closure bailed out on its own deadline check;
+                    // give up without re-running it.
+                    self.stats.add(|c| &c.deadlines_exceeded, 1);
+                    return Err(RetryExhausted::DeadlineExceeded { attempts: failures + 1 });
+                }
                 Err(TxError::Conflict(kind)) => {
                     failures = failures.saturating_add(1);
-                    if budget.is_some_and(|b| failures > b) {
-                        return Err(RetryExhausted::Conflicts { attempts: failures, last: kind });
+                    if let Some(gave_up) = self.give_up(&budget, failures, kind) {
+                        return Err(gave_up);
                     }
                     drop(gate);
-                    self.backoff(failures);
+                    self.backoff_within(failures, budget.deadline);
                 }
             }
         }
     }
 
+    /// The single give-up decision for fallible budgets: deadline
+    /// first (it is the stronger promise), then the attempt count.
+    /// Returns `None` while the loop should keep retrying.
+    fn give_up(
+        &self,
+        budget: &RetryBudget,
+        failures: u32,
+        last: ConflictKind,
+    ) -> Option<RetryExhausted> {
+        if !budget.fallible {
+            return None;
+        }
+        if budget.past_deadline() {
+            self.stats.add(|c| &c.deadlines_exceeded, 1);
+            return Some(RetryExhausted::DeadlineExceeded { attempts: failures });
+        }
+        if budget.max_attempts.is_some_and(|b| failures > b) {
+            self.stats.add(|c| &c.retries_exhausted, 1);
+            return Some(RetryExhausted::Conflicts { attempts: failures, last });
+        }
+        None
+    }
+
     /// One attempt: begin (re-seeding priority/karma from prior
     /// attempts), run `f`, commit or roll back. On failure the seed is
     /// updated so the next attempt inherits this one's age and karma.
+    ///
+    /// A panic inside `f` is caught, the transaction is rolled back
+    /// (undo replayed, ownership released, registry deregistered), and
+    /// the unwind then resumes — so callers above the retry loop never
+    /// observe a heap with the panicking transaction's effects or
+    /// ownership in place, and the serial-mode gate hold (dropped by
+    /// `run_loop` as the resumed unwind passes through it) is released
+    /// only after cleanup finished.
     fn attempt<T>(
         &self,
         f: &mut impl FnMut(&mut Transaction<'_>) -> TxResult<T>,
@@ -348,14 +468,22 @@ impl Stm {
     ) -> TxResult<T> {
         let mut tx = self.begin_with(seed.as_ref());
         let ctl = tx.ctl_arc();
-        let result = match f(&mut tx) {
-            Ok(v) => tx.commit().map(|()| v),
-            Err(e) => {
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut tx)));
+        let result = match body {
+            Ok(Ok(v)) => tx.commit().map(|()| v),
+            Ok(Err(e)) => {
                 match e {
                     TxError::Conflict(kind) => tx.abort_with(kind),
-                    TxError::HeapFull => tx.abort_with(ConflictKind::Explicit),
+                    TxError::HeapFull | TxError::DeadlineExceeded => {
+                        tx.abort_with(ConflictKind::Explicit)
+                    }
                 }
                 Err(e)
+            }
+            Err(payload) => {
+                self.stats.add(|c| &c.panics_unwound, 1);
+                tx.abort_with(ConflictKind::Explicit);
+                std::panic::resume_unwind(payload);
             }
         };
         if result.is_err() {
@@ -423,6 +551,16 @@ impl Stm {
         if attempt > self.config.backoff_yield_after {
             std::thread::yield_now();
         }
+    }
+
+    /// Deadline-capped [`Stm::backoff`]: once the budget's deadline has
+    /// passed there is no point burning it further on a wait, so the
+    /// retry loop goes straight to its next (final or serial) attempt.
+    fn backoff_within(&self, attempt: u32, deadline: Option<Instant>) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return;
+        }
+        self.backoff(attempt);
     }
 
     /// Resets every live object's version to zero and advances the

@@ -793,6 +793,189 @@ fn try_atomically_reports_busy_exhaustion_against_a_holder() {
 }
 
 // ---------------------------------------------------------------------
+// Deadlines: the give-up half of the retry budget.
+// ---------------------------------------------------------------------
+
+use std::time::Duration;
+
+#[test]
+fn deadline_gives_up_with_typed_error() {
+    let (_heap, _class, stm) = setup_with(StmConfig {
+        serial_after_aborts: None,
+        backoff_cap_log2: 4,
+        ..StmConfig::default()
+    });
+    let result: Result<(), _> =
+        stm.try_atomically_within(Duration::from_millis(5), |_tx| Err(TxError::EXPLICIT));
+    match result {
+        Err(crate::RetryExhausted::DeadlineExceeded { attempts }) => {
+            assert!(attempts >= 1, "at least one attempt ran before the deadline");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(stm.stats().deadlines_exceeded, 1);
+    assert_eq!(stm.stats().give_ups(), 1);
+}
+
+#[test]
+fn expired_deadline_sheds_before_first_attempt() {
+    let (_heap, _class, stm) = setup();
+    let mut runs = 0;
+    let result: Result<(), _> = stm.try_atomically_within(Duration::ZERO, |_tx| {
+        runs += 1;
+        Ok(())
+    });
+    assert!(matches!(result, Err(crate::RetryExhausted::DeadlineExceeded { attempts: 0 })));
+    assert_eq!(runs, 0, "an already-expired deadline never runs the closure");
+    assert_eq!(stm.stats().deadlines_exceeded, 1);
+}
+
+#[test]
+fn config_deadline_applies_to_try_atomically() {
+    let (_heap, _class, stm) = setup_with(StmConfig {
+        tx_deadline: Some(Duration::from_millis(5)),
+        serial_after_aborts: None,
+        backoff_cap_log2: 4,
+        ..StmConfig::default()
+    });
+    let result: Result<(), _> = stm.try_atomically(|_tx| Err(TxError::EXPLICIT));
+    assert!(matches!(result, Err(crate::RetryExhausted::DeadlineExceeded { .. })));
+}
+
+#[test]
+fn deadline_escalates_atomically_into_serial_mode() {
+    // `atomically` cannot return an error, so a passed deadline forces
+    // the next attempt into exclusive serial mode, which cannot lose a
+    // conflict race — bounded completion instead of a give-up.
+    let (_heap, _class, stm) = setup_with(StmConfig {
+        tx_deadline: Some(Duration::ZERO),
+        serial_after_aborts: None,
+        ..StmConfig::default()
+    });
+    let mut runs = 0;
+    let v = stm.atomically(|_tx| {
+        runs += 1;
+        if runs == 1 {
+            Err(TxError::EXPLICIT)
+        } else {
+            Ok(42)
+        }
+    });
+    assert_eq!(v, 42);
+    assert_eq!(stm.stats().serial_entries, 1, "retry after the deadline ran serially");
+    assert_eq!(stm.stats().deadlines_exceeded, 0, "infallible loops never give up");
+}
+
+#[test]
+fn closure_returned_deadline_error_ends_the_loop() {
+    let (_heap, _class, stm) = setup();
+    let mut runs = 0;
+    let result: Result<(), _> = stm.try_atomically(|_tx| {
+        runs += 1;
+        Err(TxError::DeadlineExceeded)
+    });
+    assert!(matches!(result, Err(crate::RetryExhausted::DeadlineExceeded { attempts: 1 })));
+    assert_eq!(runs, 1, "DeadlineExceeded is not retryable");
+}
+
+#[test]
+fn conflict_exhaustion_counts_as_retries_exhausted() {
+    let (_heap, _class, stm) =
+        setup_with(StmConfig { max_retries: 2, serial_after_aborts: None, ..StmConfig::default() });
+    let result: Result<(), _> = stm.try_atomically(|_tx| Err(TxError::EXPLICIT));
+    assert!(matches!(result, Err(crate::RetryExhausted::Conflicts { attempts: 3, .. })));
+    let s = stm.stats();
+    assert_eq!(s.retries_exhausted, 1);
+    assert_eq!(s.deadlines_exceeded, 0);
+    assert_eq!(s.give_ups(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Panic safety: a panicking closure must leave no trace in the heap.
+// ---------------------------------------------------------------------
+
+#[test]
+fn panic_in_body_rolls_back_before_unwinding() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    heap.store(obj, 0, Word::from_scalar(10));
+
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm.atomically(|tx| {
+            tx.write(obj, 0, Word::from_scalar(99))?;
+            panic!("boom");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+    }));
+    assert!(caught.is_err());
+    // The in-place update was undone and ownership released before the
+    // unwind reached us.
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(10));
+    assert!(matches!(
+        StmWord::decode(heap.header_atomic(obj).load(Ordering::Acquire)),
+        StmWord::Version(_)
+    ));
+    assert_eq!(stm.registry().active_count(), 0);
+    let s = stm.stats();
+    assert_eq!(s.panics_unwound, 1);
+    assert_eq!(s.aborts_explicit, 1);
+
+    // The runtime is fully usable afterwards.
+    stm.atomically(|tx| tx.write(obj, 0, Word::from_scalar(11)));
+    assert_eq!(heap.load(obj, 0).as_scalar(), Some(11));
+}
+
+#[test]
+fn panic_after_open_for_update_releases_ownership() {
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm.atomically(|tx| {
+            tx.open_for_update(obj)?;
+            panic!("boom after acquire");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+    }));
+    assert!(caught.is_err());
+    assert_eq!(stm.stats().panics_unwound, 1);
+    // No orphan, no squatting owner: another thread's transaction can
+    // acquire the object immediately (no recovery involved).
+    assert_eq!(stm.registry().orphan_count(), 0);
+    let mut tx = stm.begin();
+    tx.write(obj, 0, Word::from_scalar(5)).unwrap();
+    tx.commit().unwrap();
+    assert_eq!(stm.stats().orphans_recovered, 0);
+}
+
+#[test]
+fn panic_in_serial_mode_releases_the_gate() {
+    // The exclusive serial-mode gate is held across the attempt; a
+    // panic inside it must release the gate during the unwind or every
+    // later transaction deadlocks.
+    let (_heap, _class, stm) =
+        setup_with(StmConfig { serial_after_aborts: Some(1), ..StmConfig::default() });
+    let mut runs = 0;
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm.atomically(|_tx| -> crate::TxResult<()> {
+            runs += 1;
+            if runs == 1 {
+                Err(TxError::EXPLICIT) // escalate the next attempt to serial
+            } else {
+                panic!("boom in serial mode");
+            }
+        })
+    }));
+    assert!(caught.is_err());
+    assert_eq!(stm.stats().serial_entries, 1);
+    // Gate released: an ordinary transaction proceeds without blocking.
+    let v = stm.atomically(|_tx| Ok(7));
+    assert_eq!(v, 7);
+}
+
+// ---------------------------------------------------------------------
 // Failpoints: deterministic fault injection and orphan recovery.
 // ---------------------------------------------------------------------
 
@@ -874,6 +1057,37 @@ fn kill_before_release_leaves_torn_state_that_recovery_undoes() {
     other.abort();
     assert_eq!(heap.load(obj, 0).as_scalar(), Some(10));
     assert_eq!(stm.stats().orphans_recovered, 1);
+}
+
+#[test]
+fn reader_validation_recovers_a_killed_owner() {
+    // A read-only transaction never calls `open_for_update`, so the
+    // contend-path recovery trigger can't help it. Validation itself
+    // must recover orphans, or an orphan squatting on a key dooms every
+    // reader of that key forever.
+    let (heap, class, stm) = setup();
+    let obj = heap.alloc(class).unwrap();
+    heap.store(obj, 0, Word::from_scalar(10));
+
+    let mut reader = stm.begin();
+    assert_eq!(reader.read(obj, 0).unwrap().as_scalar(), Some(10));
+
+    stm.failpoints().set(sites::COMMIT_BEFORE_RELEASE, FailAction::Kill, Trigger::Once);
+    let mut victim = stm.begin();
+    victim.write(obj, 0, Word::from_scalar(99)).unwrap();
+    assert_eq!(victim.commit(), Err(TxError::DOOMED));
+    assert_eq!(stm.registry().orphan_count(), 1);
+
+    // The reader's commit fails (it raced the torn write) *and*
+    // recovers the orphan on its way out.
+    assert_eq!(reader.commit(), Err(TxError::INVALID));
+    assert_eq!(stm.stats().orphans_recovered, 1);
+    assert_eq!(stm.registry().orphan_count(), 0);
+
+    // A pure read-only retry now succeeds against the restored value.
+    let mut retry = stm.begin();
+    assert_eq!(retry.read(obj, 0).unwrap().as_scalar(), Some(10));
+    retry.commit().unwrap();
 }
 
 #[test]

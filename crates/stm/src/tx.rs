@@ -688,6 +688,7 @@ impl<'stm> Transaction<'stm> {
         yield_point(schedpt::VALIDATE_PRE_SCAN);
         let mut scanned = 0u64;
         let mut valid = true;
+        let mut blocker = None;
         for entry in &self.ctx.logs.read[start..] {
             scanned += 1;
             let current = self.stm.heap().header_atomic(entry.obj).load(Ordering::Acquire);
@@ -708,11 +709,26 @@ impl<'stm> Transaction<'stm> {
                 StmWord::Owned { .. } => false,
             };
             if !valid {
+                if let StmWord::Owned { owner, .. } = StmWord::decode(current) {
+                    if owner != self.token {
+                        blocker = Some(owner);
+                    }
+                }
                 break;
             }
         }
         self.counters.validation_entries_scanned += scanned;
         if !valid {
+            // If the failing entry is held by a *killed* owner, recover
+            // the orphan before aborting. Read-only transactions never
+            // call `open_for_update` (the other recovery trigger), so
+            // without this an orphan squatting on a cold key would doom
+            // every validation of its readers forever — a livelock.
+            if let Some(owner) = blocker {
+                if self.stm.registry().ctl_of(owner).is_some_and(|ctl| ctl.is_killed()) {
+                    self.stm.recover_orphan(owner);
+                }
+            }
             return Err(TxError::INVALID);
         }
         if let Some((now, acq_now)) = clock {

@@ -1,0 +1,208 @@
+//! Log-linear histograms for latency percentiles.
+//!
+//! The service harness measures tens of millions of request latencies
+//! per run; storing them individually would dominate the benchmark's
+//! own memory traffic. A log-linear histogram (the HdrHistogram shape)
+//! keeps a fixed ~2k-bucket table instead: each power-of-two octave is
+//! split into 32 linear sub-buckets, bounding the relative error of any
+//! recorded value — and therefore of any reported percentile — to
+//! about 3%, independent of magnitude.
+//!
+//! # Examples
+//!
+//! ```
+//! use omt_util::hist::LogHistogram;
+//!
+//! let mut h = LogHistogram::new();
+//! for v in 1..=1000u64 {
+//!     h.record(v);
+//! }
+//! let p50 = h.percentile(50.0);
+//! assert!((450..=550).contains(&p50));
+//! ```
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: indices `0..SUB` are exact, then one group of
+/// `SUB` sub-buckets per remaining octave of the u64 range.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB as usize) + SUB as usize;
+
+/// A fixed-size log-linear histogram of `u64` samples (typically
+/// latencies in microseconds or nanoseconds).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+/// Bucket index of `v`: exact below `SUB`, otherwise the octave times
+/// `SUB` plus the top `SUB_BITS` bits below the leading one.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = (v >> (exp - SUB_BITS)) & (SUB - 1);
+    (((exp - SUB_BITS + 1) as u64 * SUB) + sub) as usize
+}
+
+/// Lowest value mapping to bucket `idx` (inverse of [`index_of`]).
+#[inline]
+fn lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let group = idx / SUB; // 1-based octave group
+    let sub = idx % SUB;
+    let exp = group as u32 + SUB_BITS - 1;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram { buckets: Box::new([0; BUCKETS]), count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[index_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact). 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at percentile `p` (in `0.0..=100.0`): the smallest bucket
+    /// bound such that at least `p`% of samples fall at or below it,
+    /// reported as the bucket's midpoint (±~3% relative error). Returns
+    /// 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let lo = lower_bound(idx);
+                let hi = if idx + 1 < BUCKETS { lower_bound(idx + 1) } else { u64::MAX };
+                // Midpoint, clamped to the true max so the tail never
+                // reads past any recorded sample.
+                return (lo + (hi - lo) / 2).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB {
+            assert_eq!(lower_bound(index_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn index_and_bound_are_consistent() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let idx = index_of(v);
+            assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+            assert!(lower_bound(idx) <= v, "lower bound above {v}");
+            if idx + 1 < BUCKETS {
+                assert!(lower_bound(idx + 1) > v, "next bucket starts at or below {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000);
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!((4_700..=5_300).contains(&p50), "p50 = {p50}");
+        assert!((9_400..=10_000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99, "percentiles must be monotone");
+        assert!((h.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+            both.record(v);
+        }
+        for v in 501..=1_000u64 {
+            b.record(v * 7);
+            both.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max(), both.max());
+        for p in [10.0, 50.0, 95.0, 99.9] {
+            assert_eq!(a.percentile(p), both.percentile(p));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

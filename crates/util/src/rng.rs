@@ -88,6 +88,63 @@ impl StdRng {
     }
 }
 
+/// A Zipf-distributed sampler over `0..n` (rank 0 is the hottest).
+///
+/// Service workloads hit keys with a power-law skew — a few hot
+/// accounts take most of the traffic — and the traffic generator needs
+/// that shape to produce realistic contention. The sampler precomputes
+/// the normalized CDF once (`O(n)` memory) and draws by binary search
+/// (`O(log n)` per sample), exact for any exponent.
+///
+/// # Examples
+///
+/// ```
+/// use omt_util::rng::{StdRng, Zipf};
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with exponent `s` (`s = 0` is
+    /// uniform; `s ≈ 1` is the classic web/key-popularity skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent {s} invalid");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
 /// Integer ranges that can be sampled uniformly.
 ///
 /// Implemented for `Range` and `RangeInclusive` over the integer types
@@ -273,5 +330,52 @@ mod tests {
         let here = thread_rng().next_u64();
         let there = std::thread::spawn(|| thread_rng().next_u64()).join().unwrap();
         assert_ne!(here, there);
+    }
+
+    #[test]
+    fn zipf_stays_in_bounds_and_is_deterministic() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let ra = zipf.sample(&mut a);
+            assert!(ra < 100);
+            assert_eq!(ra, zipf.sample(&mut b), "same seed, same ranks");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let zipf = Zipf::new(1_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut hot = 0usize;
+        const DRAWS: usize = 20_000;
+        for _ in 0..DRAWS {
+            if zipf.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // Under s=1 the top 1% of ranks carries ~39% of the mass
+        // (H(10)/H(1000)); uniform would give 1%.
+        assert!(hot > DRAWS / 5, "top-10 ranks drew only {hot}/{DRAWS}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform draw skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zipf_empty_domain_rejected() {
+        Zipf::new(0, 1.0);
     }
 }

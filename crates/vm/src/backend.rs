@@ -308,6 +308,7 @@ impl From<TxError> for Trap {
         match e {
             TxError::Conflict(_) => Trap::Conflict,
             TxError::HeapFull => Trap::Error("heap slot table exhausted".into()),
+            TxError::DeadlineExceeded => Trap::Error("transaction deadline exceeded".into()),
         }
     }
 }

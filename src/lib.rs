@@ -18,6 +18,7 @@
 //! | [`opt`] | `omt-opt` | the O0–O4 barrier-optimization pipeline |
 //! | [`vm`] | `omt-vm` | interpreter over pluggable sync backends |
 //! | [`workloads`] | `omt-workloads` | benchmark structures and drivers |
+//! | [`server`] | `omt-server` | overload-robust transactional service + open-loop traffic |
 //!
 //! # Quickstart
 //!
@@ -79,6 +80,7 @@ pub use omt_heap as heap;
 pub use omt_ir as ir;
 pub use omt_lang as lang;
 pub use omt_opt as opt;
+pub use omt_server as server;
 pub use omt_stm as stm;
 pub use omt_util as util;
 pub use omt_vm as vm;

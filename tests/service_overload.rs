@@ -1,0 +1,121 @@
+//! Overload robustness of the transactional service, end to end: a
+//! stalled transaction turns into a typed deadline error (not a hung
+//! request), a contention storm is shed at the door without ever
+//! breaking the conservation invariant, and a transaction killed
+//! mid-flight — ownership records in place — leaves a service that
+//! keeps serving and a ledger that still balances.
+
+use std::time::Duration;
+
+use omt::server::{run_open_loop, Request, Service, ServiceConfig, ServiceError, TrafficConfig};
+use omt::stm::failpoint::sites;
+use omt::stm::{FailAction, Trigger};
+
+#[test]
+fn stalled_transaction_surfaces_as_a_deadline_error_and_money_is_conserved() {
+    let service = Service::new(ServiceConfig {
+        accounts: 8,
+        deadline: Duration::from_millis(5),
+        admission: false,
+        ..ServiceConfig::default()
+    });
+    // The stall widens every update attempt past the deadline; the
+    // abort keeps the attempt from committing regardless, so the only
+    // way out is the deadline path.
+    service.stm().failpoints().set(
+        sites::OPEN_UPDATE_AFTER_ACQUIRE,
+        FailAction::Delay(2_000_000),
+        Trigger::Always,
+    );
+    service.stm().failpoints().set(
+        sites::COMMIT_BEFORE_VALIDATE,
+        FailAction::Abort,
+        Trigger::Always,
+    );
+
+    let mut session = service.session();
+    let result = session.call(&Request::Transfer { from: 0, to: 1, amount: 10 });
+    match result {
+        Err(ServiceError::DeadlineExceeded { attempts }) => {
+            assert!(attempts >= 1, "gave up without trying");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(service.stm().stats().deadlines_exceeded >= 1);
+
+    // Every attempt rolled back: the ledger still balances and the
+    // service still serves once the fault is cleared.
+    service.stm().failpoints().reset();
+    assert_eq!(service.audit_total(), service.expected_total());
+    session.call(&Request::Transfer { from: 0, to: 1, amount: 10 }).expect("service recovered");
+    assert_eq!(service.audit_total(), service.expected_total());
+}
+
+#[test]
+fn contention_storm_is_shed_without_breaking_the_invariant() {
+    // A single-slot admission gate under a multi-worker open loop
+    // forces concurrent arrivals to shed; tiny ledger + zipf keeps the
+    // admitted ones fighting over the same hot accounts.
+    let service = Service::new(ServiceConfig {
+        accounts: 8,
+        deadline: Duration::from_millis(5),
+        max_inflight: 1,
+        ..ServiceConfig::default()
+    });
+    let outcome = run_open_loop(
+        &service,
+        &TrafficConfig {
+            sessions: 128,
+            workers: 4,
+            arrival_rate: 40_000.0,
+            duration: Duration::from_millis(200),
+            zipf_exponent: 1.0,
+            read_fraction: 0.2,
+            audit_period: Some(Duration::from_millis(2)),
+            seed: 7,
+        },
+    );
+
+    assert!(outcome.shed > 0, "storm never tripped admission control");
+    assert!(outcome.completed > 0, "shedding starved the service completely");
+    assert_eq!(outcome.invariant_violations, 0, "an audit saw a broken ledger mid-storm");
+    assert!(outcome.audits > 0, "auditor never ran");
+    assert!(outcome.final_audit_ok, "ledger did not balance after the storm");
+    assert_eq!(
+        outcome.offered,
+        outcome.completed + outcome.shed + outcome.deadline_misses + outcome.retry_exhausted,
+        "a request went unaccounted for"
+    );
+}
+
+#[test]
+fn mid_transaction_kill_is_recovered_and_the_service_keeps_serving() {
+    let service =
+        Service::new(ServiceConfig { accounts: 8, admission: false, ..ServiceConfig::default() });
+    // Kill exactly one transaction at the worst moment: right after it
+    // acquired ownership, before it finished its updates.
+    service.stm().failpoints().set(
+        sites::OPEN_UPDATE_AFTER_ACQUIRE,
+        FailAction::Kill,
+        Trigger::Once,
+    );
+
+    let mut session = service.session();
+    // The killed attempt's retry collides with the orphan's still-held
+    // ownership, recovers it, and commits.
+    session.call(&Request::Transfer { from: 0, to: 1, amount: 25 }).expect("retry commits");
+
+    let stats = service.stm().stats();
+    assert_eq!(stats.txs_killed, 1, "the kill failpoint never fired");
+    assert!(stats.orphans_recovered >= 1, "nobody recovered the orphan");
+    assert_eq!(service.stm().registry().orphan_count(), 0, "orphan still parked");
+
+    // Life goes on: the service keeps serving and conservation holds.
+    service.stm().failpoints().reset();
+    for i in 0..32 {
+        session
+            .call(&Request::Transfer { from: i % 8, to: (i + 1) % 8, amount: 5 })
+            .expect("post-recovery traffic");
+    }
+    assert_eq!(service.audit_total(), service.expected_total());
+}
