@@ -84,6 +84,12 @@ const EXPERIMENTS: &[Experiment] = &[
         sweep: Some(Sweep::Validation),
     },
     Experiment {
+        id: "e5c",
+        description: "snapshot-read abort freedom; rides in BENCH_e5_validation.json",
+        run: no_body,
+        sweep: Some(Sweep::Validation),
+    },
+    Experiment {
         id: "e6",
         description: "GC integration: log trimming",
         run: experiments::e6_gc,

@@ -15,12 +15,21 @@
 //! strictly fewer entries scanned per commit than the clock-off
 //! baseline — is enforced by [`validate_report`] and CI's bench smoke
 //! job.
+//!
+//! The same report carries the E5c snapshot-read sweep (DESIGN.md
+//! §4.10): a read-mostly audit workload run with and without
+//! `snapshot_reads`, measuring read-only commit/abort counts, snapshot
+//! hits, and timestamp extensions. Its headline invariant — read-only
+//! transactions are abort-free under writer churn with the knob on —
+//! is schema-checked alongside the E5b ones. E5c lands as *new* report
+//! fields (`snapshot_variants`, `snapshot_points`); the E5b fields are
+//! unchanged so existing consumers keep parsing.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use omt_heap::Heap;
+use omt_heap::{ClassDesc, Heap, ObjRef, Word};
 use omt_stm::{Stm, StmConfig, StmStatsSnapshot};
 use omt_workloads::{
     prefill, run_set_workload, Bank, OpMix, SetWorkload, StmBank, StmHashSet, StmSkipList,
@@ -36,6 +45,17 @@ pub const WORKLOADS: [&str; 4] =
 
 /// Clock variants compared per workload, in report order.
 pub const VARIANTS: [&str; 2] = ["clock_on", "clock_off"];
+
+/// Snapshot-read variants compared by the E5c sweep, in report order.
+pub const SNAPSHOT_VARIANTS: [&str; 2] = ["snapshot_on", "snapshot_off"];
+
+/// The single E5c workload: one churned hot cell plus a cold working
+/// set, audited by read-only transactions that read hot-first.
+pub const SNAPSHOT_WORKLOAD: &str = "readmostly_audit";
+
+/// Thread counts beyond [`Scale::threads`] probed when the host has
+/// the cores for them (clamped, so a laptop sweep stays honest).
+const EXTENDED_THREADS: [usize; 3] = [16, 32, 64];
 
 /// A 100% lookup mix (the O(1) read-only commit headline case).
 const READ_ONLY: OpMix = OpMix { lookup: 100, insert: 0, remove: 0 };
@@ -83,6 +103,46 @@ impl ValidationPoint {
     }
 }
 
+/// One measured cell of the E5c snapshot-read sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotPoint {
+    /// Always [`SNAPSHOT_WORKLOAD`].
+    pub workload: &'static str,
+    /// Snapshot variant (one of [`SNAPSHOT_VARIANTS`]).
+    pub variant: &'static str,
+    /// Reader threads driving the audit (the churner is extra).
+    pub threads: usize,
+    /// Read-only audit rounds completed.
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed transactions (readers *and* churner).
+    pub commits: u64,
+    /// Read-only transactions that committed.
+    pub readonly_commits: u64,
+    /// Read-only transactions that aborted.
+    pub readonly_aborts: u64,
+    /// Reads accepted by the O(1) `version <= read_ver` check.
+    pub snapshot_read_hits: u64,
+    /// Successful timestamp extensions.
+    pub ts_extensions: u64,
+    /// Extensions that found a genuinely stale read entry.
+    pub extension_failures: u64,
+}
+
+impl SnapshotPoint {
+    /// Fraction of read-only attempts that aborted (the E5c headline:
+    /// 0.0 under `snapshot_on`).
+    pub fn readonly_abort_rate(&self) -> f64 {
+        let total = self.readonly_commits + self.readonly_aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.readonly_aborts as f64 / total as f64
+        }
+    }
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone)]
 pub struct ValidationReport {
@@ -92,6 +152,8 @@ pub struct ValidationReport {
     pub threads: Vec<usize>,
     /// One point per thread count × workload × variant.
     pub points: Vec<ValidationPoint>,
+    /// E5c: one point per thread count × snapshot variant.
+    pub snapshot_points: Vec<SnapshotPoint>,
 }
 
 /// An STM configured for validation accounting: statistics on (they are
@@ -107,20 +169,39 @@ fn accounting_stm(variant: &str) -> Arc<Stm> {
     ))
 }
 
+/// The thread axis actually swept: [`Scale::threads`] extended with
+/// [`EXTENDED_THREADS`], each extension kept only when the host has at
+/// least that many cores — oversubscribed points measure the scheduler,
+/// not the STM. Sorted and deduplicated.
+pub fn sweep_threads(scale: Scale) -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut threads: Vec<usize> = scale.threads.to_vec();
+    threads.extend(EXTENDED_THREADS.iter().copied().filter(|&t| t <= cores));
+    threads.sort_unstable();
+    threads.dedup();
+    threads
+}
+
 /// Runs the sweep at the given scale.
 pub fn run_validation(scale: Scale) -> ValidationReport {
+    let threads_axis = sweep_threads(scale);
     let mut points = Vec::new();
-    for &threads in scale.threads {
+    let mut snapshot_points = Vec::new();
+    for &threads in &threads_axis {
         for workload in WORKLOADS {
             for variant in VARIANTS {
                 points.push(measure_point(scale, workload, variant, threads));
             }
         }
+        for variant in SNAPSHOT_VARIANTS {
+            snapshot_points.push(measure_snapshot_point(scale, variant, threads));
+        }
     }
     ValidationReport {
         mode: if scale == Scale::FULL { "full" } else { "quick" },
-        threads: scale.threads.to_vec(),
+        threads: threads_axis,
         points,
+        snapshot_points,
     }
 }
 
@@ -217,12 +298,104 @@ fn run_bank_audit(
     ((threads * audits_per_thread) as u64, elapsed, stm.stats().delta_since(&before))
 }
 
+/// The E5c read-mostly audit: one hot cell continuously churned by a
+/// dedicated writer thread while `threads` readers run read-only
+/// audits that read the hot cell *first* and a cold working set
+/// afterwards — the straddle-prone shape that plain commit-time
+/// validation aborts. A yield between the hot and cold reads invites a
+/// churn commit into the window, so the variant comparison has teeth
+/// even on small hosts. With `snapshot_reads` on, every audit commits
+/// on its first attempt (DESIGN.md §4.10's abort-freedom argument);
+/// `ops` counts committed audit rounds, while `commits` also includes
+/// the churner's.
+fn measure_snapshot_point(scale: Scale, variant: &'static str, threads: usize) -> SnapshotPoint {
+    const COLD_CELLS: usize = 32;
+    let heap = Arc::new(Heap::new());
+    let class = heap.define_class(ClassDesc::with_var_fields("E5cCell", &["v"]));
+    let config = match variant {
+        "snapshot_on" => StmConfig {
+            record_stats: true,
+            snapshot_reads: true,
+            // Waiting out an in-flight churn commit (instead of falling
+            // back to optimistic logging of an owned word) is what
+            // keeps the audits abort-free.
+            doom_wait_spins: 1 << 20,
+            ..StmConfig::default()
+        },
+        "snapshot_off" => StmConfig { record_stats: true, ..StmConfig::default() },
+        other => unreachable!("unknown snapshot variant {other}"),
+    };
+    let stm = Arc::new(Stm::with_config(heap.clone(), config));
+    let cells: Vec<ObjRef> = (0..1 + COLD_CELLS).map(|_| heap.alloc(class).unwrap()).collect();
+    for (i, &c) in cells.iter().enumerate() {
+        heap.store(c, 0, Word::from_scalar(i as i64));
+    }
+    let hot = cells[0];
+    let rounds_per_thread = 300 * scale.factor as usize;
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let before = stm.stats();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let churner = scope.spawn(|| {
+            while !done.load(std::sync::atomic::Ordering::Acquire) {
+                stm.atomically(|tx| {
+                    let v = tx.read(hot, 0)?.as_scalar().unwrap();
+                    tx.write(hot, 0, Word::from_scalar(v + 1))
+                });
+            }
+        });
+        let readers: Vec<_> = (0..threads)
+            .map(|_| {
+                let stm = &stm;
+                let cells = &cells;
+                scope.spawn(move || {
+                    for _ in 0..rounds_per_thread {
+                        stm.atomically(|tx| {
+                            tx.read(hot, 0)?;
+                            std::thread::yield_now();
+                            for &cold in &cells[1..] {
+                                tx.read(cold, 0)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        done.store(true, std::sync::atomic::Ordering::Release);
+        churner.join().unwrap();
+    });
+    let elapsed = start.elapsed();
+    let delta = stm.stats().delta_since(&before);
+    SnapshotPoint {
+        workload: SNAPSHOT_WORKLOAD,
+        variant,
+        threads,
+        ops: (threads * rounds_per_thread) as u64,
+        elapsed,
+        commits: delta.commits,
+        readonly_commits: delta.readonly_commits,
+        readonly_aborts: delta.readonly_aborts,
+        snapshot_read_hits: delta.snapshot_read_hits,
+        ts_extensions: delta.ts_extensions,
+        extension_failures: delta.extension_failures,
+    }
+}
+
 impl ValidationReport {
     /// Looks up one cell of the sweep.
     pub fn point(&self, workload: &str, variant: &str, threads: usize) -> Option<&ValidationPoint> {
         self.points
             .iter()
             .find(|p| p.workload == workload && p.variant == variant && p.threads == threads)
+    }
+
+    /// Looks up one cell of the E5c snapshot sweep.
+    pub fn snapshot_point(&self, variant: &str, threads: usize) -> Option<&SnapshotPoint> {
+        self.snapshot_points.iter().find(|p| p.variant == variant && p.threads == threads)
     }
 
     /// Renders one validation-cost table per workload.
@@ -245,6 +418,22 @@ impl ValidationReport {
             }
             table.print();
         }
+        let mut headers: Vec<&'static str> = vec!["variant"];
+        for &t in &self.threads {
+            headers.push(Box::leak(format!("{t} thr ro-abort%").into_boxed_str()));
+            headers.push(Box::leak(format!("{t} thr extensions").into_boxed_str()));
+        }
+        let mut table = Table::new(format!("E5c snapshot reads: {SNAPSHOT_WORKLOAD}"), &headers);
+        for variant in SNAPSHOT_VARIANTS {
+            let mut cells = vec![variant.to_string()];
+            for &t in &self.threads {
+                let p = self.snapshot_point(variant, t).expect("complete sweep");
+                cells.push(format!("{:.1}", p.readonly_abort_rate() * 100.0));
+                cells.push(format!("{}", p.ts_extensions));
+            }
+            table.row(cells);
+        }
+        table.print();
     }
 
     /// The machine-readable form (schema checked by
@@ -299,6 +488,40 @@ impl ValidationReport {
                         .collect(),
                 ),
             ),
+            (
+                "snapshot_variants".into(),
+                Json::Arr(SNAPSHOT_VARIANTS.iter().map(|v| Json::Str((*v).into())).collect()),
+            ),
+            (
+                "snapshot_points".into(),
+                Json::Arr(
+                    self.snapshot_points
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::Str(p.workload.into())),
+                                ("variant".into(), Json::Str(p.variant.into())),
+                                ("threads".into(), Json::Num(p.threads as f64)),
+                                ("ops".into(), Json::Num(p.ops as f64)),
+                                ("elapsed_ms".into(), Json::Num(p.elapsed.as_secs_f64() * 1_000.0)),
+                                ("commits".into(), Json::Num(p.commits as f64)),
+                                ("readonly_commits".into(), Json::Num(p.readonly_commits as f64)),
+                                ("readonly_aborts".into(), Json::Num(p.readonly_aborts as f64)),
+                                (
+                                    "snapshot_read_hits".into(),
+                                    Json::Num(p.snapshot_read_hits as f64),
+                                ),
+                                ("ts_extensions".into(), Json::Num(p.ts_extensions as f64)),
+                                (
+                                    "extension_failures".into(),
+                                    Json::Num(p.extension_failures as f64),
+                                ),
+                                ("readonly_abort_rate".into(), Json::Num(p.readonly_abort_rate())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -314,6 +537,12 @@ fn point_num(point: &Json, key: &str, ctx: &str) -> Result<f64, String> {
 /// read-only hashtable sweep under `clock_on` fast-paths more than 90%
 /// of validations and scans strictly fewer entries per commit than the
 /// `clock_off` baseline at the same thread count.
+///
+/// The E5c snapshot sweep is validated alongside: a complete threads ×
+/// snapshot-variant cross product, and the headline invariant that
+/// `snapshot_on` points report *zero* read-only aborts with a snapshot
+/// read path that demonstrably fired, while `snapshot_off` points keep
+/// every snapshot counter at zero.
 ///
 /// # Errors
 ///
@@ -444,6 +673,89 @@ pub fn validate_report(json: &Json) -> Result<(), String> {
             ));
         }
     }
+
+    // E5c: the snapshot-read sweep rides in new fields with its own
+    // cross product and headline invariant.
+    let snapshot_variants: Vec<&str> = json
+        .get("snapshot_variants")
+        .and_then(Json::as_array)
+        .ok_or("missing `snapshot_variants`")?
+        .iter()
+        .map(|v| v.as_str())
+        .collect::<Option<_>>()
+        .ok_or("`snapshot_variants` must be strings")?;
+    for required in SNAPSHOT_VARIANTS {
+        if !snapshot_variants.contains(&required) {
+            return Err(format!("missing snapshot variant `{required}`"));
+        }
+    }
+    let snapshot_points =
+        json.get("snapshot_points").and_then(Json::as_array).ok_or("missing `snapshot_points`")?;
+    let expected = threads.len() * snapshot_variants.len();
+    if snapshot_points.len() != expected {
+        return Err(format!("expected {expected} snapshot points, got {}", snapshot_points.len()));
+    }
+    let find_snapshot = |variant: &str, t: usize| {
+        snapshot_points.iter().find(|p| {
+            p.get("variant").and_then(Json::as_str) == Some(variant)
+                && p.get("threads").and_then(Json::as_f64) == Some(t as f64)
+        })
+    };
+    for &t in &threads {
+        for &variant in &snapshot_variants {
+            let ctx = format!("{SNAPSHOT_WORKLOAD}/{variant}/{t}");
+            let point = find_snapshot(variant, t).ok_or(format!("missing snapshot point {ctx}"))?;
+            if point.get("workload").and_then(Json::as_str) != Some(SNAPSHOT_WORKLOAD) {
+                return Err(format!("{ctx}: bad `workload`"));
+            }
+            let ops = point_num(point, "ops", &ctx)?;
+            if ops < 1.0 {
+                return Err(format!("{ctx}: no audit rounds ran"));
+            }
+            point
+                .get("elapsed_ms")
+                .and_then(Json::as_f64)
+                .filter(|&n| n > 0.0)
+                .ok_or(format!("{ctx}: bad `elapsed_ms`"))?;
+            let commits = point_num(point, "commits", &ctx)?;
+            let ro_commits = point_num(point, "readonly_commits", &ctx)?;
+            let ro_aborts = point_num(point, "readonly_aborts", &ctx)?;
+            if ro_commits > commits {
+                return Err(format!("{ctx}: read-only commits exceed total commits"));
+            }
+            if ro_commits < ops {
+                return Err(format!("{ctx}: fewer read-only commits than audit rounds"));
+            }
+            let hits = point_num(point, "snapshot_read_hits", &ctx)?;
+            let extensions = point_num(point, "ts_extensions", &ctx)?;
+            point_num(point, "extension_failures", &ctx)?;
+            let rate = point_num(point, "readonly_abort_rate", &ctx)?;
+            let total = ro_commits + ro_aborts;
+            if total > 0.0 && (rate - ro_aborts / total).abs() > 1e-9 {
+                return Err(format!("{ctx}: `readonly_abort_rate` inconsistent with counts"));
+            }
+            match variant {
+                "snapshot_on" => {
+                    // The feature's acceptance criterion, enforced on
+                    // every regenerated report: abort-free read-only
+                    // transactions, via a snapshot path that actually
+                    // ran.
+                    if ro_aborts != 0.0 {
+                        return Err(format!(
+                            "{ctx}: {ro_aborts} read-only aborts; snapshot reads must be abort-free"
+                        ));
+                    }
+                    if hits < 1.0 {
+                        return Err(format!("{ctx}: the snapshot read path never fired"));
+                    }
+                }
+                "snapshot_off" if hits != 0.0 || extensions != 0.0 => {
+                    return Err(format!("{ctx}: knob off but snapshot counters moved"));
+                }
+                _ => {}
+            }
+        }
+    }
     Ok(())
 }
 
@@ -492,22 +804,85 @@ mod tests {
     #[test]
     fn sweep_meets_the_headline_invariants() {
         let report = run_validation(TINY);
-        assert_eq!(report.points.len(), 2 * WORKLOADS.len() * VARIANTS.len());
+        let axis = sweep_threads(TINY);
+        assert_eq!(report.threads, axis);
+        assert_eq!(report.points.len(), axis.len() * WORKLOADS.len() * VARIANTS.len());
+        assert_eq!(report.snapshot_points.len(), axis.len() * SNAPSHOT_VARIANTS.len());
         // The acceptance criteria, asserted directly on the measured
         // report: a >90% fast-path rate on the read-only hashtable
         // sweep and strictly fewer scans per commit than the clock-off
-        // baseline.
-        for &t in TINY.threads {
+        // baseline; zero read-only aborts (through a snapshot path
+        // that actually fired) on the E5c sweep with the knob on, and
+        // untouched snapshot counters with it off.
+        for &t in &report.threads {
             let on = report.point("stm_hash_readonly", "clock_on", t).unwrap();
             let off = report.point("stm_hash_readonly", "clock_off", t).unwrap();
             assert!(on.fast_path_rate() > 0.9, "rate {} at {t} threads", on.fast_path_rate());
             assert!(on.entries_scanned_per_commit() < off.entries_scanned_per_commit());
             assert_eq!(off.validation_fast_path, 0);
+
+            let snap_on = report.snapshot_point("snapshot_on", t).unwrap();
+            assert_eq!(snap_on.readonly_aborts, 0, "abort-free at {t} threads");
+            assert!(snap_on.readonly_abort_rate() == 0.0);
+            assert!(snap_on.snapshot_read_hits > 0, "snapshot path idle at {t} threads");
+            let snap_off = report.snapshot_point("snapshot_off", t).unwrap();
+            assert_eq!(snap_off.snapshot_read_hits, 0);
+            assert_eq!(snap_off.ts_extensions, 0);
         }
         let json = report.to_json();
         let reparsed = crate::json::parse(&json.to_string()).unwrap();
         validate_report(&reparsed).unwrap();
         report.print_tables();
+    }
+
+    #[test]
+    fn thread_axis_extensions_are_clamped_to_host_cores() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let axis = sweep_threads(TINY);
+        // The scale's own counts always survive; extensions appear only
+        // on hosts with the cores to run them unoversubscribed.
+        for &t in TINY.threads {
+            assert!(axis.contains(&t));
+        }
+        for &t in &axis {
+            assert!(
+                TINY.threads.contains(&t) || t <= cores,
+                "{t}-thread extension on a {cores}-core host"
+            );
+        }
+        let mut sorted = axis.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(axis, sorted, "axis must be sorted and deduplicated");
+        if cores >= 64 {
+            assert_eq!(&axis[axis.len() - 3..], &[16, 32, 64]);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_a_readonly_abort_with_snapshots_on() {
+        let report = run_validation(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        for (key, value) in &mut members {
+            if key == "snapshot_points" {
+                let Json::Arr(points) = value else { panic!("array") };
+                for p in points {
+                    let Json::Obj(fields) = p else { panic!("object") };
+                    let on = fields
+                        .iter()
+                        .any(|(k, v)| k == "variant" && v.as_str() == Some("snapshot_on"));
+                    if on {
+                        for (k, v) in fields.iter_mut() {
+                            if k == "readonly_aborts" {
+                                *v = Json::Num(1.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("abort-free") || err.contains("inconsistent"), "got: {err}");
     }
 
     #[test]

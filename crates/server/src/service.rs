@@ -54,7 +54,9 @@ pub struct ServiceConfig {
     /// (the E10 ablation baseline).
     pub admission: bool,
     /// The STM underneath. Defaults to the Karma contention manager so
-    /// repeatedly-aborted requests accumulate priority.
+    /// repeatedly-aborted requests accumulate priority, and to snapshot
+    /// reads so audit requests (read-only sweeps over every account)
+    /// never abort under transfer churn.
     pub stm: StmConfig,
 }
 
@@ -70,7 +72,7 @@ impl Default for ServiceConfig {
             signal_window: Duration::from_millis(10),
             starvation_sheds: 8,
             admission: true,
-            stm: StmConfig { cm: CmPolicy::Karma, ..StmConfig::default() },
+            stm: StmConfig { cm: CmPolicy::Karma, snapshot_reads: true, ..StmConfig::default() },
         }
     }
 }

@@ -84,6 +84,19 @@ pub struct StmConfig {
     /// restores the unconditional full-rescan slow path (the ablation
     /// baseline for experiment E5b).
     pub commit_sequence: bool,
+    /// TL2-style snapshot reads (see DESIGN.md §4.10). Versions become
+    /// commit-clock timestamps: every publishing commit releases its
+    /// entries at the post-bump clock value, and each transaction keeps
+    /// a read-version snapshot of the clock. `open_for_read` accepts a
+    /// word whose version is `<= read_ver` in O(1) — no read-set walk —
+    /// and on a too-new version performs *timestamp extension*
+    /// (revalidate the read set against the current clock and advance
+    /// `read_ver` in place) instead of aborting. Read-only transactions
+    /// whose every read was snapshot-verified commit without any
+    /// validation at all, making them abort-free in the common case.
+    /// Requires `commit_sequence` and the full `version_bits = 62`
+    /// space (timestamps never wrap).
+    pub snapshot_reads: bool,
 }
 
 impl Default for StmConfig {
@@ -102,6 +115,7 @@ impl Default for StmConfig {
             doom_wait_spins: 4096,
             record_stats: true,
             commit_sequence: true,
+            snapshot_reads: false,
         }
     }
 }
@@ -117,8 +131,9 @@ impl StmConfig {
     /// # Panics
     ///
     /// Panics if `version_bits` is outside `1..=62`, `filter_bits`
-    /// outside `1..=24`, `backoff_cap_log2` outside `1..=31`, or
-    /// `serial_after_aborts` is `Some(0)`.
+    /// outside `1..=24`, `backoff_cap_log2` outside `1..=31`,
+    /// `serial_after_aborts` is `Some(0)`, or `snapshot_reads` is set
+    /// without `commit_sequence` and the full 62-bit version space.
     pub fn validate(&self) {
         assert!(
             (1..=62).contains(&self.version_bits),
@@ -139,6 +154,19 @@ impl StmConfig {
             self.serial_after_aborts != Some(0),
             "serial_after_aborts must be None or >= 1; Some(0) would serialize everything"
         );
+        if self.snapshot_reads {
+            assert!(
+                self.commit_sequence,
+                "snapshot_reads requires commit_sequence: the read-version snapshot \
+                 is taken from the commit-sequence clock"
+            );
+            assert!(
+                self.version_bits == 62,
+                "snapshot_reads requires version_bits = 62: versions are commit-clock \
+                 timestamps and must never wrap, got {}",
+                self.version_bits
+            );
+        }
     }
 }
 
@@ -147,7 +175,8 @@ impl fmt::Display for StmConfig {
         write!(
             f,
             "filter={} ({} slots), version_bits={}, cm={}, validate_every={:?}, \
-             serial_after_aborts={:?}, commit_sequence={}, tx_deadline={:?}",
+             serial_after_aborts={:?}, commit_sequence={}, snapshot_reads={}, \
+             tx_deadline={:?}",
             self.runtime_filter,
             1u64 << self.filter_bits,
             self.version_bits,
@@ -155,6 +184,7 @@ impl fmt::Display for StmConfig {
             self.validate_every,
             self.serial_after_aborts,
             self.commit_sequence,
+            self.snapshot_reads,
             self.tx_deadline
         )
     }
@@ -214,5 +244,27 @@ mod tests {
         assert!(s.contains("oldest-wins"));
         assert!(s.contains("serial_after_aborts"));
         assert!(s.contains("commit_sequence=true"));
+        assert!(s.contains("snapshot_reads=false"));
+    }
+
+    #[test]
+    fn snapshot_reads_composes_with_the_clock() {
+        let c = StmConfig { snapshot_reads: true, ..StmConfig::default() };
+        c.validate();
+        assert!(c.commit_sequence);
+        assert!(!StmConfig::default().snapshot_reads, "snapshot reads are opt-in");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires commit_sequence")]
+    fn snapshot_reads_without_the_clock_rejected() {
+        StmConfig { snapshot_reads: true, commit_sequence: false, ..StmConfig::default() }
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires version_bits")]
+    fn snapshot_reads_with_tiny_versions_rejected() {
+        StmConfig { snapshot_reads: true, version_bits: 8, ..StmConfig::default() }.validate();
     }
 }

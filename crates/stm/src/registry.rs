@@ -146,6 +146,13 @@ impl TxRegistry {
     /// is the configured wrap point and `bump_epoch` is invoked once,
     /// before any wrapped header store, if a burned version wraps.
     ///
+    /// `fresh_burn` supplies the burn policy: it is called at most once
+    /// — and only if some dirtied entry needs burning — and returns
+    /// `Some(stamp)` to release every dirtied entry at that one fresh
+    /// commit-clock timestamp (snapshot-reads mode, where burned
+    /// versions must never exceed the clock) or `None` for the legacy
+    /// per-entry `original + 1` increment.
+    ///
     /// Idempotent and race-free: the first caller takes the logs out of
     /// the pool; concurrent callers find nothing and return `false`.
     pub(crate) fn recover(
@@ -153,6 +160,7 @@ impl TxRegistry {
         heap: &Heap,
         token: TxToken,
         max_version: u64,
+        fresh_burn: &mut dyn FnMut() -> Option<u64>,
         bump_epoch: &mut dyn FnMut(),
     ) -> bool {
         let shard = self.shard_for_token(token);
@@ -164,10 +172,13 @@ impl TxRegistry {
             heap.field_atomic(entry.obj, entry.field as usize)
                 .store(entry.old_bits, Ordering::Relaxed);
         }
+        let any_burn = logs.update.iter().any(|e| !e.dead && e.dirtied);
+        let stamp = if any_burn { fresh_burn() } else { None };
+        let burned = |original: u64| stamp.unwrap_or(original + 1);
         let will_wrap = logs
             .update
             .iter()
-            .any(|e| !e.dead && e.dirtied && e.original_version + 1 > max_version);
+            .any(|e| !e.dead && e.dirtied && burned(e.original_version) > max_version);
         if will_wrap {
             bump_epoch();
         }
@@ -176,7 +187,7 @@ impl TxRegistry {
                 continue;
             }
             let released = if entry.dirtied {
-                let next = entry.original_version + 1;
+                let next = burned(entry.original_version);
                 if next > max_version {
                     0
                 } else {
@@ -359,7 +370,13 @@ mod tests {
         assert_eq!(registry.active_count(), 0);
         assert_eq!(registry.orphan_count(), 1);
         assert!(registry.ctl_of(TxToken(18)).is_some(), "ctl survives park in its own stripe");
-        assert!(registry.recover(&omt_heap::Heap::new(), TxToken(18), u64::MAX, &mut || ()));
+        assert!(registry.recover(
+            &omt_heap::Heap::new(),
+            TxToken(18),
+            u64::MAX,
+            &mut || None,
+            &mut || ()
+        ));
         assert_eq!(registry.orphan_count(), 0);
         assert!(registry.ctl_of(TxToken(18)).is_none());
     }
@@ -407,7 +424,7 @@ mod tests {
         assert!(registry.ctl_of(token).is_some(), "ctl survives until recovery");
 
         let mut epoch_bumps = 0;
-        assert!(registry.recover(&heap, token, u64::MAX, &mut || epoch_bumps += 1));
+        assert!(registry.recover(&heap, token, u64::MAX, &mut || None, &mut || epoch_bumps += 1));
         assert_eq!(heap.load(obj, 0).as_scalar(), Some(41), "undo restored the field");
         assert_eq!(
             heap.header_atomic(obj).load(Ordering::Acquire),
@@ -419,7 +436,7 @@ mod tests {
         assert_eq!(registry.orphan_count(), 0);
         assert!(registry.ctl_of(token).is_none());
         assert!(
-            !registry.recover(&heap, token, u64::MAX, &mut || ()),
+            !registry.recover(&heap, token, u64::MAX, &mut || None, &mut || ()),
             "second recovery is a no-op"
         );
     }
@@ -441,7 +458,7 @@ mod tests {
         logs.update.push(UpdateEntry { obj, original_version: 3, dead: false, dirtied: false });
         registry.register(1, ctl(6, 1), &mut *logs);
         registry.park_orphan(1, token, logs);
-        assert!(registry.recover(&heap, token, u64::MAX, &mut || ()));
+        assert!(registry.recover(&heap, token, u64::MAX, &mut || None, &mut || ()));
         assert_eq!(heap.header_atomic(obj).load(Ordering::Acquire), version_bits(3));
     }
 
@@ -463,7 +480,7 @@ mod tests {
         registry.register(1, ctl(7, 1), &mut *logs);
         registry.park_orphan(1, token, logs);
         let mut epoch_bumps = 0;
-        assert!(registry.recover(&heap, token, 15, &mut || epoch_bumps += 1));
+        assert!(registry.recover(&heap, token, 15, &mut || None, &mut || epoch_bumps += 1));
         assert_eq!(heap.header_atomic(obj).load(Ordering::Acquire), version_bits(0));
         assert_eq!(epoch_bumps, 1);
     }
@@ -479,10 +496,10 @@ mod tests {
             registry.park_orphan(serial, token, logs);
         }
         assert_eq!(registry.orphan_count(), 2);
-        assert!(registry.recover(&heap, TxToken(3), u64::MAX, &mut || ()));
+        assert!(registry.recover(&heap, TxToken(3), u64::MAX, &mut || None, &mut || ()));
         assert_eq!(registry.orphan_count(), 1, "other stripe's orphan untouched");
         assert!(registry.ctl_of(TxToken(4)).is_some());
-        assert!(registry.recover(&heap, TxToken(4), u64::MAX, &mut || ()));
+        assert!(registry.recover(&heap, TxToken(4), u64::MAX, &mut || None, &mut || ()));
         assert_eq!(registry.orphan_count(), 0);
     }
 }

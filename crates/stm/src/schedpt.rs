@@ -31,6 +31,13 @@
 //! | [`GATE_ACQUIRE_EXCLUSIVE`] | `enter_gate`, each failed exclusive acquisition attempt (blocking) |
 //! | [`GC_PRE_TRIM_SHARD`] | `TxRegistry::after_sweep`, before **each** registry shard's trim |
 //! | [`STATS_PRE_SNAPSHOT`] | `StmStats::snapshot`, before the cross-shard sum |
+//! | [`READ_PRE_RECHECK`] | snapshot-mode `read`, between the data load and the header re-check |
+//! | [`READ_OWNED_WAIT`] | snapshot-mode open, each bounded-wait round on a foreign owner |
+//! | [`EXTEND_PRE_VALIDATE`] | snapshot-mode open, before a timestamp-extension revalidation |
+//!
+//! The last three fire only with `snapshot_reads` enabled, so frozen
+//! schedules recorded against snapshot-off scenarios keep their exact
+//! step sequences.
 //!
 //! Sites that name an object use
 //! [`omt_util::sched::yield_point_keyed`] with the object's raw
@@ -109,9 +116,21 @@ pub const GC_PRE_TRIM_SHARD: &str = "gc.pre_trim_shard";
 /// In `StmStats::snapshot`, before the cross-shard counter sum — the
 /// snapshot is not atomic with respect to concurrent increments.
 pub const STATS_PRE_SNAPSHOT: &str = "stats.pre_snapshot";
+/// Snapshot-mode composed `read`, between the raw data load and the
+/// header re-check that closes the seqlock sandwich — the window in
+/// which a writer's acquisition or release invalidates the loaded
+/// value.
+pub const READ_PRE_RECHECK: &str = "read.pre_recheck";
+/// Snapshot-mode open, one bounded-wait round on a word owned by a
+/// foreign transaction (the snapshot path waits for the release version
+/// instead of logging an unvalidatable owned word).
+pub const READ_OWNED_WAIT: &str = "read.owned_wait";
+/// Snapshot-mode open, after observing a version newer than `read_ver`,
+/// before the timestamp-extension revalidation.
+pub const EXTEND_PRE_VALIDATE: &str = "extend.pre_validate";
 
 /// Every instrumented site, for tools that sweep or document them.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 23] = [
     OPEN_READ_PRE_HEADER,
     READ_PRE_LOAD,
     OPEN_UPDATE_PRE_HEADER,
@@ -132,6 +151,9 @@ pub const ALL: [&str; 20] = [
     GATE_ACQUIRE_EXCLUSIVE,
     GC_PRE_TRIM_SHARD,
     STATS_PRE_SNAPSHOT,
+    READ_PRE_RECHECK,
+    READ_OWNED_WAIT,
+    EXTEND_PRE_VALIDATE,
 ];
 
 #[cfg(test)]

@@ -149,6 +149,22 @@ counters! {
     cm_spins,
     /// Log entries removed or tombstoned by GC trimming.
     gc_trimmed_entries,
+    /// Snapshot-mode reads satisfied by the O(1) `version <= read_ver`
+    /// check (no read-set walk, no validation).
+    snapshot_read_hits,
+    /// Successful timestamp extensions: a too-new version triggered a
+    /// read-set revalidation that advanced `read_ver` in place instead
+    /// of aborting.
+    ts_extensions,
+    /// Timestamp extensions that found a genuine conflict and fell back
+    /// to the abort path.
+    extension_failures,
+    /// Commits of transactions that made no updates (empty update and
+    /// undo logs).
+    readonly_commits,
+    /// Aborts of transactions that had made no updates at rollback time
+    /// (the numerator of the read-only abort rate).
+    readonly_aborts,
 }
 
 /// Live counters owned by an [`crate::Stm`]: an array of padded shards,
@@ -199,6 +215,7 @@ impl StmStats {
 
 impl StmStatsSnapshot {
     /// Total aborts across all causes.
+    #[must_use]
     pub fn aborts(&self) -> u64 {
         self.aborts_busy
             + self.aborts_invalid
@@ -210,11 +227,13 @@ impl StmStatsSnapshot {
     /// Retry loops that gave up, whatever the budget that ran out
     /// (deadline or attempt count) — both paths share one give-up
     /// decision, so this is the complete count.
+    #[must_use]
     pub fn give_ups(&self) -> u64 {
         self.deadlines_exceeded + self.retries_exhausted
     }
 
     /// Aborts per begun transaction (0 if none begun).
+    #[must_use]
     pub fn abort_rate(&self) -> f64 {
         if self.begins == 0 {
             0.0
@@ -224,6 +243,7 @@ impl StmStatsSnapshot {
     }
 
     /// Fraction of read-log appends suppressed by the filter.
+    #[must_use]
     pub fn read_filter_rate(&self) -> f64 {
         let total = self.read_entries + self.read_filtered;
         if total == 0 {
@@ -235,6 +255,7 @@ impl StmStatsSnapshot {
 
     /// Fraction of validations that skipped the read-log scan via the
     /// commit-sequence clock (0 if none ran).
+    #[must_use]
     pub fn validation_fast_path_rate(&self) -> f64 {
         if self.validations == 0 {
             0.0
@@ -245,6 +266,7 @@ impl StmStatsSnapshot {
 
     /// Read-log entries scanned per committed transaction (0 if none
     /// committed).
+    #[must_use]
     pub fn entries_scanned_per_commit(&self) -> f64 {
         if self.commits == 0 {
             0.0
@@ -254,12 +276,26 @@ impl StmStatsSnapshot {
     }
 
     /// Fraction of undo-log appends suppressed by the filter.
+    #[must_use]
     pub fn undo_filter_rate(&self) -> f64 {
         let total = self.undo_entries + self.undo_filtered;
         if total == 0 {
             0.0
         } else {
             self.undo_filtered as f64 / total as f64
+        }
+    }
+
+    /// Aborts per read-only transaction outcome (0 if none finished).
+    /// The E5c headline: with `snapshot_reads` on this is 0 for
+    /// read-mostly workloads.
+    #[must_use]
+    pub fn readonly_abort_rate(&self) -> f64 {
+        let total = self.readonly_commits + self.readonly_aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.readonly_aborts as f64 / total as f64
         }
     }
 }
@@ -370,6 +406,18 @@ mod tests {
         let empty = StmStatsSnapshot::default();
         assert_eq!(empty.validation_fast_path_rate(), 0.0);
         assert_eq!(empty.entries_scanned_per_commit(), 0.0);
+    }
+
+    #[test]
+    fn readonly_abort_rate_counts_only_readonly_outcomes() {
+        let snap = StmStatsSnapshot {
+            readonly_commits: 3,
+            readonly_aborts: 1,
+            aborts_invalid: 50, // update-transaction aborts do not dilute the rate
+            ..StmStatsSnapshot::default()
+        };
+        assert!((snap.readonly_abort_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(StmStatsSnapshot::default().readonly_abort_rate(), 0.0);
     }
 
     #[test]

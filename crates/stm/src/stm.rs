@@ -97,6 +97,20 @@ pub struct Stm {
     /// PR's abort-ABA fix (see `UpdateEntry::original_version`).
     #[cfg(test)]
     test_unsound_abort_restores_version: std::sync::atomic::AtomicBool,
+    /// Test-only unsoundness knob: the snapshot-mode composed `read`
+    /// skips the header re-check that closes its seqlock sandwich,
+    /// accepting whatever the data load returned. Exists so the
+    /// schedule explorer can demonstrate the zombie commit that the
+    /// re-check prevents (a read-only snapshot transaction commits an
+    /// aborting writer's in-place store).
+    #[cfg(test)]
+    test_unsound_snapshot_skip_recheck: std::sync::atomic::AtomicBool,
+    /// Test-only unsoundness knob: timestamp extension advances
+    /// `read_ver` to the current clock *without* revalidating the read
+    /// set. Exists so the schedule explorer can demonstrate the torn
+    /// snapshot that the revalidation prevents.
+    #[cfg(test)]
+    test_unsound_extension_skips_revalidate: std::sync::atomic::AtomicBool,
 }
 
 /// Per-atomic-block state carried across retries: the age priority is
@@ -175,6 +189,10 @@ impl Stm {
             test_unsound_commit_clock_only: std::sync::atomic::AtomicBool::new(false),
             #[cfg(test)]
             test_unsound_abort_restores_version: std::sync::atomic::AtomicBool::new(false),
+            #[cfg(test)]
+            test_unsound_snapshot_skip_recheck: std::sync::atomic::AtomicBool::new(false),
+            #[cfg(test)]
+            test_unsound_extension_skips_revalidate: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -230,13 +248,28 @@ impl Stm {
         self.commit_clock.load(Ordering::Acquire)
     }
 
-    /// Announces an update-publishing release phase. Must happen
-    /// *before* the first header release-store so that any transaction
-    /// observing a published header also observes the bump (writer
-    /// program order + release/acquire on the header), and therefore
-    /// never takes the validation fast path across this commit.
-    pub(crate) fn bump_commit_clock(&self) {
-        self.commit_clock.fetch_add(1, Ordering::AcqRel);
+    /// Announces an update-publishing release phase and returns the
+    /// new clock value. Must happen *before* the first header
+    /// release-store so that any transaction observing a published
+    /// header also observes the bump (writer program order +
+    /// release/acquire on the header), and therefore never takes the
+    /// validation fast path across this commit. Under
+    /// [`StmConfig::snapshot_reads`] the returned value is also the
+    /// *timestamp* the release phase stamps into every published
+    /// header (see DESIGN.md §4.10).
+    pub(crate) fn bump_commit_clock(&self) -> u64 {
+        self.commit_clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Draws a fresh commit-clock timestamp for *burning* dirtied
+    /// entries on the snapshot-mode abort path. Burned versions must
+    /// never exceed the clock: a snapshot reader that meets a burned
+    /// header extends its `read_ver` to at least the burn value, which
+    /// only terminates if the clock itself has reached it. Bumping the
+    /// shared clock on abort is acceptable because aborts of dirtied
+    /// writers are the rare path.
+    pub(crate) fn burn_stamp(&self) -> u64 {
+        self.bump_commit_clock()
     }
 
     /// Current acquisition clock (number of successful ownership
@@ -370,6 +403,7 @@ impl Stm {
     /// As [`Stm::try_atomically`];
     /// [`RetryExhausted::DeadlineExceeded`] once `deadline` (measured
     /// from now) passes — with `attempts: 0` if it already has.
+    #[must_use = "the transaction may have been shed; inspect the result"]
     pub fn try_atomically_within<T>(
         &self,
         deadline: Duration,
@@ -598,7 +632,14 @@ impl Stm {
     /// got there first (or the token was never orphaned).
     pub(crate) fn recover_orphan(&self, token: TxToken) -> bool {
         let max_version = self.config.max_version();
-        self.registry.recover(&self.heap, token, max_version, &mut || self.bump_epoch())
+        // Under snapshot reads, dirtied orphan entries burn a fresh
+        // clock timestamp (never `original + 1`, which could exceed the
+        // clock and strand extending readers); otherwise the legacy
+        // per-entry increment applies.
+        let mut fresh_burn =
+            || if self.config.snapshot_reads { Some(self.burn_stamp()) } else { None };
+        self.registry
+            .recover(&self.heap, token, max_version, &mut fresh_burn, &mut || self.bump_epoch())
     }
 
     /// Reads the `commit-clock-only` unsoundness knob (see the field).
@@ -624,6 +665,32 @@ impl Stm {
     #[cfg(test)]
     pub(crate) fn set_test_unsound_abort_restores_version(&self, on: bool) {
         self.test_unsound_abort_restores_version.store(on, Ordering::Relaxed);
+    }
+
+    /// Reads the `snapshot-skip-recheck` unsoundness knob (see the
+    /// field).
+    #[cfg(test)]
+    pub(crate) fn test_unsound_snapshot_skip_recheck(&self) -> bool {
+        self.test_unsound_snapshot_skip_recheck.load(Ordering::Relaxed)
+    }
+
+    /// Arms/disarms the snapshot read's header re-check (test only).
+    #[cfg(test)]
+    pub(crate) fn set_test_unsound_snapshot_skip_recheck(&self, on: bool) {
+        self.test_unsound_snapshot_skip_recheck.store(on, Ordering::Relaxed);
+    }
+
+    /// Reads the `extension-skips-revalidate` unsoundness knob (see the
+    /// field).
+    #[cfg(test)]
+    pub(crate) fn test_unsound_extension_skips_revalidate(&self) -> bool {
+        self.test_unsound_extension_skips_revalidate.load(Ordering::Relaxed)
+    }
+
+    /// Arms/disarms timestamp extension's revalidation (test only).
+    #[cfg(test)]
+    pub(crate) fn set_test_unsound_extension_skips_revalidate(&self, on: bool) {
+        self.test_unsound_extension_skips_revalidate.store(on, Ordering::Relaxed);
     }
 
     /// Rewinds the token counter so the next [`Stm::begin`] reissues a
@@ -658,5 +725,10 @@ impl Stm {
         s.add(|c| &c.validation_entries_scanned, counters.validation_entries_scanned);
         s.add(|c| &c.cm_spins, counters.cm_spins);
         s.add(|c| &c.dooms_issued, counters.dooms);
+        s.add(|c| &c.snapshot_read_hits, counters.snapshot_read_hits);
+        s.add(|c| &c.ts_extensions, counters.ts_extensions);
+        s.add(|c| &c.extension_failures, counters.extension_failures);
+        s.add(|c| &c.readonly_commits, counters.readonly_commits);
+        s.add(|c| &c.readonly_aborts, counters.readonly_aborts);
     }
 }

@@ -1623,6 +1623,10 @@ mod sched_regressions {
         assert_eq!(report.divergences, 0, "scenario must be schedule-deterministic");
     }
 
+    /// A named boxed scenario factory (the unsound snapshot knobs
+    /// produce distinct closure types, so the array boxes them).
+    type NamedFactory = (&'static str, Box<dyn Fn() -> Execution>);
+
     /// Prints the minimized counterexample schedules (run with
     /// `--nocapture --ignored` to refresh the frozen schedules in
     /// `tests/sched_explore.rs`).
@@ -1636,6 +1640,205 @@ mod sched_regressions {
             let cx = report.counterexample.expect(name);
             println!("{name}: schedule {:?}\n{}", cx.schedule, cx.trace);
         }
+        let snapshot_factories: [NamedFactory; 2] = [
+            ("snapshot_recheck", Box::new(snapshot_zombie_factory(true))),
+            ("torn_extension", Box::new(torn_extension_factory(true))),
+        ];
+        for (name, factory) in snapshot_factories {
+            let report = explorer().explore(&factory);
+            let cx = report.counterexample.expect(name);
+            println!("{name}: schedule {:?}\n{}", cx.schedule, cx.trace);
+        }
+    }
+
+    fn snapshot_config() -> StmConfig {
+        StmConfig {
+            serial_after_aborts: None,
+            snapshot_reads: true,
+            // Keep the bounded owner-wait short so the exploration tree
+            // stays small; exhaustion falls back to the (sound)
+            // optimistic path.
+            doom_wait_spins: 3,
+            ..StmConfig::default()
+        }
+    }
+
+    /// One snapshot reader racing one aborting writer on a single cell
+    /// (the snapshot-mode twin of `zombie_read_factory`).
+    ///
+    /// The writer stores 1 in place and aborts, so no update ever
+    /// commits. A sound snapshot read cannot return the dirty 1: the
+    /// seqlock re-check sees the header moved (at least to the writer's
+    /// `Owned` word) and retries. With `skip_recheck` the first header
+    /// is accepted unconditionally, the dirty value flows through, and
+    /// the read-only commit skip — which trusts the sandwich — publishes
+    /// a zombie.
+    fn snapshot_zombie_factory(skip_recheck: bool) -> impl Fn() -> Execution {
+        move || {
+            let heap = Arc::new(Heap::new());
+            let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["a", "b"]));
+            let obj = heap.alloc(class).unwrap();
+            let stm = Arc::new(Stm::with_config(heap.clone(), snapshot_config()));
+            stm.set_test_unsound_snapshot_skip_recheck(skip_recheck);
+            let committed_read = Arc::new(Mutex::new(None::<i64>));
+
+            let reader: ThreadBody = Box::new({
+                let stm = stm.clone();
+                let out = committed_read.clone();
+                move || {
+                    let mut tx = stm.begin();
+                    match tx.read(obj, 0) {
+                        Ok(word) => {
+                            let v = word.as_scalar().unwrap();
+                            if tx.commit().is_ok() {
+                                *out.lock().unwrap() = Some(v);
+                            }
+                        }
+                        Err(_) => tx.abort(),
+                    }
+                }
+            });
+            let writer: ThreadBody = Box::new({
+                let stm = stm.clone();
+                move || {
+                    let mut tx = stm.begin();
+                    let _ = tx.write(obj, 0, Word::from_scalar(1));
+                    tx.abort();
+                }
+            });
+            Execution {
+                threads: vec![reader, writer],
+                check: Box::new(move || match *committed_read.lock().unwrap() {
+                    Some(v) if v != 0 => Err(format!(
+                        "zombie commit: reader committed {v}, but no writer ever committed"
+                    )),
+                    _ => Ok(()),
+                }),
+            }
+        }
+    }
+
+    /// One snapshot reader racing one *committing* writer across two
+    /// cells, probing opacity across a timestamp extension.
+    ///
+    /// The writer commits x=1, y=1 atomically from (0,0); the only
+    /// serializable read pairs are (0,0) and (1,1). A reader that read
+    /// x before the commit finds y too new and must *extend*: sound
+    /// extension revalidates the read set, catches x having moved, and
+    /// aborts. With `skip_revalidate` the extension fast-forwards
+    /// `read_ver` without certifying x, and the reader commits the torn
+    /// pair (0,1).
+    fn torn_extension_factory(skip_revalidate: bool) -> impl Fn() -> Execution {
+        move || {
+            let heap = Arc::new(Heap::new());
+            let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["a", "b"]));
+            let x = heap.alloc(class).unwrap();
+            let y = heap.alloc(class).unwrap();
+            let stm = Arc::new(Stm::with_config(heap.clone(), snapshot_config()));
+            stm.set_test_unsound_extension_skips_revalidate(skip_revalidate);
+            let committed_pair = Arc::new(Mutex::new(None::<(i64, i64)>));
+
+            let reader: ThreadBody = Box::new({
+                let stm = stm.clone();
+                let out = committed_pair.clone();
+                move || {
+                    let mut tx = stm.begin();
+                    let result = (|| {
+                        let a = tx.read(x, 0)?.as_scalar().unwrap();
+                        let b = tx.read(y, 0)?.as_scalar().unwrap();
+                        Ok::<_, TxError>((a, b))
+                    })();
+                    match result {
+                        Ok(pair) => {
+                            if tx.commit().is_ok() {
+                                *out.lock().unwrap() = Some(pair);
+                            }
+                        }
+                        Err(_) => tx.abort(),
+                    }
+                }
+            });
+            let writer: ThreadBody = Box::new({
+                let stm = stm.clone();
+                move || {
+                    let mut tx = stm.begin();
+                    let wrote = tx.write(x, 0, Word::from_scalar(1)).is_ok()
+                        && tx.write(y, 0, Word::from_scalar(1)).is_ok();
+                    if wrote {
+                        let _ = tx.commit();
+                    } else {
+                        tx.abort();
+                    }
+                }
+            });
+            Execution {
+                threads: vec![reader, writer],
+                check: Box::new(move || match *committed_pair.lock().unwrap() {
+                    Some((a, b)) if a != b => Err(format!(
+                        "torn snapshot: reader committed ({a}, {b}), writer published \
+                         x and y atomically"
+                    )),
+                    _ => Ok(()),
+                }),
+            }
+        }
+    }
+
+    #[test]
+    fn explorer_rederives_the_snapshot_recheck_zombie() {
+        let report = explorer().explore(&snapshot_zombie_factory(true));
+        let cx = report
+            .counterexample
+            .expect("skipping the snapshot re-check must reintroduce the dirty-read zombie");
+        assert!(cx.message.contains("zombie commit"), "{}", cx.message);
+        match explorer().replay(&snapshot_zombie_factory(true), &cx.schedule) {
+            RunOutcome::Fail { message } => assert!(message.contains("zombie commit")),
+            o => panic!("counterexample must replay, got {o:?}"),
+        }
+        // The same schedule passes with the re-check in place.
+        assert_eq!(
+            explorer().replay(&snapshot_zombie_factory(false), &cx.schedule),
+            RunOutcome::Pass,
+            "schedule: {:?}\n{}",
+            cx.schedule,
+            cx.trace
+        );
+    }
+
+    #[test]
+    fn explorer_rederives_the_torn_extension_bug() {
+        let report = explorer().explore(&torn_extension_factory(true));
+        let cx = report
+            .counterexample
+            .expect("an extension that skips revalidation must admit a torn snapshot");
+        assert!(cx.message.contains("torn snapshot"), "{}", cx.message);
+        match explorer().replay(&torn_extension_factory(true), &cx.schedule) {
+            RunOutcome::Fail { message } => assert!(message.contains("torn snapshot")),
+            o => panic!("counterexample must replay, got {o:?}"),
+        }
+        assert_eq!(
+            explorer().replay(&torn_extension_factory(false), &cx.schedule),
+            RunOutcome::Pass,
+            "schedule: {:?}\n{}",
+            cx.schedule,
+            cx.trace
+        );
+    }
+
+    #[test]
+    fn snapshot_tree_has_no_zombie_commit() {
+        let report = explorer().explore(&snapshot_zombie_factory(false));
+        assert!(report.passed(), "{}", report.counterexample.unwrap());
+        assert!(report.exhausted, "the bounded space must be fully enumerated");
+        assert_eq!(report.divergences, 0, "scenario must be schedule-deterministic");
+    }
+
+    #[test]
+    fn snapshot_tree_has_no_torn_extension() {
+        let report = explorer().explore(&torn_extension_factory(false));
+        assert!(report.passed(), "{}", report.counterexample.unwrap());
+        assert!(report.exhausted, "the bounded space must be fully enumerated");
+        assert_eq!(report.divergences, 0, "scenario must be schedule-deterministic");
     }
 }
 

@@ -79,6 +79,18 @@ pub struct TxCounters {
     /// Doom flags this transaction set on *other* transactions
     /// (priority contention management).
     pub dooms: u64,
+    /// Snapshot-mode reads satisfied by the O(1) `version <= read_ver`
+    /// check.
+    pub snapshot_read_hits: u64,
+    /// Successful timestamp extensions (a too-new version advanced
+    /// `read_ver` via revalidation instead of aborting).
+    pub ts_extensions: u64,
+    /// Timestamp extensions that found a genuine conflict and aborted.
+    pub extension_failures: u64,
+    /// 1 if this transaction committed having made no updates.
+    pub readonly_commits: u64,
+    /// 1 if this transaction aborted having made no updates.
+    pub readonly_aborts: u64,
 }
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -151,7 +163,29 @@ pub struct Transaction<'stm> {
     /// clock cannot vouch for such an entry (ownership transfers do not
     /// bump it), so validation must fall back to scanning.
     clock_fast_path_ok: bool,
+    /// Snapshot mode only: true while every read so far was
+    /// sandwich-verified against `read_ver` (`clock_snapshot`) by the
+    /// composed [`Transaction::read`]. A read-only transaction that
+    /// stays clean commits without any validation — its reads are
+    /// already known mutually consistent at `read_ver`. Cleared by the
+    /// decomposed [`Transaction::open_for_read`] (the separate
+    /// `load_direct` cannot be sandwich-verified) and by the
+    /// foreign-owner fallback.
+    snapshot_clean: bool,
     state: TxState,
+}
+
+/// Outcome of resolving one object's header through the snapshot-read
+/// protocol (see [`Transaction::read`] in snapshot mode).
+enum SnapObserved {
+    /// Already open for update by this transaction; reads are subsumed.
+    SelfOwned,
+    /// Quiescent at a version covered by `read_ver` (raw header bits).
+    Covered(u64),
+    /// Foreign ownership outlasted the bounded wait; the caller logs
+    /// the owned word and proceeds optimistically (legacy semantics —
+    /// the entry cannot pass validation, so commit decides).
+    Fallback(u64),
 }
 
 impl<'stm> Transaction<'stm> {
@@ -178,6 +212,7 @@ impl<'stm> Transaction<'stm> {
             self_acquire_bumps: 0,
             validated_watermark: 0,
             clock_fast_path_ok: true,
+            snapshot_clean: true,
             state: TxState::Active,
         }
     }
@@ -282,12 +317,24 @@ impl<'stm> Transaction<'stm> {
     /// (optimism) — validation will abort this transaction if that
     /// matters.
     ///
+    /// With [`StmConfig::snapshot_reads`](crate::StmConfig) enabled the
+    /// header is resolved through the snapshot protocol instead
+    /// (DESIGN.md §4.10): the version is accepted in O(1) when covered
+    /// by `read_ver`, a too-new version triggers a timestamp extension
+    /// rather than poisoning the read set, and foreign owners are
+    /// waited out (bounded). The decomposed form still pairs with a
+    /// separate [`Self::load_direct`] that cannot be sandwich-verified,
+    /// so it clears `snapshot_clean` and keeps the periodic zombie
+    /// containment (`validate_every`); the composed [`Self::read`] is
+    /// the fully abort-free path.
+    ///
     /// # Errors
     ///
     /// Returns [`TxError::Conflict`] when incremental validation
-    /// (config `validate_every`) detects this transaction cannot
-    /// commit, or [`TxError::DOOMED`] when a priority contention
-    /// manager aborted it on another transaction's behalf.
+    /// (config `validate_every`) — or, under snapshot reads, a failed
+    /// timestamp extension — detects this transaction cannot commit, or
+    /// [`TxError::DOOMED`] when a priority contention manager aborted
+    /// it on another transaction's behalf.
     ///
     /// # Panics
     ///
@@ -298,6 +345,10 @@ impl<'stm> Transaction<'stm> {
         self.check_doomed()?;
         self.counters.open_read_ops += 1;
         self.ctl.karma.fetch_add(1, Ordering::Relaxed);
+
+        if self.stm.config().snapshot_reads {
+            return self.snapshot_open(obj);
+        }
 
         if let Some(filter) = &mut self.ctx.filter {
             if filter.check_and_set(FilterKind::Read, obj.to_raw(), 0) {
@@ -323,6 +374,127 @@ impl<'stm> Transaction<'stm> {
         self.ctx.logs.read.push(ReadEntry { obj, observed });
         self.counters.read_entries += 1;
         self.tick_read_validation()
+    }
+
+    /// Decomposed snapshot-mode open: resolves the header through the
+    /// snapshot protocol, but the separate data load that follows
+    /// cannot be sandwich-verified, so the transaction loses the
+    /// read-only validation skip (`snapshot_clean`).
+    fn snapshot_open(&mut self, obj: ObjRef) -> TxResult<()> {
+        self.snapshot_clean = false;
+        match self.snapshot_resolve(obj)? {
+            SnapObserved::SelfOwned => {}
+            SnapObserved::Covered(observed) => {
+                self.counters.snapshot_read_hits += 1;
+                self.log_read_entry(obj, observed);
+            }
+            SnapObserved::Fallback(observed) => self.log_read_entry(obj, observed),
+        }
+        self.tick_read_validation()
+    }
+
+    /// Appends a read-log entry, deduplicated through the runtime
+    /// filter (snapshot paths resolve the header *before* consulting
+    /// the filter, so the entry to suppress is already in hand).
+    fn log_read_entry(&mut self, obj: ObjRef, observed: u64) {
+        if let Some(filter) = &mut self.ctx.filter {
+            if filter.check_and_set(FilterKind::Read, obj.to_raw(), 0) {
+                self.counters.read_filtered += 1;
+                return;
+            }
+        }
+        self.ctx.logs.read.push(ReadEntry { obj, observed });
+        self.counters.read_entries += 1;
+    }
+
+    /// Resolves `obj`'s header under the snapshot-read protocol
+    /// (DESIGN.md §4.10). Loops until one of:
+    ///
+    /// - the word is ours ([`SnapObserved::SelfOwned`]);
+    /// - the word is quiescent at a version covered by `read_ver`
+    ///   ([`SnapObserved::Covered`]) — the O(1) acceptance test that
+    ///   replaces the read-set walk;
+    /// - a version *newer* than `read_ver` triggers a **timestamp
+    ///   extension**: revalidate the read set against the current
+    ///   clocks ([`Self::validate`] refreshes `clock_snapshot`, i.e.
+    ///   advances `read_ver` in place) and re-examine. Only a genuinely
+    ///   conflicting extension aborts. Extension terminates: under
+    ///   snapshot mode every released version is a commit-clock
+    ///   timestamp (commits stamp the post-bump value; aborts burn at a
+    ///   fresh bump), so after a successful extension the offending
+    ///   version is covered — at worst one extension per observed
+    ///   foreign commit;
+    /// - a foreign owner outlasts the bounded wait
+    ///   ([`SnapObserved::Fallback`]): fall back to legacy optimistic
+    ///   logging. The waiting itself recovers killed owners and
+    ///   re-checks our doom flag, so orphans and doom cycles cannot
+    ///   wedge us.
+    fn snapshot_resolve(&mut self, obj: ObjRef) -> TxResult<SnapObserved> {
+        let mut spins = 0u32;
+        loop {
+            yield_point_keyed(schedpt::OPEN_READ_PRE_HEADER, obj.to_raw() as usize);
+            let observed = self.stm.heap().header_atomic(obj).load(Ordering::Acquire);
+            match StmWord::decode(observed) {
+                StmWord::Owned { owner, .. } if owner == self.token => {
+                    return Ok(SnapObserved::SelfOwned);
+                }
+                StmWord::Owned { owner, .. } => {
+                    self.check_doomed()?;
+                    if self.stm.registry().ctl_of(owner).is_some_and(|ctl| ctl.is_killed()) {
+                        self.stm.recover_orphan(owner);
+                        continue;
+                    }
+                    if spins >= self.stm.config().doom_wait_spins {
+                        // The owner is alive but has sat on the word past
+                        // the wait budget. Fall back to the legacy
+                        // optimistic path: log the owned word (it can
+                        // never pass validation, so commit decides) and
+                        // surrender both the clock fast path and the
+                        // read-only skip.
+                        self.clock_fast_path_ok = false;
+                        self.snapshot_clean = false;
+                        return Ok(SnapObserved::Fallback(observed));
+                    }
+                    spins += 1;
+                    self.counters.cm_spins += 1;
+                    yield_point_keyed(schedpt::READ_OWNED_WAIT, obj.to_raw() as usize);
+                    if spins.is_multiple_of(32) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                word @ StmWord::Version(_) => {
+                    if word.covered_by(self.clock_snapshot) {
+                        return Ok(SnapObserved::Covered(observed));
+                    }
+                    // Version newer than read_ver: extend the timestamp
+                    // instead of aborting.
+                    yield_point_keyed(schedpt::EXTEND_PRE_VALIDATE, obj.to_raw() as usize);
+                    // Test-only regression mode: fast-forward read_ver
+                    // *without* revalidating the read set, re-opening
+                    // the torn-extension hole the schedule explorer
+                    // proves it would catch.
+                    #[cfg(test)]
+                    if self.stm.test_unsound_extension_skips_revalidate() {
+                        self.clock_snapshot = self.stm.commit_clock();
+                        continue;
+                    }
+                    match self.validate() {
+                        Ok(()) => {
+                            self.counters.ts_extensions += 1;
+                            // Loop: the fresh read_ver covers the version
+                            // we saw (timestamps never exceed the clock),
+                            // though the header may have moved again.
+                        }
+                        Err(e) => {
+                            self.counters.extension_failures += 1;
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn tick_read_validation(&mut self) -> TxResult<()> {
@@ -553,17 +725,88 @@ impl<'stm> Transaction<'stm> {
 
     /// Monolithic read barrier: `OpenForRead` + direct load.
     ///
+    /// With [`StmConfig::snapshot_reads`](crate::StmConfig) enabled this
+    /// is the fully sandwich-verified path: the value returned is known
+    /// consistent at `read_ver` the moment it is read, so a transaction
+    /// built purely from composed reads commits with *no* validation at
+    /// all and can only abort on a genuinely conflicting timestamp
+    /// extension (never from validation races) — see DESIGN.md §4.10.
+    ///
     /// # Errors
     ///
     /// See [`Self::open_for_read`].
     #[inline]
     pub fn read(&mut self, obj: ObjRef, field: usize) -> TxResult<Word> {
+        if self.stm.config().snapshot_reads {
+            return self.snapshot_read(obj, field);
+        }
         self.open_for_read(obj)?;
         // The window between logging the header and loading the data is
         // where a foreign owner's in-place store can become the value
         // this transaction computes with; validation must catch that.
         yield_point_keyed(schedpt::READ_PRE_LOAD, obj.to_raw() as usize);
         Ok(self.load_direct(obj, field))
+    }
+
+    /// Composed snapshot-mode read: resolve the header, load the data,
+    /// then re-check the header (a seqlock sandwich). A read that
+    /// passes the sandwich is consistent at `read_ver`, so it is logged
+    /// only *after* verifying and never needs the periodic zombie
+    /// containment (`validate_every`) — a sandwiched read cannot be a
+    /// zombie.
+    fn snapshot_read(&mut self, obj: ObjRef, field: usize) -> TxResult<Word> {
+        self.assert_active();
+        self.check_doomed()?;
+        self.counters.open_read_ops += 1;
+        self.ctl.karma.fetch_add(1, Ordering::Relaxed);
+        loop {
+            match self.snapshot_resolve(obj)? {
+                SnapObserved::SelfOwned => {
+                    yield_point_keyed(schedpt::READ_PRE_LOAD, obj.to_raw() as usize);
+                    return Ok(self.load_direct(obj, field));
+                }
+                SnapObserved::Fallback(observed) => {
+                    // Legacy optimistic read of a stuck foreign-owned
+                    // word: log it (`snapshot_resolve` already cleared
+                    // `snapshot_clean`, so commit-time validation — which
+                    // always rejects owned entries — decides) and return
+                    // the possibly-dirty value, exactly as the
+                    // non-snapshot path would.
+                    self.log_read_entry(obj, observed);
+                    yield_point_keyed(schedpt::READ_PRE_LOAD, obj.to_raw() as usize);
+                    return Ok(self.load_direct(obj, field));
+                }
+                SnapObserved::Covered(h1) => {
+                    yield_point_keyed(schedpt::READ_PRE_LOAD, obj.to_raw() as usize);
+                    let value = self.load_direct(obj, field);
+                    // Close the sandwich. The Acquire fence upgrades the
+                    // (relaxed) data load: it pairs with the Release
+                    // fence every acquirer issues after its winning CAS
+                    // (before any in-place store is possible), so if the
+                    // data load observed a foreign store — dirty or
+                    // committed — the header re-load below observes at
+                    // least the foreign CAS and cannot equal `h1`.
+                    std::sync::atomic::fence(Ordering::Acquire);
+                    yield_point_keyed(schedpt::READ_PRE_RECHECK, obj.to_raw() as usize);
+                    let h2 = self.stm.heap().header_atomic(obj).load(Ordering::Relaxed);
+                    // Test-only regression mode: accept the first header
+                    // unconditionally, re-opening the torn-read hole the
+                    // schedule explorer proves the re-check closes.
+                    #[cfg(test)]
+                    let h2 = if self.stm.test_unsound_snapshot_skip_recheck() { h1 } else { h2 };
+                    if h2 == h1 {
+                        // ABA-free: h1 is a version word, and a version,
+                        // once replaced, only recurs after a clean abort
+                        // (data untouched — harmless) — dirty aborts and
+                        // commits always move to a fresh stamp.
+                        self.counters.snapshot_read_hits += 1;
+                        self.log_read_entry(obj, h1);
+                        return Ok(value);
+                    }
+                    // A writer moved the header mid-read; resolve afresh.
+                }
+            }
+        }
     }
 
     /// Monolithic write barrier: `OpenForUpdate` + `LogForUndo` + direct
@@ -763,7 +1006,27 @@ impl<'stm> Transaction<'stm> {
             self.rollback(kind);
             return Err(e);
         }
-        if let Err(e) = self.validate() {
+        // Snapshot-mode read-only fast path (DESIGN.md §4.10): every
+        // read was sandwich-verified consistent at `read_ver`, so the
+        // transaction serializes at that timestamp with no validation
+        // at all. Doom and the renumbering epoch still win — a doomed
+        // transaction must abort for its contender, and renumbering
+        // invalidates version observations wholesale.
+        let snapshot_readonly = self.stm.config().snapshot_reads
+            && self.snapshot_clean
+            && self.ctx.logs.update.is_empty()
+            && self.ctx.logs.undo.is_empty();
+        if snapshot_readonly {
+            if let Err(e) = self.check_doomed() {
+                let TxError::Conflict(kind) = e else { unreachable!("doom is a conflict") };
+                self.rollback(kind);
+                return Err(e);
+            }
+            if self.stm.epoch() != self.epoch {
+                self.rollback(ConflictKind::Epoch);
+                return Err(TxError::EPOCH);
+            }
+        } else if let Err(e) = self.validate() {
             let TxError::Conflict(kind) = e else { unreachable!("validate only conflicts") };
             self.rollback(kind);
             return Err(e);
@@ -780,17 +1043,30 @@ impl<'stm> Transaction<'stm> {
         // must also observe the bump (and so cannot skip validation
         // across this commit).
         let max_version = self.stm.config().max_version();
+        let snapshot = self.stm.config().snapshot_reads;
         let mut publishes = false;
         let mut will_wrap = false;
         for entry in &self.ctx.logs.update {
             if !entry.dead {
                 publishes = true;
-                will_wrap |= entry.original_version + 1 > max_version;
+                will_wrap |= !snapshot && entry.original_version + 1 > max_version;
             }
         }
+        let mut stamp = None;
         if self.stm.config().commit_sequence && publishes {
             yield_point(schedpt::COMMIT_PRE_CLOCK_BUMP);
-            self.stm.bump_commit_clock();
+            let now = self.stm.bump_commit_clock();
+            if snapshot {
+                // Timestamp release: every published header carries the
+                // post-bump clock value, making `version <= read_ver` a
+                // meaningful O(1) test for readers. One bump covers the
+                // whole write set (the clock still counts publishing
+                // commits exactly once). Config validation pins
+                // `version_bits` to the full 62-bit space under
+                // snapshot reads, so timestamps cannot wrap.
+                assert!(now <= max_version, "commit-clock timestamp exhausted version space");
+                stamp = Some(now);
+            }
         }
         if will_wrap {
             // Version overflow: advance the global epoch *before* any
@@ -807,7 +1083,7 @@ impl<'stm> Transaction<'stm> {
             if entry.dead {
                 continue;
             }
-            let mut next = entry.original_version + 1;
+            let mut next = stamp.unwrap_or(entry.original_version + 1);
             if next > max_version {
                 next = 0;
             }
@@ -879,11 +1155,25 @@ impl<'stm> Transaction<'stm> {
         let legacy_restore = self.stm.test_unsound_abort_restores_version();
         #[cfg(not(test))]
         let legacy_restore = false;
+        let any_burn = !legacy_restore && self.ctx.logs.update.iter().any(|e| !e.dead && e.dirtied);
+        // Under snapshot reads, burned headers carry a fresh commit-clock
+        // timestamp: burning at `original + 1` could leave a version
+        // *ahead* of the clock, and a reader extending to cover it could
+        // never terminate (`read_ver` only reaches what the clock
+        // reached). One bump stamps the whole dirty set, drawn before
+        // any release store so a reader observing a burned header finds
+        // the clock already at (or past) the stamp.
+        let stamp = if any_burn && self.stm.config().snapshot_reads {
+            Some(self.stm.burn_stamp())
+        } else {
+            None
+        };
         let mut will_wrap = false;
         if !legacy_restore {
             for entry in &self.ctx.logs.update {
-                will_wrap |=
-                    !entry.dead && entry.dirtied && entry.original_version + 1 > max_version;
+                will_wrap |= !entry.dead
+                    && entry.dirtied
+                    && stamp.unwrap_or(entry.original_version + 1) > max_version;
             }
         }
         if will_wrap {
@@ -896,7 +1186,7 @@ impl<'stm> Transaction<'stm> {
                 continue;
             }
             let released = if entry.dirtied && !legacy_restore {
-                let next = entry.original_version + 1;
+                let next = stamp.unwrap_or(entry.original_version + 1);
                 if next > max_version {
                     0
                 } else {
@@ -961,9 +1251,20 @@ impl<'stm> Transaction<'stm> {
         // abort against its own savepoint rollback (`or_else` relies on
         // this).
         let max_version = self.stm.config().max_version();
+        let any_burn = self.ctx.logs.update[sp.update_len..].iter().any(|e| !e.dead && e.dirtied);
+        // Same burn policy as `rollback`: under snapshot reads, dirtied
+        // entries release at one fresh commit-clock stamp so burned
+        // versions never run ahead of the clock.
+        let stamp = if any_burn && self.stm.config().snapshot_reads {
+            Some(self.stm.burn_stamp())
+        } else {
+            None
+        };
         let mut will_wrap = false;
         for entry in &self.ctx.logs.update[sp.update_len..] {
-            will_wrap |= !entry.dead && entry.dirtied && entry.original_version + 1 > max_version;
+            will_wrap |= !entry.dead
+                && entry.dirtied
+                && stamp.unwrap_or(entry.original_version + 1) > max_version;
         }
         if will_wrap {
             self.stm.bump_epoch();
@@ -974,7 +1275,7 @@ impl<'stm> Transaction<'stm> {
                 continue;
             }
             let released = if entry.dirtied {
-                let next = entry.original_version + 1;
+                let next = stamp.unwrap_or(entry.original_version + 1);
                 if next > max_version {
                     0
                 } else {
@@ -1090,6 +1391,16 @@ impl<'stm> Transaction<'stm> {
     }
 
     fn finish(&mut self, outcome: Outcome) {
+        // A transaction that made no updates (empty update and undo
+        // logs) is read-only; the E5c experiment compares read-only
+        // abort rates across snapshot modes, so count in every mode.
+        if self.ctx.logs.update.is_empty() && self.ctx.logs.undo.is_empty() {
+            match outcome {
+                Outcome::Committed => self.counters.readonly_commits = 1,
+                Outcome::Aborted(_) => self.counters.readonly_aborts = 1,
+                Outcome::Killed => {}
+            }
+        }
         self.state = TxState::Finished;
         self.stm.registry().unregister(self.serial, self.token);
         self.stm.flush_outcome(outcome, &self.counters);

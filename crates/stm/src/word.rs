@@ -100,6 +100,16 @@ impl StmWord {
             StmWord::Owned { .. } => None,
         }
     }
+
+    /// The snapshot-read acceptance test (DESIGN.md §4.10): true if the
+    /// word is quiescent at a version no newer than `read_ver`, i.e.
+    /// the object's last publishing commit is already covered by the
+    /// reader's commit-clock snapshot. Owned words never pass —
+    /// ownership has to be resolved (waited out or fallen back from)
+    /// before the version can be judged.
+    pub fn covered_by(self, read_ver: u64) -> bool {
+        matches!(self, StmWord::Version(v) if v <= read_ver)
+    }
 }
 
 /// Encodes a version number (convenience for hot paths).
@@ -196,5 +206,13 @@ mod tests {
         assert!(StmWord::decode(owned_bits(TxToken(1), 0)).is_owned());
         assert_eq!(StmWord::Version(5).version(), Some(5));
         assert_eq!(StmWord::Owned { owner: TxToken(1), entry: 0 }.version(), None);
+    }
+
+    #[test]
+    fn snapshot_coverage_rejects_newer_versions_and_ownership() {
+        assert!(StmWord::Version(5).covered_by(5));
+        assert!(StmWord::Version(0).covered_by(0));
+        assert!(!StmWord::Version(6).covered_by(5));
+        assert!(!StmWord::Owned { owner: TxToken(1), entry: 0 }.covered_by(u64::MAX));
     }
 }

@@ -490,6 +490,172 @@ fn frozen_abort_aba_schedule_passes_on_the_fixed_tree() {
     assert_eq!(outcome, RunOutcome::Pass);
 }
 
+// ---------------------------------------------------------------------
+// Snapshot reads (DESIGN.md §4.10): the same zombie-read probe and a
+// two-cell torn-pair probe run with `snapshot_reads` on, proving
+// opacity across the seqlock sandwich and timestamp extension. The
+// failing forms (re-check skipped / extension without revalidation)
+// are pinned in `crates/stm/src/tests.rs::sched_regressions`; the
+// minimized counterexample schedules are frozen here against the fixed
+// tree.
+// ---------------------------------------------------------------------
+
+/// The snapshot-mode scenario config. Must stay identical to
+/// `sched_regressions::snapshot_config` in `crates/stm/src/tests.rs`:
+/// the frozen schedules below were minimized against that tree, and a
+/// config change would shift the yield-point step sequence.
+fn snapshot_scenario_config() -> StmConfig {
+    StmConfig {
+        serial_after_aborts: None,
+        snapshot_reads: true,
+        doom_wait_spins: 3,
+        ..StmConfig::default()
+    }
+}
+
+/// The zombie-read probe under snapshot reads: one reader racing one
+/// aborting writer. A sound snapshot read never returns the writer's
+/// dirty store (the header re-check catches it), so a committed
+/// non-zero read is a zombie.
+fn snapshot_zombie_read_factory() -> Execution {
+    let (heap, cells) = new_cells(1, &[0]);
+    let obj = cells[0];
+    let stm = Arc::new(Stm::with_config(heap.clone(), snapshot_scenario_config()));
+    let committed_read = Arc::new(Mutex::new(None::<i64>));
+
+    let reader: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let out = committed_read.clone();
+        move || {
+            let mut tx = stm.begin();
+            match tx.read(obj, 0) {
+                Ok(word) => {
+                    let v = word.as_scalar().unwrap();
+                    if tx.commit().is_ok() {
+                        *out.lock().unwrap() = Some(v);
+                    }
+                }
+                Err(_) => tx.abort(),
+            }
+        }
+    });
+    let writer: ThreadBody = Box::new({
+        let stm = stm.clone();
+        move || {
+            let mut tx = stm.begin();
+            let _ = tx.write(obj, 0, Word::from_scalar(1));
+            tx.abort();
+        }
+    });
+    let check = Box::new(move || match *committed_read.lock().unwrap() {
+        Some(v) if v != 0 => {
+            Err(format!("zombie commit: snapshot reader committed {v} from an aborted writer"))
+        }
+        _ => Ok(()),
+    });
+    Execution { threads: vec![reader, writer], check }
+}
+
+/// The torn-pair probe: a writer commits x=1, y=1 atomically from
+/// (0, 0) while a snapshot reader reads both. The only serializable
+/// read pairs are (0, 0) and (1, 1); a reader that catches y too new
+/// must either extend successfully (having certified x) or abort —
+/// never commit (0, 1).
+fn snapshot_torn_pair_factory() -> Execution {
+    let (heap, cells) = new_cells(2, &[0, 0]);
+    let (x, y) = (cells[0], cells[1]);
+    let stm = Arc::new(Stm::with_config(heap.clone(), snapshot_scenario_config()));
+    let committed_pair = Arc::new(Mutex::new(None::<(i64, i64)>));
+
+    let reader: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let out = committed_pair.clone();
+        move || {
+            let mut tx = stm.begin();
+            let result = (|| {
+                let a = tx.read(x, 0)?.as_scalar().unwrap();
+                let b = tx.read(y, 0)?.as_scalar().unwrap();
+                Ok::<_, TxError>((a, b))
+            })();
+            match result {
+                Ok(pair) => {
+                    if tx.commit().is_ok() {
+                        *out.lock().unwrap() = Some(pair);
+                    }
+                }
+                Err(_) => tx.abort(),
+            }
+        }
+    });
+    let writer: ThreadBody = Box::new({
+        let stm = stm.clone();
+        move || {
+            let mut tx = stm.begin();
+            let wrote = tx.write(x, 0, Word::from_scalar(1)).is_ok()
+                && tx.write(y, 0, Word::from_scalar(1)).is_ok();
+            if wrote {
+                let _ = tx.commit();
+            } else {
+                tx.abort();
+            }
+        }
+    });
+    let check = Box::new(move || match *committed_pair.lock().unwrap() {
+        Some((a, b)) if a != b => {
+            Err(format!("torn snapshot: reader committed ({a}, {b}) across an atomic x/y publish"))
+        }
+        _ => Ok(()),
+    });
+    Execution { threads: vec![reader, writer], check }
+}
+
+/// Minimized counterexample from the re-check-skipped revert: the
+/// reader resolves the header, the writer acquires and stores in
+/// place, and the reader's data load hits the dirty value. With the
+/// sandwich in place the re-check sees the `Owned` header and retries.
+const SNAPSHOT_RECHECK_SCHEDULE: &[usize] = &[0, 0, 1, 1, 1, 1, 0, 0];
+
+/// Minimized counterexample from the extension-without-revalidation
+/// revert: the reader reads x=0, the writer publishes x and y, and the
+/// reader finds y too new. A sound extension revalidates, catches x
+/// having moved, and aborts instead of committing (0, 1).
+const TORN_EXTENSION_SCHEDULE: &[usize] = &[0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+
+#[test]
+fn frozen_snapshot_recheck_schedule_passes_on_the_fixed_tree() {
+    let outcome =
+        explorer(1, 0).replay(&snapshot_zombie_read_factory, &SNAPSHOT_RECHECK_SCHEDULE.to_vec());
+    assert_eq!(outcome, RunOutcome::Pass);
+}
+
+#[test]
+fn frozen_torn_extension_schedule_passes_on_the_fixed_tree() {
+    let outcome =
+        explorer(1, 0).replay(&snapshot_torn_pair_factory, &TORN_EXTENSION_SCHEDULE.to_vec());
+    assert_eq!(outcome, RunOutcome::Pass);
+}
+
+#[test]
+fn oracle_snapshot_opacity_across_extension() {
+    // Sweep of the torn-pair probe: no schedule — including every
+    // interleaving that forces a timestamp extension between the two
+    // reads — may let the reader commit a torn pair. (The deterministic
+    // extension-count assertions live in `tests/snapshot_reads.rs`.)
+    let report = explorer(2_500, 1_500).explore(&snapshot_torn_pair_factory);
+    report_coverage("snapshot-opacity", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0);
+}
+
+#[test]
+fn snapshot_zombie_probe_is_clean_under_exploration() {
+    let report = explorer(2_500, 1_500).explore(&snapshot_zombie_read_factory);
+    report_coverage("snapshot-zombie", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert!(report.exhausted, "two-thread space must be fully enumerated");
+    assert_eq!(report.divergences, 0);
+}
+
 #[test]
 fn zombie_read_scenario_is_clean_under_exploration() {
     // Run the same exhaustive sweep with and without sleep sets: both
