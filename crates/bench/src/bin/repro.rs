@@ -11,8 +11,9 @@
 //!
 //! `--experiment e2` (and `e3`, and `all`) additionally runs the
 //! measured scalability sweep and writes `BENCH_e2_scalability.json`
-//! at the repository root; `e5b` (and `all`) runs the measured
-//! validation-cost sweep and writes `BENCH_e5_validation.json`; `e10`
+//! at the repository root; `e5b`/`e5c`/`e5d` (and `all`) run the
+//! measured validation-cost sweep (one shared run, shared report) and
+//! write `BENCH_e5_validation.json`; `e10`
 //! (and `all`) runs the measured service-overload sweep and writes
 //! `BENCH_e10_service.json`. `all` runs each measured sweep exactly
 //! once, however many experiments share it.
@@ -86,6 +87,12 @@ const EXPERIMENTS: &[Experiment] = &[
     Experiment {
         id: "e5c",
         description: "snapshot-read abort freedom; rides in BENCH_e5_validation.json",
+        run: no_body,
+        sweep: Some(Sweep::Validation),
+    },
+    Experiment {
+        id: "e5d",
+        description: "clock organization sweep; rides in BENCH_e5_validation.json",
         run: no_body,
         sweep: Some(Sweep::Validation),
     },

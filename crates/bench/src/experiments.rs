@@ -382,6 +382,8 @@ pub fn e7_contention(scale: Scale) {
         "cm spins",
         "val fast-path%",
         "val scans/commit",
+        "clk cas-fail%",
+        "clk bump-retry",
     ];
     let cause_row = |name: String, ops: f64, s: &omt_stm::StmStatsSnapshot| {
         vec![
@@ -396,6 +398,8 @@ pub fn e7_contention(scale: Scale) {
             s.cm_spins.to_string(),
             format!("{:.1}", s.validation_fast_path_rate() * 100.0),
             format!("{:.2}", s.entries_scanned_per_commit()),
+            format!("{:.2}", s.clock_cas_failure_rate() * 100.0),
+            s.clock_bump_retries.to_string(),
         ]
     };
 

@@ -24,13 +24,26 @@
 //! is schema-checked alongside the E5b ones. E5c lands as *new* report
 //! fields (`snapshot_variants`, `snapshot_points`); the E5b fields are
 //! unchanged so existing consumers keep parsing.
+//!
+//! The report also carries the E5d clock-organization sweep (DESIGN.md
+//! §4.11): every [`omt_stm::ClockMode`] run over a snapshot read-mostly
+//! audit and an update-heavy disjoint-account bank, measuring
+//! update-commit throughput and the decentralized clocks' contention
+//! counters (`clock_cas_failures`, `clock_bump_retries`). Headline
+//! invariants: only `pass_on_fail` may report commit-word CAS failures,
+//! the audit stays read-only-abort-free under every mode (Deferred's
+//! leading stamps force raise-then-extend, never an abort), and on
+//! hosts with real parallelism at least one decentralized mode must
+//! deliver ≥2x the update-commit throughput of `global` at the highest
+//! swept thread count. E5d lands as new fields (`clock_modes`,
+//! `clock_workloads`, `clock_points`), again additive-only.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use omt_heap::{ClassDesc, Heap, ObjRef, Word};
-use omt_stm::{Stm, StmConfig, StmStatsSnapshot};
+use omt_stm::{ClockMode, Stm, StmConfig, StmStatsSnapshot};
 use omt_workloads::{
     prefill, run_set_workload, Bank, OpMix, SetWorkload, StmBank, StmHashSet, StmSkipList,
 };
@@ -52,6 +65,16 @@ pub const SNAPSHOT_VARIANTS: [&str; 2] = ["snapshot_on", "snapshot_off"];
 /// The single E5c workload: one churned hot cell plus a cold working
 /// set, audited by read-only transactions that read hot-first.
 pub const SNAPSHOT_WORKLOAD: &str = "readmostly_audit";
+
+/// Clock organizations compared by the E5d sweep, in report order
+/// (the [`ClockMode::name`] strings, `ClockMode::ALL` order).
+pub const CLOCK_MODES: [&str; 4] = ["global", "pass_on_fail", "deferred", "striped"];
+
+/// Workloads swept by E5d: the E5c read-mostly audit (snapshot reads
+/// against leading stamps) and an update-heavy bank over per-thread
+/// disjoint account pairs, where the shared commit clock is the *only*
+/// cross-thread write — the sharpest probe of clock contention.
+pub const CLOCK_WORKLOADS: [&str; 2] = ["readmostly_audit", "bank_update"];
 
 /// Thread counts beyond [`Scale::threads`] probed when the host has
 /// the cores for them (clamped, so a laptop sweep stays honest).
@@ -143,6 +166,59 @@ impl SnapshotPoint {
     }
 }
 
+/// One measured cell of the E5d clock-organization sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockPoint {
+    /// Workload name (one of [`CLOCK_WORKLOADS`]).
+    pub workload: &'static str,
+    /// Clock organization (one of [`CLOCK_MODES`]).
+    pub mode: &'static str,
+    /// Threads driving the workload (the audit's churner is extra).
+    pub threads: usize,
+    /// Workload rounds completed (audits or transfers).
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Committed transactions that published updates (claimed a commit
+    /// stamp) — the numerator of the E5d throughput headline.
+    pub update_commits: u64,
+    /// Read-only transactions that aborted.
+    pub readonly_aborts: u64,
+    /// Successful timestamp extensions (under `deferred`, these include
+    /// every raise-then-extend at a leading stamp).
+    pub ts_extensions: u64,
+    /// Commit-word CAS attempts that lost and adopted the winner's
+    /// value. Structurally zero in every mode but `pass_on_fail`.
+    pub clock_cas_failures: u64,
+    /// Per-stripe stamp-reservation CAS retries (`deferred` only, and
+    /// only when threads alias onto one home stripe).
+    pub clock_bump_retries: u64,
+}
+
+impl ClockPoint {
+    /// Update-publishing commits per second — the throughput the clock
+    /// organization actually gates.
+    pub fn update_commits_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.update_commits as f64 / secs
+        }
+    }
+
+    /// Commit-word CAS failures per update commit (0 if none).
+    pub fn cas_failure_rate(&self) -> f64 {
+        if self.update_commits == 0 {
+            0.0
+        } else {
+            self.clock_cas_failures as f64 / self.update_commits as f64
+        }
+    }
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone)]
 pub struct ValidationReport {
@@ -154,6 +230,8 @@ pub struct ValidationReport {
     pub points: Vec<ValidationPoint>,
     /// E5c: one point per thread count × snapshot variant.
     pub snapshot_points: Vec<SnapshotPoint>,
+    /// E5d: one point per thread count × clock workload × clock mode.
+    pub clock_points: Vec<ClockPoint>,
 }
 
 /// An STM configured for validation accounting: statistics on (they are
@@ -187,6 +265,7 @@ pub fn run_validation(scale: Scale) -> ValidationReport {
     let threads_axis = sweep_threads(scale);
     let mut points = Vec::new();
     let mut snapshot_points = Vec::new();
+    let mut clock_points = Vec::new();
     for &threads in &threads_axis {
         for workload in WORKLOADS {
             for variant in VARIANTS {
@@ -196,12 +275,18 @@ pub fn run_validation(scale: Scale) -> ValidationReport {
         for variant in SNAPSHOT_VARIANTS {
             snapshot_points.push(measure_snapshot_point(scale, variant, threads));
         }
+        for workload in CLOCK_WORKLOADS {
+            for mode in ClockMode::ALL {
+                clock_points.push(measure_clock_point(scale, workload, mode, threads));
+            }
+        }
     }
     ValidationReport {
         mode: if scale == Scale::FULL { "full" } else { "quick" },
         threads: threads_axis,
         points,
         snapshot_points,
+        clock_points,
     }
 }
 
@@ -309,9 +394,6 @@ fn run_bank_audit(
 /// `ops` counts committed audit rounds, while `commits` also includes
 /// the churner's.
 fn measure_snapshot_point(scale: Scale, variant: &'static str, threads: usize) -> SnapshotPoint {
-    const COLD_CELLS: usize = 32;
-    let heap = Arc::new(Heap::new());
-    let class = heap.define_class(ClassDesc::with_var_fields("E5cCell", &["v"]));
     let config = match variant {
         "snapshot_on" => StmConfig {
             record_stats: true,
@@ -325,6 +407,32 @@ fn measure_snapshot_point(scale: Scale, variant: &'static str, threads: usize) -
         "snapshot_off" => StmConfig { record_stats: true, ..StmConfig::default() },
         other => unreachable!("unknown snapshot variant {other}"),
     };
+    let (ops, elapsed, delta) = run_readmostly_audit(scale, config, threads);
+    SnapshotPoint {
+        workload: SNAPSHOT_WORKLOAD,
+        variant,
+        threads,
+        ops,
+        elapsed,
+        commits: delta.commits,
+        readonly_commits: delta.readonly_commits,
+        readonly_aborts: delta.readonly_aborts,
+        snapshot_read_hits: delta.snapshot_read_hits,
+        ts_extensions: delta.ts_extensions,
+        extension_failures: delta.extension_failures,
+    }
+}
+
+/// The audit loop shared by E5c's variant comparison and E5d's clock
+/// sweep.
+fn run_readmostly_audit(
+    scale: Scale,
+    config: StmConfig,
+    threads: usize,
+) -> (u64, Duration, StmStatsSnapshot) {
+    const COLD_CELLS: usize = 32;
+    let heap = Arc::new(Heap::new());
+    let class = heap.define_class(ClassDesc::with_var_fields("E5cCell", &["v"]));
     let stm = Arc::new(Stm::with_config(heap.clone(), config));
     let cells: Vec<ObjRef> = (0..1 + COLD_CELLS).map(|_| heap.alloc(class).unwrap()).collect();
     for (i, &c) in cells.iter().enumerate() {
@@ -370,19 +478,83 @@ fn measure_snapshot_point(scale: Scale, variant: &'static str, threads: usize) -
     });
     let elapsed = start.elapsed();
     let delta = stm.stats().delta_since(&before);
-    SnapshotPoint {
-        workload: SNAPSHOT_WORKLOAD,
-        variant,
+    ((threads * rounds_per_thread) as u64, elapsed, delta)
+}
+
+/// The STM configuration every E5d point runs under: snapshot reads on
+/// (so Deferred's leading stamps are actually met by readers) with the
+/// clock organization under test.
+fn clock_mode_config(mode: ClockMode) -> StmConfig {
+    StmConfig {
+        record_stats: true,
+        snapshot_reads: true,
+        doom_wait_spins: 1 << 20,
+        clock_mode: mode,
+        ..StmConfig::default()
+    }
+}
+
+/// One E5d cell: the chosen workload under the chosen clock mode.
+fn measure_clock_point(
+    scale: Scale,
+    workload: &'static str,
+    mode: ClockMode,
+    threads: usize,
+) -> ClockPoint {
+    let config = clock_mode_config(mode);
+    let (ops, elapsed, delta) = match workload {
+        "readmostly_audit" => run_readmostly_audit(scale, config, threads),
+        "bank_update" => run_bank_update(scale, config, threads),
+        other => unreachable!("unknown clock workload {other}"),
+    };
+    ClockPoint {
+        workload,
+        mode: mode.name(),
         threads,
-        ops: (threads * rounds_per_thread) as u64,
+        ops,
         elapsed,
         commits: delta.commits,
-        readonly_commits: delta.readonly_commits,
+        update_commits: delta.commits - delta.readonly_commits,
         readonly_aborts: delta.readonly_aborts,
-        snapshot_read_hits: delta.snapshot_read_hits,
         ts_extensions: delta.ts_extensions,
-        extension_failures: delta.extension_failures,
+        clock_cas_failures: delta.clock_cas_failures,
+        clock_bump_retries: delta.clock_bump_retries,
     }
+}
+
+/// The update-heavy probe: each thread transfers back and forth inside
+/// its *own* account pair. Transactions never conflict on data, so the
+/// commit-clock claim is the only cross-thread interaction — exactly
+/// the serialization point the decentralized modes remove.
+fn run_bank_update(
+    scale: Scale,
+    config: StmConfig,
+    threads: usize,
+) -> (u64, Duration, StmStatsSnapshot) {
+    let stm = Arc::new(Stm::with_config(Arc::new(Heap::new()), config));
+    let bank = StmBank::new(stm.clone(), 2 * threads.max(1), 1_000);
+    let transfers_per_thread = 1_000 * scale.factor as usize;
+    let before = stm.stats();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let bank = &bank;
+            scope.spawn(move || {
+                let (a, b) = (2 * t, 2 * t + 1);
+                for i in 0..transfers_per_thread {
+                    if i % 2 == 0 {
+                        bank.transfer(a, b, 1);
+                    } else {
+                        bank.transfer(b, a, 1);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let delta = stm.stats().delta_since(&before);
+    assert_eq!(bank.total(), 2 * threads.max(1) as i64 * 1_000, "money not conserved");
+    ((threads * transfers_per_thread) as u64, elapsed, delta)
 }
 
 impl ValidationReport {
@@ -396,6 +568,13 @@ impl ValidationReport {
     /// Looks up one cell of the E5c snapshot sweep.
     pub fn snapshot_point(&self, variant: &str, threads: usize) -> Option<&SnapshotPoint> {
         self.snapshot_points.iter().find(|p| p.variant == variant && p.threads == threads)
+    }
+
+    /// Looks up one cell of the E5d clock sweep.
+    pub fn clock_point(&self, workload: &str, mode: &str, threads: usize) -> Option<&ClockPoint> {
+        self.clock_points
+            .iter()
+            .find(|p| p.workload == workload && p.mode == mode && p.threads == threads)
     }
 
     /// Renders one validation-cost table per workload.
@@ -434,6 +613,27 @@ impl ValidationReport {
             table.row(cells);
         }
         table.print();
+
+        for workload in CLOCK_WORKLOADS {
+            let mut headers: Vec<&'static str> = vec!["clock mode"];
+            for &t in &self.threads {
+                headers.push(Box::leak(format!("{t} thr upd-commits/s").into_boxed_str()));
+                headers.push(Box::leak(format!("{t} thr cas-fail").into_boxed_str()));
+                headers.push(Box::leak(format!("{t} thr bump-retry").into_boxed_str()));
+            }
+            let mut table = Table::new(format!("E5d clock organization: {workload}"), &headers);
+            for mode in CLOCK_MODES {
+                let mut cells = vec![mode.to_string()];
+                for &t in &self.threads {
+                    let p = self.clock_point(workload, mode, t).expect("complete sweep");
+                    cells.push(format!("{:.0}", p.update_commits_per_sec()));
+                    cells.push(p.clock_cas_failures.to_string());
+                    cells.push(p.clock_bump_retries.to_string());
+                }
+                table.row(cells);
+            }
+            table.print();
+        }
     }
 
     /// The machine-readable form (schema checked by
@@ -522,6 +722,48 @@ impl ValidationReport {
                         .collect(),
                 ),
             ),
+            (
+                "clock_modes".into(),
+                Json::Arr(CLOCK_MODES.iter().map(|m| Json::Str((*m).into())).collect()),
+            ),
+            (
+                "clock_workloads".into(),
+                Json::Arr(CLOCK_WORKLOADS.iter().map(|w| Json::Str((*w).into())).collect()),
+            ),
+            (
+                "clock_points".into(),
+                Json::Arr(
+                    self.clock_points
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::Str(p.workload.into())),
+                                ("mode".into(), Json::Str(p.mode.into())),
+                                ("threads".into(), Json::Num(p.threads as f64)),
+                                ("ops".into(), Json::Num(p.ops as f64)),
+                                ("elapsed_ms".into(), Json::Num(p.elapsed.as_secs_f64() * 1_000.0)),
+                                ("commits".into(), Json::Num(p.commits as f64)),
+                                ("update_commits".into(), Json::Num(p.update_commits as f64)),
+                                ("readonly_aborts".into(), Json::Num(p.readonly_aborts as f64)),
+                                ("ts_extensions".into(), Json::Num(p.ts_extensions as f64)),
+                                (
+                                    "clock_cas_failures".into(),
+                                    Json::Num(p.clock_cas_failures as f64),
+                                ),
+                                (
+                                    "clock_bump_retries".into(),
+                                    Json::Num(p.clock_bump_retries as f64),
+                                ),
+                                (
+                                    "update_commits_per_sec".into(),
+                                    Json::Num(p.update_commits_per_sec()),
+                                ),
+                                ("cas_failure_rate".into(), Json::Num(p.cas_failure_rate())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -543,6 +785,17 @@ fn point_num(point: &Json, key: &str, ctx: &str) -> Result<f64, String> {
 /// `snapshot_on` points report *zero* read-only aborts with a snapshot
 /// read path that demonstrably fired, while `snapshot_off` points keep
 /// every snapshot counter at zero.
+///
+/// The E5d clock sweep is validated last: a complete threads × clock
+/// workload × clock mode cross product; commit-word CAS failures
+/// structurally zero in every mode but `pass_on_fail`; the read-mostly
+/// audit read-only-abort-free under *every* mode (Deferred's leading
+/// stamps must extend, not abort); and — on hosts with at least 8
+/// cores sweeping at least 8 threads — at least one decentralized mode
+/// delivering ≥2x `global`'s update-commit throughput on the
+/// disjoint-account bank at the highest swept thread count. The
+/// throughput gate is host-conditional because a 1–2 core host cannot
+/// exhibit clock contention in the first place.
 ///
 /// # Errors
 ///
@@ -756,6 +1009,127 @@ pub fn validate_report(json: &Json) -> Result<(), String> {
             }
         }
     }
+
+    // E5d: the clock-organization sweep, also in additive fields.
+    let clock_modes: Vec<&str> = json
+        .get("clock_modes")
+        .and_then(Json::as_array)
+        .ok_or("missing `clock_modes`")?
+        .iter()
+        .map(|m| m.as_str())
+        .collect::<Option<_>>()
+        .ok_or("`clock_modes` must be strings")?;
+    for required in CLOCK_MODES {
+        if !clock_modes.contains(&required) {
+            return Err(format!("missing clock mode `{required}`"));
+        }
+    }
+    let clock_workloads: Vec<&str> = json
+        .get("clock_workloads")
+        .and_then(Json::as_array)
+        .ok_or("missing `clock_workloads`")?
+        .iter()
+        .map(|w| w.as_str())
+        .collect::<Option<_>>()
+        .ok_or("`clock_workloads` must be strings")?;
+    for required in CLOCK_WORKLOADS {
+        if !clock_workloads.contains(&required) {
+            return Err(format!("missing clock workload `{required}`"));
+        }
+    }
+    let clock_points =
+        json.get("clock_points").and_then(Json::as_array).ok_or("missing `clock_points`")?;
+    let expected = threads.len() * clock_workloads.len() * clock_modes.len();
+    if clock_points.len() != expected {
+        return Err(format!("expected {expected} clock points, got {}", clock_points.len()));
+    }
+    let find_clock = |workload: &str, mode: &str, t: usize| {
+        clock_points.iter().find(|p| {
+            p.get("workload").and_then(Json::as_str) == Some(workload)
+                && p.get("mode").and_then(Json::as_str) == Some(mode)
+                && p.get("threads").and_then(Json::as_f64) == Some(t as f64)
+        })
+    };
+    for &t in &threads {
+        for &workload in &clock_workloads {
+            for &mode in &clock_modes {
+                let ctx = format!("{workload}/{mode}/{t}");
+                let point =
+                    find_clock(workload, mode, t).ok_or(format!("missing clock point {ctx}"))?;
+                let ops = point_num(point, "ops", &ctx)?;
+                if ops < 1.0 {
+                    return Err(format!("{ctx}: no rounds ran"));
+                }
+                let elapsed = point
+                    .get("elapsed_ms")
+                    .and_then(Json::as_f64)
+                    .filter(|&n| n > 0.0)
+                    .ok_or(format!("{ctx}: bad `elapsed_ms`"))?;
+                let commits = point_num(point, "commits", &ctx)?;
+                let updates = point_num(point, "update_commits", &ctx)?;
+                if updates > commits {
+                    return Err(format!("{ctx}: update commits exceed total commits"));
+                }
+                let ro_aborts = point_num(point, "readonly_aborts", &ctx)?;
+                point_num(point, "ts_extensions", &ctx)?;
+                let failures = point_num(point, "clock_cas_failures", &ctx)?;
+                point_num(point, "clock_bump_retries", &ctx)?;
+                let rate = point_num(point, "update_commits_per_sec", &ctx)?;
+                if (rate - updates / (elapsed / 1_000.0)).abs() > 1e-6 * rate.max(1.0) {
+                    return Err(format!(
+                        "{ctx}: `update_commits_per_sec` inconsistent with counts"
+                    ));
+                }
+                let fail_rate = point_num(point, "cas_failure_rate", &ctx)?;
+                if updates > 0.0 && (fail_rate - failures / updates).abs() > 1e-9 {
+                    return Err(format!("{ctx}: `cas_failure_rate` inconsistent with counts"));
+                }
+                // Only GV6 pass-on-failure ever loses a commit-word
+                // CAS; every other mode bumps uncontested (global,
+                // striped) or stays off the word entirely (deferred).
+                if mode != "pass_on_fail" && failures != 0.0 {
+                    return Err(format!(
+                        "{ctx}: commit-word CAS failures in a mode that never CASes it"
+                    ));
+                }
+                if workload == "bank_update" && updates < 1.0 {
+                    return Err(format!("{ctx}: no update commit in an update-heavy workload"));
+                }
+                // The read-mostly audit runs snapshot-on under every
+                // mode: abort freedom must survive the clock redesign,
+                // including Deferred's leading stamps.
+                if workload == "readmostly_audit" && ro_aborts != 0.0 {
+                    return Err(format!(
+                        "{ctx}: {ro_aborts} read-only aborts; the audit must stay abort-free"
+                    ));
+                }
+            }
+        }
+    }
+
+    // The E5d throughput headline, on hosts that can exhibit clock
+    // contention at all: at the highest swept thread count, at least
+    // one decentralized mode must at least double `global`'s
+    // update-commit throughput on the disjoint-account bank.
+    let host_cores = json.get("host_cores").and_then(Json::as_f64).expect("checked above") as usize;
+    let &t_max = threads.iter().max().expect("non-empty");
+    if host_cores >= 8 && t_max >= 8 {
+        let ctx = format!("bank_update/global/{t_max}");
+        let global = find_clock("bank_update", "global", t_max).ok_or(format!("missing {ctx}"))?;
+        let base = point_num(global, "update_commits_per_sec", &ctx)?;
+        let best = clock_modes
+            .iter()
+            .filter(|&&m| m != "global")
+            .filter_map(|&m| find_clock("bank_update", m, t_max))
+            .filter_map(|p| p.get("update_commits_per_sec").and_then(Json::as_f64))
+            .fold(0.0f64, f64::max);
+        if best < 2.0 * base {
+            return Err(format!(
+                "bank_update at {t_max} threads: best decentralized rate {best:.0}/s \
+                 is not 2x the global clock's {base:.0}/s"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -828,6 +1202,23 @@ mod tests {
             let snap_off = report.snapshot_point("snapshot_off", t).unwrap();
             assert_eq!(snap_off.snapshot_read_hits, 0);
             assert_eq!(snap_off.ts_extensions, 0);
+        }
+        // E5d: complete cross product; CAS failures structurally zero
+        // off the GV6 path; the audit abort-free under every clock.
+        assert_eq!(
+            report.clock_points.len(),
+            axis.len() * CLOCK_WORKLOADS.len() * CLOCK_MODES.len()
+        );
+        for p in &report.clock_points {
+            if p.mode != "pass_on_fail" {
+                assert_eq!(p.clock_cas_failures, 0, "{}/{}/{}", p.workload, p.mode, p.threads);
+            }
+            if p.workload == "readmostly_audit" {
+                assert_eq!(p.readonly_aborts, 0, "audit aborted under {}/{}", p.mode, p.threads);
+            }
+            if p.workload == "bank_update" {
+                assert!(p.update_commits >= 1, "no transfer committed under {}", p.mode);
+            }
         }
         let json = report.to_json();
         let reparsed = crate::json::parse(&json.to_string()).unwrap();
@@ -909,6 +1300,31 @@ mod tests {
         }
         let err = validate_report(&Json::Obj(members)).unwrap_err();
         assert!(err.contains("knob off") || err.contains("inconsistent"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_cas_failures_outside_pass_on_fail() {
+        let report = run_validation(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        for (key, value) in &mut members {
+            if key == "clock_points" {
+                let Json::Arr(points) = value else { panic!("array") };
+                for p in points {
+                    let Json::Obj(fields) = p else { panic!("object") };
+                    let striped =
+                        fields.iter().any(|(k, v)| k == "mode" && v.as_str() == Some("striped"));
+                    if striped {
+                        for (k, v) in fields.iter_mut() {
+                            if k == "clock_cas_failures" {
+                                *v = Json::Num(1.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("never CASes") || err.contains("inconsistent"), "got: {err}");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use omt_heap::{ClassDesc, Heap, ObjRef, Word};
-use omt_stm::{CmPolicy, RetryExhausted, Stm, StmConfig};
+use omt_stm::{ClockMode, CmPolicy, RetryExhausted, Stm, StmConfig};
 
 use crate::admission::{AdmissionController, ShedReason};
 
@@ -54,9 +54,12 @@ pub struct ServiceConfig {
     /// (the E10 ablation baseline).
     pub admission: bool,
     /// The STM underneath. Defaults to the Karma contention manager so
-    /// repeatedly-aborted requests accumulate priority, and to snapshot
+    /// repeatedly-aborted requests accumulate priority, to snapshot
     /// reads so audit requests (read-only sweeps over every account)
-    /// never abort under transfer churn.
+    /// never abort under transfer churn, and to the striped acquisition
+    /// clock (DESIGN.md §4.11) so concurrent transfers do not serialize
+    /// on one global clock word — striped rather than deferred keeps
+    /// leading-stamp raises out of the audit-heavy snapshot read path.
     pub stm: StmConfig,
 }
 
@@ -72,7 +75,12 @@ impl Default for ServiceConfig {
             signal_window: Duration::from_millis(10),
             starvation_sheds: 8,
             admission: true,
-            stm: StmConfig { cm: CmPolicy::Karma, snapshot_reads: true, ..StmConfig::default() },
+            stm: StmConfig {
+                cm: CmPolicy::Karma,
+                snapshot_reads: true,
+                clock_mode: ClockMode::Striped,
+                ..StmConfig::default()
+            },
         }
     }
 }

@@ -1,0 +1,361 @@
+//! The decentralized commit/acquisition clock layer (DESIGN.md §4.11).
+//!
+//! PR 3 introduced two global `AtomicU64` clocks — the commit-sequence
+//! clock (bumped once per update-publishing release phase) and the
+//! acquisition clock (bumped once per successful `open_for_update`
+//! CAS). Correct, but both words are coherence hot spots: every writer
+//! on every core bounces the same two cache lines. This module factors
+//! the pair behind [`Clocks`] and implements the TL2 GV4–GV7 family of
+//! decentralizations, selected by [`ClockMode`]:
+//!
+//! - **Global** — the baseline: both clocks are single words advanced
+//!   with `fetch_add`. Stamps are unique and installed by their owner.
+//! - **PassOnFail** (GV6/GV4) — a publishing commit tries *one*
+//!   `compare_exchange` on the commit clock; on failure it adopts the
+//!   observed (newer) value as its stamp instead of retrying. At most
+//!   one CAS per commit and never a retry loop; duplicate stamps are
+//!   tolerated (see the safety argument below).
+//! - **Deferred** (GV5) — a publishing commit claims a stamp *above*
+//!   the global commit clock from a per-stripe reservation array and
+//!   never touches the shared word at all; readers that meet a leading
+//!   stamp raise the global word (`fetch_max`) before extending. The
+//!   acquisition clock is striped as in `Striped`.
+//! - **Striped** — `open_for_update`'s bump lands on the calling
+//!   thread's home stripe of a cache-line-padded
+//!   [`omt_util::pad::ShardArray`]; validation reads the stripe *sum*.
+//!   The commit clock stays a global `fetch_add`.
+//!
+//! # Why a striped acquisition clock stays a quiescence proof
+//!
+//! The single-word argument was: the clock is monotone, so
+//! `now == snapshot + self_bumps` proves zero foreign bumps since the
+//! snapshot. Each stripe is monotone, hence the stripe *sum* is
+//! monotone too (reads of different stripes at different instants can
+//! only under-count in-flight bumps, never over-count), so the same
+//! equality over sums proves the same thing. The fence pairing is
+//! unchanged: every bump — striped or not — is followed by a `Release`
+//! fence, and `validate()` leads with an `Acquire` fence before loading
+//! any stripe, so a validator that observed any post-bump effect of a
+//! writer also observes that writer's bump in whichever stripe it
+//! landed.
+//!
+//! # Why adopted and deferred stamps are safe
+//!
+//! Both non-owner-installed stamp schemes lean on one ordering fact: a
+//! committing writer claims its stamp *after* every encounter-time
+//! ownership acquisition (program order), and the claim begins with a
+//! `SeqCst` fence so those header CASes are globally visible before the
+//! clock is even read. A reader whose `read_ver` is `>= w` adopted it
+//! from the shared clock word *after* the clock reached `w`, which is
+//! after the `w`-stamped writer's clock load (which returned `< w` or
+//! adopted `w` itself) — hence after all of that writer's acquisitions.
+//! So such a reader can never have seen any of the writer's words in
+//! their pre-acquisition state: it finds them `Owned` (and waits) or
+//! already released at `w`. The remaining case — the reader read the
+//! word *before* adopting `read_ver >= w` — is caught by timestamp
+//! extension's revalidation, exactly as in `Global` mode. Same-object
+//! stamps still strictly increase in every mode (the second writer's
+//! acquisition of the object synchronizes with the first release, so
+//! its own clock access observes `>= w` and claims `> w`), preserving
+//! the no-version-ABA invariant that snapshot reads require.
+//!
+//! Deferred stamps additionally *lead* the shared word. The snapshot
+//! cut invariant ("any publication that begins after a reader adopts
+//! `R` carries a stamp `> R`") survives because a deferred stamp is
+//! strictly greater than the global clock at claim time, and `R` never
+//! exceeds the global clock at adoption time. A reader that meets a
+//! leading stamp `v > read_ver` first raises the global word to `v`
+//! (`fetch_max`) and then revalidates, so extension still terminates
+//! and later readers adopt `read_ver >= v`.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use omt_util::pad::{CachePadded, ShardArray};
+
+pub use crate::config::ClockMode;
+
+/// Stripes in each decentralized clock array. Matches the registry's
+/// shard count: enough to spread a few dozen threads, small enough
+/// that summing stays cheap on the validation fast path.
+pub(crate) const CLOCK_STRIPES: usize = 16;
+
+/// A claimed commit-clock stamp plus the contention it cost, for
+/// attribution into `TxCounters` / `StmStats`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Stamp {
+    /// The timestamp to release published headers at.
+    pub value: u64,
+    /// Commit-clock CAS attempts that lost the race (0 or 1 per claim;
+    /// `PassOnFail` adopts instead of retrying).
+    pub cas_failures: u64,
+    /// Per-stripe reservation CAS retries (`Deferred` only; non-zero
+    /// only when multiple threads share a home stripe).
+    pub bump_retries: u64,
+}
+
+/// The commit/acquisition clock pair behind one [`crate::Stm`], in one
+/// of the four [`ClockMode`]s. Every word and stripe is cache-line
+/// padded; the two global words can never false-share with each other
+/// or with neighboring `Stm` fields.
+#[derive(Debug)]
+pub(crate) struct Clocks {
+    mode: ClockMode,
+    /// The shared commit-sequence word. In `Deferred` mode this lags
+    /// the newest claimed stamp and is raised lazily by readers.
+    commit: CachePadded<AtomicU64>,
+    /// The shared acquisition word (`Global` / `PassOnFail` modes).
+    acquire: CachePadded<AtomicU64>,
+    /// Striped acquisition clock (`Striped` / `Deferred` modes); the
+    /// acquisition count is the stripe sum.
+    acquire_stripes: ShardArray,
+    /// Per-stripe last-claimed-stamp reservations (`Deferred` mode).
+    /// Stripe `i` only ever holds values `≡ i (mod CLOCK_STRIPES)`, so
+    /// stamps are globally unique without any shared-word traffic.
+    stamp_reservations: ShardArray,
+}
+
+impl Clocks {
+    pub(crate) fn new(mode: ClockMode) -> Clocks {
+        Clocks {
+            mode,
+            commit: CachePadded::new(AtomicU64::new(0)),
+            acquire: CachePadded::new(AtomicU64::new(0)),
+            acquire_stripes: ShardArray::new(CLOCK_STRIPES),
+            stamp_reservations: ShardArray::new(CLOCK_STRIPES),
+        }
+    }
+
+    pub(crate) fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// Whether commit stamps may exceed [`Clocks::commit_now`] (the
+    /// `Deferred` mode), in which case readers must raise-then-extend
+    /// on first sight of a leading stamp.
+    pub(crate) fn leading_stamps(&self) -> bool {
+        self.mode == ClockMode::Deferred
+    }
+
+    /// Current commit-sequence clock value. `SeqCst` keeps the load in
+    /// the same total order as adopted/deferred stamp claims, so the
+    /// reader-began-after-acquisitions argument in the module docs
+    /// holds on weakly-ordered hardware too (on x86 this costs the
+    /// same as an `Acquire` load).
+    pub(crate) fn commit_now(&self) -> u64 {
+        self.commit.load(Ordering::SeqCst)
+    }
+
+    /// Current acquisition count: the shared word, or the stripe sum.
+    pub(crate) fn acquire_now(&self) -> u64 {
+        match self.mode {
+            ClockMode::Global | ClockMode::PassOnFail => self.acquire.load(Ordering::Acquire),
+            ClockMode::Striped | ClockMode::Deferred => self.acquire_stripes.sum(),
+        }
+    }
+
+    /// Announces a successful ownership acquisition. In the striped
+    /// modes the bump is an uncontended RMW on the caller's home
+    /// stripe. The trailing `Release` fence pairs with the `Acquire`
+    /// fence at the top of `Transaction::validate` in every mode: a
+    /// validator that observed any of the owner's subsequent in-place
+    /// stores must then also observe this bump (wherever it landed).
+    pub(crate) fn bump_acquire(&self) {
+        match self.mode {
+            ClockMode::Global | ClockMode::PassOnFail => {
+                self.acquire.fetch_add(1, Ordering::AcqRel);
+            }
+            ClockMode::Striped | ClockMode::Deferred => {
+                self.acquire_stripes.bump_home();
+            }
+        }
+        fence(Ordering::Release);
+    }
+
+    /// Claims the stamp for one update-publishing release phase (or a
+    /// snapshot-mode burn). Must run after every ownership acquisition
+    /// of the claiming transaction and before its first header
+    /// release-store; the stamp value is strictly greater than any
+    /// stamp previously claimed for the same object.
+    pub(crate) fn commit_stamp(&self) -> Stamp {
+        match self.mode {
+            ClockMode::Global | ClockMode::Striped => Stamp {
+                value: self.commit.fetch_add(1, Ordering::SeqCst) + 1,
+                cas_failures: 0,
+                bump_retries: 0,
+            },
+            ClockMode::PassOnFail => self.pass_on_fail_stamp(),
+            ClockMode::Deferred => self.deferred_stamp(),
+        }
+    }
+
+    /// GV6: one CAS, and on failure adopt the winner's value. The
+    /// leading `SeqCst` fence orders the claimant's encounter-time
+    /// header CASes before the clock load, closing the store-load
+    /// reordering window the module-doc safety argument depends on.
+    fn pass_on_fail_stamp(&self) -> Stamp {
+        fence(Ordering::SeqCst);
+        let current = self.commit.load(Ordering::SeqCst);
+        match self.commit.compare_exchange(current, current + 1, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => Stamp { value: current + 1, cas_failures: 0, bump_retries: 0 },
+            // The observed value was installed after our load, hence
+            // after all our acquisitions: adopting it keeps same-object
+            // stamps strictly increasing, and the only transactions
+            // that can share it hold disjoint ownership (both held
+            // their full write sets when the clock reached this value).
+            Err(observed) => Stamp { value: observed, cas_failures: 1, bump_retries: 0 },
+        }
+    }
+
+    /// GV5: claim `stamp ≡ home (mod CLOCK_STRIPES)` strictly above
+    /// both the global clock and this stripe's previous claim, touching
+    /// only the caller's home stripe. The claim is a CAS loop, but the
+    /// stripe is contended only by threads that share a home slot, so
+    /// in steady state it never retries (retries are reported so the
+    /// E5d invariants can check exactly that).
+    fn deferred_stamp(&self) -> Stamp {
+        fence(Ordering::SeqCst);
+        let slot = self.stamp_reservations.home() as u64;
+        let stripe = self.stamp_reservations.home_stripe();
+        let stripes = CLOCK_STRIPES as u64;
+        let mut retries = 0;
+        let mut prev = stripe.load(Ordering::Acquire);
+        loop {
+            let global = self.commit.load(Ordering::SeqCst);
+            let base = global.max(prev);
+            // Round up past `base` to the next multiple of the stripe
+            // count, plus the home offset: in (base, base + 2*stripes],
+            // unique across stripes, strictly increasing within one.
+            let value = (base - base % stripes) + stripes + slot;
+            match stripe.compare_exchange(prev, value, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Stamp { value, cas_failures: 0, bump_retries: retries },
+                Err(observed) => {
+                    retries += 1;
+                    prev = observed;
+                }
+            }
+        }
+    }
+
+    /// Raises the shared commit word to at least `to` (a leading stamp
+    /// some reader met). Monotone; harmless if the clock already passed
+    /// `to`. `SeqCst` for the same total-order reasons as
+    /// [`Clocks::commit_now`].
+    pub(crate) fn raise_to(&self, to: u64) {
+        self.commit.fetch_max(to, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_stamps_are_sequential_and_published() {
+        for mode in [ClockMode::Global, ClockMode::Striped] {
+            let clocks = Clocks::new(mode);
+            assert_eq!(clocks.commit_stamp().value, 1);
+            assert_eq!(clocks.commit_stamp().value, 2);
+            assert_eq!(clocks.commit_now(), 2, "owner-installed stamps advance the word");
+            assert!(!clocks.leading_stamps());
+        }
+    }
+
+    #[test]
+    fn pass_on_fail_never_retries_and_tolerates_duplicates() {
+        let clocks = Clocks::new(ClockMode::PassOnFail);
+        const THREADS: usize = 8;
+        const CLAIMS: usize = 500;
+        let stamps: Vec<Vec<Stamp>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| scope.spawn(|| (0..CLAIMS).map(|_| clocks.commit_stamp()).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut failures = 0;
+        for per_thread in &stamps {
+            for pair in per_thread.windows(2) {
+                // Monotone (not strictly: adopted values may repeat
+                // across threads, never within one claim sequence,
+                // because the next load observes the adopted value).
+                assert!(pair[1].value > pair[0].value, "per-thread stamps regressed");
+            }
+            failures += per_thread.iter().map(|s| s.cas_failures).sum::<u64>();
+            assert!(per_thread.iter().all(|s| s.bump_retries == 0), "GV6 never retries");
+        }
+        // Every claim is one CAS: successes advance the word by one,
+        // failures adopt; the word equals the success count.
+        let total = (THREADS * CLAIMS) as u64;
+        assert_eq!(clocks.commit_now(), total - failures);
+        let max = stamps.iter().flatten().map(|s| s.value).max().unwrap();
+        assert_eq!(max, clocks.commit_now(), "no stamp exceeds the word");
+    }
+
+    #[test]
+    fn deferred_stamps_are_unique_leading_and_stripe_aligned() {
+        let clocks = Clocks::new(ClockMode::Deferred);
+        assert!(clocks.leading_stamps());
+        const THREADS: usize = 8;
+        const CLAIMS: usize = 500;
+        let stamps: Vec<Vec<Stamp>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| scope.spawn(|| (0..CLAIMS).map(|_| clocks.commit_stamp()).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = stamps.iter().flatten().map(|s| s.value).collect();
+        let count = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), count, "deferred stamps must be globally unique");
+        // The shared word never moved (nobody raised it), yet every
+        // stamp strictly leads it.
+        assert_eq!(clocks.commit_now(), 0);
+        assert!(all[0] > 0);
+        for per_thread in &stamps {
+            for pair in per_thread.windows(2) {
+                assert!(pair[1].value > pair[0].value);
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_stamp_clears_a_raised_clock() {
+        let clocks = Clocks::new(ClockMode::Deferred);
+        let first = clocks.commit_stamp().value;
+        clocks.raise_to(first + 1_000);
+        assert_eq!(clocks.commit_now(), first + 1_000);
+        let next = clocks.commit_stamp().value;
+        assert!(next > first + 1_000, "stamps stay strictly above the raised word");
+        clocks.raise_to(first); // stale raise
+        assert_eq!(clocks.commit_now(), first + 1_000, "raise_to is monotone");
+    }
+
+    #[test]
+    fn striped_acquisitions_sum_exactly() {
+        let clocks = Clocks::new(ClockMode::Striped);
+        const THREADS: usize = 8;
+        const BUMPS: usize = 1_000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..BUMPS {
+                        clocks.bump_acquire();
+                    }
+                });
+            }
+        });
+        assert_eq!(clocks.acquire_now(), (THREADS * BUMPS) as u64);
+        // The global acquire word is parked in striped modes.
+        assert_eq!(clocks.acquire.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn global_acquisitions_use_the_shared_word() {
+        let clocks = Clocks::new(ClockMode::Global);
+        clocks.bump_acquire();
+        clocks.bump_acquire();
+        assert_eq!(clocks.acquire_now(), 2);
+        assert_eq!(clocks.acquire_stripes.sum(), 0, "stripes parked in global mode");
+    }
+}

@@ -6,6 +6,65 @@ use std::time::Duration;
 
 pub use crate::cm::CmPolicy;
 
+/// How the STM's two commit-ordering clocks are implemented (the TL2
+/// GV4–GV7 design space; see DESIGN.md §4.11).
+///
+/// Every mode preserves the same semantics — versions remain monotone
+/// per word, `validate()`'s quiescence fast path remains sound, and
+/// snapshot reads keep their `version <= read_ver` acceptance rule —
+/// but the modes trade CAS contention on the shared clock words for
+/// laziness in how far the published global value may lag reality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// The baseline: both the commit clock and the acquisition clock
+    /// are single global words bumped with `fetch_add`. Exact but a
+    /// coherence hot spot at high thread counts.
+    #[default]
+    Global,
+    /// GV6-style commit bumps: a publishing commit tries one
+    /// `compare_exchange` to advance the commit clock and, on failure,
+    /// *adopts the winner's value* instead of retrying — at most one
+    /// CAS per commit, never a retry loop. Duplicate stamps are
+    /// tolerated (same-object stamps still strictly increase). The
+    /// acquisition clock stays global.
+    PassOnFail,
+    /// GV5-style deferred commit stamps: a committing writer claims a
+    /// stamp strictly above the global clock from a per-thread-stripe
+    /// reservation — no shared CAS on the commit clock at all — and the
+    /// global word is only raised lazily by readers that meet a leading
+    /// stamp (timestamp extension raises it first, then revalidates).
+    /// The acquisition clock is striped as in [`ClockMode::Striped`].
+    Deferred,
+    /// Striped acquisition clock: `open_for_update`'s post-CAS bump
+    /// lands on a cache-line-padded per-thread home stripe
+    /// (`omt_util::pad::ShardArray`); validation sums the stripes.
+    /// The commit clock stays a global `fetch_add`.
+    Striped,
+}
+
+impl ClockMode {
+    /// All modes, in documentation order (benchmark sweeps iterate
+    /// this).
+    pub const ALL: [ClockMode; 4] =
+        [ClockMode::Global, ClockMode::PassOnFail, ClockMode::Deferred, ClockMode::Striped];
+
+    /// The short lowercase name used in configs, reports, and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockMode::Global => "global",
+            ClockMode::PassOnFail => "pass_on_fail",
+            ClockMode::Deferred => "deferred",
+            ClockMode::Striped => "striped",
+        }
+    }
+}
+
+impl fmt::Display for ClockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration for an [`crate::Stm`] instance.
 ///
 /// # Examples
@@ -97,6 +156,14 @@ pub struct StmConfig {
     /// Requires `commit_sequence` and the full `version_bits = 62`
     /// space (timestamps never wrap).
     pub snapshot_reads: bool,
+    /// Implementation of the commit/acquisition clock pair (see
+    /// [`ClockMode`] and DESIGN.md §4.11). The default,
+    /// [`ClockMode::Global`], is the pre-existing single-word behavior;
+    /// the decentralized modes shed CAS contention on the two hot clock
+    /// words at high thread counts. Non-`Global` modes require
+    /// `commit_sequence` (they reorganize the clocks that knob
+    /// creates).
+    pub clock_mode: ClockMode,
 }
 
 impl Default for StmConfig {
@@ -116,6 +183,7 @@ impl Default for StmConfig {
             record_stats: true,
             commit_sequence: true,
             snapshot_reads: false,
+            clock_mode: ClockMode::Global,
         }
     }
 }
@@ -167,6 +235,14 @@ impl StmConfig {
                 self.version_bits
             );
         }
+        if self.clock_mode != ClockMode::Global {
+            assert!(
+                self.commit_sequence,
+                "clock_mode={} requires commit_sequence: the decentralized modes \
+                 reorganize the commit-sequence clocks, which that knob creates",
+                self.clock_mode
+            );
+        }
     }
 }
 
@@ -176,7 +252,7 @@ impl fmt::Display for StmConfig {
             f,
             "filter={} ({} slots), version_bits={}, cm={}, validate_every={:?}, \
              serial_after_aborts={:?}, commit_sequence={}, snapshot_reads={}, \
-             tx_deadline={:?}",
+             clock_mode={}, tx_deadline={:?}",
             self.runtime_filter,
             1u64 << self.filter_bits,
             self.version_bits,
@@ -185,6 +261,7 @@ impl fmt::Display for StmConfig {
             self.serial_after_aborts,
             self.commit_sequence,
             self.snapshot_reads,
+            self.clock_mode,
             self.tx_deadline
         )
     }
@@ -245,6 +322,36 @@ mod tests {
         assert!(s.contains("serial_after_aborts"));
         assert!(s.contains("commit_sequence=true"));
         assert!(s.contains("snapshot_reads=false"));
+        assert!(s.contains("clock_mode=global"));
+    }
+
+    #[test]
+    fn every_clock_mode_validates_with_the_clock_on() {
+        for mode in ClockMode::ALL {
+            let c = StmConfig { clock_mode: mode, ..StmConfig::default() };
+            c.validate();
+            let snap = StmConfig { clock_mode: mode, snapshot_reads: true, ..StmConfig::default() };
+            snap.validate();
+        }
+        assert_eq!(StmConfig::default().clock_mode, ClockMode::Global, "baseline is the default");
+    }
+
+    #[test]
+    fn clock_mode_names_are_stable() {
+        let names: Vec<&str> = ClockMode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["global", "pass_on_fail", "deferred", "striped"]);
+        assert_eq!(ClockMode::Deferred.to_string(), "deferred");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires commit_sequence")]
+    fn decentralized_clock_without_the_sequence_rejected() {
+        StmConfig {
+            clock_mode: ClockMode::Striped,
+            commit_sequence: false,
+            ..StmConfig::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod clock;
 pub mod cm;
 mod config;
 mod error;
@@ -73,7 +74,7 @@ mod word;
 mod tests;
 
 pub use cm::{CmDecision, CmPolicy, ContentionManager, TxCtl};
-pub use config::StmConfig;
+pub use config::{ClockMode, StmConfig};
 pub use error::{ConflictKind, RetryExhausted, TxError, TxResult};
 pub use failpoint::{FailAction, Failpoints, Trigger};
 pub use logs::Savepoint;

@@ -34,9 +34,13 @@
 //! | [`READ_PRE_RECHECK`] | snapshot-mode `read`, between the data load and the header re-check |
 //! | [`READ_OWNED_WAIT`] | snapshot-mode open, each bounded-wait round on a foreign owner |
 //! | [`EXTEND_PRE_VALIDATE`] | snapshot-mode open, before a timestamp-extension revalidation |
+//! | [`CLOCK_PRE_RAISE`] | snapshot-mode open under `Deferred` stamps, before raising the global commit clock to a leading stamp |
 //!
-//! The last three fire only with `snapshot_reads` enabled, so frozen
-//! schedules recorded against snapshot-off scenarios keep their exact
+//! The last four are gated: `READ_PRE_RECHECK`, `READ_OWNED_WAIT`, and
+//! `EXTEND_PRE_VALIDATE` fire only with `snapshot_reads` enabled, and
+//! `CLOCK_PRE_RAISE` additionally only under a clock mode whose commit
+//! stamps can lead the global clock (`Deferred`). Frozen schedules
+//! recorded against other configurations therefore keep their exact
 //! step sequences.
 //!
 //! Sites that name an object use
@@ -128,9 +132,15 @@ pub const READ_OWNED_WAIT: &str = "read.owned_wait";
 /// Snapshot-mode open, after observing a version newer than `read_ver`,
 /// before the timestamp-extension revalidation.
 pub const EXTEND_PRE_VALIDATE: &str = "extend.pre_validate";
+/// Snapshot-mode open under `Deferred` commit stamps: after observing a
+/// version newer than `read_ver`, before raising the global commit
+/// clock to cover it (so the subsequent extension's refreshed
+/// `read_ver` admits the stamp). Fires only when
+/// `ClockMode::Deferred`'s leading stamps make the raise necessary.
+pub const CLOCK_PRE_RAISE: &str = "clock.pre_raise";
 
 /// Every instrumented site, for tools that sweep or document them.
-pub const ALL: [&str; 23] = [
+pub const ALL: [&str; 24] = [
     OPEN_READ_PRE_HEADER,
     READ_PRE_LOAD,
     OPEN_UPDATE_PRE_HEADER,
@@ -154,6 +164,7 @@ pub const ALL: [&str; 23] = [
     READ_PRE_RECHECK,
     READ_OWNED_WAIT,
     EXTEND_PRE_VALIDATE,
+    CLOCK_PRE_RAISE,
 ];
 
 #[cfg(test)]

@@ -165,6 +165,14 @@ counters! {
     /// Aborts of transactions that had made no updates at rollback time
     /// (the numerator of the read-only abort rate).
     readonly_aborts,
+    /// Commit-clock CAS attempts that lost the race and adopted the
+    /// winner's value instead of retrying (GV6 `PassOnFail` mode). Zero
+    /// in every other clock mode.
+    clock_cas_failures,
+    /// Retries of the per-stripe stamp-reservation CAS loop in
+    /// `Deferred` mode (only possible when more threads than clock
+    /// stripes share a home stripe). Zero in every other mode.
+    clock_bump_retries,
 }
 
 /// Live counters owned by an [`crate::Stm`]: an array of padded shards,
@@ -283,6 +291,23 @@ impl StmStatsSnapshot {
             0.0
         } else {
             self.undo_filtered as f64 / total as f64
+        }
+    }
+
+    /// Commit-clock CAS failures per commit-stamp claim (0 if none
+    /// claimed). Commits and version-burning rollbacks each claim one
+    /// stamp, so the denominator is `commits + readonly-ish burns`; we
+    /// approximate it with `commits + aborts`, which upper-bounds the
+    /// claim count and keeps the rate comparable across modes. The E5d
+    /// headline: near zero for `Striped`/`Deferred`, where the hot
+    /// paths never CAS a shared clock word.
+    #[must_use]
+    pub fn clock_cas_failure_rate(&self) -> f64 {
+        let claims = self.commits + self.aborts();
+        if claims == 0 {
+            0.0
+        } else {
+            self.clock_cas_failures as f64 / claims as f64
         }
     }
 
@@ -418,6 +443,18 @@ mod tests {
         };
         assert!((snap.readonly_abort_rate() - 0.25).abs() < 1e-9);
         assert_eq!(StmStatsSnapshot::default().readonly_abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn clock_cas_failure_rate_normalizes_by_claims() {
+        let snap = StmStatsSnapshot {
+            commits: 6,
+            aborts_busy: 2,
+            clock_cas_failures: 2,
+            ..StmStatsSnapshot::default()
+        };
+        assert!((snap.clock_cas_failure_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(StmStatsSnapshot::default().clock_cas_failure_rate(), 0.0);
     }
 
     #[test]

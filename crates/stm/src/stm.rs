@@ -6,11 +6,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use omt_heap::{GcParticipant, Heap};
+use omt_util::pad::CachePadded;
 use omt_util::sched::{block_until, yield_point};
 use omt_util::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::clock::{Clocks, Stamp};
 use crate::cm::TxCtl;
-use crate::config::StmConfig;
+use crate::config::{ClockMode, StmConfig};
 use crate::error::{ConflictKind, RetryExhausted, TxError, TxResult};
 use crate::failpoint::Failpoints;
 use crate::registry::TxRegistry;
@@ -56,23 +58,22 @@ pub struct Stm {
     heap: Arc<Heap>,
     config: StmConfig,
     /// Global renumbering epoch; bumped when a version number wraps.
-    epoch: AtomicU64,
-    /// Commit-sequence clock: bumped by every transaction that
-    /// publishes updates, at the *start* of its release phase (before
-    /// any header store becomes visible). A transaction whose snapshot
-    /// of this clock is unchanged knows no writer has begun publishing
-    /// since, so its read set needs no rescan (see
-    /// [`Transaction::validate`] and DESIGN.md §4.7).
-    commit_clock: AtomicU64,
-    /// Acquisition clock: bumped by every successful ownership
-    /// acquisition (`open_for_update`'s CAS), *before* the acquiring
-    /// transaction can issue any in-place store. In a direct-update
-    /// STM an uncommitted in-place store is observable without any
-    /// commit having happened, so the commit clock alone cannot vouch
-    /// for a read set; the validation fast path requires *both* clocks
-    /// to be quiescent (see [`Transaction::validate`] and DESIGN.md
-    /// §4.7).
-    acquire_clock: AtomicU64,
+    /// Padded so this occasionally-written word never false-shares
+    /// with the clocks or the allocation counters around it.
+    epoch: CachePadded<AtomicU64>,
+    /// The commit-sequence / acquisition clock pair, in the
+    /// [`StmConfig::clock_mode`]-selected implementation (see
+    /// [`crate::clock`] and DESIGN.md §4.11). The commit side is
+    /// bumped (or a stamp claimed) by every transaction that publishes
+    /// updates, at the *start* of its release phase; the acquisition
+    /// side by every successful `open_for_update` CAS, *before* the
+    /// acquiring transaction can issue any in-place store. In a
+    /// direct-update STM an uncommitted in-place store is observable
+    /// without any commit having happened, so the commit clock alone
+    /// cannot vouch for a read set; the validation fast path requires
+    /// *both* clocks to be quiescent (see [`Transaction::validate`]
+    /// and DESIGN.md §4.7).
+    clocks: Clocks,
     next_token: AtomicU32,
     next_serial: AtomicU64,
     registry: TxRegistry,
@@ -175,9 +176,8 @@ impl Stm {
         Stm {
             heap,
             config,
-            epoch: AtomicU64::new(0),
-            commit_clock: AtomicU64::new(0),
-            acquire_clock: AtomicU64::new(0),
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            clocks: Clocks::new(config.clock_mode),
             next_token: AtomicU32::new(1),
             next_serial: AtomicU64::new(1),
             registry: TxRegistry::new(stats.clone()),
@@ -242,41 +242,58 @@ impl Stm {
         self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// Current commit-sequence clock (number of update-publishing
-    /// release phases started so far).
-    pub fn commit_clock(&self) -> u64 {
-        self.commit_clock.load(Ordering::Acquire)
+    /// The clock pair (see [`crate::clock`]).
+    pub(crate) fn clocks(&self) -> &Clocks {
+        &self.clocks
     }
 
-    /// Announces an update-publishing release phase and returns the
-    /// new clock value. Must happen *before* the first header
-    /// release-store so that any transaction observing a published
-    /// header also observes the bump (writer program order +
-    /// release/acquire on the header), and therefore never takes the
-    /// validation fast path across this commit. Under
-    /// [`StmConfig::snapshot_reads`] the returned value is also the
-    /// *timestamp* the release phase stamps into every published
-    /// header (see DESIGN.md §4.10).
-    pub(crate) fn bump_commit_clock(&self) -> u64 {
-        self.commit_clock.fetch_add(1, Ordering::AcqRel) + 1
+    /// The clock organization this runtime was built with (see
+    /// [`ClockMode`] and DESIGN.md §4.11).
+    pub fn clock_mode(&self) -> ClockMode {
+        self.clocks.mode()
+    }
+
+    /// Current commit-sequence clock (number of update-publishing
+    /// release phases started so far; under
+    /// [`crate::ClockMode::Deferred`] the lazily-raised lower bound on
+    /// claimed stamps).
+    pub fn commit_clock(&self) -> u64 {
+        self.clocks.commit_now()
+    }
+
+    /// Claims the stamp for an update-publishing release phase. Must
+    /// happen *before* the first header release-store so that any
+    /// transaction observing a published header also observes the
+    /// claim (writer program order + release/acquire on the header),
+    /// and therefore never takes the validation fast path across this
+    /// commit. Under [`StmConfig::snapshot_reads`] the returned value
+    /// is also the *timestamp* the release phase stamps into every
+    /// published header (see DESIGN.md §4.10). The returned [`Stamp`]
+    /// carries the claim's contention counts for the caller to fold
+    /// into its [`TxCounters`].
+    pub(crate) fn commit_stamp(&self) -> Stamp {
+        self.clocks.commit_stamp()
     }
 
     /// Draws a fresh commit-clock timestamp for *burning* dirtied
-    /// entries on the snapshot-mode abort path. Burned versions must
-    /// never exceed the clock: a snapshot reader that meets a burned
-    /// header extends its `read_ver` to at least the burn value, which
-    /// only terminates if the clock itself has reached it. Bumping the
-    /// shared clock on abort is acceptable because aborts of dirtied
-    /// writers are the rare path.
-    pub(crate) fn burn_stamp(&self) -> u64 {
-        self.bump_commit_clock()
+    /// entries on the snapshot-mode abort path. A burned version must
+    /// be reachable by extension: a snapshot reader that meets a
+    /// burned header extends its `read_ver` to at least the burn
+    /// value, which the clock itself has already reached — or, under
+    /// [`crate::ClockMode::Deferred`]'s leading stamps, which the
+    /// reader first raises the clock to. Claiming a stamp on abort is
+    /// acceptable because aborts of dirtied writers are the rare path.
+    pub(crate) fn burn_stamp(&self) -> Stamp {
+        self.clocks.commit_stamp()
     }
 
     /// Current acquisition clock (number of successful ownership
     /// acquisitions so far, while [`StmConfig::commit_sequence`] is
-    /// enabled).
+    /// enabled). In the striped modes this sums the per-thread
+    /// stripes; the sum is monotone, which is all the validation fast
+    /// path needs (see [`crate::clock`]).
     pub fn acquire_clock(&self) -> u64 {
-        self.acquire_clock.load(Ordering::Acquire)
+        self.clocks.acquire_now()
     }
 
     /// Announces a successful ownership acquisition. Runs *after* the
@@ -284,17 +301,18 @@ impl Stm {
     /// in-place store can precede it. Two orderings matter:
     ///
     /// - CAS-then-bump (`AcqRel` on both): a validator whose `Acquire`
-    ///   clock load observes the bump also observes the `Owned` header,
+    ///   load observes the bump also observes the `Owned` header,
     ///   so a read-log scan under that clock value cannot miss the
     ///   acquisition.
-    /// - The trailing `Release` fence pairs with the `Acquire` fence at
+    /// - The trailing `Release` fence (inside
+    ///   [`Clocks::bump_acquire`]) pairs with the `Acquire` fence at
     ///   the top of [`Transaction::validate`]: a validator that
     ///   observed any of the owner's subsequent (relaxed) in-place
-    ///   stores must then also observe the bump, and therefore never
-    ///   takes the fast path across uncommitted data.
+    ///   stores must then also observe the bump — in whichever stripe
+    ///   it landed — and therefore never takes the fast path across
+    ///   uncommitted data.
     pub(crate) fn bump_acquire_clock(&self) {
-        self.acquire_clock.fetch_add(1, Ordering::AcqRel);
-        std::sync::atomic::fence(Ordering::Release);
+        self.clocks.bump_acquire();
     }
 
     /// Begins a transaction.
@@ -636,8 +654,19 @@ impl Stm {
         // clock timestamp (never `original + 1`, which could exceed the
         // clock and strand extending readers); otherwise the legacy
         // per-entry increment applies.
-        let mut fresh_burn =
-            || if self.config.snapshot_reads { Some(self.burn_stamp()) } else { None };
+        let mut fresh_burn = || {
+            if self.config.snapshot_reads {
+                let stamp = self.burn_stamp();
+                // No transaction context to attribute the claim to, so
+                // the contention counts land on the global stats
+                // directly.
+                self.stats.add(|c| &c.clock_cas_failures, stamp.cas_failures);
+                self.stats.add(|c| &c.clock_bump_retries, stamp.bump_retries);
+                Some(stamp.value)
+            } else {
+                None
+            }
+        };
         self.registry
             .recover(&self.heap, token, max_version, &mut fresh_burn, &mut || self.bump_epoch())
     }
@@ -730,5 +759,7 @@ impl Stm {
         s.add(|c| &c.extension_failures, counters.extension_failures);
         s.add(|c| &c.readonly_commits, counters.readonly_commits);
         s.add(|c| &c.readonly_aborts, counters.readonly_aborts);
+        s.add(|c| &c.clock_cas_failures, counters.clock_cas_failures);
+        s.add(|c| &c.clock_bump_retries, counters.clock_bump_retries);
     }
 }

@@ -91,6 +91,13 @@ pub struct TxCounters {
     pub readonly_commits: u64,
     /// 1 if this transaction aborted having made no updates.
     pub readonly_aborts: u64,
+    /// Commit-clock CAS attempts that lost their race (stamp claims
+    /// and burns; `PassOnFail` adopts the winner's value instead of
+    /// retrying, so this counts contention events, not extra spins).
+    pub clock_cas_failures: u64,
+    /// Per-stripe stamp-reservation CAS retries (`Deferred` mode;
+    /// non-zero only when threads share a home stripe).
+    pub clock_bump_retries: u64,
 }
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -470,6 +477,18 @@ impl<'stm> Transaction<'stm> {
                     }
                     // Version newer than read_ver: extend the timestamp
                     // instead of aborting.
+                    if self.stm.clocks().leading_stamps() {
+                        // Deferred-mode stamps may lead the shared
+                        // clock; raise it to the stamp first, so the
+                        // extension's refreshed read_ver actually
+                        // covers the version we just met (otherwise
+                        // the extension could spin on a stamp the
+                        // clock never reaches on its own).
+                        yield_point_keyed(schedpt::CLOCK_PRE_RAISE, obj.to_raw() as usize);
+                        if let StmWord::Version(v) = word {
+                            self.stm.clocks().raise_to(v);
+                        }
+                    }
                     yield_point_keyed(schedpt::EXTEND_PRE_VALIDATE, obj.to_raw() as usize);
                     // Test-only regression mode: fast-forward read_ver
                     // *without* revalidating the read set, re-opening
@@ -484,8 +503,10 @@ impl<'stm> Transaction<'stm> {
                         Ok(()) => {
                             self.counters.ts_extensions += 1;
                             // Loop: the fresh read_ver covers the version
-                            // we saw (timestamps never exceed the clock),
-                            // though the header may have moved again.
+                            // we saw (timestamps never exceed the clock —
+                            // Deferred's leading stamps were raised into
+                            // it above), though the header may have moved
+                            // again.
                         }
                         Err(e) => {
                             self.counters.extension_failures += 1;
@@ -896,6 +917,20 @@ impl<'stm> Transaction<'stm> {
         //   that observed a version word has been acquired — let alone
         //   dirtied — since the snapshot.
         //
+        // Under the striped clock modes (DESIGN.md §4.11) the
+        // acquisition "clock" is a vector of per-stripe monotone
+        // counters and `acquire_clock()` is their sum. The argument is
+        // unchanged: each stripe is monotone, so the sum is monotone
+        // and can neither miss nor double-count a bump that completed
+        // before the fence above; equality with `snapshot + self_bumps`
+        // therefore still proves zero foreign acquisitions, and the
+        // per-bump Release fence pairs with our Acquire fence exactly
+        // as in the single-word case, whichever stripe the bump landed
+        // in. The commit clock may lag claimed stamps in Deferred mode;
+        // that weakens nothing here — the acquisition conjunct alone
+        // rules out foreign effects on version-word entries, because
+        // every publishing writer must first acquire.
+        //
         // Entries that observed a foreign owner *at open time* are the
         // remaining case; they cleared `clock_fast_path_ok` when they
         // were appended, because the owner's later stores move neither
@@ -1055,7 +1090,10 @@ impl<'stm> Transaction<'stm> {
         let mut stamp = None;
         if self.stm.config().commit_sequence && publishes {
             yield_point(schedpt::COMMIT_PRE_CLOCK_BUMP);
-            let now = self.stm.bump_commit_clock();
+            let claim = self.stm.commit_stamp();
+            self.counters.clock_cas_failures += claim.cas_failures;
+            self.counters.clock_bump_retries += claim.bump_retries;
+            let now = claim.value;
             if snapshot {
                 // Timestamp release: every published header carries the
                 // post-bump clock value, making `version <= read_ver` a
@@ -1162,9 +1200,13 @@ impl<'stm> Transaction<'stm> {
         // never terminate (`read_ver` only reaches what the clock
         // reached). One bump stamps the whole dirty set, drawn before
         // any release store so a reader observing a burned header finds
-        // the clock already at (or past) the stamp.
+        // the clock already at (or past) the stamp — or, under
+        // Deferred's leading stamps, raises it there before extending.
         let stamp = if any_burn && self.stm.config().snapshot_reads {
-            Some(self.stm.burn_stamp())
+            let claim = self.stm.burn_stamp();
+            self.counters.clock_cas_failures += claim.cas_failures;
+            self.counters.clock_bump_retries += claim.bump_retries;
+            Some(claim.value)
         } else {
             None
         };
@@ -1254,9 +1296,12 @@ impl<'stm> Transaction<'stm> {
         let any_burn = self.ctx.logs.update[sp.update_len..].iter().any(|e| !e.dead && e.dirtied);
         // Same burn policy as `rollback`: under snapshot reads, dirtied
         // entries release at one fresh commit-clock stamp so burned
-        // versions never run ahead of the clock.
+        // versions never run ahead of what extension can reach.
         let stamp = if any_burn && self.stm.config().snapshot_reads {
-            Some(self.stm.burn_stamp())
+            let claim = self.stm.burn_stamp();
+            self.counters.clock_cas_failures += claim.cas_failures;
+            self.counters.clock_bump_retries += claim.bump_retries;
+            Some(claim.value)
         } else {
             None
         };

@@ -17,7 +17,10 @@
 //!   site when nothing is installed);
 //! - [`hist`] — fixed-footprint log-linear histograms for latency
 //!   percentiles (p50/p95/p99 with ~3% relative error), used by the
-//!   service benchmark harness.
+//!   service benchmark harness;
+//! - [`pad`] — cache-line padding ([`pad::CachePadded`]) and padded
+//!   atomic stripe arrays ([`pad::ShardArray`]) for hot shared
+//!   counters, used by the STM's decentralized clock layer.
 //!
 //! Everything here is intentionally boring: no unsafe beyond the one
 //! documented lifetime extension in [`sync::ArcMutexGuard`], no
@@ -27,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod hist;
+pub mod pad;
 pub mod rng;
 pub mod sched;
 pub mod sync;

@@ -1,0 +1,225 @@
+//! Cache-line padding and padded atomic shard arrays.
+//!
+//! Two primitives for keeping hot shared words off each other's cache
+//! lines:
+//!
+//! - [`CachePadded`] — a transparent wrapper that aligns (and therefore
+//!   pads) its contents to 128 bytes, covering the 64-byte lines common
+//!   on x86 and the 128-byte prefetch pairs on recent Intel and Apple
+//!   hardware. Used to separate adjacent hot atomics in a struct.
+//! - [`ShardArray`] — a fixed, power-of-two array of padded
+//!   `AtomicU64`s with a stable thread-home stripe assignment, built
+//!   for *striped monotone counters*: writers bump only their home
+//!   stripe (no cross-thread CAS contention), readers sum or max the
+//!   stripes. Because every stripe is monotone non-decreasing, the sum
+//!   is monotone too, and an unchanged sum between two reads proves no
+//!   stripe moved in between — the property the STM's striped
+//!   acquisition clock leans on (DESIGN.md §4.11).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Aligns `T` to 128 bytes so two neighboring values never share a
+/// cache line (nor a 2-line prefetch pair).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` with cache-line padding.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwraps, discarding the padding.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> CachePadded<T> {
+        CachePadded::new(value)
+    }
+}
+
+/// Round-robin source for thread home stripes: each thread is assigned
+/// the next index the first time it touches *any* `ShardArray` and
+/// keeps it for life, so a thread's traffic in every array stays on
+/// one stripe (modulo the array's length).
+static NEXT_HOME: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    static HOME_INDEX: usize = NEXT_HOME.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A power-of-two array of cache-line-padded `AtomicU64` stripes with a
+/// per-thread home slot.
+///
+/// Designed for monotone counters read as a sum: [`bump_home`] is a
+/// single uncontended `fetch_add` on the calling thread's stripe, and
+/// [`sum`] with `Acquire` loads observes a value that can only grow.
+/// See the module docs for why an unchanged sum is a quiescence proof.
+///
+/// [`bump_home`]: ShardArray::bump_home
+/// [`sum`]: ShardArray::sum
+pub struct ShardArray {
+    stripes: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl ShardArray {
+    /// Creates `len` zeroed stripes. `len` must be a power of two (the
+    /// home mapping is a mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or not a power of two.
+    pub fn new(len: usize) -> ShardArray {
+        assert!(len.is_power_of_two(), "stripe count must be a power of two, got {len}");
+        let stripes = (0..len).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+        ShardArray { stripes }
+    }
+
+    /// Number of stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Always `false`: construction rejects zero stripes.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The calling thread's home stripe index (stable for the thread's
+    /// lifetime).
+    pub fn home(&self) -> usize {
+        HOME_INDEX.with(|&i| i & (self.stripes.len() - 1))
+    }
+
+    /// The stripe at `index` (modulo the stripe count).
+    pub fn stripe(&self, index: usize) -> &AtomicU64 {
+        &self.stripes[index & (self.stripes.len() - 1)]
+    }
+
+    /// The calling thread's home stripe.
+    pub fn home_stripe(&self) -> &AtomicU64 {
+        &self.stripes[self.home()]
+    }
+
+    /// Adds 1 to the home stripe, returning the stripe's *previous*
+    /// value. An uncontended RMW in steady state: only threads homed to
+    /// the same stripe ever touch this line.
+    pub fn bump_home(&self) -> u64 {
+        self.home_stripe().fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Sum of all stripes (`Acquire` loads). Monotone non-decreasing
+    /// over time because every stripe is; exact when no bump is
+    /// concurrent with the walk.
+    pub fn sum(&self) -> u64 {
+        self.stripes.iter().map(|s| s.load(Ordering::Acquire)).sum()
+    }
+
+    /// Maximum over all stripes (`Acquire` loads).
+    pub fn max(&self) -> u64 {
+        self.stripes.iter().map(|s| s.load(Ordering::Acquire)).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for ShardArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardArray")
+            .field("len", &self.stripes.len())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_separates_neighbors() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<AtomicU64>>() >= 128);
+        let pair = [CachePadded::new(AtomicU64::new(0)), CachePadded::new(AtomicU64::new(0))];
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert!(b - a >= 128, "neighbors {a:#x} and {b:#x} share a line");
+    }
+
+    #[test]
+    fn cache_padded_derefs() {
+        let mut cell = CachePadded::new(7u64);
+        assert_eq!(*cell, 7);
+        *cell += 1;
+        assert_eq!(cell.into_inner(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        ShardArray::new(6);
+    }
+
+    #[test]
+    fn home_is_stable_and_in_range() {
+        let arr = ShardArray::new(8);
+        let h = arr.home();
+        assert!(h < 8);
+        for _ in 0..100 {
+            assert_eq!(arr.home(), h, "home stripe must not move");
+        }
+        assert_eq!(
+            arr.home_stripe() as *const AtomicU64,
+            arr.stripe(arr.home()) as *const AtomicU64
+        );
+    }
+
+    #[test]
+    fn cross_thread_sum_is_exact() {
+        let arr = ShardArray::new(4);
+        const THREADS: usize = 8;
+        const BUMPS: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..BUMPS {
+                        arr.bump_home();
+                    }
+                });
+            }
+        });
+        assert_eq!(arr.sum(), THREADS as u64 * BUMPS);
+        assert!(arr.max() <= arr.sum());
+    }
+
+    #[test]
+    fn sum_unchanged_proves_quiescence() {
+        // The monotone-sum property the striped acquisition clock
+        // relies on: self-bumps are exactly discountable.
+        let arr = ShardArray::new(4);
+        let before = arr.sum();
+        arr.bump_home();
+        arr.bump_home();
+        assert_eq!(arr.sum(), before + 2);
+    }
+}

@@ -8,7 +8,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 
 use omt::heap::{ClassDesc, Heap, ObjRef, Word};
-use omt::stm::{Stm, StmConfig, TxError};
+use omt::stm::{ClockMode, Stm, StmConfig, TxError};
 
 const CELLS: usize = 16;
 const READERS: usize = 4;
@@ -144,6 +144,61 @@ fn uncommitted_in_place_store_aborts_the_reader() {
 
     let stats = stm.stats();
     assert_eq!(stats.aborts_invalid, 1);
+}
+
+/// GV5 deferred stamps lead the global commit clock (DESIGN.md §4.11):
+/// a writer publishes headers carrying a stamp the clock has not
+/// reached. A snapshot reader that meets such a header must *raise*
+/// the clock and extend its read version in place — not abort, and
+/// certainly not admit the value without revalidating what it already
+/// read. Channel handoffs pin the cross-thread order deterministically.
+#[test]
+fn deferred_leading_stamp_forces_a_raise_and_extension_not_an_abort() {
+    let (_heap, stm, cells) = setup(StmConfig {
+        snapshot_reads: true,
+        clock_mode: ClockMode::Deferred,
+        ..StmConfig::default()
+    });
+    let (x, y) = (cells[0], cells[1]);
+
+    let (to_writer, writer_rx) = mpsc::channel::<()>();
+    let (to_reader, reader_rx) = mpsc::channel::<()>();
+
+    thread::scope(|s| {
+        let writer_stm = stm.clone();
+        s.spawn(move || {
+            writer_rx.recv().unwrap();
+            // W: commit an update to y. The release phase stamps y's
+            // header with a deferred stamp; nothing raises the global
+            // word, so the stamp strictly leads it.
+            writer_stm.atomically(|tx| tx.write(y, 0, Word::from_scalar(7)));
+            to_reader.send(()).unwrap();
+        });
+
+        // R: snapshot-read x at read_ver = 0, before W runs.
+        let mut reader = stm.begin();
+        assert_eq!(reader.read(x, 0).unwrap().as_scalar(), Some(0));
+
+        to_writer.send(()).unwrap();
+        reader_rx.recv().unwrap();
+
+        // W has committed, yet the global clock still reads zero: y's
+        // header carries a stamp from the future of the clock.
+        assert_eq!(stm.commit_clock(), 0, "deferred stamps must not touch the global word");
+
+        // R meets the leading stamp. The sound path raises the clock to
+        // cover it, revalidates x (unmoved), and returns the new value
+        // under the extended read version.
+        assert_eq!(reader.read(y, 0).unwrap().as_scalar(), Some(7), "extension must admit y");
+        assert!(stm.commit_clock() > 0, "the reader must have raised the clock past the stamp");
+        assert_eq!(reader.commit(), Ok(()), "a consistent extended snapshot commits");
+    });
+
+    let stats = stm.stats();
+    assert_eq!(stats.ts_extensions, 1, "exactly one extension (at the leading stamp)");
+    assert_eq!(stats.extension_failures, 0);
+    assert_eq!(stats.readonly_aborts, 0, "the reader must extend, not abort");
+    assert_eq!(stats.clock_cas_failures, 0, "deferred stamping never CAS-contends");
 }
 
 #[test]

@@ -20,7 +20,7 @@ use std::sync::{Arc, Mutex};
 use omt_heap::{ClassDesc, Heap, ObjRef, Word};
 use omt_sched::{Execution, Explorer, RunOutcome, SchedConfig, ThreadBody};
 use omt_stm::failpoint::{sites, FailAction, Trigger};
-use omt_stm::{CmPolicy, Stm, StmConfig, StmWord, TxError};
+use omt_stm::{ClockMode, CmPolicy, Stm, StmConfig, StmWord, TxError};
 
 /// Baseline STM configuration (see module docs); the serial-mode
 /// oracles override `serial_after_aborts`.
@@ -350,8 +350,29 @@ fn oracle_kill_recovery_restores_pre_state() {
 // ---------------------------------------------------------------------
 
 fn quiescence_factory() -> Execution {
+    quiescence_factory_with(ClockMode::Global)
+}
+
+/// The quiescence oracle generalized over the clock organizations of
+/// DESIGN.md §4.11. Each mode gets the strongest invariant it
+/// guarantees:
+///
+/// - every mode: the acquisition clock (global word or striped sum)
+///   equals the number of successful acquisitions, exactly;
+/// - `Global` / `Striped`: the commit clock equals the number of
+///   update-publishing commits, exactly;
+/// - `PassOnFail`: the commit word advances once per *successful* CAS,
+///   so clock + adopted failures equals the publish count, and no mode
+///   but this one may report CAS failures at all;
+/// - `Deferred`: stamps are claimed off-clock and nothing in this
+///   (snapshot-off) scenario raises the global word, so it stays at
+///   zero while the striped acquisition sum still proves quiescence.
+fn quiescence_factory_with(mode: ClockMode) -> Execution {
     let (heap, cells) = new_cells(2, &[0, 0]);
-    let stm = Arc::new(Stm::with_config(heap.clone(), scenario_config()));
+    let stm = Arc::new(Stm::with_config(
+        heap.clone(),
+        StmConfig { clock_mode: mode, ..scenario_config() },
+    ));
     let commits = Arc::new(AtomicUsize::new(0));
 
     let writer = |obj: ObjRef| {
@@ -392,10 +413,38 @@ fn quiescence_factory() -> Execution {
             ));
         }
         let published = commits.load(Ordering::SeqCst) as u64;
-        if stm.commit_clock() != published {
+        match mode {
+            ClockMode::Global | ClockMode::Striped => {
+                if stm.commit_clock() != published {
+                    return Err(format!(
+                        "commit clock {} != update-publishing commits {published}",
+                        stm.commit_clock()
+                    ));
+                }
+            }
+            ClockMode::PassOnFail => {
+                if stm.commit_clock() + s.clock_cas_failures != published {
+                    return Err(format!(
+                        "commit clock {} + adopted failures {} != publishes {published}",
+                        stm.commit_clock(),
+                        s.clock_cas_failures
+                    ));
+                }
+            }
+            ClockMode::Deferred => {
+                if stm.commit_clock() != 0 {
+                    return Err(format!(
+                        "nothing raises the deferred commit word here, yet it reads {}",
+                        stm.commit_clock()
+                    ));
+                }
+            }
+        }
+        if mode != ClockMode::PassOnFail && s.clock_cas_failures != 0 {
             return Err(format!(
-                "commit clock {} != update-publishing commits {published}",
-                stm.commit_clock()
+                "mode {mode} must never CAS-contend the commit word, \
+                 saw {} failures",
+                s.clock_cas_failures
             ));
         }
         if s.validation_fast_path > s.validations {
@@ -415,6 +464,20 @@ fn oracle_two_clock_quiescence() {
     assert!(report.schedules_run >= 1_500, "got {}", report.schedules_run);
 }
 
+#[test]
+fn oracle_decentralized_clock_quiescence() {
+    // The same oracle under each decentralized mode (Global is the
+    // sweep above): the per-mode invariants in
+    // `quiescence_factory_with` must hold on every schedule.
+    for mode in [ClockMode::PassOnFail, ClockMode::Striped, ClockMode::Deferred] {
+        let factory = move || quiescence_factory_with(mode);
+        let report = explorer(1_500, 1_000).explore(&factory);
+        report_coverage(&format!("quiescence[{mode}]"), &report);
+        assert!(report.passed(), "[{mode}] {}", report.counterexample.unwrap());
+        assert_eq!(report.divergences, 0, "[{mode}]");
+    }
+}
+
 // ---------------------------------------------------------------------
 // Frozen regression schedules: the minimized counterexamples the
 // explorer produced for the two cross-thread bugs this repository has
@@ -428,9 +491,13 @@ fn oracle_two_clock_quiescence() {
 /// schedules run against). No transaction ever commits an update, so a
 /// reader that commits a non-zero value observed rolled-back state.
 fn zombie_read_factory() -> Execution {
+    zombie_read_factory_with(scenario_config())
+}
+
+fn zombie_read_factory_with(config: StmConfig) -> Execution {
     let (heap, cells) = new_cells(1, &[0]);
     let obj = cells[0];
-    let stm = Arc::new(Stm::with_config(heap.clone(), scenario_config()));
+    let stm = Arc::new(Stm::with_config(heap.clone(), config));
     let committed_read = Arc::new(Mutex::new(None::<i64>));
 
     let reader: ThreadBody = Box::new({
@@ -518,9 +585,13 @@ fn snapshot_scenario_config() -> StmConfig {
 /// dirty store (the header re-check catches it), so a committed
 /// non-zero read is a zombie.
 fn snapshot_zombie_read_factory() -> Execution {
+    snapshot_zombie_read_factory_with(snapshot_scenario_config())
+}
+
+fn snapshot_zombie_read_factory_with(config: StmConfig) -> Execution {
     let (heap, cells) = new_cells(1, &[0]);
     let obj = cells[0];
-    let stm = Arc::new(Stm::with_config(heap.clone(), snapshot_scenario_config()));
+    let stm = Arc::new(Stm::with_config(heap.clone(), config));
     let committed_read = Arc::new(Mutex::new(None::<i64>));
 
     let reader: ThreadBody = Box::new({
@@ -562,9 +633,13 @@ fn snapshot_zombie_read_factory() -> Execution {
 /// must either extend successfully (having certified x) or abort —
 /// never commit (0, 1).
 fn snapshot_torn_pair_factory() -> Execution {
+    snapshot_torn_pair_factory_with(snapshot_scenario_config())
+}
+
+fn snapshot_torn_pair_factory_with(config: StmConfig) -> Execution {
     let (heap, cells) = new_cells(2, &[0, 0]);
     let (x, y) = (cells[0], cells[1]);
-    let stm = Arc::new(Stm::with_config(heap.clone(), snapshot_scenario_config()));
+    let stm = Arc::new(Stm::with_config(heap.clone(), config));
     let committed_pair = Arc::new(Mutex::new(None::<(i64, i64)>));
 
     let reader: ThreadBody = Box::new({
@@ -654,6 +729,78 @@ fn snapshot_zombie_probe_is_clean_under_exploration() {
     assert!(report.passed(), "{}", report.counterexample.unwrap());
     assert!(report.exhausted, "two-thread space must be fully enumerated");
     assert_eq!(report.divergences, 0);
+}
+
+#[test]
+fn frozen_schedules_replay_green_under_every_clock_mode() {
+    // The four frozen counterexample schedules, replayed under each
+    // clock organization. Replay semantics are lenient — the schedule
+    // is a forced prefix with default-policy fallback — so the exact
+    // trees may diverge in step count (Deferred adds the
+    // `clock.pre_raise` point), but every mode must still pass: the
+    // bugs these schedules pinned are mode-independent.
+    for mode in ClockMode::ALL {
+        let plain =
+            move || zombie_read_factory_with(StmConfig { clock_mode: mode, ..scenario_config() });
+        let snap_zombie = move || {
+            snapshot_zombie_read_factory_with(StmConfig {
+                clock_mode: mode,
+                ..snapshot_scenario_config()
+            })
+        };
+        let snap_torn = move || {
+            snapshot_torn_pair_factory_with(StmConfig {
+                clock_mode: mode,
+                ..snapshot_scenario_config()
+            })
+        };
+        for (name, outcome) in [
+            ("two-clock", explorer(1, 0).replay(&plain, &TWO_CLOCK_FAST_PATH_SCHEDULE.to_vec())),
+            ("abort-aba", explorer(1, 0).replay(&plain, &ABORT_VERSION_ABA_SCHEDULE.to_vec())),
+            (
+                "snapshot-recheck",
+                explorer(1, 0).replay(&snap_zombie, &SNAPSHOT_RECHECK_SCHEDULE.to_vec()),
+            ),
+            (
+                "torn-extension",
+                explorer(1, 0).replay(&snap_torn, &TORN_EXTENSION_SCHEDULE.to_vec()),
+            ),
+        ] {
+            assert_eq!(outcome, RunOutcome::Pass, "frozen {name} schedule under {mode}");
+        }
+    }
+}
+
+#[test]
+fn snapshot_probes_are_clean_under_every_clock_mode() {
+    // Exhaustive zombie containment and torn-pair opacity for each
+    // decentralized mode (Global is covered by the two sweeps above).
+    // Deferred is the interesting one: readers meet stamps that lead
+    // the global clock and must raise-then-extend, never admit them.
+    for mode in [ClockMode::PassOnFail, ClockMode::Striped, ClockMode::Deferred] {
+        let zombie = move || {
+            snapshot_zombie_read_factory_with(StmConfig {
+                clock_mode: mode,
+                ..snapshot_scenario_config()
+            })
+        };
+        let report = explorer(6_000, 800).explore(&zombie);
+        report_coverage(&format!("snapshot-zombie[{mode}]"), &report);
+        assert!(report.passed(), "[{mode}] {}", report.counterexample.unwrap());
+        assert!(report.exhausted, "[{mode}] two-thread space must be fully enumerated");
+        assert_eq!(report.divergences, 0, "[{mode}]");
+
+        let torn = move || {
+            snapshot_torn_pair_factory_with(StmConfig {
+                clock_mode: mode,
+                ..snapshot_scenario_config()
+            })
+        };
+        let report = explorer(1_500, 1_000).explore(&torn);
+        report_coverage(&format!("snapshot-opacity[{mode}]"), &report);
+        assert!(report.passed(), "[{mode}] {}", report.counterexample.unwrap());
+        assert_eq!(report.divergences, 0, "[{mode}]");
+    }
 }
 
 #[test]
