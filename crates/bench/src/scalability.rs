@@ -14,15 +14,16 @@
 //! runtime's hot path, not its accounting.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use omt_heap::Heap;
-use omt_stm::{Stm, StmConfig};
+use omt_heap::{ClassDesc, FieldDesc, FieldMut, Heap, Word};
+use omt_stm::{BoostLockStats, Stm, StmConfig};
 use omt_workloads::{
-    prefill, run_bank_workload, run_counter_throughput, run_set_workload, CoarseBank,
-    CoarseCounterArray, CoarseStdSet, CounterArray, HandOverHandList, LockBank, OpMix, SetWorkload,
-    StmBank, StmHashSet, StmSkipList, StripedCounterArray, StripedHashSet,
+    prefill, run_bank_workload, run_counter_throughput, run_set_workload, BoostedHashMap,
+    CoarseBank, CoarseCounterArray, CoarseStdSet, CounterArray, HandOverHandList, LockBank, OpMix,
+    SetWorkload, StmBank, StmHashSet, StmSkipList, StripedCounterArray, StripedHashSet,
 };
 
 use crate::experiments::Scale;
@@ -57,6 +58,44 @@ impl BenchPoint {
     }
 }
 
+/// One thread count's worth of boosted-map measurements: throughput of
+/// the boosted hash map under the standard set workload, plus the
+/// disjoint-key probe that demonstrates the semantic-conflict claim —
+/// every thread cycles its *own* key on a **one-bucket** map, so all
+/// operations commute, yet at word granularity they all rewrite the
+/// same bucket head. The word-level side aborts; the boosted side's
+/// per-key abstract locks never conflict, so its outer transactions
+/// commit on the first attempt (`boosted_semantic_aborts` stays 0 —
+/// inner physical retries are absorbed below the semantic layer).
+#[derive(Debug, Clone, Copy)]
+pub struct BoostPoint {
+    /// Threads driving the workload and the probe.
+    pub threads: usize,
+    /// Set-workload operations completed on the boosted map.
+    pub ops: u64,
+    /// Set-workload wall-clock duration.
+    pub elapsed: Duration,
+    /// Probe: word-level transaction attempts.
+    pub word_attempts: u64,
+    /// Probe: word-level aborts (attempts minus commits). Nonzero at
+    /// two or more threads — commuting ops collide on the bucket head.
+    pub word_aborts: u64,
+    /// Probe: boosted outer-transaction attempts.
+    pub boosted_attempts: u64,
+    /// Probe: boosted outer-transaction aborts. Structurally zero on
+    /// disjoint keys: nothing contends on the abstract locks.
+    pub boosted_semantic_aborts: u64,
+    /// Probe: abstract-lock counters from the boosted side.
+    pub lock_stats: BoostLockStats,
+}
+
+impl BoostPoint {
+    /// Set-workload operations per second on the boosted map.
+    pub fn ops_per_second(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone)]
 pub struct ScalabilityReport {
@@ -66,6 +105,10 @@ pub struct ScalabilityReport {
     pub threads: Vec<usize>,
     /// One point per thread count × workload × implementation.
     pub points: Vec<BenchPoint>,
+    /// One boosted-map measurement per thread count (additive to the
+    /// cross product so downstream consumers of `points` see exactly
+    /// the set they always did).
+    pub boost_points: Vec<BoostPoint>,
 }
 
 /// An STM configured for throughput measurement: identical to the
@@ -86,10 +129,12 @@ pub fn run_scalability(scale: Scale) -> ScalabilityReport {
         points.extend(set_points(scale, threads, "stm_hash"));
         points.extend(set_points(scale, threads, "stm_skiplist"));
     }
+    let boost_points = scale.threads.iter().map(|&t| boost_point(scale, t)).collect();
     ScalabilityReport {
         mode: if scale == Scale::FULL { "full" } else { "quick" },
         threads: scale.threads.to_vec(),
         points,
+        boost_points,
     }
 }
 
@@ -181,6 +226,132 @@ fn set_points(scale: Scale, threads: usize, workload_name: &'static str) -> Vec<
     points
 }
 
+/// Measures the boosted map at one thread count: throughput under the
+/// same set workload the `stm_hash` cells use, then the two sides of
+/// the disjoint-key probe.
+fn boost_point(scale: Scale, threads: usize) -> BoostPoint {
+    let workload = SetWorkload {
+        initial_size: 256,
+        key_range: 1024,
+        mix: OpMix::READ_HEAVY,
+        ops_per_thread: 2_000 * scale.factor as usize,
+        seed: 71,
+    };
+    // Lock stripes cover the key range, so workload keys (and a
+    // fortiori the probe's per-thread keys) never share a lock.
+    let map = BoostedHashMap::new(throughput_stm(), 64, 1024);
+    prefill(&map, &workload);
+    let outcome = run_set_workload(&map, &workload, threads);
+
+    let rounds = 200 * scale.factor as usize;
+    let (word_attempts, word_aborts) = word_probe(threads, rounds);
+    let (boosted_attempts, boosted_semantic_aborts, lock_stats) = boosted_probe(threads, rounds);
+    BoostPoint {
+        threads,
+        ops: outcome.total_ops,
+        elapsed: outcome.elapsed,
+        word_attempts,
+        word_aborts,
+        boosted_attempts,
+        boosted_semantic_aborts,
+        lock_stats,
+    }
+}
+
+/// Word-level side of the disjoint-key probe: every thread cycles its
+/// own key at the head of one shared chain, yielding the core between
+/// reading and rewriting the bucket head so contending transactions
+/// interleave even on a single-core host (same amplification trick as
+/// the E5c contention ladder). Returns (attempts, aborts).
+fn word_probe(threads: usize, rounds: usize) -> (u64, u64) {
+    const HEAD: usize = 0;
+    const KEY: usize = 0;
+    const NEXT: usize = 1;
+    let stm = throughput_stm();
+    let bucket_class = stm
+        .heap()
+        .define_class(ClassDesc::new("ProbeBucket", vec![FieldDesc::new("head", FieldMut::Var)]));
+    let node_class = stm.heap().define_class(ClassDesc::new(
+        "ProbeNode",
+        vec![FieldDesc::new("key", FieldMut::Val), FieldDesc::new("next", FieldMut::Var)],
+    ));
+    let bucket = stm.heap().alloc(bucket_class).expect("heap full");
+    let attempts = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stm = Arc::clone(&stm);
+            let attempts = &attempts;
+            scope.spawn(move || {
+                let key = t as i64;
+                for _ in 0..rounds {
+                    stm.atomically(|tx| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        let head = tx.read(bucket, HEAD)?;
+                        std::thread::yield_now();
+                        let fresh = tx.alloc(node_class)?;
+                        tx.store_direct(fresh, KEY, Word::from_scalar(key));
+                        tx.store_direct(fresh, NEXT, head);
+                        tx.write(bucket, HEAD, Word::from_ref(fresh))
+                    });
+                    stm.atomically(|tx| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        let mut prev = bucket;
+                        let mut prev_field = HEAD;
+                        let mut cur = tx.read(bucket, HEAD)?.as_ref();
+                        while let Some(n) = cur {
+                            if tx.read(n, KEY)?.as_scalar() == Some(key) {
+                                break;
+                            }
+                            prev = n;
+                            prev_field = NEXT;
+                            cur = tx.read(n, NEXT)?.as_ref();
+                        }
+                        let Some(node) = cur else { return Ok(()) };
+                        std::thread::yield_now();
+                        let after = tx.read(node, NEXT)?;
+                        tx.write(prev, prev_field, after)
+                    });
+                }
+            });
+        }
+    });
+    let committed = (threads * rounds * 2) as u64;
+    let total = attempts.load(Ordering::Relaxed);
+    (total, total - committed)
+}
+
+/// Boosted side of the disjoint-key probe: the same cycle through the
+/// boosted map's composable operations on a one-bucket map. The yield
+/// sits inside the *outer* transaction, where this thread holds only
+/// its own key's abstract lock — word conflicts between the inner
+/// physical steps retry beneath the semantic layer and never abort the
+/// outer transaction. Returns (attempts, semantic aborts, lock stats).
+fn boosted_probe(threads: usize, rounds: usize) -> (u64, u64, BoostLockStats) {
+    let map = Arc::new(BoostedHashMap::new(throughput_stm(), 1, threads.max(64)));
+    let attempts = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let map = Arc::clone(&map);
+            let attempts = &attempts;
+            scope.spawn(move || {
+                let key = t as i64;
+                for _ in 0..rounds {
+                    map.stm().atomically(|tx| {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        map.put_in(tx, key, key)?;
+                        std::thread::yield_now();
+                        map.delete_in(tx, key)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    let committed = (threads * rounds) as u64;
+    let total = attempts.load(Ordering::Relaxed);
+    (total, total - committed, map.locks().stats())
+}
+
 impl ScalabilityReport {
     /// Looks up one cell of the sweep.
     pub fn point(&self, workload: &str, impl_name: &str, threads: usize) -> Option<&BenchPoint> {
@@ -207,6 +378,33 @@ impl ScalabilityReport {
             }
             table.print();
         }
+        self.print_boost_table();
+    }
+
+    /// Renders the boosted-map throughput and probe table.
+    fn print_boost_table(&self) {
+        let mut headers: Vec<&'static str> = vec!["metric"];
+        for &t in &self.threads {
+            headers.push(Box::leak(format!("{t} thr").into_boxed_str()));
+        }
+        let mut table =
+            Table::new("E2/E3 boosted map: throughput + disjoint-key probe".to_string(), &headers);
+        let mut rows = [
+            vec!["boosted ops/s".to_string()],
+            vec!["probe word aborts".to_string()],
+            vec!["probe boosted semantic aborts".to_string()],
+            vec!["abstract-lock acquires".to_string()],
+        ];
+        for p in &self.boost_points {
+            rows[0].push(format!("{:.0}", p.ops_per_second()));
+            rows[1].push(p.word_aborts.to_string());
+            rows[2].push(p.boosted_semantic_aborts.to_string());
+            rows[3].push(p.lock_stats.acquires.to_string());
+        }
+        for row in rows {
+            table.row(row);
+        }
+        table.print();
     }
 
     /// The machine-readable form (schema checked by
@@ -239,6 +437,37 @@ impl ScalabilityReport {
                                 ("ops".into(), Json::Num(p.ops as f64)),
                                 ("elapsed_ms".into(), Json::Num(p.elapsed.as_secs_f64() * 1_000.0)),
                                 ("ops_per_second".into(), Json::Num(p.ops_per_second())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "boost_points".into(),
+                Json::Arr(
+                    self.boost_points
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("threads".into(), Json::Num(p.threads as f64)),
+                                ("ops".into(), Json::Num(p.ops as f64)),
+                                ("elapsed_ms".into(), Json::Num(p.elapsed.as_secs_f64() * 1_000.0)),
+                                ("ops_per_second".into(), Json::Num(p.ops_per_second())),
+                                ("probe_word_attempts".into(), Json::Num(p.word_attempts as f64)),
+                                ("probe_word_aborts".into(), Json::Num(p.word_aborts as f64)),
+                                (
+                                    "probe_boosted_attempts".into(),
+                                    Json::Num(p.boosted_attempts as f64),
+                                ),
+                                (
+                                    "probe_boosted_semantic_aborts".into(),
+                                    Json::Num(p.boosted_semantic_aborts as f64),
+                                ),
+                                ("lock_acquires".into(), Json::Num(p.lock_stats.acquires as f64)),
+                                (
+                                    "lock_busy_failures".into(),
+                                    Json::Num(p.lock_stats.busy_failures as f64),
+                                ),
                             ])
                         })
                         .collect(),
@@ -343,6 +572,67 @@ pub fn validate_report(json: &Json) -> Result<(), String> {
             .filter(|&n| n > 0.0)
             .ok_or(format!("{workload}/{impl_name}/{t}: bad `ops_per_second`"))?;
     }
+
+    // The boosted-map block: one entry per thread count, in axis order,
+    // carrying the semantic-conflict claim — the boosted side commits
+    // the commuting disjoint-key workload without a single semantic
+    // abort, on the same schedule shape that forces word-level aborts.
+    let boost =
+        json.get("boost_points").and_then(Json::as_array).ok_or("missing `boost_points`")?;
+    if boost.len() != threads.len() {
+        return Err(format!(
+            "expected {} boost_points (one per thread count), got {}",
+            threads.len(),
+            boost.len()
+        ));
+    }
+    for (point, &t) in boost.iter().zip(&threads) {
+        let ctx = format!("boost_points/{t}");
+        if point.get("threads").and_then(Json::as_f64) != Some(t as f64) {
+            return Err(format!("{ctx}: out-of-order or missing `threads`"));
+        }
+        for field in ["ops", "elapsed_ms", "ops_per_second"] {
+            point
+                .get(field)
+                .and_then(Json::as_f64)
+                .filter(|&n| n > 0.0)
+                .ok_or(format!("{ctx}: bad `{field}`"))?;
+        }
+        let word_aborts = point
+            .get("probe_word_aborts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{ctx}: missing `probe_word_aborts`"))?;
+        if t >= 2 && word_aborts < 1.0 {
+            return Err(format!(
+                "{ctx}: word-level probe must abort under contention, got {word_aborts}"
+            ));
+        }
+        let semantic_aborts = point
+            .get("probe_boosted_semantic_aborts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{ctx}: missing `probe_boosted_semantic_aborts`"))?;
+        if semantic_aborts != 0.0 {
+            return Err(format!(
+                "{ctx}: boosted probe aborted {semantic_aborts} times on disjoint keys \
+                 (must commute conflict-free)"
+            ));
+        }
+        point
+            .get("lock_acquires")
+            .and_then(Json::as_f64)
+            .filter(|&n| n >= 1.0)
+            .ok_or(format!("{ctx}: bad `lock_acquires`"))?;
+        point
+            .get("probe_word_attempts")
+            .and_then(Json::as_f64)
+            .filter(|&n| n >= 1.0)
+            .ok_or(format!("{ctx}: bad `probe_word_attempts`"))?;
+        point
+            .get("probe_boosted_attempts")
+            .and_then(Json::as_f64)
+            .filter(|&n| n >= 1.0)
+            .ok_or(format!("{ctx}: bad `probe_boosted_attempts`"))?;
+    }
     Ok(())
 }
 
@@ -392,10 +682,52 @@ mod tests {
     fn sweep_covers_the_cross_product_and_validates() {
         let report = run_scalability(TINY);
         assert_eq!(report.points.len(), 2 * WORKLOADS.len() * IMPLS.len());
+        assert_eq!(report.boost_points.len(), 2, "one boosted point per thread count");
         let json = report.to_json();
         let reparsed = crate::json::parse(&json.to_string()).unwrap();
         validate_report(&reparsed).unwrap();
         report.print_tables();
+    }
+
+    #[test]
+    fn boosted_probe_commits_commuting_ops_without_semantic_aborts() {
+        // The tentpole acceptance claim, asserted directly: at 2
+        // threads on one bucket, the word-level side aborts and the
+        // boosted side does not.
+        let point = boost_point(Scale { factor: 1, threads: &[2] }, 2);
+        assert!(point.word_aborts >= 1, "word-level probe must contend");
+        assert_eq!(point.boosted_semantic_aborts, 0, "commuting ops must not conflict");
+        assert!(point.lock_stats.acquires >= 1);
+        assert_eq!(point.lock_stats.busy_failures, 0, "disjoint keys never contend on locks");
+    }
+
+    #[test]
+    fn validation_rejects_a_missing_boost_block() {
+        let report = run_scalability(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(members) = report.to_json() else { panic!("object") };
+        let without: Vec<_> =
+            members.into_iter().filter(|(key, _)| key != "boost_points").collect();
+        let err = validate_report(&Json::Obj(without)).unwrap_err();
+        assert!(err.contains("boost_points"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_semantic_aborts_in_the_boost_block() {
+        let report = run_scalability(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        for (key, value) in &mut members {
+            if key == "boost_points" {
+                let Json::Arr(points) = value else { panic!("array") };
+                let Json::Obj(fields) = &mut points[0] else { panic!("object") };
+                for (field, v) in fields {
+                    if field == "probe_boosted_semantic_aborts" {
+                        *v = Json::Num(3.0);
+                    }
+                }
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("conflict-free"), "unexpected error: {err}");
     }
 
     #[test]

@@ -219,13 +219,27 @@ impl ClockPoint {
     }
 }
 
+/// One requested thread count and what actually ran after clamping to
+/// the host's cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadAxisEntry {
+    /// The count the scale (or [`EXTENDED_THREADS`]) asked for.
+    pub requested: usize,
+    /// The count actually run: `min(requested, host cores)`.
+    pub effective: usize,
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone)]
 pub struct ValidationReport {
     /// `"quick"` or `"full"`.
     pub mode: &'static str,
-    /// Thread counts swept.
+    /// Thread counts swept (the deduplicated effective axis).
     pub threads: Vec<usize>,
+    /// Requested-vs-effective mapping for every count asked for, so a
+    /// report from a small host records *that* the axis was clamped
+    /// rather than silently looking like a smaller request.
+    pub thread_axis: Vec<ThreadAxisEntry>,
     /// One point per thread count × workload × variant.
     pub points: Vec<ValidationPoint>,
     /// E5c: one point per thread count × snapshot variant.
@@ -247,14 +261,31 @@ fn accounting_stm(variant: &str) -> Arc<Stm> {
     ))
 }
 
-/// The thread axis actually swept: [`Scale::threads`] extended with
-/// [`EXTENDED_THREADS`], each extension kept only when the host has at
-/// least that many cores — oversubscribed points measure the scheduler,
-/// not the STM. Sorted and deduplicated.
-pub fn sweep_threads(scale: Scale) -> Vec<usize> {
+/// The full requested axis ([`Scale::threads`] plus
+/// [`EXTENDED_THREADS`], sorted, deduplicated) with every count clamped
+/// to the host's cores — *every* count, not just the extensions:
+/// oversubscribed points measure the scheduler, not the STM, whichever
+/// part of the axis they came from. The requested values are kept
+/// alongside so the report records the clamping instead of silently
+/// looking like a smaller sweep was asked for.
+pub fn sweep_thread_axis(scale: Scale) -> Vec<ThreadAxisEntry> {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut threads: Vec<usize> = scale.threads.to_vec();
-    threads.extend(EXTENDED_THREADS.iter().copied().filter(|&t| t <= cores));
+    let mut requested: Vec<usize> = scale.threads.to_vec();
+    requested.extend(EXTENDED_THREADS);
+    requested.sort_unstable();
+    requested.dedup();
+    requested
+        .into_iter()
+        .map(|r| ThreadAxisEntry { requested: r, effective: r.min(cores) })
+        .collect()
+}
+
+/// The thread axis actually swept: the effective side of
+/// [`sweep_thread_axis`], deduplicated again (clamping can collapse
+/// several requested counts onto the core count).
+pub fn sweep_threads(scale: Scale) -> Vec<usize> {
+    let mut threads: Vec<usize> =
+        sweep_thread_axis(scale).into_iter().map(|e| e.effective).collect();
     threads.sort_unstable();
     threads.dedup();
     threads
@@ -262,6 +293,7 @@ pub fn sweep_threads(scale: Scale) -> Vec<usize> {
 
 /// Runs the sweep at the given scale.
 pub fn run_validation(scale: Scale) -> ValidationReport {
+    let thread_axis = sweep_thread_axis(scale);
     let threads_axis = sweep_threads(scale);
     let mut points = Vec::new();
     let mut snapshot_points = Vec::new();
@@ -284,6 +316,7 @@ pub fn run_validation(scale: Scale) -> ValidationReport {
     ValidationReport {
         mode: if scale == Scale::FULL { "full" } else { "quick" },
         threads: threads_axis,
+        thread_axis,
         points,
         snapshot_points,
         clock_points,
@@ -649,6 +682,20 @@ impl ValidationReport {
                 Json::Arr(self.threads.iter().map(|&t| Json::Num(t as f64)).collect()),
             ),
             (
+                "thread_axis".into(),
+                Json::Arr(
+                    self.thread_axis
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("requested".into(), Json::Num(e.requested as f64)),
+                                ("effective".into(), Json::Num(e.effective as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "workloads".into(),
                 Json::Arr(WORKLOADS.iter().map(|w| Json::Str((*w).into())).collect()),
             ),
@@ -809,10 +856,11 @@ pub fn validate_report(json: &Json) -> Result<(), String> {
     if mode != "quick" && mode != "full" {
         return Err(format!("mode must be quick|full, got `{mode}`"));
     }
-    json.get("host_cores")
+    let host_cores = json
+        .get("host_cores")
         .and_then(Json::as_f64)
         .filter(|&n| n >= 1.0)
-        .ok_or("missing or non-positive `host_cores`")?;
+        .ok_or("missing or non-positive `host_cores`")? as usize;
 
     let threads: Vec<usize> = json
         .get("threads")
@@ -824,6 +872,45 @@ pub fn validate_report(json: &Json) -> Result<(), String> {
         .ok_or("`threads` must be positive numbers")?;
     if threads.is_empty() {
         return Err("`threads` is empty".into());
+    }
+
+    // The requested-vs-effective axis must record the clamping that
+    // produced `threads`: every effective count is min(requested,
+    // host_cores), and `threads` is exactly the deduplicated effective
+    // side — no swept count may hide a different request.
+    let axis = json.get("thread_axis").and_then(Json::as_array).ok_or("missing `thread_axis`")?;
+    if axis.is_empty() {
+        return Err("`thread_axis` is empty".into());
+    }
+    let mut effectives = Vec::new();
+    for entry in axis {
+        let requested = entry
+            .get("requested")
+            .and_then(Json::as_f64)
+            .filter(|&n| n >= 1.0)
+            .ok_or("`thread_axis` entry missing positive `requested`")?
+            as usize;
+        let effective = entry
+            .get("effective")
+            .and_then(Json::as_f64)
+            .filter(|&n| n >= 1.0)
+            .ok_or("`thread_axis` entry missing positive `effective`")?
+            as usize;
+        if effective != requested.min(host_cores) {
+            return Err(format!(
+                "thread_axis: requested {requested} on a {host_cores}-core host \
+                 must clamp to {}, got effective {effective}",
+                requested.min(host_cores)
+            ));
+        }
+        effectives.push(effective);
+    }
+    effectives.sort_unstable();
+    effectives.dedup();
+    if effectives != threads {
+        return Err(format!(
+            "`threads` {threads:?} is not the deduplicated effective axis {effectives:?}"
+        ));
     }
     let workloads: Vec<&str> = json
         .get("workloads")
@@ -1229,25 +1316,56 @@ mod tests {
     #[test]
     fn thread_axis_extensions_are_clamped_to_host_cores() {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let axis = sweep_threads(TINY);
-        // The scale's own counts always survive; extensions appear only
-        // on hosts with the cores to run them unoversubscribed.
+        let full_axis = sweep_thread_axis(TINY);
+        // Every requested count — the scale's own and the extensions —
+        // is recorded, and each one's effective side is the clamp.
         for &t in TINY.threads {
-            assert!(axis.contains(&t));
+            assert!(full_axis.iter().any(|e| e.requested == t), "base count {t} unrecorded");
         }
-        for &t in &axis {
-            assert!(
-                TINY.threads.contains(&t) || t <= cores,
-                "{t}-thread extension on a {cores}-core host"
+        for &t in &EXTENDED_THREADS {
+            assert!(full_axis.iter().any(|e| e.requested == t), "extension {t} unrecorded");
+        }
+        for e in &full_axis {
+            assert_eq!(
+                e.effective,
+                e.requested.min(cores),
+                "requested {} on a {cores}-core host",
+                e.requested
             );
         }
-        let mut sorted = axis.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(axis, sorted, "axis must be sorted and deduplicated");
+        // The swept axis is the deduplicated effective side, never
+        // oversubscribing the host.
+        let axis = sweep_threads(TINY);
+        let mut expected: Vec<usize> = full_axis.iter().map(|e| e.effective).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(axis, expected);
+        for &t in &axis {
+            assert!(t <= cores, "{t}-thread point on a {cores}-core host");
+        }
         if cores >= 64 {
             assert_eq!(&axis[axis.len() - 3..], &[16, 32, 64]);
         }
+    }
+
+    #[test]
+    fn validation_rejects_an_unclamped_thread_axis() {
+        let report = run_validation(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        // Claim an effective count the host cannot have run honestly.
+        for (key, value) in &mut members {
+            if key == "thread_axis" {
+                let Json::Arr(entries) = value else { panic!("array") };
+                let Some(Json::Obj(fields)) = entries.last_mut() else { panic!("entry") };
+                for (k, v) in fields.iter_mut() {
+                    if k == "effective" {
+                        *v = Json::Num(4096.0);
+                    }
+                }
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("must clamp"), "got: {err}");
     }
 
     #[test]

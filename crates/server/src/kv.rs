@@ -1,0 +1,263 @@
+//! The KV mode of the service: typed requests over a transactional
+//! hash map, switchable between **boosted** (semantic, per-key abstract
+//! locks — [`omt_workloads::BoostedHashMap`]'s `*_in` operations) and
+//! **word-level** (plain optimistic transactions over the same physical
+//! structure) conflict detection.
+//!
+//! The robustness story mirrors [`crate::service`]: every request runs
+//! through [`Stm::try_atomically_within`], so it either commits inside
+//! its latency budget or comes back with a typed error — under boosted
+//! conflict detection too, because a bounded abstract-lock acquisition
+//! ([`TxError::BUSY`](omt_stm::TxError)) feeds the same retry loop as a
+//! word-level conflict. The knob exists so the overload experiments can
+//! ask the semantic-conflict question directly: under hot-key traffic,
+//! does detecting conflicts at key granularity shed less load than
+//! detecting them at word granularity?
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use omt_heap::Heap;
+use omt_stm::{RetryExhausted, Stm, StmConfig};
+use omt_workloads::BoostedHashMap;
+
+/// Tuning for a [`KvStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct KvConfig {
+    /// Number of hash buckets (chains).
+    pub buckets: usize,
+    /// Abstract-lock stripes (rounded up to a power of two). Size at or
+    /// above the hot-key range so distinct keys get disjoint locks.
+    pub lock_stripes: usize,
+    /// Conflict-detection mode: `true` routes requests through the
+    /// boosted per-key abstract locks; `false` runs the same physical
+    /// operations as ordinary word-level transactions. A store must be
+    /// driven in one mode for its whole life — word-level requests
+    /// would race straight past the locks a concurrent boosted request
+    /// depends on.
+    pub boosted: bool,
+    /// Per-request deadline (measured from the first attempt).
+    pub deadline: Duration,
+    /// The STM underneath.
+    pub stm: StmConfig,
+}
+
+impl Default for KvConfig {
+    fn default() -> KvConfig {
+        KvConfig {
+            buckets: 256,
+            lock_stripes: 4096,
+            boosted: true,
+            deadline: Duration::from_millis(10),
+            stm: StmConfig::default(),
+        }
+    }
+}
+
+/// One request to the KV store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvRequest {
+    /// Insert `key -> value` unless the key is present.
+    Put {
+        /// The key.
+        key: i64,
+        /// The value.
+        value: i64,
+    },
+    /// Remove a key.
+    Delete {
+        /// The key.
+        key: i64,
+    },
+    /// Look a key up.
+    Get {
+        /// The key.
+        key: i64,
+    },
+}
+
+/// A successful KV request's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvResponse {
+    /// Whether the put inserted (an existing key is left untouched).
+    Inserted(bool),
+    /// The removed value, if the key was present.
+    Deleted(Option<i64>),
+    /// The key's value, if present.
+    Value(Option<i64>),
+}
+
+/// Why a KV request failed; the same give-up taxonomy as
+/// [`crate::ServiceError`], minus the bank-specific variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The per-request deadline passed before commit.
+    DeadlineExceeded {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The retry budget was consumed by conflicts.
+    RetryExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The heap's slot table is exhausted (terminal).
+    HeapFull,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::DeadlineExceeded { attempts } => {
+                write!(f, "deadline exceeded after {attempts} attempts")
+            }
+            KvError::RetryExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
+            KvError::HeapFull => write!(f, "heap slot table exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A transactional KV store with switchable conflict granularity.
+#[derive(Debug)]
+pub struct KvStore {
+    map: BoostedHashMap,
+    config: KvConfig,
+}
+
+impl KvStore {
+    /// Builds the store and its runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or the heap cannot hold the bucket
+    /// heads.
+    pub fn new(config: KvConfig) -> Arc<KvStore> {
+        let stm = Arc::new(Stm::with_config(Arc::new(Heap::new()), config.stm));
+        let map = BoostedHashMap::new(stm, config.buckets, config.lock_stripes);
+        Arc::new(KvStore { map, config })
+    }
+
+    /// The configuration this store was built with.
+    pub fn config(&self) -> &KvConfig {
+        &self.config
+    }
+
+    /// The STM underneath (for stats and fault injection).
+    pub fn stm(&self) -> &Arc<Stm> {
+        self.map.stm()
+    }
+
+    /// The map underneath (for lock-table counters and audits).
+    pub fn map(&self) -> &BoostedHashMap {
+        &self.map
+    }
+
+    /// Executes one request under the configured conflict-detection
+    /// mode and deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`KvError`].
+    pub fn execute(&self, request: &KvRequest) -> Result<KvResponse, KvError> {
+        let boosted = self.config.boosted;
+        let result = self.stm().try_atomically_within(self.config.deadline, |tx| {
+            Ok(match (*request, boosted) {
+                (KvRequest::Put { key, value }, true) => {
+                    KvResponse::Inserted(self.map.put_in(tx, key, value)?)
+                }
+                (KvRequest::Put { key, value }, false) => {
+                    KvResponse::Inserted(self.map.raw_put_in(tx, key, value)?)
+                }
+                (KvRequest::Delete { key }, true) => {
+                    KvResponse::Deleted(self.map.delete_in(tx, key)?)
+                }
+                (KvRequest::Delete { key }, false) => {
+                    KvResponse::Deleted(self.map.raw_delete_in(tx, key)?)
+                }
+                (KvRequest::Get { key }, true) => KvResponse::Value(self.map.get_in(tx, key)?),
+                (KvRequest::Get { key }, false) => KvResponse::Value(self.map.raw_get_in(tx, key)?),
+            })
+        });
+        result.map_err(|e| match e {
+            RetryExhausted::DeadlineExceeded { attempts } => KvError::DeadlineExceeded { attempts },
+            RetryExhausted::Conflicts { attempts, .. } => KvError::RetryExhausted { attempts },
+            RetryExhausted::HeapFull => KvError::HeapFull,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(boosted: bool) -> Arc<KvStore> {
+        KvStore::new(KvConfig { buckets: 8, lock_stripes: 64, boosted, ..KvConfig::default() })
+    }
+
+    #[test]
+    fn both_modes_serve_the_same_requests() {
+        for boosted in [true, false] {
+            let kv = store(boosted);
+            assert_eq!(
+                kv.execute(&KvRequest::Put { key: 1, value: 10 }),
+                Ok(KvResponse::Inserted(true))
+            );
+            assert_eq!(
+                kv.execute(&KvRequest::Put { key: 1, value: 99 }),
+                Ok(KvResponse::Inserted(false)),
+                "existing key untouched (boosted={boosted})"
+            );
+            assert_eq!(kv.execute(&KvRequest::Get { key: 1 }), Ok(KvResponse::Value(Some(10))));
+            assert_eq!(
+                kv.execute(&KvRequest::Delete { key: 1 }),
+                Ok(KvResponse::Deleted(Some(10)))
+            );
+            assert_eq!(kv.execute(&KvRequest::Get { key: 1 }), Ok(KvResponse::Value(None)));
+        }
+    }
+
+    #[test]
+    fn boosted_mode_takes_abstract_locks_and_word_mode_does_not() {
+        let boosted = store(true);
+        boosted.execute(&KvRequest::Put { key: 3, value: 30 }).unwrap();
+        assert!(boosted.map().locks().stats().acquires >= 1);
+
+        let word = store(false);
+        word.execute(&KvRequest::Put { key: 3, value: 30 }).unwrap();
+        assert_eq!(word.map().locks().stats().acquires, 0);
+    }
+
+    #[test]
+    fn concurrent_boosted_requests_stay_consistent() {
+        let kv = store(true);
+        std::thread::scope(|scope| {
+            for t in 0..4i64 {
+                let kv = Arc::clone(&kv);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let key = (t * 211 + i * 17) % 64;
+                        match i % 3 {
+                            0 => {
+                                kv.execute(&KvRequest::Put { key, value: key * 2 }).unwrap();
+                            }
+                            1 => {
+                                kv.execute(&KvRequest::Delete { key }).unwrap();
+                            }
+                            _ => {
+                                kv.execute(&KvRequest::Get { key }).unwrap();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Every surviving entry carries the value its put wrote.
+        for (k, v) in kv.map().snapshot() {
+            assert_eq!(v, k * 2);
+        }
+    }
+}

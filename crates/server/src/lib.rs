@@ -18,6 +18,11 @@
 //!   starvation-escalation path so a session that keeps getting shed
 //!   eventually bypasses the shedder — karma at the admission layer,
 //!   mirroring the Karma contention manager inside the STM;
+//! - [`kv`] — the KV mode: the same deadline/typed-error contract over
+//!   a transactional hash map, switchable between **boosted** conflict
+//!   detection (per-key abstract locks and inverse-operation undo via
+//!   [`omt_workloads::BoostedHashMap`]) and plain **word-level**
+//!   optimistic transactions over the same physical structure;
 //! - [`traffic`] — an open-loop traffic generator: tens of thousands of
 //!   lightweight sessions multiplexed over a worker pool, zipfian key
 //!   popularity, exponential inter-arrival times, and latency measured
@@ -32,9 +37,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod admission;
+pub mod kv;
 pub mod service;
 pub mod traffic;
 
 pub use admission::{AdmissionController, LoadSignals, ShedReason};
+pub use kv::{KvConfig, KvError, KvRequest, KvResponse, KvStore};
 pub use service::{Request, Response, Service, ServiceConfig, ServiceError, Session};
 pub use traffic::{run_open_loop, TrafficConfig, TrafficOutcome};

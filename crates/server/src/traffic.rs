@@ -200,6 +200,8 @@ pub fn run_open_loop(service: &Arc<Service>, config: &TrafficConfig) -> TrafficO
                 scope.spawn(move || run_worker(service, config, zipf, accounts, w, start, stop))
             })
             .collect();
+        // Worker panics indicate a broken service invariant, not load;
+        // propagate rather than report a truncated tally as success.
         let tallies: Vec<WorkerTally> =
             workers.into_iter().map(|h| h.join().expect("worker panicked")).collect();
         stop.store(true, Ordering::Relaxed);

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod boost;
 mod clock;
 pub mod cm;
 mod config;
@@ -73,6 +74,7 @@ mod word;
 #[cfg(test)]
 mod tests;
 
+pub use boost::{AbstractLockTable, BoostLockStats};
 pub use cm::{CmDecision, CmPolicy, ContentionManager, TxCtl};
 pub use config::{ClockMode, StmConfig};
 pub use error::{ConflictKind, RetryExhausted, TxError, TxResult};

@@ -81,6 +81,14 @@ pub struct Savepoint {
     pub(crate) update_len: usize,
     pub(crate) undo_len: usize,
     pub(crate) alloc_len: usize,
+    /// Commit/abort-handler list lengths (boosting, DESIGN.md §4.12):
+    /// `rollback_to` runs abort handlers registered past the savepoint
+    /// and truncates both lists, so a partially rolled-back nested
+    /// region also rolls back its semantic effects. Filled in by
+    /// [`Transaction::savepoint`](crate::Transaction::savepoint) — the
+    /// handler lists live on the transaction, not in the pooled logs.
+    pub(crate) commit_handler_len: usize,
+    pub(crate) abort_handler_len: usize,
 }
 
 /// All logs of one transaction.
@@ -115,6 +123,8 @@ impl TxLogs {
             update_len: self.update.len(),
             undo_len: self.undo.len(),
             alloc_len: self.allocs.len(),
+            commit_handler_len: 0,
+            abort_handler_len: 0,
         }
     }
 

@@ -35,13 +35,19 @@
 //! | [`READ_OWNED_WAIT`] | snapshot-mode open, each bounded-wait round on a foreign owner |
 //! | [`EXTEND_PRE_VALIDATE`] | snapshot-mode open, before a timestamp-extension revalidation |
 //! | [`CLOCK_PRE_RAISE`] | snapshot-mode open under `Deferred` stamps, before raising the global commit clock to a leading stamp |
+//! | [`BOOST_PRE_LOCK_CAS`] | abstract-lock `acquire`, top of the load/CAS loop |
+//! | [`BOOST_LOCK_WAIT`] | abstract-lock `acquire`, each bounded-wait round on a held lock |
+//! | [`BOOST_PRE_UNLOCK`] | abstract-lock `release`, before the word is cleared |
+//! | [`BOOST_PRE_INVERSE`] | boosted abort handler, before an inverse semantic op runs |
 //!
-//! The last four are gated: `READ_PRE_RECHECK`, `READ_OWNED_WAIT`, and
-//! `EXTEND_PRE_VALIDATE` fire only with `snapshot_reads` enabled, and
+//! Several sites are *gated* and fire only along specific paths, so
+//! frozen schedules recorded against other configurations keep their
+//! exact step sequences: `READ_PRE_RECHECK`, `READ_OWNED_WAIT`, and
+//! `EXTEND_PRE_VALIDATE` fire only with `snapshot_reads` enabled;
 //! `CLOCK_PRE_RAISE` additionally only under a clock mode whose commit
-//! stamps can lead the global clock (`Deferred`). Frozen schedules
-//! recorded against other configurations therefore keep their exact
-//! step sequences.
+//! stamps can lead the global clock (`Deferred`); and the four
+//! `BOOST_*` sites fire only through the abstract-lock table
+//! ([`crate::boost`]), which no word-level-only scenario touches.
 //!
 //! Sites that name an object use
 //! [`omt_util::sched::yield_point_keyed`] with the object's raw
@@ -138,9 +144,23 @@ pub const EXTEND_PRE_VALIDATE: &str = "extend.pre_validate";
 /// `read_ver` admits the stamp). Fires only when
 /// `ClockMode::Deferred`'s leading stamps make the raise necessary.
 pub const CLOCK_PRE_RAISE: &str = "clock.pre_raise";
+/// Abstract-lock `acquire` (boosting), top of the load/CAS loop: covers
+/// the initial attempt, every lost CAS race, and every re-examination
+/// after a contention round. Keyed by the lock slot.
+pub const BOOST_PRE_LOCK_CAS: &str = "boost.pre_lock_cas";
+/// Abstract-lock `acquire`, one bounded-wait round on a lock held by a
+/// foreign transaction (the CM said `Wait`, or a doomed holder has not
+/// yet noticed). Keyed by the lock slot.
+pub const BOOST_LOCK_WAIT: &str = "boost.lock_wait";
+/// Abstract-lock `release` (commit/abort handler), before the lock word
+/// is cleared. Keyed by the lock slot.
+pub const BOOST_PRE_UNLOCK: &str = "boost.pre_unlock";
+/// Boosted abort handler, before one inverse semantic operation runs
+/// (under the still-held abstract lock).
+pub const BOOST_PRE_INVERSE: &str = "boost.pre_inverse_op";
 
 /// Every instrumented site, for tools that sweep or document them.
-pub const ALL: [&str; 24] = [
+pub const ALL: [&str; 28] = [
     OPEN_READ_PRE_HEADER,
     READ_PRE_LOAD,
     OPEN_UPDATE_PRE_HEADER,
@@ -165,6 +185,10 @@ pub const ALL: [&str; 24] = [
     READ_OWNED_WAIT,
     EXTEND_PRE_VALIDATE,
     CLOCK_PRE_RAISE,
+    BOOST_PRE_LOCK_CAS,
+    BOOST_LOCK_WAIT,
+    BOOST_PRE_UNLOCK,
+    BOOST_PRE_INVERSE,
 ];
 
 #[cfg(test)]

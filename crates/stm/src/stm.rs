@@ -327,22 +327,37 @@ impl Stm {
     fn begin_with(&self, seed: Option<&AttemptSeed>) -> Transaction<'_> {
         self.stats.add(|c| &c.begins, 1);
         let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
-        let token = TxToken(self.next_token.fetch_add(1, Ordering::Relaxed));
-        // The design rules out token collisions by assumption (2³²
-        // transactions would have to start during one transaction's
-        // lifetime — see `TxToken`). Debug builds check the assumption:
-        // handing out a token that a live transaction still holds would
-        // let two transactions treat each other's ownership records as
-        // their own, which corrupts the heap far from the cause.
-        #[cfg(debug_assertions)]
-        if let Some(live) = self.registry.ctl_of(token) {
-            panic!(
-                "TxToken collision: token {token} (serial {serial}) reissued while a live \
-                 transaction (priority {}) still holds it; the 32-bit token space wrapped \
-                 within one transaction's lifetime",
-                live.priority()
-            );
-        }
+        // Reuse-safe token allocation (sound in release builds, unlike
+        // the debug-only collision panic it replaced). The 32-bit
+        // counter wraps after 2³² begins; handing out a token that a
+        // live transaction still holds would let two transactions treat
+        // each other's ownership records as their own, corrupting the
+        // heap far from the cause. Instead of assuming wraps never
+        // overtake a live transaction, redraw: skip any candidate whose
+        // token is still registered (and token 0, which the abstract-
+        // lock table reserves as its "free" encoding). The loop
+        // terminates because live transactions are finitely many —
+        // far fewer than 2³² (each holds a registry slot) — so some
+        // candidate is always free.
+        let token = loop {
+            let raw = self.next_token.fetch_add(1, Ordering::Relaxed);
+            if raw == 0 {
+                continue;
+            }
+            let candidate = TxToken(raw);
+            if self.registry.ctl_of(candidate).is_none() {
+                break candidate;
+            }
+            // A wrap overtook a live transaction; redraw. Note the
+            // registry check races benignly: a live entry can only be
+            // *ours* once registered, and registration happens after
+            // this loop, so a candidate observed free stays free until
+            // we register it (tokens advance monotonically — no other
+            // thread can draw the same raw value without wrapping
+            // another full 2³² draws first, and such a double-wrap
+            // while this begin is in flight is beyond any physical
+            // machine).
+        };
         let (priority, karma) = match seed {
             Some(s) => (s.priority, s.karma),
             None => (serial, 0),

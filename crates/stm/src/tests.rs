@@ -1842,23 +1842,281 @@ mod sched_regressions {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Token allocation soundness: the 32-bit counter wraps, allocation must
+// never reissue a live transaction's token (in any build) and never
+// issue token 0 (the abstract-lock table's "free" encoding).
+// ---------------------------------------------------------------------------
+
 #[test]
-#[cfg(debug_assertions)]
-fn token_collision_guard_panics_in_debug_builds() {
+fn token_wrap_skips_zero() {
     let (_heap, _class, stm) = setup();
-    let tx = stm.begin();
-    let raw = tx.token().to_raw();
-    // Rewind the counter: the next begin() would reissue the live
-    // transaction's token.
-    stm.set_next_token_for_test(raw);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _tx2 = stm.begin();
-    }));
-    drop(tx);
-    let payload = result.expect_err("token reuse against a live transaction must panic");
-    let msg = payload
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
-    assert!(msg.contains("TxToken collision"), "{msg}");
+    // Park the counter one before the wrap: the next draw takes
+    // u32::MAX, the one after wraps onto 0 and must be skipped.
+    stm.set_next_token_for_test(u32::MAX);
+    let tx1 = stm.begin();
+    assert_eq!(tx1.token().to_raw(), u32::MAX);
+    let tx2 = stm.begin();
+    assert_eq!(tx2.token().to_raw(), 1, "token 0 must never be issued");
+}
+
+#[test]
+fn token_wrap_redraws_past_live_transactions() {
+    let (_heap, _class, stm) = setup();
+    stm.set_next_token_for_test(u32::MAX);
+    let tx1 = stm.begin(); // holds u32::MAX
+    let tx2 = stm.begin(); // wraps over 0, holds 1
+    assert_eq!((tx1.token().to_raw(), tx2.token().to_raw()), (u32::MAX, 1));
+    // Rewind onto the live tokens: a fresh begin must redraw past
+    // u32::MAX (live), 0 (reserved), and 1 (live) and land on 2 —
+    // in release builds too, where the old guard compiled away.
+    stm.set_next_token_for_test(u32::MAX);
+    let tx3 = stm.begin();
+    assert_eq!(tx3.token().to_raw(), 2, "wrap must redraw past live tokens");
+    drop((tx1, tx2));
+    // With the collisions gone the rewound counter hands tokens out
+    // directly again.
+    stm.set_next_token_for_test(tx3.token().to_raw() + 1);
+    let tx4 = stm.begin();
+    assert_eq!(tx4.token().to_raw(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Transaction-lifetime commit/abort handlers (boosting support).
+// ---------------------------------------------------------------------------
+
+mod handlers {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    use super::*;
+
+    #[test]
+    fn commit_handlers_run_exactly_once_in_order() {
+        let (heap, class, stm) = setup();
+        let obj = heap.alloc(class).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let aborted = Arc::new(AtomicU32::new(0));
+        let mut tx = stm.begin();
+        for i in 0..3 {
+            let order = order.clone();
+            tx.on_commit(move || order.lock().unwrap().push(i));
+            let aborted = aborted.clone();
+            tx.on_abort(move || {
+                aborted.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        tx.write(obj, 0, Word::from_scalar(1)).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2], "in registration order");
+        assert_eq!(aborted.load(Ordering::Relaxed), 0, "abort list dropped unrun");
+    }
+
+    #[test]
+    fn abort_handlers_run_in_reverse_order_commit_list_dropped() {
+        let (_heap, _class, stm) = setup();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let committed = Arc::new(AtomicU32::new(0));
+        let mut tx = stm.begin();
+        for i in 0..3 {
+            let order = order.clone();
+            tx.on_abort(move || order.lock().unwrap().push(i));
+            let committed = committed.clone();
+            tx.on_commit(move || {
+                committed.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        tx.abort();
+        assert_eq!(*order.lock().unwrap(), vec![2, 1, 0], "reverse registration order");
+        assert_eq!(committed.load(Ordering::Relaxed), 0, "commit list dropped unrun");
+    }
+
+    #[test]
+    fn drop_of_active_transaction_runs_abort_handlers() {
+        let (_heap, _class, stm) = setup();
+        let ran = Arc::new(AtomicU32::new(0));
+        let mut tx = stm.begin();
+        let r = ran.clone();
+        tx.on_abort(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(tx);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_handler_does_not_starve_the_rest() {
+        let (heap, class, stm) = setup();
+        let obj = heap.alloc(class).unwrap();
+        let ran = Arc::new(AtomicU32::new(0));
+        let mut tx = stm.begin();
+        let r = ran.clone();
+        tx.on_commit(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        tx.on_commit(|| panic!("handler boom"));
+        let r = ran.clone();
+        tx.on_commit(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        tx.write(obj, 0, Word::from_scalar(7)).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tx.commit()));
+        let payload = result.expect_err("the first handler panic must resume");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"handler boom"));
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "handlers after the panic still ran");
+        // The commit itself still published.
+        assert_eq!(heap.load(obj, 0).as_scalar(), Some(7));
+    }
+
+    #[test]
+    fn rollback_to_savepoint_runs_and_truncates_nested_handlers() {
+        let (_heap, _class, stm) = setup();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let committed = Arc::new(Mutex::new(Vec::new()));
+        let mut tx = stm.begin();
+        let o = order.clone();
+        tx.on_abort(move || o.lock().unwrap().push("outer"));
+        let c = committed.clone();
+        tx.on_commit(move || c.lock().unwrap().push("outer"));
+        let sp = tx.savepoint();
+        for name in ["inner-a", "inner-b"] {
+            let o = order.clone();
+            tx.on_abort(move || o.lock().unwrap().push(name));
+            let c = committed.clone();
+            tx.on_commit(move || c.lock().unwrap().push(name));
+        }
+        tx.rollback_to(sp);
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["inner-b", "inner-a"],
+            "nested abort handlers run in reverse; outer handler survives"
+        );
+        order.lock().unwrap().clear();
+        tx.commit().unwrap();
+        assert_eq!(*order.lock().unwrap(), Vec::<&str>::new(), "outer abort handler dropped");
+        assert_eq!(
+            *committed.lock().unwrap(),
+            vec!["outer"],
+            "nested commit handlers were truncated with the savepoint"
+        );
+    }
+
+    #[test]
+    fn kill_failpoint_runs_abort_handlers() {
+        use crate::failpoint::{sites, FailAction, Trigger};
+        let (heap, class, stm) = setup();
+        let obj = heap.alloc(class).unwrap();
+        let ran = Arc::new(AtomicU32::new(0));
+        stm.failpoints().set(sites::COMMIT_BEFORE_RELEASE, FailAction::Kill, Trigger::Once);
+        let mut tx = stm.begin();
+        let r = ran.clone();
+        tx.on_abort(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        tx.write(obj, 0, Word::from_scalar(9)).unwrap();
+        let err = tx.commit().expect_err("the kill surfaces as DOOMED");
+        assert_eq!(err, TxError::DOOMED);
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            1,
+            "semantic undo runs on the dying thread (it cannot be parked)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract-lock table (boosting).
+// ---------------------------------------------------------------------------
+
+mod boost_locks {
+    use super::*;
+    use crate::boost::AbstractLockTable;
+
+    #[test]
+    fn locks_are_held_two_phase_and_released_on_commit_and_abort() {
+        let (_heap, _class, stm) = setup();
+        let table = AbstractLockTable::new(8);
+        let mut tx = stm.begin();
+        table.acquire(&mut tx, 3).unwrap();
+        table.acquire(&mut tx, 3).unwrap(); // reentrant
+        assert_eq!(table.holder(3), Some(tx.token()));
+        tx.commit().unwrap();
+        assert_eq!(table.holder(3), None, "commit handler released the lock");
+
+        let mut tx = stm.begin();
+        table.acquire(&mut tx, 5).unwrap();
+        assert_eq!(table.holder(5), Some(tx.token()));
+        tx.abort();
+        assert_eq!(table.holder(5), None, "abort handler released the lock");
+
+        let stats = table.stats();
+        assert_eq!(stats.acquires, 2);
+        assert_eq!(stats.reentrant_hits, 1);
+        assert_eq!(stats.releases, 2);
+    }
+
+    #[test]
+    fn contended_lock_fails_busy_under_abort_self_policy() {
+        let (_heap, _class, stm) =
+            setup_with(StmConfig { cm: CmPolicy::AbortSelf, ..StmConfig::default() });
+        let table = AbstractLockTable::new(8);
+        let mut holder = stm.begin();
+        table.acquire(&mut holder, 1).unwrap();
+        let mut contender = stm.begin();
+        assert_eq!(table.acquire(&mut contender, 1), Err(TxError::BUSY));
+        // Distinct keys never contend.
+        table.acquire(&mut contender, 2).unwrap();
+        holder.abort();
+        // The lock is free again; the contender can take it now.
+        table.acquire(&mut contender, 1).unwrap();
+        contender.commit().unwrap();
+        assert_eq!(table.holder(1), None);
+        assert_eq!(table.holder(2), None);
+        assert!(table.stats().busy_failures >= 1);
+    }
+
+    #[test]
+    fn bounded_wait_converts_deadlock_into_busy() {
+        // Spin policy waits; the budget must still bound the wait so a
+        // cross-acquisition cycle (A holds 1 wants 2, B holds 2 wants
+        // 1) resolves by one side failing BUSY instead of both
+        // spinning forever.
+        let (_heap, _class, stm) = setup_with(StmConfig {
+            cm: CmPolicy::Spin { max_spins: u32::MAX },
+            doom_wait_spins: 32,
+            ..StmConfig::default()
+        });
+        let table = AbstractLockTable::new(8);
+        let mut a = stm.begin();
+        let mut b = stm.begin();
+        table.acquire(&mut a, 1).unwrap();
+        table.acquire(&mut b, 2).unwrap();
+        assert_eq!(table.acquire(&mut a, 2), Err(TxError::BUSY));
+        // A's retry loop would now roll back, releasing lock 1; B can
+        // then complete.
+        a.abort();
+        table.acquire(&mut b, 1).unwrap();
+        b.commit().unwrap();
+        assert_eq!(table.holder(1), None);
+        assert_eq!(table.holder(2), None);
+    }
+
+    #[test]
+    fn savepoint_rollback_releases_only_nested_locks() {
+        let (_heap, _class, stm) = setup();
+        let table = AbstractLockTable::new(8);
+        let mut tx = stm.begin();
+        table.acquire(&mut tx, 1).unwrap();
+        let sp = tx.savepoint();
+        table.acquire(&mut tx, 2).unwrap();
+        tx.rollback_to(sp);
+        assert_eq!(table.holder(2), None, "nested acquisition rolled back");
+        assert_eq!(table.holder(1), Some(tx.token()), "outer lock survives");
+        // Reentrancy after the partial rollback re-registers a release
+        // for the rolled-away slot.
+        table.acquire(&mut tx, 2).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(table.holder(1), None);
+        assert_eq!(table.holder(2), None);
+    }
 }

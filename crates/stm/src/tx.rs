@@ -106,6 +106,40 @@ enum TxState {
     Finished,
 }
 
+/// Transaction-lifetime handler list (boosting support, DESIGN.md
+/// §4.12). Handlers are opaque one-shot closures; `Debug` reports only
+/// the count.
+#[derive(Default)]
+struct Handlers(Vec<Box<dyn FnOnce() + 'static>>);
+
+impl std::fmt::Debug for Handlers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Handlers({})", self.0.len())
+    }
+}
+
+impl Handlers {
+    /// Runs `handlers`, each under its own `catch_unwind`, so one
+    /// panicking handler cannot starve the rest (a lock-release handler
+    /// skipped here would wedge every future contender). The first
+    /// captured panic resumes after all handlers ran — unless the
+    /// thread is already unwinding (drop-during-panic), where a second
+    /// panic would abort the process; there the payload is dropped.
+    fn run(handlers: impl Iterator<Item = Box<dyn FnOnce() + 'static>>) {
+        let mut first_panic = None;
+        for h in handlers {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(h)) {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
 /// An in-flight transaction. Obtained from [`Stm::begin`].
 ///
 /// Dropping an unfinished transaction aborts it (rolling back all
@@ -170,6 +204,12 @@ pub struct Transaction<'stm> {
     /// clock cannot vouch for such an entry (ownership transfers do not
     /// bump it), so validation must fall back to scanning.
     clock_fast_path_ok: bool,
+    /// Handlers to run (in order) after a successful commit's release
+    /// phase, and (in reverse) after rollback — boosting registers
+    /// abstract-lock releases in both and inverse semantic ops in the
+    /// abort list. Exactly one list runs; the other is dropped unrun.
+    commit_handlers: Handlers,
+    abort_handlers: Handlers,
     /// Snapshot mode only: true while every read so far was
     /// sandwich-verified against `read_ver` (`clock_snapshot`) by the
     /// composed [`Transaction::read`]. A read-only transaction that
@@ -219,9 +259,48 @@ impl<'stm> Transaction<'stm> {
             self_acquire_bumps: 0,
             validated_watermark: 0,
             clock_fast_path_ok: true,
+            commit_handlers: Handlers::default(),
+            abort_handlers: Handlers::default(),
             snapshot_clean: true,
             state: TxState::Active,
         }
+    }
+
+    /// Registers a handler to run exactly once if this transaction
+    /// commits, after the release phase (so the transaction's updates
+    /// are already published when the handler observes the heap).
+    /// Handlers run in registration order. If the transaction aborts
+    /// instead, the handler is dropped unrun. Transactional boosting
+    /// (DESIGN.md §4.12) uses this to release abstract locks.
+    ///
+    /// Handlers run on the committing thread and may begin fresh
+    /// (manual) transactions on the same [`Stm`]; they must not touch
+    /// this transaction (it has already finished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction already finished.
+    pub fn on_commit(&mut self, f: impl FnOnce() + 'static) {
+        self.assert_active();
+        self.commit_handlers.0.push(Box::new(f));
+    }
+
+    /// Registers a handler to run exactly once if this transaction
+    /// aborts, after rollback has restored the heap and released
+    /// word-level ownership. Handlers run in **reverse** registration
+    /// order: boosting registers each abstract-lock release *before*
+    /// the semantic ops it guards, so in reverse the inverse ops run
+    /// while the lock is still held and the release comes last — no
+    /// observer can see un-undone state. If the transaction commits,
+    /// the handler is dropped unrun. A `Kill` failpoint (simulated
+    /// thread death) also runs abort handlers — see [`Self::kill`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction already finished.
+    pub fn on_abort(&mut self, f: impl FnOnce() + 'static) {
+        self.assert_active();
+        self.abort_handlers.0.push(Box::new(f));
     }
 
     /// This transaction's token (unique among concurrent transactions).
@@ -232,6 +311,13 @@ impl<'stm> Transaction<'stm> {
     /// Shared control block (priority, karma, doom flag).
     pub(crate) fn ctl_arc(&self) -> Arc<TxCtl> {
         self.ctl.clone()
+    }
+
+    /// The owning [`Stm`] (for in-crate layers like boosting that need
+    /// the registry, contention manager, and config of the transaction
+    /// they extend).
+    pub(crate) fn stm(&self) -> &Stm {
+        self.stm
     }
 
     /// True if another transaction's contention manager doomed this
@@ -291,6 +377,16 @@ impl<'stm> Transaction<'stm> {
         // Publish the death only after the logs are recoverable.
         self.ctl.killed.store(true, Ordering::Release);
         self.stm.flush_outcome(Outcome::Killed, &self.counters);
+        // Semantic (boosting) state cannot be parked: abort handlers
+        // are opaque closures, so no recovering thread could replay
+        // them. Run them here instead — modeling a boosted runtime
+        // whose semantic undo executes during recovery — in the same
+        // reverse order as rollback, so inverse ops still run under
+        // their abstract locks. Word-level recovery of the parked logs
+        // proceeds independently (the boosted discipline keeps the
+        // outer transaction off the map's words entirely).
+        self.commit_handlers.0.clear();
+        Handlers::run(std::mem::take(&mut self.abort_handlers.0).into_iter().rev());
     }
 
     /// Operation counters accumulated so far.
@@ -1129,6 +1225,11 @@ impl<'stm> Transaction<'stm> {
             self.stm.heap().header_atomic(entry.obj).store(version_bits(next), Ordering::Release);
         }
         self.finish(Outcome::Committed);
+        // Commit handlers (boosting: abstract-lock releases) run after
+        // the updates are published and the transaction has finished,
+        // in registration order; the abort list is dropped unrun.
+        self.abort_handlers.0.clear();
+        Handlers::run(std::mem::take(&mut self.commit_handlers.0).into_iter());
         Ok(())
     }
 
@@ -1244,6 +1345,11 @@ impl<'stm> Transaction<'stm> {
                 .store(version_bits(released), Ordering::Release);
         }
         self.finish(Outcome::Aborted(kind));
+        // Abort handlers (boosting: inverse semantic ops, then abstract
+        // lock releases) run after word-level rollback is complete, in
+        // reverse registration order; the commit list is dropped unrun.
+        self.commit_handlers.0.clear();
+        Handlers::run(std::mem::take(&mut self.abort_handlers.0).into_iter().rev());
     }
 
     /// Creates a savepoint for closed-nested rollback.
@@ -1256,7 +1362,10 @@ impl<'stm> Transaction<'stm> {
         if let Some(filter) = &mut self.ctx.filter {
             filter.clear();
         }
-        self.ctx.logs.savepoint()
+        let mut sp = self.ctx.logs.savepoint();
+        sp.commit_handler_len = self.commit_handlers.0.len();
+        sp.abort_handler_len = self.abort_handlers.0.len();
+        sp
     }
 
     /// Rolls back to `sp`: undoes stores, releases ownership acquired,
@@ -1272,7 +1381,9 @@ impl<'stm> Transaction<'stm> {
             sp.read_len <= self.ctx.logs.read.len()
                 && sp.update_len <= self.ctx.logs.update.len()
                 && sp.undo_len <= self.ctx.logs.undo.len()
-                && sp.alloc_len <= self.ctx.logs.allocs.len(),
+                && sp.alloc_len <= self.ctx.logs.allocs.len()
+                && sp.commit_handler_len <= self.commit_handlers.0.len()
+                && sp.abort_handler_len <= self.abort_handlers.0.len(),
             "savepoint does not match this transaction's logs"
         );
         for entry in self.ctx.logs.undo[sp.undo_len..].iter().rev() {
@@ -1358,6 +1469,16 @@ impl<'stm> Transaction<'stm> {
         if let Some(filter) = &mut self.ctx.filter {
             filter.clear();
         }
+        // Handlers registered since the savepoint belong to the rolled-
+        // away region: its abort handlers run now (reverse order, as in
+        // a full rollback — inverse ops fire under their still-held
+        // abstract locks, releases last) and its commit handlers are
+        // dropped, since the operations they would have sealed no
+        // longer happen. Handlers registered before the savepoint
+        // survive untouched.
+        let aborted: Vec<_> = self.abort_handlers.0.drain(sp.abort_handler_len..).collect();
+        self.commit_handlers.0.truncate(sp.commit_handler_len);
+        Handlers::run(aborted.into_iter().rev());
     }
 
     /// Runs `f` as a closed-nested transaction: on `Err`, its effects

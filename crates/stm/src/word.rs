@@ -20,9 +20,13 @@ use std::fmt;
 
 /// Identifies a transaction for the duration of its execution.
 ///
-/// Tokens are drawn from a global wrapping counter. A collision would
-/// require 2³² transactions to start during the lifetime of a single
-/// transaction, which we rule out by assumption (and document here).
+/// Tokens are drawn from a global wrapping counter, but allocation is
+/// **reuse-safe in every build**: `Stm::begin` redraws any candidate
+/// that is still registered to a live transaction, so a counter wrap
+/// (after 2³² begins) can never reissue a token two concurrent
+/// transactions would both answer to. Token 0 is never issued — the
+/// abstract-lock table ([`crate::boost`]) reserves it as the "free"
+/// encoding of a lock word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxToken(pub(crate) u32);
 

@@ -151,6 +151,10 @@ impl std::str::FromStr for BackendKind {
 }
 
 /// The per-atomic-region synchronization state.
+// One `Session` lives per interpreter, never in collections, so the
+// size spread between `Idle` and a full `Transaction` costs nothing;
+// boxing the STM variant would put an indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Session<'b> {
     /// No region active.
     Idle,

@@ -1,0 +1,631 @@
+//! A boosted transactional hash map: semantic conflict detection over
+//! the word-level STM (DESIGN.md §4.12).
+//!
+//! The word-level [`StmHashSet`](crate::StmHashSet) aborts transactions
+//! whose operations *commute* whenever they rewrite the same bucket
+//! words — two inserts of distinct keys into one bucket both CAS the
+//! bucket head, so one of them restarts even though either order
+//! produces the same set. `BoostedHashMap` recovers that concurrency by
+//! boosting (Herlihy & Koskinen; Proust in PAPERS.md):
+//!
+//! - every operation takes a **per-key abstract lock**
+//!   ([`omt_stm::AbstractLockTable`]) held two-phase until the outer
+//!   transaction commits or aborts;
+//! - the physical mutation runs as a small **immediately-committed
+//!   inner transaction** on the same STM, so each step is individually
+//!   atomic and opaque at the word level;
+//! - effectful operations log an **inverse operation**
+//!   (`put` ↔ `delete`) on the outer transaction's abort-handler list,
+//!   so a semantic rollback restores the exact pre-state — running
+//!   newest-first under the still-held locks, no observer that respects
+//!   the locks can see un-undone state.
+//!
+//! Conflicts now happen at key granularity: operations on distinct keys
+//! never contend (given enough lock stripes), whatever buckets they
+//! share. Opacity for the *composed* outer transaction holds because
+//! the outer transaction reads map state only through lock-guarded
+//! operations whose physical reads are word-level snapshots; the
+//! word-level fallback (validation of anything the outer transaction
+//! touches directly) is unchanged.
+//!
+//! # Discipline
+//!
+//! The outer transaction must never open the map's own words — all
+//! access goes through the `*_in` operations. Inner transactions use
+//! manual [`Stm::begin`], never `atomically` (the outer attempt already
+//! holds the serial-mode gate shared; re-entering would deadlock
+//! against a queued serial writer).
+
+use std::sync::Arc;
+
+use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut, ObjRef, Word};
+use omt_stm::{schedpt, AbstractLockTable, Stm, Transaction, TxResult};
+use omt_util::sched::yield_point;
+
+use crate::set::ConcurrentSet;
+
+const BUCKET_HEAD: usize = 0;
+const KEY: usize = 0;
+const VAL: usize = 1;
+const NEXT: usize = 2;
+
+/// A boosted transactional hash map from `i64` keys to `i64` values.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use omt_heap::Heap;
+/// use omt_stm::Stm;
+/// use omt_workloads::BoostedHashMap;
+///
+/// let stm = Arc::new(Stm::new(Arc::new(Heap::new())));
+/// let map = BoostedHashMap::new(stm, 16, 64);
+/// assert!(map.put(7, 70));
+/// assert_eq!(map.get(7), Some(70));
+/// assert_eq!(map.delete(7), Some(70));
+/// ```
+#[derive(Debug)]
+pub struct BoostedHashMap {
+    stm: Arc<Stm>,
+    locks: Arc<AbstractLockTable>,
+    node_class: ClassId,
+    /// One single-field head object per bucket (fixed after creation).
+    buckets: Arc<[ObjRef]>,
+}
+
+/// Runs one physical operation as an immediately-committed inner
+/// transaction, retrying word-level conflicts indefinitely (each op
+/// touches a handful of words in one chain; some contender always
+/// commits, so the retry terminates in practice exactly like any
+/// word-level workload). Non-retryable errors (heap exhaustion)
+/// propagate to the caller's outer transaction.
+///
+/// Deadlock-free by construction: physical operations take no abstract
+/// locks, so they can never close a cycle against the bounded
+/// abstract-lock waits.
+fn run_phys<R>(stm: &Stm, f: impl Fn(&mut Transaction<'_>) -> TxResult<R>) -> TxResult<R> {
+    let mut attempts = 0u32;
+    loop {
+        let mut tx = stm.begin();
+        match f(&mut tx) {
+            Ok(v) => {
+                if tx.commit().is_ok() {
+                    return Ok(v);
+                }
+            }
+            Err(e) if e.is_retryable() => tx.abort(),
+            Err(e) => {
+                tx.abort();
+                return Err(e);
+            }
+        }
+        attempts = attempts.wrapping_add(1);
+        if attempts.is_multiple_of(8) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Walks `bucket`'s chain inside `tx`; returns `(prev, prev_field,
+/// node-with-key)`.
+fn phys_locate(
+    tx: &mut Transaction<'_>,
+    bucket: ObjRef,
+    key: i64,
+) -> TxResult<(ObjRef, usize, Option<ObjRef>)> {
+    let mut prev = bucket;
+    let mut prev_field = BUCKET_HEAD;
+    let mut current = tx.read(bucket, BUCKET_HEAD)?.as_ref();
+    while let Some(node) = current {
+        if tx.read(node, KEY)?.as_scalar() == Some(key) {
+            return Ok((prev, prev_field, Some(node)));
+        }
+        prev = node;
+        prev_field = NEXT;
+        current = tx.read(node, NEXT)?.as_ref();
+    }
+    Ok((prev, prev_field, None))
+}
+
+/// Physical insert: links a fresh node unless the key is present.
+/// Returns whether it inserted.
+fn phys_put(
+    tx: &mut Transaction<'_>,
+    node_class: ClassId,
+    bucket: ObjRef,
+    key: i64,
+    value: i64,
+) -> TxResult<bool> {
+    let (_, _, found) = phys_locate(tx, bucket, key)?;
+    if found.is_some() {
+        return Ok(false);
+    }
+    let first = tx.read(bucket, BUCKET_HEAD)?;
+    let fresh = tx.alloc(node_class)?;
+    // Transaction-local initialization (no barriers needed).
+    tx.store_direct(fresh, KEY, Word::from_scalar(key));
+    tx.store_direct(fresh, VAL, Word::from_scalar(value));
+    tx.store_direct(fresh, NEXT, first);
+    tx.write(bucket, BUCKET_HEAD, Word::from_ref(fresh))?;
+    Ok(true)
+}
+
+/// Physical remove: unlinks the key's node. Returns the removed value.
+fn phys_delete(tx: &mut Transaction<'_>, bucket: ObjRef, key: i64) -> TxResult<Option<i64>> {
+    let (prev, prev_field, found) = phys_locate(tx, bucket, key)?;
+    let Some(node) = found else { return Ok(None) };
+    let value = tx.read(node, VAL)?.as_scalar();
+    let after = tx.read(node, NEXT)?;
+    tx.write(prev, prev_field, after)?;
+    Ok(value)
+}
+
+/// Physical lookup. Returns the key's value, if present.
+fn phys_get(tx: &mut Transaction<'_>, bucket: ObjRef, key: i64) -> TxResult<Option<i64>> {
+    let (_, _, found) = phys_locate(tx, bucket, key)?;
+    match found {
+        Some(node) => Ok(tx.read(node, VAL)?.as_scalar()),
+        None => Ok(None),
+    }
+}
+
+impl BoostedHashMap {
+    /// Creates a map with `buckets` chains and at least `lock_stripes`
+    /// abstract locks (rounded up to a power of two).
+    ///
+    /// Lock striping is *identity* (`key & mask`): size `lock_stripes`
+    /// at or above the live-key range and distinct keys get genuinely
+    /// disjoint locks — the configuration under which commuting
+    /// operations never contend at all, however few buckets exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or the heap is full.
+    pub fn new(stm: Arc<Stm>, buckets: usize, lock_stripes: usize) -> BoostedHashMap {
+        assert!(buckets > 0, "need at least one bucket");
+        let bucket_class = stm.heap().define_class(ClassDesc::new(
+            "BoostedBucket",
+            vec![FieldDesc::new("head", FieldMut::Var)],
+        ));
+        let node_class = stm.heap().define_class(ClassDesc::new(
+            "BoostedNode",
+            vec![
+                FieldDesc::new("key", FieldMut::Val),
+                FieldDesc::new("val", FieldMut::Var),
+                FieldDesc::new("next", FieldMut::Var),
+            ],
+        ));
+        let buckets: Arc<[ObjRef]> =
+            (0..buckets).map(|_| stm.heap().alloc(bucket_class).expect("heap full")).collect();
+        BoostedHashMap { stm, locks: AbstractLockTable::new(lock_stripes), node_class, buckets }
+    }
+
+    /// The STM this map runs on.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// The abstract-lock table (counters for tests and benches).
+    pub fn locks(&self) -> &Arc<AbstractLockTable> {
+        &self.locks
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket(&self, key: i64) -> ObjRef {
+        self.buckets[key.rem_euclid(self.buckets.len() as i64) as usize]
+    }
+
+    /// Composable boosted insert: takes `key`'s abstract lock for the
+    /// rest of `tx`'s lifetime, inserts unless present, and arranges
+    /// for a semantic undo if `tx` later aborts. Returns whether it
+    /// inserted (an existing key is left untouched).
+    ///
+    /// # Errors
+    ///
+    /// [`omt_stm::TxError::BUSY`] / `DOOMED` from the lock acquisition
+    /// (retry the outer transaction), or heap exhaustion from the
+    /// physical insert.
+    pub fn put_in(&self, tx: &mut Transaction<'_>, key: i64, value: i64) -> TxResult<bool> {
+        self.locks.acquire(tx, key as u64)?;
+        let bucket = self.bucket(key);
+        let node_class = self.node_class;
+        let inserted = run_phys(&self.stm, |ptx| phys_put(ptx, node_class, bucket, key, value))?;
+        if inserted {
+            let stm = Arc::clone(&self.stm);
+            tx.on_abort(move || {
+                yield_point(schedpt::BOOST_PRE_INVERSE);
+                // Inverse of a successful put: delete the key. Runs
+                // under the still-held abstract lock; the key was
+                // absent before and present now, so the delete cannot
+                // miss, and it never allocates, so the retry loop has
+                // no non-retryable exit.
+                run_phys(&stm, |ptx| phys_delete(ptx, bucket, key))
+                    .expect("inverse delete allocates nothing and cannot fail terminally");
+            });
+        }
+        Ok(inserted)
+    }
+
+    /// Composable boosted remove: takes `key`'s abstract lock, unlinks
+    /// the key, and arranges re-insertion of the removed value if `tx`
+    /// later aborts. Returns the removed value.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::put_in`].
+    pub fn delete_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<Option<i64>> {
+        self.locks.acquire(tx, key as u64)?;
+        let bucket = self.bucket(key);
+        let removed = run_phys(&self.stm, |ptx| phys_delete(ptx, bucket, key))?;
+        if let Some(value) = removed {
+            let stm = Arc::clone(&self.stm);
+            let node_class = self.node_class;
+            tx.on_abort(move || {
+                yield_point(schedpt::BOOST_PRE_INVERSE);
+                // Inverse of a successful delete: put the value back.
+                // The only terminal error is heap exhaustion; a heap
+                // that cannot hold the node it just freed is already
+                // lost, so surface it loudly rather than silently
+                // dropping the key.
+                run_phys(&stm, |ptx| phys_put(ptx, node_class, bucket, key, value))
+                    .expect("inverse put failed: heap exhausted during semantic rollback");
+            });
+        }
+        Ok(removed)
+    }
+
+    /// Composable boosted lookup: takes `key`'s abstract lock
+    /// (conservatively exclusive — the lock *is* the conflict
+    /// footprint, so a reader blocks a writer of the same key and
+    /// nothing else) and returns the value.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::put_in`].
+    pub fn get_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<Option<i64>> {
+        self.locks.acquire(tx, key as u64)?;
+        let bucket = self.bucket(key);
+        run_phys(&self.stm, |ptx| phys_get(ptx, bucket, key))
+    }
+
+    /// Boosted insert in its own transaction. Returns whether it
+    /// inserted.
+    pub fn put(&self, key: i64, value: i64) -> bool {
+        self.stm.atomically(|tx| self.put_in(tx, key, value))
+    }
+
+    /// Boosted remove in its own transaction. Returns the removed
+    /// value.
+    pub fn delete(&self, key: i64) -> Option<i64> {
+        self.stm.atomically(|tx| self.delete_in(tx, key))
+    }
+
+    /// Boosted lookup in its own transaction.
+    pub fn get(&self, key: i64) -> Option<i64> {
+        self.stm.atomically(|tx| self.get_in(tx, key))
+    }
+
+    /// Composable word-level insert on the same physical structure,
+    /// bypassing the abstract locks: `tx` opens the bucket words
+    /// directly, so conflicts are at word granularity (two inserts into
+    /// one bucket collide even on distinct keys). The baseline the
+    /// boosted path is measured against (E2) and the backend of the
+    /// server's word-level KV mode. A store must be driven either
+    /// entirely boosted (`*_in`) or entirely raw — mixing the two skips
+    /// the abstract locks the boosted side relies on.
+    ///
+    /// # Errors
+    ///
+    /// Word-level conflicts and heap exhaustion, as for any direct
+    /// transactional access.
+    pub fn raw_put_in(&self, tx: &mut Transaction<'_>, key: i64, value: i64) -> TxResult<bool> {
+        phys_put(tx, self.node_class, self.bucket(key), key, value)
+    }
+
+    /// Composable word-level remove (see [`Self::raw_put_in`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::raw_put_in`].
+    pub fn raw_delete_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<Option<i64>> {
+        phys_delete(tx, self.bucket(key), key)
+    }
+
+    /// Composable word-level lookup (see [`Self::raw_put_in`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::raw_put_in`].
+    pub fn raw_get_in(&self, tx: &mut Transaction<'_>, key: i64) -> TxResult<Option<i64>> {
+        phys_get(tx, self.bucket(key), key)
+    }
+
+    /// Word-level insert in its own transaction (see
+    /// [`Self::raw_put_in`]).
+    pub fn raw_put(&self, key: i64, value: i64) -> bool {
+        self.stm.atomically(|tx| self.raw_put_in(tx, key, value))
+    }
+
+    /// Word-level remove in its own transaction.
+    pub fn raw_delete(&self, key: i64) -> Option<i64> {
+        self.stm.atomically(|tx| self.raw_delete_in(tx, key))
+    }
+
+    /// Word-level lookup in its own transaction.
+    pub fn raw_get(&self, key: i64) -> Option<i64> {
+        self.stm.atomically(|tx| self.raw_get_in(tx, key))
+    }
+
+    /// Word-level snapshot of the whole map, as `(key, value)` pairs in
+    /// no particular order. An audit/test helper: it is atomic at the
+    /// *word* level (one transaction) but takes no abstract locks, so
+    /// it can observe the mid-flight physical steps of a concurrent
+    /// boosted transaction. For a semantically isolated read, go
+    /// through [`Self::get_in`] under the keys' locks.
+    pub fn snapshot(&self) -> Vec<(i64, i64)> {
+        self.stm.atomically(|tx| {
+            let mut pairs = Vec::new();
+            for bucket in self.buckets.iter() {
+                let mut current = tx.read(*bucket, BUCKET_HEAD)?.as_ref();
+                while let Some(node) = current {
+                    let key = tx.read(node, KEY)?.as_scalar().expect("node key is a scalar");
+                    let val = tx.read(node, VAL)?.as_scalar().expect("node value is a scalar");
+                    pairs.push((key, val));
+                    current = tx.read(node, NEXT)?.as_ref();
+                }
+            }
+            Ok(pairs)
+        })
+    }
+}
+
+impl ConcurrentSet for BoostedHashMap {
+    fn insert(&self, key: i64) -> bool {
+        self.put(key, key)
+    }
+
+    fn remove(&self, key: i64) -> bool {
+        self.delete(key).is_some()
+    }
+
+    fn contains(&self, key: i64) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{prefill, run_set_workload, sets_agree, SetWorkload};
+    use crate::stm_hash::StmHashSet;
+    use omt_heap::Heap;
+    use omt_stm::TxError;
+
+    fn map(buckets: usize, stripes: usize) -> BoostedHashMap {
+        BoostedHashMap::new(Arc::new(Stm::new(Arc::new(Heap::new()))), buckets, stripes)
+    }
+
+    #[test]
+    fn basic_map_operations() {
+        let m = map(4, 64);
+        assert!(m.put(1, 10));
+        assert!(m.put(5, 50)); // same bucket as 1
+        assert!(!m.put(1, 99), "existing key is left untouched");
+        assert_eq!(m.get(1), Some(10));
+        assert_eq!(m.get(5), Some(50));
+        assert_eq!(m.delete(5), Some(50));
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn abort_restores_exact_pre_state() {
+        let m = map(2, 64);
+        m.put(1, 10);
+        m.put(2, 20);
+        let before = {
+            let mut s = m.snapshot();
+            s.sort_unstable();
+            s
+        };
+        // A transaction that inserts, deletes, and then aborts: the
+        // inverse ops must restore the exact pre-state.
+        let mut tx = m.stm().begin();
+        assert!(m.put_in(&mut tx, 3, 30).unwrap());
+        assert_eq!(m.delete_in(&mut tx, 1).unwrap(), Some(10));
+        tx.abort();
+        let mut after = m.snapshot();
+        after.sort_unstable();
+        assert_eq!(after, before);
+        assert_eq!(m.locks().holder(1), None);
+        assert_eq!(m.locks().holder(3), None);
+    }
+
+    #[test]
+    fn savepoint_partial_rollback_undoes_only_nested_ops() {
+        let m = map(2, 64);
+        m.put(1, 10);
+        let mut tx = m.stm().begin();
+        assert!(m.put_in(&mut tx, 2, 20).unwrap());
+        let sp = tx.savepoint();
+        assert!(m.put_in(&mut tx, 3, 30).unwrap());
+        assert_eq!(m.delete_in(&mut tx, 1).unwrap(), Some(10));
+        tx.rollback_to(sp);
+        // The nested region's ops are undone (3 gone, 1 back), the
+        // outer op (2) survives, and so does its lock.
+        assert_eq!(m.locks().holder(2), Some(tx.token()));
+        tx.commit().unwrap();
+        let mut state = m.snapshot();
+        state.sort_unstable();
+        assert_eq!(state, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn kill_failpoint_runs_semantic_undo() {
+        use omt_stm::{FailAction, Trigger};
+        let m = map(2, 64);
+        m.put(1, 10);
+        let before = {
+            let mut s = m.snapshot();
+            s.sort_unstable();
+            s
+        };
+        let mut tx = m.stm().begin();
+        assert!(m.put_in(&mut tx, 7, 70).unwrap());
+        assert_eq!(m.delete_in(&mut tx, 1).unwrap(), Some(10));
+        // Simulate thread death at commit time: the semantic undo runs
+        // on the dying thread (handlers cannot be parked), restoring
+        // the map, and the abstract locks are released.
+        m.stm().failpoints().set(
+            omt_stm::failpoint::sites::COMMIT_BEFORE_VALIDATE,
+            FailAction::Kill,
+            Trigger::Once,
+        );
+        assert_eq!(tx.commit(), Err(TxError::DOOMED));
+        let mut after = m.snapshot();
+        after.sort_unstable();
+        assert_eq!(after, before);
+        assert_eq!(m.locks().holder(1), None);
+        assert_eq!(m.locks().holder(7), None);
+    }
+
+    #[test]
+    fn commuting_ops_on_one_bucket_do_not_conflict() {
+        // Two transactions insert distinct keys into the same bucket
+        // and hold their locks at the same time — word-level maps
+        // cannot interleave these without one abort.
+        let m = map(1, 64);
+        let mut a = m.stm().begin();
+        let mut b = m.stm().begin();
+        assert!(m.put_in(&mut a, 1, 10).unwrap());
+        assert!(m.put_in(&mut b, 2, 20).unwrap());
+        a.commit().unwrap();
+        b.commit().unwrap();
+        let mut state = m.snapshot();
+        state.sort_unstable();
+        assert_eq!(state, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn same_key_ops_do_conflict() {
+        let m = map(1, 64);
+        let mut a = m.stm().begin();
+        let mut b = m.stm().begin();
+        assert!(m.put_in(&mut a, 1, 10).unwrap());
+        // Default CM (Spin) waits then gives up: same-key access from
+        // another live transaction must fail BUSY, not interleave.
+        assert_eq!(m.put_in(&mut b, 1, 99), Err(TxError::BUSY));
+        a.abort();
+        b.abort();
+        assert_eq!(m.get(1), None, "a's abort removed its insert");
+    }
+
+    #[test]
+    fn agrees_with_reference_set_single_threaded() {
+        let m = map(16, 1024);
+        let reference = StmHashSet::new(Arc::new(Stm::new(Arc::new(Heap::new()))), 16);
+        assert!(sets_agree(&m, &reference, 4_000, 0x0B00_57ED));
+    }
+
+    #[test]
+    fn seeded_cross_thread_storm_conserves_value_sum() {
+        // K accounts with initial balance; each thread transfers 1 from
+        // one account to another per transaction (delete both, put back
+        // adjusted), while auditors snapshot the sum under all K locks.
+        // Total balance is conserved at every semantically isolated
+        // observation point and at the end.
+        const KEYS: i64 = 8;
+        const BALANCE: i64 = 1_000;
+        const TRANSFERS: usize = 300;
+        let m = Arc::new(map(2, KEYS as usize));
+        for k in 0..KEYS {
+            m.put(k, BALANCE);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t + 1);
+                    for _ in 0..TRANSFERS {
+                        rng =
+                            rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let from = (rng >> 33) as i64 % KEYS;
+                        let to = (rng >> 13) as i64 % KEYS;
+                        if from == to {
+                            continue;
+                        }
+                        m.stm().atomically(|tx| {
+                            let a = m.delete_in(tx, from)?.expect("accounts never vanish");
+                            let b = m.delete_in(tx, to)?.expect("accounts never vanish");
+                            m.put_in(tx, from, a - 1)?;
+                            m.put_in(tx, to, b + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            // Auditor: a boosted read of every account under all the
+            // locks sees a semantically consistent state.
+            let m2 = Arc::clone(&m);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    let sum = m2.stm().atomically(|tx| {
+                        let mut sum = 0i64;
+                        for k in 0..KEYS {
+                            sum += m2.get_in(tx, k)?.expect("accounts never vanish");
+                        }
+                        Ok(sum)
+                    });
+                    assert_eq!(sum, KEYS * BALANCE, "conservation violated mid-storm");
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let mut state = m.snapshot();
+        state.sort_unstable();
+        assert_eq!(state.len(), KEYS as usize);
+        assert_eq!(state.iter().map(|(_, v)| v).sum::<i64>(), KEYS * BALANCE);
+    }
+
+    #[test]
+    fn workload_driver_runs_on_the_boosted_map() {
+        let m = map(16, 1024);
+        let workload = SetWorkload {
+            initial_size: 64,
+            key_range: 256,
+            ops_per_thread: 1_000,
+            ..SetWorkload::default()
+        };
+        prefill(&m, &workload);
+        let outcome = run_set_workload(&m, &workload, 2);
+        assert_eq!(outcome.total_ops, 2_000);
+        assert!(m.len() <= 256);
+    }
+
+    #[test]
+    fn panicking_user_code_rolls_back_semantic_ops() {
+        let m = map(2, 64);
+        m.put(1, 10);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.stm().atomically(|tx| {
+                m.delete_in(tx, 1)?;
+                panic!("user code exploded");
+                #[allow(unreachable_code)]
+                Ok(())
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(m.get(1), Some(10), "panic unwound through the inverse op");
+    }
+}

@@ -7,9 +7,11 @@
 //! lock-based competitors, and multithreaded drivers.
 //!
 //! STM structures: [`StmHashSet`], [`StmSortedList`], [`StmBst`],
-//! [`StmSkipList`], [`StmBank`], [`CounterArray`], and the composite
+//! [`StmSkipList`], [`StmBank`], [`CounterArray`], the composite
 //! [`TravelSystem`] (multi-structure transactions via the `_in`
-//! transaction-composable operations).
+//! transaction-composable operations), and the boosted
+//! [`BoostedHashMap`] (semantic conflict detection: per-key abstract
+//! locks and inverse-operation undo over the word-level STM).
 //!
 //! Lock-based competitors: [`StripedHashSet`] and [`HandOverHandList`]
 //! (fine-grained), [`CoarseStdSet`] and [`RwStdSet`] (coarse),
@@ -41,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bank;
+mod boosted_hash;
 mod contention;
 mod heap_lock_hash;
 mod lock_counters;
@@ -53,6 +56,7 @@ mod stm_skiplist;
 mod travel;
 
 pub use bank::{run_bank_workload, Bank, BankOutcome, CoarseBank, LockBank, StmBank};
+pub use boosted_hash::BoostedHashMap;
 pub use contention::{
     run_contention_point, run_contention_storm, run_counter_throughput, ContentionOutcome,
     CounterArray, CounterCells, StormOutcome,

@@ -200,6 +200,9 @@ impl ConcurrentSet for HandOverHandList {
         if !matched {
             return false;
         }
+        // Invariant: `matched` proved `*guard` is `Some` with this key,
+        // and we still hold the lock that `locate` returned, so nothing
+        // can have unlinked the node in between.
         let node = guard.take().expect("matched above");
         *guard = node.next.lock().take();
         true

@@ -159,6 +159,8 @@ pub fn run_set_workload(
                 hits
             }));
         }
+        // A worker panic means the structure under test corrupted (its
+        // own asserts fired); re-raising it here is the report.
         handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
     });
     let elapsed = start.elapsed();

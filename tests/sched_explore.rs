@@ -21,6 +21,7 @@ use omt_heap::{ClassDesc, Heap, ObjRef, Word};
 use omt_sched::{Execution, Explorer, RunOutcome, SchedConfig, ThreadBody};
 use omt_stm::failpoint::{sites, FailAction, Trigger};
 use omt_stm::{ClockMode, CmPolicy, Stm, StmConfig, StmWord, TxError};
+use omt_workloads::BoostedHashMap;
 
 /// Baseline STM configuration (see module docs); the serial-mode
 /// oracles override `serial_after_aborts`.
@@ -1182,6 +1183,190 @@ fn oracle_gc_trims_logs_of_a_live_transaction() {
         trims.load(Ordering::SeqCst) > 0,
         "some schedule must sweep the floater while the reader's entry is live and trim it"
     );
+}
+
+// ---------------------------------------------------------------------
+// Boosted map (DESIGN.md §4.12): semantic conflict detection layered
+// over the word-level STM. Two oracles on a single-bucket map (so every
+// operation physically collides on one chain while the abstract locks
+// stay per-key): (a) the committed boosted operations — return values
+// included — linearize against the sequential map model; (b) an
+// explicitly aborted transaction's inverse ops restore the exact
+// pre-state while a commuting writer races through the same bucket.
+// The explorer interleaves at the `boost.*` schedule points (lock CAS,
+// pre-inverse) on top of the usual word-level ones.
+// ---------------------------------------------------------------------
+
+/// A fresh single-bucket boosted map holding `{1: 10}` under the module
+/// ground rules (AbortSelf, bounded retries — an abstract-lock BUSY
+/// feeds the same bounded retry loop as a word conflict, so every
+/// virtual thread terminates). The prefill runs on the hook-free
+/// controlling thread, outside any schedule.
+fn boosted_scenario_map() -> Arc<BoostedHashMap> {
+    let stm = Arc::new(Stm::with_config(Arc::new(Heap::new()), scenario_config()));
+    let map = Arc::new(BoostedHashMap::new(stm, 1, 16));
+    assert!(map.put(1, 10));
+    map
+}
+
+fn boosted_map_factory() -> Execution {
+    let map = boosted_scenario_map();
+    // Committed results, `None` when the thread gave its retries up (a
+    // given-up operation must leave no semantic trace — the model below
+    // only replays committed ops, so a leak shows up as a mismatch).
+    let put_result = Arc::new(Mutex::new(None::<bool>));
+    let del_result = Arc::new(Mutex::new(None::<Option<i64>>));
+    let get_result = Arc::new(Mutex::new(None::<Option<i64>>));
+
+    let threads: Vec<ThreadBody> = vec![
+        Box::new({
+            let (map, out) = (map.clone(), put_result.clone());
+            move || {
+                if let Ok(inserted) = map.stm().try_atomically(|tx| map.put_in(tx, 2, 20)) {
+                    *out.lock().unwrap() = Some(inserted);
+                }
+            }
+        }),
+        Box::new({
+            let (map, out) = (map.clone(), del_result.clone());
+            move || {
+                if let Ok(removed) = map.stm().try_atomically(|tx| map.delete_in(tx, 1)) {
+                    *out.lock().unwrap() = Some(removed);
+                }
+            }
+        }),
+        Box::new({
+            let (map, out) = (map.clone(), get_result.clone());
+            move || {
+                if let Ok(value) = map.stm().try_atomically(|tx| map.get_in(tx, 1)) {
+                    *out.lock().unwrap() = Some(value);
+                }
+            }
+        }),
+    ];
+
+    let check = Box::new(move || {
+        for key in [1u64, 2] {
+            if let Some(holder) = map.locks().holder(key) {
+                return Err(format!("abstract lock {key} leaked past quiescence to {holder:?}"));
+            }
+        }
+        let mut final_state = map.snapshot();
+        final_state.sort_unstable();
+        let put = *put_result.lock().unwrap();
+        let del = *del_result.lock().unwrap();
+        let get = *get_result.lock().unwrap();
+        let committed: Vec<usize> = [put.is_some(), del.is_some(), get.is_some()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .collect();
+        let linearizable = permutations(&committed).iter().any(|order| {
+            let mut model = std::collections::BTreeMap::from([(1i64, 10i64)]);
+            for &op in order {
+                let agrees = match op {
+                    0 => {
+                        let inserted = !model.contains_key(&2);
+                        model.entry(2).or_insert(20);
+                        put == Some(inserted)
+                    }
+                    1 => del == Some(model.remove(&1)),
+                    _ => get == Some(model.get(&1).copied()),
+                };
+                if !agrees {
+                    return false;
+                }
+            }
+            model.into_iter().collect::<Vec<_>>() == final_state
+        });
+        if linearizable {
+            Ok(())
+        } else {
+            Err(format!(
+                "no sequential order of committed ops {committed:?} yields \
+                 put={put:?} del={del:?} get={get:?} with final state {final_state:?}"
+            ))
+        }
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_boosted_map_linearizes_against_the_sequential_model() {
+    let report = explorer(2_500, 1_500).explore(&boosted_map_factory);
+    report_coverage("boosted-map", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0, "scenario must be schedule-deterministic");
+}
+
+/// One transaction stages commuting boosted ops (insert a fresh key,
+/// delete a prefilled one) and then explicitly aborts; the registered
+/// inverse ops — interleaved with a racing committer at
+/// `boost.pre_inverse` and the phys-transaction points — must restore
+/// the exact pre-state, and the racer's effect alone survives.
+fn boosted_abort_undo_factory() -> Execution {
+    let map = boosted_scenario_map();
+    let racer_committed = Arc::new(Mutex::new(false));
+
+    let aborter: ThreadBody = Box::new({
+        let map = map.clone();
+        move || {
+            let mut tx = map.stm().begin();
+            // Both keys' stripes are disjoint from the racer's, so the
+            // stages cannot fail; the immediate phys transactions retry
+            // through any word-level collisions on the shared bucket.
+            let staged = map
+                .put_in(&mut tx, 2, 20)
+                .and_then(|inserted| {
+                    assert!(inserted, "key 2 starts absent");
+                    map.delete_in(&mut tx, 1)
+                })
+                .map(|removed| assert_eq!(removed, Some(10), "key 1 starts at 10"));
+            staged.expect("disjoint abstract locks cannot conflict");
+            tx.abort();
+        }
+    });
+    let racer: ThreadBody = Box::new({
+        let (map, committed) = (map.clone(), racer_committed.clone());
+        move || {
+            if let Ok(inserted) = map.stm().try_atomically(|tx| map.put_in(tx, 3, 30)) {
+                assert!(inserted, "key 3 starts absent");
+                *committed.lock().unwrap() = true;
+            }
+        }
+    });
+
+    let check = Box::new(move || {
+        for key in [1u64, 2, 3] {
+            if let Some(holder) = map.locks().holder(key) {
+                return Err(format!("abstract lock {key} leaked past quiescence to {holder:?}"));
+            }
+        }
+        let mut final_state = map.snapshot();
+        final_state.sort_unstable();
+        let mut expected = vec![(1i64, 10i64)];
+        if *racer_committed.lock().unwrap() {
+            expected.push((3, 30));
+        }
+        if final_state == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "inverse ops did not restore the pre-state: expected {expected:?}, \
+                 got {final_state:?}"
+            ))
+        }
+    });
+    Execution { threads: vec![aborter, racer], check }
+}
+
+#[test]
+fn oracle_boosted_abort_undo_restores_the_exact_pre_state() {
+    let report = explorer(2_500, 1_500).explore(&boosted_abort_undo_factory);
+    report_coverage("boosted-undo", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0, "scenario must be schedule-deterministic");
 }
 
 // ---------------------------------------------------------------------
