@@ -11,7 +11,7 @@
 //!
 //! `--experiment e2` (and `e3`, and `all`) additionally runs the
 //! measured scalability sweep and writes `BENCH_e2_scalability.json`
-//! at the repository root; `e5b`/`e5c`/`e5d` (and `all`) run the
+//! at the repository root; `e5b`/`e5c`/`e5d`/`e5e` (and `all`) run the
 //! measured validation-cost sweep (one shared run, shared report) and
 //! write `BENCH_e5_validation.json`; `e10`
 //! (and `all`) runs the measured service-overload sweep and writes
@@ -93,6 +93,12 @@ const EXPERIMENTS: &[Experiment] = &[
     Experiment {
         id: "e5d",
         description: "clock organization sweep; rides in BENCH_e5_validation.json",
+        run: no_body,
+        sweep: Some(Sweep::Validation),
+    },
+    Experiment {
+        id: "e5e",
+        description: "multi-version mv_depth sweep; rides in BENCH_e5_validation.json",
         run: no_body,
         sweep: Some(Sweep::Validation),
     },

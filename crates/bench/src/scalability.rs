@@ -473,6 +473,18 @@ impl ScalabilityReport {
                         .collect(),
                 ),
             ),
+            // The word-abort-under-contention claim only has teeth when
+            // at least one swept point runs ≥ 2 threads; record the
+            // disposition so a single-thread sweep can never read as a
+            // passing contention probe.
+            (
+                "e2_contention_probe_gate".into(),
+                Json::Str(if self.threads.iter().any(|&t| t >= 2) {
+                    "passed".into()
+                } else {
+                    "skipped_host_conditional".into()
+                }),
+            ),
         ])
     }
 }
@@ -633,6 +645,27 @@ pub fn validate_report(json: &Json) -> Result<(), String> {
             .filter(|&n| n >= 1.0)
             .ok_or(format!("{ctx}: bad `probe_boosted_attempts`"))?;
     }
+
+    // The contention probe's word-abort invariant above only fires for
+    // points at ≥ 2 threads. The report must say which case it is in:
+    // `"passed"` iff the swept axis actually exercised contention, and
+    // `"skipped_host_conditional"` otherwise — a single-thread sweep
+    // can then never be mistaken for a passing probe downstream.
+    let gate = json
+        .get("e2_contention_probe_gate")
+        .and_then(Json::as_str)
+        .ok_or("missing `e2_contention_probe_gate`")?;
+    let enforced = threads.iter().any(|&t| t >= 2);
+    match (gate, enforced) {
+        ("passed", true) | ("skipped_host_conditional", false) => {}
+        _ => {
+            return Err(format!(
+                "`e2_contention_probe_gate` is `{gate}` but the swept axis {threads:?} \
+                 makes the contention probe {}",
+                if enforced { "enforced" } else { "host-skipped" }
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -728,6 +761,41 @@ mod tests {
         }
         let err = validate_report(&Json::Obj(members)).unwrap_err();
         assert!(err.contains("conflict-free"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_a_mislabeled_contention_probe_gate() {
+        // Flip the gate to the disposition the swept axis did *not*
+        // produce: both directions must be caught as inconsistent.
+        for threads in [&[1][..], &[1, 2][..]] {
+            let report = run_scalability(Scale { factor: 1, threads });
+            let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+            for (key, value) in &mut members {
+                if key == "e2_contention_probe_gate" {
+                    let flipped = if value.as_str() == Some("passed") {
+                        "skipped_host_conditional"
+                    } else {
+                        "passed"
+                    };
+                    *value = Json::Str(flipped.into());
+                }
+            }
+            let err = validate_report(&Json::Obj(members)).unwrap_err();
+            assert!(err.contains("e2_contention_probe_gate"), "unexpected error: {err}");
+        }
+    }
+
+    #[test]
+    fn single_thread_sweep_reports_the_probe_gate_as_skipped() {
+        let report = run_scalability(Scale { factor: 1, threads: &[1] });
+        let json = report.to_json();
+        assert_eq!(
+            json.get("e2_contention_probe_gate").and_then(Json::as_str),
+            Some("skipped_host_conditional"),
+            "a sweep that never contends must say so"
+        );
+        let reparsed = crate::json::parse(&json.to_string()).unwrap();
+        validate_report(&reparsed).unwrap();
     }
 
     #[test]

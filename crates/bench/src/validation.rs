@@ -36,7 +36,19 @@
 //! hosts with real parallelism at least one decentralized mode must
 //! deliver ≥2x the update-commit throughput of `global` at the highest
 //! swept thread count. E5d lands as new fields (`clock_modes`,
-//! `clock_workloads`, `clock_points`), again additive-only.
+//! `clock_workloads`, `clock_points`), again additive-only. The
+//! host-conditional gate's disposition is recorded explicitly in
+//! `e5d_throughput_gate` (`"passed"` / `"skipped_host_conditional"`),
+//! so a small-host report can never be mistaken for a passing one.
+//!
+//! Finally the report carries the E5e multi-version sweep (DESIGN.md
+//! §4.13): an update-heavy read-write audit — every reader's snapshot
+//! deterministically straddles a bulk publish of its whole working set,
+//! the shape timestamp extension *cannot* save — run at
+//! [`omt_stm::StmConfig::mv_depth`] 0, 1, and 4. Headline invariant,
+//! schema-enforced: reader aborts are exactly zero at every depth ≥ 1
+//! on the same workload where depth 0 reports them nonzero. E5e lands
+//! as new fields (`mv_depths`, `mv_points`), additive-only.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -75,6 +87,18 @@ pub const CLOCK_MODES: [&str; 4] = ["global", "pass_on_fail", "deferred", "strip
 /// disjoint account pairs, where the shared commit clock is the *only*
 /// cross-thread write — the sharpest probe of clock contention.
 pub const CLOCK_WORKLOADS: [&str; 2] = ["readmostly_audit", "bank_update"];
+
+/// Version-chain depths swept by E5e: 0 is the chain-free baseline
+/// (today's runtime, byte-identical stats), 1 the minimal depth that
+/// makes the deterministic straddle abort-free, 4 a bounded ring with
+/// headroom.
+pub const MV_DEPTHS: [usize; 3] = [0, 1, 4];
+
+/// The single E5e workload: an update-heavy audit in which every
+/// reader's snapshot deterministically straddles a bulk publish of its
+/// *entire* working set — the shape timestamp extension cannot save,
+/// because the already-read half is stale at any newer snapshot.
+pub const MV_WORKLOAD: &str = "readwrite_audit";
 
 /// Thread counts beyond [`Scale::threads`] probed when the host has
 /// the cores for them (clamped, so a laptop sweep stays honest).
@@ -219,6 +243,51 @@ impl ClockPoint {
     }
 }
 
+/// One measured cell of the E5e multi-version sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct MvPoint {
+    /// Always [`MV_WORKLOAD`].
+    pub workload: &'static str,
+    /// The [`StmConfig::mv_depth`] this point ran under (one of
+    /// [`MV_DEPTHS`]).
+    pub mv_depth: usize,
+    /// Reader threads driving the audit (the bulk writer is extra).
+    pub threads: usize,
+    /// Audit rounds attempted (every one of them straddles a publish).
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed transactions (readers *and* the bulk writer).
+    pub commits: u64,
+    /// Read-only transactions that committed.
+    pub readonly_commits: u64,
+    /// Read-only transactions that aborted — the E5e headline: exactly
+    /// zero at every depth ≥ 1, nonzero at depth 0.
+    pub readonly_aborts: u64,
+    /// Straddled reads served a retired version from a chain.
+    pub mv_read_hits: u64,
+    /// Chain walks that found no entry covering the snapshot.
+    pub mv_chain_misses: u64,
+    /// Successful timestamp extensions.
+    pub ts_extensions: u64,
+    /// Extensions that found a genuinely stale read entry (the depth-0
+    /// abort mechanism).
+    pub extension_failures: u64,
+}
+
+impl MvPoint {
+    /// Fraction of read-only attempts that aborted (0.0 at any depth
+    /// ≥ 1 on this workload).
+    pub fn readonly_abort_rate(&self) -> f64 {
+        let total = self.readonly_commits + self.readonly_aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.readonly_aborts as f64 / total as f64
+        }
+    }
+}
+
 /// One requested thread count and what actually ran after clamping to
 /// the host's cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,6 +315,8 @@ pub struct ValidationReport {
     pub snapshot_points: Vec<SnapshotPoint>,
     /// E5d: one point per thread count × clock workload × clock mode.
     pub clock_points: Vec<ClockPoint>,
+    /// E5e: one point per thread count × chain depth.
+    pub mv_points: Vec<MvPoint>,
 }
 
 /// An STM configured for validation accounting: statistics on (they are
@@ -298,6 +369,7 @@ pub fn run_validation(scale: Scale) -> ValidationReport {
     let mut points = Vec::new();
     let mut snapshot_points = Vec::new();
     let mut clock_points = Vec::new();
+    let mut mv_points = Vec::new();
     for &threads in &threads_axis {
         for workload in WORKLOADS {
             for variant in VARIANTS {
@@ -312,6 +384,9 @@ pub fn run_validation(scale: Scale) -> ValidationReport {
                 clock_points.push(measure_clock_point(scale, workload, mode, threads));
             }
         }
+        for &depth in &MV_DEPTHS {
+            mv_points.push(measure_mv_point(scale, depth, threads));
+        }
     }
     ValidationReport {
         mode: if scale == Scale::FULL { "full" } else { "quick" },
@@ -320,6 +395,7 @@ pub fn run_validation(scale: Scale) -> ValidationReport {
         points,
         snapshot_points,
         clock_points,
+        mv_points,
     }
 }
 
@@ -590,6 +666,128 @@ fn run_bank_update(
     ((threads * transfers_per_thread) as u64, elapsed, delta)
 }
 
+/// One E5e cell: the straddling read-write audit at the given chain
+/// depth.
+fn measure_mv_point(scale: Scale, depth: usize, threads: usize) -> MvPoint {
+    let config = StmConfig {
+        record_stats: true,
+        snapshot_reads: true,
+        // As in E5c: foreign owners are waited out, not fallen back
+        // from, so the only abort mechanism left is a failed extension.
+        doom_wait_spins: 1 << 20,
+        mv_depth: depth,
+        ..StmConfig::default()
+    };
+    let (ops, elapsed, delta) = run_readwrite_audit(scale, config, threads);
+    MvPoint {
+        workload: MV_WORKLOAD,
+        mv_depth: depth,
+        threads,
+        ops,
+        elapsed,
+        commits: delta.commits,
+        readonly_commits: delta.readonly_commits,
+        readonly_aborts: delta.readonly_aborts,
+        mv_read_hits: delta.mv_read_hits,
+        mv_chain_misses: delta.mv_chain_misses,
+        ts_extensions: delta.ts_extensions,
+        extension_failures: delta.extension_failures,
+    }
+}
+
+/// The E5e update-heavy audit, run in deterministic lock-step: each
+/// round, every reader opens a snapshot and reads the first half of
+/// the cells; a barrier; one bulk writer republishes *every* cell in a
+/// single commit; a barrier; the readers read the second half and try
+/// to commit. The straddle is total — the already-read half is stale
+/// at any newer snapshot — so timestamp extension deterministically
+/// fails and depth 0 aborts every round, while any depth ≥ 1 serves
+/// the second half from the chains and commits abort-free at the
+/// original snapshot. `ops` counts attempted audit rounds (all of
+/// them, so the depth-0 points still report the work they drove).
+fn run_readwrite_audit(
+    scale: Scale,
+    config: StmConfig,
+    threads: usize,
+) -> (u64, Duration, StmStatsSnapshot) {
+    const CELLS: usize = 16;
+    const HALF: usize = CELLS / 2;
+    // Prefilled `i` and always bumped in lock-step: any consistent
+    // snapshot sums to 120 + 16k for some round k.
+    const BASE_SUM: i64 = (CELLS * (CELLS - 1) / 2) as i64;
+    let heap = Arc::new(Heap::new());
+    let class = heap.define_class(ClassDesc::with_var_fields("E5eCell", &["v"]));
+    let stm = Arc::new(Stm::with_config(heap.clone(), config));
+    let cells: Vec<ObjRef> = (0..CELLS).map(|_| heap.alloc(class).unwrap()).collect();
+    for (i, &c) in cells.iter().enumerate() {
+        heap.store(c, 0, Word::from_scalar(i as i64));
+    }
+    let rounds = 50 * scale.factor as usize;
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let before = stm.stats();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for _ in 0..rounds {
+                barrier.wait(); // readers open their snapshots
+                barrier.wait(); // first halves read and pinned
+                stm.atomically(|tx| {
+                    for &c in &cells {
+                        let v = tx.read(c, 0)?.as_scalar().unwrap();
+                        tx.write(c, 0, Word::from_scalar(v + 1))?;
+                    }
+                    Ok(())
+                });
+                barrier.wait(); // the bulk publish has landed
+            }
+        });
+        for _ in 0..threads {
+            let stm = &stm;
+            let cells = &cells;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                for _ in 0..rounds {
+                    barrier.wait();
+                    let mut tx = stm.begin();
+                    let mut sum = 0i64;
+                    let mut failed = false;
+                    for &c in &cells[..HALF] {
+                        match tx.read(c, 0) {
+                            Ok(w) => sum += w.as_scalar().unwrap(),
+                            Err(_) => {
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    barrier.wait();
+                    if !failed {
+                        for &c in &cells[HALF..] {
+                            match tx.read(c, 0) {
+                                Ok(w) => sum += w.as_scalar().unwrap(),
+                                Err(_) => {
+                                    failed = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if failed {
+                        tx.abort();
+                    } else {
+                        assert_eq!((sum - BASE_SUM) % CELLS as i64, 0, "torn audit: sum {sum}");
+                        let _ = tx.commit();
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let delta = stm.stats().delta_since(&before);
+    ((threads * rounds) as u64, elapsed, delta)
+}
+
 impl ValidationReport {
     /// Looks up one cell of the sweep.
     pub fn point(&self, workload: &str, variant: &str, threads: usize) -> Option<&ValidationPoint> {
@@ -608,6 +806,11 @@ impl ValidationReport {
         self.clock_points
             .iter()
             .find(|p| p.workload == workload && p.mode == mode && p.threads == threads)
+    }
+
+    /// Looks up one cell of the E5e multi-version sweep.
+    pub fn mv_point(&self, mv_depth: usize, threads: usize) -> Option<&MvPoint> {
+        self.mv_points.iter().find(|p| p.mv_depth == mv_depth && p.threads == threads)
     }
 
     /// Renders one validation-cost table per workload.
@@ -667,6 +870,23 @@ impl ValidationReport {
             }
             table.print();
         }
+
+        let mut headers: Vec<&'static str> = vec!["mv_depth"];
+        for &t in &self.threads {
+            headers.push(Box::leak(format!("{t} thr ro-abort%").into_boxed_str()));
+            headers.push(Box::leak(format!("{t} thr chain-hits").into_boxed_str()));
+        }
+        let mut table = Table::new(format!("E5e multi-version objects: {MV_WORKLOAD}"), &headers);
+        for &depth in &MV_DEPTHS {
+            let mut cells = vec![depth.to_string()];
+            for &t in &self.threads {
+                let p = self.mv_point(depth, t).expect("complete sweep");
+                cells.push(format!("{:.1}", p.readonly_abort_rate() * 100.0));
+                cells.push(p.mv_read_hits.to_string());
+            }
+            table.row(cells);
+        }
+        table.print();
     }
 
     /// The machine-readable form (schema checked by
@@ -806,6 +1026,52 @@ impl ValidationReport {
                                     Json::Num(p.update_commits_per_sec()),
                                 ),
                                 ("cas_failure_rate".into(), Json::Num(p.cas_failure_rate())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            // The E5d throughput headline is host-conditional; its
+            // disposition is recorded so consumers (CI included) can
+            // tell a passing report from one whose host simply could
+            // not exhibit clock contention.
+            (
+                "e5d_throughput_gate".into(),
+                Json::Str(
+                    if host_cores >= 8 && self.threads.iter().max().is_some_and(|&t| t >= 8) {
+                        "passed".into()
+                    } else {
+                        "skipped_host_conditional".into()
+                    },
+                ),
+            ),
+            (
+                "mv_depths".into(),
+                Json::Arr(MV_DEPTHS.iter().map(|&d| Json::Num(d as f64)).collect()),
+            ),
+            (
+                "mv_points".into(),
+                Json::Arr(
+                    self.mv_points
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("workload".into(), Json::Str(p.workload.into())),
+                                ("mv_depth".into(), Json::Num(p.mv_depth as f64)),
+                                ("threads".into(), Json::Num(p.threads as f64)),
+                                ("ops".into(), Json::Num(p.ops as f64)),
+                                ("elapsed_ms".into(), Json::Num(p.elapsed.as_secs_f64() * 1_000.0)),
+                                ("commits".into(), Json::Num(p.commits as f64)),
+                                ("readonly_commits".into(), Json::Num(p.readonly_commits as f64)),
+                                ("readonly_aborts".into(), Json::Num(p.readonly_aborts as f64)),
+                                ("mv_read_hits".into(), Json::Num(p.mv_read_hits as f64)),
+                                ("mv_chain_misses".into(), Json::Num(p.mv_chain_misses as f64)),
+                                ("ts_extensions".into(), Json::Num(p.ts_extensions as f64)),
+                                (
+                                    "extension_failures".into(),
+                                    Json::Num(p.extension_failures as f64),
+                                ),
+                                ("readonly_abort_rate".into(), Json::Num(p.readonly_abort_rate())),
                             ])
                         })
                         .collect(),
@@ -1197,24 +1463,133 @@ pub fn validate_report(json: &Json) -> Result<(), String> {
     // The E5d throughput headline, on hosts that can exhibit clock
     // contention at all: at the highest swept thread count, at least
     // one decentralized mode must at least double `global`'s
-    // update-commit throughput on the disjoint-account bank.
-    let host_cores = json.get("host_cores").and_then(Json::as_f64).expect("checked above") as usize;
+    // update-commit throughput on the disjoint-account bank. The
+    // report must *say* which case it is in — `e5d_throughput_gate` is
+    // `"passed"` only when the host-conditional check actually ran, and
+    // `"skipped_host_conditional"` otherwise, so a small-host report
+    // can never silently masquerade as a passing one.
     let &t_max = threads.iter().max().expect("non-empty");
-    if host_cores >= 8 && t_max >= 8 {
-        let ctx = format!("bank_update/global/{t_max}");
-        let global = find_clock("bank_update", "global", t_max).ok_or(format!("missing {ctx}"))?;
-        let base = point_num(global, "update_commits_per_sec", &ctx)?;
-        let best = clock_modes
-            .iter()
-            .filter(|&&m| m != "global")
-            .filter_map(|&m| find_clock("bank_update", m, t_max))
-            .filter_map(|p| p.get("update_commits_per_sec").and_then(Json::as_f64))
-            .fold(0.0f64, f64::max);
-        if best < 2.0 * base {
+    let gate = json
+        .get("e5d_throughput_gate")
+        .and_then(Json::as_str)
+        .ok_or("missing `e5d_throughput_gate`")?;
+    let enforced = host_cores >= 8 && t_max >= 8;
+    match (gate, enforced) {
+        ("passed", true) => {
+            let ctx = format!("bank_update/global/{t_max}");
+            let global =
+                find_clock("bank_update", "global", t_max).ok_or(format!("missing {ctx}"))?;
+            let base = point_num(global, "update_commits_per_sec", &ctx)?;
+            let best = clock_modes
+                .iter()
+                .filter(|&&m| m != "global")
+                .filter_map(|&m| find_clock("bank_update", m, t_max))
+                .filter_map(|p| p.get("update_commits_per_sec").and_then(Json::as_f64))
+                .fold(0.0f64, f64::max);
+            if best < 2.0 * base {
+                return Err(format!(
+                    "bank_update at {t_max} threads: best decentralized rate {best:.0}/s \
+                     is not 2x the global clock's {base:.0}/s"
+                ));
+            }
+        }
+        ("skipped_host_conditional", false) => {}
+        _ => {
             return Err(format!(
-                "bank_update at {t_max} threads: best decentralized rate {best:.0}/s \
-                 is not 2x the global clock's {base:.0}/s"
+                "`e5d_throughput_gate` is `{gate}` but host_cores={host_cores}, \
+                 t_max={t_max} makes the gate {}",
+                if enforced { "enforced" } else { "host-skipped" }
             ));
+        }
+    }
+
+    // E5e: the multi-version sweep, in additive fields, with the
+    // feature's headline enforced on every regenerated report: on a
+    // workload whose straddle is total, reader aborts are exactly zero
+    // at every depth ≥ 1 and demonstrably nonzero at depth 0 — and the
+    // chain counters move only when a chain exists to move them.
+    let mv_depths: Vec<usize> = json
+        .get("mv_depths")
+        .and_then(Json::as_array)
+        .ok_or("missing `mv_depths`")?
+        .iter()
+        .map(|d| d.as_f64().filter(|&n| n >= 0.0).map(|n| n as usize))
+        .collect::<Option<_>>()
+        .ok_or("`mv_depths` must be non-negative numbers")?;
+    for required in MV_DEPTHS {
+        if !mv_depths.contains(&required) {
+            return Err(format!("missing mv depth `{required}`"));
+        }
+    }
+    let mv_points = json.get("mv_points").and_then(Json::as_array).ok_or("missing `mv_points`")?;
+    let expected = threads.len() * mv_depths.len();
+    if mv_points.len() != expected {
+        return Err(format!("expected {expected} mv points, got {}", mv_points.len()));
+    }
+    let find_mv = |depth: usize, t: usize| {
+        mv_points.iter().find(|p| {
+            p.get("mv_depth").and_then(Json::as_f64) == Some(depth as f64)
+                && p.get("threads").and_then(Json::as_f64) == Some(t as f64)
+        })
+    };
+    for &t in &threads {
+        for &depth in &mv_depths {
+            let ctx = format!("{MV_WORKLOAD}/depth{depth}/{t}");
+            let point = find_mv(depth, t).ok_or(format!("missing mv point {ctx}"))?;
+            if point.get("workload").and_then(Json::as_str) != Some(MV_WORKLOAD) {
+                return Err(format!("{ctx}: bad `workload`"));
+            }
+            let ops = point_num(point, "ops", &ctx)?;
+            if ops < 1.0 {
+                return Err(format!("{ctx}: no audit rounds ran"));
+            }
+            point
+                .get("elapsed_ms")
+                .and_then(Json::as_f64)
+                .filter(|&n| n > 0.0)
+                .ok_or(format!("{ctx}: bad `elapsed_ms`"))?;
+            let commits = point_num(point, "commits", &ctx)?;
+            if commits < 1.0 {
+                return Err(format!("{ctx}: no transaction committed"));
+            }
+            let ro_commits = point_num(point, "readonly_commits", &ctx)?;
+            let ro_aborts = point_num(point, "readonly_aborts", &ctx)?;
+            if ro_commits > commits {
+                return Err(format!("{ctx}: read-only commits exceed total commits"));
+            }
+            let hits = point_num(point, "mv_read_hits", &ctx)?;
+            let misses = point_num(point, "mv_chain_misses", &ctx)?;
+            point_num(point, "ts_extensions", &ctx)?;
+            point_num(point, "extension_failures", &ctx)?;
+            let rate = point_num(point, "readonly_abort_rate", &ctx)?;
+            let total = ro_commits + ro_aborts;
+            if total > 0.0 && (rate - ro_aborts / total).abs() > 1e-9 {
+                return Err(format!("{ctx}: `readonly_abort_rate` inconsistent with counts"));
+            }
+            if depth == 0 {
+                if ro_aborts < 1.0 {
+                    return Err(format!(
+                        "{ctx}: the total straddle must abort without chains, yet no \
+                         read-only abort was recorded"
+                    ));
+                }
+                if hits != 0.0 || misses != 0.0 {
+                    return Err(format!("{ctx}: depth 0 but the chain counters moved"));
+                }
+            } else {
+                if ro_aborts != 0.0 {
+                    return Err(format!(
+                        "{ctx}: {ro_aborts} read-only aborts; chains must make the \
+                         straddling readers abort-free"
+                    ));
+                }
+                if hits < 1.0 {
+                    return Err(format!("{ctx}: the chain read path never fired"));
+                }
+                if ro_commits < ops {
+                    return Err(format!("{ctx}: fewer read-only commits than audit rounds"));
+                }
+            }
         }
     }
     Ok(())
@@ -1305,6 +1680,22 @@ mod tests {
             }
             if p.workload == "bank_update" {
                 assert!(p.update_commits >= 1, "no transfer committed under {}", p.mode);
+            }
+        }
+        // E5e: complete cross product; the headline dichotomy holds at
+        // every thread count — abort-free with chains on the exact
+        // workload that aborts without them.
+        assert_eq!(report.mv_points.len(), axis.len() * MV_DEPTHS.len());
+        for p in &report.mv_points {
+            let ctx = format!("depth {} at {} threads", p.mv_depth, p.threads);
+            if p.mv_depth == 0 {
+                assert!(p.readonly_aborts >= 1, "{ctx}: total straddle did not abort");
+                assert_eq!(p.mv_read_hits, 0, "{ctx}: chain hit without a chain");
+                assert_eq!(p.mv_chain_misses, 0, "{ctx}: chain walk without a chain");
+            } else {
+                assert_eq!(p.readonly_aborts, 0, "{ctx}: reader aborted despite chains");
+                assert!(p.mv_read_hits >= p.ops, "{ctx}: straddled halves must be chain hits");
+                assert!(p.readonly_commits >= p.ops, "{ctx}: some audit round failed");
             }
         }
         let json = report.to_json();
@@ -1443,6 +1834,52 @@ mod tests {
         }
         let err = validate_report(&Json::Obj(members)).unwrap_err();
         assert!(err.contains("never CASes") || err.contains("inconsistent"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_a_reader_abort_with_chains_on() {
+        let report = run_validation(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        for (key, value) in &mut members {
+            if key == "mv_points" {
+                let Json::Arr(points) = value else { panic!("array") };
+                for p in points {
+                    let Json::Obj(fields) = p else { panic!("object") };
+                    let chained = fields
+                        .iter()
+                        .any(|(k, v)| k == "mv_depth" && v.as_f64().is_some_and(|d| d >= 1.0));
+                    if chained {
+                        for (k, v) in fields.iter_mut() {
+                            if k == "readonly_aborts" {
+                                *v = Json::Num(1.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("abort-free") || err.contains("inconsistent"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_a_mislabeled_throughput_gate() {
+        let report = run_validation(Scale { factor: 1, threads: &[1] });
+        let Json::Obj(mut members) = report.to_json() else { panic!("object") };
+        // Flip the gate to the disposition the host did *not* produce:
+        // either direction must be caught as inconsistent.
+        for (key, value) in &mut members {
+            if key == "e5d_throughput_gate" {
+                let flipped = if value.as_str() == Some("passed") {
+                    "skipped_host_conditional"
+                } else {
+                    "passed"
+                };
+                *value = Json::Str(flipped.into());
+            }
+        }
+        let err = validate_report(&Json::Obj(members)).unwrap_err();
+        assert!(err.contains("e5d_throughput_gate"), "got: {err}");
     }
 
     #[test]

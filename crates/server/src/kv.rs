@@ -38,7 +38,10 @@ pub struct KvConfig {
     pub boosted: bool,
     /// Per-request deadline (measured from the first attempt).
     pub deadline: Duration,
-    /// The STM underneath.
+    /// The STM underneath. Defaults to snapshot reads with depth-1
+    /// version chains (DESIGN.md §4.13), keeping the read path
+    /// abort-free even when a lookup's snapshot straddles a concurrent
+    /// mutation of the same chain.
     pub stm: StmConfig,
 }
 
@@ -49,7 +52,7 @@ impl Default for KvConfig {
             lock_stripes: 4096,
             boosted: true,
             deadline: Duration::from_millis(10),
-            stm: StmConfig::default(),
+            stm: StmConfig { snapshot_reads: true, mv_depth: 1, ..StmConfig::default() },
         }
     }
 }

@@ -56,10 +56,13 @@ pub struct ServiceConfig {
     /// The STM underneath. Defaults to the Karma contention manager so
     /// repeatedly-aborted requests accumulate priority, to snapshot
     /// reads so audit requests (read-only sweeps over every account)
-    /// never abort under transfer churn, and to the striped acquisition
+    /// never abort under transfer churn, to the striped acquisition
     /// clock (DESIGN.md §4.11) so concurrent transfers do not serialize
     /// on one global clock word — striped rather than deferred keeps
-    /// leading-stamp raises out of the audit-heavy snapshot read path.
+    /// leading-stamp raises out of the audit-heavy snapshot read path —
+    /// and to depth-1 version chains (DESIGN.md §4.13) so an audit
+    /// whose snapshot straddles a transfer commit is served the retired
+    /// values instead of gambling on timestamp extension.
     pub stm: StmConfig,
 }
 
@@ -78,6 +81,7 @@ impl Default for ServiceConfig {
             stm: StmConfig {
                 cm: CmPolicy::Karma,
                 snapshot_reads: true,
+                mv_depth: 1,
                 clock_mode: ClockMode::Striped,
                 ..StmConfig::default()
             },

@@ -57,6 +57,13 @@ pub struct TxCtl {
     /// held ownership; contenders finding this recover the orphan via
     /// [`crate::TxRegistry`].
     pub(crate) killed: AtomicBool,
+    /// The transaction's current `read_ver` (snapshot of the commit
+    /// clock at begin, advanced by successful validations). Published
+    /// so GC trimming can compute the minimum `read_ver` any active
+    /// transaction might still be served at — the floor below which
+    /// version-chain entries (`StmConfig::mv_depth`) are reclaimable.
+    /// `u64::MAX` until the owning transaction first publishes.
+    pub(crate) read_ver: AtomicU64,
 }
 
 impl TxCtl {
@@ -67,6 +74,7 @@ impl TxCtl {
             karma: AtomicU64::new(karma),
             doomed: AtomicBool::new(false),
             killed: AtomicBool::new(false),
+            read_ver: AtomicU64::new(u64::MAX),
         }
     }
 

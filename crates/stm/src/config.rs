@@ -164,6 +164,16 @@ pub struct StmConfig {
     /// `commit_sequence` (they reorganize the clocks that knob
     /// creates).
     pub clock_mode: ClockMode,
+    /// Multi-version objects (see DESIGN.md §4.13): keep up to this
+    /// many retired `(value, version)` pairs per written field, so a
+    /// snapshot reader that meets a version newer than its `read_ver`
+    /// can be served the newest retired version its snapshot covers
+    /// instead of paying a timestamp extension — or, in a read-write
+    /// mix, an extension-failure abort. `0` (the default) disables the
+    /// chains entirely and is bit-for-bit today's behavior; any depth
+    /// `>= 1` requires `snapshot_reads` (a chain entry's validity
+    /// interval is expressed in commit-clock timestamps).
+    pub mv_depth: usize,
 }
 
 impl Default for StmConfig {
@@ -184,6 +194,7 @@ impl Default for StmConfig {
             commit_sequence: true,
             snapshot_reads: false,
             clock_mode: ClockMode::Global,
+            mv_depth: 0,
         }
     }
 }
@@ -243,6 +254,14 @@ impl StmConfig {
                 self.clock_mode
             );
         }
+        if self.mv_depth > 0 {
+            assert!(
+                self.snapshot_reads,
+                "mv_depth={} requires snapshot_reads: a version chain entry's \
+                 validity interval is expressed in commit-clock timestamps",
+                self.mv_depth
+            );
+        }
     }
 }
 
@@ -252,7 +271,7 @@ impl fmt::Display for StmConfig {
             f,
             "filter={} ({} slots), version_bits={}, cm={}, validate_every={:?}, \
              serial_after_aborts={:?}, commit_sequence={}, snapshot_reads={}, \
-             clock_mode={}, tx_deadline={:?}",
+             clock_mode={}, mv_depth={}, tx_deadline={:?}",
             self.runtime_filter,
             1u64 << self.filter_bits,
             self.version_bits,
@@ -262,6 +281,7 @@ impl fmt::Display for StmConfig {
             self.commit_sequence,
             self.snapshot_reads,
             self.clock_mode,
+            self.mv_depth,
             self.tx_deadline
         )
     }
@@ -373,5 +393,19 @@ mod tests {
     #[should_panic(expected = "requires version_bits")]
     fn snapshot_reads_with_tiny_versions_rejected() {
         StmConfig { snapshot_reads: true, version_bits: 8, ..StmConfig::default() }.validate();
+    }
+
+    #[test]
+    fn mv_depth_defaults_off_and_composes_with_snapshots() {
+        assert_eq!(StmConfig::default().mv_depth, 0, "version chains are opt-in");
+        let c = StmConfig { snapshot_reads: true, mv_depth: 4, ..StmConfig::default() };
+        c.validate();
+        assert!(c.to_string().contains("mv_depth=4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires snapshot_reads")]
+    fn mv_depth_without_snapshot_reads_rejected() {
+        StmConfig { mv_depth: 1, ..StmConfig::default() }.validate();
     }
 }

@@ -63,6 +63,7 @@ mod error;
 pub mod failpoint;
 mod filter;
 mod logs;
+mod mv;
 mod pool;
 mod registry;
 pub mod schedpt;

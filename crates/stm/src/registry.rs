@@ -209,6 +209,27 @@ impl TxRegistry {
         true
     }
 
+    /// The minimum `read_ver` across all registered control blocks
+    /// (including killed-but-unrecovered ones, whose last snapshot
+    /// conservatively pins reclamation), or `None` when no transaction
+    /// is in flight. This is the floor below which version-chain
+    /// entries are unreachable: every active transaction sits at or
+    /// above it, and future transactions begin at or past the current
+    /// clock. Control blocks that never published a `read_ver` report
+    /// `u64::MAX` and do not constrain the minimum.
+    pub(crate) fn min_active_read_ver(&self) -> Option<u64> {
+        let mut min = None;
+        for shard in self.shards.iter() {
+            for ctl in shard.ctls.lock().values() {
+                let rv = ctl.read_ver.load(Ordering::Acquire);
+                if rv != u64::MAX && min.is_none_or(|m| rv < m) {
+                    min = Some(rv);
+                }
+            }
+        }
+        min
+    }
+
     /// Number of registered (active) transactions.
     pub fn active_count(&self) -> usize {
         self.shards.iter().map(|s| s.active.lock().len()).sum()

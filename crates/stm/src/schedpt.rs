@@ -39,15 +39,21 @@
 //! | [`BOOST_LOCK_WAIT`] | abstract-lock `acquire`, each bounded-wait round on a held lock |
 //! | [`BOOST_PRE_UNLOCK`] | abstract-lock `release`, before the word is cleared |
 //! | [`BOOST_PRE_INVERSE`] | boosted abort handler, before an inverse semantic op runs |
+//! | [`MV_PRE_RETIRE`] | publishing commit, before a retired version is pushed onto its chain |
+//! | [`MV_PRE_WALK`] | snapshot-mode `read`, before a version-chain lookup |
+//! | [`MV_PRE_TRIM`] | `MvStore::trim`, before **each** chain shard's trim |
 //!
 //! Several sites are *gated* and fire only along specific paths, so
 //! frozen schedules recorded against other configurations keep their
 //! exact step sequences: `READ_PRE_RECHECK`, `READ_OWNED_WAIT`, and
 //! `EXTEND_PRE_VALIDATE` fire only with `snapshot_reads` enabled;
 //! `CLOCK_PRE_RAISE` additionally only under a clock mode whose commit
-//! stamps can lead the global clock (`Deferred`); and the four
+//! stamps can lead the global clock (`Deferred`); the four
 //! `BOOST_*` sites fire only through the abstract-lock table
-//! ([`crate::boost`]), which no word-level-only scenario touches.
+//! ([`crate::boost`]), which no word-level-only scenario touches; and
+//! the three `MV_*` sites fire only with
+//! [`StmConfig::mv_depth`](crate::StmConfig) `> 0` (at depth 0 no
+//! retire or walk runs and the trim returns before its first yield).
 //!
 //! Sites that name an object use
 //! [`omt_util::sched::yield_point_keyed`] with the object's raw
@@ -158,9 +164,22 @@ pub const BOOST_PRE_UNLOCK: &str = "boost.pre_unlock";
 /// Boosted abort handler, before one inverse semantic operation runs
 /// (under the still-held abstract lock).
 pub const BOOST_PRE_INVERSE: &str = "boost.pre_inverse_op";
+/// Publishing commit with `mv_depth > 0`, before one retired
+/// `(value, interval)` pair is pushed onto its version chain — ordered
+/// before the header release-store that installs the successor, which
+/// is what the chain-walk race oracle sweeps. Keyed by the object.
+pub const MV_PRE_RETIRE: &str = "mv.pre_retire";
+/// Snapshot-mode composed `read` with `mv_depth > 0`, after meeting a
+/// version newer than `read_ver`, before the version-chain lookup.
+/// Keyed by the object.
+pub const MV_PRE_WALK: &str = "mv.pre_walk";
+/// `MvStore::trim` (GC), before each chain shard is locked and its
+/// quiesced entries dropped. Placed at the shard *boundary* — never
+/// under a shard lock — mirroring [`GC_PRE_TRIM_SHARD`].
+pub const MV_PRE_TRIM: &str = "mv.pre_trim";
 
 /// Every instrumented site, for tools that sweep or document them.
-pub const ALL: [&str; 28] = [
+pub const ALL: [&str; 31] = [
     OPEN_READ_PRE_HEADER,
     READ_PRE_LOAD,
     OPEN_UPDATE_PRE_HEADER,
@@ -189,6 +208,9 @@ pub const ALL: [&str; 28] = [
     BOOST_LOCK_WAIT,
     BOOST_PRE_UNLOCK,
     BOOST_PRE_INVERSE,
+    MV_PRE_RETIRE,
+    MV_PRE_WALK,
+    MV_PRE_TRIM,
 ];
 
 #[cfg(test)]

@@ -173,6 +173,24 @@ counters! {
     /// `Deferred` mode (only possible when more threads than clock
     /// stripes share a home stripe). Zero in every other mode.
     clock_bump_retries,
+    /// Snapshot-mode reads served from a version chain: the current
+    /// version was newer than `read_ver` and the chain held the value
+    /// current at `read_ver`, so the reader proceeded without a
+    /// timestamp extension (`mv_depth > 0` only).
+    mv_read_hits,
+    /// Chain walks that found no entry covering `read_ver` (trimmed,
+    /// evicted by the ring bound, or never retired); the read fell back
+    /// to the timestamp-extension path (`mv_depth > 0` only).
+    mv_chain_misses,
+    /// Version-chain entries removed by GC trimming (dead objects and
+    /// quiesced intervals no active `read_ver` can need).
+    mv_trims,
+    /// Decomposed `OpenForRead` executions under `snapshot_reads`: the
+    /// paired data load cannot be sandwich-verified, so the transaction
+    /// loses the abort-free `snapshot_clean` path. The compiled TxIL
+    /// backend routes loads through the composed barrier instead; this
+    /// counts the callers that still take the decomposed path.
+    snapshot_decomposed_opens,
 }
 
 /// Live counters owned by an [`crate::Stm`]: an array of padded shards,

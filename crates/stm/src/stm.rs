@@ -15,6 +15,7 @@ use crate::cm::TxCtl;
 use crate::config::{ClockMode, StmConfig};
 use crate::error::{ConflictKind, RetryExhausted, TxError, TxResult};
 use crate::failpoint::Failpoints;
+use crate::mv::MvStore;
 use crate::registry::TxRegistry;
 use crate::stats::{StmStats, StmStatsSnapshot};
 use crate::tx::{Outcome, Transaction, TxCounters};
@@ -77,6 +78,9 @@ pub struct Stm {
     next_token: AtomicU32,
     next_serial: AtomicU64,
     registry: TxRegistry,
+    /// Bounded per-word version chains (DESIGN.md §4.13); inert (and
+    /// zero-cost on every hot path) unless [`StmConfig::mv_depth`] > 0.
+    mv: MvStore,
     stats: Arc<StmStats>,
     failpoints: Failpoints,
     /// Serial-mode gate. Every retry-loop attempt holds it shared; a
@@ -181,6 +185,7 @@ impl Stm {
             next_token: AtomicU32::new(1),
             next_serial: AtomicU64::new(1),
             registry: TxRegistry::new(stats.clone()),
+            mv: MvStore::new(config.mv_depth),
             stats,
             failpoints: Failpoints::new(),
             gate: RwLock::new(()),
@@ -228,9 +233,18 @@ impl Stm {
     }
 
     /// This STM as a GC participant, to pass to
-    /// [`omt_heap::Heap::collect`].
+    /// [`omt_heap::Heap::collect`]. Covers both the in-flight
+    /// transaction logs (via the registry) and the version chains:
+    /// chain entries keep their referents alive until trimmed, and the
+    /// trim itself rides the collection's quiescent window (see
+    /// DESIGN.md §4.13).
     pub fn gc_participant(&self) -> &dyn GcParticipant {
-        &self.registry
+        self
+    }
+
+    /// The multi-version store (inert at `mv_depth = 0`).
+    pub(crate) fn mv(&self) -> &MvStore {
+        &self.mv
     }
 
     /// Current renumbering epoch.
@@ -776,5 +790,28 @@ impl Stm {
         s.add(|c| &c.readonly_aborts, counters.readonly_aborts);
         s.add(|c| &c.clock_cas_failures, counters.clock_cas_failures);
         s.add(|c| &c.clock_bump_retries, counters.clock_bump_retries);
+        s.add(|c| &c.mv_read_hits, counters.mv_read_hits);
+        s.add(|c| &c.mv_chain_misses, counters.mv_chain_misses);
+        s.add(|c| &c.snapshot_decomposed_opens, counters.snapshot_decomposed_opens);
+    }
+}
+
+impl GcParticipant for Stm {
+    fn trace_roots(&self, mark: &mut dyn FnMut(omt_heap::ObjRef)) {
+        self.registry.trace_roots(mark);
+        self.mv.trace_roots(mark);
+    }
+
+    fn after_sweep(&self, is_live: &dyn Fn(omt_heap::ObjRef) -> bool) {
+        self.registry.after_sweep(is_live);
+        // Trim version chains at quiescence: every entry whose validity
+        // interval ended at or before the oldest active snapshot can
+        // never be served again. With no reader in flight the commit
+        // clock itself is the floor — anything retired so far is
+        // already unreachable by any *future* snapshot (which starts at
+        // the clock or later and is served in place).
+        let floor = self.registry.min_active_read_ver().unwrap_or_else(|| self.commit_clock());
+        let trimmed = self.mv.trim(is_live, floor);
+        self.stats.add(|c| &c.mv_trims, trimmed);
     }
 }

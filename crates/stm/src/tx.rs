@@ -39,6 +39,7 @@ use crate::error::{ConflictKind, TxError, TxResult};
 use crate::failpoint::{sites, FailAction};
 use crate::filter::FilterKind;
 use crate::logs::{ReadEntry, Savepoint, TxLogs, UndoEntry, UpdateEntry};
+use crate::mv::MvEntry;
 use crate::pool::{self, TxCtx};
 use crate::schedpt;
 use crate::stm::Stm;
@@ -98,6 +99,17 @@ pub struct TxCounters {
     /// Per-stripe stamp-reservation CAS retries (`Deferred` mode;
     /// non-zero only when threads share a home stripe).
     pub clock_bump_retries: u64,
+    /// Snapshot-mode reads served from a version chain
+    /// (`mv_depth > 0`): a too-new version was resolved to the retired
+    /// value current at `read_ver` instead of a timestamp extension.
+    pub mv_read_hits: u64,
+    /// Version-chain walks that found no entry covering `read_ver` and
+    /// fell back to the timestamp-extension path.
+    pub mv_chain_misses: u64,
+    /// Decomposed `OpenForRead` executions under `snapshot_reads` (the
+    /// paired separate load cannot be sandwich-verified, so each one
+    /// costs the transaction its abort-free `snapshot_clean` path).
+    pub snapshot_decomposed_opens: u64,
 }
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -219,6 +231,15 @@ pub struct Transaction<'stm> {
     /// `load_direct` cannot be sandwich-verified) and by the
     /// foreign-owner fallback.
     snapshot_clean: bool,
+    /// Exclusive upper bound on timestamp extension, `u64::MAX` until a
+    /// read is served from a version chain (`StmConfig::mv_depth`). A
+    /// chain hit returns the value current over `[from, until)`; this
+    /// transaction is thereafter serialized *before* the commit that
+    /// retired it, so `read_ver` must never advance to `until` or past
+    /// it — [`Self::validate`] clamps its refreshed snapshot here and
+    /// [`Self::open_for_update`] refuses to acquire (a pinned
+    /// transaction publishing updates would be a lost update).
+    ext_ceiling: u64,
     state: TxState,
 }
 
@@ -233,6 +254,15 @@ enum SnapObserved {
     /// the owned word and proceeds optimistically (legacy semantics —
     /// the entry cannot pass validation, so commit decides).
     Fallback(u64),
+    /// The current version is newer than `read_ver` but the field's
+    /// version chain (`StmConfig::mv_depth`) held the value current at
+    /// `read_ver`: the read is served without extension or abort.
+    /// Chain entries are immutable, so the value needs no seqlock
+    /// sandwich, no read-log entry, and no validation; the resolver
+    /// has already folded the entry's `until` into `ext_ceiling`.
+    /// Only produced when the resolver was given a field (the composed
+    /// read); the decomposed open has no field to look up.
+    Chain(Word),
 }
 
 impl<'stm> Transaction<'stm> {
@@ -245,6 +275,10 @@ impl<'stm> Transaction<'stm> {
     ) -> Transaction<'stm> {
         let mut ctx = pool::acquire(stm.config().runtime_filter, stm.config().filter_bits);
         stm.registry().register(serial, ctl.clone(), &mut *ctx.logs);
+        let clock_snapshot = stm.commit_clock();
+        // Publish the initial read_ver so GC trimming never reclaims a
+        // version-chain entry this transaction could still be served.
+        ctl.read_ver.store(clock_snapshot, Ordering::Release);
         Transaction {
             stm,
             serial,
@@ -254,7 +288,7 @@ impl<'stm> Transaction<'stm> {
             ctx: ManuallyDrop::new(ctx),
             counters: TxCounters::default(),
             reads_since_validate: 0,
-            clock_snapshot: stm.commit_clock(),
+            clock_snapshot,
             acquire_snapshot: stm.acquire_clock(),
             self_acquire_bumps: 0,
             validated_watermark: 0,
@@ -262,6 +296,7 @@ impl<'stm> Transaction<'stm> {
             commit_handlers: Handlers::default(),
             abort_handlers: Handlers::default(),
             snapshot_clean: true,
+            ext_ceiling: u64::MAX,
             state: TxState::Active,
         }
     }
@@ -394,6 +429,16 @@ impl<'stm> Transaction<'stm> {
         self.counters
     }
 
+    /// Whether this transaction runs under the snapshot-read protocol
+    /// ([`StmConfig::snapshot_reads`](crate::StmConfig)). Callers that
+    /// decompose barriers (the VM backend) must route loads through the
+    /// composed [`Self::read`] when this is set: a bare data load after
+    /// a decomposed open has no seqlock sandwich and no version-chain
+    /// service, so it would silently surrender the snapshot guarantees.
+    pub fn snapshot_reads(&self) -> bool {
+        self.stm.config().snapshot_reads
+    }
+
     /// Number of read-log entries.
     pub fn read_set_size(&self) -> usize {
         self.ctx.logs.read.len()
@@ -485,13 +530,18 @@ impl<'stm> Transaction<'stm> {
     /// read-only validation skip (`snapshot_clean`).
     fn snapshot_open(&mut self, obj: ObjRef) -> TxResult<()> {
         self.snapshot_clean = false;
-        match self.snapshot_resolve(obj)? {
+        self.counters.snapshot_decomposed_opens += 1;
+        match self.snapshot_resolve(obj, None)? {
             SnapObserved::SelfOwned => {}
             SnapObserved::Covered(observed) => {
                 self.counters.snapshot_read_hits += 1;
                 self.log_read_entry(obj, observed);
             }
             SnapObserved::Fallback(observed) => self.log_read_entry(obj, observed),
+            // Chain service needs a field to key the version store; a
+            // decomposed open resolves the header alone, so the resolver
+            // was called without one and can never produce this.
+            SnapObserved::Chain(_) => unreachable!("chain service requires a field"),
         }
         self.tick_read_validation()
     }
@@ -532,7 +582,21 @@ impl<'stm> Transaction<'stm> {
     ///   logging. The waiting itself recovers killed owners and
     ///   re-checks our doom flag, so orphans and doom cycles cannot
     ///   wedge us.
-    fn snapshot_resolve(&mut self, obj: ObjRef) -> TxResult<SnapObserved> {
+    ///
+    /// With `chain_field` set (composed reads only — a decomposed open
+    /// has no field to key the version store) and multi-versioning
+    /// enabled, a too-new version first tries the object's version
+    /// chain: a hit serves the old value at `read_ver` with no
+    /// extension and no abort ([`SnapObserved::Chain`]), pinning
+    /// `ext_ceiling` so later extensions cannot move `read_ver` past
+    /// the served entry's validity interval. Chain service is refused
+    /// once the transaction has taken ownership or logged undo (mixed
+    /// old-snapshot reads and in-place writes would not be opaque).
+    fn snapshot_resolve(
+        &mut self,
+        obj: ObjRef,
+        chain_field: Option<u32>,
+    ) -> TxResult<SnapObserved> {
         let mut spins = 0u32;
         loop {
             yield_point_keyed(schedpt::OPEN_READ_PRE_HEADER, obj.to_raw() as usize);
@@ -570,6 +634,42 @@ impl<'stm> Transaction<'stm> {
                 word @ StmWord::Version(_) => {
                     if word.covered_by(self.clock_snapshot) {
                         return Ok(SnapObserved::Covered(observed));
+                    }
+                    // Version newer than read_ver: before reaching for a
+                    // timestamp extension, try the version chain — a
+                    // writer's commit retired the value that *was*
+                    // current at read_ver, so a hit serves the read
+                    // without moving the snapshot at all. Only pure
+                    // readers qualify: once this transaction owns words
+                    // or has undo to publish, its own writes must be
+                    // ordered after read_ver advances, not behind it.
+                    if let Some(field) = chain_field {
+                        if self.stm.mv().enabled()
+                            && self.ctx.logs.update.is_empty()
+                            && self.ctx.logs.undo.is_empty()
+                        {
+                            if let Some((value, until)) =
+                                self.stm.mv().lookup(obj, field, self.clock_snapshot)
+                            {
+                                self.counters.mv_read_hits += 1;
+                                // The entry is valid for read_ver in
+                                // [from, until); a later extension past
+                                // until-1 would invalidate this read.
+                                self.ext_ceiling = self.ext_ceiling.min(until - 1);
+                                return Ok(SnapObserved::Chain(value));
+                            }
+                            self.counters.mv_chain_misses += 1;
+                        }
+                    }
+                    // Pinned below the version we just met: an extension
+                    // can never cover it without breaking an earlier
+                    // chain-served read, so abort now and retry with a
+                    // fresh snapshot.
+                    if let StmWord::Version(v) = word {
+                        if v > self.ext_ceiling {
+                            self.counters.extension_failures += 1;
+                            return Err(TxError::INVALID);
+                        }
                     }
                     // Version newer than read_ver: extend the timestamp
                     // instead of aborting.
@@ -648,6 +748,14 @@ impl<'stm> Transaction<'stm> {
     pub fn open_for_update(&mut self, obj: ObjRef) -> TxResult<()> {
         self.assert_active();
         self.check_doomed()?;
+        // Chain-pinned transactions are read-only: a write published at
+        // a post-ceiling stamp against a pre-ceiling snapshot would be a
+        // lost update (the chain served state some later commit already
+        // replaced). Abort; the retry begins with a fresh read_ver and
+        // an unpinned ceiling.
+        if self.ext_ceiling != u64::MAX {
+            return Err(TxError::INVALID);
+        }
         self.counters.open_update_ops += 1;
         self.ctl.karma.fetch_add(1, Ordering::Relaxed);
 
@@ -877,10 +985,19 @@ impl<'stm> Transaction<'stm> {
         self.counters.open_read_ops += 1;
         self.ctl.karma.fetch_add(1, Ordering::Relaxed);
         loop {
-            match self.snapshot_resolve(obj)? {
+            match self.snapshot_resolve(obj, Some(field as u32))? {
                 SnapObserved::SelfOwned => {
                     yield_point_keyed(schedpt::READ_PRE_LOAD, obj.to_raw() as usize);
                     return Ok(self.load_direct(obj, field));
+                }
+                SnapObserved::Chain(value) => {
+                    // Served from an immutable retired version: nothing
+                    // to sandwich, log, or validate — the resolver
+                    // already pinned `ext_ceiling` to keep read_ver
+                    // inside the entry's validity interval, and
+                    // `snapshot_clean` stays intact (the read is
+                    // consistent at read_ver by construction).
+                    return Ok(value);
                 }
                 SnapObserved::Fallback(observed) => {
                     // Legacy optimistic read of a stuck foreign-owned
@@ -1110,10 +1227,20 @@ impl<'stm> Transaction<'stm> {
             // acquisition that raced with the scan keeps the snapshot
             // behind and forces the next validation back onto the full
             // pass.
-            self.clock_snapshot = now;
+            //
+            // The ceiling clamp keeps chain-served reads consistent: a
+            // chain hit pinned `ext_ceiling` to its entry's last valid
+            // read_ver, and the resolver aborts (never extends) on any
+            // version past the ceiling, so every logged version entry
+            // is ≤ the clamped snapshot — validation success at `now`
+            // therefore proves consistency at the clamp too.
+            self.clock_snapshot = now.min(self.ext_ceiling);
             self.acquire_snapshot = acq_now;
             self.self_acquire_bumps = 0;
             self.validated_watermark = self.ctx.logs.read.len();
+            // Republish read_ver: GC trimming must keep every chain
+            // entry this (possibly long-running) reader can still hit.
+            self.ctl.read_ver.store(self.clock_snapshot, Ordering::Release);
         }
         Ok(())
     }
@@ -1213,13 +1340,25 @@ impl<'stm> Transaction<'stm> {
             // indistinguishable.
             self.stm.bump_epoch();
         }
-        for entry in &self.ctx.logs.update {
+        let mv_on = self.stm.mv().enabled();
+        for i in 0..self.ctx.logs.update.len() {
+            let entry = self.ctx.logs.update[i];
             if entry.dead {
                 continue;
             }
             let mut next = stamp.unwrap_or(entry.original_version + 1);
             if next > max_version {
                 next = 0;
+            }
+            // Retire the displaced version *before* the release store
+            // publishes the new one: a reader that meets the new header
+            // must find the old (value, interval) already in the chain,
+            // or the walk would miss and cost it an extension. The
+            // reverse order is the race the chain-walk oracle sweeps.
+            if mv_on {
+                if let Some(until) = stamp {
+                    self.retire_chain(entry.obj, entry.original_version, until);
+                }
             }
             yield_point_keyed(schedpt::COMMIT_PRE_RELEASE, entry.obj.to_raw() as usize);
             self.stm.heap().header_atomic(entry.obj).store(version_bits(next), Ordering::Release);
@@ -1231,6 +1370,33 @@ impl<'stm> Transaction<'stm> {
         self.abort_handlers.0.clear();
         Handlers::run(std::mem::take(&mut self.commit_handlers.0).into_iter());
         Ok(())
+    }
+
+    /// Retires `obj`'s displaced field values into the version store
+    /// (commit release phase only — rollbacks restore in place and
+    /// retire nothing). The *first* undo entry per field in log order
+    /// holds the pre-transaction value, i.e. the one that was current
+    /// over `[from, until)`; later entries for the same field are
+    /// intermediate states no snapshot ever published. Fields the
+    /// transaction never dirtied keep their chain history untouched —
+    /// their current value is still the one the header's old version
+    /// vouched for, and it remains readable in place.
+    fn retire_chain(&self, obj: ObjRef, from: u64, until: u64) {
+        if from >= until {
+            // A freshly allocated object can carry version 0 == no
+            // prior committed state worth serving; and a same-stamp
+            // republish (impossible today, cheap to guard) would make
+            // an empty interval.
+            return;
+        }
+        let mut seen: Vec<u32> = Vec::new();
+        for entry in &self.ctx.logs.undo {
+            if entry.obj != obj || seen.contains(&entry.field) {
+                continue;
+            }
+            seen.push(entry.field);
+            self.stm.mv().retire(obj, entry.field, MvEntry { from, until, bits: entry.old_bits });
+        }
     }
 
     /// Aborts the transaction explicitly, rolling back all updates.

@@ -188,6 +188,14 @@ impl<'b> Session<'b> {
 
     pub(crate) fn open_for_read(&mut self, obj: ObjRef) -> Result<(), Trap> {
         match self {
+            // Under snapshot reads the decomposed open is deferred to
+            // the load itself: `Session::load` routes through the
+            // composed `Transaction::read`, which resolves the header,
+            // sandwiches the data load, and can serve old values from
+            // the version chain. Opening here as well would only burn
+            // the abort-free `snapshot_clean` path (a decomposed open's
+            // separate load cannot be sandwich-verified).
+            Session::Stm(tx) if tx.snapshot_reads() => Ok(()),
             Session::Stm(tx) => tx.open_for_read(obj).map_err(Trap::from),
             Session::Tpl(tx) => tx.acquire(obj).map_err(|_| Trap::Conflict),
             Session::Idle => Err(Trap::Error("barrier outside atomic region".into())),
@@ -222,6 +230,13 @@ impl<'b> Session<'b> {
     pub(crate) fn load(&mut self, heap: &Heap, obj: ObjRef, field: usize) -> Result<Word, Trap> {
         match self {
             Session::Buffered(tx) => tx.read(obj, field).map_err(Trap::from),
+            // Snapshot mode: a bare `heap.load` after the decomposed
+            // open would miss the seqlock sandwich and the version
+            // chain — the open logged the header, but nothing ties the
+            // data this load observes to `read_ver`. Route through the
+            // composed read, which is where snapshot mode's guarantees
+            // (and its abort-free chain service) live.
+            Session::Stm(tx) if tx.snapshot_reads() => tx.read(obj, field).map_err(Trap::from),
             _ => Ok(heap.load(obj, field)),
         }
     }
@@ -320,5 +335,85 @@ impl From<TxError> for Trap {
 impl From<WConflict> for Trap {
     fn from(_: WConflict) -> Trap {
         Trap::Conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omt_heap::{ClassDesc, ClassId, FieldDesc, FieldMut};
+
+    fn snapshot_setup(mv_depth: usize) -> (Arc<Heap>, SyncBackend, ClassId) {
+        let heap = Arc::new(Heap::new());
+        let class =
+            heap.define_class(ClassDesc::new("Cell", vec![FieldDesc::new("v", FieldMut::Var)]));
+        let config = StmConfig { snapshot_reads: true, mv_depth, ..StmConfig::default() };
+        let backend = SyncBackend::with_stm_config(BackendKind::DirectStm, heap.clone(), config);
+        (heap, backend, class)
+    }
+
+    /// Regression: a decomposed `OpenForRead` + bare load under
+    /// snapshot mode used to bypass the transaction entirely
+    /// (`Session::load` fell through to `heap.load`), observing a
+    /// concurrent writer's committed value even though the session's
+    /// snapshot predates that commit. With the routing fix the load
+    /// goes through the composed snapshot read, which serves the
+    /// pre-commit value from the version chain — no abort, no torn
+    /// snapshot.
+    #[test]
+    fn decomposed_txil_load_is_served_at_the_session_snapshot() {
+        let (heap, backend, class) = snapshot_setup(1);
+        let stm = backend.as_stm().expect("direct STM backend");
+        let obj = stm.atomically(|tx| {
+            let obj = tx.alloc(class)?;
+            tx.write(obj, 0, Word::from_scalar(1))?;
+            Ok(obj)
+        });
+
+        // Reader session begins (pinning its snapshot) *before* the
+        // writer publishes the new value.
+        let mut session = Session::begin(&backend);
+        stm.atomically(|tx| tx.write(obj, 0, Word::from_scalar(2)));
+
+        // Decomposed TxIL sequence the optimizer emits: OpenForRead
+        // then a bare data load.
+        session.open_for_read(obj).expect("open");
+        let value = session.load(&heap, obj, 0).expect("load");
+        assert_eq!(
+            value.as_scalar(),
+            Some(1),
+            "decomposed load must observe the session snapshot, not the later commit"
+        );
+        session.commit().expect("read-only session commits abort-free");
+
+        let stats = stm.stats();
+        assert!(stats.mv_read_hits >= 1, "old value must come from the version chain");
+        assert_eq!(stats.readonly_aborts, 0);
+        assert_eq!(stats.aborts_invalid, 0);
+    }
+
+    /// The same race at `mv_depth = 0` (no chains): the routed load
+    /// must still be snapshot-consistent — here via timestamp
+    /// extension, which moves the whole snapshot past the writer's
+    /// commit and returns the *new* value. Either way, never the
+    /// torn mix the bare `heap.load` produced.
+    #[test]
+    fn decomposed_txil_load_stays_consistent_without_chains() {
+        let (heap, backend, class) = snapshot_setup(0);
+        let stm = backend.as_stm().expect("direct STM backend");
+        let obj = stm.atomically(|tx| {
+            let obj = tx.alloc(class)?;
+            tx.write(obj, 0, Word::from_scalar(1))?;
+            Ok(obj)
+        });
+
+        let mut session = Session::begin(&backend);
+        stm.atomically(|tx| tx.write(obj, 0, Word::from_scalar(2)));
+
+        session.open_for_read(obj).expect("open");
+        let value = session.load(&heap, obj, 0).expect("load");
+        assert_eq!(value.as_scalar(), Some(2), "extension advances the snapshot past the commit");
+        session.commit().expect("commit");
+        assert!(stm.stats().ts_extensions >= 1);
     }
 }

@@ -1,0 +1,293 @@
+//! End-to-end checks for multi-version objects (DESIGN.md §4.13):
+//! bounded per-word version chains that serve snapshot readers the
+//! value that *was* current at `read_ver` when the word has already
+//! moved on — turning the read-write-mix aborts that timestamp
+//! extension cannot save into abort-free chain hits. The headline
+//! property — reader aborts drop to zero at `mv_depth >= 1` on a
+//! workload where depth 0 demonstrably aborts — is what the E5e
+//! experiment measures at scale.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use omt::heap::{ClassDesc, Heap, ObjRef, RootSet, Word};
+use omt::stm::{Stm, StmConfig, TxError};
+
+fn mv_config(depth: usize) -> StmConfig {
+    StmConfig {
+        snapshot_reads: true,
+        mv_depth: depth,
+        // The zero-abort guarantee needs foreign owners waited out, not
+        // fallen back from: give the bounded wait real headroom.
+        doom_wait_spins: 1 << 20,
+        ..StmConfig::default()
+    }
+}
+
+fn setup(config: StmConfig, cells: usize) -> (Arc<Heap>, Arc<Stm>, Vec<ObjRef>) {
+    let heap = Arc::new(Heap::new());
+    let class = heap.define_class(ClassDesc::with_var_fields("Cell", &["v"]));
+    let stm = Arc::new(Stm::with_config(heap.clone(), config));
+    let cells: Vec<_> = (0..cells).map(|_| heap.alloc(class).unwrap()).collect();
+    for (i, c) in cells.iter().enumerate() {
+        heap.store(*c, 0, Word::from_scalar(i as i64));
+    }
+    (heap, stm, cells)
+}
+
+/// The deterministic teeth of the feature, single-threaded: a reader
+/// whose read set straddles a commit that moved *both* cells it cares
+/// about. Timestamp extension cannot save it (the already-read cell is
+/// stale at any newer snapshot), so without chains this aborts; with
+/// them, the second read is served the old value from the chain and
+/// the transaction commits clean at its original snapshot.
+fn straddled_pair(depth: usize) -> Result<(i64, i64), TxError> {
+    let (_heap, stm, cells) = setup(mv_config(depth), 2);
+    let (x, y) = (cells[0], cells[1]);
+
+    let mut tx = stm.begin();
+    let vx = tx.read(x, 0)?.as_scalar().unwrap();
+    // A foreign commit moves both cells after x was read.
+    stm.atomically(|t| {
+        t.write(x, 0, Word::from_scalar(100))?;
+        t.write(y, 0, Word::from_scalar(101))
+    });
+    let vy = tx.read(y, 0)?.as_scalar().unwrap();
+    tx.commit()?;
+    Ok((vx, vy))
+}
+
+#[test]
+fn straddled_pair_aborts_without_chains() {
+    assert_eq!(straddled_pair(0), Err(TxError::INVALID));
+}
+
+#[test]
+fn straddled_pair_is_served_old_values_with_chains() {
+    assert_eq!(straddled_pair(1), Ok((0, 1)), "both reads at the original snapshot");
+}
+
+/// A chain-pinned transaction is read-only: after being served a
+/// retired version it may not acquire words (a write published past
+/// the pinned snapshot would be a lost update). The write attempt
+/// aborts; the retry runs at a fresh snapshot and sees current state.
+#[test]
+fn chain_pinned_transaction_cannot_upgrade_to_writer() {
+    let (_heap, stm, cells) = setup(mv_config(1), 2);
+    let (x, y) = (cells[0], cells[1]);
+
+    let mut tx = stm.begin();
+    tx.read(x, 0).unwrap();
+    stm.atomically(|t| {
+        t.write(x, 0, Word::from_scalar(100))?;
+        t.write(y, 0, Word::from_scalar(101))
+    });
+    // Chain-served: the transaction is now pinned below the commit.
+    assert_eq!(tx.read(y, 0).unwrap().as_scalar().unwrap(), 1);
+    assert_eq!(tx.open_for_update(y), Err(TxError::INVALID));
+    tx.abort();
+
+    // The retry (fresh snapshot, unpinned) writes fine.
+    stm.atomically(|t| {
+        let v = t.read(y, 0)?.as_scalar().unwrap();
+        assert_eq!(v, 101);
+        t.write(y, 0, Word::from_scalar(v + 1))
+    });
+}
+
+/// Cross-thread read-write-mix storm, run in deterministic lock-step
+/// so exactly one churn commit lands inside every reader's straddle
+/// window (which is why `mv_depth = 1` suffices). Returns
+/// `(readonly_commits, readonly_aborts, mv_read_hits)`.
+fn rw_mix_storm(depth: usize) -> (u64, u64, u64) {
+    const READERS: usize = 4;
+    const ROUNDS: usize = 40;
+
+    let (_heap, stm, cells) = setup(mv_config(depth), 2);
+    let (x, y) = (cells[0], cells[1]);
+    let barrier = Barrier::new(READERS + 1);
+
+    thread::scope(|s| {
+        s.spawn(|| {
+            // Writer: one churn of both cells per round, strictly
+            // between the readers' pin (read of x) and their read of y.
+            for _ in 0..ROUNDS {
+                barrier.wait();
+                barrier.wait();
+                stm.atomically(|t| {
+                    let vx = t.read(x, 0)?.as_scalar().unwrap();
+                    t.write(x, 0, Word::from_scalar(vx + 2))?;
+                    let vy = t.read(y, 0)?.as_scalar().unwrap();
+                    t.write(y, 0, Word::from_scalar(vy + 2))
+                });
+                barrier.wait();
+            }
+        });
+        for _ in 0..READERS {
+            s.spawn(|| {
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    let mut tx = stm.begin();
+                    let round = (|| {
+                        let vx = tx.read(x, 0)?.as_scalar().unwrap();
+                        barrier.wait();
+                        // The churn commits here.
+                        barrier.wait();
+                        let vy = tx.read(y, 0)?.as_scalar().unwrap();
+                        // Whatever the round, a consistent snapshot
+                        // keeps the two cells exactly one apart.
+                        assert_eq!(vy, vx + 1, "torn snapshot: x={vx}, y={vy}");
+                        Ok::<_, TxError>(())
+                    })();
+                    match round {
+                        Ok(()) => {
+                            let _ = tx.commit();
+                        }
+                        Err(_) => tx.abort(),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = stm.stats();
+    (stats.readonly_commits, stats.readonly_aborts, stats.mv_read_hits)
+}
+
+#[test]
+fn rw_mix_storm_reader_aborts_are_zero_with_chains() {
+    let (commits, aborts, hits) = rw_mix_storm(1);
+    assert_eq!(aborts, 0, "chains must make straddling readers abort-free");
+    assert_eq!(commits, 4 * 40);
+    assert!(hits >= 4 * 40, "every straddled read of y is a chain hit (got {hits})");
+}
+
+#[test]
+fn rw_mix_storm_reader_aborts_are_nonzero_without_chains() {
+    let (commits, aborts, hits) = rw_mix_storm(0);
+    assert_eq!(aborts, 4 * 40, "every straddling round must fail its extension");
+    assert_eq!(commits, 0);
+    assert_eq!(hits, 0, "depth 0 never consults a chain");
+}
+
+/// GC-trim versus chain-walk: a collection while a reader is pinned
+/// must not reclaim the chain entries that reader can still be served
+/// (its published `read_ver` is the trim floor); once no reader is in
+/// flight, the next collection drains the quiesced entries.
+#[test]
+fn gc_trim_respects_pinned_readers_and_drains_after() {
+    let (heap, stm, cells) = setup(mv_config(4), 2);
+    let (x, y) = (cells[0], cells[1]);
+    let mut roots = RootSet::new();
+    roots.push(x);
+    roots.push(y);
+
+    // Pin a reader, then retire two generations of both cells.
+    let mut reader = stm.begin();
+    reader.read(x, 0).unwrap();
+    for i in 0..2 {
+        stm.atomically(|t| {
+            t.write(x, 0, Word::from_scalar(10 + i))?;
+            t.write(y, 0, Word::from_scalar(20 + i))
+        });
+    }
+
+    // Collect mid-flight: every retired entry is still reachable by
+    // the pinned reader, so nothing may be trimmed.
+    heap.collect(&roots, &[stm.gc_participant()]);
+    assert_eq!(stm.stats().mv_trims, 0, "entries serving a pinned reader must survive GC");
+
+    // The reader is indeed served from the surviving chain.
+    assert_eq!(reader.read(y, 0).unwrap().as_scalar().unwrap(), 1);
+    reader.commit().unwrap();
+
+    // No reader in flight: the floor rises to the commit clock and the
+    // quiesced entries drain.
+    heap.collect(&roots, &[stm.gc_participant()]);
+    let stats = stm.stats();
+    assert!(stats.mv_trims >= 4, "two generations x two fields quiesced (got {})", stats.mv_trims);
+    assert_eq!(stats.readonly_aborts, 0);
+}
+
+/// Savepoint audit (DESIGN.md §4.13): a partial rollback must leave no
+/// trace in the chains. Only the pre-transaction value is retired at
+/// commit — the value written and rolled back inside the savepoint was
+/// never committed state and must not be observable at any `read_ver`.
+#[test]
+fn savepoint_rollback_never_leaks_into_the_chain() {
+    let (_heap, stm, cells) = setup(mv_config(4), 2);
+    let (x, y) = (cells[0], cells[1]);
+
+    // Pin a reader before the writer so its straddled read of x is
+    // answered from the chain after the writer commits.
+    let mut reader = stm.begin();
+    reader.read(y, 0).unwrap();
+
+    let mut writer = stm.begin();
+    writer.write(x, 0, Word::from_scalar(666)).unwrap();
+    let sp = writer.savepoint();
+    writer.write(x, 0, Word::from_scalar(777)).unwrap();
+    writer.rollback_to(sp);
+    writer.write(x, 0, Word::from_scalar(42)).unwrap();
+    writer.commit().unwrap();
+
+    // The reader's snapshot predates the commit: the chain serves the
+    // pre-transaction value 0 — never 666 or 777, which existed only
+    // inside the writer.
+    assert_eq!(reader.read(x, 0).unwrap().as_scalar().unwrap(), 0);
+    reader.commit().unwrap();
+
+    // At a fresh snapshot the committed value is read in place.
+    assert_eq!(stm.atomically(|t| t.read(x, 0)).as_scalar().unwrap(), 42);
+    let stats = stm.stats();
+    assert_eq!(stats.mv_read_hits, 1);
+    assert_eq!(stats.readonly_aborts, 0);
+}
+
+/// Depth 0 must be byte-identical to the pre-chain runtime: the same
+/// deterministic workload — including the straddle that forces an
+/// extension failure — produces exactly the same statistics on two
+/// fresh instances, with every chain counter pinned at zero.
+#[test]
+fn depth_zero_stats_are_reproducible_and_chain_free() {
+    let run = || {
+        let (_heap, stm, cells) = setup(mv_config(0), 2);
+        let (x, y) = (cells[0], cells[1]);
+        // A clean extension (empty read set), a failed one (straddle),
+        // and a plain read-write round trip.
+        let mut tx = stm.begin();
+        stm.atomically(|t| t.write(x, 0, Word::from_scalar(7)));
+        assert_eq!(tx.read(x, 0).unwrap().as_scalar().unwrap(), 7);
+        tx.commit().unwrap();
+        assert_eq!(straddle_result(&stm, x, y), Err(TxError::INVALID));
+        stm.atomically(|t| {
+            let v = t.read(y, 0)?.as_scalar().unwrap();
+            t.write(y, 0, Word::from_scalar(v + 1))
+        });
+        stm.stats()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "depth-0 runs must be statistically indistinguishable");
+    assert_eq!(a.mv_read_hits, 0);
+    assert_eq!(a.mv_chain_misses, 0, "depth 0 never even walks a chain");
+    assert_eq!(a.mv_trims, 0);
+}
+
+fn straddle_result(stm: &Stm, x: ObjRef, y: ObjRef) -> Result<(), TxError> {
+    let mut tx = stm.begin();
+    tx.read(x, 0)?;
+    stm.atomically(|t| {
+        let vx = t.read(x, 0)?.as_scalar().unwrap();
+        t.write(x, 0, Word::from_scalar(vx + 1))?;
+        let vy = t.read(y, 0)?.as_scalar().unwrap();
+        t.write(y, 0, Word::from_scalar(vy + 1))
+    });
+    let r = tx.read(y, 0).map(|_| ());
+    match r {
+        Ok(()) => tx.commit(),
+        Err(e) => {
+            tx.abort();
+            Err(e)
+        }
+    }
+}

@@ -1186,6 +1186,276 @@ fn oracle_gc_trims_logs_of_a_live_transaction() {
 }
 
 // ---------------------------------------------------------------------
+// Multi-version objects (DESIGN.md §4.13): bounded version chains
+// behind each word serve pinned snapshot readers values the header has
+// already moved past. Three oracles: (a) the snapshot-opacity sweep of
+// the torn-pair probe re-run with chains enabled (the `mv.pre_retire` /
+// `mv.pre_walk` sites interleave the retire against the reader's
+// walk); (b) a pinned reader racing a GC trim — the reader's published
+// `read_ver` is the trim floor, so no schedule may reclaim the entry
+// out from under its chain walk; (c) the savepoint audit — a partial
+// rollback inside the writer must leave nothing in the chain, so the
+// reader can never be served a value that was rolled back.
+// ---------------------------------------------------------------------
+
+/// Snapshot scenario config with chains on. Depth 1 suffices: every
+/// probe straddles exactly one commit per word.
+fn mv_scenario_config() -> StmConfig {
+    StmConfig { mv_depth: 1, ..snapshot_scenario_config() }
+}
+
+#[test]
+fn oracle_mv_snapshot_opacity_with_chains() {
+    // The torn-pair sweep again, now with the chain in the reader's
+    // path: a reader that catches y too new is *served* the old y from
+    // the chain instead of extending, and must still never commit
+    // (0, 1) — the chain value and the already-read x must come from
+    // the same snapshot.
+    let factory = || snapshot_torn_pair_factory_with(mv_scenario_config());
+    let report = explorer(2_500, 1_500).explore(&factory);
+    report_coverage("mv-snapshot-opacity", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0);
+}
+
+#[test]
+fn frozen_snapshot_schedules_replay_green_with_chains() {
+    // The two frozen snapshot counterexamples, replayed with chains
+    // enabled. The `mv.*` yield points shift the tree (replay is
+    // lenient: forced prefix, default-policy fallback), but the bugs
+    // the schedules pinned are depth-independent and must stay fixed.
+    let snap_zombie = || snapshot_zombie_read_factory_with(mv_scenario_config());
+    let snap_torn = || snapshot_torn_pair_factory_with(mv_scenario_config());
+    for (name, outcome) in [
+        (
+            "snapshot-recheck",
+            explorer(1, 0).replay(&snap_zombie, &SNAPSHOT_RECHECK_SCHEDULE.to_vec()),
+        ),
+        ("torn-extension", explorer(1, 0).replay(&snap_torn, &TORN_EXTENSION_SCHEDULE.to_vec())),
+    ] {
+        assert_eq!(outcome, RunOutcome::Pass, "frozen {name} schedule with mv_depth=1");
+    }
+}
+
+/// A pinned reader whose straddled read *must* be served from the
+/// chain, racing a collector whose trim pass (`mv.pre_trim` interleaves
+/// at every shard boundary) sweeps the version store. The reader's
+/// published `read_ver` floors the trim, so every schedule must let the
+/// walk find its entry: the reader always commits the exact pre-publish
+/// pair.
+fn mv_trim_race_factory(trims: Arc<AtomicUsize>) -> Execution {
+    use omt_heap::RootSet;
+
+    let (heap, cells) = new_cells(2, &[0, 1]);
+    let (x, y) = (cells[0], cells[1]);
+    heap.store(y, 0, Word::from_scalar(1));
+    let stm = Arc::new(Stm::with_config(heap.clone(), mv_scenario_config()));
+    let pinned = Arc::new(AtomicUsize::new(0));
+    let published = Arc::new(AtomicUsize::new(0));
+    let committed_pair = Arc::new(Mutex::new(None::<(i64, i64)>));
+
+    let reader: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let pinned = pinned.clone();
+        let published = published.clone();
+        let out = committed_pair.clone();
+        move || {
+            let mut tx = stm.begin();
+            let result = (|| {
+                let vx = tx.read(x, 0)?.as_scalar().unwrap();
+                pinned.store(1, Ordering::SeqCst);
+                omt_util::sched::block_until(
+                    "test.await_publish",
+                    || (published.load(Ordering::SeqCst) == 1).then_some(()),
+                    || {
+                        while published.load(Ordering::SeqCst) != 1 {
+                            std::thread::yield_now();
+                        }
+                    },
+                );
+                // y has moved past read_ver: this walk races the trim.
+                let vy = tx.read(y, 0)?.as_scalar().unwrap();
+                Ok::<_, TxError>((vx, vy))
+            })();
+            match result {
+                Ok(pair) => {
+                    if tx.commit().is_ok() {
+                        *out.lock().unwrap() = Some(pair);
+                    }
+                }
+                Err(_) => tx.abort(),
+            }
+        }
+    });
+    let writer: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let pinned = pinned.clone();
+        let published = published.clone();
+        move || {
+            omt_util::sched::block_until(
+                "test.await_pin",
+                || (pinned.load(Ordering::SeqCst) == 1).then_some(()),
+                || {
+                    while pinned.load(Ordering::SeqCst) != 1 {
+                        std::thread::yield_now();
+                    }
+                },
+            );
+            stm.try_atomically(|tx| {
+                tx.write(x, 0, Word::from_scalar(100))?;
+                tx.write(y, 0, Word::from_scalar(101))
+            })
+            .expect("the reader never acquires: the publish is uncontended");
+            published.store(1, Ordering::SeqCst);
+        }
+    });
+    let collector: ThreadBody = Box::new({
+        let heap = heap.clone();
+        let stm = stm.clone();
+        move || {
+            heap.collect(&RootSet::from(vec![x, y]), &[stm.gc_participant()]);
+        }
+    });
+
+    let threads: Vec<ThreadBody> = vec![reader, writer, collector];
+    let check = Box::new(move || {
+        match *committed_pair.lock().unwrap() {
+            // The reader begun before the publish must commit the
+            // pre-publish pair, served from the chain — a racing trim
+            // may never reclaim an entry below its read_ver.
+            Some((0, 1)) => {}
+            ref other => {
+                return Err(format!("pinned reader must commit (0, 1), got {other:?}"));
+            }
+        }
+        let stats = stm.stats();
+        if stats.mv_read_hits != 1 {
+            return Err(format!("the y read must be a chain hit, got {}", stats.mv_read_hits));
+        }
+        // With the reader finished, a quiescent collection drains the
+        // entries the race had to keep.
+        heap.collect(&RootSet::from(vec![x, y]), &[stm.gc_participant()]);
+        trims.fetch_add(stm.stats().mv_trims as usize, Ordering::SeqCst);
+        Ok(())
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_mv_chain_walk_survives_concurrent_trim() {
+    let trims = Arc::new(AtomicUsize::new(0));
+    let factory = {
+        let trims = trims.clone();
+        move || mv_trim_race_factory(trims.clone())
+    };
+    let report = explorer(1_500, 1_000).explore(&factory);
+    report_coverage("mv-trim-race", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert!(
+        trims.load(Ordering::SeqCst) > 0,
+        "the quiescent collection must drain the retired entries once the reader is done"
+    );
+}
+
+/// Savepoint audit (the PR's third bugfix): the writer rolls part of
+/// its work back to a savepoint before committing; the racing pinned
+/// reader must be served the *pre-transaction* value from the chain —
+/// the rolled-back value was never committed state and must not be
+/// observable at any read_ver.
+fn mv_savepoint_factory() -> Execution {
+    let (heap, cells) = new_cells(2, &[0, 1]);
+    let (x, y) = (cells[0], cells[1]);
+    heap.store(y, 0, Word::from_scalar(1));
+    let stm = Arc::new(Stm::with_config(heap.clone(), mv_scenario_config()));
+    let pinned = Arc::new(AtomicUsize::new(0));
+    let published = Arc::new(AtomicUsize::new(0));
+    let committed_read = Arc::new(Mutex::new(None::<i64>));
+
+    let reader: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let pinned = pinned.clone();
+        let published = published.clone();
+        let out = committed_read.clone();
+        move || {
+            let mut tx = stm.begin();
+            let result = (|| {
+                tx.read(y, 0)?;
+                pinned.store(1, Ordering::SeqCst);
+                omt_util::sched::block_until(
+                    "test.await_publish",
+                    || (published.load(Ordering::SeqCst) == 1).then_some(()),
+                    || {
+                        while published.load(Ordering::SeqCst) != 1 {
+                            std::thread::yield_now();
+                        }
+                    },
+                );
+                Ok::<_, TxError>(tx.read(x, 0)?.as_scalar().unwrap())
+            })();
+            match result {
+                Ok(v) => {
+                    if tx.commit().is_ok() {
+                        *out.lock().unwrap() = Some(v);
+                    }
+                }
+                Err(_) => tx.abort(),
+            }
+        }
+    });
+    let writer: ThreadBody = Box::new({
+        let stm = stm.clone();
+        let pinned = pinned.clone();
+        let published = published.clone();
+        move || {
+            omt_util::sched::block_until(
+                "test.await_pin",
+                || (pinned.load(Ordering::SeqCst) == 1).then_some(()),
+                || {
+                    while pinned.load(Ordering::SeqCst) != 1 {
+                        std::thread::yield_now();
+                    }
+                },
+            );
+            let mut tx = stm.begin();
+            tx.write(x, 0, Word::from_scalar(666)).expect("uncontended");
+            let sp = tx.savepoint();
+            tx.write(x, 0, Word::from_scalar(777)).expect("uncontended");
+            tx.rollback_to(sp);
+            tx.write(x, 0, Word::from_scalar(42)).expect("uncontended");
+            tx.commit().expect("uncontended commit");
+            published.store(1, Ordering::SeqCst);
+        }
+    });
+
+    let threads: Vec<ThreadBody> = vec![reader, writer];
+    let check = Box::new(move || {
+        match *committed_read.lock().unwrap() {
+            // Pre-transaction value from the chain; 666/777 existed
+            // only inside the writer and 42 is past the snapshot.
+            Some(0) => {}
+            ref other => {
+                return Err(format!(
+                    "reader must be served the pre-transaction value 0, got {other:?}"
+                ));
+            }
+        }
+        if scalar(&heap, x, 0) != 42 {
+            return Err(format!("committed value must be 42, heap has {}", scalar(&heap, x, 0)));
+        }
+        Ok(())
+    });
+    Execution { threads, check }
+}
+
+#[test]
+fn oracle_mv_savepoint_rollback_never_reaches_the_chain() {
+    let report = explorer(1_500, 1_000).explore(&mv_savepoint_factory);
+    report_coverage("mv-savepoint", &report);
+    assert!(report.passed(), "{}", report.counterexample.unwrap());
+    assert_eq!(report.divergences, 0);
+}
+
+// ---------------------------------------------------------------------
 // Boosted map (DESIGN.md §4.12): semantic conflict detection layered
 // over the word-level STM. Two oracles on a single-bucket map (so every
 // operation physically collides on one chain while the abstract locks
